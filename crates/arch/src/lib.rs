@@ -1,0 +1,125 @@
+//! Machine model for statically scheduled clustered VLIW processors.
+//!
+//! This crate models the architecture family of the CGO 2007 paper (§2.1):
+//! a processor partitioned into homogeneous *clusters*, each holding one or
+//! more functional units per operation class and a private register file.
+//! Clusters exchange register values through *copy* operations travelling on
+//! a small set of dedicated buses; the memory hierarchy is shared. VLIW
+//! words advance through all clusters in lockstep.
+//!
+//! The three evaluated configurations of the paper are provided as
+//! constructors on [`MachineConfig`]:
+//!
+//! * [`MachineConfig::paper_2c_8w`] — 2 clusters, 8-issue, 1-cycle bus,
+//! * [`MachineConfig::paper_4c_16w_lat1`] — 4 clusters, 16-issue, 1-cycle bus,
+//! * [`MachineConfig::paper_4c_16w_lat2`] — 4 clusters, 16-issue, 2-cycle
+//!   *non-pipelined* bus (§6.2 highlights this case),
+//!
+//! plus the didactic 2-cluster machine of the paper's worked example (§5)
+//! as [`MachineConfig::paper_example_2c`].
+//!
+//! # Example
+//!
+//! ```
+//! use vcsched_arch::{MachineConfig, OpClass};
+//!
+//! let m = MachineConfig::paper_4c_16w_lat2();
+//! assert_eq!(m.cluster_count(), 4);
+//! assert_eq!(m.total_capacity(OpClass::Int), 4);
+//! assert_eq!(m.bus_latency(), 2);
+//! assert!(!m.bus_pipelined());
+//! ```
+
+#![warn(missing_docs)]
+
+mod config;
+mod reservation;
+
+pub use config::{ConfigError, MachineConfig, MachineConfigBuilder};
+pub use reservation::{Placement, ReservationTable};
+
+/// Operation classes executed by cluster functional units.
+///
+/// Every instruction in the IR belongs to exactly one class; the machine
+/// model provides per-cluster capacity for each class. `Copy` is special:
+/// it is the inter-cluster communication operation and consumes *bus*
+/// bandwidth rather than a functional unit (§2.1: "special copy instructions
+/// and a set of dedicated register buses").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub enum OpClass {
+    /// Integer ALU operation.
+    Int,
+    /// Floating-point operation.
+    Fp,
+    /// Memory access (load/store); the memory hierarchy is centralised.
+    Mem,
+    /// Branch / superblock exit.
+    Branch,
+    /// Inter-cluster register copy.
+    Copy,
+}
+
+impl OpClass {
+    /// The four functional-unit classes (everything except [`OpClass::Copy`]).
+    pub const FU_CLASSES: [OpClass; 4] = [OpClass::Int, OpClass::Fp, OpClass::Mem, OpClass::Branch];
+
+    /// Dense index for per-class tables. `Copy` has no FU index.
+    pub fn fu_index(self) -> Option<usize> {
+        match self {
+            OpClass::Int => Some(0),
+            OpClass::Fp => Some(1),
+            OpClass::Mem => Some(2),
+            OpClass::Branch => Some(3),
+            OpClass::Copy => None,
+        }
+    }
+
+    /// Returns `true` for classes that occupy a functional-unit slot.
+    pub fn uses_fu(self) -> bool {
+        self != OpClass::Copy
+    }
+}
+
+impl std::fmt::Display for OpClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            OpClass::Int => "int",
+            OpClass::Fp => "fp",
+            OpClass::Mem => "mem",
+            OpClass::Branch => "branch",
+            OpClass::Copy => "copy",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Identifier of a physical cluster, `0 .. MachineConfig::cluster_count()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct ClusterId(pub u8);
+
+impl std::fmt::Display for ClusterId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PC{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_class_indexing() {
+        for (i, c) in OpClass::FU_CLASSES.iter().enumerate() {
+            assert_eq!(c.fu_index(), Some(i));
+            assert!(c.uses_fu());
+        }
+        assert_eq!(OpClass::Copy.fu_index(), None);
+        assert!(!OpClass::Copy.uses_fu());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(OpClass::Mem.to_string(), "mem");
+        assert_eq!(ClusterId(2).to_string(), "PC2");
+    }
+}

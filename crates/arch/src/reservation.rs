@@ -1,0 +1,239 @@
+//! Per-cycle resource reservation.
+//!
+//! Both the CARS baseline (which schedules cycle-by-cycle) and the schedule
+//! validator need to account for issue slots and bus slots. The
+//! [`ReservationTable`] grows on demand and enforces:
+//!
+//! * per-cluster, per-class functional-unit capacity,
+//! * the optional per-cluster total issue width,
+//! * the machine-wide branch cap,
+//! * bus capacity, honouring non-pipelined bus occupancy.
+
+use crate::{ClusterId, MachineConfig, OpClass};
+
+/// Where an operation was placed by [`ReservationTable::try_place`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// Issue cycle.
+    pub cycle: u32,
+    /// Executing cluster.
+    pub cluster: ClusterId,
+}
+
+#[derive(Debug, Clone, Default)]
+struct CycleRow {
+    /// fu_used[cluster][class]
+    fu_used: Vec<[u8; 4]>,
+    /// Total ops issued per cluster (for the issue-width cap).
+    issued: Vec<u8>,
+    branches: u8,
+    bus_used: u8,
+}
+
+/// Tracks resource usage per cycle for one machine.
+///
+/// # Example
+///
+/// ```
+/// use vcsched_arch::{ClusterId, MachineConfig, OpClass, ReservationTable};
+///
+/// let m = MachineConfig::paper_2c_8w();
+/// let mut rt = ReservationTable::new(&m);
+/// assert!(rt.try_place(0, ClusterId(0), OpClass::Int));
+/// // Only one int unit per cluster: the second int op must move.
+/// assert!(!rt.try_place(0, ClusterId(0), OpClass::Int));
+/// assert!(rt.try_place(0, ClusterId(1), OpClass::Int));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReservationTable {
+    config: MachineConfig,
+    rows: Vec<CycleRow>,
+}
+
+impl ReservationTable {
+    /// Creates an empty table for `config`.
+    pub fn new(config: &MachineConfig) -> Self {
+        ReservationTable {
+            config: config.clone(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// The machine this table tracks.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    fn row(&mut self, cycle: u32) -> &mut CycleRow {
+        let idx = cycle as usize;
+        while self.rows.len() <= idx {
+            self.rows.push(CycleRow {
+                fu_used: vec![[0; 4]; self.config.cluster_count()],
+                issued: vec![0; self.config.cluster_count()],
+                branches: 0,
+                bus_used: 0,
+            });
+        }
+        &mut self.rows[idx]
+    }
+
+    /// Returns `true` if an operation of `class` can issue on `cluster` at
+    /// `cycle` without violating any capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is [`OpClass::Copy`] (use [`Self::can_use_bus`]) or
+    /// the cluster index is out of range.
+    pub fn can_place(&mut self, cycle: u32, cluster: ClusterId, class: OpClass) -> bool {
+        let fu = class
+            .fu_index()
+            .expect("copies are placed with try_reserve_bus");
+        let cl = cluster.0 as usize;
+        assert!(cl < self.config.cluster_count(), "cluster out of range");
+        let cap = self.config.cluster_capacity(cluster, class) as u8;
+        let issue_cap = self.config.issue_per_cluster();
+        let branch_cap = self.config.branches_per_cycle() as u8;
+        let row = self.row(cycle);
+        if row.fu_used[cl][fu] >= cap {
+            return false;
+        }
+        if let Some(w) = issue_cap {
+            if row.issued[cl] >= w as u8 {
+                return false;
+            }
+        }
+        if class == OpClass::Branch && row.branches >= branch_cap {
+            return false;
+        }
+        true
+    }
+
+    /// Attempts to reserve an issue slot; returns `true` on success.
+    pub fn try_place(&mut self, cycle: u32, cluster: ClusterId, class: OpClass) -> bool {
+        if !self.can_place(cycle, cluster, class) {
+            return false;
+        }
+        let fu = class.fu_index().expect("checked in can_place");
+        let cl = cluster.0 as usize;
+        let is_branch = class == OpClass::Branch;
+        let row = self.row(cycle);
+        row.fu_used[cl][fu] += 1;
+        row.issued[cl] += 1;
+        if is_branch {
+            row.branches += 1;
+        }
+        true
+    }
+
+    /// Returns `true` if a bus transfer starting at `cycle` fits: the bus
+    /// must be free for [`MachineConfig::bus_occupancy`] consecutive cycles.
+    pub fn can_use_bus(&mut self, cycle: u32) -> bool {
+        let occ = self.config.bus_occupancy();
+        let cap = self.config.bus_count() as u8;
+        (cycle..cycle + occ).all(|c| self.row(c).bus_used < cap)
+    }
+
+    /// Attempts to reserve a bus transfer starting at `cycle`.
+    pub fn try_reserve_bus(&mut self, cycle: u32) -> bool {
+        if !self.can_use_bus(cycle) {
+            return false;
+        }
+        let occ = self.config.bus_occupancy();
+        for c in cycle..cycle + occ {
+            self.row(c).bus_used += 1;
+        }
+        true
+    }
+
+    /// First cycle `>= from` where `class` can issue on `cluster`.
+    ///
+    /// Always succeeds eventually because future rows are empty.
+    pub fn earliest_slot(&mut self, from: u32, cluster: ClusterId, class: OpClass) -> u32 {
+        (from..)
+            .find(|&c| self.can_place(c, cluster, class))
+            .expect("an empty future cycle always exists")
+    }
+
+    /// First cycle `>= from` where a bus transfer can start.
+    pub fn earliest_bus_slot(&mut self, from: u32) -> u32 {
+        (from..)
+            .find(|&c| self.can_use_bus(c))
+            .expect("an empty future cycle always exists")
+    }
+
+    /// Number of cycles with any reservation (table height).
+    pub fn horizon(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fu_capacity_enforced() {
+        let m = MachineConfig::paper_2c_8w();
+        let mut rt = ReservationTable::new(&m);
+        assert!(rt.try_place(3, ClusterId(0), OpClass::Mem));
+        assert!(!rt.try_place(3, ClusterId(0), OpClass::Mem));
+        assert!(rt.try_place(3, ClusterId(1), OpClass::Mem));
+        assert!(rt.try_place(4, ClusterId(0), OpClass::Mem));
+    }
+
+    #[test]
+    fn branch_cap_is_machine_wide() {
+        let m = MachineConfig::paper_4c_16w_lat1();
+        let mut rt = ReservationTable::new(&m);
+        assert!(rt.try_place(0, ClusterId(0), OpClass::Branch));
+        // Different cluster, but the global cap is 1 branch/cycle.
+        assert!(!rt.try_place(0, ClusterId(1), OpClass::Branch));
+        assert!(rt.try_place(1, ClusterId(1), OpClass::Branch));
+    }
+
+    #[test]
+    fn issue_width_cap() {
+        // Example machine: cluster issues ≤ 2 ops (1 int-ish + 1 branch).
+        let m = MachineConfig::paper_example_1c();
+        let mut rt = ReservationTable::new(&m);
+        assert!(rt.try_place(0, ClusterId(0), OpClass::Int));
+        assert!(rt.try_place(0, ClusterId(0), OpClass::Int));
+        assert!(rt.try_place(0, ClusterId(0), OpClass::Branch));
+        // Issue cap of 3 reached.
+        assert!(!rt.try_place(0, ClusterId(0), OpClass::Int));
+    }
+
+    #[test]
+    fn pipelined_bus_allows_back_to_back() {
+        let m = MachineConfig::builder()
+            .clusters(2)
+            .buses(1)
+            .bus_latency(2)
+            .bus_pipelined(true)
+            .build()
+            .unwrap();
+        let mut rt = ReservationTable::new(&m);
+        assert!(rt.try_reserve_bus(0));
+        assert!(rt.try_reserve_bus(1));
+    }
+
+    #[test]
+    fn unpipelined_bus_blocks_next_cycle() {
+        let m = MachineConfig::paper_4c_16w_lat2();
+        let mut rt = ReservationTable::new(&m);
+        assert!(rt.try_reserve_bus(0));
+        assert!(!rt.try_reserve_bus(1), "bus busy during second cycle");
+        assert!(rt.try_reserve_bus(2));
+        assert_eq!(rt.earliest_bus_slot(3), 4);
+    }
+
+    #[test]
+    fn earliest_slot_skips_full_cycles() {
+        let m = MachineConfig::paper_2c_8w();
+        let mut rt = ReservationTable::new(&m);
+        rt.try_place(0, ClusterId(0), OpClass::Int);
+        rt.try_place(1, ClusterId(0), OpClass::Int);
+        assert_eq!(rt.earliest_slot(0, ClusterId(0), OpClass::Int), 2);
+        assert_eq!(rt.earliest_slot(0, ClusterId(1), OpClass::Int), 0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Additional cluster-scheduling baselines from the paper's related work.
+//!
+//! The paper positions its contribution against two families of prior art
+//! (§7):
+//!
+//! * **integrated single-pass** schedulers, which decide scheduling and
+//!   assignment per instruction — CARS (the paper's baseline, in
+//!   `vcsched-cars`) and UAS [24], reproduced here as [`UasScheduler`];
+//! * **two-phase** approaches, which partition the dependence graph first
+//!   and then schedule within the fixed partition [10][3][17][9][6][20] —
+//!   reproduced here as [`TwoPhaseScheduler`].
+//!
+//! Both produce the workspace-wide [`Schedule`] format and validate under
+//! `vcsched-sim`, so every experiment can add them as extra series beside
+//! CARS and the virtual-cluster scheduler.
+//!
+//! # Example
+//!
+//! ```
+//! use vcsched_arch::{MachineConfig, OpClass};
+//! use vcsched_baselines::{ClusterOrder, TwoPhaseScheduler, UasScheduler};
+//! use vcsched_ir::SuperblockBuilder;
+//!
+//! # fn main() -> Result<(), vcsched_ir::BuildError> {
+//! let mut b = SuperblockBuilder::new("demo");
+//! let i = b.inst(OpClass::Int, 1);
+//! let x = b.exit(1, 1.0);
+//! b.data_dep(i, x);
+//! let sb = b.build()?;
+//! let m = MachineConfig::paper_2c_8w();
+//! let uas = UasScheduler::new(m.clone(), ClusterOrder::Cwp).schedule(&sb);
+//! let two = TwoPhaseScheduler::new(m).schedule(&sb);
+//! assert!(uas.awct >= 2.0 && two.awct >= 2.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod two_phase;
+mod uas;
+
+pub use two_phase::TwoPhaseScheduler;
+pub use uas::{ClusterOrder, UasScheduler};
+
+use vcsched_ir::{InstId, Schedule, Superblock};
+
+/// Result of a baseline scheduling run. Like CARS, these list schedulers
+/// cannot fail — they only produce longer schedules.
+#[derive(Debug, Clone)]
+pub struct BaselineOutcome {
+    /// The schedule.
+    pub schedule: Schedule,
+    /// Achieved average weighted completion time.
+    pub awct: f64,
+}
+
+/// Weighted critical-path priorities shared by the baselines:
+/// `Σ_k P_k · (dist(u, exit_k) + λ_k)` over the exits `u` reaches.
+pub(crate) fn weighted_priorities(sb: &Superblock) -> Vec<f64> {
+    let dg = vcsched_ir::DepGraph::new(sb);
+    let exits: Vec<(InstId, f64)> = sb.exits().collect();
+    (0..sb.len())
+        .map(|u| {
+            exits
+                .iter()
+                .enumerate()
+                .map(|(k, &(x, p))| {
+                    let lam = sb.inst(x).latency() as f64;
+                    match dg.dist_to_exit(InstId(u as u32), k) {
+                        Some(d) => p * (d as f64 + lam),
+                        None => 0.0,
+                    }
+                })
+                .sum()
+        })
+        .collect()
+}

@@ -1,0 +1,92 @@
+//! Criterion micro-benchmarks: scheduler throughput and the graph-algorithm
+//! substrate. Run with `cargo bench -p vcsched-bench`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vcsched_arch::MachineConfig;
+use vcsched_cars::CarsScheduler;
+use vcsched_core::{init, StateCtx, VcOptions, VcScheduler};
+use vcsched_graph::coloring::{degree_order, greedy_coloring};
+use vcsched_graph::matching::{greedy_max_weight_matching, max_weight_matching};
+use vcsched_graph::Ungraph;
+use vcsched_workload::{benchmark, generate_block, live_in_placement, InputSet};
+
+/// Representative blocks: a small control-dense SpecInt block and a larger
+/// MediaBench block.
+fn fixture_blocks() -> Vec<(&'static str, vcsched_ir::Superblock)> {
+    let go = benchmark("099.go").unwrap();
+    let mpeg = benchmark("mpeg2enc").unwrap();
+    vec![
+        ("go-small", generate_block(&go, 7, 2, InputSet::Ref)),
+        ("mpeg-medium", generate_block(&mpeg, 7, 10, InputSet::Ref)),
+    ]
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let machine = MachineConfig::paper_4c_16w_lat1();
+    let mut group = c.benchmark_group("schedule");
+    for (name, sb) in fixture_blocks() {
+        let homes = live_in_placement(&sb, machine.cluster_count(), 7);
+        let cars = CarsScheduler::new(machine.clone());
+        group.bench_with_input(BenchmarkId::new("cars", name), &sb, |b, sb| {
+            b.iter(|| cars.schedule_with_live_ins(sb, &homes))
+        });
+        let vc = VcScheduler::with_options(
+            machine.clone(),
+            VcOptions {
+                max_dp_steps: 400_000,
+                ..VcOptions::default()
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("vc", name), &sb, |b, sb| {
+            b.iter(|| {
+                let _ = vc.schedule_with_live_ins(sb, &homes);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sg_construction(c: &mut Criterion) {
+    let machine = MachineConfig::paper_4c_16w_lat1();
+    let mut group = c.benchmark_group("scheduling-graph");
+    for (name, sb) in fixture_blocks() {
+        group.bench_with_input(BenchmarkId::new("windows", name), &sb, |b, sb| {
+            let ctx = StateCtx::new(sb, &machine);
+            b.iter(|| init::sg_windows(&ctx))
+        });
+    }
+    group.finish();
+}
+
+fn bench_graph_algorithms(c: &mut Criterion) {
+    // A ring of triangles: non-trivial matching and colouring structure.
+    let n = 18usize;
+    let mut edges = Vec::new();
+    for i in 0..n / 3 {
+        let (a, b, cc) = (3 * i, 3 * i + 1, 3 * i + 2);
+        edges.push((a, b, 3 + i as u64));
+        edges.push((b, cc, 2 + i as u64));
+        edges.push((a, cc, 1 + i as u64));
+        edges.push((cc, (3 * i + 3) % n, 5));
+    }
+    c.bench_function("matching/exact-18", |b| {
+        b.iter(|| max_weight_matching(n, &edges))
+    });
+    c.bench_function("matching/greedy-18", |b| {
+        b.iter(|| greedy_max_weight_matching(n, &edges))
+    });
+    let mut g = Ungraph::new(n);
+    for &(a, b, _) in &edges {
+        g.add_edge(a, b);
+    }
+    c.bench_function("coloring/greedy-18", |b| {
+        b.iter(|| greedy_coloring(&g, &degree_order(&g)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_schedulers, bench_sg_construction, bench_graph_algorithms
+}
+criterion_main!(benches);

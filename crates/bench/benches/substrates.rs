@@ -1,0 +1,73 @@
+//! Criterion micro-benchmarks for the substrate crates: front-end
+//! (synthesis, profiling, formation), dynamic execution, register
+//! pressure, and the extra baselines. Run with `cargo bench -p
+//! vcsched-bench --bench substrates`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vcsched_arch::MachineConfig;
+use vcsched_baselines::{ClusterOrder, TwoPhaseScheduler, UasScheduler};
+use vcsched_cars::CarsScheduler;
+use vcsched_cfg::{form_superblocks, synthesize, FunctionSpec, Profile, TraceOptions};
+use vcsched_sim::{execute, pressure, ExecOptions};
+use vcsched_workload::{benchmark, generate_block, live_in_placement, InputSet};
+
+fn bench_front_end(c: &mut Criterion) {
+    let spec = FunctionSpec::media("kernel");
+    c.bench_function("cfg/synthesize", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            synthesize(&spec, seed)
+        })
+    });
+    let cfg = synthesize(&spec, 7);
+    c.bench_function("cfg/profile", |b| {
+        b.iter(|| Profile::propagate(&cfg, spec.entry_count))
+    });
+    let profile = Profile::propagate(&cfg, spec.entry_count);
+    c.bench_function("cfg/form-superblocks", |b| {
+        b.iter(|| form_superblocks(&cfg, &profile, &TraceOptions::default()))
+    });
+}
+
+fn bench_dynamic_model(c: &mut Criterion) {
+    let machine = MachineConfig::paper_4c_16w_lat1();
+    let spec = benchmark("mpeg2enc").unwrap();
+    let sb = generate_block(&spec, 7, 10, InputSet::Ref);
+    let homes = live_in_placement(&sb, machine.cluster_count(), 7);
+    let schedule = CarsScheduler::new(machine.clone())
+        .schedule_with_live_ins(&sb, &homes)
+        .schedule;
+    c.bench_function("sim/execute-10k", |b| {
+        b.iter(|| execute(&sb, &machine, &schedule, &ExecOptions::default()))
+    });
+    c.bench_function("sim/pressure", |b| {
+        b.iter(|| pressure(&sb, &machine, &schedule))
+    });
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let machine = MachineConfig::paper_4c_16w_lat1();
+    let spec = benchmark("mpeg2enc").unwrap();
+    let mut group = c.benchmark_group("baselines");
+    for idx in [2u64, 10] {
+        let sb = generate_block(&spec, 7, idx, InputSet::Ref);
+        let homes = live_in_placement(&sb, machine.cluster_count(), 7);
+        let uas = UasScheduler::new(machine.clone(), ClusterOrder::Cwp);
+        group.bench_with_input(BenchmarkId::new("uas-cwp", idx), &sb, |b, sb| {
+            b.iter(|| uas.schedule_with_live_ins(sb, &homes))
+        });
+        let two = TwoPhaseScheduler::new(machine.clone());
+        group.bench_with_input(BenchmarkId::new("two-phase", idx), &sb, |b, sb| {
+            b.iter(|| two.schedule_with_live_ins(sb, &homes))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_front_end, bench_dynamic_model, bench_baselines
+}
+criterion_main!(benches);

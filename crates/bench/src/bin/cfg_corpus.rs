@@ -1,0 +1,84 @@
+//! Front-end validation experiment (beyond the paper's tables): instead of
+//! sampling superblocks directly, run the full §6.1 pipeline — synthesize
+//! functions, profile, select traces, tail-duplicate, form superblocks —
+//! and check that the paper's headline trend (VC ≥ CARS, growing with
+//! cluster count and bus latency) survives on formation-derived blocks.
+//!
+//! This exercises `vcsched-cfg` end-to-end at corpus scale and reports the
+//! formation statistics (blocks per function, duplicate rate, exit counts)
+//! that characterise the corpus.
+
+use vcsched_arch::MachineConfig;
+use vcsched_bench::STEPS_1M;
+use vcsched_cars::CarsScheduler;
+use vcsched_cfg::{form_superblocks, synthesize, FunctionSpec, Profile, TraceOptions};
+use vcsched_core::{VcError, VcOptions, VcScheduler};
+
+fn main() {
+    let functions: usize = std::env::var("VCSCHED_FUNCTIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40);
+    println!("CFG-pipeline corpus ({functions} functions per suite profile)\n");
+
+    // Build the corpus once: both suite profiles.
+    let mut units = Vec::new();
+    let mut traces = 0usize;
+    let mut duplicates = 0usize;
+    for i in 0..functions {
+        for spec in [
+            FunctionSpec::spec_int(&format!("spec{i}")),
+            FunctionSpec::media(&format!("media{i}")),
+        ] {
+            let cfg = synthesize(&spec, 0xCF6 + i as u64);
+            let profile = Profile::propagate(&cfg, spec.entry_count);
+            for u in form_superblocks(&cfg, &profile, &TraceOptions::default()) {
+                if u.duplicated_from.is_some() {
+                    duplicates += 1;
+                } else {
+                    traces += 1;
+                }
+                units.push(u.superblock);
+            }
+        }
+    }
+    let ops: usize = units.iter().map(|u| u.op_count()).sum();
+    let exits: usize = units.iter().map(|u| u.exits().count()).sum();
+    println!("formed {} superblocks: {traces} traces + {duplicates} tail duplicates", units.len());
+    println!(
+        "  {:.1} ops/block, {:.2} exits/block\n",
+        ops as f64 / units.len() as f64,
+        exits as f64 / units.len() as f64
+    );
+
+    println!("{:<16} {:>12} {:>12} {:>9}", "config", "CARS cycles", "VC cycles", "speed-up");
+    for machine in MachineConfig::paper_eval_configs() {
+        let cars = CarsScheduler::new(machine.clone());
+        let vc = VcScheduler::with_options(
+            machine.clone(),
+            VcOptions {
+                max_dp_steps: STEPS_1M,
+                ..VcOptions::default()
+            },
+        );
+        let mut cars_total = 0.0;
+        let mut vc_total = 0.0;
+        for sb in &units {
+            let w = sb.weight() as f64;
+            let c = cars.schedule(sb);
+            let v = match vc.schedule(sb) {
+                Ok(out) => out.awct.min(c.awct),
+                Err(VcError::BudgetExhausted) | Err(VcError::BumpLimitReached) => c.awct,
+            };
+            cars_total += c.awct * w;
+            vc_total += v * w;
+        }
+        println!(
+            "{:<16} {:>12.0} {:>12.0} {:>9.3}",
+            machine.name(),
+            cars_total,
+            vc_total,
+            cars_total / vc_total
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! Figure 10 — compilation-time comparison.
+//!
+//! Reproduces the paper's "% superblocks optimized within 1 s / 1 m / 4 m"
+//! chart for the virtual-cluster scheduler (VC) and CARS over the three
+//! evaluated machines. VC buckets use deterministic deduction-step
+//! thresholds (see `vcsched-bench` docs); CARS, which has no deduction
+//! process, is bucketed by scaled wall time.
+//!
+//! Expected shape (paper §6.1): CARS compiles 92–95% of blocks in the first
+//! bucket and essentially everything within the 1-minute analogue; VC
+//! compiles 70–72.5% in the first bucket, with a tail beyond the 4-minute
+//! analogue that is handled by the CARS fallback.
+
+use std::time::Duration;
+
+use vcsched_arch::MachineConfig;
+use vcsched_bench::{blocks_per_app, corpus_seed, run_suite, STEPS_1M, STEPS_1S, STEPS_4M};
+
+fn main() {
+    let blocks = blocks_per_app();
+    let seed = corpus_seed();
+    println!("Figure 10: compilation time comparison ({blocks} blocks/app, seed {seed:#x})");
+    println!("VC buckets: {STEPS_1S} / {STEPS_1M} / {STEPS_4M} DP steps (1s/1m/4m analogues)");
+    println!("CARS buckets: 2ms / 120ms / 480ms wall (same 1:60:240 ratio)\n");
+    println!(
+        "{:<16} {:>8} {:>8} {:>8}   {:>8} {:>8} {:>8}",
+        "config", "VC 1s", "VC 1m", "VC 4m", "CARS 1s", "CARS 1m", "CARS 4m"
+    );
+    for machine in MachineConfig::paper_eval_configs() {
+        let apps = run_suite(&machine, blocks, seed, false);
+        let total: usize = apps.iter().map(|a| a.blocks.len()).sum();
+        let vc_frac = |steps: u64| -> f64 {
+            let ok: usize = apps
+                .iter()
+                .map(|a| a.blocks.iter().filter(|b| b.vc_steps <= steps).count())
+                .sum();
+            100.0 * ok as f64 / total as f64
+        };
+        let cars_frac = |wall: Duration| -> f64 {
+            let ok: usize = apps
+                .iter()
+                .map(|a| a.blocks.iter().filter(|b| b.cars_wall <= wall).count())
+                .sum();
+            100.0 * ok as f64 / total as f64
+        };
+        println!(
+            "{:<16} {:>7.1}% {:>7.1}% {:>7.1}%   {:>7.1}% {:>7.1}% {:>7.1}%",
+            machine.name(),
+            vc_frac(STEPS_1S),
+            vc_frac(STEPS_1M),
+            vc_frac(STEPS_4M),
+            cars_frac(Duration::from_millis(2)),
+            cars_frac(Duration::from_millis(120)),
+            cars_frac(Duration::from_millis(480)),
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Figure 11 — speed-up of the virtual-cluster scheduler over CARS.
+//!
+//! One row per application, one column per (machine configuration ×
+//! threshold) pair, plus the Spec/Media/overall means — the same series the
+//! paper plots. Speed-up is the ratio of total weighted cycles
+//! `Σ TC_CARS / Σ TC_VC` with the CARS fallback applied beyond the
+//! threshold.
+//!
+//! Expected shape (paper §6.2): all speed-ups ≥ 1; averages grow from the
+//! 2-cluster machine (paper: ~2.5%) through the 4-cluster 1-cycle machine
+//! to the 4-cluster 2-cycle-bus machine (paper: up to ~9.5%); the 4-minute
+//! threshold dominates the 1-minute one, most visibly on the 2-cycle-bus
+//! machine.
+
+use vcsched_arch::MachineConfig;
+use vcsched_bench::{
+    blocks_per_app, corpus_seed, mean_speedup, run_suite, AppResult, STEPS_1M, STEPS_4M,
+};
+use vcsched_workload::Suite;
+
+fn main() {
+    let blocks = blocks_per_app();
+    let seed = corpus_seed();
+    println!("Figure 11: speed-up of VC over CARS ({blocks} blocks/app, seed {seed:#x})\n");
+    let machines = MachineConfig::paper_eval_configs();
+    let suites: Vec<Vec<AppResult>> = machines
+        .iter()
+        .map(|m| run_suite(m, blocks, seed, false))
+        .collect();
+
+    print!("{:<14}", "app");
+    for m in &machines {
+        let name = m.name().replace("clust ", "c").replace(" ", "");
+        print!(" {:>10} {:>10}", format!("{name},1m"), format!("{name},4m"));
+    }
+    println!();
+    let apps = suites[0].iter().map(|a| (a.app, a.suite)).collect::<Vec<_>>();
+    let mut printed_media_header = false;
+    for (i, &(app, suite)) in apps.iter().enumerate() {
+        if suite == Suite::MediaBench && !printed_media_header {
+            row("Spec Mean", &suites, |s| mean_speedup(s, Some(Suite::SpecInt95), STEPS_1M),
+                |s| mean_speedup(s, Some(Suite::SpecInt95), STEPS_4M));
+            printed_media_header = true;
+        }
+        row(app, &suites, |s| s[i].speedup(STEPS_1M), |s| s[i].speedup(STEPS_4M));
+    }
+    row("Media Mean", &suites, |s| mean_speedup(s, Some(Suite::MediaBench), STEPS_1M),
+        |s| mean_speedup(s, Some(Suite::MediaBench), STEPS_4M));
+    row("Mean", &suites, |s| mean_speedup(s, None, STEPS_1M),
+        |s| mean_speedup(s, None, STEPS_4M));
+}
+
+fn row(
+    label: &str,
+    suites: &[Vec<AppResult>],
+    f1m: impl Fn(&Vec<AppResult>) -> f64,
+    f4m: impl Fn(&Vec<AppResult>) -> f64,
+) {
+    print!("{label:<14}");
+    for s in suites {
+        print!(" {:>10.3} {:>10.3}", f1m(s), f4m(s));
+    }
+    println!();
+}

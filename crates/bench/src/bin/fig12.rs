@@ -1,0 +1,38 @@
+//! Figure 12 — speed-up with different profiling and execution inputs.
+//!
+//! The paper re-evaluates 099.go, 132.ijpeg and 134.perl with a profile
+//! collected on one input and execution on another (1-minute threshold):
+//! schedules are optimised against drifted exit probabilities and execution
+//! counts, then scored with the reference profile.
+//!
+//! Expected shape: trends similar to Fig. 11 with slightly smaller margins;
+//! the paper calls out 134.perl on the 4-cluster 2-cycle-bus machine as the
+//! most degraded case yet still ≥ 6% faster than CARS.
+
+use vcsched_arch::MachineConfig;
+use vcsched_bench::{blocks_per_app, corpus_seed, run_app, STEPS_1M, STEPS_4M};
+use vcsched_workload::benchmark;
+
+fn main() {
+    let blocks = blocks_per_app();
+    let seed = corpus_seed();
+    let apps = ["099.go", "132.ijpeg", "134.perl"];
+    println!(
+        "Figure 12: speed-up with different profile/run inputs, th=1m \
+         ({blocks} blocks/app, seed {seed:#x})\n"
+    );
+    print!("{:<12}", "app");
+    for m in MachineConfig::paper_eval_configs() {
+        print!(" {:>16}", m.name().replace("clust ", "c"));
+    }
+    println!();
+    for app in apps {
+        let spec = benchmark(app).expect("figure 12 app exists");
+        print!("{app:<12}");
+        for machine in MachineConfig::paper_eval_configs() {
+            let res = run_app(&spec, &machine, blocks, seed, STEPS_4M, true);
+            print!(" {:>16.3}", res.speedup(STEPS_1M));
+        }
+        println!();
+    }
+}

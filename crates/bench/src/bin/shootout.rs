@@ -1,0 +1,68 @@
+//! Scheduler shoot-out (beyond the paper's tables): every scheduler family
+//! from the paper's related work (§7) on the same corpus and machines.
+//!
+//! * **two-phase** — partition first, schedule second [10][3][17];
+//! * **UAS** — integrated, cycle-driven, per-instruction decisions [24],
+//!   with the three cluster-priority heuristics;
+//! * **CARS** — integrated, operation-driven (the paper's baseline) [18];
+//! * **VC** — this paper: deduction-driven with delayed assignment.
+//!
+//! Reported numbers are total weighted cycles normalised to CARS = 1.000
+//! (lower is better). Expected shape: the two-phase scheme trails the
+//! integrated ones, UAS and CARS are close, and VC (with the CARS
+//! fallback/driver policy of §6.1) is at least as good as CARS everywhere
+//! — by the largest margin on the 4-cluster 2-cycle-bus machine.
+
+use vcsched_arch::MachineConfig;
+use vcsched_baselines::{ClusterOrder, TwoPhaseScheduler, UasScheduler};
+use vcsched_bench::{blocks_per_app, corpus_seed, run_app, STEPS_1M};
+use vcsched_workload::{benchmarks, generate_block, live_in_placement, InputSet};
+
+fn main() {
+    let blocks = blocks_per_app();
+    let seed = corpus_seed();
+    println!("Scheduler shoot-out ({blocks} blocks/app, seed {seed:#x}, th=1m)\n");
+    println!(
+        "{:<16} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "config", "two-phase", "UAS/none", "UAS/MWP", "UAS/CWP", "CARS", "VC"
+    );
+    for machine in MachineConfig::paper_eval_configs() {
+        let mut cars_total = 0.0;
+        let mut vc_total = 0.0;
+        let mut two_total = 0.0;
+        let mut uas_total = [0.0f64; 3];
+        let two = TwoPhaseScheduler::new(machine.clone());
+        let uas: Vec<UasScheduler> = [ClusterOrder::None, ClusterOrder::Mwp, ClusterOrder::Cwp]
+            .into_iter()
+            .map(|o| UasScheduler::new(machine.clone(), o))
+            .collect();
+        for spec in benchmarks() {
+            // The VC and CARS numbers reuse the calibrated harness driver.
+            let app = run_app(&spec, &machine, blocks, seed, STEPS_1M, false);
+            for b in &app.blocks {
+                cars_total += b.cars_cycles();
+                vc_total += b.vc_cycles(STEPS_1M);
+            }
+            for i in 0..blocks {
+                let sb = generate_block(&spec, seed, i as u64, InputSet::Ref);
+                let homes = live_in_placement(&sb, machine.cluster_count(), seed ^ i as u64);
+                let w = sb.weight() as f64;
+                two_total += two.schedule_with_live_ins(&sb, &homes).awct * w;
+                for (j, u) in uas.iter().enumerate() {
+                    uas_total[j] += u.schedule_with_live_ins(&sb, &homes).awct * w;
+                }
+            }
+        }
+        println!(
+            "{:<16} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+            machine.name(),
+            two_total / cars_total,
+            uas_total[0] / cars_total,
+            uas_total[1] / cars_total,
+            uas_total[2] / cars_total,
+            1.0,
+            vc_total / cars_total,
+        );
+    }
+    println!("\n(total weighted cycles normalised to CARS; lower is better)");
+}

@@ -1,0 +1,564 @@
+//! Basic blocks, the control-flow graph and its validating builder.
+
+use serde::{Deserialize, Serialize};
+
+use crate::op::{Op, Terminator};
+
+/// Index of a basic block inside its [`Cfg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// The underlying index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for BlockId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "B{}", self.0)
+    }
+}
+
+/// A basic block: straight-line operations plus one terminator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BasicBlock {
+    ops: Vec<Op>,
+    term: Terminator,
+}
+
+impl BasicBlock {
+    /// A block executing `ops` and ending with `term`.
+    pub fn new(ops: Vec<Op>, term: Terminator) -> BasicBlock {
+        BasicBlock { ops, term }
+    }
+
+    /// Straight-line operations, in program order.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// The block terminator.
+    pub fn terminator(&self) -> &Terminator {
+        &self.term
+    }
+
+    /// Number of operations, the terminator included.
+    pub fn len(&self) -> usize {
+        self.ops.len() + 1
+    }
+
+    /// A block is never empty: the terminator always exists.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Validation failure produced by [`CfgBuilder::build`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum CfgError {
+    /// The function has no blocks.
+    Empty,
+    /// A terminator referenced a block that does not exist.
+    DanglingTarget(BlockId, BlockId),
+    /// A conditional branch had a probability outside `(0, 1)`.
+    BadProbability(BlockId, f64),
+    /// A conditional branch's two targets were the same block.
+    DegenerateBranch(BlockId),
+    /// A block is unreachable from the entry.
+    Unreachable(BlockId),
+    /// No block returns, so the function cannot terminate.
+    NoReturn,
+}
+
+impl std::fmt::Display for CfgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CfgError::Empty => write!(f, "function has no blocks"),
+            CfgError::DanglingTarget(b, t) => write!(f, "{b} targets missing {t}"),
+            CfgError::BadProbability(b, p) => {
+                write!(f, "{b} branch probability {p} outside (0, 1)")
+            }
+            CfgError::DegenerateBranch(b) => {
+                write!(f, "{b} conditional branch targets one block twice")
+            }
+            CfgError::Unreachable(b) => write!(f, "{b} unreachable from entry"),
+            CfgError::NoReturn => write!(f, "no block returns"),
+        }
+    }
+}
+
+impl std::error::Error for CfgError {}
+
+/// A validated control-flow graph for one function.
+///
+/// Block 0 is the entry. Create with [`CfgBuilder`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cfg {
+    name: String,
+    blocks: Vec<BasicBlock>,
+}
+
+impl Cfg {
+    /// Function name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All blocks, indexed by [`BlockId`].
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// The block with id `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id.index()]
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the function has no blocks (never for built graphs).
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// The entry block (always block 0).
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// Ids of every block.
+    pub fn ids(&self) -> impl Iterator<Item = BlockId> + '_ {
+        (0..self.blocks.len() as u32).map(BlockId)
+    }
+
+    /// Successors of `id` with edge probabilities.
+    pub fn successors(&self, id: BlockId) -> Vec<(BlockId, f64)> {
+        self.block(id).terminator().successors()
+    }
+
+    /// Predecessor table: `preds[b]` lists `(pred, edge probability)`.
+    pub fn predecessors(&self) -> Vec<Vec<(BlockId, f64)>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for b in self.ids() {
+            for (s, p) in self.successors(b) {
+                preds[s.index()].push((b, p));
+            }
+        }
+        preds
+    }
+
+    /// Blocks in reverse post-order from the entry. On a reducible CFG
+    /// this is a topological order of the forward edges, the order in
+    /// which the experiment driver visits superblocks (§6.1: "the control
+    /// flow graph of each function is traversed in a top-down fashion").
+    pub fn reverse_post_order(&self) -> Vec<BlockId> {
+        let n = self.blocks.len();
+        let mut state = vec![0u8; n]; // 0 unvisited, 1 on stack, 2 done
+        let mut post = Vec::with_capacity(n);
+        // Iterative DFS with an explicit frame stack (blocks can be many).
+        let mut stack: Vec<(BlockId, usize)> = vec![(self.entry(), 0)];
+        state[self.entry().index()] = 1;
+        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+            let succ = self.successors(b);
+            if *next < succ.len() {
+                let (s, _) = succ[*next];
+                *next += 1;
+                if state[s.index()] == 0 {
+                    state[s.index()] = 1;
+                    stack.push((s, 0));
+                }
+            } else {
+                state[b.index()] = 2;
+                post.push(b);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        post
+    }
+
+    /// Total operation count over all blocks, terminators included.
+    pub fn op_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.len()).sum()
+    }
+}
+
+/// Builder for [`Cfg`].
+///
+/// # Example
+///
+/// ```
+/// use vcsched_arch::OpClass;
+/// use vcsched_cfg::{CfgBuilder, Op, Terminator, VReg};
+///
+/// # fn main() -> Result<(), vcsched_cfg::CfgError> {
+/// let mut b = CfgBuilder::new("f");
+/// let entry = b.block(
+///     vec![Op::new(OpClass::Int, 1).with_def(VReg(0))],
+///     Terminator::Jump { target: vcsched_cfg::BlockId(1) },
+/// );
+/// let exit = b.block(vec![], Terminator::Return { latency: 1 });
+/// # let _ = (entry, exit);
+/// let cfg = b.build()?;
+/// assert_eq!(cfg.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CfgBuilder {
+    name: String,
+    blocks: Vec<Option<BasicBlock>>,
+}
+
+impl CfgBuilder {
+    /// Starts an empty function named `name`.
+    pub fn new(name: &str) -> CfgBuilder {
+        CfgBuilder {
+            name: name.to_owned(),
+            blocks: Vec::new(),
+        }
+    }
+
+    /// Reserves the next block id without defining the block, so forward
+    /// references (loops) can be expressed.
+    pub fn reserve(&mut self) -> BlockId {
+        self.blocks.push(None);
+        BlockId(self.blocks.len() as u32 - 1)
+    }
+
+    /// Defines a previously [reserved](Self::reserve) block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not reserved or is already defined.
+    pub fn define(&mut self, id: BlockId, ops: Vec<Op>, term: Terminator) -> &mut Self {
+        let slot = &mut self.blocks[id.index()];
+        assert!(slot.is_none(), "block {id} defined twice");
+        *slot = Some(BasicBlock::new(ops, term));
+        self
+    }
+
+    /// Reserves and immediately defines the next block.
+    pub fn block(&mut self, ops: Vec<Op>, term: Terminator) -> BlockId {
+        let id = self.reserve();
+        self.define(id, ops, term);
+        id
+    }
+
+    /// Validates and produces the [`Cfg`] with block 0 as entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CfgError`] encountered.
+    pub fn build(&self) -> Result<Cfg, CfgError> {
+        self.build_with_entry(BlockId(0))
+    }
+
+    /// Validates and produces the [`Cfg`], renumbering blocks in discovery
+    /// order from `entry` so the entry becomes block 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CfgError`] encountered; see that type for the
+    /// enforced invariants.
+    pub fn build_with_entry(&self, entry: BlockId) -> Result<Cfg, CfgError> {
+        if self.blocks.is_empty() {
+            return Err(CfgError::Empty);
+        }
+        let n = self.blocks.len();
+        let defined: Vec<&BasicBlock> = self
+            .blocks
+            .iter()
+            .map(|b| b.as_ref().expect("reserved block left undefined"))
+            .collect();
+        let mut any_return = false;
+        for (i, b) in defined.iter().enumerate() {
+            let id = BlockId(i as u32);
+            match *b.terminator() {
+                Terminator::Jump { target } => {
+                    if target.index() >= n {
+                        return Err(CfgError::DanglingTarget(id, target));
+                    }
+                }
+                Terminator::Branch {
+                    taken,
+                    fallthrough,
+                    prob_taken,
+                    ..
+                } => {
+                    for t in [taken, fallthrough] {
+                        if t.index() >= n {
+                            return Err(CfgError::DanglingTarget(id, t));
+                        }
+                    }
+                    if taken == fallthrough {
+                        return Err(CfgError::DegenerateBranch(id));
+                    }
+                    if !(prob_taken > 0.0 && prob_taken < 1.0) {
+                        return Err(CfgError::BadProbability(id, prob_taken));
+                    }
+                }
+                Terminator::Return { .. } => any_return = true,
+            }
+        }
+        if !any_return {
+            return Err(CfgError::NoReturn);
+        }
+
+        // Reachability from the chosen entry.
+        let mut seen = vec![false; n];
+        let mut stack = vec![entry];
+        seen[entry.index()] = true;
+        while let Some(b) = stack.pop() {
+            for (s, _) in defined[b.index()].terminator().successors() {
+                if !seen[s.index()] {
+                    seen[s.index()] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        if let Some(i) = seen.iter().position(|&s| !s) {
+            return Err(CfgError::Unreachable(BlockId(i as u32)));
+        }
+
+        // Stable entry-first renumbering: the entry becomes block 0, all
+        // other blocks keep their relative order (the identity map when
+        // the entry already is block 0).
+        let mut order: Vec<BlockId> = vec![entry];
+        order.extend((0..n as u32).map(BlockId).filter(|&b| b != entry));
+
+        // Renumber blocks so the entry is 0 and targets stay consistent.
+        let mut remap = vec![0u32; n];
+        for (new, old) in order.iter().enumerate() {
+            remap[old.index()] = new as u32;
+        }
+        let rename = |t: BlockId| BlockId(remap[t.index()]);
+        let mut blocks = Vec::with_capacity(n);
+        for old in &order {
+            let b = defined[old.index()];
+            let term = match *b.terminator() {
+                Terminator::Jump { target } => Terminator::Jump {
+                    target: rename(target),
+                },
+                Terminator::Branch {
+                    cond,
+                    taken,
+                    fallthrough,
+                    prob_taken,
+                    latency,
+                } => Terminator::Branch {
+                    cond,
+                    taken: rename(taken),
+                    fallthrough: rename(fallthrough),
+                    prob_taken,
+                    latency,
+                },
+                Terminator::Return { latency } => Terminator::Return { latency },
+            };
+            blocks.push(BasicBlock::new(b.ops().to_vec(), term));
+        }
+        Ok(Cfg {
+            name: self.name.clone(),
+            blocks,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::VReg;
+    use vcsched_arch::OpClass;
+
+    fn diamond() -> Cfg {
+        // 0 -> {1, 2} -> 3(return)
+        let mut b = CfgBuilder::new("diamond");
+        let e = b.reserve();
+        let l = b.reserve();
+        let r = b.reserve();
+        let x = b.reserve();
+        b.define(
+            e,
+            vec![Op::new(OpClass::Int, 1).with_def(VReg(0))],
+            Terminator::Branch {
+                cond: VReg(0),
+                taken: l,
+                fallthrough: r,
+                prob_taken: 0.3,
+                latency: 1,
+            },
+        );
+        b.define(l, vec![], Terminator::Jump { target: x });
+        b.define(r, vec![], Terminator::Jump { target: x });
+        b.define(x, vec![], Terminator::Return { latency: 1 });
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn diamond_shape() {
+        let cfg = diamond();
+        assert_eq!(cfg.len(), 4);
+        assert_eq!(cfg.entry(), BlockId(0));
+        assert_eq!(cfg.successors(BlockId(0)).len(), 2);
+        assert_eq!(cfg.op_count(), 5);
+        let preds = cfg.predecessors();
+        assert_eq!(preds[3].len(), 2, "join has two predecessors");
+        assert!(preds[0].is_empty(), "entry has none");
+    }
+
+    #[test]
+    fn rpo_is_topological_on_dags() {
+        let cfg = diamond();
+        let rpo = cfg.reverse_post_order();
+        assert_eq!(rpo.len(), 4);
+        assert_eq!(rpo[0], BlockId(0));
+        let pos: Vec<usize> = (0..4)
+            .map(|i| rpo.iter().position(|b| b.index() == i).unwrap())
+            .collect();
+        for b in cfg.ids() {
+            for (s, _) in cfg.successors(b) {
+                if s != b {
+                    assert!(
+                        pos[b.index()] < pos[s.index()],
+                        "forward edge {b}->{s} respects RPO"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_rejected() {
+        let mut b = CfgBuilder::new("t");
+        b.block(vec![], Terminator::Return { latency: 1 });
+        b.block(vec![], Terminator::Return { latency: 1 }); // unreachable
+        assert_eq!(b.build().unwrap_err(), CfgError::Unreachable(BlockId(1)));
+    }
+
+    #[test]
+    fn dangling_target_rejected() {
+        let mut b = CfgBuilder::new("t");
+        b.block(vec![], Terminator::Jump { target: BlockId(9) });
+        assert_eq!(
+            b.build().unwrap_err(),
+            CfgError::DanglingTarget(BlockId(0), BlockId(9))
+        );
+    }
+
+    #[test]
+    fn degenerate_branch_rejected() {
+        let mut b = CfgBuilder::new("t");
+        let x = b.reserve();
+        let e = b.reserve();
+        b.define(x, vec![], Terminator::Return { latency: 1 });
+        b.define(
+            e,
+            vec![],
+            Terminator::Branch {
+                cond: VReg(0),
+                taken: x,
+                fallthrough: x,
+                prob_taken: 0.5,
+                latency: 1,
+            },
+        );
+        assert_eq!(
+            b.build_with_entry(e).unwrap_err(),
+            CfgError::DegenerateBranch(BlockId(1))
+        );
+    }
+
+    #[test]
+    fn bad_probability_rejected() {
+        let mut b = CfgBuilder::new("t");
+        let l = b.reserve();
+        let r = b.reserve();
+        let e = b.reserve();
+        b.define(l, vec![], Terminator::Return { latency: 1 });
+        b.define(r, vec![], Terminator::Return { latency: 1 });
+        b.define(
+            e,
+            vec![],
+            Terminator::Branch {
+                cond: VReg(0),
+                taken: l,
+                fallthrough: r,
+                prob_taken: 1.0,
+                latency: 1,
+            },
+        );
+        assert!(matches!(
+            b.build_with_entry(e).unwrap_err(),
+            CfgError::BadProbability(_, _)
+        ));
+    }
+
+    #[test]
+    fn no_return_rejected() {
+        let mut b = CfgBuilder::new("t");
+        let x = b.reserve();
+        b.define(x, vec![], Terminator::Jump { target: x }); // infinite loop
+        assert_eq!(b.build().unwrap_err(), CfgError::NoReturn);
+    }
+
+    #[test]
+    fn entry_renumbering_keeps_edges() {
+        let mut b = CfgBuilder::new("t");
+        let x = b.reserve(); // will become 1
+        let e = b.reserve(); // will become 0
+        b.define(x, vec![], Terminator::Return { latency: 1 });
+        b.define(e, vec![], Terminator::Jump { target: x });
+        let cfg = b.build_with_entry(e).unwrap();
+        assert_eq!(cfg.entry(), BlockId(0));
+        assert_eq!(cfg.successors(BlockId(0)), vec![(BlockId(1), 1.0)]);
+        assert!(matches!(
+            cfg.block(BlockId(1)).terminator(),
+            Terminator::Return { .. }
+        ));
+    }
+
+    #[test]
+    fn loop_with_exit_builds() {
+        let mut b = CfgBuilder::new("loop");
+        let head = b.reserve();
+        let exit = b.reserve();
+        b.define(
+            head,
+            vec![Op::new(OpClass::Int, 1).with_def(VReg(0))],
+            Terminator::Branch {
+                cond: VReg(0),
+                taken: head, // back edge
+                fallthrough: exit,
+                prob_taken: 0.9,
+                latency: 1,
+            },
+        );
+        b.define(exit, vec![], Terminator::Return { latency: 1 });
+        let cfg = b.build().unwrap();
+        assert_eq!(cfg.len(), 2);
+        assert_eq!(cfg.successors(BlockId(0)).len(), 2);
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            CfgError::Empty,
+            CfgError::DanglingTarget(BlockId(0), BlockId(1)),
+            CfgError::BadProbability(BlockId(0), 2.0),
+            CfgError::DegenerateBranch(BlockId(0)),
+            CfgError::Unreachable(BlockId(0)),
+            CfgError::NoReturn,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Control-flow graphs, execution profiles, trace selection and superblock
+//! formation — the front-end substrate the paper's evaluation pipeline
+//! assumes (§6.1: "the control flow graph of each function is traversed in
+//! a top-down fashion. For each superblock visited the DG is built and the
+//! scheduling technique is applied").
+//!
+//! The paper obtains superblocks from the IMPACT compiler [5] running on
+//! SpecInt95 / MediaBench. This crate reproduces that front end on
+//! synthetic functions:
+//!
+//! 1. [`synthesize`] builds a random structured function ([`Cfg`]);
+//! 2. [`Profile::propagate`] plays the profiler, turning branch
+//!    probabilities and an entry count into block/edge frequencies;
+//! 3. [`select_traces`] grows hot traces (Hwu et al.'s mutually-most-likely
+//!    heuristic);
+//! 4. [`form_superblocks`] removes side entrances by tail duplication and
+//!    lowers each trace to a `vcsched_ir::Superblock` ready for any
+//!    scheduler in the workspace.
+//!
+//! # Example
+//!
+//! ```
+//! use vcsched_cfg::{form_superblocks, synthesize, FunctionSpec, Profile, TraceOptions};
+//!
+//! let spec = FunctionSpec::spec_int("hot_fn");
+//! let cfg = synthesize(&spec, 7);
+//! let profile = Profile::propagate(&cfg, spec.entry_count);
+//! let units = form_superblocks(&cfg, &profile, &TraceOptions::default());
+//! assert!(!units.is_empty());
+//! for unit in &units {
+//!     let total: f64 = unit.superblock.exits().map(|(_, p)| p).sum();
+//!     assert!((total - 1.0).abs() < 1e-6);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+mod form;
+mod graph;
+mod op;
+mod profile;
+mod synth;
+mod trace;
+
+pub use form::{form_superblocks, lower_path, FormedUnit};
+pub use graph::{BasicBlock, BlockId, Cfg, CfgBuilder, CfgError};
+pub use op::{MemEffect, Op, Terminator, VReg};
+pub use profile::Profile;
+pub use synth::{synthesize, FunctionSpec};
+pub use trace::{select_traces, Trace, TraceOptions};

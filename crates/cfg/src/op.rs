@@ -1,0 +1,239 @@
+//! Operations inside basic blocks: virtual registers, memory effects and
+//! block terminators.
+
+use serde::{Deserialize, Serialize};
+use vcsched_arch::OpClass;
+
+use crate::graph::BlockId;
+
+/// A virtual register: the value namespace of one [`Cfg`](crate::Cfg).
+///
+/// The front end is register-pressure-agnostic: virtual registers are
+/// single-assignment *within a superblock* after formation (the lowering
+/// renames on the fly), so only true (read-after-write) dependences reach
+/// the scheduler — the model the paper's dependence graphs assume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VReg(pub u32);
+
+impl std::fmt::Display for VReg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Memory behaviour of an operation, used to build conservative memory
+/// ordering edges during superblock lowering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum MemEffect {
+    /// Touches no memory.
+    #[default]
+    None,
+    /// Reads memory. Loads may be speculated above branches (IMPACT's
+    /// silent-load model) but never above a prior store.
+    Load,
+    /// Writes memory. Stores are side-effecting: they keep their order
+    /// against every other memory operation and never move above a branch.
+    Store,
+}
+
+/// One non-terminator operation of a basic block.
+///
+/// Construct through [`Op::new`] and the fluent setters, e.g.
+///
+/// ```
+/// use vcsched_arch::OpClass;
+/// use vcsched_cfg::{MemEffect, Op, VReg};
+///
+/// let load = Op::new(OpClass::Mem, 2)
+///     .with_uses([VReg(0)])
+///     .with_def(VReg(1))
+///     .with_mem(MemEffect::Load);
+/// assert_eq!(load.def(), Some(VReg(1)));
+/// assert_eq!(load.uses(), [VReg(0)]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Op {
+    class: OpClass,
+    latency: u32,
+    def: Option<VReg>,
+    uses: Vec<VReg>,
+    mem: MemEffect,
+}
+
+impl Op {
+    /// A new operation of `class` taking `latency` cycles, with no operands.
+    pub fn new(class: OpClass, latency: u32) -> Op {
+        Op {
+            class,
+            latency,
+            def: None,
+            uses: Vec::new(),
+            mem: MemEffect::None,
+        }
+    }
+
+    /// Sets the defined register.
+    pub fn with_def(mut self, def: VReg) -> Op {
+        self.def = Some(def);
+        self
+    }
+
+    /// Sets the used registers.
+    pub fn with_uses<I: IntoIterator<Item = VReg>>(mut self, uses: I) -> Op {
+        self.uses = uses.into_iter().collect();
+        self
+    }
+
+    /// Sets the memory effect.
+    pub fn with_mem(mut self, mem: MemEffect) -> Op {
+        self.mem = mem;
+        self
+    }
+
+    /// Operation class.
+    pub fn class(&self) -> OpClass {
+        self.class
+    }
+
+    /// Latency in cycles.
+    pub fn latency(&self) -> u32 {
+        self.latency
+    }
+
+    /// Defined register, if any.
+    pub fn def(&self) -> Option<VReg> {
+        self.def
+    }
+
+    /// Used registers.
+    pub fn uses(&self) -> &[VReg] {
+        &self.uses
+    }
+
+    /// Memory effect.
+    pub fn mem(&self) -> MemEffect {
+        self.mem
+    }
+
+    /// Whether the operation has observable side effects beyond its def
+    /// (stores do; such operations cannot be speculated above branches).
+    pub fn is_side_effecting(&self) -> bool {
+        self.mem == MemEffect::Store
+    }
+}
+
+/// How a basic block transfers control.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Terminator {
+    /// Unconditional jump to `target`.
+    Jump {
+        /// Destination block.
+        target: BlockId,
+    },
+    /// Two-way conditional branch.
+    Branch {
+        /// Condition register.
+        cond: VReg,
+        /// Destination when the branch is taken.
+        taken: BlockId,
+        /// Destination when it falls through.
+        fallthrough: BlockId,
+        /// Profiled probability of taking the branch, in `(0, 1)`.
+        prob_taken: f64,
+        /// Branch latency in cycles.
+        latency: u32,
+    },
+    /// Function return (no successors).
+    Return {
+        /// Latency of the return branch.
+        latency: u32,
+    },
+}
+
+impl Terminator {
+    /// Successor blocks with their probabilities.
+    pub fn successors(&self) -> Vec<(BlockId, f64)> {
+        match *self {
+            Terminator::Jump { target } => vec![(target, 1.0)],
+            Terminator::Branch {
+                taken,
+                fallthrough,
+                prob_taken,
+                ..
+            } => vec![(taken, prob_taken), (fallthrough, 1.0 - prob_taken)],
+            Terminator::Return { .. } => vec![],
+        }
+    }
+
+    /// Latency of the control-transfer instruction itself. Jumps and
+    /// returns are folded branches with the same cost as a conditional.
+    pub fn latency(&self) -> u32 {
+        match *self {
+            Terminator::Jump { .. } => 1,
+            Terminator::Branch { latency, .. } => latency,
+            Terminator::Return { latency } => latency,
+        }
+    }
+
+    /// Condition register of a conditional branch.
+    pub fn cond(&self) -> Option<VReg> {
+        match *self {
+            Terminator::Branch { cond, .. } => Some(cond),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_builder_roundtrip() {
+        let op = Op::new(OpClass::Mem, 2)
+            .with_def(VReg(3))
+            .with_uses([VReg(1), VReg(2)])
+            .with_mem(MemEffect::Store);
+        assert_eq!(op.class(), OpClass::Mem);
+        assert_eq!(op.latency(), 2);
+        assert_eq!(op.def(), Some(VReg(3)));
+        assert_eq!(op.uses(), [VReg(1), VReg(2)]);
+        assert!(op.is_side_effecting());
+    }
+
+    #[test]
+    fn loads_are_not_side_effecting() {
+        let op = Op::new(OpClass::Mem, 2).with_mem(MemEffect::Load);
+        assert!(!op.is_side_effecting());
+        assert_eq!(op.mem(), MemEffect::Load);
+    }
+
+    #[test]
+    fn terminator_successors() {
+        let b = Terminator::Branch {
+            cond: VReg(0),
+            taken: BlockId(1),
+            fallthrough: BlockId(2),
+            prob_taken: 0.25,
+            latency: 3,
+        };
+        let succ = b.successors();
+        assert_eq!(succ.len(), 2);
+        assert_eq!(succ[0], (BlockId(1), 0.25));
+        assert!((succ[1].1 - 0.75).abs() < 1e-12);
+        assert_eq!(b.cond(), Some(VReg(0)));
+        assert_eq!(b.latency(), 3);
+
+        assert_eq!(Terminator::Return { latency: 1 }.successors(), vec![]);
+        assert_eq!(
+            Terminator::Jump { target: BlockId(7) }.successors(),
+            vec![(BlockId(7), 1.0)]
+        );
+        assert_eq!(Terminator::Jump { target: BlockId(7) }.cond(), None);
+    }
+
+    #[test]
+    fn vreg_display() {
+        assert_eq!(VReg(9).to_string(), "v9");
+    }
+}

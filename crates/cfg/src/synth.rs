@@ -1,0 +1,350 @@
+//! Synthetic function generator: structured random CFGs whose formed
+//! superblocks statistically resemble the paper's SpecInt95 / MediaBench
+//! corpora (small control-dense blocks vs. larger high-ILP blocks).
+//!
+//! The generator emits *structured* control flow — a sequence of regions,
+//! each a straight block, triangle, diamond or self-loop — so profiles are
+//! well-defined and trace selection has real decisions to make.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vcsched_arch::OpClass;
+
+use crate::graph::{BlockId, Cfg, CfgBuilder};
+use crate::op::{MemEffect, Op, Terminator, VReg};
+
+/// Parameters of one synthetic function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionSpec {
+    /// Function name prefix.
+    pub name: String,
+    /// Number of sequential regions (each a block / triangle / diamond /
+    /// loop).
+    pub regions: usize,
+    /// Probability a region is a triangle (if-then).
+    pub triangle_prob: f64,
+    /// Probability a region is a diamond (if-then-else).
+    pub diamond_prob: f64,
+    /// Probability a region is a single-block self-loop.
+    pub loop_prob: f64,
+    /// Operations per basic block, inclusive range.
+    pub ops_per_block: (usize, usize),
+    /// Fraction of non-branch operations touching memory.
+    pub mem_frac: f64,
+    /// Fraction of non-branch operations that are floating point.
+    pub fp_frac: f64,
+    /// Latency of conditional branches.
+    pub branch_latency: u32,
+    /// Profiled function entry count.
+    pub entry_count: f64,
+}
+
+impl FunctionSpec {
+    /// A SpecInt-like function: many small blocks, frequent branching,
+    /// low memory-level parallelism.
+    pub fn spec_int(name: &str) -> FunctionSpec {
+        FunctionSpec {
+            name: name.to_owned(),
+            regions: 6,
+            triangle_prob: 0.35,
+            diamond_prob: 0.25,
+            loop_prob: 0.15,
+            ops_per_block: (2, 6),
+            mem_frac: 0.30,
+            fp_frac: 0.01,
+            branch_latency: 3,
+            entry_count: 1000.0,
+        }
+    }
+
+    /// A MediaBench-like function: longer blocks, more regular control
+    /// flow, kernels dominated by arithmetic over array data.
+    pub fn media(name: &str) -> FunctionSpec {
+        FunctionSpec {
+            name: name.to_owned(),
+            regions: 4,
+            triangle_prob: 0.20,
+            diamond_prob: 0.15,
+            loop_prob: 0.30,
+            ops_per_block: (5, 14),
+            mem_frac: 0.35,
+            fp_frac: 0.10,
+            branch_latency: 3,
+            entry_count: 1000.0,
+        }
+    }
+}
+
+/// Generates a random structured function for `spec`, deterministically
+/// from `seed`.
+pub fn synthesize(spec: &FunctionSpec, seed: u64) -> Cfg {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_CF6 ^ hash_name(&spec.name));
+    let mut g = Gen {
+        spec,
+        rng: &mut rng,
+        next_vreg: 0,
+        pool: Vec::new(),
+        builder: CfgBuilder::new(&spec.name),
+    };
+    g.function()
+}
+
+fn hash_name(name: &str) -> u64 {
+    name.bytes()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+        })
+}
+
+struct Gen<'a> {
+    spec: &'a FunctionSpec,
+    rng: &'a mut StdRng,
+    next_vreg: u32,
+    pool: Vec<VReg>,
+    builder: CfgBuilder,
+}
+
+impl Gen<'_> {
+    fn function(&mut self) -> Cfg {
+        // Reserve the spine: one entry block per region plus the return.
+        let spine: Vec<BlockId> = (0..self.spec.regions + 1)
+            .map(|_| self.builder.reserve())
+            .collect();
+        for i in 0..self.spec.regions {
+            self.region(spine[i], spine[i + 1]);
+        }
+        let ret_ops = self.ops();
+        self.builder
+            .define(spine[self.spec.regions], ret_ops, Terminator::Return { latency: 1 });
+        self.builder
+            .build_with_entry(spine[0])
+            .expect("generator emits structurally valid functions")
+    }
+
+    /// Emits one region starting at `entry` and continuing to `next`.
+    fn region(&mut self, entry: BlockId, next: BlockId) {
+        let r: f64 = self.rng.gen();
+        let s = self.spec;
+        if r < s.loop_prob {
+            self.self_loop(entry, next);
+        } else if r < s.loop_prob + s.diamond_prob {
+            self.diamond(entry, next);
+        } else if r < s.loop_prob + s.diamond_prob + s.triangle_prob {
+            self.triangle(entry, next);
+        } else {
+            let ops = self.ops();
+            self.builder.define(entry, ops, Terminator::Jump { target: next });
+        }
+    }
+
+    fn self_loop(&mut self, entry: BlockId, next: BlockId) {
+        let mut ops = self.ops();
+        let cond = self.fresh_def(&mut ops);
+        // Escape probability ≥ 0.05 keeps profile propagation stable.
+        let back: f64 = self.rng.gen_range(0.50..0.95);
+        self.builder.define(
+            entry,
+            ops,
+            Terminator::Branch {
+                cond,
+                taken: entry,
+                fallthrough: next,
+                prob_taken: back,
+                latency: self.spec.branch_latency,
+            },
+        );
+    }
+
+    fn triangle(&mut self, entry: BlockId, next: BlockId) {
+        let then = self.builder.reserve();
+        let mut ops = self.ops();
+        let cond = self.fresh_def(&mut ops);
+        let skip: f64 = self.rng.gen_range(0.05..0.95);
+        self.builder.define(
+            entry,
+            ops,
+            Terminator::Branch {
+                cond,
+                taken: next, // skip the then-block
+                fallthrough: then,
+                prob_taken: skip,
+                latency: self.spec.branch_latency,
+            },
+        );
+        let then_ops = self.ops();
+        self.builder
+            .define(then, then_ops, Terminator::Jump { target: next });
+    }
+
+    fn diamond(&mut self, entry: BlockId, next: BlockId) {
+        let left = self.builder.reserve();
+        let right = self.builder.reserve();
+        let mut ops = self.ops();
+        let cond = self.fresh_def(&mut ops);
+        let p: f64 = self.rng.gen_range(0.05..0.95);
+        self.builder.define(
+            entry,
+            ops,
+            Terminator::Branch {
+                cond,
+                taken: left,
+                fallthrough: right,
+                prob_taken: p,
+                latency: self.spec.branch_latency,
+            },
+        );
+        let l_ops = self.ops();
+        self.builder
+            .define(left, l_ops, Terminator::Jump { target: next });
+        let r_ops = self.ops();
+        self.builder
+            .define(right, r_ops, Terminator::Jump { target: next });
+    }
+
+    /// Random straight-line ops for one block, maintaining the live pool.
+    fn ops(&mut self) -> Vec<Op> {
+        let (lo, hi) = self.spec.ops_per_block;
+        let n = self.rng.gen_range(lo..=hi.max(lo));
+        let mut ops = Vec::with_capacity(n);
+        for _ in 0..n {
+            let r: f64 = self.rng.gen();
+            let op = if r < self.spec.mem_frac {
+                if self.rng.gen_bool(0.7) {
+                    // Load: address from the pool, defines a value.
+                    Op::new(OpClass::Mem, 2)
+                        .with_uses(self.pick_uses(1))
+                        .with_def(self.fresh())
+                        .with_mem(MemEffect::Load)
+                } else {
+                    // Store: address + value.
+                    Op::new(OpClass::Mem, 2)
+                        .with_uses(self.pick_uses(2))
+                        .with_mem(MemEffect::Store)
+                }
+            } else if r < self.spec.mem_frac + self.spec.fp_frac {
+                Op::new(OpClass::Fp, 3)
+                    .with_uses(self.pick_uses(2))
+                    .with_def(self.fresh())
+            } else {
+                let want = self.rng.gen_range(0..=2);
+                Op::new(OpClass::Int, 2)
+                    .with_uses(self.pick_uses(want))
+                    .with_def(self.fresh())
+            };
+            ops.push(op);
+        }
+        ops
+    }
+
+    /// Up to `want` distinct uses, biased toward recently defined values.
+    fn pick_uses(&mut self, want: usize) -> Vec<VReg> {
+        let mut uses = Vec::new();
+        for _ in 0..want {
+            if self.pool.is_empty() {
+                break;
+            }
+            // Quadratic bias toward the back of the pool (recent defs).
+            let f: f64 = self.rng.gen::<f64>();
+            let idx = ((1.0 - f * f) * (self.pool.len() - 1) as f64).round() as usize;
+            let r = self.pool[idx.min(self.pool.len() - 1)];
+            if !uses.contains(&r) {
+                uses.push(r);
+            }
+        }
+        uses
+    }
+
+    fn fresh(&mut self) -> VReg {
+        let r = VReg(self.next_vreg);
+        self.next_vreg += 1;
+        self.pool.push(r);
+        if self.pool.len() > 24 {
+            self.pool.remove(0); // keep locality window bounded
+        }
+        r
+    }
+
+    /// Appends a fresh condition def to `ops` and returns the register.
+    fn fresh_def(&mut self, ops: &mut Vec<Op>) -> VReg {
+        let cond = self.fresh();
+        ops.push(
+            Op::new(OpClass::Int, 1)
+                .with_uses(self.pick_uses(1))
+                .with_def(cond),
+        );
+        cond
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::Profile;
+    use crate::trace::TraceOptions;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = FunctionSpec::spec_int("f");
+        let a = synthesize(&spec, 42);
+        let b = synthesize(&spec, 42);
+        assert_eq!(a, b);
+        let c = synthesize(&spec, 43);
+        assert_ne!(a, c, "different seeds give different functions");
+    }
+
+    #[test]
+    fn functions_validate_and_profile() {
+        for seed in 0..20 {
+            let spec = FunctionSpec::spec_int("f");
+            let cfg = synthesize(&spec, seed);
+            assert!(cfg.len() >= spec.regions + 1);
+            let p = Profile::propagate(&cfg, spec.entry_count);
+            assert!(p.block_count(cfg.entry()) > 0.0);
+            for b in cfg.ids() {
+                assert!(
+                    p.block_count(b).is_finite(),
+                    "finite counts even with loops"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn media_blocks_are_bigger_than_spec_int() {
+        let si: usize = (0..10)
+            .map(|s| synthesize(&FunctionSpec::spec_int("f"), s).op_count())
+            .sum();
+        let mb: usize = (0..10)
+            .map(|s| synthesize(&FunctionSpec::media("g"), s).op_count())
+            .sum();
+        let si_blocks: usize = (0..10)
+            .map(|s| synthesize(&FunctionSpec::spec_int("f"), s).len())
+            .sum();
+        let mb_blocks: usize = (0..10)
+            .map(|s| synthesize(&FunctionSpec::media("g"), s).len())
+            .sum();
+        let si_avg = si as f64 / si_blocks as f64;
+        let mb_avg = mb as f64 / mb_blocks as f64;
+        assert!(
+            mb_avg > si_avg,
+            "media ops/block {mb_avg:.1} vs spec {si_avg:.1}"
+        );
+    }
+
+    #[test]
+    fn formed_superblocks_schedule_end_to_end() {
+        use crate::form::form_superblocks;
+        // Smoke the whole front end: synthesize → profile → form.
+        for seed in 0..10 {
+            let spec = FunctionSpec::media("k");
+            let cfg = synthesize(&spec, seed);
+            let p = Profile::propagate(&cfg, spec.entry_count);
+            let units = form_superblocks(&cfg, &p, &TraceOptions::default());
+            assert!(!units.is_empty());
+            for u in units {
+                let sum: f64 = u.superblock.exits().map(|(_, p)| p).sum();
+                assert!((sum - 1.0).abs() < 1e-6, "{}", u.superblock.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! Trace selection: picking the hot paths that become superblocks.
+//!
+//! Implements the classic mutually-most-likely trace growing of Hwu et
+//! al.'s superblock work [16]: seed at the hottest unassigned block, grow
+//! forward along the most frequent successor edge while (a) the edge is
+//! likely enough, (b) the successor is not already in a trace, and (c) the
+//! current block is also the successor's most frequent predecessor.
+//! Back edges always stop a trace (superblocks are acyclic).
+
+use crate::graph::{BlockId, Cfg};
+use crate::profile::Profile;
+
+/// Tunables for [`select_traces`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceOptions {
+    /// Minimum successor-edge probability to keep growing (IMPACT uses a
+    /// likelihood threshold; 0.5 keeps a trace at least as likely as all
+    /// its off-trace alternatives combined).
+    pub min_edge_prob: f64,
+    /// Blocks executed fewer times than this fraction of the entry count
+    /// do not seed traces (cold code is scheduled block-per-block).
+    pub min_seed_fraction: f64,
+    /// Hard cap on trace length in blocks.
+    pub max_blocks: usize,
+}
+
+impl Default for TraceOptions {
+    fn default() -> Self {
+        TraceOptions {
+            min_edge_prob: 0.5,
+            min_seed_fraction: 0.0,
+            max_blocks: 32,
+        }
+    }
+}
+
+/// A selected trace: a path of distinct blocks, plus the profile weight
+/// with which execution enters its head.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// Blocks on the trace, in control-flow order.
+    pub blocks: Vec<BlockId>,
+    /// Profiled entries into the trace head.
+    pub entry_count: f64,
+}
+
+impl Trace {
+    /// Number of blocks on the trace.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the trace has no blocks (never produced by selection).
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// The trace head.
+    pub fn head(&self) -> BlockId {
+        self.blocks[0]
+    }
+}
+
+/// Partitions `cfg` into traces, hottest first. Every block belongs to
+/// exactly one trace (cold blocks become singleton traces).
+pub fn select_traces(cfg: &Cfg, profile: &Profile, opts: &TraceOptions) -> Vec<Trace> {
+    let n = cfg.len();
+    let preds = cfg.predecessors();
+    let mut assigned = vec![false; n];
+    let mut traces = Vec::new();
+    let entry_count = profile.block_count(cfg.entry()).max(1e-12);
+
+    for seed in profile.hottest_first() {
+        if assigned[seed.index()] {
+            continue;
+        }
+        // Cold blocks still need code: singleton trace, but no growing.
+        let grow = profile.block_count(seed) >= opts.min_seed_fraction * entry_count;
+        assigned[seed.index()] = true;
+        let mut blocks = vec![seed];
+        let mut cur = seed;
+        while grow && blocks.len() < opts.max_blocks {
+            // Most frequent successor edge.
+            let Some((next, prob)) = cfg
+                .successors(cur)
+                .into_iter()
+                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("probabilities are finite"))
+            else {
+                break; // return: no successors
+            };
+            if prob < opts.min_edge_prob || assigned[next.index()] {
+                break;
+            }
+            // Mutually most likely: `cur` must be `next`'s hottest pred.
+            let best_pred = preds[next.index()]
+                .iter()
+                .max_by(|a, b| {
+                    profile
+                        .edge_count(a.0, next)
+                        .partial_cmp(&profile.edge_count(b.0, next))
+                        .expect("counts are finite")
+                })
+                .map(|&(p, _)| p);
+            if best_pred != Some(cur) {
+                break;
+            }
+            assigned[next.index()] = true;
+            blocks.push(next);
+            cur = next;
+        }
+        traces.push(Trace {
+            blocks,
+            entry_count: profile.block_count(seed),
+        });
+    }
+    traces
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::CfgBuilder;
+    use crate::op::{Op, Terminator, VReg};
+    use vcsched_arch::OpClass;
+
+    /// entry -(0.9)-> hot -(1.0)-> tail(ret), entry -(0.1)-> cold -> tail.
+    fn skewed() -> Cfg {
+        let mut b = CfgBuilder::new("skewed");
+        let e = b.reserve();
+        let hot = b.reserve();
+        let cold = b.reserve();
+        let tail = b.reserve();
+        b.define(
+            e,
+            vec![Op::new(OpClass::Int, 1).with_def(VReg(0))],
+            Terminator::Branch {
+                cond: VReg(0),
+                taken: hot,
+                fallthrough: cold,
+                prob_taken: 0.9,
+                latency: 1,
+            },
+        );
+        b.define(hot, vec![], Terminator::Jump { target: tail });
+        b.define(cold, vec![], Terminator::Jump { target: tail });
+        b.define(tail, vec![], Terminator::Return { latency: 1 });
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn hot_path_becomes_one_trace() {
+        let cfg = skewed();
+        let p = Profile::propagate(&cfg, 1000.0);
+        let traces = select_traces(&cfg, &p, &TraceOptions::default());
+        // The hottest seed is the entry (1000): entry→hot→tail is one trace.
+        let main = &traces[0];
+        assert_eq!(main.blocks, vec![BlockId(0), BlockId(1), BlockId(3)]);
+        assert!((main.entry_count - 1000.0).abs() < 1e-6);
+        // The cold block is its own singleton trace.
+        assert!(traces.iter().any(|t| t.blocks == vec![BlockId(2)]));
+    }
+
+    #[test]
+    fn every_block_in_exactly_one_trace() {
+        let cfg = skewed();
+        let p = Profile::propagate(&cfg, 64.0);
+        let traces = select_traces(&cfg, &p, &TraceOptions::default());
+        let mut seen = vec![0usize; cfg.len()];
+        for t in &traces {
+            assert!(!t.is_empty());
+            assert_eq!(t.head(), t.blocks[0]);
+            for b in &t.blocks {
+                seen[b.index()] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "partition property: {seen:?}");
+    }
+
+    #[test]
+    fn back_edges_stop_traces() {
+        let mut b = CfgBuilder::new("loop");
+        let head = b.reserve();
+        let exit = b.reserve();
+        b.define(
+            head,
+            vec![Op::new(OpClass::Int, 1).with_def(VReg(0))],
+            Terminator::Branch {
+                cond: VReg(0),
+                taken: head,
+                fallthrough: exit,
+                prob_taken: 0.95,
+                latency: 1,
+            },
+        );
+        b.define(exit, vec![], Terminator::Return { latency: 1 });
+        let cfg = b.build().unwrap();
+        let p = Profile::propagate(&cfg, 10.0);
+        let traces = select_traces(&cfg, &p, &TraceOptions::default());
+        // The head cannot grow into itself: the back-edge target is the
+        // head, which is already assigned when growth is attempted.
+        let head_trace = traces.iter().find(|t| t.head() == BlockId(0)).unwrap();
+        assert_eq!(head_trace.blocks, vec![BlockId(0)]);
+    }
+
+    #[test]
+    fn low_probability_edges_stop_growth() {
+        let cfg = skewed();
+        let p = Profile::propagate(&cfg, 100.0);
+        let opts = TraceOptions {
+            min_edge_prob: 0.95, // stricter than the 0.9 hot edge
+            ..TraceOptions::default()
+        };
+        let traces = select_traces(&cfg, &p, &opts);
+        let main = traces.iter().find(|t| t.head() == BlockId(0)).unwrap();
+        assert_eq!(main.blocks, vec![BlockId(0)], "0.9 edge below threshold");
+    }
+
+    #[test]
+    fn max_blocks_caps_length() {
+        // A straight chain of 6 blocks.
+        let mut b = CfgBuilder::new("chain");
+        let ids: Vec<BlockId> = (0..6).map(|_| b.reserve()).collect();
+        for w in ids.windows(2) {
+            b.define(w[0], vec![], Terminator::Jump { target: w[1] });
+        }
+        b.define(ids[5], vec![], Terminator::Return { latency: 1 });
+        let cfg = b.build().unwrap();
+        let p = Profile::propagate(&cfg, 10.0);
+        let opts = TraceOptions {
+            max_blocks: 3,
+            ..TraceOptions::default()
+        };
+        let traces = select_traces(&cfg, &p, &opts);
+        assert!(traces.iter().all(|t| t.len() <= 3));
+        assert_eq!(traces.iter().map(Trace::len).sum::<usize>(), 6);
+    }
+
+    #[test]
+    fn side_entrance_breaks_mutual_likelihood() {
+        // Two producers feed one consumer; the consumer's hottest pred is
+        // `a`, so a trace seeded at `b` must not absorb the consumer.
+        let mut bld = CfgBuilder::new("join");
+        let e = bld.reserve();
+        let a = bld.reserve();
+        let bb = bld.reserve();
+        let join = bld.reserve();
+        bld.define(
+            e,
+            vec![Op::new(OpClass::Int, 1).with_def(VReg(0))],
+            Terminator::Branch {
+                cond: VReg(0),
+                taken: a,
+                fallthrough: bb,
+                prob_taken: 0.8,
+                latency: 1,
+            },
+        );
+        bld.define(a, vec![], Terminator::Jump { target: join });
+        bld.define(bb, vec![], Terminator::Jump { target: join });
+        bld.define(join, vec![], Terminator::Return { latency: 1 });
+        let cfg = bld.build().unwrap();
+        let p = Profile::propagate(&cfg, 100.0);
+        let traces = select_traces(&cfg, &p, &TraceOptions::default());
+        let b_trace = traces.iter().find(|t| t.head() == BlockId(2)).unwrap();
+        assert_eq!(
+            b_trace.blocks,
+            vec![BlockId(2)],
+            "join's hottest pred is `a`, so `b` cannot grow into it"
+        );
+    }
+}

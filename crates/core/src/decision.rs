@@ -1,0 +1,108 @@
+//! Decisions (§3): the actions the staged search studies through the DP.
+
+use crate::dp::{self, Budget, DpAbort, Queue};
+use crate::state::{NodeId, SchedulingState};
+
+/// One candidate action over the scheduling state.
+///
+/// The four decision forms of §3 map as follows: establishing a distance
+/// relation is [`Decision::ChooseComb`]; scheduling an instruction in a
+/// cycle is [`Decision::Pin`]; assigning instruction sets to the same /
+/// different physical clusters are [`Decision::Fuse`] (including fusion
+/// with a cluster anchor) and [`Decision::Incompat`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Decision {
+    /// Choose combination `d` between nodes `u < v`.
+    ChooseComb {
+        /// Lower-id endpoint.
+        u: NodeId,
+        /// Higher-id endpoint.
+        v: NodeId,
+        /// `cycle(u) − cycle(v)`.
+        d: i64,
+    },
+    /// Discard combination `d` between nodes `u < v`.
+    DiscardComb {
+        /// Lower-id endpoint.
+        u: NodeId,
+        /// Higher-id endpoint.
+        v: NodeId,
+        /// The discarded value.
+        d: i64,
+    },
+    /// Schedule `node` exactly at `cycle`.
+    Pin {
+        /// The node to pin.
+        node: NodeId,
+        /// Its issue cycle.
+        cycle: i64,
+    },
+    /// Fuse the VCs of the two nodes (same physical cluster).
+    Fuse(NodeId, NodeId),
+    /// Fuse several VC pairs simultaneously (the stage-3 matching decision).
+    FuseSet(Vec<(NodeId, NodeId)>),
+    /// Mark the VCs of the two nodes incompatible (different clusters).
+    Incompat(NodeId, NodeId),
+}
+
+/// Applies `decision` to `st`, runs the deduction process to a fixpoint and
+/// checks VCG colourability.
+///
+/// # Errors
+///
+/// [`DpAbort::Contradiction`] when the decision is infeasible (study callers
+/// then discard the candidate), [`DpAbort::Budget`] when out of budget.
+pub fn apply_decision(
+    st: &mut SchedulingState,
+    decision: &Decision,
+    budget: &mut Budget,
+) -> Result<(), DpAbort> {
+    let mut q: Queue = Queue::new();
+    match decision {
+        Decision::ChooseComb { u, v, d } => {
+            let e_idx = *st
+                .edge_of
+                .get(&(*u, *v))
+                .expect("decision references an existing edge");
+            dp::choose_comb(st, &mut q, e_idx, *d)?;
+        }
+        Decision::DiscardComb { u, v, d } => {
+            let e_idx = *st
+                .edge_of
+                .get(&(*u, *v))
+                .expect("decision references an existing edge");
+            dp::discard_comb(st, &mut q, e_idx, *d)?;
+        }
+        Decision::Pin { node, cycle } => {
+            dp::tighten_est(st, &mut q, *node, *cycle)?;
+            dp::tighten_lst(st, &mut q, *node, *cycle)?;
+        }
+        Decision::Fuse(a, b) => {
+            dp::fuse_vcs(st, &mut q, *a, *b)?;
+        }
+        Decision::FuseSet(pairs) => {
+            for &(a, b) in pairs {
+                dp::fuse_vcs(st, &mut q, a, b)?;
+            }
+        }
+        Decision::Incompat(a, b) => {
+            dp::make_incompat(st, &mut q, *a, *b)?;
+        }
+    }
+    dp::drain(st, &mut q, budget)?;
+    dp::check_colorable(st)?;
+    Ok(())
+}
+
+/// Studies `decision` on a clone of `st` (§4.4.2): returns the resulting
+/// state on success so the caller can compare scores and adopt the winner
+/// without recomputing.
+pub fn study_decision(
+    st: &SchedulingState,
+    decision: &Decision,
+    budget: &mut Budget,
+) -> Result<SchedulingState, DpAbort> {
+    let mut future = st.clone();
+    apply_decision(&mut future, decision, budget)?;
+    Ok(future)
+}

@@ -1,0 +1,1324 @@
+//! The deduction process (§3.3): a rule engine that turns decisions into
+//! their mandatory consequences, or a contradiction.
+//!
+//! The engine keeps a worklist of bound changes. Processing a change fires
+//! the *state updating rules* (bound propagation along dependence and
+//! communication edges, connected-component synchronisation) and the
+//! *deduction rules*:
+//!
+//! * combination-domain pruning against bounds, with mandatory selection
+//!   when a pair is forced to overlap and one value remains;
+//! * same-cycle capacity rules — Rule 2 of §3.3.1 (same cycle, one unit per
+//!   cluster ⇒ virtual clusters incompatible) and their contradiction forms;
+//! * Rule 1 (no slack for a communication ⇒ fuse);
+//! * Rules 3/4 arise from ordinary propagation across communication edges;
+//! * Rule 5 and its consumer-side dual (partially-linked communications),
+//!   plus Rules 6/7 (PLC → FLC promotion);
+//! * windowed resource pigeonhole per class — machine-wide, per virtual
+//!   cluster, and for the bus (with non-pipelined occupancy) — providing
+//!   both contradictions and mandatory bound tightening.
+//!
+//! All rules are *monotone*: bounds only tighten, domains only shrink, VCs
+//! only fuse or grow incompatibilities. Together with the integer horizon
+//! this guarantees termination; an explicit [`Budget`] additionally caps
+//! work for the paper's compile-time thresholds (§6.1).
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use vcsched_arch::{ClusterId, OpClass};
+use vcsched_graph::coloring::is_k_colorable;
+
+use crate::state::{Comm, CommKind, EdgeState, NodeId, NodeKind, SchedulingState};
+
+/// A contradiction: the current state admits no valid schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Contradiction {
+    /// A node's earliest start exceeded its latest start.
+    BoundsCrossed(NodeId),
+    /// A combination had to be simultaneously chosen and discarded.
+    EdgeConflict(NodeId, NodeId),
+    /// Two connected components required inconsistent relative offsets.
+    OffsetConflict(NodeId, NodeId),
+    /// A pair of VCs had to be fused and incompatible at once.
+    VcConflict(NodeId, NodeId),
+    /// More instructions of a class must issue in a window than units exist.
+    ResourceOverflow(OpClass),
+    /// The virtual cluster graph cannot be coloured with the physical
+    /// clusters (a clique exceeds the cluster count, §3.2).
+    Uncolorable,
+    /// A mandatory communication has no cycle to live in.
+    NoCommSlack(NodeId),
+}
+
+impl std::fmt::Display for Contradiction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Contradiction::BoundsCrossed(n) => write!(f, "bounds crossed at node {n}"),
+            Contradiction::EdgeConflict(u, v) => write!(f, "combination conflict on ({u},{v})"),
+            Contradiction::OffsetConflict(u, v) => write!(f, "offset conflict on ({u},{v})"),
+            Contradiction::VcConflict(u, v) => write!(f, "VC fuse/incompatible conflict ({u},{v})"),
+            Contradiction::ResourceOverflow(c) => write!(f, "resource overflow on {c} units"),
+            Contradiction::Uncolorable => write!(f, "virtual cluster graph not colourable"),
+            Contradiction::NoCommSlack(n) => write!(f, "no slack for communication {n}"),
+        }
+    }
+}
+
+/// Why a deduction run stopped without completing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DpAbort {
+    /// A contradiction: the triggering decision must be discarded.
+    Contradiction(Contradiction),
+    /// The step or wall-clock budget ran out (the paper's threshold
+    /// mechanism, §6.1): the whole scheduling attempt is abandoned.
+    Budget,
+}
+
+impl From<Contradiction> for DpAbort {
+    fn from(c: Contradiction) -> Self {
+        DpAbort::Contradiction(c)
+    }
+}
+
+/// Work budget shared across every DP invocation for one superblock.
+#[derive(Debug, Clone)]
+pub struct Budget {
+    steps_left: i64,
+    spent: u64,
+    deadline: Option<Instant>,
+    check_counter: u32,
+}
+
+impl Budget {
+    /// A budget of `steps` rule firings and an optional wall-clock deadline.
+    pub fn new(steps: u64, deadline: Option<Instant>) -> Budget {
+        Budget {
+            steps_left: steps as i64,
+            spent: 0,
+            deadline,
+            check_counter: 0,
+        }
+    }
+
+    /// An effectively unlimited budget.
+    pub fn unlimited() -> Budget {
+        Budget::new(u64::MAX / 2, None)
+    }
+
+    /// Consumes `n` steps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DpAbort::Budget`] when steps or wall clock are exhausted.
+    pub fn spend(&mut self, n: u64) -> Result<(), DpAbort> {
+        self.steps_left -= n as i64;
+        self.spent += n;
+        if self.steps_left < 0 {
+            return Err(DpAbort::Budget);
+        }
+        self.check_counter = self.check_counter.wrapping_add(1);
+        if self.check_counter % 1024 == 0 {
+            if let Some(d) = self.deadline {
+                if Instant::now() >= d {
+                    return Err(DpAbort::Budget);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Steps consumed so far.
+    pub fn spent(&self) -> u64 {
+        self.spent
+    }
+}
+
+/// Worklist of pending bound changes.
+pub type Queue = VecDeque<NodeId>;
+
+// ---------------------------------------------------------------------------
+// Bound tightening primitives
+// ---------------------------------------------------------------------------
+
+/// Raises `est[n]` to at least `v`; queues the node when it changed.
+pub fn tighten_est(
+    st: &mut SchedulingState,
+    q: &mut Queue,
+    n: NodeId,
+    v: i64,
+) -> Result<(), Contradiction> {
+    if v > st.est[n] {
+        st.est[n] = v;
+        st.dirty = true;
+        if st.est[n] > st.lst[n] {
+            return Err(Contradiction::BoundsCrossed(n));
+        }
+        q.push_back(n);
+    }
+    Ok(())
+}
+
+/// Lowers `lst[n]` to at most `v`; queues the node when it changed.
+pub fn tighten_lst(
+    st: &mut SchedulingState,
+    q: &mut Queue,
+    n: NodeId,
+    v: i64,
+) -> Result<(), Contradiction> {
+    if v < st.lst[n] {
+        st.lst[n] = v;
+        st.dirty = true;
+        if st.est[n] > st.lst[n] {
+            return Err(Contradiction::BoundsCrossed(n));
+        }
+        q.push_back(n);
+    }
+    Ok(())
+}
+
+/// Adds a hard dependence edge `from → to` with `lat` and propagates once.
+pub fn add_dep_edge(
+    st: &mut SchedulingState,
+    q: &mut Queue,
+    from: NodeId,
+    to: NodeId,
+    lat: i64,
+) -> Result<(), Contradiction> {
+    st.succ[from].push((to, lat));
+    st.pred[to].push((from, lat));
+    tighten_est(st, q, to, st.est[from] + lat)?;
+    tighten_lst(st, q, from, st.lst[to] - lat)
+}
+
+// ---------------------------------------------------------------------------
+// Combination / connected-component rules
+// ---------------------------------------------------------------------------
+
+fn must_overlap(st: &SchedulingState, e_idx: usize) -> bool {
+    let e = &st.edges[e_idx];
+    let lo_possible = st.est[e.u] - st.lst[e.v];
+    let hi_possible = st.lst[e.u] - st.est[e.v];
+    lo_possible >= e.window.lo && hi_possible <= e.window.hi
+}
+
+/// Prunes the edge's domain against current bounds; resolves or contradicts
+/// when forced.
+pub fn prune_edge(
+    st: &mut SchedulingState,
+    q: &mut Queue,
+    e_idx: usize,
+) -> Result<(), Contradiction> {
+    let (u, v) = (st.edges[e_idx].u, st.edges[e_idx].v);
+    let lo = st.est[u] - st.lst[v];
+    let hi = st.lst[u] - st.est[v];
+    let forced = must_overlap(st, e_idx);
+    enum Next {
+        Nothing,
+        SetNoOverlap,
+        Choose(i64),
+    }
+    let next = match &mut st.edges[e_idx].state {
+        EdgeState::Open(dom) => {
+            dom.discard_below(lo);
+            dom.discard_above(hi);
+            if dom.is_empty() {
+                if forced {
+                    return Err(Contradiction::EdgeConflict(u, v));
+                }
+                Next::SetNoOverlap
+            } else if forced {
+                match dom.singleton() {
+                    // Mandatory: the pair must overlap, one relation left.
+                    Some(d) => Next::Choose(d),
+                    None => Next::Nothing,
+                }
+            } else {
+                Next::Nothing
+            }
+        }
+        EdgeState::Chosen(d) => {
+            if *d < lo || *d > hi {
+                return Err(Contradiction::EdgeConflict(u, v));
+            }
+            Next::Nothing
+        }
+        EdgeState::NoOverlap => {
+            if forced {
+                return Err(Contradiction::EdgeConflict(u, v));
+            }
+            Next::Nothing
+        }
+    };
+    match next {
+        Next::Nothing => {
+            if matches!(st.edges[e_idx].state, EdgeState::NoOverlap) {
+                propagate_no_overlap(st, q, e_idx)?;
+            }
+            Ok(())
+        }
+        Next::SetNoOverlap => {
+            st.edges[e_idx].state = EdgeState::NoOverlap;
+            propagate_no_overlap(st, q, e_idx)
+        }
+        Next::Choose(d) => choose_comb(st, q, e_idx, d),
+    }
+}
+
+/// Disjunctive propagation for a resolved no-overlap pair: the relative
+/// placement `cycle(u) − cycle(v)` must fall outside the overlap window.
+/// When the bounds already exclude one side, the other side becomes a hard
+/// ordering constraint and tightens bounds (this is what makes the
+/// serialisation cost of a *discard* decision visible to the §4.4.3
+/// compactness heuristic).
+fn propagate_no_overlap(
+    st: &mut SchedulingState,
+    q: &mut Queue,
+    e_idx: usize,
+) -> Result<(), Contradiction> {
+    let (u, v) = (st.edges[e_idx].u, st.edges[e_idx].v);
+    let w = st.edges[e_idx].window;
+    let lo_poss = st.est[u] - st.lst[v];
+    let hi_poss = st.lst[u] - st.est[v];
+    let left_possible = lo_poss <= w.lo - 1;
+    let right_possible = hi_poss >= w.hi + 1;
+    match (left_possible, right_possible) {
+        (false, false) => Err(Contradiction::EdgeConflict(u, v)),
+        (false, true) => {
+            // Must sit right of the window: cycle(u) − cycle(v) ≥ hi + 1.
+            tighten_est(st, q, u, st.est[v] + w.hi + 1)?;
+            tighten_lst(st, q, v, st.lst[u] - (w.hi + 1))
+        }
+        (true, false) => {
+            // Must sit left of the window: cycle(u) − cycle(v) ≤ lo − 1.
+            tighten_est(st, q, v, st.est[u] - (w.lo - 1))?;
+            tighten_lst(st, q, u, st.lst[v] + (w.lo - 1))
+        }
+        (true, true) => Ok(()),
+    }
+}
+
+/// Chooses combination `d` on edge `e_idx`: fixes `cycle(u) − cycle(v) = d`
+/// and merges the connected components.
+pub fn choose_comb(
+    st: &mut SchedulingState,
+    q: &mut Queue,
+    e_idx: usize,
+    d: i64,
+) -> Result<(), Contradiction> {
+    let (u, v) = (st.edges[e_idx].u, st.edges[e_idx].v);
+    match &st.edges[e_idx].state {
+        EdgeState::Open(dom) => {
+            if !dom.contains(d) {
+                return Err(Contradiction::EdgeConflict(u, v));
+            }
+            st.edges[e_idx].state = EdgeState::Chosen(d);
+        }
+        EdgeState::Chosen(d0) if *d0 == d => {}
+        _ => return Err(Contradiction::EdgeConflict(u, v)),
+    }
+    merge_cc(st, q, u, v, d)
+}
+
+/// Discards combination `d` on edge `e_idx`.
+pub fn discard_comb(
+    st: &mut SchedulingState,
+    q: &mut Queue,
+    e_idx: usize,
+    d: i64,
+) -> Result<(), Contradiction> {
+    let (u, v) = (st.edges[e_idx].u, st.edges[e_idx].v);
+    let forced = must_overlap(st, e_idx);
+    enum Next {
+        Nothing,
+        SetNoOverlap,
+        Choose(i64),
+    }
+    let next = match &mut st.edges[e_idx].state {
+        EdgeState::Open(dom) => {
+            dom.discard(d);
+            if dom.is_empty() {
+                if forced {
+                    return Err(Contradiction::EdgeConflict(u, v));
+                }
+                Next::SetNoOverlap
+            } else if forced {
+                match dom.singleton() {
+                    Some(only) => Next::Choose(only),
+                    None => Next::Nothing,
+                }
+            } else {
+                Next::Nothing
+            }
+        }
+        EdgeState::Chosen(d0) => {
+            if *d0 == d {
+                return Err(Contradiction::EdgeConflict(u, v));
+            }
+            Next::Nothing
+        }
+        EdgeState::NoOverlap => Next::Nothing,
+    };
+    match next {
+        Next::Nothing => Ok(()),
+        Next::SetNoOverlap => {
+            st.edges[e_idx].state = EdgeState::NoOverlap;
+            propagate_no_overlap(st, q, e_idx)
+        }
+        Next::Choose(only) => choose_comb(st, q, e_idx, only),
+    }
+}
+
+/// Fixes the relative offset `cycle(u) − cycle(v) = delta`, merging the two
+/// connected components and resolving every cross pair's edge.
+pub fn merge_cc(
+    st: &mut SchedulingState,
+    q: &mut Queue,
+    u: NodeId,
+    v: NodeId,
+    delta: i64,
+) -> Result<(), Contradiction> {
+    use vcsched_graph::OffsetUnion;
+    if let Some(d0) = st.cc.relative_offset(u, v) {
+        return if d0 == delta {
+            Ok(())
+        } else {
+            Err(Contradiction::OffsetConflict(u, v))
+        };
+    }
+    let ru = st.cc.root(u);
+    let rv = st.cc.root(v);
+    let a_members: Vec<NodeId> = st.cc_list[ru].clone();
+    let b_members: Vec<NodeId> = st.cc_list[rv].clone();
+    match st.cc.union_with_offset(u, v, delta) {
+        OffsetUnion::Conflict => return Err(Contradiction::OffsetConflict(u, v)),
+        OffsetUnion::Merged | OffsetUnion::Consistent => {}
+    }
+    let new_root = st.cc.root(u);
+    let minor_root = if new_root == ru { rv } else { ru };
+    let moved = std::mem::take(&mut st.cc_list[minor_root]);
+    st.cc_list[new_root].extend(moved);
+    // Bounds will re-synchronise through the worklist.
+    q.push_back(u);
+    q.push_back(v);
+    // Cross pairs now have fixed offsets: resolve their edges and audit
+    // freshly formed same-cycle groups.
+    let mut audited: Vec<NodeId> = Vec::new();
+    for &x in &a_members {
+        for &y in &b_members {
+            let dxy = st
+                .cc
+                .relative_offset(x, y)
+                .expect("members of a merged component");
+            resolve_fixed_pair(st, q, x, y, dxy)?;
+            if dxy == 0 && !audited.contains(&x) {
+                audited.push(x);
+                audit_cycle_group(st, q, x)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Called when the relative offset of `x` and `y` becomes fixed: resolves
+/// their scheduling-graph edge accordingly.
+pub fn resolve_fixed_pair(
+    st: &mut SchedulingState,
+    q: &mut Queue,
+    x: NodeId,
+    y: NodeId,
+    delta_xy: i64,
+) -> Result<(), Contradiction> {
+    let (u, v, d) = if x < y {
+        (x, y, delta_xy)
+    } else {
+        (y, x, -delta_xy)
+    };
+    let Some(&e_idx) = st.edge_of.get(&(u, v)) else {
+        return Ok(());
+    };
+    let within = st.edges[e_idx].window.contains(d);
+    match &st.edges[e_idx].state {
+        EdgeState::Open(dom) => {
+            if within {
+                if !dom.contains(d) {
+                    return Err(Contradiction::EdgeConflict(u, v));
+                }
+                st.edges[e_idx].state = EdgeState::Chosen(d);
+            } else {
+                st.edges[e_idx].state = EdgeState::NoOverlap;
+            }
+        }
+        EdgeState::Chosen(d0) => {
+            if *d0 != d {
+                return Err(Contradiction::EdgeConflict(u, v));
+            }
+        }
+        EdgeState::NoOverlap => {
+            if within {
+                return Err(Contradiction::EdgeConflict(u, v));
+            }
+        }
+    }
+    let _ = q;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Same-cycle capacity rules (Rule 2 and contradiction forms)
+// ---------------------------------------------------------------------------
+
+/// Audits the group of nodes provably issuing in the same cycle as `n`:
+/// machine-wide class capacity, per-VC class capacity, per-VC issue width,
+/// bus width; deduces Rule 2 incompatibilities for one-unit classes.
+pub fn audit_cycle_group(
+    st: &mut SchedulingState,
+    q: &mut Queue,
+    n: NodeId,
+) -> Result<(), Contradiction> {
+    let total_nodes = st.kind.len();
+    let mut group: Vec<NodeId> = Vec::new();
+    for m in 0..total_nodes {
+        if st.uses_resources(m) && st.fixed_delta(m, n) == Some(0) {
+            group.push(m);
+        }
+    }
+    if group.len() < 2 {
+        return Ok(());
+    }
+    // Machine-wide per-class totals.
+    for class in [
+        OpClass::Int,
+        OpClass::Fp,
+        OpClass::Mem,
+        OpClass::Branch,
+        OpClass::Copy,
+    ] {
+        let count = group.iter().filter(|&&m| st.class(m) == Some(class)).count();
+        if count > st.ctx.machine.total_capacity(class) {
+            return Err(Contradiction::ResourceOverflow(class));
+        }
+    }
+    // Per-VC class counts and issue widths; Rule 2 for capacity-1 classes.
+    let fu_members: Vec<NodeId> = group
+        .iter()
+        .copied()
+        .filter(|&m| st.class(m).is_some_and(|c| c.uses_fu()))
+        .collect();
+    for i in 0..fu_members.len() {
+        for j in i + 1..fu_members.len() {
+            let (a, b) = (fu_members[i], fu_members[j]);
+            let (ca, cb) = (st.class(a).expect("fu"), st.class(b).expect("fu"));
+            if st.same_vc(a, b) {
+                // Count same-VC same-cycle instructions of each class.
+                if ca == cb {
+                    let cap = st.ctx.machine.capacity(ca);
+                    let cnt = fu_members
+                        .iter()
+                        .filter(|&&m| st.class(m) == Some(ca) && st.same_vc(m, a))
+                        .count();
+                    if cnt > cap {
+                        return Err(Contradiction::ResourceOverflow(ca));
+                    }
+                }
+                if let Some(w) = st.ctx.machine.issue_per_cluster() {
+                    let cnt = fu_members.iter().filter(|&&m| st.same_vc(m, a)).count();
+                    if cnt > w {
+                        return Err(Contradiction::ResourceOverflow(ca));
+                    }
+                }
+            } else if ca == cb
+                && st.ctx.machine.capacity(ca) == 1
+                && !st.vcs_incompatible(a, b)
+            {
+                // Rule 2: same cycle, one unit per cluster ⇒ different PCs.
+                make_incompat(st, q, a, b)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Virtual-cluster rules: fusion, incompatibility, communications, PLCs
+// ---------------------------------------------------------------------------
+
+/// Fuses the VCs of `a` and `b` (§3.2), merging incompatibility adjacency
+/// and auditing capacity; fires PLC promotion (Rule 6).
+pub fn fuse_vcs(
+    st: &mut SchedulingState,
+    q: &mut Queue,
+    a: NodeId,
+    b: NodeId,
+) -> Result<(), Contradiction> {
+    let (ra, rb) = (st.vc.find(a), st.vc.find(b));
+    if ra == rb {
+        return Ok(());
+    }
+    if st.vc_adj[ra].contains(&rb) {
+        return Err(Contradiction::VcConflict(a, b));
+    }
+    st.dirty = true;
+    let a_members = st.vc_members(ra);
+    let b_members = st.vc_members(rb);
+    let root = st.vc.union(ra, rb);
+    let minor = if root == ra { rb } else { ra };
+    let moved = std::mem::take(&mut st.vc_list[minor]);
+    st.vc_list[root].extend(moved);
+    // Fused VC inherits all incompatibilities (§3.2).
+    let minor_adj: Vec<usize> = st.vc_adj[minor].iter().copied().collect();
+    for nb in minor_adj {
+        st.vc_adj[nb].remove(&minor);
+        st.vc_adj[nb].insert(root);
+        st.vc_adj[root].insert(nb);
+    }
+    st.vc_adj[minor].clear();
+    if st.vc_adj[root].contains(&root) {
+        return Err(Contradiction::VcConflict(a, b));
+    }
+    // Heterogeneous machines (the paper's §2.1 extension): the merged
+    // membership must fit on the anchor's cluster when already mapped, or
+    // on at least one cluster otherwise — classes with no shared capable
+    // cluster can never share a VC.
+    if !st.ctx.machine.is_homogeneous() {
+        let anchor_cluster = st.cluster_of(a);
+        let mut classes: Vec<OpClass> = Vec::new();
+        for &m in &st.vc_list[root] {
+            if let Some(class) = st.class(m) {
+                if class.uses_fu() && !classes.contains(&class) {
+                    classes.push(class);
+                }
+            }
+        }
+        let fits = |c: ClusterId| {
+            classes
+                .iter()
+                .all(|&cl| st.ctx.machine.cluster_capacity(c, cl) > 0)
+        };
+        let ok = match anchor_cluster {
+            Some(c) => fits(c),
+            None => (0..st.ctx.machine.cluster_count()).any(|c| fits(ClusterId(c as u8))),
+        };
+        if !ok {
+            return Err(Contradiction::VcConflict(a, b));
+        }
+    }
+    // Same-cycle capacity audit across the merged membership.
+    let mut audited: Vec<NodeId> = Vec::new();
+    for &x in &a_members {
+        for &y in &b_members {
+            if st.fixed_delta(x, y) == Some(0) && !audited.contains(&x) {
+                audited.push(x);
+                audit_cycle_group(st, q, x)?;
+            }
+        }
+    }
+    // Rule 1 may fire for data edges whose slack was already too small.
+    for &x in a_members.iter().chain(&b_members) {
+        if x < st.ctx.n_insts {
+            rule1_slack_check(st, q, x)?;
+        }
+    }
+    // Fusing inherits incompatibilities, so data edges that now cross an
+    // incompatible pair (e.g. after fusing with a cluster anchor) need
+    // their communication just as if `make_incompat` had run.
+    ensure_comms_for_incompatible_edges(st, q)?;
+    // Inherited incompatibilities also expose new Rule-5 / dual pairs:
+    // members of the merged VC against members of every incompatible
+    // neighbour (e.g. live-ins pre-placed on distinct cluster anchors with
+    // a common consumer). `plc_seen` makes the sweep idempotent.
+    let root_now = st.vc.find(a);
+    let members: Vec<NodeId> = st.vc_list[root_now]
+        .iter()
+        .copied()
+        .filter(|&m| m < st.ctx.n_insts)
+        .collect();
+    let neighbours: Vec<usize> = st.vc_adj[root_now].iter().copied().collect();
+    for nb in neighbours {
+        let nb_members: Vec<NodeId> = st.vc_list[nb]
+            .iter()
+            .copied()
+            .filter(|&m| m < st.ctx.n_insts)
+            .collect();
+        for &x in &members {
+            for &y in &nb_members {
+                create_plcs_for_pair(st, q, x, y)?;
+            }
+        }
+    }
+    promote_plcs(st, q)
+}
+
+/// Repair pass: every data edge whose endpoints sit in incompatible VCs
+/// must be served by a communication. `require_comm` is a no-op for edges
+/// already served.
+fn ensure_comms_for_incompatible_edges(
+    st: &mut SchedulingState,
+    q: &mut Queue,
+) -> Result<(), Contradiction> {
+    let data_edges = st.ctx.data_edges.clone();
+    for (p, c) in data_edges {
+        if st.vcs_incompatible(p, c) {
+            require_comm(st, q, p, c)?;
+        }
+    }
+    Ok(())
+}
+
+/// Marks the VCs of `a` and `b` incompatible (§3.2): inserts the VCG edge,
+/// creates mandatory communications for crossing data edges, creates PLCs
+/// (Rule 5 and dual) and fires promotions (Rule 7).
+pub fn make_incompat(
+    st: &mut SchedulingState,
+    q: &mut Queue,
+    a: NodeId,
+    b: NodeId,
+) -> Result<(), Contradiction> {
+    let (ra, rb) = (st.vc.find(a), st.vc.find(b));
+    if ra == rb {
+        return Err(Contradiction::VcConflict(a, b));
+    }
+    if st.vc_adj[ra].contains(&rb) {
+        return Ok(());
+    }
+    st.dirty = true;
+    st.vc_adj[ra].insert(rb);
+    st.vc_adj[rb].insert(ra);
+    let a_members: Vec<NodeId> = st.vc_members(ra).into_iter().filter(|&m| m < st.ctx.n_insts).collect();
+    let b_members: Vec<NodeId> = st.vc_members(rb).into_iter().filter(|&m| m < st.ctx.n_insts).collect();
+    // Crossing data edges need a communication.
+    let data_edges = st.ctx.data_edges.clone();
+    for &(p, c) in &data_edges {
+        let (rp, rc) = (st.vc.find(p), st.vc.find(c));
+        if (rp == st.vc.find(ra) && rc == st.vc.find(rb))
+            || (rp == st.vc.find(rb) && rc == st.vc.find(ra))
+        {
+            require_comm(st, q, p, c)?;
+        }
+    }
+    // Rule 5 (P-PLC) and the consumer dual (C-PLC).
+    for &x in &a_members {
+        for &y in &b_members {
+            create_plcs_for_pair(st, q, x, y)?;
+        }
+    }
+    promote_plcs(st, q)
+}
+
+/// Rule 1 (§3.3.1): if a data edge at `n` has too little slack for a bus
+/// transfer, producer and consumer must share a cluster.
+pub fn rule1_slack_check(
+    st: &mut SchedulingState,
+    q: &mut Queue,
+    n: NodeId,
+) -> Result<(), Contradiction> {
+    if n >= st.ctx.n_insts {
+        return Ok(());
+    }
+    let bus = st.ctx.machine.bus_latency() as i64;
+    let as_producer: Vec<usize> = st.ctx.consumers_of[n].clone();
+    for c in as_producer {
+        let lat = st.latency(n);
+        if !st.same_vc(n, c)
+            && !st.vcs_incompatible(n, c)
+            && st.lst[c] - (st.est[n] + lat) < bus
+        {
+            fuse_vcs(st, q, n, c)?;
+        }
+    }
+    let as_consumer: Vec<usize> = st.ctx.producers_of[n].clone();
+    for p in as_consumer {
+        let lat = st.latency(p);
+        if !st.same_vc(p, n)
+            && !st.vcs_incompatible(p, n)
+            && st.lst[n] - (st.est[p] + lat) < bus
+        {
+            fuse_vcs(st, q, p, n)?;
+        }
+    }
+    Ok(())
+}
+
+/// Ensures a communication carries `p`'s value to `c` (whose VCs are
+/// incompatible).
+///
+/// The paper assumes a single communication per value (§3.3.1) and fuses
+/// all remote consumers; it also observes that "more communications may
+/// help". With the leaner rule set implemented here, strict single-comm
+/// turned decisions into frequent false dead ends (fusing consumers that
+/// other rules had already separated), so communications are keyed by
+/// *(value, destination virtual cluster)*: consumers in the same VC share
+/// one transfer, consumers elsewhere get their own (see DESIGN.md).
+pub fn require_comm(
+    st: &mut SchedulingState,
+    q: &mut Queue,
+    p: NodeId,
+    c: NodeId,
+) -> Result<(), Contradiction> {
+    let bus = st.ctx.machine.bus_latency() as i64;
+    let existing: Vec<usize> = st.flc_by_value.get(&p).cloned().unwrap_or_default();
+    for ci in existing {
+        let (node, first_consumer, present) = {
+            let comm = &st.comms[ci];
+            match &comm.kind {
+                CommKind::Flc { consumers, .. } => {
+                    (comm.node, consumers[0], consumers.contains(&c))
+                }
+                _ => unreachable!("flc registry holds only FLCs"),
+            }
+        };
+        if present {
+            return Ok(());
+        }
+        if st.same_vc(first_consumer, c) {
+            // Same destination register file: share the transfer.
+            if let CommKind::Flc { consumers, .. } = &mut st.comms[ci].kind {
+                consumers.push(c);
+            }
+            add_dep_edge(st, q, node, c, bus)?;
+            return Ok(());
+        }
+    }
+    // New destination: a fresh communication node.
+    let lat_p = st.latency(p);
+    let node = new_comm_node(st, st.est[p] + lat_p, st.lst[c] - bus);
+    if st.est[node] > st.lst[node] {
+        return Err(Contradiction::NoCommSlack(node));
+    }
+    let ci = st.comms.len();
+    st.comms.push(Comm {
+        node,
+        kind: CommKind::Flc {
+            value: p,
+            consumers: vec![c],
+        },
+    });
+    st.flc_by_value.entry(p).or_default().push(ci);
+    add_dep_edge(st, q, p, node, lat_p)?;
+    add_dep_edge(st, q, node, c, bus)?;
+    q.push_back(node);
+    // A realised communication subsumes PLCs predicting it.
+    kill_plcs_subsumed_by(st, p, c);
+    Ok(())
+}
+
+fn new_comm_node(st: &mut SchedulingState, est: i64, lst: i64) -> NodeId {
+    let node = st.kind.len();
+    st.kind.push(NodeKind::Comm(st.comms.len()));
+    st.est.push(est.max(0));
+    st.lst.push(lst.min(st.horizon));
+    st.succ.push(Vec::new());
+    st.pred.push(Vec::new());
+    let cc_id = st.cc.push();
+    debug_assert_eq!(cc_id, node);
+    let vc_id = st.vc.push();
+    debug_assert_eq!(vc_id, node);
+    st.vc_adj.push(Default::default());
+    st.edges_at.push(Vec::new());
+    st.cc_list.push(vec![node]);
+    st.vc_list.push(vec![node]);
+    st.dirty = true;
+    node
+}
+
+fn kill_plcs_subsumed_by(st: &mut SchedulingState, p: NodeId, c: NodeId) {
+    for comm in &mut st.comms {
+        let dead = match &comm.kind {
+            CommKind::PPlc {
+                producers,
+                consumer,
+            } => *consumer == c && (producers.0 == p || producers.1 == p),
+            CommKind::CPlc { value, .. } => *value == p,
+            _ => false,
+        };
+        if dead {
+            comm.kind = CommKind::Dead;
+        }
+    }
+}
+
+/// Creates the partially-linked communications implied by `x ⊥ y` (Rule 5
+/// and the consumer-side dual): common successors and common predecessors
+/// sitting in third VCs.
+fn create_plcs_for_pair(
+    st: &mut SchedulingState,
+    q: &mut Queue,
+    x: NodeId,
+    y: NodeId,
+) -> Result<(), Contradiction> {
+    if st.ctx.tuning.disable_plc || x >= st.ctx.n_insts || y >= st.ctx.n_insts {
+        return Ok(());
+    }
+    let bus = st.ctx.machine.bus_latency() as i64;
+    // Rule 5: common data successor s in a third VC ⇒ at least one of the
+    // two values will be communicated to s.
+    let succ_x: Vec<usize> = st.ctx.consumers_of[x].clone();
+    for s in succ_x {
+        if !st.ctx.consumers_of[y].contains(&s) {
+            continue;
+        }
+        let rs = st.vc.find(s);
+        if rs == st.vc.find(x) || rs == st.vc.find(y) {
+            continue;
+        }
+        let key = (0u8, x.min(y), x.max(y), s);
+        if st.plc_seen.contains(&key) || st.flc_by_value.contains_key(&x) || st.flc_by_value.contains_key(&y) {
+            continue;
+        }
+        st.plc_seen.insert(key);
+        let est = (st.est[x] + st.latency(x)).min(st.est[y] + st.latency(y));
+        let lst = st.lst[s] - bus;
+        let node = new_comm_node(st, est, lst);
+        if st.est[node] > st.lst[node] {
+            return Err(Contradiction::NoCommSlack(node));
+        }
+        st.comms.push(Comm {
+            node,
+            kind: CommKind::PPlc {
+                producers: (x.min(y), x.max(y)),
+                consumer: s,
+            },
+        });
+        // The consumer waits for whichever producer sends (hard edge); the
+        // producer side is a min-bound maintained by `refresh_plc_bounds`.
+        add_dep_edge(st, q, node, s, bus)?;
+        q.push_back(node);
+    }
+    // Dual: common data predecessor p in a third VC ⇒ p's single
+    // communication will serve x or y.
+    let pred_x: Vec<usize> = st.ctx.producers_of[x].clone();
+    for p in pred_x {
+        if !st.ctx.producers_of[y].contains(&p) {
+            continue;
+        }
+        let rp = st.vc.find(p);
+        if rp == st.vc.find(x) || rp == st.vc.find(y) {
+            continue;
+        }
+        let key = (1u8, x.min(y), x.max(y), p);
+        if st.plc_seen.contains(&key) || st.flc_by_value.contains_key(&p) {
+            continue;
+        }
+        st.plc_seen.insert(key);
+        let est = st.est[p] + st.latency(p);
+        let lst = st.lst[x].max(st.lst[y]) - bus;
+        let node = new_comm_node(st, est, lst);
+        if st.est[node] > st.lst[node] {
+            return Err(Contradiction::NoCommSlack(node));
+        }
+        st.comms.push(Comm {
+            node,
+            kind: CommKind::CPlc {
+                value: p,
+                consumers: (x.min(y), x.max(y)),
+            },
+        });
+        add_dep_edge(st, q, p, node, st.latency(p))?;
+        q.push_back(node);
+    }
+    Ok(())
+}
+
+/// Rules 6/7: promotes partially-linked communications whose alternative
+/// became determined (fused ⇒ the other pair communicates; incompatible ⇒
+/// that pair communicates).
+pub fn promote_plcs(st: &mut SchedulingState, q: &mut Queue) -> Result<(), Contradiction> {
+    loop {
+        let mut action: Option<(usize, NodeId, NodeId)> = None;
+        for (ci, comm) in st.comms.iter().enumerate() {
+            match comm.kind {
+                CommKind::PPlc {
+                    producers: (a, b),
+                    consumer: s,
+                } => {
+                    let pairs = [(a, b), (b, a)];
+                    for &(this, other) in &pairs {
+                        if st.vc.find_const(this) == st.vc.find_const(s) {
+                            // Rule 6: (this, s) fused ⇒ the alternative communicates.
+                            action = Some((ci, other, s));
+                            break;
+                        }
+                        let (rt, rs) = (st.vc.find_const(this), st.vc.find_const(s));
+                        if rt != rs && st.vc_adj[rt].contains(&rs) {
+                            // Rule 7: (this, s) incompatible ⇒ it communicates.
+                            action = Some((ci, this, s));
+                            break;
+                        }
+                    }
+                }
+                CommKind::CPlc {
+                    value: p,
+                    consumers: (a, b),
+                } => {
+                    let pairs = [(a, b), (b, a)];
+                    for &(this, other) in &pairs {
+                        if st.vc.find_const(p) == st.vc.find_const(this) {
+                            action = Some((ci, p, other));
+                            break;
+                        }
+                        let (rp, rt) = (st.vc.find_const(p), st.vc.find_const(this));
+                        if rp != rt && st.vc_adj[rp].contains(&rt) {
+                            action = Some((ci, p, this));
+                            break;
+                        }
+                    }
+                }
+                _ => {}
+            }
+            if action.is_some() {
+                break;
+            }
+        }
+        match action {
+            None => return Ok(()),
+            Some((ci, p, c)) => {
+                st.comms[ci].kind = CommKind::Dead;
+                require_comm(st, q, p, c)?;
+            }
+        }
+    }
+}
+
+/// Recomputes min/max-style PLC bounds after `n`'s bounds moved.
+pub fn refresh_plc_bounds(
+    st: &mut SchedulingState,
+    q: &mut Queue,
+    n: NodeId,
+) -> Result<(), Contradiction> {
+    let bus = st.ctx.machine.bus_latency() as i64;
+    for ci in 0..st.comms.len() {
+        match st.comms[ci].kind {
+            CommKind::PPlc {
+                producers: (a, b), ..
+            } if a == n || b == n => {
+                let node = st.comms[ci].node;
+                let est = (st.est[a] + st.latency(a)).min(st.est[b] + st.latency(b));
+                if st.est[node] < est {
+                    tighten_est(st, q, node, est)
+                        .map_err(|_| Contradiction::NoCommSlack(node))?;
+                }
+            }
+            CommKind::CPlc {
+                consumers: (a, b), ..
+            } if a == n || b == n => {
+                let node = st.comms[ci].node;
+                let lst = st.lst[a].max(st.lst[b]) - bus;
+                if st.lst[node] > lst {
+                    tighten_lst(st, q, node, lst)
+                        .map_err(|_| Contradiction::NoCommSlack(node))?;
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Resource windows (pigeonhole + edge-finding-lite)
+// ---------------------------------------------------------------------------
+
+/// One pass of windowed resource reasoning over every class: detects
+/// saturation contradictions and tightens bounds of excluded instructions.
+/// Returns `true` if any bound changed.
+pub fn resource_pass(st: &mut SchedulingState, q: &mut Queue) -> Result<bool, Contradiction> {
+    let before = q.len();
+    let tighten = !st.ctx.tuning.disable_resource_tightening;
+    // Machine-wide, per FU class.
+    for class in OpClass::FU_CLASSES {
+        let nodes: Vec<NodeId> = (0..st.kind.len())
+            .filter(|&n| st.uses_resources(n) && st.class(n) == Some(class))
+            .collect();
+        let cap = st.ctx.machine.total_capacity(class);
+        pigeonhole(st, q, &nodes, cap, 1, tighten, class)?;
+    }
+    // Per-VC, per FU class and per issue width.
+    let roots = st.vc_roots();
+    for root in roots {
+        let members: Vec<NodeId> = {
+            let all = st.vc_members(root);
+            all.into_iter()
+                .filter(|&m| st.uses_resources(m) && st.class(m).is_some_and(|c| c.uses_fu()))
+                .collect()
+        };
+        if members.len() < 2 {
+            continue;
+        }
+        for class in OpClass::FU_CLASSES {
+            let of_class: Vec<NodeId> = members
+                .iter()
+                .copied()
+                .filter(|&m| st.class(m) == Some(class))
+                .collect();
+            if of_class.len() > 1 {
+                let cap = st.ctx.machine.capacity(class);
+                pigeonhole(st, q, &of_class, cap, 1, tighten, class)?;
+            }
+        }
+        if let Some(w) = st.ctx.machine.issue_per_cluster() {
+            pigeonhole(st, q, &members, w, 1, tighten, OpClass::Int)?;
+        }
+    }
+    // Precedence rule: a group of same-class predecessors larger than the
+    // machine's capacity needs several issue rounds before a node can
+    // start (and symmetrically before its successors must end). This is
+    // what turns "78 int ops feed this exit" into a real lower bound.
+    if tighten {
+        precedence_resource_rule(st, q)?;
+    }
+    // Bus: live communications, with occupancy.
+    let comms: Vec<NodeId> = st
+        .live_comms()
+        .map(|c| c.node)
+        .collect();
+    let buses = st.ctx.machine.bus_count();
+    let occ = st.ctx.machine.bus_occupancy() as i64;
+    pigeonhole(st, q, &comms, buses, occ, false, OpClass::Copy)?;
+    // Pinned copies: exact sliding-window conflict for non-pipelined buses.
+    let pinned: Vec<i64> = comms
+        .iter()
+        .filter(|&&n| st.pinned(n))
+        .map(|&n| st.est[n])
+        .collect();
+    for &t in &pinned {
+        let overlapping = pinned
+            .iter()
+            .filter(|&&u| u <= t && t < u + occ)
+            .count();
+        if overlapping > buses {
+            return Err(Contradiction::ResourceOverflow(OpClass::Copy));
+        }
+    }
+    Ok(q.len() > before)
+}
+
+/// Precedence-based resource bounds (see [`resource_pass`]).
+fn precedence_resource_rule(
+    st: &mut SchedulingState,
+    q: &mut Queue,
+) -> Result<(), Contradiction> {
+    let n = st.ctx.n_insts;
+    for x in 0..n {
+        for class in OpClass::FU_CLASSES {
+            let cap = st.ctx.machine.total_capacity(class) as i64;
+            if cap == 0 {
+                continue;
+            }
+            // Predecessor side: everything of `class` that must run before x.
+            let mut group_est = i64::MAX;
+            let mut min_path = i64::MAX;
+            let mut count = 0i64;
+            for p in 0..n {
+                if st.ctx.classes[p] == class
+                    && !st.ctx.live_in[p]
+                    && st.ctx.dg.reaches(vcsched_ir::InstId(p as u32), vcsched_ir::InstId(x as u32))
+                {
+                    count += 1;
+                    group_est = group_est.min(st.est[p]);
+                    if let Some(d) = st.ctx.paths[x][p] {
+                        min_path = min_path.min(d);
+                    }
+                }
+            }
+            if count > cap && min_path != i64::MAX {
+                let rounds = (count + cap - 1) / cap;
+                tighten_est(st, q, x, group_est + (rounds - 1) + min_path)?;
+            }
+            // Successor side.
+            let mut group_lst = i64::MIN;
+            let mut min_path = i64::MAX;
+            let mut count = 0i64;
+            for c in 0..n {
+                if st.ctx.classes[c] == class
+                    && !st.ctx.live_in[c]
+                    && st.ctx.dg.reaches(vcsched_ir::InstId(x as u32), vcsched_ir::InstId(c as u32))
+                {
+                    count += 1;
+                    group_lst = group_lst.max(st.lst[c]);
+                    if let Some(d) = st.ctx.paths[c][x] {
+                        min_path = min_path.min(d);
+                    }
+                }
+            }
+            if count > cap && min_path != i64::MAX {
+                let rounds = (count + cap - 1) / cap;
+                tighten_lst(st, q, x, group_lst - (rounds - 1) - min_path)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Windowed pigeonhole over `nodes` with `cap` units: for windows `[a, b]`,
+/// instructions confined to the window must fit; when a window is saturated,
+/// instructions merely *starting* inside it are pushed out (if `tighten`).
+///
+/// Windows longer than `|confined|/cap` cycles can be neither overfull nor
+/// saturated, so for each window start only the first `n/cap` end values
+/// matter — that bound keeps the pass near-linear in practice.
+fn pigeonhole(
+    st: &mut SchedulingState,
+    q: &mut Queue,
+    nodes: &[NodeId],
+    cap: usize,
+    occupancy: i64,
+    tighten: bool,
+    class: OpClass,
+) -> Result<(), Contradiction> {
+    if nodes.len() <= cap || cap == 0 {
+        return Ok(());
+    }
+    let mut starts: Vec<i64> = nodes.iter().map(|&n| st.est[n]).collect();
+    starts.sort_unstable();
+    starts.dedup();
+    let mut ends: Vec<i64> = nodes.iter().map(|&n| st.lst[n]).collect();
+    ends.sort_unstable();
+    ends.dedup();
+    let mut saturated: Vec<(i64, i64)> = Vec::new();
+    for &a in &starts {
+        // Nodes that could belong to a window starting at `a`, ordered by
+        // their latest start so `must(a, b)` grows incrementally with `b`.
+        let mut lsts: Vec<i64> = nodes
+            .iter()
+            .filter(|&&n| st.est[n] >= a)
+            .map(|&n| st.lst[n])
+            .collect();
+        lsts.sort_unstable();
+        if (lsts.len() as i64) * occupancy <= cap as i64 * occupancy {
+            continue;
+        }
+        // Longest window that can still overflow or saturate.
+        let max_len = (lsts.len() as i64 * occupancy) / cap as i64 + occupancy;
+        let mut idx = 0;
+        for &b in &ends {
+            if b < a {
+                continue;
+            }
+            if b - a + 1 > max_len {
+                break;
+            }
+            while idx < lsts.len() && lsts[idx] <= b {
+                idx += 1;
+            }
+            let must = idx as i64;
+            let supply = cap as i64 * (b - a + occupancy);
+            let demand = must * occupancy;
+            if demand > supply {
+                return Err(Contradiction::ResourceOverflow(class));
+            }
+            if tighten && demand == supply && must > 0 {
+                saturated.push((a, b));
+            }
+        }
+    }
+    for (a, b) in saturated {
+        // Re-check: earlier tightenings may have changed membership.
+        let must = nodes
+            .iter()
+            .filter(|&&n| st.est[n] >= a && st.lst[n] <= b)
+            .count() as i64;
+        if must * occupancy != cap as i64 * (b - a + occupancy) {
+            continue;
+        }
+        for &n in nodes {
+            if st.est[n] >= a && st.lst[n] <= b {
+                continue; // in the must set
+            }
+            if st.est[n] >= a && st.est[n] <= b {
+                tighten_est(st, q, n, b + 1)?;
+            } else if st.lst[n] >= a && st.lst[n] <= b {
+                tighten_lst(st, q, n, a - 1)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// The engine
+// ---------------------------------------------------------------------------
+
+/// Processes one bound change: dependence propagation, CC sync, edge
+/// pruning, pinned-pair resolution, Rule 1, PLC refresh, cycle audits.
+fn on_bound(st: &mut SchedulingState, q: &mut Queue, n: NodeId) -> Result<(), Contradiction> {
+    // Dependence propagation.
+    let succs: Vec<(NodeId, i64)> = st.succ[n].clone();
+    for (s, lat) in succs {
+        tighten_est(st, q, s, st.est[n] + lat)?;
+    }
+    let preds: Vec<(NodeId, i64)> = st.pred[n].clone();
+    for (p, lat) in preds {
+        tighten_lst(st, q, p, st.lst[n] - lat)?;
+    }
+    // Connected-component synchronisation.
+    let (root, off_n) = st.cc.find(n);
+    if st.cc_list[root].len() > 1 {
+        let members = st.cc_list[root].clone();
+        for m in members {
+            if m == n {
+                continue;
+            }
+            let (_, off_m) = st.cc.find(m);
+            let shift = off_m - off_n;
+            tighten_est(st, q, m, st.est[n] + shift)?;
+            tighten_lst(st, q, m, st.lst[n] + shift)?;
+        }
+    }
+    // Edge domain pruning.
+    let incident: Vec<usize> = st.edges_at[n].clone();
+    for e_idx in incident {
+        prune_edge(st, q, e_idx)?;
+    }
+    // Pinned-pair resolution + same-cycle audit.
+    if st.pinned(n) {
+        let incident: Vec<usize> = st.edges_at[n].clone();
+        for e_idx in incident {
+            let (u, v) = (st.edges[e_idx].u, st.edges[e_idx].v);
+            let other = if u == n { v } else { u };
+            if st.pinned(other) {
+                let delta = st.est[n] - st.est[other];
+                resolve_fixed_pair(st, q, n, other, delta)?;
+            }
+        }
+        if st.uses_resources(n) {
+            audit_cycle_group(st, q, n)?;
+        }
+    }
+    // Rule 1 on data edges at n.
+    rule1_slack_check(st, q, n)?;
+    // PLC bound refresh.
+    refresh_plc_bounds(st, q, n)
+}
+
+/// Drains the worklist to a fixpoint, alternating with resource passes.
+/// The resource rules only re-run when bounds, clusters or communications
+/// changed since the last pass (`SchedulingState::dirty`).
+pub fn drain(st: &mut SchedulingState, q: &mut Queue, budget: &mut Budget) -> Result<(), DpAbort> {
+    loop {
+        while let Some(n) = q.pop_front() {
+            budget.spend(1)?;
+            on_bound(st, q, n)?;
+        }
+        if !st.dirty {
+            return Ok(());
+        }
+        budget.spend(8)?;
+        st.dirty = false;
+        resource_pass(st, q)?;
+        if q.is_empty() && !st.dirty {
+            return Ok(());
+        }
+    }
+}
+
+/// Checks that the VCG is still mappable onto the physical clusters by
+/// colouring (§3.2): detects cliques exceeding the cluster count.
+pub fn check_colorable(st: &mut SchedulingState) -> Result<(), Contradiction> {
+    let k = st.ctx.machine.cluster_count();
+    let (g, _) = st.vcg_view();
+    if is_k_colorable(&g, k, 22) {
+        Ok(())
+    } else {
+        Err(Contradiction::Uncolorable)
+    }
+}

@@ -1,0 +1,182 @@
+//! Scheduling-state initialisation for one AWCT attempt (§4.3).
+
+use std::sync::Arc;
+
+use vcsched_arch::ClusterId;
+use vcsched_graph::{OffsetUnionFind, UnionFind};
+
+use crate::combination::{CombDomain, CombRange};
+use crate::dp::{self, Budget, DpAbort, Queue};
+use crate::state::{EdgeState, NodeKind, SchedulingState, SgEdge, StateCtx};
+
+/// Precomputes the scheduling-graph windows for `ctx` — one computation
+/// reused for every AWCT value (§3.1's `LBx` encoding rationale).
+///
+/// Returns `(u, v, window)` triples for pairs that may overlap.
+pub fn sg_windows(ctx: &StateCtx) -> Vec<(usize, usize, CombRange)> {
+    let n = ctx.n_insts;
+    let rows = &ctx.paths;
+    // On machines without a per-cluster issue-width cap (all three paper
+    // configurations), instructions of *different* classes never contend
+    // for a same-cycle resource, so their combinations carry no scheduling
+    // information — the pinning stage places them directly. Restricting the
+    // scheduling graph to same-class pairs keeps every deduction intact
+    // while shrinking the combination search space (see DESIGN.md).
+    let cross_class = ctx.machine.issue_per_cluster().is_some();
+    let mut out = Vec::new();
+    for u in 0..n {
+        if ctx.live_in[u] {
+            continue;
+        }
+        for v in u + 1..n {
+            if ctx.live_in[v] || (!cross_class && ctx.classes[u] != ctx.classes[v]) {
+                continue;
+            }
+            let w = CombRange::with_dependences(
+                ctx.latencies[u],
+                ctx.latencies[v],
+                rows[v][u],
+                rows[u][v],
+            );
+            if !w.is_empty() {
+                out.push((u, v, w));
+            }
+        }
+    }
+    out
+}
+
+/// Builds and closes (runs the DP over) the initial scheduling state for one
+/// AWCT attempt.
+///
+/// * `lstarts` — latest start per instruction induced by the exit targets;
+/// * `horizon` — global latest cycle considered this attempt;
+/// * `live_in_homes` — home cluster per live-in, in live-in declaration
+///   order.
+///
+/// # Errors
+///
+/// [`DpAbort::Contradiction`] when the targets are infeasible (the caller
+/// increases the AWCT), [`DpAbort::Budget`] when the work budget ran out.
+pub fn build_state(
+    ctx: &Arc<StateCtx>,
+    windows: &[(usize, usize, CombRange)],
+    lstarts: &[i64],
+    horizon: i64,
+    live_in_homes: &[ClusterId],
+    budget: &mut Budget,
+) -> Result<SchedulingState, DpAbort> {
+    let n = ctx.n_insts;
+    let k = ctx.machine.cluster_count();
+    let n_nodes = n + k;
+    let mut kind = Vec::with_capacity(n_nodes);
+    let mut est = Vec::with_capacity(n_nodes);
+    let mut lst = Vec::with_capacity(n_nodes);
+    for i in 0..n {
+        kind.push(NodeKind::Inst(vcsched_ir::InstId(i as u32)));
+        if ctx.live_in[i] {
+            est.push(0);
+            lst.push(0);
+        } else {
+            est.push(ctx.dg.estart(vcsched_ir::InstId(i as u32)));
+            lst.push(lstarts[i].min(horizon));
+        }
+    }
+    for c in 0..k {
+        kind.push(NodeKind::Anchor(ClusterId(c as u8)));
+        est.push(0);
+        lst.push(horizon);
+    }
+    // Hard dependence edges from the superblock.
+    let mut succ = vec![Vec::new(); n_nodes];
+    let mut pred = vec![Vec::new(); n_nodes];
+    for u in 0..n {
+        for &(v, lat) in ctx.dg.graph().succs(u) {
+            succ[u].push((v, lat as i64));
+            pred[v].push((u, lat as i64));
+        }
+    }
+    // Scheduling-graph edges with resource pre-pruning: combination 0 is
+    // impossible for a class the whole machine issues once per cycle
+    // (the paper's "single branch per cycle" example, §3.1).
+    let mut edges = Vec::with_capacity(windows.len());
+    let mut edge_of = std::collections::BTreeMap::new();
+    let mut edges_at = vec![Vec::new(); n_nodes];
+    for &(u, v, w) in windows {
+        let mut dom = CombDomain::new(w);
+        let same_class = ctx.classes[u] == ctx.classes[v];
+        if same_class && ctx.machine.total_capacity(ctx.classes[u]) == 1 {
+            dom.discard(0);
+        }
+        if dom.is_empty() {
+            continue;
+        }
+        let e_idx = edges.len();
+        edges.push(SgEdge {
+            u,
+            v,
+            window: w,
+            state: EdgeState::Open(dom),
+        });
+        edge_of.insert((u, v), e_idx);
+        edges_at[u].push(e_idx);
+        edges_at[v].push(e_idx);
+    }
+    let mut st = SchedulingState {
+        ctx: Arc::clone(ctx),
+        kind,
+        est,
+        lst,
+        succ,
+        pred,
+        cc: OffsetUnionFind::new(n_nodes),
+        vc: UnionFind::new(n_nodes),
+        vc_adj: vec![Default::default(); n_nodes],
+        edges,
+        edge_of,
+        edges_at,
+        comms: Vec::new(),
+        flc_by_value: Default::default(),
+        plc_seen: Default::default(),
+        horizon,
+        cc_list: (0..n_nodes).map(|i| vec![i]).collect(),
+        vc_list: (0..n_nodes).map(|i| vec![i]).collect(),
+        dirty: true,
+    };
+    // Infeasible before any deduction?
+    for node in 0..n_nodes {
+        if st.est[node] > st.lst[node] {
+            return Err(DpAbort::Contradiction(dp::Contradiction::BoundsCrossed(
+                node,
+            )));
+        }
+    }
+    // Anchors are pairwise incompatible: a VC fused with anchor `i` can
+    // never share a physical cluster with one fused with anchor `j`.
+    for a in 0..k {
+        for b in a + 1..k {
+            let (na, nb) = (ctx.anchor(a), ctx.anchor(b));
+            st.vc_adj[na].insert(nb);
+            st.vc_adj[nb].insert(na);
+        }
+    }
+    let mut q: Queue = Queue::new();
+    // Live-in values are pre-placed: fuse with their home anchor.
+    let live_ins: Vec<usize> = (0..n).filter(|&i| ctx.live_in[i]).collect();
+    for (li_order, &li) in live_ins.iter().enumerate() {
+        let home = live_in_homes
+            .get(li_order)
+            .copied()
+            .unwrap_or(ClusterId((li_order % k) as u8));
+        let anchor = ctx.anchor(home.0 as usize % k);
+        dp::fuse_vcs(&mut st, &mut q, li, anchor)?;
+    }
+    // Close the initial state: propagate all bounds, prune all domains,
+    // fire Rule 1 and the resource rules.
+    for node in 0..n_nodes {
+        q.push_back(node);
+    }
+    dp::drain(&mut st, &mut q, budget)?;
+    dp::check_colorable(&mut st)?;
+    Ok(st)
+}

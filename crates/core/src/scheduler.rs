@@ -1,0 +1,190 @@
+//! Public scheduler API.
+
+use std::time::{Duration, Instant};
+
+use vcsched_arch::{ClusterId, MachineConfig};
+use vcsched_ir::{Schedule, Superblock};
+
+use crate::dp::Budget;
+use crate::search::{search, SearchFail};
+use crate::state::{StateCtx, Tuning};
+
+/// Tuning knobs for the virtual-cluster scheduler.
+///
+/// The defaults are generous enough for typical superblocks; the experiment
+/// harness lowers `max_dp_steps` to reproduce the paper's compile-time
+/// thresholds (1-minute vs 4-minute timeouts, §6.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VcOptions {
+    /// Cap on deduction-process rule firings for one superblock.
+    pub max_dp_steps: u64,
+    /// Cap on AWCT increases before giving up.
+    pub max_awct_bumps: u32,
+    /// Optional wall-clock limit for one superblock.
+    pub time_limit: Option<Duration>,
+    /// Ablation switches (all off for the paper's configuration).
+    pub tuning: Tuning,
+}
+
+impl Default for VcOptions {
+    fn default() -> Self {
+        VcOptions {
+            max_dp_steps: 4_000_000,
+            max_awct_bumps: 128,
+            time_limit: None,
+            tuning: Tuning::default(),
+        }
+    }
+}
+
+/// Statistics of one scheduling run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VcStats {
+    /// Deduction-process steps consumed.
+    pub dp_steps: u64,
+    /// AWCT increases performed before a schedule was found.
+    pub awct_bumps: u32,
+    /// Inter-cluster copies in the final schedule.
+    pub copies: usize,
+    /// The enhanced minimum AWCT (lower bound) the search started from.
+    pub min_awct: f64,
+    /// Wall-clock time spent.
+    pub wall: Duration,
+}
+
+/// A successful scheduling outcome.
+#[derive(Debug, Clone)]
+pub struct VcOutcome {
+    /// The schedule (cycles, clusters, copies).
+    pub schedule: Schedule,
+    /// Achieved average weighted completion time.
+    pub awct: f64,
+    /// Run statistics.
+    pub stats: VcStats,
+}
+
+/// Scheduling failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VcError {
+    /// The step/wall-clock budget ran out. Drivers fall back to a list
+    /// scheduler, exactly as the paper does past its thresholds (§6.1).
+    BudgetExhausted,
+    /// No schedule found within the AWCT bump limit.
+    BumpLimitReached,
+}
+
+impl std::fmt::Display for VcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VcError::BudgetExhausted => write!(f, "scheduling budget exhausted"),
+            VcError::BumpLimitReached => write!(f, "AWCT bump limit reached"),
+        }
+    }
+}
+
+impl std::error::Error for VcError {}
+
+/// The virtual-cluster scheduler: the paper's contribution (§4).
+///
+/// # Example
+///
+/// ```
+/// use vcsched_arch::{MachineConfig, OpClass};
+/// use vcsched_core::VcScheduler;
+/// use vcsched_ir::SuperblockBuilder;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = SuperblockBuilder::new("demo");
+/// let i0 = b.inst(OpClass::Int, 1);
+/// let i1 = b.inst(OpClass::Int, 1);
+/// let x = b.exit(1, 1.0);
+/// b.data_dep(i0, i1).data_dep(i1, x);
+/// let sb = b.build()?;
+///
+/// let scheduler = VcScheduler::new(MachineConfig::paper_2c_8w());
+/// let out = scheduler.schedule(&sb)?;
+/// assert_eq!(out.schedule.cycle(x), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct VcScheduler {
+    machine: MachineConfig,
+    options: VcOptions,
+}
+
+impl VcScheduler {
+    /// A scheduler for `machine` with default options.
+    pub fn new(machine: MachineConfig) -> Self {
+        VcScheduler {
+            machine,
+            options: VcOptions::default(),
+        }
+    }
+
+    /// A scheduler with explicit options.
+    pub fn with_options(machine: MachineConfig, options: VcOptions) -> Self {
+        VcScheduler { machine, options }
+    }
+
+    /// The target machine.
+    pub fn machine(&self) -> &MachineConfig {
+        &self.machine
+    }
+
+    /// The active options.
+    pub fn options(&self) -> &VcOptions {
+        &self.options
+    }
+
+    /// Schedules `sb`, distributing live-ins round-robin over clusters.
+    ///
+    /// # Errors
+    ///
+    /// See [`VcError`]; on [`VcError::BudgetExhausted`] the caller should
+    /// fall back to a cheaper scheduler (the paper uses CARS, §6.1).
+    pub fn schedule(&self, sb: &Superblock) -> Result<VcOutcome, VcError> {
+        let k = self.machine.cluster_count();
+        let homes: Vec<ClusterId> = sb
+            .live_ins()
+            .enumerate()
+            .map(|(i, _)| ClusterId((i % k) as u8))
+            .collect();
+        self.schedule_with_live_ins(sb, &homes)
+    }
+
+    /// Schedules `sb` with an explicit live-in cluster placement (one entry
+    /// per live-in, in declaration order). The paper randomises these but
+    /// gives both schedulers the same assignment (§6.1).
+    pub fn schedule_with_live_ins(
+        &self,
+        sb: &Superblock,
+        live_in_homes: &[ClusterId],
+    ) -> Result<VcOutcome, VcError> {
+        let start = Instant::now();
+        let ctx = StateCtx::with_tuning(sb, &self.machine, self.options.tuning);
+        let deadline = self.options.time_limit.map(|d| start + d);
+        let mut budget = Budget::new(self.options.max_dp_steps, deadline);
+        match search(
+            sb,
+            &ctx,
+            live_in_homes,
+            &mut budget,
+            self.options.max_awct_bumps,
+        ) {
+            Ok(r) => Ok(VcOutcome {
+                awct: r.awct,
+                stats: VcStats {
+                    dp_steps: budget.spent(),
+                    awct_bumps: r.bumps,
+                    copies: r.schedule.copy_count(),
+                    min_awct: r.min_awct,
+                    wall: start.elapsed(),
+                },
+                schedule: r.schedule,
+            }),
+            Err(SearchFail::Budget) => Err(VcError::BudgetExhausted),
+            Err(SearchFail::BumpLimit) => Err(VcError::BumpLimitReached),
+        }
+    }
+}

@@ -1,0 +1,403 @@
+//! The six stages of the per-AWCT search (§4.4, Fig. 7).
+//!
+//! Each stage runs the iterative process of Fig. 8: select the most
+//! constraining candidates, study each with the deduction process on a
+//! cloned state, discard candidates that contradict (a *mandatory* fact
+//! applied to the real state), and adopt the heuristically best survivor.
+//!
+//! | stage | candidates                              | decision kind |
+//! |-------|------------------------------------------|---------------|
+//! | 1     | combinations among original instructions | choose/discard |
+//! | 2     | cycles of instructions with slack        | pin |
+//! | 3     | VC pairs with outedges (max-weight matching) | fuse / incompatible |
+//! | 4     | VC → physical cluster (anchor fusion)    | fuse |
+//! | 5     | combinations involving communications    | choose/discard |
+//! | 6     | cycles of communications with slack      | pin |
+
+use vcsched_graph::matching::{greedy_max_weight_matching, max_weight_matching};
+
+use crate::combination::{CombDomain, CombRange};
+use crate::decision::{apply_decision, study_decision, Decision};
+use crate::dp::{self, Budget, DpAbort, Queue};
+use crate::state::{CommKind, EdgeState, NodeId, NodeKind, SchedulingState, SgEdge};
+
+/// Why a stage could not complete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageFail {
+    /// A candidate could be neither chosen nor discarded: no schedule exists
+    /// for this AWCT; the search must increase it and restart (§4.4).
+    Restart,
+    /// The step/wall-clock budget ran out (threshold mechanism, §6.1).
+    Budget,
+}
+
+fn map_abort(a: DpAbort) -> StageFail {
+    match a {
+        DpAbort::Contradiction(_) => StageFail::Restart,
+        DpAbort::Budget => StageFail::Budget,
+    }
+}
+
+/// How many candidates each iteration studies in depth.
+const STUDY_WIDTH: usize = 2;
+
+/// Slack of a combination `(u, v, d)`: the number of cycles where the
+/// overlap could be placed (§4.4.1.1).
+fn comb_slack(st: &SchedulingState, u: NodeId, v: NodeId, d: i64) -> i64 {
+    // u at t requires v at t − d: intersect [est_u, lst_u] with
+    // [est_v + d, lst_v + d].
+    let lo = st.est[u].max(st.est[v] + d);
+    let hi = st.lst[u].min(st.lst[v] + d);
+    hi - lo
+}
+
+/// Generic combination stage over the given predicate on edges.
+fn combination_stage(
+    st: &mut SchedulingState,
+    budget: &mut Budget,
+    edge_filter: impl Fn(&SchedulingState, &SgEdge) -> bool,
+) -> Result<(), StageFail> {
+    loop {
+        budget.spend(1).map_err(map_abort)?;
+        // Candidates: the lowest-slack open combinations.
+        let mut cands: Vec<(i64, NodeId, NodeId, i64)> = Vec::new();
+        for e in &st.edges {
+            if !edge_filter(st, e) {
+                continue;
+            }
+            if let EdgeState::Open(dom) = &e.state {
+                for d in dom.iter() {
+                    cands.push((comb_slack(st, e.u, e.v, d), e.u, e.v, d));
+                }
+            }
+        }
+        if cands.is_empty() {
+            return Ok(());
+        }
+        cands.sort_unstable();
+        let mut survivors: Vec<SchedulingState> = Vec::new();
+        let mut any_mandatory = false;
+        for &(_, u, v, d) in cands.iter().take(STUDY_WIDTH) {
+            // Study both actions on the candidate (§4.4: "choose or
+            // discard"): a contradiction on one side makes the other
+            // mandatory; two viable futures go to the heuristics.
+            let choose = Decision::ChooseComb { u, v, d };
+            let discard = Decision::DiscardComb { u, v, d };
+            let chosen = match study_decision(st, &choose, budget) {
+                Ok(f) => Some(f),
+                Err(DpAbort::Budget) => return Err(StageFail::Budget),
+                Err(DpAbort::Contradiction(_)) => None,
+            };
+            let discarded = match study_decision(st, &discard, budget) {
+                Ok(f) => Some(f),
+                Err(DpAbort::Budget) => return Err(StageFail::Budget),
+                Err(DpAbort::Contradiction(_)) => None,
+            };
+            match (chosen, discarded) {
+                (Some(c), Some(d)) => {
+                    survivors.push(c);
+                    survivors.push(d);
+                }
+                (Some(_), None) => {
+                    // Discard impossible ⇒ choosing is mandatory.
+                    apply_decision(st, &choose, budget).map_err(map_abort)?;
+                    any_mandatory = true;
+                }
+                (None, Some(_)) => {
+                    // Choice impossible ⇒ discarding is mandatory.
+                    apply_decision(st, &discard, budget).map_err(map_abort)?;
+                    any_mandatory = true;
+                }
+                (None, None) => return Err(StageFail::Restart),
+            }
+        }
+        if any_mandatory {
+            continue; // re-select candidates on the updated state
+        }
+        match pick_best(survivors) {
+            Some(best) => *st = best,
+            None => return Err(StageFail::Restart),
+        }
+    }
+}
+
+fn pick_best(mut survivors: Vec<SchedulingState>) -> Option<SchedulingState> {
+    let mut best: Option<(crate::state::StateScore, usize)> = None;
+    for (i, s) in survivors.iter_mut().enumerate() {
+        let sc = s.score();
+        if best.is_none_or(|(b, _)| sc.better_than(&b)) {
+            best = Some((sc, i));
+        }
+    }
+    best.map(|(_, i)| survivors.swap_remove(i))
+}
+
+/// Stage 1: treat combinations among original (non-communication)
+/// instructions.
+pub fn stage1_combinations(st: &mut SchedulingState, budget: &mut Budget) -> Result<(), StageFail> {
+    combination_stage(st, budget, |state, e| {
+        matches!(state.kind[e.u], NodeKind::Inst(_)) && matches!(state.kind[e.v], NodeKind::Inst(_))
+    })
+}
+
+/// Generic pinning stage over a node filter.
+fn pinning_stage(
+    st: &mut SchedulingState,
+    budget: &mut Budget,
+    node_filter: impl Fn(&SchedulingState, NodeId) -> bool,
+) -> Result<(), StageFail> {
+    loop {
+        budget.spend(1).map_err(map_abort)?;
+        // Lowest-slack unpinned node (§4.4.1.1).
+        let cand = (0..st.kind.len())
+            .filter(|&n| node_filter(st, n) && !st.pinned(n))
+            .min_by_key(|&n| (st.slack(n), n));
+        let Some(node) = cand else {
+            return Ok(());
+        };
+        let (est, lst) = (st.est[node], st.lst[node]);
+        let mut survivors = Vec::new();
+        let mut tightened = false;
+        match study_decision(st, &Decision::Pin { node, cycle: est }, budget) {
+            Ok(f) => survivors.push(f),
+            Err(DpAbort::Budget) => return Err(StageFail::Budget),
+            Err(DpAbort::Contradiction(_)) => {
+                // Mandatory: this cycle is impossible; the bound rises.
+                let mut q: Queue = Queue::new();
+                dp::tighten_est(st, &mut q, node, est + 1)
+                    .map_err(|_| StageFail::Restart)?;
+                dp::drain(st, &mut q, budget).map_err(map_abort)?;
+                tightened = true;
+            }
+        }
+        if !tightened && lst != est {
+            match study_decision(st, &Decision::Pin { node, cycle: lst }, budget) {
+                Ok(f) => survivors.push(f),
+                Err(DpAbort::Budget) => return Err(StageFail::Budget),
+                Err(DpAbort::Contradiction(_)) => {
+                    let mut q: Queue = Queue::new();
+                    dp::tighten_lst(st, &mut q, node, lst - 1)
+                        .map_err(|_| StageFail::Restart)?;
+                    dp::drain(st, &mut q, budget).map_err(map_abort)?;
+                    tightened = true;
+                }
+            }
+        }
+        if let Some(best) = pick_best(survivors) {
+            *st = best;
+        } else if !tightened {
+            return Err(StageFail::Restart);
+        }
+    }
+}
+
+/// Stage 2: fix every remaining non-communication instruction to a cycle.
+pub fn stage2_pin_instructions(
+    st: &mut SchedulingState,
+    budget: &mut Budget,
+) -> Result<(), StageFail> {
+    pinning_stage(st, budget, |state, n| {
+        matches!(state.kind[n], NodeKind::Inst(_))
+    })
+}
+
+/// Stage 3: eliminate outedges by fusing or separating VC pairs selected
+/// with a maximum-weight matching over the matching graph (§4.4.1.2).
+pub fn stage3_eliminate_outedges(
+    st: &mut SchedulingState,
+    budget: &mut Budget,
+) -> Result<(), StageFail> {
+    loop {
+        budget.spend(4).map_err(map_abort)?;
+        // Build the matching graph over VC roots with outedges.
+        let outedges = st.outedges();
+        if outedges.is_empty() {
+            return Ok(());
+        }
+        let mut weights: std::collections::BTreeMap<(usize, usize), u64> = Default::default();
+        for (p, c) in outedges {
+            let (rp, rc) = (st.vc_root(p), st.vc_root(c));
+            let key = (rp.min(rc), rp.max(rc));
+            *weights.entry(key).or_insert(0) += 1;
+        }
+        let mut roots: Vec<usize> = weights
+            .keys()
+            .flat_map(|&(a, b)| [a, b])
+            .collect();
+        roots.sort_unstable();
+        roots.dedup();
+        let index = |r: usize| roots.binary_search(&r).expect("root present");
+        let mg_edges: Vec<(usize, usize, u64)> = weights
+            .iter()
+            .map(|(&(a, b), &w)| (index(a), index(b), w))
+            .collect();
+        let matching = if st.ctx.tuning.greedy_matching {
+            greedy_max_weight_matching(roots.len(), &mg_edges)
+        } else {
+            max_weight_matching(roots.len(), &mg_edges)
+        };
+        let pairs: Vec<(usize, usize)> = matching
+            .edges
+            .iter()
+            .map(|&(a, b, _)| (roots[a], roots[b]))
+            .collect();
+        debug_assert!(!pairs.is_empty());
+        // Candidate: fuse the whole matching simultaneously.
+        match study_decision(st, &Decision::FuseSet(pairs), budget) {
+            Ok(f) => {
+                *st = f;
+                continue;
+            }
+            Err(DpAbort::Budget) => return Err(StageFail::Budget),
+            Err(DpAbort::Contradiction(_)) => {}
+        }
+        // Fallback (§4.4.2): treat the highest-weight edge individually —
+        // try to fuse it, and if that is impossible separating it is
+        // mandatory (and vice versa).
+        let (&(a, b), _) = weights
+            .iter()
+            .max_by_key(|(&(a, b), &w)| (w, std::cmp::Reverse((a, b))))
+            .expect("outedges exist");
+        match study_decision(st, &Decision::Fuse(a, b), budget) {
+            Ok(f) => {
+                *st = f;
+            }
+            Err(DpAbort::Budget) => return Err(StageFail::Budget),
+            Err(DpAbort::Contradiction(cf)) => {
+                // Mandatory: they cannot share a cluster.
+                if let Err(e) = apply_decision(st, &Decision::Incompat(a, b), budget) {
+                    if std::env::var_os("VCSCHED_DEBUG").is_some() {
+                        eprintln!(
+                            "stage3 dead end on VCs ({a},{b}): fuse: {cf:?}; incompat: {e:?}"
+                        );
+                    }
+                    return Err(map_abort(e));
+                }
+            }
+        }
+    }
+}
+
+/// Stage 4: map every virtual cluster onto a physical cluster by fusing it
+/// with a cluster anchor, walking VCs in decreasing VCG degree (§4.4.1.3).
+pub fn stage4_map_clusters(st: &mut SchedulingState, budget: &mut Budget) -> Result<(), StageFail> {
+    let k = st.ctx.machine.cluster_count();
+    loop {
+        budget.spend(4).map_err(map_abort)?;
+        let roots = st.vc_roots();
+        let mut unmapped: Vec<(usize, usize)> = Vec::new();
+        for r in roots {
+            if st.cluster_of(r).is_none() {
+                unmapped.push((st.vc_adj[r].len(), r));
+            }
+        }
+        if unmapped.is_empty() {
+            return Ok(());
+        }
+        // Highest incompatibility degree first (graph-colouring order).
+        unmapped.sort_by_key(|&(deg, r)| (std::cmp::Reverse(deg), r));
+        let (_, vc_root) = unmapped[0];
+        let mut survivors = Vec::new();
+        for c in 0..k {
+            let anchor = st.ctx.anchor(c);
+            match study_decision(st, &Decision::Fuse(vc_root, anchor), budget) {
+                Ok(f) => survivors.push(f),
+                Err(DpAbort::Budget) => return Err(StageFail::Budget),
+                Err(DpAbort::Contradiction(_)) => {}
+            }
+        }
+        match pick_best(survivors) {
+            Some(best) => *st = best,
+            None => return Err(StageFail::Restart),
+        }
+    }
+}
+
+/// Stage 5: treat combinations involving communications.
+///
+/// Communication pairs can only overlap on machines with more than one bus;
+/// on the single-bus machines of the paper the stage reduces to a no-op and
+/// the bus is serialised by the resource rules during stage 6 (see
+/// DESIGN.md).
+pub fn stage5_comm_combinations(
+    st: &mut SchedulingState,
+    budget: &mut Budget,
+) -> Result<(), StageFail> {
+    let buses = st.ctx.machine.bus_count();
+    if buses >= 2 {
+        // Materialise comm-comm edges lazily, then run the stage-1 loop on them.
+        let occ = st.ctx.machine.bus_occupancy();
+        let comm_nodes: Vec<NodeId> = st.live_comms().map(|c| c.node).collect();
+        let mut q: Queue = Queue::new();
+        for (i, &a) in comm_nodes.iter().enumerate() {
+            for &b in comm_nodes.iter().skip(i + 1) {
+                let (u, v) = (a.min(b), a.max(b));
+                if st.edge_of.contains_key(&(u, v)) {
+                    continue;
+                }
+                let w = CombRange::overlap(occ, occ);
+                let e_idx = st.edges.len();
+                st.edges.push(SgEdge {
+                    u,
+                    v,
+                    window: w,
+                    state: EdgeState::Open(CombDomain::new(w)),
+                });
+                st.edge_of.insert((u, v), e_idx);
+                st.edges_at[u].push(e_idx);
+                st.edges_at[v].push(e_idx);
+                dp::prune_edge(st, &mut q, e_idx).map_err(|c| map_abort(c.into()))?;
+            }
+        }
+        dp::drain(st, &mut q, budget).map_err(map_abort)?;
+        combination_stage(st, budget, |state, e| {
+            matches!(state.kind[e.u], NodeKind::Comm(_))
+                || matches!(state.kind[e.v], NodeKind::Comm(_))
+        })?;
+    }
+    Ok(())
+}
+
+/// Stage 6: fix every remaining live communication to a cycle.
+pub fn stage6_pin_comms(st: &mut SchedulingState, budget: &mut Budget) -> Result<(), StageFail> {
+    pinning_stage(st, budget, |state, n| match state.kind[n] {
+        NodeKind::Comm(ci) => state.comms[ci].kind != CommKind::Dead,
+        _ => false,
+    })
+}
+
+/// Runs all six stages.
+///
+/// The paper's nominal order is 1-2-3-4-5-6 (combinations, instruction
+/// cycles, outedges, mapping, communication combinations, communication
+/// cycles). This implementation runs the cluster stages *before* the final
+/// cycle pinning (1-3-4-2-5-6): the paper's deduction process anticipates
+/// future communications well enough (via its full PLC rule set) to pin
+/// cycles first; with the leaner rule set implemented here, pinning first
+/// routinely consumed the very slack mandatory communications need, dead-
+/// ending stage 3 at every AWCT value. Eliminating outedges while bounds
+/// are still wide preserves the postponed-assignment property — cluster
+/// decisions are still driven by the accumulated combination constraints —
+/// and the communication nodes then shape the final pins. See DESIGN.md.
+pub fn run_all_stages(st: &mut SchedulingState, budget: &mut Budget) -> Result<(), StageFail> {
+    stage1_combinations(st, budget)?;
+    stage2_pin_instructions(st, budget)?;
+    stage3_eliminate_outedges(st, budget)?;
+    stage4_map_clusters(st, budget)?;
+    stage5_comm_combinations(st, budget)?;
+    stage6_pin_comms(st, budget)
+}
+
+/// Like [`run_all_stages`] but reports *which* stage failed (1–6), letting
+/// the search recognise AWCT-independent dead ends in the cluster stages.
+pub fn run_all_stages_indexed(
+    st: &mut SchedulingState,
+    budget: &mut Budget,
+) -> Result<(), (usize, StageFail)> {
+    stage1_combinations(st, budget).map_err(|e| (1, e))?;
+    stage2_pin_instructions(st, budget).map_err(|e| (2, e))?;
+    stage3_eliminate_outedges(st, budget).map_err(|e| (3, e))?;
+    stage4_map_clusters(st, budget).map_err(|e| (4, e))?;
+    stage5_comm_combinations(st, budget).map_err(|e| (5, e))?;
+    stage6_pin_comms(st, budget).map_err(|e| (6, e))
+}

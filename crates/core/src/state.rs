@@ -1,0 +1,439 @@
+//! The scheduling state (§4.3).
+//!
+//! One [`SchedulingState`] captures everything the paper's state comprises:
+//! instruction bounds (`estart`/`lstart`), the chosen / discarded /
+//! non-treated combination lists (as per-edge [`CombDomain`]s plus a
+//! resolution), the connected components, the virtual cluster graph, and the
+//! communication instructions (fully- and partially-linked).
+//!
+//! Beyond the paper's description, the state holds one *anchor* node per
+//! physical cluster: an anchor's virtual cluster **is** that physical
+//! cluster. Anchors are pairwise incompatible from the start, so "map VC to
+//! PC" (stage 4) becomes "fuse VC with anchor", and every deduction rule
+//! (capacity checks, communication insertion) applies uniformly to mapping
+//! decisions. Live-in values pre-placed in a register file are fused with
+//! their home anchor during initialisation.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use vcsched_arch::{ClusterId, MachineConfig, OpClass};
+use vcsched_graph::{OffsetUnionFind, UnionFind, Ungraph};
+use vcsched_ir::{DepGraph, DepKind, InstId, Superblock};
+
+use crate::combination::{CombDomain, CombRange};
+
+/// Dense node index inside a scheduling state.
+///
+/// Layout: `0..n_insts` are the superblock's instructions (same order as
+/// [`InstId`]), the next `cluster_count` are physical-cluster anchors, and
+/// communication nodes follow as they are created.
+pub type NodeId = usize;
+
+/// What a state node represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// A superblock instruction.
+    Inst(InstId),
+    /// The anchor of a physical cluster.
+    Anchor(ClusterId),
+    /// A communication (index into the comm table).
+    Comm(usize),
+}
+
+/// Resolution state of one scheduling-graph edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EdgeState {
+    /// Still undecided; holds the remaining combination values.
+    Open(CombDomain),
+    /// One combination chosen: `cycle(u) − cycle(v) = d`.
+    Chosen(i64),
+    /// All combinations discarded: the pair does not overlap.
+    NoOverlap,
+}
+
+/// One scheduling-graph edge between nodes `u < v`.
+#[derive(Debug, Clone)]
+pub struct SgEdge {
+    /// Lower-id endpoint.
+    pub u: NodeId,
+    /// Higher-id endpoint.
+    pub v: NodeId,
+    /// The full (dependence-narrowed) combination window.
+    pub window: CombRange,
+    /// Resolution.
+    pub state: EdgeState,
+}
+
+/// A communication instruction: fully linked (producer and consumers known)
+/// or partially linked (§3.3.1, "PLC").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommKind {
+    /// Fully-linked: transports the value of `value` to `consumers`.
+    Flc {
+        /// Producer node of the transported value.
+        value: NodeId,
+        /// Remote consumers (all fused into one virtual cluster).
+        consumers: Vec<NodeId>,
+    },
+    /// Producer-partial (Rule 5): one of `producers` will send to `consumer`.
+    PPlc {
+        /// The two alternative producers.
+        producers: (NodeId, NodeId),
+        /// The common consumer.
+        consumer: NodeId,
+    },
+    /// Consumer-partial: `value` will be sent to one of `consumers`.
+    CPlc {
+        /// Producer node of the value.
+        value: NodeId,
+        /// The two alternative consumers.
+        consumers: (NodeId, NodeId),
+    },
+    /// Subsumed by another communication; keeps the node id stable but no
+    /// longer reserves the bus.
+    Dead,
+}
+
+/// A communication entry.
+#[derive(Debug, Clone)]
+pub struct Comm {
+    /// State node carrying this communication's bounds.
+    pub node: NodeId,
+    /// Linkage.
+    pub kind: CommKind,
+}
+
+/// Ablation switches for the deduction process and stages, used by the
+/// `ablations` experiment to quantify each design choice (see DESIGN.md).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Tuning {
+    /// Disable partially-linked communications (Rules 5–7 reservations).
+    pub disable_plc: bool,
+    /// Disable the windowed resource *tightening* (contradiction detection
+    /// stays on — soundness is unaffected, foresight degrades).
+    pub disable_resource_tightening: bool,
+    /// Replace the exact maximum-weight matching of stage 3 by the greedy
+    /// approximation.
+    pub greedy_matching: bool,
+}
+
+/// Immutable per-superblock context shared by all cloned states.
+#[derive(Debug)]
+pub struct StateCtx {
+    /// Machine description.
+    pub machine: MachineConfig,
+    /// Ablation switches.
+    pub tuning: Tuning,
+    /// Number of superblock instructions.
+    pub n_insts: usize,
+    /// Operation class per instruction.
+    pub classes: Vec<OpClass>,
+    /// Latency per instruction.
+    pub latencies: Vec<u32>,
+    /// Live-in flags.
+    pub live_in: Vec<bool>,
+    /// Exit flags.
+    pub exit: Vec<bool>,
+    /// Data dependences `(producer, consumer)` among instructions.
+    pub data_edges: Vec<(usize, usize)>,
+    /// Dependence order: `ordered[u]` contains `v` iff a path forces
+    /// `u` before `v` (used when building scheduling-graph edges).
+    pub dg: DepGraph,
+    /// Data consumers per producer.
+    pub consumers_of: Vec<Vec<usize>>,
+    /// Data producers per consumer.
+    pub producers_of: Vec<Vec<usize>>,
+    /// Pairwise longest dependence paths: `paths[v][u]` is the heaviest
+    /// path `u → v`, `None` when unreachable. Computed once per block.
+    pub paths: Vec<Vec<Option<i64>>>,
+}
+
+impl StateCtx {
+    /// Distils `sb` into the immutable context.
+    pub fn new(sb: &Superblock, machine: &MachineConfig) -> Arc<StateCtx> {
+        StateCtx::with_tuning(sb, machine, Tuning::default())
+    }
+
+    /// Context with explicit ablation switches.
+    pub fn with_tuning(sb: &Superblock, machine: &MachineConfig, tuning: Tuning) -> Arc<StateCtx> {
+        let n = sb.len();
+        let dg = DepGraph::new(sb);
+        let mut data_edges = Vec::new();
+        let mut consumers_of = vec![Vec::new(); n];
+        let mut producers_of = vec![Vec::new(); n];
+        for d in sb.deps() {
+            if d.kind == DepKind::Data {
+                let (f, t) = (d.from.index(), d.to.index());
+                // Parallel data edges collapse: one value, one consumption.
+                if !consumers_of[f].contains(&t) {
+                    data_edges.push((f, t));
+                    consumers_of[f].push(t);
+                    producers_of[t].push(f);
+                }
+            }
+        }
+        let paths: Vec<Vec<Option<i64>>> = (0..n).map(|v| dg.graph().longest_to(v)).collect();
+        Arc::new(StateCtx {
+            machine: machine.clone(),
+            tuning,
+            n_insts: n,
+            classes: sb.insts().iter().map(|i| i.class()).collect(),
+            latencies: sb.insts().iter().map(|i| i.latency()).collect(),
+            live_in: sb.insts().iter().map(|i| i.is_live_in()).collect(),
+            exit: sb.insts().iter().map(|i| i.is_exit()).collect(),
+            data_edges,
+            dg,
+            consumers_of,
+            producers_of,
+            paths,
+        })
+    }
+
+    /// Node id of the anchor for cluster `c`.
+    pub fn anchor(&self, c: usize) -> NodeId {
+        self.n_insts + c
+    }
+
+    /// Number of fixed nodes (instructions + anchors).
+    pub fn fixed_nodes(&self) -> usize {
+        self.n_insts + self.machine.cluster_count()
+    }
+}
+
+/// Heuristic comparison key for future scheduling states (§4.4.3): fewer
+/// communications, then more compact code, then a lower outedge-to-VC ratio.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StateScore {
+    /// Live communications (FLC + PLC).
+    pub comms: usize,
+    /// Compactness proxy: sum of exit earliest starts.
+    pub compactness: i64,
+    /// `outedges / virtual clusters`, scaled by 1000 and truncated.
+    pub outedge_ratio_milli: i64,
+}
+
+impl StateScore {
+    /// Returns `true` if `self` is a better (preferred) state than `other`.
+    /// Ties favour the incumbent (callers push the *choose* future first).
+    pub fn better_than(&self, other: &StateScore) -> bool {
+        (self.comms, self.compactness, self.outedge_ratio_milli)
+            < (other.comms, other.compactness, other.outedge_ratio_milli)
+    }
+}
+
+/// The mutable scheduling state. Cheap enough to clone for candidate study.
+#[derive(Debug, Clone)]
+pub struct SchedulingState {
+    /// Shared immutable context.
+    pub ctx: Arc<StateCtx>,
+    /// Node kinds (instructions, anchors, comms).
+    pub kind: Vec<NodeKind>,
+    /// Earliest start per node.
+    pub est: Vec<i64>,
+    /// Latest start per node.
+    pub lst: Vec<i64>,
+    /// Hard dependence successors `(node, latency)` per node.
+    pub succ: Vec<Vec<(NodeId, i64)>>,
+    /// Hard dependence predecessors `(node, latency)` per node.
+    pub pred: Vec<Vec<(NodeId, i64)>>,
+    /// Connected components over nodes, with fixed cycle offsets.
+    pub cc: OffsetUnionFind,
+    /// Virtual clusters over nodes.
+    pub vc: UnionFind,
+    /// VC incompatibility adjacency, authoritative at VC roots.
+    pub vc_adj: Vec<std::collections::BTreeSet<usize>>,
+    /// Scheduling-graph edges.
+    pub edges: Vec<SgEdge>,
+    /// Edge index by node pair `(min, max)`.
+    pub edge_of: BTreeMap<(NodeId, NodeId), usize>,
+    /// Edges incident to each node.
+    pub edges_at: Vec<Vec<usize>>,
+    /// Communication table.
+    pub comms: Vec<Comm>,
+    /// FLC registry: producer node → communication indices (one per
+    /// destination virtual cluster).
+    pub flc_by_value: BTreeMap<NodeId, Vec<usize>>,
+    /// PLC dedup registry: `(kind_tag, x, y, z)` identities already created
+    /// (tag 0 = producer-partial, 1 = consumer-partial).
+    pub plc_seen: std::collections::BTreeSet<(u8, NodeId, NodeId, NodeId)>,
+    /// Scheduling horizon: upper bound for every lstart this attempt.
+    pub horizon: i64,
+    /// Connected-component member lists, authoritative at CC roots
+    /// (empty elsewhere).
+    pub cc_list: Vec<Vec<NodeId>>,
+    /// Virtual-cluster member lists, authoritative at VC roots.
+    pub vc_list: Vec<Vec<NodeId>>,
+    /// Set whenever a bound tightened or the VC/comm structure changed;
+    /// gates re-running the (expensive) resource rules.
+    pub dirty: bool,
+}
+
+impl SchedulingState {
+    /// Latency of a node (bus latency for comms, 0 for anchors).
+    pub fn latency(&self, n: NodeId) -> i64 {
+        match self.kind[n] {
+            NodeKind::Inst(id) => self.ctx.latencies[id.index()] as i64,
+            NodeKind::Anchor(_) => 0,
+            NodeKind::Comm(_) => self.ctx.machine.bus_latency() as i64,
+        }
+    }
+
+    /// Operation class of a node (`Copy` for comms, `None` for anchors).
+    pub fn class(&self, n: NodeId) -> Option<OpClass> {
+        match self.kind[n] {
+            NodeKind::Inst(id) => Some(self.ctx.classes[id.index()]),
+            NodeKind::Anchor(_) => None,
+            NodeKind::Comm(_) => Some(OpClass::Copy),
+        }
+    }
+
+    /// Whether the node competes for issue/bus resources.
+    pub fn uses_resources(&self, n: NodeId) -> bool {
+        match self.kind[n] {
+            NodeKind::Inst(id) => !self.ctx.live_in[id.index()],
+            NodeKind::Anchor(_) => false,
+            NodeKind::Comm(ci) => self.comms[ci].kind != CommKind::Dead,
+        }
+    }
+
+    /// Whether the node is pinned to a single cycle.
+    pub fn pinned(&self, n: NodeId) -> bool {
+        self.est[n] == self.lst[n]
+    }
+
+    /// Slack (`lstart − estart`) of a node.
+    pub fn slack(&self, n: NodeId) -> i64 {
+        self.lst[n] - self.est[n]
+    }
+
+    /// Returns `Some(cycle(a) − cycle(b))` when the relative position of the
+    /// two nodes is already fixed (same connected component, or both pinned).
+    pub fn fixed_delta(&mut self, a: NodeId, b: NodeId) -> Option<i64> {
+        if let Some(d) = self.cc.relative_offset(a, b) {
+            return Some(d);
+        }
+        if self.pinned(a) && self.pinned(b) {
+            return Some(self.est[a] - self.est[b]);
+        }
+        None
+    }
+
+    /// Returns `true` when the two nodes provably issue in the same cycle.
+    pub fn same_cycle(&mut self, a: NodeId, b: NodeId) -> bool {
+        self.fixed_delta(a, b) == Some(0)
+    }
+
+    /// VC root of a node.
+    pub fn vc_root(&mut self, n: NodeId) -> usize {
+        self.vc.find(n)
+    }
+
+    /// Returns `true` if the VCs of the two nodes are fused.
+    pub fn same_vc(&mut self, a: NodeId, b: NodeId) -> bool {
+        self.vc.same(a, b)
+    }
+
+    /// Returns `true` if the VCs of the two nodes are marked incompatible.
+    pub fn vcs_incompatible(&mut self, a: NodeId, b: NodeId) -> bool {
+        let (ra, rb) = (self.vc.find(a), self.vc.find(b));
+        ra != rb && self.vc_adj[ra].contains(&rb)
+    }
+
+    /// Members of the VC containing `n`.
+    pub fn vc_members(&mut self, n: NodeId) -> Vec<NodeId> {
+        let root = self.vc.find(n);
+        self.vc_list[root].clone()
+    }
+
+    /// All current VC roots (anchors always included).
+    pub fn vc_roots(&mut self) -> Vec<usize> {
+        (0..self.kind.len())
+            .filter(|&m| {
+                // Comm nodes live outside the VC world; skip their singletons.
+                !self.vc_list[m].is_empty() && !matches!(self.kind[m], NodeKind::Comm(_))
+            })
+            .collect()
+    }
+
+    /// The anchor cluster a node's VC is mapped to, if any.
+    pub fn cluster_of(&mut self, n: NodeId) -> Option<ClusterId> {
+        let root = self.vc.find(n);
+        for c in 0..self.ctx.machine.cluster_count() {
+            let a = self.ctx.anchor(c);
+            if self.vc.find(a) == root {
+                return Some(ClusterId(c as u8));
+            }
+        }
+        None
+    }
+
+    /// Live communications (not dead).
+    pub fn live_comms(&self) -> impl Iterator<Item = &Comm> {
+        self.comms.iter().filter(|c| c.kind != CommKind::Dead)
+    }
+
+    /// Number of live communications.
+    pub fn comm_count(&self) -> usize {
+        self.live_comms().count()
+    }
+
+    /// Data edges whose endpoints sit in *different, compatible* VCs — the
+    /// paper's *outedges* (§4.4.1.2), the edges stage 3 eliminates.
+    pub fn outedges(&mut self) -> Vec<(NodeId, NodeId)> {
+        let mut out = Vec::new();
+        for i in 0..self.ctx.data_edges.len() {
+            let (p, c) = self.ctx.data_edges[i];
+            let (rp, rc) = (self.vc.find(p), self.vc.find(c));
+            if rp != rc && !self.vc_adj[rp].contains(&rc) {
+                out.push((p, c));
+            }
+        }
+        out
+    }
+
+    /// Heuristic score of this state (§4.4.3).
+    pub fn score(&mut self) -> StateScore {
+        let comms = self.comm_count();
+        let compactness: i64 = (0..self.ctx.n_insts)
+            .filter(|&n| self.ctx.exit[n])
+            .map(|n| self.est[n])
+            .sum();
+        let outedges = self.outedges().len() as i64;
+        let vcs = self.vc_roots().len() as i64;
+        StateScore {
+            comms,
+            compactness,
+            outedge_ratio_milli: if vcs > 0 { outedges * 1000 / vcs } else { 0 },
+        }
+    }
+
+    /// The scheduling-graph view as an undirected graph over instruction
+    /// nodes (for inspection and tests).
+    pub fn sg_ungraph(&self) -> Ungraph {
+        let mut g = Ungraph::new(self.kind.len());
+        for e in &self.edges {
+            g.add_edge(e.u, e.v);
+        }
+        g
+    }
+
+    /// Builds the VCG restricted to current roots, as `(graph, roots)` with
+    /// graph nodes indexing into `roots`.
+    pub fn vcg_view(&mut self) -> (Ungraph, Vec<usize>) {
+        let roots = self.vc_roots();
+        let index: BTreeMap<usize, usize> =
+            roots.iter().enumerate().map(|(i, &r)| (r, i)).collect();
+        let mut g = Ungraph::new(roots.len());
+        for (i, &r) in roots.iter().enumerate() {
+            for &n in &self.vc_adj[r] {
+                if let Some(&j) = index.get(&n) {
+                    if i < j {
+                        g.add_edge(i, j);
+                    }
+                }
+            }
+        }
+        (g, roots)
+    }
+}

@@ -1,0 +1,359 @@
+//! Unit-level tests of the deduction process: each rule group exercised on
+//! hand-built states.
+
+use vcsched_arch::{ClusterId, MachineConfig, OpClass};
+use vcsched_core::{
+    decision::{apply_decision, study_decision},
+    dp::{self, Budget},
+    init::{build_state, sg_windows},
+    CommKind, Decision, DpAbort, EdgeState, StateCtx,
+};
+use vcsched_ir::{Superblock, SuperblockBuilder};
+
+/// Two independent 1-cycle int ops feeding one exit.
+fn parallel_pair(machine_exit_latency: u32) -> Superblock {
+    let mut b = SuperblockBuilder::new("pair");
+    let a = b.inst(OpClass::Int, 1);
+    let c = b.inst(OpClass::Int, 1);
+    let x = b.exit(machine_exit_latency, 1.0);
+    b.data_dep(a, x).data_dep(c, x);
+    b.build().unwrap()
+}
+
+fn fresh_state(
+    sb: &Superblock,
+    machine: &MachineConfig,
+    exit_target: i64,
+) -> (std::sync::Arc<StateCtx>, vcsched_core::SchedulingState) {
+    let ctx = StateCtx::new(sb, machine);
+    let windows = sg_windows(&ctx);
+    let dg = &ctx.dg;
+    let exit = dg.exits()[0];
+    let lstarts: Vec<i64> = (0..ctx.n_insts)
+        .map(|u| match dg.dist_to_exit(vcsched_ir::InstId(u as u32), 0) {
+            Some(d) => exit_target - d,
+            None => exit_target,
+        })
+        .collect();
+    let mut budget = Budget::unlimited();
+    let st = build_state(&ctx, &windows, &lstarts, exit_target, &[], &mut budget)
+        .expect("feasible targets");
+    let _ = exit;
+    (ctx, st)
+}
+
+#[test]
+fn rule2_same_cycle_one_unit_makes_vcs_incompatible() {
+    // Pin both int ops to cycle 0 on the 2-cluster machine (1 int unit per
+    // cluster): Rule 2 must separate their virtual clusters.
+    let sb = parallel_pair(1);
+    let (_ctx, mut st) = fresh_state(&sb, &MachineConfig::paper_2c_8w(), 4);
+    let mut budget = Budget::unlimited();
+    apply_decision(&mut st, &Decision::Pin { node: 0, cycle: 0 }, &mut budget).unwrap();
+    apply_decision(&mut st, &Decision::Pin { node: 1, cycle: 0 }, &mut budget).unwrap();
+    assert!(st.vcs_incompatible(0, 1), "Rule 2 should fire");
+}
+
+#[test]
+fn same_cycle_overflow_is_a_contradiction() {
+    // Three same-cycle branches cannot fit a 1-branch/cycle machine — but
+    // branch order already forbids same-cycle exits, so test ints instead:
+    // three int ops at cycle 0 on a 2-cluster machine (2 int units total).
+    let mut b = SuperblockBuilder::new("triple");
+    let i1 = b.inst(OpClass::Int, 1);
+    let i2 = b.inst(OpClass::Int, 1);
+    let i3 = b.inst(OpClass::Int, 1);
+    let x = b.exit(1, 1.0);
+    b.data_dep(i1, x).data_dep(i2, x).data_dep(i3, x);
+    let sb = b.build().unwrap();
+    let (_ctx, mut st) = fresh_state(&sb, &MachineConfig::paper_2c_8w(), 6);
+    let mut budget = Budget::unlimited();
+    apply_decision(&mut st, &Decision::Pin { node: 0, cycle: 0 }, &mut budget).unwrap();
+    apply_decision(&mut st, &Decision::Pin { node: 1, cycle: 0 }, &mut budget).unwrap();
+    let third = apply_decision(&mut st, &Decision::Pin { node: 2, cycle: 0 }, &mut budget);
+    assert!(
+        matches!(third, Err(DpAbort::Contradiction(_))),
+        "two int units cannot issue three ints in one cycle"
+    );
+}
+
+#[test]
+fn incompatibility_of_producer_consumer_creates_a_communication() {
+    let mut b = SuperblockBuilder::new("pc");
+    let p = b.inst(OpClass::Int, 1);
+    let c = b.inst(OpClass::Int, 1);
+    let x = b.exit(1, 1.0);
+    b.data_dep(p, c).data_dep(c, x);
+    let sb = b.build().unwrap();
+    let (_ctx, mut st) = fresh_state(&sb, &MachineConfig::paper_2c_8w(), 8);
+    let mut budget = Budget::unlimited();
+    assert_eq!(st.comm_count(), 0);
+    apply_decision(&mut st, &Decision::Incompat(0, 1), &mut budget).unwrap();
+    let flcs: Vec<_> = st
+        .live_comms()
+        .filter(|c| matches!(c.kind, CommKind::Flc { .. }))
+        .collect();
+    assert_eq!(flcs.len(), 1, "crossing data edge needs one transfer");
+}
+
+#[test]
+fn rule1_fuses_when_no_communication_slack_remains() {
+    let mut b = SuperblockBuilder::new("tight");
+    let p = b.inst(OpClass::Int, 1);
+    let c = b.inst(OpClass::Int, 1);
+    let x = b.exit(1, 1.0);
+    b.data_dep(p, c).data_dep(c, x);
+    let sb = b.build().unwrap();
+    // Exit target 2 ⇒ c at cycle 1 exactly, p at 0: no room for a 1-cycle
+    // bus hop ⇒ p and c must share a cluster (Rule 1).
+    let (_ctx, st) = {
+        let (ctx, mut st) = fresh_state(&sb, &MachineConfig::paper_2c_8w(), 2);
+        let _ = &mut st;
+        (ctx, st)
+    };
+    let mut st = st;
+    assert!(st.same_vc(0, 1), "Rule 1 fuses the slack-less pair");
+}
+
+#[test]
+fn choosing_comb_zero_merges_connected_components() {
+    let sb = parallel_pair(1);
+    let (_ctx, mut st) = fresh_state(&sb, &MachineConfig::paper_4c_16w_lat1(), 5);
+    let mut budget = Budget::unlimited();
+    apply_decision(
+        &mut st,
+        &Decision::ChooseComb { u: 0, v: 1, d: 0 },
+        &mut budget,
+    )
+    .unwrap();
+    assert_eq!(st.fixed_delta(0, 1), Some(0));
+    // On the 4-cluster machine Rule 2 fires per-cluster capacity 1.
+    assert!(st.vcs_incompatible(0, 1));
+    // The scheduling-graph edge is now resolved as chosen.
+    let e = st.edge_of[&(0, 1)];
+    assert!(matches!(st.edges[e].state, EdgeState::Chosen(0)));
+}
+
+#[test]
+fn discarding_all_combinations_resolves_no_overlap_and_serialises() {
+    let sb = parallel_pair(1);
+    let (_ctx, mut st) = fresh_state(&sb, &MachineConfig::paper_4c_16w_lat1(), 5);
+    let mut budget = Budget::unlimited();
+    // Window for two 1-cycle ops is exactly {0}.
+    apply_decision(
+        &mut st,
+        &Decision::DiscardComb { u: 0, v: 1, d: 0 },
+        &mut budget,
+    )
+    .unwrap();
+    let e = st.edge_of[&(0, 1)];
+    assert!(matches!(st.edges[e].state, EdgeState::NoOverlap));
+    // Pin node 0; the serialisation constraint now forces node 1 apart.
+    apply_decision(&mut st, &Decision::Pin { node: 0, cycle: 2 }, &mut budget).unwrap();
+    assert!(
+        st.est[1] != 2 || st.lst[1] != 2,
+        "node 1 may not share cycle 2"
+    );
+    let pin_same = study_decision(&st, &Decision::Pin { node: 1, cycle: 2 }, &mut budget);
+    assert!(matches!(pin_same, Err(DpAbort::Contradiction(_))));
+}
+
+#[test]
+fn anchors_make_mapping_decisions_ordinary_fusions() {
+    let sb = parallel_pair(1);
+    let machine = MachineConfig::paper_2c_8w();
+    let (ctx, mut st) = fresh_state(&sb, &machine, 6);
+    let mut budget = Budget::unlimited();
+    let anchor0 = ctx.anchor(0);
+    let anchor1 = ctx.anchor(1);
+    apply_decision(&mut st, &Decision::Fuse(0, anchor0), &mut budget).unwrap();
+    assert_eq!(st.cluster_of(0), Some(ClusterId(0)));
+    // Anchors are pairwise incompatible: mapping node 0 to both is absurd.
+    let both = study_decision(&st, &Decision::Fuse(0, anchor1), &mut budget);
+    assert!(matches!(both, Err(DpAbort::Contradiction(_))));
+}
+
+#[test]
+fn colorability_check_rejects_overwide_incompatibilities() {
+    // Three mutually incompatible VCs cannot map onto two clusters.
+    let mut b = SuperblockBuilder::new("clique");
+    let i1 = b.inst(OpClass::Int, 1);
+    let i2 = b.inst(OpClass::Int, 1);
+    let i3 = b.inst(OpClass::Int, 1);
+    let x = b.exit(1, 1.0);
+    b.data_dep(i1, x).data_dep(i2, x).data_dep(i3, x);
+    let sb = b.build().unwrap();
+    let (_ctx, mut st) = fresh_state(&sb, &MachineConfig::paper_2c_8w(), 8);
+    let mut budget = Budget::unlimited();
+    apply_decision(&mut st, &Decision::Incompat(0, 1), &mut budget).unwrap();
+    apply_decision(&mut st, &Decision::Incompat(1, 2), &mut budget).unwrap();
+    let third = apply_decision(&mut st, &Decision::Incompat(0, 2), &mut budget);
+    assert!(
+        matches!(third, Err(DpAbort::Contradiction(_))),
+        "a 3-clique (plus 2 anchors) cannot colour onto 2 clusters"
+    );
+}
+
+#[test]
+fn budget_exhaustion_surfaces_as_budget_abort() {
+    let sb = parallel_pair(1);
+    let ctx = StateCtx::new(&sb, &MachineConfig::paper_2c_8w());
+    let windows = sg_windows(&ctx);
+    let mut tiny = Budget::new(2, None);
+    let lstarts = vec![8; ctx.n_insts];
+    let r = build_state(&ctx, &windows, &lstarts, 8, &[], &mut tiny);
+    assert!(matches!(r, Err(DpAbort::Budget)));
+}
+
+#[test]
+fn rule5_fires_for_live_ins_preplaced_on_distinct_anchors() {
+    // Regression test: two live-ins homed on different clusters share a
+    // consumer. Rule 5 must create a P-PLC *at initialisation* (the VCs
+    // are born incompatible via their anchors — `make_incompat` never
+    // runs), and the PLC's bus edge must lift the consumer's earliest
+    // start past the bus latency.
+    let mut b = SuperblockBuilder::new("liplc");
+    let u = b.live_in();
+    let v = b.live_in();
+    let c = b.inst(OpClass::Int, 1);
+    let x = b.exit(1, 1.0);
+    b.data_dep(u, c).data_dep(v, c).data_dep(c, x);
+    let sb = b.build().unwrap();
+    let machine = MachineConfig::paper_2c_8w();
+    let ctx = StateCtx::new(&sb, &machine);
+    let windows = sg_windows(&ctx);
+    let mut budget = Budget::unlimited();
+    let horizon = 10;
+    let lstarts = vec![horizon; ctx.n_insts];
+    let st = build_state(
+        &ctx,
+        &windows,
+        &lstarts,
+        horizon,
+        &[ClusterId(0), ClusterId(1)],
+        &mut budget,
+    )
+    .unwrap();
+    assert!(
+        st.comm_count() >= 1,
+        "a partially-linked communication must exist from initialisation"
+    );
+    // c is node 2; one of its operands crosses the 1-cycle bus.
+    assert!(
+        st.est[2] >= 1,
+        "P-PLC must push the consumer past the bus latency, got est {}",
+        st.est[2]
+    );
+}
+
+#[test]
+fn two_remote_consumer_pairs_serialise_on_one_bus() {
+    // Two independent (live-in pair → consumer) groups: each consumer
+    // needs one transfer, the single bus carries one per cycle, so the
+    // second consumer cannot also start at cycle 1.
+    let mut b = SuperblockBuilder::new("bus2");
+    let u1 = b.live_in();
+    let v1 = b.live_in();
+    let u2 = b.live_in();
+    let v2 = b.live_in();
+    let c1 = b.inst(OpClass::Int, 1);
+    let c2 = b.inst(OpClass::Int, 1);
+    let x = b.exit(1, 1.0);
+    b.data_dep(u1, c1)
+        .data_dep(v1, c1)
+        .data_dep(u2, c2)
+        .data_dep(v2, c2)
+        .data_dep(c1, x)
+        .data_dep(c2, x);
+    let sb = b.build().unwrap();
+    let machine = MachineConfig::paper_4c_16w_lat1();
+    let ctx = StateCtx::new(&sb, &machine);
+    let windows = sg_windows(&ctx);
+    let mut budget = Budget::unlimited();
+    let horizon = 12;
+    let lstarts = vec![horizon; ctx.n_insts];
+    let mut st = build_state(
+        &ctx,
+        &windows,
+        &lstarts,
+        horizon,
+        &[ClusterId(0), ClusterId(1), ClusterId(2), ClusterId(3)],
+        &mut budget,
+    )
+    .unwrap();
+    // Each consumer individually may still start at cycle 1 (the per-node
+    // bound is a correct lower bound: *which* consumer is delayed is a
+    // disjunction). But committing both to cycle 1 must contradict: the
+    // single bus cannot deliver two transfers arriving by cycle 1.
+    let (c1n, c2n) = (4usize, 5usize);
+    assert!(st.est[c1n] >= 1 && st.est[c2n] >= 1, "PLCs push past the bus");
+    apply_decision(&mut st, &Decision::Pin { node: c1n, cycle: 1 }, &mut budget)
+        .expect("one consumer at cycle 1 is fine");
+    let both = study_decision(&st, &Decision::Pin { node: c2n, cycle: 1 }, &mut budget);
+    assert!(
+        matches!(both, Err(DpAbort::Contradiction(_))),
+        "both consumers at cycle 1 over-subscribe the bus"
+    );
+}
+
+#[test]
+fn hetero_fusion_rejects_class_impossible_vcs() {
+    // An fp op and a branch can never share a VC on hetero_2c (fp only on
+    // cluster 1, branch only on cluster 0).
+    let mut b = SuperblockBuilder::new("hets");
+    let f = b.inst(OpClass::Fp, 1);
+    let x = b.exit(1, 1.0);
+    b.data_dep(f, x);
+    let sb = b.build().unwrap();
+    let machine = MachineConfig::hetero_2c();
+    let (_ctx, mut st) = fresh_state(&sb, &machine, 12);
+    let mut budget = Budget::unlimited();
+    let fused = apply_decision(&mut st, &Decision::Fuse(0, 1), &mut budget);
+    assert!(
+        matches!(fused, Err(DpAbort::Contradiction(_))),
+        "no cluster can host both fp and branch units"
+    );
+}
+
+#[test]
+fn hetero_fusion_accepts_class_compatible_vcs() {
+    // int + mem coexist on both clusters of hetero_2c.
+    let mut b = SuperblockBuilder::new("hetok");
+    let i = b.inst(OpClass::Int, 1);
+    let m = b.inst(OpClass::Mem, 1);
+    let x = b.exit(1, 1.0);
+    b.data_dep(i, x).data_dep(m, x);
+    let sb = b.build().unwrap();
+    let machine = MachineConfig::hetero_2c();
+    let (_ctx, mut st) = fresh_state(&sb, &machine, 12);
+    let mut budget = Budget::unlimited();
+    apply_decision(&mut st, &Decision::Fuse(0, 1), &mut budget)
+        .expect("int+mem share any cluster");
+    assert!(st.same_vc(0, 1));
+}
+
+#[test]
+fn resource_pass_tightens_saturated_windows() {
+    // Four 1-cycle mem ops, one mem unit per cluster, 2 clusters: at most
+    // two mem issues per cycle, so the exit cannot sit before cycle 2+1.
+    let mut b = SuperblockBuilder::new("mem4");
+    let ids: Vec<_> = (0..4).map(|_| b.inst(OpClass::Mem, 1)).collect();
+    let x = b.exit(1, 1.0);
+    for id in ids {
+        b.data_dep(id, x);
+    }
+    let sb = b.build().unwrap();
+    let ctx = StateCtx::new(&sb, &MachineConfig::paper_2c_8w());
+    let windows = sg_windows(&ctx);
+    let mut budget = Budget::unlimited();
+    let horizon = 10;
+    let lstarts = vec![horizon; ctx.n_insts];
+    let st = build_state(&ctx, &windows, &lstarts, horizon, &[], &mut budget).unwrap();
+    // Dependence-only estart of the exit is 1; resources push it to ≥ 2.
+    assert!(
+        st.est[4] >= 2,
+        "pigeonhole should raise the exit's earliest start, got {}",
+        st.est[4]
+    );
+    let _ = dp::check_colorable;
+}

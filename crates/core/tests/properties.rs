@@ -1,0 +1,138 @@
+//! Property-based tests of the scheduler's core invariants on randomly
+//! generated superblocks.
+
+use proptest::prelude::*;
+use vcsched_arch::{ClusterId, MachineConfig, OpClass};
+use vcsched_cars::CarsScheduler;
+use vcsched_core::{CombRange, VcError, VcOptions, VcScheduler};
+use vcsched_ir::{Superblock, SuperblockBuilder};
+use vcsched_sim::validate;
+
+/// Random small superblock: `n` ops in a layered DAG plus one final exit.
+fn arb_superblock() -> impl Strategy<Value = Superblock> {
+    (2usize..14, any::<u64>()).prop_map(|(n, seed)| {
+        // Cheap deterministic PRNG (the structure matters, not quality).
+        let mut s = seed | 1;
+        let mut next = move |m: u64| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 33) % m
+        };
+        let mut b = SuperblockBuilder::new("prop");
+        let mut ids = Vec::new();
+        for i in 0..n {
+            let class = match next(10) {
+                0..=2 => OpClass::Mem,
+                3 => OpClass::Fp,
+                _ => OpClass::Int,
+            };
+            let lat = 1 + next(3) as u32;
+            let id = b.inst(class, lat);
+            if i > 0 {
+                // 1–2 producers among earlier ops.
+                for _ in 0..=next(2).min(1) {
+                    let p = ids[next(i as u64) as usize];
+                    if p != id {
+                        b.data_dep(p, id);
+                    }
+                }
+            }
+            ids.push(id);
+        }
+        let exit = b.exit(1 + next(2) as u32, 1.0);
+        // Everything must reach the exit.
+        for &id in &ids {
+            b.data_dep(id, exit);
+        }
+        b.build().expect("generated block is valid")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every schedule the VC scheduler emits passes the machine-level
+    /// validator, on every paper machine.
+    #[test]
+    fn vc_schedules_are_always_valid(sb in arb_superblock(), m_idx in 0usize..3) {
+        let machine = MachineConfig::paper_eval_configs()[m_idx].clone();
+        let vc = VcScheduler::with_options(machine.clone(), VcOptions {
+            max_dp_steps: 300_000,
+            ..VcOptions::default()
+        });
+        match vc.schedule(&sb) {
+            Ok(out) => {
+                if let Err(violations) = validate(&sb, &machine, &out.schedule) {
+                    prop_assert!(false, "invalid schedule: {violations:?}");
+                }
+                // The achieved AWCT never beats the proven lower bound.
+                prop_assert!(out.awct + 1e-9 >= out.stats.min_awct);
+            }
+            Err(VcError::BudgetExhausted) | Err(VcError::BumpLimitReached) => {}
+        }
+    }
+
+    /// On a single wide cluster the scheduler needs no copies and meets the
+    /// dependence-only critical path whenever resources allow.
+    #[test]
+    fn unified_machine_needs_no_copies(sb in arb_superblock()) {
+        let machine = MachineConfig::builder()
+            .clusters(1)
+            .fu_counts(8, 4, 4, 1)
+            .build()
+            .expect("valid machine");
+        let vc = VcScheduler::with_options(machine.clone(), VcOptions {
+            max_dp_steps: 300_000,
+            ..VcOptions::default()
+        });
+        if let Ok(out) = vc.schedule(&sb) {
+            prop_assert_eq!(out.schedule.copy_count(), 0);
+            prop_assert!(validate(&sb, &machine, &out.schedule).is_ok());
+        }
+    }
+
+    /// Determinism: scheduling twice produces identical results.
+    #[test]
+    fn scheduling_is_deterministic(sb in arb_superblock()) {
+        let machine = MachineConfig::paper_2c_8w();
+        let vc = VcScheduler::with_options(machine, VcOptions {
+            max_dp_steps: 200_000,
+            ..VcOptions::default()
+        });
+        let homes: Vec<ClusterId> = sb.live_ins().map(|_| ClusterId(0)).collect();
+        let a = vc.schedule_with_live_ins(&sb, &homes);
+        let b = vc.schedule_with_live_ins(&sb, &homes);
+        match (a, b) {
+            (Ok(x), Ok(y)) => {
+                prop_assert_eq!(x.schedule, y.schedule);
+                prop_assert_eq!(x.awct, y.awct);
+            }
+            (Err(x), Err(y)) => prop_assert_eq!(x, y),
+            _ => prop_assert!(false, "nondeterministic outcome"),
+        }
+    }
+
+    /// CARS on the same block is always valid too (baseline sanity).
+    #[test]
+    fn cars_schedules_are_always_valid(sb in arb_superblock(), m_idx in 0usize..3) {
+        let machine = MachineConfig::paper_eval_configs()[m_idx].clone();
+        let out = CarsScheduler::new(machine.clone()).schedule(&sb);
+        prop_assert!(validate(&sb, &machine, &out.schedule).is_ok());
+    }
+
+    /// Combination windows are symmetric under dependence reversal and
+    /// never contain a value that violates a dependence path.
+    #[test]
+    fn comb_windows_respect_dependences(
+        lat_u in 1u32..4, lat_v in 1u32..4, path in 0i64..6
+    ) {
+        let w = CombRange::with_dependences(lat_u, lat_v, Some(path), None);
+        for d in w.lo..=w.hi {
+            // d = cycle(u) − cycle(v) ≤ −path must hold.
+            prop_assert!(d <= -path);
+        }
+        let r = CombRange::with_dependences(lat_u, lat_v, None, Some(path));
+        for d in r.lo..=r.hi {
+            prop_assert!(d >= path);
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! A small directed graph with integer edge weights.
+
+use crate::BitSet;
+
+/// Directed graph over nodes `0..n` with `i32` edge weights.
+///
+/// The weight is interpreted by callers as a *latency* (dependence distance)
+/// when computing longest paths. Parallel edges are allowed; longest-path
+/// routines implicitly use the heaviest constraint.
+///
+/// # Example
+///
+/// ```
+/// use vcsched_graph::Digraph;
+///
+/// let mut g = Digraph::new(4);
+/// g.add_edge(0, 1, 2);
+/// g.add_edge(0, 2, 2);
+/// g.add_edge(1, 3, 1);
+/// g.add_edge(2, 3, 3);
+/// assert_eq!(g.longest_from_sources(), vec![0, 2, 2, 5]);
+/// assert!(g.topo_order().is_some());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Digraph {
+    succs: Vec<Vec<(usize, i32)>>,
+    preds: Vec<Vec<(usize, i32)>>,
+    edge_count: usize,
+}
+
+impl Digraph {
+    /// Creates a graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        Digraph {
+            succs: vec![Vec::new(); n],
+            preds: vec![Vec::new(); n],
+            edge_count: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Adds edge `from → to` with weight `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, from: usize, to: usize, w: i32) {
+        assert!(from < self.node_count() && to < self.node_count());
+        self.succs[from].push((to, w));
+        self.preds[to].push((from, w));
+        self.edge_count += 1;
+    }
+
+    /// Successors of `v` with edge weights.
+    pub fn succs(&self, v: usize) -> &[(usize, i32)] {
+        &self.succs[v]
+    }
+
+    /// Predecessors of `v` with edge weights.
+    pub fn preds(&self, v: usize) -> &[(usize, i32)] {
+        &self.preds[v]
+    }
+
+    /// A topological order, or `None` if the graph has a cycle.
+    pub fn topo_order(&self) -> Option<Vec<usize>> {
+        let n = self.node_count();
+        let mut indeg: Vec<usize> = vec![0; n];
+        for v in 0..n {
+            for &(s, _) in &self.succs[v] {
+                indeg[s] += 1;
+            }
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(v) = queue.pop() {
+            order.push(v);
+            for &(s, _) in &self.succs[v] {
+                indeg[s] -= 1;
+                if indeg[s] == 0 {
+                    queue.push(s);
+                }
+            }
+        }
+        (order.len() == n).then_some(order)
+    }
+
+    /// Longest path length from any source (in-degree 0) to each node, where
+    /// a node with no predecessors has length 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is cyclic.
+    pub fn longest_from_sources(&self) -> Vec<i64> {
+        let order = self.topo_order().expect("longest path requires a DAG");
+        let mut dist = vec![0i64; self.node_count()];
+        for &v in &order {
+            for &(s, w) in &self.succs[v] {
+                dist[s] = dist[s].max(dist[v] + w as i64);
+            }
+        }
+        dist
+    }
+
+    /// Longest path length from each node to the given sink node, `None` for
+    /// nodes from which `sink` is unreachable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is cyclic.
+    pub fn longest_to(&self, sink: usize) -> Vec<Option<i64>> {
+        let order = self.topo_order().expect("longest path requires a DAG");
+        let mut dist = vec![None; self.node_count()];
+        dist[sink] = Some(0);
+        for &v in order.iter().rev() {
+            for &(s, w) in &self.succs[v] {
+                if let Some(d) = dist[s] {
+                    let cand = d + w as i64;
+                    if dist[v].is_none_or(|cur| cand > cur) {
+                        dist[v] = Some(cand);
+                    }
+                }
+            }
+        }
+        dist
+    }
+
+    /// Transitive-closure rows: `rows[v]` contains every node reachable from
+    /// `v` by one or more edges (not `v` itself unless on a cycle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is cyclic.
+    pub fn reachability(&self) -> Vec<BitSet> {
+        let n = self.node_count();
+        let order = self.topo_order().expect("reachability requires a DAG");
+        let mut rows: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
+        for &v in order.iter().rev() {
+            // Clone needed: we mutate rows[v] while reading rows[s].
+            for &(s, _) in &self.succs[v] {
+                let succ_row = rows[s].clone();
+                rows[v].insert(s);
+                rows[v].union_with(&succ_row);
+            }
+        }
+        rows
+    }
+
+    /// Longest dependence distance `u → v` over all paths, or `None` if `v`
+    /// is not reachable from `u`. Computed fresh; prefer [`Self::reachability`]
+    /// plus [`Self::longest_from_sources`] for bulk queries.
+    pub fn longest_path(&self, u: usize, v: usize) -> Option<i64> {
+        self.longest_to(v)[u]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Digraph {
+        let mut g = Digraph::new(4);
+        g.add_edge(0, 1, 2);
+        g.add_edge(0, 2, 1);
+        g.add_edge(1, 3, 1);
+        g.add_edge(2, 3, 5);
+        g
+    }
+
+    #[test]
+    fn topo_order_valid() {
+        let g = diamond();
+        let order = g.topo_order().unwrap();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 4];
+            for (i, &v) in order.iter().enumerate() {
+                p[v] = i;
+            }
+            p
+        };
+        for v in 0..4 {
+            for &(s, _) in g.succs(v) {
+                assert!(pos[v] < pos[s]);
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut g = Digraph::new(2);
+        g.add_edge(0, 1, 1);
+        g.add_edge(1, 0, 1);
+        assert!(g.topo_order().is_none());
+    }
+
+    #[test]
+    fn longest_paths() {
+        let g = diamond();
+        assert_eq!(g.longest_from_sources(), vec![0, 2, 1, 6]);
+        assert_eq!(g.longest_to(3), vec![Some(6), Some(1), Some(5), Some(0)]);
+        assert_eq!(g.longest_path(0, 3), Some(6));
+        assert_eq!(g.longest_path(1, 2), None);
+    }
+
+    #[test]
+    fn reachability_rows() {
+        let g = diamond();
+        let rows = g.reachability();
+        assert_eq!(rows[0].iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(rows[1].iter().collect::<Vec<_>>(), vec![3]);
+        assert!(rows[3].is_empty());
+    }
+
+    #[test]
+    fn parallel_edges_take_heaviest() {
+        let mut g = Digraph::new(2);
+        g.add_edge(0, 1, 1);
+        g.add_edge(0, 1, 7);
+        assert_eq!(g.longest_from_sources(), vec![0, 7]);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Digraph::new(0);
+        assert_eq!(g.topo_order(), Some(vec![]));
+        assert!(g.longest_from_sources().is_empty());
+    }
+}

@@ -1,0 +1,51 @@
+//! Graph algorithms substrate for the `vcsched` workspace.
+//!
+//! The CGO 2007 paper implements its scheduler on top of the LEDA library
+//! ("LEDA, a library of efficient data types and algorithms"). This crate is
+//! the from-scratch replacement for the slice of LEDA the paper actually
+//! uses:
+//!
+//! * dense **bit sets** ([`BitSet`]) used for reachability matrices,
+//! * **union-find** ([`UnionFind`]) and an **offset union-find**
+//!   ([`OffsetUnionFind`]) used for virtual-cluster fusion and for connected
+//!   components of chosen combinations (members keep fixed cycle offsets),
+//! * **directed graphs** ([`Digraph`]) with topological sorting, longest
+//!   paths and transitive closure, used by the dependence graph,
+//! * **undirected graphs** ([`Ungraph`]) used by the scheduling graph, the
+//!   virtual cluster graph and the matching graph,
+//! * **maximum-weight matching** ([`matching::max_weight_matching`]) used to
+//!   pick virtual-cluster pairs in the outedge-elimination stage,
+//! * **graph colouring** ([`coloring`]) used both for the final
+//!   virtual-to-physical mapping order and for the clique (colourability)
+//!   check of the virtual cluster graph.
+//!
+//! # Example
+//!
+//! ```
+//! use vcsched_graph::{Digraph, matching::max_weight_matching, Ungraph};
+//!
+//! let mut g = Digraph::new(3);
+//! g.add_edge(0, 1, 2);
+//! g.add_edge(1, 2, 3);
+//! assert_eq!(g.longest_from_sources(), vec![0, 2, 5]);
+//!
+//! let mut u = Ungraph::new(4);
+//! u.add_edge(0, 1);
+//! u.add_edge(2, 3);
+//! let m = max_weight_matching(4, &[(0, 1, 5), (1, 2, 9), (2, 3, 5)]);
+//! assert_eq!(m.total_weight, 10); // {0-1, 2-3} beats {1-2}
+//! ```
+
+#![warn(missing_docs)]
+
+mod bitset;
+pub mod coloring;
+mod digraph;
+pub mod matching;
+mod undirected;
+mod union_find;
+
+pub use bitset::BitSet;
+pub use digraph::Digraph;
+pub use undirected::Ungraph;
+pub use union_find::{OffsetUnion, OffsetUnionFind, UnionFind};

@@ -1,0 +1,172 @@
+//! A small undirected graph with adjacency-set storage.
+
+use std::collections::BTreeSet;
+
+/// Undirected simple graph over nodes `0..n`.
+///
+/// Self-loops are rejected and parallel edges collapse. Storage is a
+/// `BTreeSet` per node so neighbour iteration is deterministic — important
+/// because scheduler heuristics iterate adjacency and must be reproducible.
+///
+/// # Example
+///
+/// ```
+/// use vcsched_graph::Ungraph;
+///
+/// let mut g = Ungraph::new(3);
+/// assert!(g.add_edge(0, 2));
+/// assert!(!g.add_edge(2, 0)); // duplicate
+/// assert_eq!(g.degree(0), 1);
+/// assert!(g.has_edge(2, 0));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Ungraph {
+    adj: Vec<BTreeSet<usize>>,
+    edge_count: usize,
+}
+
+impl Ungraph {
+    /// Creates a graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        Ungraph {
+            adj: vec![BTreeSet::new(); n],
+            edge_count: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Adds the edge `{a, b}`. Returns `true` if it is new.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` (self-loop) or an endpoint is out of range.
+    pub fn add_edge(&mut self, a: usize, b: usize) -> bool {
+        assert!(a != b, "self-loops are not allowed");
+        assert!(a < self.node_count() && b < self.node_count());
+        let fresh = self.adj[a].insert(b);
+        self.adj[b].insert(a);
+        if fresh {
+            self.edge_count += 1;
+        }
+        fresh
+    }
+
+    /// Removes the edge `{a, b}`. Returns `true` if it existed.
+    pub fn remove_edge(&mut self, a: usize, b: usize) -> bool {
+        let existed = self.adj[a].remove(&b);
+        self.adj[b].remove(&a);
+        if existed {
+            self.edge_count -= 1;
+        }
+        existed
+    }
+
+    /// Returns `true` if `{a, b}` is an edge.
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        self.adj[a].contains(&b)
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj[v].len()
+    }
+
+    /// Neighbours of `v` in increasing order.
+    pub fn neighbors(&self, v: usize) -> impl Iterator<Item = usize> + '_ {
+        self.adj[v].iter().copied()
+    }
+
+    /// All edges as `(a, b)` pairs with `a < b`, in lexicographic order.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.adj
+            .iter()
+            .enumerate()
+            .flat_map(|(a, nbrs)| nbrs.iter().filter(move |&&b| a < b).map(move |&b| (a, b)))
+    }
+
+    /// Adds a new isolated node and returns its index.
+    pub fn push_node(&mut self) -> usize {
+        self.adj.push(BTreeSet::new());
+        self.adj.len() - 1
+    }
+
+    /// Merges node `b` into node `a`: every neighbour of `b` becomes a
+    /// neighbour of `a`, and `b` becomes isolated. Edges `{a, b}` vanish.
+    ///
+    /// Used when fusing virtual clusters: the fused cluster inherits all
+    /// incompatibilities of both (paper §3.2).
+    pub fn contract_into(&mut self, a: usize, b: usize) {
+        assert!(a != b, "cannot contract a node into itself");
+        let nbrs: Vec<usize> = self.adj[b].iter().copied().collect();
+        for n in nbrs {
+            self.remove_edge(b, n);
+            if n != a {
+                self.add_edge(a, n);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_remove_edges() {
+        let mut g = Ungraph::new(4);
+        assert!(g.add_edge(0, 1));
+        assert!(g.add_edge(1, 2));
+        assert!(!g.add_edge(2, 1));
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.remove_edge(0, 1));
+        assert!(!g.remove_edge(0, 1));
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree(1), 1);
+    }
+
+    #[test]
+    fn edges_iteration_sorted() {
+        let mut g = Ungraph::new(4);
+        g.add_edge(3, 1);
+        g.add_edge(0, 2);
+        assert_eq!(g.edges().collect::<Vec<_>>(), vec![(0, 2), (1, 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_panics() {
+        Ungraph::new(2).add_edge(1, 1);
+    }
+
+    #[test]
+    fn contract_inherits_neighbors() {
+        // 0-1, 1-2, 1-3; contract 1 into 0 ⇒ 0-2, 0-3, node 1 isolated.
+        let mut g = Ungraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(1, 3);
+        g.contract_into(0, 1);
+        assert_eq!(g.degree(1), 0);
+        assert!(g.has_edge(0, 2) && g.has_edge(0, 3));
+        assert!(!g.has_edge(0, 1));
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn push_node_grows() {
+        let mut g = Ungraph::new(1);
+        let v = g.push_node();
+        assert_eq!(v, 1);
+        g.add_edge(0, 1);
+        assert_eq!(g.edge_count(), 1);
+    }
+}

@@ -1,0 +1,321 @@
+//! Union-find structures.
+//!
+//! Two flavours are provided:
+//!
+//! * [`UnionFind`] — the classic disjoint-set forest, used for virtual
+//!   cluster fusion (paper §3.2).
+//! * [`OffsetUnionFind`] — a disjoint-set forest whose members carry a fixed
+//!   integer *offset* relative to their set's representative. This models
+//!   the paper's *connected components* (§3.1): choosing a combination
+//!   `comb(u, v) = d` pins `cycle(u) − cycle(v) = d`, so all members of a
+//!   component sit at fixed relative cycles.
+
+/// Classic disjoint-set forest with union by rank and path compression.
+///
+/// # Example
+///
+/// ```
+/// use vcsched_graph::UnionFind;
+///
+/// let mut uf = UnionFind::new(4);
+/// uf.union(0, 1);
+/// assert!(uf.same(0, 1));
+/// assert!(!uf.same(0, 2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u32>,
+    sets: usize,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets `0..n`.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+            sets: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Returns `true` if the structure holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets currently represented.
+    pub fn set_count(&self) -> usize {
+        self.sets
+    }
+
+    /// Adds one more singleton set and returns its index.
+    pub fn push(&mut self) -> usize {
+        let id = self.parent.len();
+        self.parent.push(id);
+        self.rank.push(0);
+        self.sets += 1;
+        id
+    }
+
+    /// Returns the representative of `x`'s set.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Representative of `x`'s set without path compression.
+    pub fn find_const(&self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        root
+    }
+
+    /// Merges the sets of `a` and `b`. Returns the surviving representative.
+    pub fn union(&mut self, a: usize, b: usize) -> usize {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return ra;
+        }
+        self.sets -= 1;
+        let (hi, lo) = if self.rank[ra] >= self.rank[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo] = hi;
+        if self.rank[hi] == self.rank[lo] {
+            self.rank[hi] += 1;
+        }
+        hi
+    }
+
+    /// Returns `true` if `a` and `b` are in the same set.
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+/// Result of a relational union on an [`OffsetUnionFind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OffsetUnion {
+    /// The two elements were in different sets; they are now merged.
+    Merged,
+    /// Already in the same set with a *consistent* offset — no-op.
+    Consistent,
+    /// Already in the same set with a *conflicting* offset. Nothing changed;
+    /// the caller should treat this as a contradiction.
+    Conflict,
+}
+
+/// Disjoint-set forest whose elements carry an integer offset to their root.
+///
+/// `offset(x)` is defined so that for two elements in the same set,
+/// `value(x) − value(y) = offset(x) − offset(y)` for the implicit quantity
+/// being related (schedule cycles, in this workspace).
+///
+/// # Example
+///
+/// ```
+/// use vcsched_graph::OffsetUnionFind;
+///
+/// let mut uf = OffsetUnionFind::new(3);
+/// // cycle(0) − cycle(1) = 2
+/// uf.union_with_offset(0, 1, 2);
+/// // cycle(1) − cycle(2) = −1
+/// uf.union_with_offset(1, 2, -1);
+/// // therefore cycle(0) − cycle(2) = 1
+/// assert_eq!(uf.relative_offset(0, 2), Some(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct OffsetUnionFind {
+    parent: Vec<usize>,
+    /// Offset of element relative to its parent: `value(x) − value(parent(x))`.
+    offset: Vec<i64>,
+    rank: Vec<u32>,
+}
+
+impl OffsetUnionFind {
+    /// Creates `n` singleton sets with zero offsets.
+    pub fn new(n: usize) -> Self {
+        OffsetUnionFind {
+            parent: (0..n).collect(),
+            offset: vec![0; n],
+            rank: vec![0; n],
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Returns `true` if the structure holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Adds one more singleton element and returns its index.
+    pub fn push(&mut self) -> usize {
+        let id = self.parent.len();
+        self.parent.push(id);
+        self.offset.push(0);
+        self.rank.push(0);
+        id
+    }
+
+    /// Returns `(root, offset_to_root)` for `x`, compressing paths.
+    pub fn find(&mut self, x: usize) -> (usize, i64) {
+        if self.parent[x] == x {
+            return (x, 0);
+        }
+        let (root, parent_off) = self.find(self.parent[x]);
+        self.parent[x] = root;
+        self.offset[x] += parent_off;
+        (root, self.offset[x])
+    }
+
+    /// Representative of `x`'s set.
+    pub fn root(&mut self, x: usize) -> usize {
+        self.find(x).0
+    }
+
+    /// Returns `true` if `a` and `b` are in the same set.
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a).0 == self.find(b).0
+    }
+
+    /// Relates `a` and `b` by `value(a) − value(b) = delta`.
+    ///
+    /// Returns [`OffsetUnion::Conflict`] (leaving the structure unchanged) if
+    /// the two are already related by a different delta.
+    pub fn union_with_offset(&mut self, a: usize, b: usize, delta: i64) -> OffsetUnion {
+        let (ra, oa) = self.find(a);
+        let (rb, ob) = self.find(b);
+        if ra == rb {
+            return if oa - ob == delta {
+                OffsetUnion::Consistent
+            } else {
+                OffsetUnion::Conflict
+            };
+        }
+        // value(ra) − value(rb) implied by the new relation:
+        //   value(a) = value(ra) + oa, value(b) = value(rb) + ob
+        //   value(a) − value(b) = delta  ⇒  value(ra) − value(rb) = delta − oa + ob
+        let root_delta = delta - oa + ob;
+        if self.rank[ra] >= self.rank[rb] {
+            self.parent[rb] = ra;
+            self.offset[rb] = -root_delta;
+            if self.rank[ra] == self.rank[rb] {
+                self.rank[ra] += 1;
+            }
+        } else {
+            self.parent[ra] = rb;
+            self.offset[ra] = root_delta;
+        }
+        OffsetUnion::Merged
+    }
+
+    /// Returns `value(a) − value(b)` if `a` and `b` are in the same set.
+    pub fn relative_offset(&mut self, a: usize, b: usize) -> Option<i64> {
+        let (ra, oa) = self.find(a);
+        let (rb, ob) = self.find(b);
+        (ra == rb).then_some(oa - ob)
+    }
+
+    /// All elements of `x`'s set, as `(element, offset_to_root)` pairs.
+    ///
+    /// Linear in the total number of elements; fine for the block sizes this
+    /// workspace handles.
+    pub fn members(&mut self, x: usize) -> Vec<(usize, i64)> {
+        let root = self.root(x);
+        (0..self.len())
+            .filter_map(|i| {
+                let (r, o) = self.find(i);
+                (r == root).then_some((i, o))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_union_find() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.set_count(), 5);
+        uf.union(0, 1);
+        uf.union(3, 4);
+        assert_eq!(uf.set_count(), 3);
+        assert!(uf.same(0, 1));
+        assert!(!uf.same(1, 3));
+        uf.union(1, 4);
+        assert!(uf.same(0, 3));
+        assert_eq!(uf.set_count(), 2);
+        // Unioning within a set is a no-op.
+        uf.union(0, 4);
+        assert_eq!(uf.set_count(), 2);
+        assert_eq!(uf.find_const(0), uf.find_const(4));
+    }
+
+    #[test]
+    fn offset_transitivity() {
+        let mut uf = OffsetUnionFind::new(4);
+        assert_eq!(uf.union_with_offset(0, 1, 3), OffsetUnion::Merged);
+        assert_eq!(uf.union_with_offset(1, 2, -5), OffsetUnion::Merged);
+        assert_eq!(uf.relative_offset(0, 2), Some(-2));
+        assert_eq!(uf.relative_offset(2, 0), Some(2));
+        assert_eq!(uf.relative_offset(0, 3), None);
+    }
+
+    #[test]
+    fn offset_conflict_detected_and_state_preserved() {
+        let mut uf = OffsetUnionFind::new(3);
+        uf.union_with_offset(0, 1, 1);
+        assert_eq!(uf.union_with_offset(1, 0, -1), OffsetUnion::Consistent);
+        assert_eq!(uf.union_with_offset(0, 1, 2), OffsetUnion::Conflict);
+        // State untouched by the conflicting union.
+        assert_eq!(uf.relative_offset(0, 1), Some(1));
+    }
+
+    #[test]
+    fn offset_merge_across_sets() {
+        let mut uf = OffsetUnionFind::new(6);
+        uf.union_with_offset(0, 1, 1);
+        uf.union_with_offset(2, 3, 2);
+        uf.union_with_offset(1, 3, 10);
+        // value0 − value1 = 1, value2 − value3 = 2, value1 − value3 = 10
+        assert_eq!(uf.relative_offset(0, 3), Some(11));
+        assert_eq!(uf.relative_offset(0, 2), Some(9));
+        let mut members = uf.members(0);
+        members.sort_unstable();
+        assert_eq!(members.len(), 4);
+    }
+
+    #[test]
+    fn push_grows() {
+        let mut uf = OffsetUnionFind::new(1);
+        let b = uf.push();
+        assert_eq!(b, 1);
+        uf.union_with_offset(0, 1, 4);
+        assert_eq!(uf.relative_offset(0, 1), Some(4));
+    }
+}

@@ -1,0 +1,232 @@
+//! Dependence-graph queries: bounds, reachability, per-exit path lengths.
+
+use vcsched_graph::{BitSet, Digraph};
+
+use crate::awct::ExitTargets;
+use crate::inst::InstId;
+use crate::superblock::Superblock;
+
+/// Precomputed dependence-graph facts for one superblock.
+///
+/// * `estart(u)` — earliest start: longest dependence path from the entry
+///   (cycle 0) to `u`; purely dependence-based, resource refinement is the
+///   scheduler's job.
+/// * `dist_to_exit(u, x)` — longest dependence path from `u` to exit `x`
+///   (the paper's `LBx − δ` encoding of latest starts, §3.1, which lets the
+///   scheduling graph be computed once and reused for every AWCT value).
+/// * `lstart(u, targets)` — latest start induced by concrete per-exit
+///   target cycles.
+/// * `reaches(u, v)` — whether a dependence path forces `u` before `v`
+///   (kills every combination between the pair, §3.1).
+///
+/// # Example
+///
+/// ```
+/// use vcsched_arch::OpClass;
+/// use vcsched_ir::{DepGraph, SuperblockBuilder};
+///
+/// let mut b = SuperblockBuilder::new("chain");
+/// let i0 = b.inst(OpClass::Int, 2);
+/// let x = b.exit(3, 1.0);
+/// b.data_dep(i0, x);
+/// let sb = b.build()?;
+/// let dg = DepGraph::new(&sb);
+/// assert_eq!(dg.estart(i0), 0);
+/// assert_eq!(dg.estart(x), 2);
+/// assert!(dg.reaches(i0, x));
+/// # Ok::<(), vcsched_ir::BuildError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DepGraph {
+    graph: Digraph,
+    estart: Vec<i64>,
+    reach: Vec<BitSet>,
+    exits: Vec<InstId>,
+    /// dist_to_exit[k][u] = longest path u → exit k (None: no path).
+    dist_to_exit: Vec<Vec<Option<i64>>>,
+}
+
+impl DepGraph {
+    /// Builds the dependence facts for `sb`.
+    pub fn new(sb: &Superblock) -> Self {
+        let n = sb.len();
+        let mut graph = Digraph::new(n);
+        for d in sb.deps() {
+            graph.add_edge(d.from.index(), d.to.index(), d.latency as i32);
+        }
+        let estart = graph.longest_from_sources();
+        let reach = graph.reachability();
+        let exits: Vec<InstId> = sb.exits().map(|(id, _)| id).collect();
+        let dist_to_exit = exits
+            .iter()
+            .map(|x| graph.longest_to(x.index()))
+            .collect();
+        DepGraph {
+            graph,
+            estart,
+            reach,
+            exits,
+            dist_to_exit,
+        }
+    }
+
+    /// The underlying weighted digraph.
+    pub fn graph(&self) -> &Digraph {
+        &self.graph
+    }
+
+    /// Earliest start of `u` from dependences alone.
+    pub fn estart(&self, u: InstId) -> i64 {
+        self.estart[u.index()]
+    }
+
+    /// Earliest starts for all instructions.
+    pub fn estarts(&self) -> &[i64] {
+        &self.estart
+    }
+
+    /// Returns `true` if a dependence path forces `u` strictly before `v`.
+    pub fn reaches(&self, u: InstId, v: InstId) -> bool {
+        self.reach[u.index()].contains(v.index())
+    }
+
+    /// Returns `true` if some dependence path connects the pair in either
+    /// direction (no scheduling-graph edge may exist between them).
+    pub fn ordered(&self, u: InstId, v: InstId) -> bool {
+        self.reaches(u, v) || self.reaches(v, u)
+    }
+
+    /// Exit branches in program order.
+    pub fn exits(&self) -> &[InstId] {
+        &self.exits
+    }
+
+    /// Longest dependence path from `u` to exit number `k` (program order),
+    /// `None` when exit `k` does not require `u`.
+    pub fn dist_to_exit(&self, u: InstId, k: usize) -> Option<i64> {
+        self.dist_to_exit[k][u.index()]
+    }
+
+    /// Latest start of `u` induced by the per-exit target cycles: the
+    /// minimum over exits `x` requiring `u` of `target(x) − dist(u, x)`.
+    ///
+    /// Exits themselves are constrained by their own target. Instructions
+    /// reaching no exit (only live-ins can be such) get `i64::MAX`.
+    pub fn lstart(&self, u: InstId, targets: &ExitTargets) -> i64 {
+        let mut best = i64::MAX;
+        for (k, _) in self.exits.iter().enumerate() {
+            if let Some(d) = self.dist_to_exit[k][u.index()] {
+                best = best.min(targets.cycle(k) - d);
+            }
+        }
+        best
+    }
+
+    /// Latest starts for all instructions under `targets`.
+    pub fn lstarts(&self, targets: &ExitTargets) -> Vec<i64> {
+        (0..self.estart.len())
+            .map(|i| self.lstart(InstId(i as u32), targets))
+            .collect()
+    }
+
+    /// Dependence-only lower bounds on exit cycles, in exit order — the
+    /// starting point of the paper's minAWCT computation (§2.2).
+    pub fn min_exit_cycles(&self) -> Vec<i64> {
+        self.exits.iter().map(|x| self.estart(*x)).collect()
+    }
+
+    /// The critical-path length to the final exit.
+    pub fn critical_path(&self) -> i64 {
+        self.min_exit_cycles().into_iter().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::awct::ExitTargets;
+    use crate::superblock::SuperblockBuilder;
+    use vcsched_arch::OpClass;
+
+    /// The paper's Fig. 1 block: see crate docs.
+    fn fig1() -> Superblock {
+        let mut b = SuperblockBuilder::new("fig1");
+        let i0 = b.inst(OpClass::Int, 2);
+        let i1 = b.inst(OpClass::Int, 2);
+        let i2 = b.inst(OpClass::Int, 2);
+        let i3 = b.inst(OpClass::Int, 2);
+        let b0 = b.exit(3, 0.3);
+        let i4 = b.inst(OpClass::Int, 2);
+        let b1 = b.exit(3, 0.7);
+        b.data_dep(i0, i1)
+            .data_dep(i0, i2)
+            .data_dep(i0, i3)
+            .data_dep(i3, b0)
+            .data_dep(i1, i4)
+            .data_dep(i2, i4)
+            .data_dep(i4, b1)
+            .ctrl_dep(b0, b1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn fig1_estarts_match_paper() {
+        let sb = fig1();
+        let dg = DepGraph::new(&sb);
+        // Paper §2.2: B0 earliest at cycle 4, B1 earliest at cycle 6.
+        assert_eq!(dg.estart(InstId(0)), 0); // I0
+        assert_eq!(dg.estart(InstId(1)), 2); // I1
+        assert_eq!(dg.estart(InstId(3)), 2); // I3
+        assert_eq!(dg.estart(InstId(4)), 4); // B0
+        assert_eq!(dg.estart(InstId(5)), 4); // I4
+        assert_eq!(dg.estart(InstId(6)), 6); // B1
+        assert_eq!(dg.min_exit_cycles(), vec![4, 6]);
+        assert_eq!(dg.critical_path(), 6);
+    }
+
+    #[test]
+    fn fig1_reachability() {
+        let sb = fig1();
+        let dg = DepGraph::new(&sb);
+        let (i0, i1, i4, b0, b1) = (InstId(0), InstId(1), InstId(5), InstId(4), InstId(6));
+        assert!(dg.reaches(i0, b1));
+        assert!(dg.reaches(i1, i4));
+        assert!(!dg.reaches(i4, i1));
+        assert!(dg.ordered(i1, i4));
+        // I4 and B0 are unordered: the pair the paper studies in stage 1.
+        assert!(!dg.ordered(i4, b0));
+        assert!(dg.ordered(b0, b1));
+    }
+
+    #[test]
+    fn fig1_lstarts_for_targets() {
+        let sb = fig1();
+        let dg = DepGraph::new(&sb);
+        // AWCT 9.4 state of the worked example: B0 target 5, B1 target 7.
+        let targets = ExitTargets::new(&sb, vec![5, 7]);
+        // I0 must start by min(5-4, 7-6) = 1 (paper Fig. 9: lstart(I0)=1).
+        assert_eq!(dg.lstart(InstId(0), &targets), 1);
+        // I3 feeds only B0: lstart = 5 − 2 = 3 (paper: lstart(I3)=3).
+        assert_eq!(dg.lstart(InstId(3), &targets), 3);
+        // I4 feeds only B1: lstart = 7 − 2 = 5.
+        assert_eq!(dg.lstart(InstId(5), &targets), 5);
+        // Exits pinned at their targets.
+        assert_eq!(dg.lstart(InstId(4), &targets), 5);
+        assert_eq!(dg.lstart(InstId(6), &targets), 7);
+    }
+
+    #[test]
+    fn live_in_has_estart_zero_and_unbounded_lstart() {
+        let mut b = SuperblockBuilder::new("li");
+        let li = b.live_in();
+        let i = b.inst(OpClass::Int, 1);
+        let x = b.exit(1, 1.0);
+        b.data_dep(li, i).data_dep(i, x);
+        let sb = b.build().unwrap();
+        let dg = DepGraph::new(&sb);
+        assert_eq!(dg.estart(li), 0);
+        let targets = ExitTargets::new(&sb, vec![1]);
+        // li → i (lat 0) → x (lat 1): lstart(li) = 1 − 1 = 0.
+        assert_eq!(dg.lstart(li, &targets), 0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Instructions and dependences.
+
+use serde::{Deserialize, Serialize};
+use vcsched_arch::OpClass;
+
+/// Index of an instruction inside its superblock.
+///
+/// Instruction ids double as the *lexicographic order* used to orient
+/// scheduling-graph combinations (paper §3.1: "Given a unique identifier for
+/// each instruction and a lexicographic order among them…").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct InstId(pub u32);
+
+impl InstId {
+    /// The underlying index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for InstId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+/// Kind of a dependence-graph edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DepKind {
+    /// Register value flow: the target consumes the value the source
+    /// produces. On a clustered machine a data dependence crossing clusters
+    /// needs a copy operation.
+    Data,
+    /// Ordering only (branch order, non-speculatable operations). Never
+    /// requires a copy.
+    Control,
+}
+
+/// A dependence-graph edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dep {
+    /// Source instruction.
+    pub from: InstId,
+    /// Target instruction.
+    pub to: InstId,
+    /// Edge kind.
+    pub kind: DepKind,
+    /// Minimum cycle distance: `cycle(to) ≥ cycle(from) + latency`.
+    pub latency: u32,
+}
+
+/// One operation of a superblock.
+///
+/// Constructed through [`SuperblockBuilder`](crate::SuperblockBuilder);
+/// fields are read through accessors so representation can evolve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Instruction {
+    pub(crate) class: OpClass,
+    pub(crate) latency: u32,
+    /// `Some(p)` for exit branches: probability the exit is taken.
+    pub(crate) exit_prob: Option<f64>,
+    /// Live-in pseudo-instruction: pre-scheduled at cycle 0, pinned to a
+    /// cluster by the driver, occupies no resources.
+    pub(crate) live_in: bool,
+}
+
+impl Instruction {
+    /// Operation class.
+    pub fn class(&self) -> OpClass {
+        self.class
+    }
+
+    /// Latency in cycles (0 for live-in pseudo-instructions).
+    pub fn latency(&self) -> u32 {
+        self.latency
+    }
+
+    /// Exit probability, for exit branches.
+    pub fn exit_prob(&self) -> Option<f64> {
+        self.exit_prob
+    }
+
+    /// Returns `true` for superblock exits (branches).
+    pub fn is_exit(&self) -> bool {
+        self.exit_prob.is_some()
+    }
+
+    /// Returns `true` for live-in pseudo-instructions.
+    pub fn is_live_in(&self) -> bool {
+        self.live_in
+    }
+
+    /// Returns `true` if the instruction occupies a functional-unit slot
+    /// (live-ins do not: they model values already sitting in a register
+    /// file at entry).
+    pub fn uses_resources(&self) -> bool {
+        !self.live_in
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inst_id_ordering_is_lexicographic() {
+        assert!(InstId(3) < InstId(10));
+        assert_eq!(InstId(4).index(), 4);
+        assert_eq!(InstId(4).to_string(), "i4");
+    }
+
+    #[test]
+    fn live_in_uses_no_resources() {
+        let li = Instruction {
+            class: OpClass::Int,
+            latency: 0,
+            exit_prob: None,
+            live_in: true,
+        };
+        assert!(li.is_live_in());
+        assert!(!li.uses_resources());
+        assert!(!li.is_exit());
+    }
+
+    #[test]
+    fn exit_detection() {
+        let b = Instruction {
+            class: OpClass::Branch,
+            latency: 3,
+            exit_prob: Some(0.25),
+            live_in: false,
+        };
+        assert!(b.is_exit());
+        assert_eq!(b.exit_prob(), Some(0.25));
+    }
+}

@@ -1,0 +1,142 @@
+//! Final schedules: the common output format of every scheduler.
+
+use serde::{Deserialize, Serialize};
+use vcsched_arch::ClusterId;
+
+use crate::awct::awct_of_cycles;
+use crate::inst::InstId;
+use crate::superblock::Superblock;
+
+/// An inter-cluster copy operation materialised by a scheduler.
+///
+/// The copy reads `value` (the result of instruction `value`) from register
+/// file `from` at `cycle` and makes it available in register file `to` at
+/// `cycle + bus_latency`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CopyOp {
+    /// Producer of the transported value.
+    pub value: InstId,
+    /// Source cluster.
+    pub from: ClusterId,
+    /// Destination cluster.
+    pub to: ClusterId,
+    /// Issue cycle of the copy.
+    pub cycle: i64,
+}
+
+/// A complete schedule for one superblock on one machine.
+///
+/// Produced by the virtual-cluster scheduler and by the CARS baseline, and
+/// checked by `vcsched-sim`. Cycle/cluster vectors are indexed by
+/// [`InstId`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Issue cycle per instruction.
+    pub cycles: Vec<i64>,
+    /// Executing cluster per instruction (live-ins: their home cluster).
+    pub clusters: Vec<ClusterId>,
+    /// Copy operations, in no particular order.
+    pub copies: Vec<CopyOp>,
+}
+
+impl Schedule {
+    /// Issue cycle of `id`.
+    pub fn cycle(&self, id: InstId) -> i64 {
+        self.cycles[id.index()]
+    }
+
+    /// Cluster of `id`.
+    pub fn cluster(&self, id: InstId) -> ClusterId {
+        self.clusters[id.index()]
+    }
+
+    /// The AWCT of this schedule for `sb` (§2.2).
+    pub fn awct(&self, sb: &Superblock) -> f64 {
+        let (exits, cycles): (Vec<(f64, u32)>, Vec<i64>) = sb
+            .exits()
+            .map(|(id, p)| ((p, sb.inst(id).latency()), self.cycle(id)))
+            .unzip();
+        awct_of_cycles(&exits, &cycles)
+    }
+
+    /// Weighted cycle contribution `TC(S) = AWCT(S) · T(S)` (§2.2).
+    pub fn total_cycles(&self, sb: &Superblock) -> f64 {
+        self.awct(sb) * sb.weight() as f64
+    }
+
+    /// Last cycle in which anything is in flight (schedule length).
+    pub fn makespan(&self, sb: &Superblock) -> i64 {
+        let inst_end = sb
+            .ids()
+            .map(|id| self.cycle(id) + sb.inst(id).latency() as i64)
+            .max()
+            .unwrap_or(0);
+        let copy_end = self.copies.iter().map(|c| c.cycle + 1).max().unwrap_or(0);
+        inst_end.max(copy_end)
+    }
+
+    /// Number of inter-cluster copies.
+    pub fn copy_count(&self) -> usize {
+        self.copies.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::superblock::SuperblockBuilder;
+    use vcsched_arch::OpClass;
+
+    fn block() -> Superblock {
+        let mut b = SuperblockBuilder::new("t");
+        let i = b.inst(OpClass::Int, 2);
+        let b0 = b.exit(3, 0.3);
+        let b1 = b.exit(3, 0.7);
+        b.data_dep(i, b0).data_dep(i, b1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn awct_matches_paper_formula() {
+        let sb = block();
+        let s = Schedule {
+            cycles: vec![0, 4, 6],
+            clusters: vec![ClusterId(0); 3],
+            copies: vec![],
+        };
+        assert!((s.awct(&sb) - 8.4).abs() < 1e-12);
+        assert_eq!(s.makespan(&sb), 9);
+        assert_eq!(s.copy_count(), 0);
+    }
+
+    #[test]
+    fn total_cycles_scales_with_weight() {
+        let mut b = SuperblockBuilder::new("t");
+        let x = b.exit(1, 1.0);
+        b.weight(100);
+        let _ = x;
+        let sb = b.build().unwrap();
+        let s = Schedule {
+            cycles: vec![2],
+            clusters: vec![ClusterId(0)],
+            copies: vec![],
+        };
+        assert!((s.total_cycles(&sb) - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn makespan_covers_copies() {
+        let sb = block();
+        let s = Schedule {
+            cycles: vec![0, 4, 6],
+            clusters: vec![ClusterId(0); 3],
+            copies: vec![CopyOp {
+                value: InstId(0),
+                from: ClusterId(0),
+                to: ClusterId(1),
+                cycle: 20,
+            }],
+        };
+        assert_eq!(s.makespan(&sb), 21);
+    }
+}

@@ -1,0 +1,455 @@
+//! Superblock container and validating builder.
+
+use serde::{Deserialize, Serialize};
+use vcsched_arch::OpClass;
+
+use crate::inst::{Dep, DepKind, InstId, Instruction};
+
+/// Validation failure produced by [`SuperblockBuilder::build`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildError {
+    /// A superblock needs at least one exit branch.
+    NoExit,
+    /// An exit probability was outside `(0, 1]`.
+    BadProbability(InstId, f64),
+    /// Exit probabilities must sum to 1 (±1e-6).
+    ProbabilitySum(f64),
+    /// A dependence referenced a missing instruction.
+    DanglingDep(InstId),
+    /// A dependence connected an instruction to itself.
+    SelfDep(InstId),
+    /// Dependences must flow forward: from a lower id to a higher id
+    /// (superblocks are straight-line code in program order).
+    BackwardDep(InstId, InstId),
+    /// A live-in pseudo-instruction had an incoming dependence.
+    DepIntoLiveIn(InstId),
+    /// A non-exit instruction has no path to any exit, so its latest start
+    /// would be unbounded (dead code is not schedulable meaningfully).
+    DeadInstruction(InstId),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::NoExit => write!(f, "superblock has no exit branch"),
+            BuildError::BadProbability(id, p) => {
+                write!(f, "exit {id} probability {p} outside (0, 1]")
+            }
+            BuildError::ProbabilitySum(s) => {
+                write!(f, "exit probabilities sum to {s}, expected 1")
+            }
+            BuildError::DanglingDep(id) => write!(f, "dependence references missing {id}"),
+            BuildError::SelfDep(id) => write!(f, "self-dependence on {id}"),
+            BuildError::BackwardDep(from, to) => {
+                write!(f, "backward dependence {from} -> {to}")
+            }
+            BuildError::DepIntoLiveIn(id) => write!(f, "dependence into live-in {id}"),
+            BuildError::DeadInstruction(id) => {
+                write!(f, "{id} reaches no exit (dead code)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// An immutable, validated superblock.
+///
+/// Create with [`SuperblockBuilder`]. Instruction ids are dense indices in
+/// program order; exit branches appear in program order and their
+/// probabilities sum to 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Superblock {
+    name: String,
+    insts: Vec<Instruction>,
+    deps: Vec<Dep>,
+    /// Execution count `T(S)` from profiling; weights the block's
+    /// contribution `TC(S) = AWCT(S) · T(S)` to total cycles.
+    weight: u64,
+}
+
+impl Superblock {
+    /// Block name (used in reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All instructions, indexed by [`InstId`].
+    pub fn insts(&self) -> &[Instruction] {
+        &self.insts
+    }
+
+    /// The instruction with id `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn inst(&self, id: InstId) -> &Instruction {
+        &self.insts[id.index()]
+    }
+
+    /// Number of instructions, live-ins included.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Returns `true` if the block has no instructions (never for built
+    /// blocks, which require an exit).
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Number of real operations (excluding live-in pseudo-instructions).
+    pub fn op_count(&self) -> usize {
+        self.insts.iter().filter(|i| !i.is_live_in()).count()
+    }
+
+    /// All dependences.
+    pub fn deps(&self) -> &[Dep] {
+        &self.deps
+    }
+
+    /// Exit branches in program order with their probabilities.
+    pub fn exits(&self) -> impl Iterator<Item = (InstId, f64)> + '_ {
+        self.insts.iter().enumerate().filter_map(|(i, inst)| {
+            inst.exit_prob().map(|p| (InstId(i as u32), p))
+        })
+    }
+
+    /// Live-in pseudo-instructions in declaration order.
+    pub fn live_ins(&self) -> impl Iterator<Item = InstId> + '_ {
+        self.insts.iter().enumerate().filter_map(|(i, inst)| {
+            inst.is_live_in().then_some(InstId(i as u32))
+        })
+    }
+
+    /// Execution count from profiling.
+    pub fn weight(&self) -> u64 {
+        self.weight
+    }
+
+    /// Ids of every instruction.
+    pub fn ids(&self) -> impl Iterator<Item = InstId> + '_ {
+        (0..self.insts.len() as u32).map(InstId)
+    }
+}
+
+/// Builder for [`Superblock`] (see the [crate docs](crate) for an example).
+///
+/// Instructions are appended in program order; dependences must flow
+/// forward. `build` validates the block and adds control dependences
+/// between consecutive exit branches so branch order is preserved by any
+/// schedule (superblock semantics).
+#[derive(Debug, Clone)]
+pub struct SuperblockBuilder {
+    name: String,
+    insts: Vec<Instruction>,
+    deps: Vec<Dep>,
+    weight: u64,
+}
+
+impl SuperblockBuilder {
+    /// Starts an empty superblock named `name`.
+    pub fn new(name: &str) -> Self {
+        SuperblockBuilder {
+            name: name.to_owned(),
+            insts: Vec::new(),
+            deps: Vec::new(),
+            weight: 1,
+        }
+    }
+
+    /// Appends a non-exit instruction of `class` with `latency` cycles.
+    pub fn inst(&mut self, class: OpClass, latency: u32) -> InstId {
+        self.push(Instruction {
+            class,
+            latency,
+            exit_prob: None,
+            live_in: false,
+        })
+    }
+
+    /// Appends an exit branch with `latency` and taken-probability `prob`.
+    pub fn exit(&mut self, latency: u32, prob: f64) -> InstId {
+        self.push(Instruction {
+            class: OpClass::Branch,
+            latency,
+            exit_prob: Some(prob),
+            live_in: false,
+        })
+    }
+
+    /// Appends a live-in pseudo-instruction: a value available in some
+    /// register file at cycle 0. The owning cluster is chosen by the
+    /// scheduling driver, not the IR.
+    pub fn live_in(&mut self) -> InstId {
+        self.push(Instruction {
+            class: OpClass::Int,
+            latency: 0,
+            exit_prob: None,
+            live_in: true,
+        })
+    }
+
+    fn push(&mut self, inst: Instruction) -> InstId {
+        self.insts.push(inst);
+        InstId(self.insts.len() as u32 - 1)
+    }
+
+    /// Adds a data dependence; the latency is the producer's latency.
+    pub fn data_dep(&mut self, from: InstId, to: InstId) -> &mut Self {
+        let latency = self
+            .insts
+            .get(from.index())
+            .map(|i| i.latency())
+            .unwrap_or(0);
+        self.deps.push(Dep {
+            from,
+            to,
+            kind: DepKind::Data,
+            latency,
+        });
+        self
+    }
+
+    /// Adds a control (ordering) dependence with latency 1.
+    pub fn ctrl_dep(&mut self, from: InstId, to: InstId) -> &mut Self {
+        self.deps.push(Dep {
+            from,
+            to,
+            kind: DepKind::Control,
+            latency: 1,
+        });
+        self
+    }
+
+    /// Adds a raw dependence with explicit kind and latency.
+    pub fn dep(&mut self, from: InstId, to: InstId, kind: DepKind, latency: u32) -> &mut Self {
+        self.deps.push(Dep {
+            from,
+            to,
+            kind,
+            latency,
+        });
+        self
+    }
+
+    /// Sets the profiled execution count (default 1).
+    pub fn weight(&mut self, count: u64) -> &mut Self {
+        self.weight = count;
+        self
+    }
+
+    /// Validates and produces the [`Superblock`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`BuildError`] encountered; see that type for the
+    /// full list of enforced invariants.
+    pub fn build(&self) -> Result<Superblock, BuildError> {
+        let n = self.insts.len();
+        // Exits exist, probabilities are sane.
+        let exits: Vec<(InstId, f64)> = self
+            .insts
+            .iter()
+            .enumerate()
+            .filter_map(|(i, inst)| inst.exit_prob().map(|p| (InstId(i as u32), p)))
+            .collect();
+        if exits.is_empty() {
+            return Err(BuildError::NoExit);
+        }
+        for &(id, p) in &exits {
+            if !(p > 0.0 && p <= 1.0) {
+                return Err(BuildError::BadProbability(id, p));
+            }
+        }
+        let sum: f64 = exits.iter().map(|&(_, p)| p).sum();
+        if (sum - 1.0).abs() > 1e-6 {
+            return Err(BuildError::ProbabilitySum(sum));
+        }
+        // Dependence sanity.
+        for d in &self.deps {
+            if d.from.index() >= n || d.to.index() >= n {
+                let bad = if d.from.index() >= n { d.from } else { d.to };
+                return Err(BuildError::DanglingDep(bad));
+            }
+            if d.from == d.to {
+                return Err(BuildError::SelfDep(d.from));
+            }
+            if d.from > d.to {
+                return Err(BuildError::BackwardDep(d.from, d.to));
+            }
+            if self.insts[d.to.index()].is_live_in() {
+                return Err(BuildError::DepIntoLiveIn(d.to));
+            }
+        }
+        // Branch ordering: control edges between consecutive exits.
+        let mut deps = self.deps.clone();
+        for pair in exits.windows(2) {
+            let (a, b) = (pair[0].0, pair[1].0);
+            let present = deps
+                .iter()
+                .any(|d| d.from == a && d.to == b && d.kind == DepKind::Control);
+            if !present {
+                deps.push(Dep {
+                    from: a,
+                    to: b,
+                    kind: DepKind::Control,
+                    latency: 1,
+                });
+            }
+        }
+        // Every non-exit reaches an exit (forward edges ⇒ acyclic; simple
+        // reverse-reachability walk suffices).
+        let mut reaches_exit = vec![false; n];
+        for &(id, _) in &exits {
+            reaches_exit[id.index()] = true;
+        }
+        // Deps flow forward, so one reverse pass in decreasing `from` order
+        // propagates reachability completely.
+        let mut sorted: Vec<&Dep> = deps.iter().collect();
+        sorted.sort_by_key(|d| std::cmp::Reverse(d.from));
+        for d in sorted {
+            if reaches_exit[d.to.index()] {
+                reaches_exit[d.from.index()] = true;
+            }
+        }
+        for (i, inst) in self.insts.iter().enumerate() {
+            if !reaches_exit[i] && !inst.is_exit() && !inst.is_live_in() {
+                return Err(BuildError::DeadInstruction(InstId(i as u32)));
+            }
+        }
+        Ok(Superblock {
+            name: self.name.clone(),
+            insts: self.insts.clone(),
+            deps,
+            weight: self.weight,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SuperblockBuilder {
+        let mut b = SuperblockBuilder::new("t");
+        let i0 = b.inst(OpClass::Int, 1);
+        let x = b.exit(1, 1.0);
+        b.data_dep(i0, x);
+        b
+    }
+
+    #[test]
+    fn minimal_block_builds() {
+        let sb = tiny().build().unwrap();
+        assert_eq!(sb.len(), 2);
+        assert_eq!(sb.op_count(), 2);
+        assert_eq!(sb.exits().count(), 1);
+        assert_eq!(sb.weight(), 1);
+        assert_eq!(sb.name(), "t");
+    }
+
+    #[test]
+    fn no_exit_rejected() {
+        let mut b = SuperblockBuilder::new("t");
+        b.inst(OpClass::Int, 1);
+        assert_eq!(b.build().unwrap_err(), BuildError::NoExit);
+    }
+
+    #[test]
+    fn probability_sum_enforced() {
+        let mut b = SuperblockBuilder::new("t");
+        b.exit(1, 0.4);
+        b.exit(1, 0.4);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            BuildError::ProbabilitySum(_)
+        ));
+    }
+
+    #[test]
+    fn bad_probability_rejected() {
+        let mut b = SuperblockBuilder::new("t");
+        b.exit(1, 0.0);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            BuildError::BadProbability(_, _)
+        ));
+    }
+
+    #[test]
+    fn backward_dep_rejected() {
+        let mut b = SuperblockBuilder::new("t");
+        let i0 = b.inst(OpClass::Int, 1);
+        let x = b.exit(1, 1.0);
+        b.data_dep(x, i0);
+        assert_eq!(b.build().unwrap_err(), BuildError::BackwardDep(x, i0));
+    }
+
+    #[test]
+    fn self_dep_rejected() {
+        let mut b = SuperblockBuilder::new("t");
+        let i0 = b.inst(OpClass::Int, 1);
+        let x = b.exit(1, 1.0);
+        b.data_dep(i0, i0);
+        b.data_dep(i0, x);
+        assert_eq!(b.build().unwrap_err(), BuildError::SelfDep(i0));
+    }
+
+    #[test]
+    fn dead_instruction_rejected() {
+        let mut b = SuperblockBuilder::new("t");
+        b.inst(OpClass::Int, 1); // never connected
+        b.exit(1, 1.0);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            BuildError::DeadInstruction(_)
+        ));
+    }
+
+    #[test]
+    fn dep_into_live_in_rejected() {
+        let mut b = SuperblockBuilder::new("t");
+        let i0 = b.inst(OpClass::Int, 1);
+        let li = b.live_in();
+        let x = b.exit(1, 1.0);
+        b.data_dep(i0, x);
+        b.dep(i0, li, DepKind::Data, 1);
+        assert_eq!(b.build().unwrap_err(), BuildError::DepIntoLiveIn(li));
+    }
+
+    #[test]
+    fn consecutive_branches_auto_ordered() {
+        let mut b = SuperblockBuilder::new("t");
+        let b0 = b.exit(1, 0.5);
+        let b1 = b.exit(1, 0.5);
+        let sb = b.build().unwrap();
+        assert!(sb
+            .deps()
+            .iter()
+            .any(|d| d.from == b0 && d.to == b1 && d.kind == DepKind::Control));
+    }
+
+    #[test]
+    fn live_ins_listed_and_resource_free() {
+        let mut b = SuperblockBuilder::new("t");
+        let li = b.live_in();
+        let i = b.inst(OpClass::Int, 1);
+        let x = b.exit(1, 1.0);
+        b.data_dep(li, i).data_dep(i, x);
+        let sb = b.build().unwrap();
+        assert_eq!(sb.live_ins().collect::<Vec<_>>(), vec![li]);
+        assert_eq!(sb.op_count(), 2);
+        // Live-in data-dep latency is 0: value ready at entry.
+        let d = sb.deps().iter().find(|d| d.from == li).unwrap();
+        assert_eq!(d.latency, 0);
+    }
+
+    #[test]
+    fn build_error_display() {
+        let e = BuildError::ProbabilitySum(0.8);
+        assert!(e.to_string().contains("0.8"));
+        let _: &dyn std::error::Error = &e;
+    }
+}

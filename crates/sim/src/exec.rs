@@ -1,0 +1,281 @@
+//! Trace-driven execution of scheduled superblocks.
+//!
+//! The paper scores schedules statically (`AWCT`, §2.2) because a
+//! lockstep VLIW never stalls: the dynamic cycle count of one execution is
+//! fully determined by which exit is taken. This module closes the loop by
+//! *running* the schedule: it samples exits from the profile distribution
+//! for many iterations and reports the empirical mean cycles, which must
+//! converge to the static AWCT — an end-to-end cross-check between the
+//! static accounting and an independent dynamic model, plus the utilization
+//! statistics only an execution model can provide.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vcsched_arch::{MachineConfig, OpClass};
+use vcsched_ir::{InstId, Schedule, Superblock};
+
+use crate::{validate, Violation};
+
+/// Options for [`execute`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Number of sampled executions.
+    pub iterations: u64,
+    /// RNG seed for exit sampling.
+    pub seed: u64,
+    /// Validate the schedule before executing (recommended; turn off only
+    /// when the caller has already validated).
+    pub check: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            iterations: 10_000,
+            seed: 0xEC5,
+            check: true,
+        }
+    }
+}
+
+/// Failure of [`execute`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// The schedule failed validation; executing it would be meaningless.
+    Invalid(Vec<Violation>),
+    /// The block has no exits (unreachable for built superblocks).
+    NoExits,
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Invalid(v) => write!(f, "schedule invalid: {} violations", v.len()),
+            ExecError::NoExits => write!(f, "superblock has no exits"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Result of a trace-driven execution run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecReport {
+    /// Executions sampled.
+    pub iterations: u64,
+    /// Empirical mean completion cycles (→ AWCT as iterations grow).
+    pub mean_cycles: f64,
+    /// Static AWCT of the same schedule, for comparison.
+    pub static_awct: f64,
+    /// Taken counts per exit, in program order.
+    pub exit_counts: Vec<(InstId, u64)>,
+    /// Fraction of functional-unit issue slots used over the full
+    /// schedule length (all-exits-survive execution).
+    pub fu_utilization: f64,
+    /// Cycles during which at least one bus transfer was in flight.
+    pub bus_busy_cycles: u64,
+}
+
+/// Executes `schedule` on `machine`, sampling exits from `sb`'s profile.
+///
+/// # Errors
+///
+/// [`ExecError::Invalid`] when `opts.check` is on and the schedule fails
+/// [`validate`]; [`ExecError::NoExits`] for exit-less blocks (impossible
+/// for blocks built through `SuperblockBuilder`).
+pub fn execute(
+    sb: &Superblock,
+    machine: &MachineConfig,
+    schedule: &Schedule,
+    opts: &ExecOptions,
+) -> Result<ExecReport, ExecError> {
+    if opts.check {
+        validate(sb, machine, schedule).map_err(ExecError::Invalid)?;
+    }
+    let exits: Vec<(InstId, f64)> = sb.exits().collect();
+    if exits.is_empty() {
+        return Err(ExecError::NoExits);
+    }
+
+    // Completion cycle of each exit: issue + latency.
+    let completion: Vec<i64> = exits
+        .iter()
+        .map(|&(id, _)| schedule.cycle(id) + sb.inst(id).latency() as i64)
+        .collect();
+
+    // Sample exits. Conditional probability of leaving at exit i given
+    // survival so far: p_i / (p_i + p_{i+1} + …).
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut remaining_suffix: Vec<f64> = vec![0.0; exits.len()];
+    let mut acc = 0.0;
+    for i in (0..exits.len()).rev() {
+        acc += exits[i].1;
+        remaining_suffix[i] = acc;
+    }
+    let mut counts = vec![0u64; exits.len()];
+    let mut total = 0u128;
+    for _ in 0..opts.iterations {
+        let mut taken = exits.len() - 1;
+        for i in 0..exits.len() - 1 {
+            let cond = exits[i].1 / remaining_suffix[i];
+            if rng.gen_bool(cond.clamp(0.0, 1.0)) {
+                taken = i;
+                break;
+            }
+        }
+        counts[taken] += 1;
+        total += completion[taken] as u128;
+    }
+
+    // Utilization over the full schedule (the all-exits-survive path).
+    let makespan = schedule.makespan(sb).max(1);
+    let slots_per_cycle: usize = OpClass::FU_CLASSES
+        .iter()
+        .map(|&c| machine.capacity(c) * machine.cluster_count())
+        .sum();
+    let used: usize = sb
+        .ids()
+        .filter(|&id| sb.inst(id).uses_resources())
+        .count();
+    let fu_utilization = used as f64 / (slots_per_cycle as f64 * makespan as f64);
+
+    let mut bus_busy = std::collections::HashSet::new();
+    for cp in &schedule.copies {
+        for dt in 0..machine.bus_occupancy() as i64 {
+            bus_busy.insert(cp.cycle + dt);
+        }
+    }
+
+    Ok(ExecReport {
+        iterations: opts.iterations,
+        mean_cycles: total as f64 / opts.iterations.max(1) as f64,
+        static_awct: schedule.awct(sb),
+        exit_counts: exits
+            .iter()
+            .map(|&(id, _)| id)
+            .zip(counts.iter().copied())
+            .map(|(id, c)| (id, c))
+            .collect(),
+        fu_utilization,
+        bus_busy_cycles: bus_busy.len() as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcsched_arch::ClusterId;
+    use vcsched_ir::SuperblockBuilder;
+
+    fn two_exit_block() -> (Superblock, Schedule, MachineConfig) {
+        let mut b = SuperblockBuilder::new("t");
+        let i = b.inst(OpClass::Int, 2);
+        let b0 = b.exit(3, 0.3);
+        let b1 = b.exit(3, 0.7);
+        b.data_dep(i, b0).data_dep(i, b1);
+        let sb = b.build().unwrap();
+        let s = Schedule {
+            cycles: vec![0, 4, 6],
+            clusters: vec![ClusterId(0); 3],
+            copies: vec![],
+        };
+        (sb, s, MachineConfig::paper_2c_8w())
+    }
+
+    #[test]
+    fn mean_converges_to_awct() {
+        let (sb, s, m) = two_exit_block();
+        let r = execute(&sb, &m, &s, &ExecOptions::default()).unwrap();
+        // AWCT = 0.3·7 + 0.7·9 = 8.4; 10k samples keep the error tiny.
+        assert!((r.static_awct - 8.4).abs() < 1e-12);
+        assert!(
+            (r.mean_cycles - r.static_awct).abs() < 0.1,
+            "empirical {} vs static {}",
+            r.mean_cycles,
+            r.static_awct
+        );
+    }
+
+    #[test]
+    fn exit_frequencies_match_profile() {
+        let (sb, s, m) = two_exit_block();
+        let r = execute(&sb, &m, &s, &ExecOptions::default()).unwrap();
+        let taken0 = r.exit_counts[0].1 as f64 / r.iterations as f64;
+        assert!((taken0 - 0.3).abs() < 0.02, "exit0 rate {taken0}");
+        let total: u64 = r.exit_counts.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, r.iterations, "every run takes exactly one exit");
+    }
+
+    #[test]
+    fn execution_is_deterministic_per_seed() {
+        let (sb, s, m) = two_exit_block();
+        let a = execute(&sb, &m, &s, &ExecOptions::default()).unwrap();
+        let b = execute(&sb, &m, &s, &ExecOptions::default()).unwrap();
+        assert_eq!(a, b);
+        let c = execute(
+            &sb,
+            &m,
+            &s,
+            &ExecOptions {
+                seed: 99,
+                ..ExecOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(c.static_awct, a.static_awct);
+    }
+
+    #[test]
+    fn invalid_schedule_rejected() {
+        let (sb, _, m) = two_exit_block();
+        let bad = Schedule {
+            cycles: vec![0, 0, 1], // exit before the value exists
+            clusters: vec![ClusterId(0); 3],
+            copies: vec![],
+        };
+        let err = execute(&sb, &m, &bad, &ExecOptions::default()).unwrap_err();
+        assert!(matches!(err, ExecError::Invalid(_)));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn check_can_be_skipped() {
+        let (sb, _, m) = two_exit_block();
+        let bad = Schedule {
+            cycles: vec![0, 0, 1],
+            clusters: vec![ClusterId(0); 3],
+            copies: vec![],
+        };
+        let opts = ExecOptions {
+            check: false,
+            iterations: 10,
+            ..ExecOptions::default()
+        };
+        assert!(execute(&sb, &m, &bad, &opts).is_ok());
+    }
+
+    #[test]
+    fn utilization_bounded_and_positive() {
+        let (sb, s, m) = two_exit_block();
+        let r = execute(&sb, &m, &s, &ExecOptions::default()).unwrap();
+        assert!(r.fu_utilization > 0.0 && r.fu_utilization <= 1.0);
+        assert_eq!(r.bus_busy_cycles, 0, "no copies in this schedule");
+    }
+
+    #[test]
+    fn single_exit_always_taken() {
+        let mut b = SuperblockBuilder::new("t");
+        let x = b.exit(1, 1.0);
+        let _ = x;
+        let sb = b.build().unwrap();
+        let s = Schedule {
+            cycles: vec![5],
+            clusters: vec![ClusterId(0)],
+            copies: vec![],
+        };
+        let m = MachineConfig::paper_2c_8w();
+        let r = execute(&sb, &m, &s, &ExecOptions::default()).unwrap();
+        assert_eq!(r.mean_cycles, 6.0);
+        assert_eq!(r.exit_counts[0].1, r.iterations);
+    }
+}

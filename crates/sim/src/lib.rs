@@ -1,0 +1,487 @@
+//! Schedule validation and weighted cycle accounting.
+//!
+//! The paper's §4.5 lists the conditions a valid schedule must meet; this
+//! crate checks the machine-level form of those conditions for *any*
+//! scheduler's output (the virtual-cluster scheduler and the CARS baseline
+//! both emit [`Schedule`]s):
+//!
+//! * every dependence is honoured, with inter-cluster data flow routed
+//!   through an explicit copy operation that leaves the producer's cluster
+//!   after the value exists and arrives before the consumer reads;
+//! * per-cycle resources fit: functional units per cluster and class, the
+//!   per-cluster issue width, the machine-wide branch cap, and bus
+//!   bandwidth including non-pipelined occupancy;
+//! * exits stay in program order and live-ins sit in their register file at
+//!   cycle 0.
+//!
+//! [`validate`] returns every violation found (not just the first), which
+//! makes property-test failures actionable.
+//!
+//! # Example
+//!
+//! ```
+//! use vcsched_arch::{MachineConfig, OpClass};
+//! use vcsched_cars::CarsScheduler;
+//! use vcsched_ir::SuperblockBuilder;
+//! use vcsched_sim::validate;
+//!
+//! # fn main() -> Result<(), vcsched_ir::BuildError> {
+//! let mut b = SuperblockBuilder::new("demo");
+//! let i = b.inst(OpClass::Int, 1);
+//! let x = b.exit(1, 1.0);
+//! b.data_dep(i, x);
+//! let sb = b.build()?;
+//! let m = MachineConfig::paper_2c_8w();
+//! let out = CarsScheduler::new(m.clone()).schedule(&sb);
+//! assert!(validate(&sb, &m, &out.schedule).is_ok());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod exec;
+mod listing;
+mod pressure;
+
+pub use exec::{execute, ExecError, ExecOptions, ExecReport};
+pub use listing::listing;
+pub use pressure::{pressure, PressureReport};
+
+use vcsched_arch::{ClusterId, MachineConfig, OpClass, ReservationTable};
+use vcsched_ir::{DepKind, InstId, Schedule, Superblock};
+
+/// One rule a schedule broke.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// The schedule's vectors do not match the superblock size.
+    ShapeMismatch {
+        /// Expected instruction count.
+        expected: usize,
+        /// Cycle-vector length found.
+        found: usize,
+    },
+    /// An instruction was scheduled before cycle 0.
+    NegativeCycle(InstId),
+    /// An instruction was placed on a cluster the machine does not have.
+    BadCluster(InstId, ClusterId),
+    /// A live-in was moved away from cycle 0.
+    LiveInMoved(InstId),
+    /// A dependence was violated.
+    DependenceViolated {
+        /// Producer.
+        from: InstId,
+        /// Consumer.
+        to: InstId,
+        /// Required minimum distance.
+        needed: i64,
+        /// Actual distance.
+        got: i64,
+    },
+    /// A cross-cluster data dependence has no copy delivering the value in
+    /// time (or at all).
+    MissingCopy {
+        /// Producer.
+        from: InstId,
+        /// Remote consumer.
+        to: InstId,
+    },
+    /// A copy reads the value from the wrong cluster or before it exists.
+    BadCopy {
+        /// The transported value.
+        value: InstId,
+        /// Explanation.
+        why: &'static str,
+    },
+    /// Functional-unit / issue-width / branch-cap overflow at a cycle.
+    ResourceOverflow {
+        /// Cycle of the overflow.
+        cycle: i64,
+        /// Cluster involved.
+        cluster: ClusterId,
+        /// Operation class that overflowed.
+        class: OpClass,
+    },
+    /// More bus transfers in flight than buses.
+    BusOverflow {
+        /// Cycle of the overflow.
+        cycle: i64,
+    },
+    /// Superblock exits were reordered.
+    ExitsReordered,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::ShapeMismatch { expected, found } => {
+                write!(f, "schedule covers {found} instructions, block has {expected}")
+            }
+            Violation::NegativeCycle(i) => write!(f, "{i} scheduled before cycle 0"),
+            Violation::BadCluster(i, c) => write!(f, "{i} placed on missing cluster {c}"),
+            Violation::LiveInMoved(i) => write!(f, "live-in {i} not at cycle 0"),
+            Violation::DependenceViolated {
+                from,
+                to,
+                needed,
+                got,
+            } => write!(f, "dependence {from}->{to} needs {needed} cycles, got {got}"),
+            Violation::MissingCopy { from, to } => {
+                write!(f, "no copy delivers {from}'s value to {to}")
+            }
+            Violation::BadCopy { value, why } => write!(f, "copy of {value}: {why}"),
+            Violation::ResourceOverflow {
+                cycle,
+                cluster,
+                class,
+            } => write!(f, "too many {class} ops on {cluster} at cycle {cycle}"),
+            Violation::BusOverflow { cycle } => write!(f, "bus oversubscribed at cycle {cycle}"),
+            Violation::ExitsReordered => write!(f, "superblock exits reordered"),
+        }
+    }
+}
+
+/// Summary of a validated schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduleReport {
+    /// Average weighted completion time.
+    pub awct: f64,
+    /// Weighted cycles `TC(S) = AWCT · T(S)`.
+    pub total_cycles: f64,
+    /// Schedule length.
+    pub makespan: i64,
+    /// Inter-cluster copies used.
+    pub copies: usize,
+}
+
+/// Validates `schedule` for `sb` on `machine`.
+///
+/// # Errors
+///
+/// Returns all violations found. An empty violation list is impossible in
+/// the error case.
+pub fn validate(
+    sb: &Superblock,
+    machine: &MachineConfig,
+    schedule: &Schedule,
+) -> Result<ScheduleReport, Vec<Violation>> {
+    let mut violations = Vec::new();
+    let n = sb.len();
+    if schedule.cycles.len() != n || schedule.clusters.len() != n {
+        return Err(vec![Violation::ShapeMismatch {
+            expected: n,
+            found: schedule.cycles.len().min(schedule.clusters.len()),
+        }]);
+    }
+    let k = machine.cluster_count();
+    let bus = machine.bus_latency() as i64;
+
+    for id in sb.ids() {
+        if schedule.cycle(id) < 0 {
+            violations.push(Violation::NegativeCycle(id));
+        }
+        if (schedule.cluster(id).0 as usize) >= k {
+            violations.push(Violation::BadCluster(id, schedule.cluster(id)));
+        }
+        if sb.inst(id).is_live_in() && schedule.cycle(id) != 0 {
+            violations.push(Violation::LiveInMoved(id));
+        }
+    }
+
+    // Copy sanity + per-(value, destination) arrival times.
+    let mut arrival: std::collections::HashMap<(InstId, u8), i64> = Default::default();
+    for cp in &schedule.copies {
+        let pid = cp.value;
+        if pid.index() >= n {
+            violations.push(Violation::BadCopy {
+                value: pid,
+                why: "value out of range",
+            });
+            continue;
+        }
+        if cp.from != schedule.cluster(pid) {
+            violations.push(Violation::BadCopy {
+                value: pid,
+                why: "reads from a cluster that does not hold the value",
+            });
+        }
+        if cp.from == cp.to {
+            violations.push(Violation::BadCopy {
+                value: pid,
+                why: "source and destination clusters are equal",
+            });
+        }
+        let ready = schedule.cycle(pid) + sb.inst(pid).latency() as i64;
+        if cp.cycle < ready {
+            violations.push(Violation::BadCopy {
+                value: pid,
+                why: "issued before the value exists",
+            });
+        }
+        let entry = arrival.entry((pid, cp.to.0)).or_insert(i64::MAX);
+        *entry = (*entry).min(cp.cycle + bus);
+    }
+
+    // Dependences, with cross-cluster data flow through copies.
+    for d in sb.deps() {
+        let (f, t) = (d.from, d.to);
+        let dist = schedule.cycle(t) - schedule.cycle(f);
+        match d.kind {
+            DepKind::Control => {
+                if dist < d.latency as i64 {
+                    violations.push(Violation::DependenceViolated {
+                        from: f,
+                        to: t,
+                        needed: d.latency as i64,
+                        got: dist,
+                    });
+                }
+            }
+            DepKind::Data => {
+                if schedule.cluster(f) == schedule.cluster(t) {
+                    if dist < d.latency as i64 {
+                        violations.push(Violation::DependenceViolated {
+                            from: f,
+                            to: t,
+                            needed: d.latency as i64,
+                            got: dist,
+                        });
+                    }
+                } else {
+                    match arrival.get(&(f, schedule.cluster(t).0)) {
+                        Some(&arr) if arr <= schedule.cycle(t) => {}
+                        _ => violations.push(Violation::MissingCopy { from: f, to: t }),
+                    }
+                }
+            }
+        }
+    }
+
+    // Resources: replay the whole schedule into a reservation table.
+    let mut rt = ReservationTable::new(machine);
+    for id in sb.ids() {
+        let inst = sb.inst(id);
+        if !inst.uses_resources() || schedule.cycle(id) < 0 {
+            continue;
+        }
+        if (schedule.cluster(id).0 as usize) < k
+            && !rt.try_place(schedule.cycle(id) as u32, schedule.cluster(id), inst.class())
+        {
+            violations.push(Violation::ResourceOverflow {
+                cycle: schedule.cycle(id),
+                cluster: schedule.cluster(id),
+                class: inst.class(),
+            });
+        }
+    }
+    for cp in &schedule.copies {
+        if cp.cycle >= 0 && !rt.try_reserve_bus(cp.cycle as u32) {
+            violations.push(Violation::BusOverflow { cycle: cp.cycle });
+        }
+    }
+
+    // Exit order.
+    let exit_cycles: Vec<i64> = sb.exits().map(|(id, _)| schedule.cycle(id)).collect();
+    if exit_cycles.windows(2).any(|w| w[0] >= w[1]) {
+        violations.push(Violation::ExitsReordered);
+    }
+
+    if violations.is_empty() {
+        Ok(ScheduleReport {
+            awct: schedule.awct(sb),
+            total_cycles: schedule.total_cycles(sb),
+            makespan: schedule.makespan(sb),
+            copies: schedule.copy_count(),
+        })
+    } else {
+        Err(violations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcsched_ir::{CopyOp, SuperblockBuilder};
+
+    fn remote_pair() -> (Superblock, MachineConfig) {
+        let mut b = SuperblockBuilder::new("t");
+        let p = b.inst(OpClass::Int, 1);
+        let c = b.inst(OpClass::Int, 1);
+        let x = b.exit(1, 1.0);
+        b.data_dep(p, c).data_dep(c, x);
+        (b.build().unwrap(), MachineConfig::paper_2c_8w())
+    }
+
+    #[test]
+    fn valid_local_schedule_passes() {
+        let (sb, m) = remote_pair();
+        let s = Schedule {
+            cycles: vec![0, 1, 2],
+            clusters: vec![ClusterId(0); 3],
+            copies: vec![],
+        };
+        let report = validate(&sb, &m, &s).unwrap();
+        assert_eq!(report.makespan, 3);
+        assert_eq!(report.copies, 0);
+        assert!((report.awct - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_copy_detected() {
+        let (sb, m) = remote_pair();
+        let s = Schedule {
+            cycles: vec![0, 1, 2],
+            clusters: vec![ClusterId(0), ClusterId(1), ClusterId(1)],
+            copies: vec![],
+        };
+        let errs = validate(&sb, &m, &s).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|v| matches!(v, Violation::MissingCopy { .. })));
+    }
+
+    #[test]
+    fn copy_routes_value() {
+        let (sb, m) = remote_pair();
+        let s = Schedule {
+            cycles: vec![0, 2, 3],
+            clusters: vec![ClusterId(0), ClusterId(1), ClusterId(1)],
+            copies: vec![CopyOp {
+                value: InstId(0),
+                from: ClusterId(0),
+                to: ClusterId(1),
+                cycle: 1,
+            }],
+        };
+        assert!(validate(&sb, &m, &s).is_ok());
+    }
+
+    #[test]
+    fn early_copy_detected() {
+        let (sb, m) = remote_pair();
+        let s = Schedule {
+            cycles: vec![0, 2, 3],
+            clusters: vec![ClusterId(0), ClusterId(1), ClusterId(1)],
+            copies: vec![CopyOp {
+                value: InstId(0),
+                from: ClusterId(0),
+                to: ClusterId(1),
+                cycle: 0, // value not ready until cycle 1
+            }],
+        };
+        let errs = validate(&sb, &m, &s).unwrap_err();
+        assert!(errs.iter().any(|v| matches!(v, Violation::BadCopy { .. })));
+    }
+
+    #[test]
+    fn fu_overflow_detected() {
+        let mut b = SuperblockBuilder::new("t");
+        let a = b.inst(OpClass::Mem, 1);
+        let c = b.inst(OpClass::Mem, 1);
+        let x = b.exit(1, 1.0);
+        b.data_dep(a, x).data_dep(c, x);
+        let sb = b.build().unwrap();
+        let m = MachineConfig::paper_2c_8w();
+        // Two mem ops, same cluster, same cycle: 1 mem unit per cluster.
+        let s = Schedule {
+            cycles: vec![0, 0, 1],
+            clusters: vec![ClusterId(0); 3],
+            copies: vec![],
+        };
+        let errs = validate(&sb, &m, &s).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|v| matches!(v, Violation::ResourceOverflow { class: OpClass::Mem, .. })));
+    }
+
+    #[test]
+    fn branch_cap_detected() {
+        let mut b = SuperblockBuilder::new("t");
+        let b0 = b.exit(1, 0.5);
+        let b1 = b.exit(1, 0.5);
+        let _ = (b0, b1);
+        let sb = b.build().unwrap();
+        let m = MachineConfig::paper_4c_16w_lat1();
+        let s = Schedule {
+            cycles: vec![0, 0],
+            clusters: vec![ClusterId(0), ClusterId(1)],
+            copies: vec![],
+        };
+        let errs = validate(&sb, &m, &s).unwrap_err();
+        // Both the machine-wide branch cap and the exit order trip.
+        assert!(errs
+            .iter()
+            .any(|v| matches!(v, Violation::ResourceOverflow { class: OpClass::Branch, .. })));
+        assert!(errs.iter().any(|v| matches!(v, Violation::ExitsReordered)));
+    }
+
+    #[test]
+    fn bus_occupancy_detected() {
+        let mut b = SuperblockBuilder::new("t");
+        let p = b.inst(OpClass::Int, 1);
+        let q = b.inst(OpClass::Int, 1);
+        let c = b.inst(OpClass::Int, 1);
+        let d = b.inst(OpClass::Int, 1);
+        let x = b.exit(1, 1.0);
+        b.data_dep(p, c).data_dep(q, d).data_dep(c, x).data_dep(d, x);
+        let sb = b.build().unwrap();
+        let m = MachineConfig::paper_4c_16w_lat2(); // 1 bus, 2-cycle, unpipelined
+        let s = Schedule {
+            cycles: vec![0, 0, 4, 4, 5],
+            clusters: vec![
+                ClusterId(0),
+                ClusterId(1),
+                ClusterId(2),
+                ClusterId(3),
+                ClusterId(2),
+            ],
+            copies: vec![
+                CopyOp {
+                    value: InstId(0),
+                    from: ClusterId(0),
+                    to: ClusterId(2),
+                    cycle: 1,
+                },
+                CopyOp {
+                    value: InstId(1),
+                    from: ClusterId(1),
+                    to: ClusterId(3),
+                    cycle: 2, // bus still busy with the first transfer
+                },
+            ],
+        };
+        let errs = validate(&sb, &m, &s).unwrap_err();
+        assert!(errs.iter().any(|v| matches!(v, Violation::BusOverflow { .. })));
+    }
+
+    #[test]
+    fn live_in_must_stay_at_zero() {
+        let mut b = SuperblockBuilder::new("t");
+        let v = b.live_in();
+        let i = b.inst(OpClass::Int, 1);
+        let x = b.exit(1, 1.0);
+        b.data_dep(v, i).data_dep(i, x);
+        let sb = b.build().unwrap();
+        let m = MachineConfig::paper_2c_8w();
+        let s = Schedule {
+            cycles: vec![1, 1, 2],
+            clusters: vec![ClusterId(0); 3],
+            copies: vec![],
+        };
+        let errs = validate(&sb, &m, &s).unwrap_err();
+        assert!(errs.iter().any(|v| matches!(v, Violation::LiveInMoved(_))));
+    }
+
+    #[test]
+    fn shape_mismatch_short_circuits() {
+        let (sb, m) = remote_pair();
+        let s = Schedule {
+            cycles: vec![0],
+            clusters: vec![ClusterId(0)],
+            copies: vec![],
+        };
+        let errs = validate(&sb, &m, &s).unwrap_err();
+        assert_eq!(errs.len(), 1);
+        assert!(matches!(errs[0], Violation::ShapeMismatch { .. }));
+    }
+}

@@ -1,0 +1,195 @@
+//! Register-pressure accounting for scheduled superblocks.
+//!
+//! The paper's single-communication-per-value assumption is motivated by
+//! register pressure ("more communications may help register pressure
+//! [7]", §3.3.1): every extra copy of a value parks it in another register
+//! file. This module measures exactly that — per-cluster live-value counts
+//! over the schedule — so experiments can quantify the pressure cost of a
+//! scheduler's communication choices.
+
+use vcsched_arch::MachineConfig;
+use vcsched_ir::{DepKind, Schedule, Superblock};
+
+/// Per-cluster register-pressure profile of one schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PressureReport {
+    /// Maximum simultaneous live values per cluster register file.
+    pub max_per_cluster: Vec<u32>,
+    /// Sum over cycles of live values, per cluster (area under the
+    /// pressure curve; proxy for spill likelihood).
+    pub area_per_cluster: Vec<u64>,
+    /// The cycle at which the overall maximum occurs.
+    pub peak_cycle: i64,
+}
+
+impl PressureReport {
+    /// The highest per-cluster maximum.
+    pub fn max(&self) -> u32 {
+        self.max_per_cluster.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Computes live-range pressure of `schedule`.
+///
+/// A value is live in its producer's register file from the cycle the
+/// producer completes until the last local read (consumer issue or copy
+/// departure); copies make it live in the destination file from arrival
+/// until the last remote read. Values with no reads occupy their slot for
+/// one cycle (they still get written).
+pub fn pressure(sb: &Superblock, machine: &MachineConfig, schedule: &Schedule) -> PressureReport {
+    let k = machine.cluster_count();
+    // (cluster, start, end) live intervals, end exclusive.
+    let mut intervals: Vec<(usize, i64, i64)> = Vec::new();
+
+    for id in sb.ids() {
+        let inst = sb.inst(id);
+        let home = schedule.cluster(id).0 as usize;
+        let ready = schedule.cycle(id) + inst.latency() as i64;
+        // Local reads: data consumers in the same cluster.
+        let mut last_local = ready + 1; // written ⇒ occupied ≥ 1 cycle
+        for d in sb.deps() {
+            if d.from == id && d.kind == DepKind::Data {
+                if schedule.cluster(d.to).0 as usize == home {
+                    last_local = last_local.max(schedule.cycle(d.to) + 1);
+                }
+            }
+        }
+        // Copy departures read from the home file too.
+        let mut remote_reads: Vec<(usize, i64, i64)> = Vec::new();
+        for cp in &schedule.copies {
+            if cp.value != id {
+                continue;
+            }
+            last_local = last_local.max(cp.cycle + 1);
+            let arrive = cp.cycle + machine.bus_latency() as i64;
+            // Live remotely until the last consumer on that cluster.
+            let mut last_remote = arrive + 1;
+            for d in sb.deps() {
+                if d.from == id
+                    && d.kind == DepKind::Data
+                    && schedule.cluster(d.to) == cp.to
+                {
+                    last_remote = last_remote.max(schedule.cycle(d.to) + 1);
+                }
+            }
+            remote_reads.push((cp.to.0 as usize, arrive, last_remote));
+        }
+        if !inst.is_live_in() || last_local > ready + 1 || !remote_reads.is_empty() {
+            intervals.push((home, ready.max(0), last_local));
+        }
+        intervals.extend(remote_reads);
+    }
+
+    // Sweep: pressure per (cluster, cycle).
+    let horizon = intervals.iter().map(|&(_, _, e)| e).max().unwrap_or(0);
+    let mut max_per_cluster = vec![0u32; k];
+    let mut area = vec![0u64; k];
+    let mut peak = (0u32, 0i64);
+    for cycle in 0..horizon {
+        for c in 0..k {
+            let live = intervals
+                .iter()
+                .filter(|&&(cl, s, e)| cl == c && s <= cycle && cycle < e)
+                .count() as u32;
+            max_per_cluster[c] = max_per_cluster[c].max(live);
+            area[c] += live as u64;
+            if live > peak.0 {
+                peak = (live, cycle);
+            }
+        }
+    }
+    PressureReport {
+        max_per_cluster,
+        area_per_cluster: area,
+        peak_cycle: peak.1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcsched_arch::{ClusterId, OpClass};
+    use vcsched_ir::{CopyOp, InstId, SuperblockBuilder};
+
+    fn chain() -> Superblock {
+        let mut b = SuperblockBuilder::new("t");
+        let p = b.inst(OpClass::Int, 1);
+        let q = b.inst(OpClass::Int, 1);
+        let x = b.exit(1, 1.0);
+        b.data_dep(p, q).data_dep(q, x);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn serial_chain_has_unit_pressure() {
+        let sb = chain();
+        let m = MachineConfig::paper_2c_8w();
+        let s = Schedule {
+            cycles: vec![0, 1, 2],
+            clusters: vec![ClusterId(0); 3],
+            copies: vec![],
+        };
+        let r = pressure(&sb, &m, &s);
+        assert_eq!(r.max(), 1, "at most one value live at a time");
+        assert_eq!(r.max_per_cluster[1], 0, "cluster 1 unused");
+    }
+
+    #[test]
+    fn parallel_producers_stack_up() {
+        let mut b = SuperblockBuilder::new("t");
+        let p = b.inst(OpClass::Int, 1);
+        let q = b.inst(OpClass::Fp, 1);
+        let r0 = b.inst(OpClass::Mem, 1);
+        let consume = b.inst(OpClass::Int, 1);
+        let x = b.exit(1, 1.0);
+        b.data_dep(p, consume)
+            .data_dep(q, consume)
+            .data_dep(r0, consume)
+            .data_dep(consume, x);
+        let sb = b.build().unwrap();
+        let m = MachineConfig::paper_2c_8w();
+        let s = Schedule {
+            cycles: vec![0, 0, 0, 5, 6],
+            clusters: vec![ClusterId(0); 5],
+            copies: vec![],
+        };
+        let r = pressure(&sb, &m, &s);
+        assert_eq!(r.max(), 3, "three values wait for the consumer");
+        assert!(r.area_per_cluster[0] >= 3 * 4);
+    }
+
+    #[test]
+    fn copies_add_remote_pressure() {
+        let sb = chain();
+        let m = MachineConfig::paper_2c_8w();
+        let s = Schedule {
+            cycles: vec![0, 3, 4],
+            clusters: vec![ClusterId(0), ClusterId(1), ClusterId(1)],
+            copies: vec![CopyOp {
+                value: InstId(0),
+                from: ClusterId(0),
+                to: ClusterId(1),
+                cycle: 1,
+            }],
+        };
+        let r = pressure(&sb, &m, &s);
+        assert!(
+            r.max_per_cluster[1] >= 1,
+            "copied value occupies the remote file"
+        );
+        assert!(r.max_per_cluster[0] >= 1);
+    }
+
+    #[test]
+    fn peak_cycle_is_within_schedule() {
+        let sb = chain();
+        let m = MachineConfig::paper_2c_8w();
+        let s = Schedule {
+            cycles: vec![0, 1, 2],
+            clusters: vec![ClusterId(0); 3],
+            copies: vec![],
+        };
+        let r = pressure(&sb, &m, &s);
+        assert!(r.peak_cycle >= 0 && r.peak_cycle <= s.makespan(&sb));
+    }
+}

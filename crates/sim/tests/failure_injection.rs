@@ -1,0 +1,261 @@
+//! Failure injection: take schedules known to be valid, corrupt them in
+//! every way the validator claims to detect, and assert each corruption is
+//! caught. This is the validator's own test of completeness — a checker
+//! that misses violations silently corrupts every experiment built on it.
+
+use vcsched_arch::{ClusterId, MachineConfig, OpClass};
+use vcsched_cars::CarsScheduler;
+use vcsched_ir::{CopyOp, InstId, Schedule, Superblock};
+use vcsched_sim::{validate, Violation};
+use vcsched_workload::{benchmark, generate_block, live_in_placement, InputSet};
+
+fn valid_pair(idx: u64) -> (Superblock, MachineConfig, Schedule) {
+    let machine = MachineConfig::paper_4c_16w_lat2();
+    let spec = benchmark("mpeg2enc").unwrap();
+    let sb = generate_block(&spec, 11, idx, InputSet::Ref);
+    let homes = live_in_placement(&sb, machine.cluster_count(), 11 ^ idx);
+    let out = CarsScheduler::new(machine.clone()).schedule_with_live_ins(&sb, &homes);
+    validate(&sb, &machine, &out.schedule).expect("baseline schedule valid");
+    (sb, machine, out.schedule)
+}
+
+/// Applies `mutate` to a fresh valid schedule and asserts the validator
+/// reports at least one violation matching `expect`.
+fn expect_caught(
+    idx: u64,
+    mutate: impl FnOnce(&Superblock, &mut Schedule),
+    expect: impl Fn(&Violation) -> bool,
+    what: &str,
+) {
+    let (sb, machine, mut s) = valid_pair(idx);
+    mutate(&sb, &mut s);
+    match validate(&sb, &machine, &s) {
+        Ok(_) => panic!("{what}: corruption not caught"),
+        Err(violations) => assert!(
+            violations.iter().any(expect),
+            "{what}: caught, but with the wrong class: {violations:?}"
+        ),
+    }
+}
+
+fn first_dep_pair(sb: &Superblock) -> (InstId, InstId) {
+    let d = sb
+        .deps()
+        .iter()
+        .find(|d| !sb.inst(d.from).is_live_in())
+        .expect("blocks have dependences");
+    (d.from, d.to)
+}
+
+#[test]
+fn dependence_violation_caught() {
+    expect_caught(
+        0,
+        |sb, s| {
+            // Pull a consumer onto its producer's cycle.
+            let (f, t) = first_dep_pair(sb);
+            s.cycles[t.index()] = s.cycles[f.index()];
+            s.clusters[t.index()] = s.clusters[f.index()];
+        },
+        |v| {
+            matches!(
+                v,
+                Violation::DependenceViolated { .. } | Violation::ResourceOverflow { .. }
+            )
+        },
+        "dependence",
+    );
+}
+
+#[test]
+fn negative_cycle_caught() {
+    expect_caught(
+        1,
+        |_, s| s.cycles[0] = -1,
+        |v| {
+            matches!(
+                v,
+                Violation::NegativeCycle(_) | Violation::LiveInMoved(_)
+            )
+        },
+        "negative cycle",
+    );
+}
+
+#[test]
+fn bad_cluster_caught() {
+    expect_caught(
+        2,
+        |_, s| s.clusters[0] = ClusterId(99),
+        |v| matches!(v, Violation::BadCluster(_, _)),
+        "out-of-range cluster",
+    );
+}
+
+#[test]
+fn moved_live_in_caught() {
+    let (sb, machine, mut s) = valid_pair(3);
+    let Some(li) = sb.live_ins().next() else {
+        return; // block drew no live-ins; nothing to corrupt
+    };
+    s.cycles[li.index()] = 5;
+    let violations = validate(&sb, &machine, &s).unwrap_err();
+    assert!(violations
+        .iter()
+        .any(|v| matches!(v, Violation::LiveInMoved(_))));
+}
+
+#[test]
+fn dropped_copy_caught() {
+    // Find a schedule that actually uses a copy, then drop it.
+    for idx in 0..16 {
+        let (sb, machine, mut s) = valid_pair(idx);
+        if s.copies.is_empty() {
+            continue;
+        }
+        s.copies.clear();
+        let violations = validate(&sb, &machine, &s).unwrap_err();
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::MissingCopy { .. })));
+        return;
+    }
+    panic!("no corpus schedule used a copy — widen the search");
+}
+
+#[test]
+fn early_copy_caught() {
+    for idx in 0..16 {
+        let (sb, machine, mut s) = valid_pair(idx);
+        if s.copies.is_empty() {
+            continue;
+        }
+        s.copies[0].cycle = -10;
+        let violations = validate(&sb, &machine, &s).unwrap_err();
+        assert!(violations.iter().any(|v| matches!(
+            v,
+            Violation::BadCopy { .. } | Violation::MissingCopy { .. }
+        )));
+        return;
+    }
+    panic!("no corpus schedule used a copy — widen the search");
+}
+
+#[test]
+fn wrong_source_copy_caught() {
+    for idx in 0..16 {
+        let (sb, machine, mut s) = valid_pair(idx);
+        if s.copies.is_empty() {
+            continue;
+        }
+        let wrong = ClusterId((s.copies[0].from.0 + 1) % machine.cluster_count() as u8);
+        s.copies[0].from = wrong;
+        let violations = validate(&sb, &machine, &s).unwrap_err();
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::BadCopy { .. } | Violation::MissingCopy { .. })));
+        return;
+    }
+    panic!("no corpus schedule used a copy — widen the search");
+}
+
+#[test]
+fn resource_overflow_caught() {
+    // Pile every int op of one cluster onto one cycle.
+    let (sb, machine, mut s) = valid_pair(4);
+    let ints: Vec<InstId> = sb
+        .ids()
+        .filter(|&id| sb.inst(id).class() == OpClass::Int && !sb.inst(id).is_live_in())
+        .collect();
+    if ints.len() < 2 {
+        return;
+    }
+    for &id in &ints {
+        s.cycles[id.index()] = 40; // far future: no dependence trouble
+        s.clusters[id.index()] = ClusterId(0);
+    }
+    let violations = validate(&sb, &machine, &s).unwrap_err();
+    assert!(violations.iter().any(|v| matches!(
+        v,
+        Violation::ResourceOverflow { class: OpClass::Int, .. }
+            | Violation::DependenceViolated { .. }
+            | Violation::MissingCopy { .. }
+    )));
+}
+
+#[test]
+fn bus_overflow_caught() {
+    // Two copies on the same cycle of the single non-pipelined bus.
+    let (sb, machine, mut s) = valid_pair(5);
+    let p = sb.ids().find(|&id| !sb.inst(id).is_live_in()).unwrap();
+    let from = s.clusters[p.index()];
+    let to = ClusterId((from.0 + 1) % machine.cluster_count() as u8);
+    let cycle = s.cycles[p.index()] + sb.inst(p).latency() as i64;
+    for _ in 0..2 {
+        s.copies.push(CopyOp {
+            value: p,
+            from,
+            to,
+            cycle,
+        });
+    }
+    let violations = validate(&sb, &machine, &s).unwrap_err();
+    assert!(violations
+        .iter()
+        .any(|v| matches!(v, Violation::BusOverflow { .. })));
+}
+
+#[test]
+fn reordered_exits_caught() {
+    let (sb, machine, mut s) = valid_pair(6);
+    let exits: Vec<InstId> = sb.exits().map(|(id, _)| id).collect();
+    if exits.len() < 2 {
+        // Draw another block with multiple exits.
+        for idx in 7..24 {
+            let (sb, machine, mut s) = valid_pair(idx);
+            let exits: Vec<InstId> = sb.exits().map(|(id, _)| id).collect();
+            if exits.len() < 2 {
+                continue;
+            }
+            let (a, b) = (exits[0], exits[1]);
+            s.cycles.swap(a.index(), b.index());
+            let violations = validate(&sb, &machine, &s).unwrap_err();
+            assert!(violations.iter().any(|v| matches!(v, Violation::ExitsReordered)));
+            return;
+        }
+        panic!("no multi-exit block found");
+    }
+    let (a, b) = (exits[0], exits[1]);
+    s.cycles.swap(a.index(), b.index());
+    let violations = validate(&sb, &machine, &s).unwrap_err();
+    assert!(violations
+        .iter()
+        .any(|v| matches!(v, Violation::ExitsReordered)));
+}
+
+#[test]
+fn shape_mismatch_caught() {
+    let (sb, machine, mut s) = valid_pair(8);
+    s.cycles.pop();
+    let violations = validate(&sb, &machine, &s).unwrap_err();
+    assert!(matches!(violations[0], Violation::ShapeMismatch { .. }));
+}
+
+#[test]
+fn every_violation_displays() {
+    let samples = [
+        Violation::ShapeMismatch { expected: 3, found: 2 },
+        Violation::NegativeCycle(InstId(0)),
+        Violation::BadCluster(InstId(0), ClusterId(9)),
+        Violation::LiveInMoved(InstId(1)),
+        Violation::DependenceViolated { from: InstId(0), to: InstId(1), needed: 2, got: 1 },
+        Violation::MissingCopy { from: InstId(0), to: InstId(1) },
+        Violation::BadCopy { value: InstId(0), why: "test" },
+        Violation::ResourceOverflow { cycle: 3, cluster: ClusterId(0), class: OpClass::Int },
+        Violation::BusOverflow { cycle: 3 },
+        Violation::ExitsReordered,
+    ];
+    for v in samples {
+        assert!(!v.to_string().is_empty());
+    }
+}

@@ -1,0 +1,75 @@
+//! The whole front-to-back pipeline the paper's evaluation assumes (§6.1):
+//! synthesize a function, profile it, select traces, form superblocks with
+//! tail duplication, and schedule every block with both the virtual-cluster
+//! scheduler and the CARS baseline.
+//!
+//! Run with `cargo run --example cfg_pipeline`.
+
+use vcsched::arch::MachineConfig;
+use vcsched::cars::CarsScheduler;
+use vcsched::cfg::{form_superblocks, synthesize, FunctionSpec, Profile, TraceOptions};
+use vcsched::core::{VcOptions, VcScheduler};
+use vcsched::sim::validate;
+
+fn main() {
+    let spec = FunctionSpec::spec_int("hot_function");
+    let cfg = synthesize(&spec, 2007);
+    println!(
+        "function `{}`: {} blocks, {} operations",
+        cfg.name(),
+        cfg.len(),
+        cfg.op_count()
+    );
+
+    let profile = Profile::propagate(&cfg, spec.entry_count);
+    for b in cfg.ids() {
+        println!("  {b}: executed {:>8.1} times", profile.block_count(b));
+    }
+
+    let units = form_superblocks(&cfg, &profile, &TraceOptions::default());
+    println!("\nformed {} superblocks:", units.len());
+
+    let machine = MachineConfig::paper_4c_16w_lat1();
+    let vc = VcScheduler::with_options(
+        machine.clone(),
+        VcOptions {
+            max_dp_steps: 200_000,
+            ..VcOptions::default()
+        },
+    );
+    let cars = CarsScheduler::new(machine.clone());
+
+    let mut vc_cycles = 0.0;
+    let mut cars_cycles = 0.0;
+    for unit in &units {
+        let sb = &unit.superblock;
+        let tag = match unit.duplicated_from {
+            Some(b) => format!(" (tail duplicate of {b})"),
+            None => String::new(),
+        };
+        let c = cars.schedule(sb);
+        validate(sb, &machine, &c.schedule).expect("CARS schedule valid");
+        let (v_awct, how) = match vc.schedule(sb) {
+            Ok(v) => {
+                validate(sb, &machine, &v.schedule).expect("VC schedule valid");
+                (v.awct.min(c.awct), "vc")
+            }
+            Err(_) => (c.awct, "cars-fallback"),
+        };
+        println!(
+            "  {:<22} weight {:>7}  ops {:>3}  exits {}  CARS {:>5.1}  VC {:>5.1} [{how}]{tag}",
+            sb.name(),
+            sb.weight(),
+            sb.op_count(),
+            sb.exits().count(),
+            c.awct,
+            v_awct,
+        );
+        vc_cycles += v_awct * sb.weight() as f64;
+        cars_cycles += c.awct * sb.weight() as f64;
+    }
+    println!(
+        "\nfunction total: CARS {cars_cycles:.0} weighted cycles, VC {vc_cycles:.0} ({}% speed-up)",
+        ((cars_cycles / vc_cycles - 1.0) * 100.0).max(0.0).round()
+    );
+}

@@ -1,0 +1,77 @@
+//! Machine-design exploration: how cluster count and bus latency shape the
+//! value of deduction-driven scheduling.
+//!
+//! Sweeps bus latency on a 4-cluster machine and cluster count at fixed
+//! total width, printing the AWCT of both schedulers on a fixed workload —
+//! the kind of what-if study the library's public API is built for.
+//!
+//! Run with `cargo run --release --example machine_design`.
+
+use vcsched::arch::MachineConfig;
+use vcsched::cars::CarsScheduler;
+use vcsched::core::{VcOptions, VcScheduler};
+use vcsched::workload::{benchmark, generate_block, live_in_placement, InputSet};
+
+fn main() {
+    let spec = benchmark("mpeg2dec").expect("known application");
+    let blocks = 12;
+
+    println!("bus-latency sweep (4 clusters, 1 bus):");
+    println!("{:<26} {:>10} {:>10} {:>9}", "machine", "VC cycles", "CARS", "ratio");
+    for lat in 1..=3u32 {
+        let machine = MachineConfig::builder()
+            .name(&format!("4c bus-lat {lat}"))
+            .clusters(4)
+            .fu_counts(1, 1, 1, 1)
+            .buses(1)
+            .bus_latency(lat)
+            .build()
+            .expect("valid machine");
+        report(&machine, &spec, blocks);
+    }
+
+    println!("\ncluster-count sweep (4 int units total, 1-cycle bus):");
+    println!("{:<26} {:>10} {:>10} {:>9}", "machine", "VC cycles", "CARS", "ratio");
+    for (clusters, ints) in [(1u8, 4u8), (2, 2), (4, 1)] {
+        let machine = MachineConfig::builder()
+            .name(&format!("{clusters}x{ints}-int"))
+            .clusters(clusters)
+            .fu_counts(ints, 1, 1, 1)
+            .buses(1)
+            .bus_latency(1)
+            .build()
+            .expect("valid machine");
+        report(&machine, &spec, blocks);
+    }
+}
+
+fn report(machine: &MachineConfig, spec: &vcsched::workload::BenchmarkSpec, blocks: u64) {
+    let vc = VcScheduler::with_options(
+        machine.clone(),
+        VcOptions {
+            max_dp_steps: 400_000,
+            ..VcOptions::default()
+        },
+    );
+    let cars = CarsScheduler::new(machine.clone());
+    let mut vc_total = 0.0;
+    let mut cars_total = 0.0;
+    for i in 0..blocks {
+        let sb = generate_block(spec, 11, i, InputSet::Ref);
+        let homes = live_in_placement(&sb, machine.cluster_count(), 11 ^ i);
+        let c = cars.schedule_with_live_ins(&sb, &homes);
+        let v = match vc.schedule_with_live_ins(&sb, &homes) {
+            Ok(out) => out.awct.min(c.awct),
+            Err(_) => c.awct,
+        };
+        vc_total += v * sb.weight() as f64;
+        cars_total += c.awct * sb.weight() as f64;
+    }
+    println!(
+        "{:<26} {:>10.0} {:>10.0} {:>9.3}",
+        machine.name(),
+        vc_total,
+        cars_total,
+        cars_total / vc_total
+    );
+}

@@ -1,0 +1,27 @@
+//! Facade crate re-exporting the whole `vcsched` workspace.
+//!
+//! See the individual crates for details; this crate exists so examples,
+//! integration tests and downstream users can depend on a single package.
+//!
+//! * [`core`] — the paper's contribution: scheduling graph, virtual
+//!   clusters, deduction process, the 6-stage search;
+//! * [`cars`] — the CARS baseline the paper compares against;
+//! * [`baselines`] — UAS and two-phase partition-then-schedule, the other
+//!   two families in the paper's related work;
+//! * [`cfg`] — control-flow graphs, profiles, trace selection, superblock
+//!   formation (the IMPACT-style front end);
+//! * [`workload`] — synthetic SpecInt95/MediaBench superblock corpora;
+//! * [`sim`] — schedule validation, trace-driven execution, register
+//!   pressure, VLIW listings;
+//! * [`arch`], [`ir`], [`graph`] — machine model, superblock IR, graph
+//!   algorithms.
+
+pub use vcsched_arch as arch;
+pub use vcsched_baselines as baselines;
+pub use vcsched_cars as cars;
+pub use vcsched_cfg as cfg;
+pub use vcsched_core as core;
+pub use vcsched_graph as graph;
+pub use vcsched_ir as ir;
+pub use vcsched_sim as sim;
+pub use vcsched_workload as workload;

@@ -1,0 +1,311 @@
+//! `vcsched` — command-line driver for the workspace.
+//!
+//! ```text
+//! vcsched machines                         list machine presets
+//! vcsched gen [OPTS]                       dump a corpus superblock as JSON
+//! vcsched schedule [OPTS]                  schedule a JSON superblock
+//! vcsched demo                             the paper's Fig. 1 block, all machines
+//! ```
+//!
+//! Run `vcsched help` for the full option list. Superblocks travel as the
+//! serde JSON form of `vcsched::ir::Superblock`, so any tool (or the `gen`
+//! subcommand) can produce them.
+
+use std::process::ExitCode;
+
+use vcsched::arch::{MachineConfig, OpClass};
+use vcsched::baselines::{ClusterOrder, TwoPhaseScheduler, UasScheduler};
+use vcsched::cars::CarsScheduler;
+use vcsched::core::{VcOptions, VcScheduler};
+use vcsched::ir::{Schedule, Superblock, SuperblockBuilder};
+use vcsched::sim::{execute, listing, pressure, validate, ExecOptions};
+use vcsched::workload::{benchmark, benchmarks, generate_block, InputSet};
+
+const HELP: &str = "\
+vcsched — virtual cluster scheduling for clustered VLIW processors
+
+USAGE:
+    vcsched machines
+    vcsched gen [--bench NAME] [--index N] [--seed N] [--out FILE]
+    vcsched schedule --block FILE [--machine M] [--scheduler S]
+                     [--steps N] [--listing] [--execute] [--pressure]
+    vcsched demo
+    vcsched help
+
+MACHINES (for --machine):
+    2c        paper config 1: 2 clusters, 8-issue, 1-cycle bus   [default]
+    4c1       paper config 2: 4 clusters, 16-issue, 1-cycle bus
+    4c2       paper config 3: 4 clusters, 16-issue, 2-cycle unpipelined bus
+    hetero    heterogeneous 2-cluster preset
+
+SCHEDULERS (for --scheduler):
+    vc        the paper's virtual-cluster scheduler              [default]
+    cars      CARS baseline (single-pass list scheduling)
+    uas       unified assign-and-schedule (CWP cluster order)
+    two-phase partition first, schedule second
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    let r = match cmd {
+        "machines" => cmd_machines(),
+        "gen" => cmd_gen(&args[1..]),
+        "schedule" => cmd_schedule(&args[1..]),
+        "demo" => cmd_demo(),
+        "help" | "--help" | "-h" => {
+            print!("{HELP}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}` (try `vcsched help`)")),
+    };
+    match r {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn machine_by_name(name: &str) -> Result<MachineConfig, String> {
+    match name {
+        "2c" => Ok(MachineConfig::paper_2c_8w()),
+        "4c1" => Ok(MachineConfig::paper_4c_16w_lat1()),
+        "4c2" => Ok(MachineConfig::paper_4c_16w_lat2()),
+        "hetero" => Ok(MachineConfig::hetero_2c()),
+        other => Err(format!("unknown machine `{other}` (2c, 4c1, 4c2, hetero)")),
+    }
+}
+
+fn cmd_machines() -> Result<(), String> {
+    for (key, m) in [
+        ("2c", MachineConfig::paper_2c_8w()),
+        ("4c1", MachineConfig::paper_4c_16w_lat1()),
+        ("4c2", MachineConfig::paper_4c_16w_lat2()),
+        ("hetero", MachineConfig::hetero_2c()),
+    ] {
+        println!("{key:<8} {m}");
+    }
+    Ok(())
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let bench_name = flag_value(args, "--bench").unwrap_or("099.go");
+    let index: u64 = flag_value(args, "--index")
+        .unwrap_or("0")
+        .parse()
+        .map_err(|e| format!("--index: {e}"))?;
+    let seed: u64 = flag_value(args, "--seed")
+        .unwrap_or("7")
+        .parse()
+        .map_err(|e| format!("--seed: {e}"))?;
+    let spec = benchmark(bench_name).ok_or_else(|| {
+        let names: Vec<&str> = benchmarks().iter().map(|b| b.name).collect();
+        format!("unknown benchmark `{bench_name}`; one of {names:?}")
+    })?;
+    let sb = generate_block(&spec, seed, index, InputSet::Ref);
+    let json = serde_json::to_string_pretty(&sb).map_err(|e| e.to_string())?;
+    match flag_value(args, "--out") {
+        Some(path) => {
+            std::fs::write(path, &json).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!(
+                "wrote {path}: {} ({} ops, {} exits, weight {})",
+                sb.name(),
+                sb.op_count(),
+                sb.exits().count(),
+                sb.weight()
+            );
+        }
+        None => println!("{json}"),
+    }
+    Ok(())
+}
+
+fn cmd_schedule(args: &[String]) -> Result<(), String> {
+    let path = flag_value(args, "--block").ok_or("--block FILE is required")?;
+    let data = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let sb: Superblock = serde_json::from_str(&data).map_err(|e| format!("{path}: {e}"))?;
+    let machine = machine_by_name(flag_value(args, "--machine").unwrap_or("2c"))?;
+    let steps: u64 = flag_value(args, "--steps")
+        .unwrap_or("1200000")
+        .parse()
+        .map_err(|e| format!("--steps: {e}"))?;
+    let scheduler = flag_value(args, "--scheduler").unwrap_or("vc");
+
+    let schedule: Schedule = match scheduler {
+        "vc" => {
+            let vc = VcScheduler::with_options(
+                machine.clone(),
+                VcOptions {
+                    max_dp_steps: steps,
+                    ..VcOptions::default()
+                },
+            );
+            match vc.schedule(&sb) {
+                Ok(out) => {
+                    eprintln!(
+                        "vc: AWCT {:.3} (lower bound {:.3}), {} copies, {} DP steps, {} bumps",
+                        out.awct,
+                        out.stats.min_awct,
+                        out.stats.copies,
+                        out.stats.dp_steps,
+                        out.stats.awct_bumps
+                    );
+                    out.schedule
+                }
+                Err(e) => {
+                    eprintln!("vc: {e}; falling back to CARS (the paper's policy)");
+                    CarsScheduler::new(machine.clone()).schedule(&sb).schedule
+                }
+            }
+        }
+        "cars" => {
+            let out = CarsScheduler::new(machine.clone()).schedule(&sb);
+            eprintln!("cars: AWCT {:.3}, {} copies", out.awct, out.schedule.copy_count());
+            out.schedule
+        }
+        "uas" => {
+            let out = UasScheduler::new(machine.clone(), ClusterOrder::Cwp).schedule(&sb);
+            eprintln!("uas/CWP: AWCT {:.3}, {} copies", out.awct, out.schedule.copy_count());
+            out.schedule
+        }
+        "two-phase" => {
+            let out = TwoPhaseScheduler::new(machine.clone()).schedule(&sb);
+            eprintln!("two-phase: AWCT {:.3}, {} copies", out.awct, out.schedule.copy_count());
+            out.schedule
+        }
+        other => return Err(format!("unknown scheduler `{other}`")),
+    };
+
+    let report = validate(&sb, &machine, &schedule)
+        .map_err(|v| format!("schedule failed validation: {v:?}"))?;
+    eprintln!(
+        "validated: AWCT {:.3}, makespan {}, {} copies",
+        report.awct, report.makespan, report.copies
+    );
+    if has_flag(args, "--listing") {
+        println!("{}", listing(&sb, &machine, &schedule));
+    }
+    if has_flag(args, "--pressure") {
+        let p = pressure(&sb, &machine, &schedule);
+        println!(
+            "register pressure: max {} (peak at cycle {}); per cluster {:?}",
+            p.max(),
+            p.peak_cycle,
+            p.max_per_cluster
+        );
+    }
+    if has_flag(args, "--execute") {
+        let r = execute(&sb, &machine, &schedule, &ExecOptions::default())
+            .map_err(|e| e.to_string())?;
+        println!(
+            "executed {}x: mean {:.3} cycles (static AWCT {:.3}), FU utilization {:.1}%",
+            r.iterations,
+            r.mean_cycles,
+            r.static_awct,
+            r.fu_utilization * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn cmd_demo() -> Result<(), String> {
+    let sb = fig1();
+    println!("block: {} ({} ops)\n", sb.name(), sb.op_count());
+    for machine in MachineConfig::paper_eval_configs() {
+        let vc = VcScheduler::new(machine.clone());
+        let cars = CarsScheduler::new(machine.clone());
+        let c = cars.schedule(&sb);
+        match vc.schedule(&sb) {
+            Ok(v) => println!(
+                "{:<16} VC {:.1} ({} copies)   CARS {:.1} ({} copies)",
+                machine.name(),
+                v.awct,
+                v.schedule.copy_count(),
+                c.awct,
+                c.schedule.copy_count()
+            ),
+            Err(e) => println!("{:<16} VC {e}   CARS {:.1}", machine.name(), c.awct),
+        }
+    }
+    Ok(())
+}
+
+/// The paper's Figure 1 superblock.
+fn fig1() -> Superblock {
+    let mut b = SuperblockBuilder::new("fig1");
+    let i0 = b.inst(OpClass::Int, 2);
+    let i1 = b.inst(OpClass::Int, 2);
+    let i2 = b.inst(OpClass::Int, 2);
+    let i3 = b.inst(OpClass::Int, 2);
+    let b0 = b.exit(3, 0.3);
+    let i4 = b.inst(OpClass::Int, 2);
+    let b1 = b.exit(3, 0.7);
+    b.data_dep(i0, i1)
+        .data_dep(i0, i2)
+        .data_dep(i0, i3)
+        .data_dep(i3, b0)
+        .data_dep(i1, i4)
+        .data_dep(i2, i4)
+        .data_dep(i4, b1)
+        .ctrl_dep(b0, b1);
+    b.build().expect("fig1 is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_names_resolve() {
+        for name in ["2c", "4c1", "4c2", "hetero"] {
+            assert!(machine_by_name(name).is_ok());
+        }
+        assert!(machine_by_name("8c").is_err());
+    }
+
+    #[test]
+    fn flag_parsing() {
+        let args: Vec<String> = ["--bench", "130.li", "--listing"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(flag_value(&args, "--bench"), Some("130.li"));
+        assert_eq!(flag_value(&args, "--index"), None);
+        assert!(has_flag(&args, "--listing"));
+        assert!(!has_flag(&args, "--execute"));
+    }
+
+    #[test]
+    fn fig1_matches_paper_shape() {
+        let sb = fig1();
+        assert_eq!(sb.op_count(), 7);
+        assert_eq!(sb.exits().count(), 2);
+    }
+
+    #[test]
+    fn superblock_json_roundtrip() {
+        let sb = fig1();
+        let json = serde_json::to_string(&sb).unwrap();
+        let back: Superblock = serde_json::from_str(&json).unwrap();
+        assert_eq!(sb, back);
+    }
+
+    #[test]
+    fn live_in_cluster_key_is_stable() {
+        // The CLI prints ClusterId values; keep the Display contract.
+        assert_eq!(vcsched::arch::ClusterId(3).to_string(), "PC3");
+    }
+}

@@ -1,0 +1,101 @@
+//! Cross-crate integration: input-set drift (the Fig. 12 methodology),
+//! threshold fallback behaviour, and corpus-level determinism.
+
+use vcsched::arch::MachineConfig;
+use vcsched::cars::CarsScheduler;
+use vcsched::core::{VcOptions, VcScheduler};
+use vcsched::sim::validate;
+use vcsched::workload::{benchmark, generate_block, live_in_placement, InputSet};
+
+#[test]
+fn schedules_from_train_profile_remain_valid_under_ref_profile() {
+    // A schedule optimised against one input's probabilities is still a
+    // *valid* schedule (structure is input-independent); only its score
+    // changes. This is the precondition of the Fig. 12 experiment.
+    let machine = MachineConfig::paper_4c_16w_lat1();
+    let spec = benchmark("134.perl").unwrap();
+    let cars = CarsScheduler::new(machine.clone());
+    for i in 0..8 {
+        let train = generate_block(&spec, 5, i, InputSet::Train);
+        let refp = generate_block(&spec, 5, i, InputSet::Ref);
+        let homes = live_in_placement(&train, machine.cluster_count(), 5 + i);
+        let out = cars.schedule_with_live_ins(&train, &homes);
+        // Valid against both profiles: same instructions, same deps.
+        validate(&train, &machine, &out.schedule).expect("valid under train");
+        validate(&refp, &machine, &out.schedule).expect("valid under ref");
+        // Scores may differ.
+        let _ = (out.schedule.awct(&train), out.schedule.awct(&refp));
+    }
+}
+
+#[test]
+fn tighter_budgets_only_add_fallbacks_never_invalidity() {
+    let machine = MachineConfig::paper_2c_8w();
+    let spec = benchmark("129.compress").unwrap();
+    let tight = VcScheduler::with_options(
+        machine.clone(),
+        VcOptions {
+            max_dp_steps: 2_000,
+            ..VcOptions::default()
+        },
+    );
+    let roomy = VcScheduler::with_options(
+        machine.clone(),
+        VcOptions {
+            max_dp_steps: 500_000,
+            ..VcOptions::default()
+        },
+    );
+    let mut tight_ok = 0;
+    let mut roomy_ok = 0;
+    for i in 0..10 {
+        let sb = generate_block(&spec, 9, i, InputSet::Ref);
+        let homes = live_in_placement(&sb, machine.cluster_count(), 9 + i);
+        if let Ok(out) = tight.schedule_with_live_ins(&sb, &homes) {
+            tight_ok += 1;
+            validate(&sb, &machine, &out.schedule).expect("tight-budget schedule valid");
+        }
+        if let Ok(out) = roomy.schedule_with_live_ins(&sb, &homes) {
+            roomy_ok += 1;
+            validate(&sb, &machine, &out.schedule).expect("roomy-budget schedule valid");
+        }
+    }
+    assert!(roomy_ok >= tight_ok, "budget can only help");
+    assert!(roomy_ok >= 8, "most small blocks schedule within 500k steps");
+}
+
+#[test]
+fn corpus_results_are_reproducible_across_runs() {
+    // A fixed seed must give bit-identical aggregate results — the whole
+    // experiment pipeline is deterministic.
+    let machine = MachineConfig::paper_4c_16w_lat2();
+    let spec = benchmark("epicdec").unwrap();
+    let run = || -> Vec<(f64, f64)> {
+        let vc = VcScheduler::with_options(
+            machine.clone(),
+            VcOptions {
+                max_dp_steps: 200_000,
+                ..VcOptions::default()
+            },
+        );
+        let cars = CarsScheduler::new(machine.clone());
+        (0..8)
+            .map(|i| {
+                let sb = generate_block(&spec, 13, i, InputSet::Ref);
+                let homes = live_in_placement(&sb, machine.cluster_count(), 13 + i);
+                let c = cars.schedule_with_live_ins(&sb, &homes).awct;
+                let v = vc
+                    .schedule_with_live_ins(&sb, &homes)
+                    .map(|o| o.awct)
+                    .unwrap_or(f64::NAN);
+                (v, c)
+            })
+            .collect()
+    };
+    let a = run();
+    let b = run();
+    for ((va, ca), (vb, cb)) in a.iter().zip(&b) {
+        assert_eq!(ca, cb);
+        assert!(va == vb || (va.is_nan() && vb.is_nan()));
+    }
+}

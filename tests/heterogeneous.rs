@@ -1,0 +1,122 @@
+//! Cross-crate integration: every scheduler honours heterogeneous
+//! per-cluster functional units (the paper's §2.1 extension) and the
+//! validator enforces them.
+
+use std::time::Duration;
+
+use vcsched::arch::{ClusterId, MachineConfig, OpClass};
+use vcsched::baselines::{ClusterOrder, TwoPhaseScheduler, UasScheduler};
+use vcsched::cars::CarsScheduler;
+use vcsched::core::{VcOptions, VcScheduler};
+use vcsched::ir::{Superblock, SuperblockBuilder};
+use vcsched::sim::validate;
+
+/// A block mixing fp work (only cluster 1 can run it) with branches (only
+/// cluster 0 can run them) so any correct schedule must cross clusters.
+fn mixed_block(seed: u64) -> Superblock {
+    let mut b = SuperblockBuilder::new(&format!("hetero{seed}"));
+    let i0 = b.inst(OpClass::Int, 1);
+    let f0 = b.inst(OpClass::Fp, 3);
+    let f1 = b.inst(OpClass::Fp, 3);
+    let m0 = b.inst(OpClass::Mem, 2);
+    let join = b.inst(OpClass::Int, 1);
+    let x = b.exit(3, 1.0);
+    b.data_dep(i0, f0)
+        .data_dep(i0, m0)
+        .data_dep(f0, f1)
+        .data_dep(f1, join)
+        .data_dep(m0, join)
+        .data_dep(join, x);
+    b.build().unwrap()
+}
+
+#[test]
+fn cars_respects_heterogeneous_units() {
+    let m = MachineConfig::hetero_2c();
+    for seed in 0..8 {
+        let sb = mixed_block(seed);
+        let out = CarsScheduler::new(m.clone()).schedule(&sb);
+        validate(&sb, &m, &out.schedule).expect("CARS hetero schedule valid");
+        for id in sb.ids() {
+            let class = sb.inst(id).class();
+            assert!(
+                m.cluster_capacity(out.schedule.cluster(id), class) > 0,
+                "{id} ({class}) placed on incapable cluster"
+            );
+        }
+    }
+}
+
+#[test]
+fn uas_and_two_phase_respect_heterogeneous_units() {
+    let m = MachineConfig::hetero_2c();
+    let sb = mixed_block(1);
+    for order in [ClusterOrder::None, ClusterOrder::Mwp, ClusterOrder::Cwp] {
+        let out = UasScheduler::new(m.clone(), order).schedule(&sb);
+        validate(&sb, &m, &out.schedule).expect("UAS hetero schedule valid");
+    }
+    let out = TwoPhaseScheduler::new(m.clone()).schedule(&sb);
+    validate(&sb, &m, &out.schedule).expect("two-phase hetero schedule valid");
+}
+
+#[test]
+fn fp_lands_on_fp_cluster_and_exits_on_branch_cluster() {
+    let m = MachineConfig::hetero_2c();
+    let sb = mixed_block(2);
+    let out = CarsScheduler::new(m.clone()).schedule(&sb);
+    for id in sb.ids() {
+        match sb.inst(id).class() {
+            OpClass::Fp => assert_eq!(out.schedule.cluster(id), ClusterId(1)),
+            OpClass::Branch => assert_eq!(out.schedule.cluster(id), ClusterId(0)),
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn vc_scheduler_handles_heterogeneous_machines() {
+    let m = MachineConfig::hetero_2c();
+    let vc = VcScheduler::with_options(
+        m.clone(),
+        VcOptions {
+            max_dp_steps: 300_000,
+            time_limit: Some(Duration::from_millis(500)),
+            ..VcOptions::default()
+        },
+    );
+    let mut scheduled = 0;
+    for seed in 0..8 {
+        let sb = mixed_block(seed);
+        if let Ok(out) = vc.schedule(&sb) {
+            scheduled += 1;
+            validate(&sb, &m, &out.schedule).unwrap_or_else(|v| {
+                panic!("VC hetero schedule invalid: {v:?}");
+            });
+            for id in sb.ids() {
+                let class = sb.inst(id).class();
+                assert!(
+                    m.cluster_capacity(out.schedule.cluster(id), class) > 0,
+                    "{id} ({class}) placed on incapable cluster"
+                );
+            }
+        }
+    }
+    assert!(
+        scheduled >= 4,
+        "VC scheduler should handle most hetero blocks, got {scheduled}/8"
+    );
+}
+
+#[test]
+fn validator_rejects_misplaced_classes() {
+    let m = MachineConfig::hetero_2c();
+    let sb = mixed_block(3);
+    let mut out = CarsScheduler::new(m.clone()).schedule(&sb);
+    // Move an fp op onto the fp-less cluster 0.
+    let fp = sb
+        .ids()
+        .find(|&id| sb.inst(id).class() == OpClass::Fp)
+        .unwrap();
+    out.schedule.clusters[fp.index()] = ClusterId(0);
+    assert!(validate(&sb, &m, &out.schedule).is_err());
+}

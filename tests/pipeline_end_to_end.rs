@@ -1,0 +1,126 @@
+//! End-to-end pipeline integration: synthesize functions, form superblocks,
+//! schedule them with every scheduler in the workspace, validate each
+//! schedule at machine level, and cross-check the static cost model with
+//! the dynamic executor.
+
+use std::time::Duration;
+
+use vcsched::arch::MachineConfig;
+use vcsched::baselines::{ClusterOrder, TwoPhaseScheduler, UasScheduler};
+use vcsched::cars::CarsScheduler;
+use vcsched::cfg::{form_superblocks, synthesize, FunctionSpec, Profile, TraceOptions};
+use vcsched::core::{VcOptions, VcScheduler};
+use vcsched::ir::Superblock;
+use vcsched::sim::{execute, validate, ExecOptions};
+
+fn corpus() -> Vec<Superblock> {
+    let mut out = Vec::new();
+    for seed in 0..6 {
+        for spec in [
+            FunctionSpec::spec_int("spec_fn"),
+            FunctionSpec::media("media_fn"),
+        ] {
+            let cfg = synthesize(&spec, seed);
+            let profile = Profile::propagate(&cfg, spec.entry_count);
+            for u in form_superblocks(&cfg, &profile, &TraceOptions::default()) {
+                out.push(u.superblock);
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn every_scheduler_validates_on_formed_blocks() {
+    let blocks = corpus();
+    assert!(blocks.len() >= 20, "corpus came out too small: {}", blocks.len());
+    let machine = MachineConfig::paper_4c_16w_lat1();
+    let cars = CarsScheduler::new(machine.clone());
+    let uas = UasScheduler::new(machine.clone(), ClusterOrder::Cwp);
+    let two = TwoPhaseScheduler::new(machine.clone());
+    for sb in &blocks {
+        let c = cars.schedule(sb);
+        validate(sb, &machine, &c.schedule)
+            .unwrap_or_else(|v| panic!("CARS invalid on {}: {v:?}", sb.name()));
+        let u = uas.schedule(sb);
+        validate(sb, &machine, &u.schedule)
+            .unwrap_or_else(|v| panic!("UAS invalid on {}: {v:?}", sb.name()));
+        let t = two.schedule(sb);
+        validate(sb, &machine, &t.schedule)
+            .unwrap_or_else(|v| panic!("two-phase invalid on {}: {v:?}", sb.name()));
+    }
+}
+
+#[test]
+fn vc_scheduler_handles_formed_blocks() {
+    let blocks = corpus();
+    let machine = MachineConfig::paper_2c_8w();
+    let vc = VcScheduler::with_options(
+        machine.clone(),
+        VcOptions {
+            max_dp_steps: 200_000,
+            time_limit: Some(Duration::from_millis(250)),
+            ..VcOptions::default()
+        },
+    );
+    let mut ok = 0;
+    let mut total = 0;
+    for sb in &blocks {
+        total += 1;
+        if let Ok(out) = vc.schedule(sb) {
+            ok += 1;
+            validate(sb, &machine, &out.schedule)
+                .unwrap_or_else(|v| panic!("VC invalid on {}: {v:?}", sb.name()));
+        }
+    }
+    assert!(
+        ok * 2 >= total,
+        "VC scheduled only {ok}/{total} formed blocks within budget"
+    );
+}
+
+#[test]
+fn dynamic_executor_agrees_with_static_awct_on_formed_blocks() {
+    let blocks = corpus();
+    let machine = MachineConfig::paper_4c_16w_lat2();
+    let cars = CarsScheduler::new(machine.clone());
+    for sb in blocks.iter().take(12) {
+        let out = cars.schedule(sb);
+        let report = execute(
+            sb,
+            &machine,
+            &out.schedule,
+            &ExecOptions {
+                iterations: 40_000,
+                ..ExecOptions::default()
+            },
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", sb.name()));
+        let tol = 0.05 * report.static_awct.max(1.0);
+        assert!(
+            (report.mean_cycles - report.static_awct).abs() <= tol,
+            "{}: dynamic {} vs static {}",
+            sb.name(),
+            report.mean_cycles,
+            report.static_awct
+        );
+    }
+}
+
+#[test]
+fn exit_order_preserved_across_schedulers() {
+    let blocks = corpus();
+    let machine = MachineConfig::paper_4c_16w_lat1();
+    let cars = CarsScheduler::new(machine.clone());
+    let uas = UasScheduler::new(machine.clone(), ClusterOrder::Mwp);
+    for sb in &blocks {
+        for schedule in [&cars.schedule(sb).schedule, &uas.schedule(sb).schedule] {
+            let cycles: Vec<i64> = sb.exits().map(|(id, _)| schedule.cycle(id)).collect();
+            assert!(
+                cycles.windows(2).all(|w| w[0] < w[1]),
+                "{}: exits reordered: {cycles:?}",
+                sb.name()
+            );
+        }
+    }
+}
