@@ -208,7 +208,10 @@ impl MachineConfig {
     ///
     /// Panics if `c` is out of range.
     pub fn cluster_capacity(&self, c: ClusterId, class: OpClass) -> usize {
-        assert!((c.0 as usize) < self.cluster_count(), "cluster out of range");
+        assert!(
+            (c.0 as usize) < self.cluster_count(),
+            "cluster out of range"
+        );
         match class.fu_index() {
             Some(i) => {
                 if self.fu_overrides.is_empty() {
@@ -537,11 +540,18 @@ mod tests {
             ConfigError::NoClusters
         );
         assert_eq!(
-            MachineConfig::builder().fu_counts(0, 1, 1, 1).build().unwrap_err(),
+            MachineConfig::builder()
+                .fu_counts(0, 1, 1, 1)
+                .build()
+                .unwrap_err(),
             ConfigError::NoIntUnit
         );
         assert_eq!(
-            MachineConfig::builder().clusters(2).buses(0).build().unwrap_err(),
+            MachineConfig::builder()
+                .clusters(2)
+                .buses(0)
+                .build()
+                .unwrap_err(),
             ConfigError::NoBus
         );
         assert_eq!(
@@ -549,7 +559,10 @@ mod tests {
             ConfigError::ZeroBusLatency
         );
         assert_eq!(
-            MachineConfig::builder().issue_per_cluster(0).build().unwrap_err(),
+            MachineConfig::builder()
+                .issue_per_cluster(0)
+                .build()
+                .unwrap_err(),
             ConfigError::ZeroIssueWidth
         );
         // Error type is well-behaved.
@@ -627,7 +640,10 @@ mod tests {
             ConfigError::NoBranchUnit
         );
         assert_eq!(
-            MachineConfig::builder().fu_counts(1, 1, 1, 0).build().unwrap_err(),
+            MachineConfig::builder()
+                .fu_counts(1, 1, 1, 0)
+                .build()
+                .unwrap_err(),
             ConfigError::NoBranchUnit
         );
     }

@@ -45,7 +45,9 @@ pub use reservation::{Placement, ReservationTable};
 /// it is the inter-cluster communication operation and consumes *bus*
 /// bandwidth rather than a functional unit (§2.1: "special copy instructions
 /// and a set of dedicated register buses").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum OpClass {
     /// Integer ALU operation.
     Int,
@@ -94,7 +96,9 @@ impl std::fmt::Display for OpClass {
 }
 
 /// Identifier of a physical cluster, `0 .. MachineConfig::cluster_count()`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct ClusterId(pub u8);
 
 impl std::fmt::Display for ClusterId {

@@ -146,9 +146,7 @@ impl TwoPhaseScheduler {
             avail[li.index()][partition[li.index()].0 as usize] = Some(0);
         }
 
-        let mut remaining: Vec<usize> = (0..n)
-            .filter(|&i| !sb.insts()[i].is_live_in())
-            .collect();
+        let mut remaining: Vec<usize> = (0..n).filter(|&i| !sb.insts()[i].is_live_in()).collect();
 
         while !remaining.is_empty() {
             let mut ready: Vec<usize> = remaining
@@ -212,7 +210,10 @@ impl TwoPhaseScheduler {
         }
 
         let schedule = Schedule {
-            cycles: cycles.into_iter().map(|c| c.expect("all scheduled")).collect(),
+            cycles: cycles
+                .into_iter()
+                .map(|c| c.expect("all scheduled"))
+                .collect(),
             clusters: partition.to_vec(),
             copies,
         };

@@ -109,9 +109,7 @@ impl UasScheduler {
             avail[i][clusters[i].0 as usize] = Some(0);
         }
 
-        let mut unscheduled: Vec<usize> = (0..n)
-            .filter(|&i| !sb.insts()[i].is_live_in())
-            .collect();
+        let mut unscheduled: Vec<usize> = (0..n).filter(|&i| !sb.insts()[i].is_live_in()).collect();
 
         let mut cycle: i64 = 0;
         // Cycle-driven outer loop; the horizon only grows when nothing
@@ -145,12 +143,9 @@ impl UasScheduler {
                     .filter(|d| d.to.index() == inst)
                     .map(|d| (d.from.index(), d.latency as i64, d.kind))
                     .collect();
-                if preds
-                    .iter()
-                    .any(|&(p, lat, kind)| {
-                        kind == DepKind::Control && cycles[p].expect("sched") + lat > cycle
-                    })
-                {
+                if preds.iter().any(|&(p, lat, kind)| {
+                    kind == DepKind::Control && cycles[p].expect("sched") + lat > cycle
+                }) {
                     continue;
                 }
 
@@ -231,7 +226,10 @@ impl UasScheduler {
         }
 
         let schedule = Schedule {
-            cycles: cycles.into_iter().map(|c| c.expect("all scheduled")).collect(),
+            cycles: cycles
+                .into_iter()
+                .map(|c| c.expect("all scheduled"))
+                .collect(),
             clusters,
             copies,
         };
@@ -360,8 +358,7 @@ mod tests {
     fn exits_stay_ordered() {
         let sb = fig1();
         for order in [ClusterOrder::None, ClusterOrder::LoadBalance] {
-            let out =
-                UasScheduler::new(MachineConfig::paper_example_2c(), order).schedule(&sb);
+            let out = UasScheduler::new(MachineConfig::paper_example_2c(), order).schedule(&sb);
             let e: Vec<i64> = sb.exits().map(|(id, _)| out.schedule.cycle(id)).collect();
             assert!(e.windows(2).all(|w| w[0] < w[1]), "{order}: {e:?}");
         }

@@ -15,9 +15,10 @@
 //! and the fraction of blocks finishing within it.
 
 use vcsched_arch::MachineConfig;
-use vcsched_bench::{blocks_per_app, corpus_seed, run_block, STEPS_4M};
+use vcsched_bench::{blocks_per_app, corpus_seed, jobs, run_block, STEPS_4M};
 use vcsched_cars::CarsScheduler;
 use vcsched_core::{Tuning, VcOptions, VcScheduler};
+use vcsched_engine::scatter;
 use vcsched_workload::{benchmarks, generate_block, live_in_placement, InputSet};
 
 fn main() {
@@ -57,38 +58,47 @@ fn main() {
         "variant", "speedup", "within-4m", "mean steps"
     );
     for (name, tuning) in variants {
+        // A spread of four applications keeps the ablation affordable; the
+        // (app x block) grid fans out over the engine's worker pool.
+        let specs: Vec<_> = benchmarks().into_iter().step_by(4).collect();
+        let per_block = scatter(specs.len() * blocks, jobs(), |idx| {
+            let spec = &specs[idx / blocks];
+            let i = idx % blocks;
+            let sb = generate_block(spec, seed, i as u64, InputSet::Ref);
+            let homes = live_in_placement(&sb, machine.cluster_count(), seed ^ i as u64);
+            let cars = CarsScheduler::new(machine.clone()).schedule_with_live_ins(&sb, &homes);
+            let vc = VcScheduler::with_options(
+                machine.clone(),
+                VcOptions {
+                    max_dp_steps: STEPS_4M,
+                    tuning,
+                    ..VcOptions::default()
+                },
+            );
+            let w = sb.weight() as f64;
+            match vc.schedule_with_live_ins(&sb, &homes) {
+                Ok(out) => (
+                    cars.awct * w,
+                    out.awct.min(cars.awct) * w,
+                    true,
+                    out.stats.dp_steps,
+                ),
+                Err(_) => (cars.awct * w, cars.awct * w, false, 0),
+            }
+        });
         let mut cars_cycles = 0.0;
         let mut vc_cycles = 0.0;
         let mut within = 0usize;
         let mut total = 0usize;
         let mut steps_sum = 0u64;
-        // A spread of four applications keeps the ablation affordable.
-        for spec in benchmarks().iter().step_by(4) {
-            for i in 0..blocks {
-                let sb = generate_block(spec, seed, i as u64, InputSet::Ref);
-                let homes = live_in_placement(&sb, machine.cluster_count(), seed ^ i as u64);
-                let cars = CarsScheduler::new(machine.clone())
-                    .schedule_with_live_ins(&sb, &homes);
-                let vc = VcScheduler::with_options(
-                    machine.clone(),
-                    VcOptions {
-                        max_dp_steps: STEPS_4M,
-                        tuning,
-                        ..VcOptions::default()
-                    },
-                );
-                let awct = match vc.schedule_with_live_ins(&sb, &homes) {
-                    Ok(out) => {
-                        within += 1;
-                        steps_sum += out.stats.dp_steps;
-                        out.awct.min(cars.awct)
-                    }
-                    Err(_) => cars.awct,
-                };
-                total += 1;
-                cars_cycles += cars.awct * sb.weight() as f64;
-                vc_cycles += awct * sb.weight() as f64;
+        for (cars_w, vc_w, finished, steps) in per_block {
+            cars_cycles += cars_w;
+            vc_cycles += vc_w;
+            if finished {
+                within += 1;
+                steps_sum += steps;
             }
+            total += 1;
         }
         println!(
             "{:<14} {:>12.4} {:>11.1}% {:>12}",

@@ -9,10 +9,11 @@
 //! that characterise the corpus.
 
 use vcsched_arch::MachineConfig;
-use vcsched_bench::STEPS_1M;
+use vcsched_bench::{jobs, STEPS_1M};
 use vcsched_cars::CarsScheduler;
 use vcsched_cfg::{form_superblocks, synthesize, FunctionSpec, Profile, TraceOptions};
 use vcsched_core::{VcError, VcOptions, VcScheduler};
+use vcsched_engine::scatter;
 
 fn main() {
     let functions: usize = std::env::var("VCSCHED_FUNCTIONS")
@@ -44,14 +45,20 @@ fn main() {
     }
     let ops: usize = units.iter().map(|u| u.op_count()).sum();
     let exits: usize = units.iter().map(|u| u.exits().count()).sum();
-    println!("formed {} superblocks: {traces} traces + {duplicates} tail duplicates", units.len());
+    println!(
+        "formed {} superblocks: {traces} traces + {duplicates} tail duplicates",
+        units.len()
+    );
     println!(
         "  {:.1} ops/block, {:.2} exits/block\n",
         ops as f64 / units.len() as f64,
         exits as f64 / units.len() as f64
     );
 
-    println!("{:<16} {:>12} {:>12} {:>9}", "config", "CARS cycles", "VC cycles", "speed-up");
+    println!(
+        "{:<16} {:>12} {:>12} {:>9}",
+        "config", "CARS cycles", "VC cycles", "speed-up"
+    );
     for machine in MachineConfig::paper_eval_configs() {
         let cars = CarsScheduler::new(machine.clone());
         let vc = VcScheduler::with_options(
@@ -61,18 +68,20 @@ fn main() {
                 ..VcOptions::default()
             },
         );
-        let mut cars_total = 0.0;
-        let mut vc_total = 0.0;
-        for sb in &units {
+        // Formation-derived blocks fan out over the engine's worker pool.
+        let per_block = scatter(units.len(), jobs(), |i| {
+            let sb = &units[i];
             let w = sb.weight() as f64;
             let c = cars.schedule(sb);
             let v = match vc.schedule(sb) {
                 Ok(out) => out.awct.min(c.awct),
                 Err(VcError::BudgetExhausted) | Err(VcError::BumpLimitReached) => c.awct,
             };
-            cars_total += c.awct * w;
-            vc_total += v * w;
-        }
+            (c.awct * w, v * w)
+        });
+        let (cars_total, vc_total) = per_block
+            .into_iter()
+            .fold((0.0, 0.0), |(ct, vt), (c, v)| (ct + c, vt + v));
         println!(
             "{:<16} {:>12.0} {:>12.0} {:>9.3}",
             machine.name(),

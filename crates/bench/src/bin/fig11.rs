@@ -34,20 +34,40 @@ fn main() {
         print!(" {:>10} {:>10}", format!("{name},1m"), format!("{name},4m"));
     }
     println!();
-    let apps = suites[0].iter().map(|a| (a.app, a.suite)).collect::<Vec<_>>();
+    let apps = suites[0]
+        .iter()
+        .map(|a| (a.app, a.suite))
+        .collect::<Vec<_>>();
     let mut printed_media_header = false;
     for (i, &(app, suite)) in apps.iter().enumerate() {
         if suite == Suite::MediaBench && !printed_media_header {
-            row("Spec Mean", &suites, |s| mean_speedup(s, Some(Suite::SpecInt95), STEPS_1M),
-                |s| mean_speedup(s, Some(Suite::SpecInt95), STEPS_4M));
+            row(
+                "Spec Mean",
+                &suites,
+                |s| mean_speedup(s, Some(Suite::SpecInt95), STEPS_1M),
+                |s| mean_speedup(s, Some(Suite::SpecInt95), STEPS_4M),
+            );
             printed_media_header = true;
         }
-        row(app, &suites, |s| s[i].speedup(STEPS_1M), |s| s[i].speedup(STEPS_4M));
+        row(
+            app,
+            &suites,
+            |s| s[i].speedup(STEPS_1M),
+            |s| s[i].speedup(STEPS_4M),
+        );
     }
-    row("Media Mean", &suites, |s| mean_speedup(s, Some(Suite::MediaBench), STEPS_1M),
-        |s| mean_speedup(s, Some(Suite::MediaBench), STEPS_4M));
-    row("Mean", &suites, |s| mean_speedup(s, None, STEPS_1M),
-        |s| mean_speedup(s, None, STEPS_4M));
+    row(
+        "Media Mean",
+        &suites,
+        |s| mean_speedup(s, Some(Suite::MediaBench), STEPS_1M),
+        |s| mean_speedup(s, Some(Suite::MediaBench), STEPS_4M),
+    );
+    row(
+        "Mean",
+        &suites,
+        |s| mean_speedup(s, None, STEPS_1M),
+        |s| mean_speedup(s, None, STEPS_4M),
+    );
 }
 
 fn row(

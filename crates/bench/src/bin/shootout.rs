@@ -15,7 +15,8 @@
 
 use vcsched_arch::MachineConfig;
 use vcsched_baselines::{ClusterOrder, TwoPhaseScheduler, UasScheduler};
-use vcsched_bench::{blocks_per_app, corpus_seed, run_app, STEPS_1M};
+use vcsched_bench::{blocks_per_app, corpus_seed, jobs, run_app, STEPS_1M};
+use vcsched_engine::scatter;
 use vcsched_workload::{benchmarks, generate_block, live_in_placement, InputSet};
 
 fn main() {
@@ -43,13 +44,22 @@ fn main() {
                 cars_total += b.cars_cycles();
                 vc_total += b.vc_cycles(STEPS_1M);
             }
-            for i in 0..blocks {
+            // The baseline sweep fans out over the engine's worker pool.
+            let per_block = scatter(blocks, jobs(), |i| {
                 let sb = generate_block(&spec, seed, i as u64, InputSet::Ref);
                 let homes = live_in_placement(&sb, machine.cluster_count(), seed ^ i as u64);
                 let w = sb.weight() as f64;
-                two_total += two.schedule_with_live_ins(&sb, &homes).awct * w;
+                let two_w = two.schedule_with_live_ins(&sb, &homes).awct * w;
+                let mut uas_w = [0.0f64; 3];
                 for (j, u) in uas.iter().enumerate() {
-                    uas_total[j] += u.schedule_with_live_ins(&sb, &homes).awct * w;
+                    uas_w[j] = u.schedule_with_live_ins(&sb, &homes).awct * w;
+                }
+                (two_w, uas_w)
+            });
+            for (two_w, uas_w) in per_block {
+                two_total += two_w;
+                for j in 0..3 {
+                    uas_total[j] += uas_w[j];
                 }
             }
         }

@@ -30,6 +30,14 @@
 //! produces a worse schedule that a production driver would reject for
 //! free. EXPERIMENTS.md quantifies how often this matters.
 
+//! # Parallelism
+//!
+//! Every corpus driver fans its per-block work out over
+//! `vcsched-engine`'s worker pool ([`vcsched_engine::scatter`]), so the
+//! figure binaries use all cores. `VCSCHED_JOBS` overrides the worker
+//! count (default: available parallelism); results are identical for any
+//! value — the pool returns results in corpus order.
+
 #![warn(missing_docs)]
 
 use std::time::Duration;
@@ -42,12 +50,9 @@ use vcsched_workload::{
     benchmarks, generate_block, live_in_placement, BenchmarkSpec, InputSet, Suite,
 };
 
-/// Deduction-step analogue of the paper's "1 second" bucket.
-pub const STEPS_1S: u64 = 5_000;
-/// Deduction-step analogue of the paper's "1 minute" threshold.
-pub const STEPS_1M: u64 = 300_000;
-/// Deduction-step analogue of the paper's "4 minute" threshold.
-pub const STEPS_4M: u64 = 1_200_000;
+// The compile-time buckets live in the engine now (its batch policy uses
+// them too); re-exported here so the figure binaries keep their imports.
+pub use vcsched_engine::{STEPS_1M, STEPS_1S, STEPS_4M};
 
 /// Result of scheduling one superblock with both schedulers.
 #[derive(Debug, Clone)]
@@ -175,7 +180,17 @@ impl AppResult {
     }
 }
 
-/// Runs one application's corpus on one machine.
+/// Worker threads for corpus drivers: `VCSCHED_JOBS` or all cores.
+pub fn jobs() -> usize {
+    std::env::var("VCSCHED_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(vcsched_engine::default_jobs)
+}
+
+/// Runs one application's corpus on one machine, fanning blocks out over
+/// the engine's worker pool (results stay in corpus order, so output is
+/// identical for any worker count).
 pub fn run_app(
     spec: &BenchmarkSpec,
     machine: &MachineConfig,
@@ -184,26 +199,24 @@ pub fn run_app(
     max_steps: u64,
     cross_input: bool,
 ) -> AppResult {
-    let results = (0..blocks)
-        .map(|i| {
-            let (sched_profile, eval_profile) = if cross_input {
-                // Fig. 12: schedule with the Train profile, evaluate on Ref.
-                (
-                    generate_block(spec, seed, i as u64, InputSet::Train),
-                    Some(generate_block(spec, seed, i as u64, InputSet::Ref)),
-                )
-            } else {
-                (generate_block(spec, seed, i as u64, InputSet::Ref), None)
-            };
-            run_block(
-                &sched_profile,
-                eval_profile.as_ref(),
-                machine,
-                seed ^ i as u64,
-                max_steps,
+    let results = vcsched_engine::scatter(blocks, jobs(), |i| {
+        let (sched_profile, eval_profile) = if cross_input {
+            // Fig. 12: schedule with the Train profile, evaluate on Ref.
+            (
+                generate_block(spec, seed, i as u64, InputSet::Train),
+                Some(generate_block(spec, seed, i as u64, InputSet::Ref)),
             )
-        })
-        .collect();
+        } else {
+            (generate_block(spec, seed, i as u64, InputSet::Ref), None)
+        };
+        run_block(
+            &sched_profile,
+            eval_profile.as_ref(),
+            machine,
+            seed ^ i as u64,
+            max_steps,
+        )
+    });
     AppResult {
         app: spec.name,
         suite: spec.suite,
@@ -285,7 +298,11 @@ mod tests {
             vc_awct: Some(9.0),
             ..r.clone()
         };
-        assert_eq!(worse.vc_effective_awct(1_000), 8.0, "driver keeps the better");
+        assert_eq!(
+            worse.vc_effective_awct(1_000),
+            8.0,
+            "driver keeps the better"
+        );
     }
 
     #[test]

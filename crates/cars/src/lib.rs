@@ -82,7 +82,11 @@ impl CarsScheduler {
     /// Schedules `sb` with an explicit live-in placement — the same
     /// assignment handed to the virtual-cluster scheduler for a fair
     /// comparison (§6.1).
-    pub fn schedule_with_live_ins(&self, sb: &Superblock, live_in_homes: &[ClusterId]) -> CarsOutcome {
+    pub fn schedule_with_live_ins(
+        &self,
+        sb: &Superblock,
+        live_in_homes: &[ClusterId],
+    ) -> CarsOutcome {
         let n = sb.len();
         let k = self.machine.cluster_count();
         let bus = self.machine.bus_latency() as i64;
@@ -91,11 +95,8 @@ impl CarsScheduler {
         let mut rt = ReservationTable::new(&self.machine);
         let mut cycles: Vec<Option<i64>> = vec![None; n];
         let mut clusters: Vec<ClusterId> = vec![ClusterId(0); n];
-        let mut avail: Vec<Availability> = (0..n)
-            .map(|_| Availability {
-                at: vec![None; k],
-            })
-            .collect();
+        let mut avail: Vec<Availability> =
+            (0..n).map(|_| Availability { at: vec![None; k] }).collect();
         let mut copies: Vec<CopyOp> = Vec::new();
         let mut load: Vec<u64> = vec![0; k];
 
@@ -120,9 +121,7 @@ impl CarsScheduler {
             // Live-ins are pre-scheduled; anything they block is released.
             let _ = li;
         }
-        let mut remaining: Vec<usize> = (0..n)
-            .filter(|&i| !sb.insts()[i].is_live_in())
-            .collect();
+        let mut remaining: Vec<usize> = (0..n).filter(|&i| !sb.insts()[i].is_live_in()).collect();
 
         while !remaining.is_empty() {
             // Ready: all predecessors scheduled.
@@ -198,7 +197,8 @@ impl CarsScheduler {
                 if !feasible {
                     continue;
                 }
-                let slot = trial_rt.earliest_slot(earliest.max(0) as u32, ClusterId(c as u8), class);
+                let slot =
+                    trial_rt.earliest_slot(earliest.max(0) as u32, ClusterId(c as u8), class);
                 let key = (slot as i64, new_copies.len(), load[c], c);
                 if best
                     .as_ref()
@@ -226,7 +226,10 @@ impl CarsScheduler {
         }
 
         let schedule = Schedule {
-            cycles: cycles.into_iter().map(|c| c.expect("all scheduled")).collect(),
+            cycles: cycles
+                .into_iter()
+                .map(|c| c.expect("all scheduled"))
+                .collect(),
             clusters,
             copies,
         };

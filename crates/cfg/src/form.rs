@@ -60,14 +60,26 @@ pub fn form_superblocks(cfg: &Cfg, profile: &Profile, opts: &TraceOptions) -> Ve
     let mut units = Vec::new();
     for (ti, trace) in traces.iter().enumerate() {
         let name = format!("{}.sb{}", cfg.name(), ti);
-        units.push(lower_unit(cfg, &trace.blocks, trace.entry_count, &name, None));
+        units.push(lower_unit(
+            cfg,
+            &trace.blocks,
+            trace.entry_count,
+            &name,
+            None,
+        ));
         // Tail duplication: side entrances into mid-trace blocks.
         for (i, &b) in trace.blocks.iter().enumerate().skip(1) {
             let on_trace_in = profile.edge_count(trace.blocks[i - 1], b);
             let side = (profile.block_count(b) - on_trace_in).max(0.0);
             if side > 1e-9 {
                 let dup_name = format!("{}.sb{}.dup{}", cfg.name(), ti, i);
-                units.push(lower_unit(cfg, &trace.blocks[i..], side, &dup_name, Some(b)));
+                units.push(lower_unit(
+                    cfg,
+                    &trace.blocks[i..],
+                    side,
+                    &dup_name,
+                    Some(b),
+                ));
             }
         }
     }
@@ -211,9 +223,7 @@ pub fn lower_path(
             }
             ref t => {
                 // Final exit: takes the residual probability.
-                let src = t
-                    .cond()
-                    .map(|c| use_of(&mut b, &def_site, &mut live_in, c));
+                let src = t.cond().map(|c| use_of(&mut b, &def_site, &mut live_in, c));
                 let id = b.exit(t.latency(), reach);
                 if let Some(s) = src {
                     b.data_dep(s, id);
@@ -275,7 +285,9 @@ mod tests {
         );
         b.define(
             tail,
-            vec![Op::new(OpClass::Int, 1).with_uses([VReg(0)]).with_def(VReg(2))],
+            vec![Op::new(OpClass::Int, 1)
+                .with_uses([VReg(0)])
+                .with_def(VReg(2))],
             Terminator::Return { latency: 1 },
         );
         let cfg = b.build().unwrap();
@@ -337,10 +349,7 @@ mod tests {
     fn duplicate_tail_uses_live_in_for_upstream_value() {
         let (cfg, p) = small_fn();
         let units = form_superblocks(&cfg, &p, &TraceOptions::default());
-        let dup = units
-            .iter()
-            .find(|u| u.duplicated_from.is_some())
-            .unwrap();
+        let dup = units.iter().find(|u| u.duplicated_from.is_some()).unwrap();
         // The tail's add uses v0, defined upstream: must be a live-in here.
         assert_eq!(dup.superblock.live_ins().count(), 1);
     }
@@ -398,11 +407,15 @@ mod tests {
         let mut bld = CfgBuilder::new("m");
         bld.block(
             vec![
-                Op::new(OpClass::Mem, 2).with_def(VReg(1)).with_mem(MemEffect::Load),
+                Op::new(OpClass::Mem, 2)
+                    .with_def(VReg(1))
+                    .with_mem(MemEffect::Load),
                 Op::new(OpClass::Mem, 2)
                     .with_uses([VReg(1)])
                     .with_mem(MemEffect::Store),
-                Op::new(OpClass::Mem, 2).with_def(VReg(2)).with_mem(MemEffect::Load),
+                Op::new(OpClass::Mem, 2)
+                    .with_def(VReg(2))
+                    .with_mem(MemEffect::Load),
             ],
             Terminator::Return { latency: 1 },
         );

@@ -9,29 +9,27 @@ use vcsched_cfg::{
 
 fn arb_spec() -> impl Strategy<Value = FunctionSpec> {
     (
-        2usize..8,       // regions
-        0.0f64..0.4,     // triangle
-        0.0f64..0.3,     // diamond
-        0.0f64..0.3,     // loop
-        1usize..6,       // ops lo
-        0usize..10,      // ops extra
-        0.0f64..0.5,     // mem
-        0.0f64..0.2,     // fp
+        2usize..8,   // regions
+        0.0f64..0.4, // triangle
+        0.0f64..0.3, // diamond
+        0.0f64..0.3, // loop
+        1usize..6,   // ops lo
+        0usize..10,  // ops extra
+        0.0f64..0.5, // mem
+        0.0f64..0.2, // fp
     )
-        .prop_map(
-            |(regions, tri, dia, lp, lo, extra, mem, fp)| FunctionSpec {
-                name: "prop".to_owned(),
-                regions,
-                triangle_prob: tri,
-                diamond_prob: dia,
-                loop_prob: lp,
-                ops_per_block: (lo, lo + extra),
-                mem_frac: mem,
-                fp_frac: fp,
-                branch_latency: 3,
-                entry_count: 1000.0,
-            },
-        )
+        .prop_map(|(regions, tri, dia, lp, lo, extra, mem, fp)| FunctionSpec {
+            name: "prop".to_owned(),
+            regions,
+            triangle_prob: tri,
+            diamond_prob: dia,
+            loop_prob: lp,
+            ops_per_block: (lo, lo + extra),
+            mem_frac: mem,
+            fp_frac: fp,
+            branch_latency: 3,
+            entry_count: 1000.0,
+        })
 }
 
 proptest! {

@@ -118,7 +118,7 @@ impl Budget {
             return Err(DpAbort::Budget);
         }
         self.check_counter = self.check_counter.wrapping_add(1);
-        if self.check_counter % 1024 == 0 {
+        if self.check_counter.is_multiple_of(1024) {
             if let Some(d) = self.deadline {
                 if Instant::now() >= d {
                     return Err(DpAbort::Budget);
@@ -280,8 +280,8 @@ fn propagate_no_overlap(
     let w = st.edges[e_idx].window;
     let lo_poss = st.est[u] - st.lst[v];
     let hi_poss = st.lst[u] - st.est[v];
-    let left_possible = lo_poss <= w.lo - 1;
-    let right_possible = hi_poss >= w.hi + 1;
+    let left_possible = lo_poss < w.lo;
+    let right_possible = hi_poss > w.hi;
     match (left_possible, right_possible) {
         (false, false) => Err(Contradiction::EdgeConflict(u, v)),
         (false, true) => {
@@ -494,7 +494,10 @@ pub fn audit_cycle_group(
         OpClass::Branch,
         OpClass::Copy,
     ] {
-        let count = group.iter().filter(|&&m| st.class(m) == Some(class)).count();
+        let count = group
+            .iter()
+            .filter(|&&m| st.class(m) == Some(class))
+            .count();
         if count > st.ctx.machine.total_capacity(class) {
             return Err(Contradiction::ResourceOverflow(class));
         }
@@ -527,10 +530,7 @@ pub fn audit_cycle_group(
                         return Err(Contradiction::ResourceOverflow(ca));
                     }
                 }
-            } else if ca == cb
-                && st.ctx.machine.capacity(ca) == 1
-                && !st.vcs_incompatible(a, b)
-            {
+            } else if ca == cb && st.ctx.machine.capacity(ca) == 1 && !st.vcs_incompatible(a, b) {
                 // Rule 2: same cycle, one unit per cluster ⇒ different PCs.
                 make_incompat(st, q, a, b)?;
             }
@@ -684,8 +684,16 @@ pub fn make_incompat(
     st.dirty = true;
     st.vc_adj[ra].insert(rb);
     st.vc_adj[rb].insert(ra);
-    let a_members: Vec<NodeId> = st.vc_members(ra).into_iter().filter(|&m| m < st.ctx.n_insts).collect();
-    let b_members: Vec<NodeId> = st.vc_members(rb).into_iter().filter(|&m| m < st.ctx.n_insts).collect();
+    let a_members: Vec<NodeId> = st
+        .vc_members(ra)
+        .into_iter()
+        .filter(|&m| m < st.ctx.n_insts)
+        .collect();
+    let b_members: Vec<NodeId> = st
+        .vc_members(rb)
+        .into_iter()
+        .filter(|&m| m < st.ctx.n_insts)
+        .collect();
     // Crossing data edges need a communication.
     let data_edges = st.ctx.data_edges.clone();
     for &(p, c) in &data_edges {
@@ -719,20 +727,14 @@ pub fn rule1_slack_check(
     let as_producer: Vec<usize> = st.ctx.consumers_of[n].clone();
     for c in as_producer {
         let lat = st.latency(n);
-        if !st.same_vc(n, c)
-            && !st.vcs_incompatible(n, c)
-            && st.lst[c] - (st.est[n] + lat) < bus
-        {
+        if !st.same_vc(n, c) && !st.vcs_incompatible(n, c) && st.lst[c] - (st.est[n] + lat) < bus {
             fuse_vcs(st, q, n, c)?;
         }
     }
     let as_consumer: Vec<usize> = st.ctx.producers_of[n].clone();
     for p in as_consumer {
         let lat = st.latency(p);
-        if !st.same_vc(p, n)
-            && !st.vcs_incompatible(p, n)
-            && st.lst[n] - (st.est[p] + lat) < bus
-        {
+        if !st.same_vc(p, n) && !st.vcs_incompatible(p, n) && st.lst[n] - (st.est[p] + lat) < bus {
             fuse_vcs(st, q, p, n)?;
         }
     }
@@ -862,7 +864,10 @@ fn create_plcs_for_pair(
             continue;
         }
         let key = (0u8, x.min(y), x.max(y), s);
-        if st.plc_seen.contains(&key) || st.flc_by_value.contains_key(&x) || st.flc_by_value.contains_key(&y) {
+        if st.plc_seen.contains(&key)
+            || st.flc_by_value.contains_key(&x)
+            || st.flc_by_value.contains_key(&y)
+        {
             continue;
         }
         st.plc_seen.insert(key);
@@ -994,8 +999,7 @@ pub fn refresh_plc_bounds(
                 let node = st.comms[ci].node;
                 let est = (st.est[a] + st.latency(a)).min(st.est[b] + st.latency(b));
                 if st.est[node] < est {
-                    tighten_est(st, q, node, est)
-                        .map_err(|_| Contradiction::NoCommSlack(node))?;
+                    tighten_est(st, q, node, est).map_err(|_| Contradiction::NoCommSlack(node))?;
                 }
             }
             CommKind::CPlc {
@@ -1004,8 +1008,7 @@ pub fn refresh_plc_bounds(
                 let node = st.comms[ci].node;
                 let lst = st.lst[a].max(st.lst[b]) - bus;
                 if st.lst[node] > lst {
-                    tighten_lst(st, q, node, lst)
-                        .map_err(|_| Contradiction::NoCommSlack(node))?;
+                    tighten_lst(st, q, node, lst).map_err(|_| Contradiction::NoCommSlack(node))?;
                 }
             }
             _ => {}
@@ -1067,10 +1070,7 @@ pub fn resource_pass(st: &mut SchedulingState, q: &mut Queue) -> Result<bool, Co
         precedence_resource_rule(st, q)?;
     }
     // Bus: live communications, with occupancy.
-    let comms: Vec<NodeId> = st
-        .live_comms()
-        .map(|c| c.node)
-        .collect();
+    let comms: Vec<NodeId> = st.live_comms().map(|c| c.node).collect();
     let buses = st.ctx.machine.bus_count();
     let occ = st.ctx.machine.bus_occupancy() as i64;
     pigeonhole(st, q, &comms, buses, occ, false, OpClass::Copy)?;
@@ -1081,10 +1081,7 @@ pub fn resource_pass(st: &mut SchedulingState, q: &mut Queue) -> Result<bool, Co
         .map(|&n| st.est[n])
         .collect();
     for &t in &pinned {
-        let overlapping = pinned
-            .iter()
-            .filter(|&&u| u <= t && t < u + occ)
-            .count();
+        let overlapping = pinned.iter().filter(|&&u| u <= t && t < u + occ).count();
         if overlapping > buses {
             return Err(Contradiction::ResourceOverflow(OpClass::Copy));
         }
@@ -1093,10 +1090,7 @@ pub fn resource_pass(st: &mut SchedulingState, q: &mut Queue) -> Result<bool, Co
 }
 
 /// Precedence-based resource bounds (see [`resource_pass`]).
-fn precedence_resource_rule(
-    st: &mut SchedulingState,
-    q: &mut Queue,
-) -> Result<(), Contradiction> {
+fn precedence_resource_rule(st: &mut SchedulingState, q: &mut Queue) -> Result<(), Contradiction> {
     let n = st.ctx.n_insts;
     for x in 0..n {
         for class in OpClass::FU_CLASSES {
@@ -1111,7 +1105,10 @@ fn precedence_resource_rule(
             for p in 0..n {
                 if st.ctx.classes[p] == class
                     && !st.ctx.live_in[p]
-                    && st.ctx.dg.reaches(vcsched_ir::InstId(p as u32), vcsched_ir::InstId(x as u32))
+                    && st
+                        .ctx
+                        .dg
+                        .reaches(vcsched_ir::InstId(p as u32), vcsched_ir::InstId(x as u32))
                 {
                     count += 1;
                     group_est = group_est.min(st.est[p]);
@@ -1131,7 +1128,10 @@ fn precedence_resource_rule(
             for c in 0..n {
                 if st.ctx.classes[c] == class
                     && !st.ctx.live_in[c]
-                    && st.ctx.dg.reaches(vcsched_ir::InstId(x as u32), vcsched_ir::InstId(c as u32))
+                    && st
+                        .ctx
+                        .dg
+                        .reaches(vcsched_ir::InstId(x as u32), vcsched_ir::InstId(c as u32))
                 {
                     count += 1;
                     group_lst = group_lst.max(st.lst[c]);

@@ -66,7 +66,10 @@ fn enhanced_min_targets(
         live_in_homes,
         budget,
     ) {
-        Ok(st) => exits.iter().map(|&x| st.est[x.index()].max(ctx.dg.estart(x))).collect(),
+        Ok(st) => exits
+            .iter()
+            .map(|&x| st.est[x.index()].max(ctx.dg.estart(x)))
+            .collect(),
         Err(DpAbort::Budget) => return Err(DpAbort::Budget),
         Err(DpAbort::Contradiction(_)) => exits.iter().map(|&x| ctx.dg.estart(x)).collect(),
     };

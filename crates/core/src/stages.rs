@@ -164,8 +164,7 @@ fn pinning_stage(
             Err(DpAbort::Contradiction(_)) => {
                 // Mandatory: this cycle is impossible; the bound rises.
                 let mut q: Queue = Queue::new();
-                dp::tighten_est(st, &mut q, node, est + 1)
-                    .map_err(|_| StageFail::Restart)?;
+                dp::tighten_est(st, &mut q, node, est + 1).map_err(|_| StageFail::Restart)?;
                 dp::drain(st, &mut q, budget).map_err(map_abort)?;
                 tightened = true;
             }
@@ -176,8 +175,7 @@ fn pinning_stage(
                 Err(DpAbort::Budget) => return Err(StageFail::Budget),
                 Err(DpAbort::Contradiction(_)) => {
                     let mut q: Queue = Queue::new();
-                    dp::tighten_lst(st, &mut q, node, lst - 1)
-                        .map_err(|_| StageFail::Restart)?;
+                    dp::tighten_lst(st, &mut q, node, lst - 1).map_err(|_| StageFail::Restart)?;
                     dp::drain(st, &mut q, budget).map_err(map_abort)?;
                     tightened = true;
                 }
@@ -220,10 +218,7 @@ pub fn stage3_eliminate_outedges(
             let key = (rp.min(rc), rp.max(rc));
             *weights.entry(key).or_insert(0) += 1;
         }
-        let mut roots: Vec<usize> = weights
-            .keys()
-            .flat_map(|&(a, b)| [a, b])
-            .collect();
+        let mut roots: Vec<usize> = weights.keys().flat_map(|&(a, b)| [a, b]).collect();
         roots.sort_unstable();
         roots.dedup();
         let index = |r: usize| roots.binary_search(&r).expect("root present");

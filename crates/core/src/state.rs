@@ -18,7 +18,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use vcsched_arch::{ClusterId, MachineConfig, OpClass};
-use vcsched_graph::{OffsetUnionFind, UnionFind, Ungraph};
+use vcsched_graph::{OffsetUnionFind, Ungraph, UnionFind};
 use vcsched_ir::{DepGraph, DepKind, InstId, Superblock};
 
 use crate::combination::{CombDomain, CombRange};

@@ -286,10 +286,27 @@ fn two_remote_consumer_pairs_serialise_on_one_bus() {
     // disjunction). But committing both to cycle 1 must contradict: the
     // single bus cannot deliver two transfers arriving by cycle 1.
     let (c1n, c2n) = (4usize, 5usize);
-    assert!(st.est[c1n] >= 1 && st.est[c2n] >= 1, "PLCs push past the bus");
-    apply_decision(&mut st, &Decision::Pin { node: c1n, cycle: 1 }, &mut budget)
-        .expect("one consumer at cycle 1 is fine");
-    let both = study_decision(&st, &Decision::Pin { node: c2n, cycle: 1 }, &mut budget);
+    assert!(
+        st.est[c1n] >= 1 && st.est[c2n] >= 1,
+        "PLCs push past the bus"
+    );
+    apply_decision(
+        &mut st,
+        &Decision::Pin {
+            node: c1n,
+            cycle: 1,
+        },
+        &mut budget,
+    )
+    .expect("one consumer at cycle 1 is fine");
+    let both = study_decision(
+        &st,
+        &Decision::Pin {
+            node: c2n,
+            cycle: 1,
+        },
+        &mut budget,
+    );
     assert!(
         matches!(both, Err(DpAbort::Contradiction(_))),
         "both consumers at cycle 1 over-subscribe the bus"
@@ -327,8 +344,7 @@ fn hetero_fusion_accepts_class_compatible_vcs() {
     let machine = MachineConfig::hetero_2c();
     let (_ctx, mut st) = fresh_state(&sb, &machine, 12);
     let mut budget = Budget::unlimited();
-    apply_decision(&mut st, &Decision::Fuse(0, 1), &mut budget)
-        .expect("int+mem share any cluster");
+    apply_decision(&mut st, &Decision::Fuse(0, 1), &mut budget).expect("int+mem share any cluster");
     assert!(st.same_vc(0, 1));
 }
 

@@ -33,7 +33,9 @@ fn worked_example_finds_awct_9_4() {
     // appears at AWCT 9.4 (B0@5, B1@7).
     let sb = fig1();
     let scheduler = VcScheduler::new(MachineConfig::paper_example_2c());
-    let out = scheduler.schedule(&sb).expect("the paper schedules this block");
+    let out = scheduler
+        .schedule(&sb)
+        .expect("the paper schedules this block");
     assert!(
         (out.stats.min_awct - 9.1).abs() < 1e-9,
         "enhanced minAWCT should be 9.1, got {}",

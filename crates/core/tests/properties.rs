@@ -14,7 +14,9 @@ fn arb_superblock() -> impl Strategy<Value = Superblock> {
         // Cheap deterministic PRNG (the structure matters, not quality).
         let mut s = seed | 1;
         let mut next = move |m: u64| {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (s >> 33) % m
         };
         let mut b = SuperblockBuilder::new("prop");

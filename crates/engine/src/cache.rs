@@ -1,0 +1,396 @@
+//! Content-addressed, memoizing schedule cache.
+//!
+//! The cache key is a stable FNV-1a/64 hash over the *canonical scheduling
+//! problem*: the superblock's compact JSON, the machine configuration, the
+//! live-in placement and the scheduler options. Identical problems —
+//! across runs, processes, and `--jobs` settings — therefore hit the same
+//! entry.
+//!
+//! Two layers:
+//!
+//! * an in-memory LRU map (bounded, thread-safe behind a mutex), and
+//! * an optional on-disk JSONL journal (`schedules.jsonl` in the cache
+//!   directory): entries are appended as they are produced and replayed
+//!   into memory when the cache is opened, so a second corpus run is
+//!   served entirely from cache.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+use vcsched_ir::Schedule;
+
+use crate::portfolio::SchedulerKind;
+
+/// Stable FNV-1a over bytes; the cache's content hash.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// FNV-1a with a shifted basis: the independent second hash used to
+/// verify cache hits (two independent 64-bit hashes make an undetected
+/// collision astronomically unlikely; one alone would silently serve a
+/// colliding problem another block's schedule).
+pub fn fnv1a_check(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ 0x5bd1_e995_7b12_6699;
+    for &b in bytes {
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        h ^= u64::from(b);
+    }
+    h
+}
+
+/// What the cache remembers for one scheduling problem.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheEntry {
+    /// Hex form of the problem hash (the JSONL join key).
+    pub key: String,
+    /// Hex form of the independent verification hash ([`fnv1a_check`]);
+    /// checked on every lookup so a primary-hash collision degrades to a
+    /// miss instead of returning the wrong schedule.
+    pub check: String,
+    /// Which scheduler produced the winning schedule.
+    pub winner: SchedulerKind,
+    /// Validated AWCT of the winning schedule.
+    pub awct: f64,
+    /// Deduction steps the VC scheduler spent (0 if VC was not run).
+    pub vc_steps: u64,
+    /// Whether VC exhausted its budget (CARS fallback was used).
+    pub vc_timed_out: bool,
+    /// The winning schedule itself.
+    pub schedule: Schedule,
+}
+
+/// Hit/miss counters, snapshotted into the batch summary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct CacheStats {
+    /// Problems answered from memory or disk.
+    pub hits: u64,
+    /// Problems that had to be scheduled.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`; 0 for an empty cache.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Inner {
+    map: HashMap<u64, (CacheEntry, u64)>,
+    /// Lazy LRU recency queue: keys are re-pushed on every touch and
+    /// validated against the entry's tick when evicting.
+    recency: VecDeque<(u64, u64)>,
+    tick: u64,
+    stats: CacheStats,
+    journal: Option<std::io::BufWriter<std::fs::File>>,
+}
+
+/// The memoizing schedule cache (in-memory LRU + optional disk journal).
+pub struct ScheduleCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+    dir: Option<PathBuf>,
+}
+
+impl ScheduleCache {
+    /// An in-memory cache holding at most `capacity` schedules.
+    pub fn in_memory(capacity: usize) -> ScheduleCache {
+        ScheduleCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                recency: VecDeque::new(),
+                tick: 0,
+                stats: CacheStats::default(),
+                journal: None,
+            }),
+            dir: None,
+        }
+    }
+
+    /// Opens (or creates) a persistent cache under `dir`, replaying any
+    /// existing `schedules.jsonl` into memory.
+    ///
+    /// Unparseable journal lines (e.g. a tail truncated by a killed run)
+    /// are skipped with a warning rather than failing the open: a cache
+    /// miss costs a recomputation, never correctness.
+    pub fn persistent(dir: &Path, capacity: usize) -> Result<ScheduleCache, String> {
+        std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+        let path = dir.join("schedules.jsonl");
+        let mut cache = ScheduleCache::in_memory(capacity);
+        cache.dir = Some(dir.to_path_buf());
+        if path.exists() {
+            let file =
+                std::fs::File::open(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+            let mut skipped = 0usize;
+            for line in std::io::BufReader::new(file).lines() {
+                let line = line.map_err(|e| format!("{}: {e}", path.display()))?;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let parsed = serde_json::from_str::<CacheEntry>(&line)
+                    .ok()
+                    .and_then(|entry| {
+                        u64::from_str_radix(&entry.key, 16)
+                            .ok()
+                            .map(|key| (key, entry))
+                    });
+                match parsed {
+                    Some((key, entry)) => cache.insert_silent(key, entry),
+                    None => skipped += 1,
+                }
+            }
+            if skipped > 0 {
+                eprintln!(
+                    "warning: {}: skipped {skipped} corrupt cache line(s); \
+                     affected blocks will be rescheduled",
+                    path.display()
+                );
+            }
+        }
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        cache.inner.lock().unwrap().journal = Some(std::io::BufWriter::new(file));
+        Ok(cache)
+    }
+
+    /// The cache directory, if persistent.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// Looks up a problem hash, counting a hit or miss. `check` is the
+    /// problem's [`fnv1a_check`] hash; an entry whose stored check hash
+    /// differs is a primary-hash collision and is treated as a miss.
+    pub fn get(&self, key: u64, check: u64) -> Option<CacheEntry> {
+        let check_hex = format!("{check:016x}");
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let hit = match inner.map.get_mut(&key) {
+            Some((entry, last)) if entry.check == check_hex => {
+                *last = tick;
+                let entry = entry.clone();
+                inner.recency.push_back((key, tick));
+                inner.stats.hits += 1;
+                Some(entry)
+            }
+            _ => {
+                inner.stats.misses += 1;
+                None
+            }
+        };
+        Self::drain_stale(&mut inner);
+        hit
+    }
+
+    /// Stores a freshly computed entry, journaling it if persistent.
+    pub fn put(&self, key: u64, entry: CacheEntry) {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(journal) = inner.journal.as_mut() {
+            // One JSON object per line; the compact printer never emits
+            // newlines.
+            if let Ok(line) = serde_json::to_string(&entry) {
+                let _ = writeln!(journal, "{line}");
+            }
+        }
+        Self::insert_locked(&mut inner, self.capacity, key, entry);
+    }
+
+    /// Inserts without journaling or stats (used while replaying disk).
+    fn insert_silent(&self, key: u64, entry: CacheEntry) {
+        let mut inner = self.inner.lock().unwrap();
+        Self::insert_locked(&mut inner, self.capacity, key, entry);
+    }
+
+    fn insert_locked(inner: &mut Inner, capacity: usize, key: u64, entry: CacheEntry) {
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.map.insert(key, (entry, tick));
+        inner.recency.push_back((key, tick));
+        while inner.map.len() > capacity {
+            match inner.recency.pop_front() {
+                Some((old_key, old_tick)) => {
+                    // Only evict if this queue entry is the key's latest
+                    // touch; otherwise it is a stale duplicate.
+                    if inner
+                        .map
+                        .get(&old_key)
+                        .is_some_and(|(_, last)| *last == old_tick)
+                    {
+                        inner.map.remove(&old_key);
+                    }
+                }
+                None => break,
+            }
+        }
+        Self::drain_stale(inner);
+    }
+
+    /// Keeps the lazy-LRU recency queue bounded: pop stale duplicates off
+    /// the front, and if hit traffic has still outgrown the live set
+    /// (every live key holds exactly one current tuple; the rest are
+    /// stale), rebuild the queue from the map. Without this a
+    /// hit-dominated steady state would grow the queue forever.
+    fn drain_stale(inner: &mut Inner) {
+        while let Some(&(key, tick)) = inner.recency.front() {
+            if inner.map.get(&key).is_some_and(|(_, last)| *last == tick) {
+                break;
+            }
+            inner.recency.pop_front();
+        }
+        if inner.recency.len() > 2 * inner.map.len() + 64 {
+            let mut live: Vec<(u64, u64)> = inner.map.iter().map(|(k, (_, t))| (*k, *t)).collect();
+            live.sort_by_key(|&(_, t)| t);
+            inner.recency = live.into();
+        }
+    }
+
+    /// Flushes the disk journal (no-op for in-memory caches).
+    pub fn flush(&self) {
+        if let Some(journal) = self.inner.lock().unwrap().journal.as_mut() {
+            let _ = journal.flush();
+        }
+    }
+
+    /// Snapshot of the hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().unwrap().stats
+    }
+
+    /// Number of schedules currently held in memory.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().map.len()
+    }
+
+    /// Whether the in-memory map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Drop for ScheduleCache {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Test entries use `check == key` for brevity.
+    fn entry(key: u64, awct: f64) -> CacheEntry {
+        CacheEntry {
+            key: format!("{key:016x}"),
+            check: format!("{key:016x}"),
+            winner: SchedulerKind::Cars,
+            awct,
+            vc_steps: 0,
+            vc_timed_out: false,
+            schedule: Schedule {
+                cycles: vec![0, 1],
+                clusters: vec![vcsched_arch::ClusterId(0); 2],
+                copies: vec![],
+            },
+        }
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a/64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+        // The check hash is independent of the primary.
+        assert_ne!(fnv1a_check(b"foobar"), fnv1a(b"foobar"));
+        assert_ne!(fnv1a_check(b"a"), fnv1a_check(b"b"));
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let c = ScheduleCache::in_memory(8);
+        assert!(c.get(1, 1).is_none());
+        c.put(1, entry(1, 5.0));
+        let hit = c.get(1, 1).expect("hit");
+        assert_eq!(hit.awct, 5.0);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn primary_hash_collision_degrades_to_miss() {
+        let c = ScheduleCache::in_memory(8);
+        c.put(1, entry(1, 5.0));
+        // Same primary key, different verification hash: another problem
+        // colliding under FNV must not be served this entry's schedule.
+        assert!(c.get(1, 999).is_none());
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let c = ScheduleCache::in_memory(2);
+        c.put(1, entry(1, 1.0));
+        c.put(2, entry(2, 2.0));
+        assert!(c.get(1, 1).is_some()); // touch 1: now 2 is LRU
+        c.put(3, entry(3, 3.0)); // evicts 2
+        assert_eq!(c.len(), 2);
+        assert!(c.get(2, 2).is_none());
+        assert!(c.get(1, 1).is_some());
+        assert!(c.get(3, 3).is_some());
+    }
+
+    #[test]
+    fn recency_queue_stays_bounded_under_hit_traffic() {
+        let c = ScheduleCache::in_memory(4);
+        for k in 0..4 {
+            c.put(k, entry(k, 1.0));
+        }
+        for _ in 0..10_000 {
+            for k in 0..4 {
+                assert!(c.get(k, k).is_some());
+            }
+        }
+        let inner = c.inner.lock().unwrap();
+        assert!(
+            inner.recency.len() <= 2 * inner.map.len() + 64,
+            "recency queue grew to {} entries",
+            inner.recency.len()
+        );
+    }
+
+    #[test]
+    fn persistent_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("vcsched-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let c = ScheduleCache::persistent(&dir, 64).expect("open");
+            c.put(42, entry(42, 7.5));
+            c.flush();
+        }
+        let c = ScheduleCache::persistent(&dir, 64).expect("reopen");
+        let hit = c.get(42, 42).expect("replayed from disk");
+        assert_eq!(hit.awct, 7.5);
+        assert_eq!(hit.winner, SchedulerKind::Cars);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

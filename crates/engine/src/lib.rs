@@ -1,0 +1,417 @@
+//! `vcsched-engine` — a parallel batch-scheduling engine.
+//!
+//! The paper's evaluation schedules thousands of superblocks per benchmark
+//! under compile-time thresholds with CARS fallback (§6.1). This crate
+//! turns that methodology into a throughput system:
+//!
+//! * a [`pool`] of worker threads (`std::thread` + channels) fans a corpus
+//!   of superblocks out over all cores, returning results in corpus order
+//!   so every run is deterministic regardless of `--jobs`;
+//! * [`portfolio`] schedules each block under the §6.1 policy — the
+//!   virtual-cluster scheduler under a deduction-step budget with CARS
+//!   fallback — optionally widened to a four-scheduler portfolio (VC,
+//!   CARS, UAS, two-phase) whose candidates race on scoped threads and
+//!   are validated by `vcsched-sim` before the best AWCT wins;
+//! * a content-addressed [`cache`] memoizes schedules by a stable FNV
+//!   hash of the canonical problem (superblock JSON + machine + options +
+//!   live-in placement), with an in-memory LRU and an optional on-disk
+//!   JSONL journal, so repeated corpus runs are near-instant;
+//! * [`corpus`] streams superblocks from JSONL files or synthesizes them
+//!   via `vcsched-workload`.
+//!
+//! The crate also owns the deduction-step analogues of the paper's
+//! compile-time buckets ([`STEPS_1S`], [`STEPS_1M`], [`STEPS_4M`]);
+//! `vcsched-bench` re-exports them and drives its figure corpora through
+//! [`pool::scatter`].
+//!
+//! # Example
+//!
+//! ```
+//! use vcsched_engine::{run_batch, BatchConfig, CorpusSource};
+//!
+//! let summary = run_batch(&BatchConfig {
+//!     source: CorpusSource::Synth { bench: "130.li".into(), count: 4, seed: 7 },
+//!     jobs: 2,
+//!     ..BatchConfig::default()
+//! }).unwrap().summary;
+//! assert_eq!(summary.blocks, 4);
+//! assert_eq!(summary.wins.total(), 4);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod corpus;
+pub mod pool;
+pub mod portfolio;
+
+use std::path::PathBuf;
+
+use serde::Serialize;
+use vcsched_arch::MachineConfig;
+use vcsched_workload::live_in_placement;
+
+pub use cache::{CacheEntry, CacheStats, ScheduleCache};
+pub use corpus::CorpusSource;
+pub use pool::{default_jobs, scatter};
+pub use portfolio::{schedule_block, BlockOutcome, PolicyOptions, SchedulerKind};
+
+/// Deduction-step analogue of the paper's "1 second" bucket (§6.1).
+pub const STEPS_1S: u64 = 5_000;
+/// Deduction-step analogue of the paper's "1 minute" threshold.
+pub const STEPS_1M: u64 = 300_000;
+/// Deduction-step analogue of the paper's "4 minute" threshold.
+pub const STEPS_4M: u64 = 1_200_000;
+
+/// Configuration of one batch run.
+#[derive(Debug, Clone)]
+pub struct BatchConfig {
+    /// Where the superblocks come from.
+    pub source: CorpusSource,
+    /// Target machine.
+    pub machine: MachineConfig,
+    /// Worker threads (0 or 1 = serial).
+    pub jobs: usize,
+    /// Race all four schedulers instead of VC + CARS fallback only.
+    pub portfolio: bool,
+    /// VC deduction-step budget per block.
+    pub max_dp_steps: u64,
+    /// Seed for the per-block live-in placements (§6.1 randomizes these
+    /// but hands every scheduler the same assignment).
+    pub placement_seed: u64,
+    /// Persist the schedule cache in this directory (`None` = in-memory).
+    pub cache_dir: Option<PathBuf>,
+    /// In-memory cache capacity (schedules).
+    pub cache_capacity: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            source: CorpusSource::Synth {
+                bench: "099.go".to_owned(),
+                count: 100,
+                seed: 0xC60_2007,
+            },
+            machine: MachineConfig::paper_2c_8w(),
+            jobs: default_jobs(),
+            portfolio: false,
+            max_dp_steps: STEPS_1M,
+            placement_seed: 0xC60_2007,
+            cache_dir: None,
+            cache_capacity: 1 << 16,
+        }
+    }
+}
+
+/// Win counts per portfolio member.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct Wins {
+    /// Blocks won by the virtual-cluster scheduler.
+    pub vc: usize,
+    /// Blocks won by CARS (including fallback wins).
+    pub cars: usize,
+    /// Blocks won by UAS (portfolio mode only).
+    pub uas: usize,
+    /// Blocks won by two-phase (portfolio mode only).
+    pub two_phase: usize,
+}
+
+impl Wins {
+    fn add(&mut self, kind: SchedulerKind) {
+        match kind {
+            SchedulerKind::Vc => self.vc += 1,
+            SchedulerKind::Cars => self.cars += 1,
+            SchedulerKind::Uas => self.uas += 1,
+            SchedulerKind::TwoPhase => self.two_phase += 1,
+        }
+    }
+
+    /// Total wins (equals the number of blocks scheduled).
+    pub fn total(&self) -> usize {
+        self.vc + self.cars + self.uas + self.two_phase
+    }
+}
+
+/// Cache accounting in the JSON summary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct CacheSummary {
+    /// Blocks answered from the cache.
+    pub hits: u64,
+    /// Blocks that were scheduled.
+    pub misses: u64,
+    /// `hits / (hits + misses)`.
+    pub hit_rate: f64,
+}
+
+/// Result of one block within a batch (kept small; the schedule itself
+/// lives in [`BatchResult::outcomes`]).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct BlockLine {
+    /// Block name (`bench#index`).
+    pub name: String,
+    /// Winning scheduler.
+    pub winner: SchedulerKind,
+    /// Validated AWCT.
+    pub awct: f64,
+    /// Profile execution count.
+    pub weight: u64,
+    /// Whether this block was served from the cache.
+    pub cached: bool,
+}
+
+/// The JSON summary a batch run reports.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct BatchSummary {
+    /// Corpus description.
+    pub corpus: String,
+    /// Machine name.
+    pub machine: String,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Whether portfolio mode was on.
+    pub portfolio: bool,
+    /// VC deduction-step budget.
+    pub steps: u64,
+    /// Number of blocks scheduled.
+    pub blocks: usize,
+    /// Per-scheduler win counts.
+    pub wins: Wins,
+    /// Blocks where VC exhausted its budget (CARS fallback).
+    pub vc_timeouts: usize,
+    /// Weighted mean AWCT: `Σ AWCT·T / Σ T`.
+    pub aggregate_awct: f64,
+    /// Total weighted cycles `Σ AWCT·T` (the paper's TC).
+    pub total_weighted_cycles: f64,
+    /// Cache accounting.
+    pub cache: CacheSummary,
+    /// Wall-clock of the whole batch, in milliseconds. Zero this field
+    /// before comparing summaries across runs.
+    pub wall_ms: u64,
+}
+
+/// Full result of a batch run: the summary plus every block's outcome (in
+/// corpus order).
+#[derive(Debug)]
+pub struct BatchResult {
+    /// Aggregated summary (what `vcsched batch` prints as JSON).
+    pub summary: BatchSummary,
+    /// Per-block lines, in corpus order.
+    pub lines: Vec<BlockLine>,
+    /// Per-block outcomes (winner, AWCT, schedule), in corpus order.
+    pub outcomes: Vec<BlockOutcome>,
+}
+
+/// Hashes one scheduling problem into its cache key plus the independent
+/// verification hash checked on lookup.
+fn problem_key(
+    sb_json: &str,
+    machine: &MachineConfig,
+    homes: &[vcsched_arch::ClusterId],
+    options: &PolicyOptions,
+) -> (u64, u64) {
+    // The machine's Debug form covers every field; options and homes are
+    // tiny, so a readable composite string is cheap and stable.
+    let composite = format!(
+        "{sb_json}|{machine:?}|{homes:?}|steps={}|portfolio={}",
+        options.max_dp_steps, options.portfolio
+    );
+    (
+        cache::fnv1a(composite.as_bytes()),
+        cache::fnv1a_check(composite.as_bytes()),
+    )
+}
+
+/// Runs a whole batch: load corpus, fan out over the pool, schedule each
+/// block under the policy (through the cache), aggregate.
+pub fn run_batch(config: &BatchConfig) -> Result<BatchResult, String> {
+    let t0 = std::time::Instant::now();
+    let blocks = config.source.load()?;
+    let cache = match &config.cache_dir {
+        Some(dir) => ScheduleCache::persistent(dir, config.cache_capacity)?,
+        None => ScheduleCache::in_memory(config.cache_capacity),
+    };
+    let result = run_batch_with_cache(config, &blocks, &cache, t0)?;
+    cache.flush();
+    Ok(result)
+}
+
+/// [`run_batch`] against a caller-managed cache (lets one cache serve many
+/// batches in a long-lived process). `t0` anchors the summary's wall
+/// clock.
+pub fn run_batch_with_cache(
+    config: &BatchConfig,
+    blocks: &[vcsched_ir::Superblock],
+    cache: &ScheduleCache,
+    t0: std::time::Instant,
+) -> Result<BatchResult, String> {
+    let options = PolicyOptions {
+        max_dp_steps: config.max_dp_steps,
+        portfolio: config.portfolio,
+    };
+    let machine = &config.machine;
+    // The cache counters are process-cumulative (one cache may serve many
+    // batches); the summary reports this batch's delta.
+    let stats_before = cache.stats();
+
+    let per_block: Vec<(BlockOutcome, bool)> = scatter(blocks.len(), config.jobs, |i| {
+        let sb = &blocks[i];
+        let homes = live_in_placement(
+            sb,
+            machine.cluster_count(),
+            config.placement_seed ^ i as u64,
+        );
+        let sb_json = serde_json::to_string(sb).expect("superblocks serialize");
+        let (key, check) = problem_key(&sb_json, machine, &homes, &options);
+        if let Some(entry) = cache.get(key, check) {
+            return (
+                BlockOutcome {
+                    winner: entry.winner,
+                    awct: entry.awct,
+                    vc_steps: entry.vc_steps,
+                    vc_timed_out: entry.vc_timed_out,
+                    schedule: entry.schedule,
+                },
+                true,
+            );
+        }
+        let outcome = schedule_block(sb, machine, &homes, &options);
+        cache.put(
+            key,
+            CacheEntry {
+                key: format!("{key:016x}"),
+                check: format!("{check:016x}"),
+                winner: outcome.winner,
+                awct: outcome.awct,
+                vc_steps: outcome.vc_steps,
+                vc_timed_out: outcome.vc_timed_out,
+                schedule: outcome.schedule.clone(),
+            },
+        );
+        (outcome, false)
+    });
+
+    let mut wins = Wins::default();
+    let mut vc_timeouts = 0usize;
+    let mut weighted_cycles = 0.0f64;
+    let mut total_weight = 0u64;
+    let mut lines = Vec::with_capacity(per_block.len());
+    let mut outcomes = Vec::with_capacity(per_block.len());
+    for (sb, (outcome, cached)) in blocks.iter().zip(per_block) {
+        wins.add(outcome.winner);
+        if outcome.vc_timed_out {
+            vc_timeouts += 1;
+        }
+        weighted_cycles += outcome.awct * sb.weight() as f64;
+        total_weight += sb.weight();
+        lines.push(BlockLine {
+            name: sb.name().to_owned(),
+            winner: outcome.winner,
+            awct: outcome.awct,
+            weight: sb.weight(),
+            cached,
+        });
+        outcomes.push(outcome);
+    }
+
+    let stats_after = cache.stats();
+    let stats = CacheStats {
+        hits: stats_after.hits - stats_before.hits,
+        misses: stats_after.misses - stats_before.misses,
+    };
+    let summary = BatchSummary {
+        corpus: config.source.describe(),
+        machine: machine.name().to_owned(),
+        jobs: config.jobs.max(1),
+        portfolio: config.portfolio,
+        steps: config.max_dp_steps,
+        blocks: blocks.len(),
+        wins,
+        vc_timeouts,
+        aggregate_awct: if total_weight == 0 {
+            0.0
+        } else {
+            weighted_cycles / total_weight as f64
+        },
+        total_weighted_cycles: weighted_cycles,
+        cache: CacheSummary {
+            hits: stats.hits,
+            misses: stats.misses,
+            hit_rate: stats.hit_rate(),
+        },
+        wall_ms: t0.elapsed().as_millis() as u64,
+    };
+    Ok(BatchResult {
+        summary,
+        lines,
+        outcomes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_aggregates_are_consistent() {
+        let result = run_batch(&BatchConfig {
+            source: CorpusSource::Synth {
+                bench: "130.li".to_owned(),
+                count: 8,
+                seed: 3,
+            },
+            jobs: 4,
+            max_dp_steps: STEPS_1S,
+            ..BatchConfig::default()
+        })
+        .expect("batch runs");
+        let s = &result.summary;
+        assert_eq!(s.blocks, 8);
+        assert_eq!(s.wins.total(), 8);
+        assert_eq!(result.lines.len(), 8);
+        assert_eq!(result.outcomes.len(), 8);
+        assert_eq!(s.cache.hits + s.cache.misses, 8);
+        assert!(s.aggregate_awct > 0.0);
+        let recomputed: f64 = result.lines.iter().map(|l| l.awct * l.weight as f64).sum();
+        assert!((recomputed - s.total_weighted_cycles).abs() < 1e-6);
+    }
+
+    #[test]
+    fn identical_problems_share_one_cache_entry() {
+        // Two batches over the same corpus against one shared cache: the
+        // second batch must be answered entirely from memory.
+        let config = BatchConfig {
+            source: CorpusSource::Synth {
+                bench: "099.go".to_owned(),
+                count: 6,
+                seed: 5,
+            },
+            jobs: 2,
+            max_dp_steps: STEPS_1S,
+            ..BatchConfig::default()
+        };
+        let blocks = config.source.load().unwrap();
+        let cache = ScheduleCache::in_memory(64);
+        let t0 = std::time::Instant::now();
+        let first = run_batch_with_cache(&config, &blocks, &cache, t0).unwrap();
+        assert_eq!(first.summary.cache.hits, 0);
+        assert_eq!(first.summary.cache.misses, 6);
+        let second = run_batch_with_cache(&config, &blocks, &cache, t0).unwrap();
+        assert_eq!(second.summary.cache.hits, 6);
+        assert_eq!(
+            second.summary.cache.misses, 0,
+            "the summary reports this batch's delta, not cumulative counters"
+        );
+        assert_eq!(
+            first.lines,
+            second
+                .lines
+                .iter()
+                .map(|l| BlockLine {
+                    cached: false,
+                    ..l.clone()
+                })
+                .collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! A small ordered fan-out worker pool over `std::thread` + channels.
+//!
+//! [`scatter`] is the engine's only parallel primitive: it runs a closure
+//! over the index range `0..n` on a fixed number of worker threads and
+//! returns the results **in index order**, so every caller is
+//! deterministic by construction regardless of `jobs` — workers race for
+//! indices, never for result slots.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// A sensible default worker count: the machine's available parallelism.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs `f(i)` for every `i in 0..n` on `jobs` worker threads and returns
+/// the results in index order.
+///
+/// Work is distributed dynamically (an atomic cursor), so long and short
+/// items mix freely; results travel back over an mpsc channel tagged with
+/// their index. `jobs == 1` degrades to a serial loop on the calling
+/// thread, which keeps single-threaded runs free of thread overhead and
+/// easy to profile.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the pool does not attempt recovery: a
+/// panicking scheduler is a bug, not a scheduling failure).
+pub fn scatter<R, F>(n: usize, jobs: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let jobs = jobs.max(1).min(n.max(1));
+    if jobs == 1 {
+        return (0..n).map(f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                // The receiver outlives the scope; send only fails if the
+                // main thread already panicked, in which case unwinding is
+                // underway anyway.
+                if tx.send((i, f(i))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (i, r) in rx.iter().take(n) {
+            slots[i] = Some(r);
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|s| s.expect("scatter: every index produces one result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_covers_all_indices() {
+        for jobs in [1, 2, 8, 64] {
+            let out = scatter(100, jobs, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_degenerate_inputs() {
+        assert_eq!(scatter(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(scatter(1, 0, |i| i + 1), vec![1]);
+        assert_eq!(scatter(3, 100, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn parallel_and_serial_agree_on_shared_state_free_work() {
+        let serial = scatter(250, 1, |i| (i as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        let parallel = scatter(250, 8, |i| (i as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        assert_eq!(serial, parallel);
+    }
+}

@@ -1,0 +1,292 @@
+//! Per-block scheduling policy: the paper's §6.1 pipeline, optionally
+//! widened into a portfolio.
+//!
+//! * **Single mode** mirrors the paper exactly: run the virtual-cluster
+//!   scheduler under a deduction-step budget; if it exhausts the budget
+//!   (or fails), fall back to CARS. When both schedules exist the better
+//!   (lower validated AWCT) one is kept — both costs are static, so a
+//!   production driver gets this comparison for free.
+//! * **Portfolio mode** additionally runs the UAS (CWP order) and
+//!   two-phase baselines concurrently on scoped threads, validates every
+//!   candidate with `vcsched-sim`, and keeps the best valid schedule.
+//!   Ties break toward the earlier entry of the fixed order VC, CARS,
+//!   UAS, two-phase, so outcomes are deterministic.
+
+use vcsched_arch::{ClusterId, MachineConfig};
+use vcsched_baselines::{ClusterOrder, TwoPhaseScheduler, UasScheduler};
+use vcsched_cars::CarsScheduler;
+use vcsched_core::{VcOptions, VcScheduler};
+use vcsched_ir::{Schedule, Superblock};
+use vcsched_sim::validate;
+
+/// The schedulers the engine can race.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchedulerKind {
+    /// The paper's virtual-cluster scheduler.
+    Vc,
+    /// CARS single-pass list scheduling (also the fallback).
+    Cars,
+    /// Unified assign-and-schedule, CWP cluster order.
+    Uas,
+    /// Partition first, schedule second.
+    TwoPhase,
+}
+
+impl SchedulerKind {
+    /// All portfolio members, in deterministic tie-break order.
+    pub const ALL: [SchedulerKind; 4] = [
+        SchedulerKind::Vc,
+        SchedulerKind::Cars,
+        SchedulerKind::Uas,
+        SchedulerKind::TwoPhase,
+    ];
+
+    /// Stable lower-case name (used in JSON summaries and CLI flags).
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerKind::Vc => "vc",
+            SchedulerKind::Cars => "cars",
+            SchedulerKind::Uas => "uas",
+            SchedulerKind::TwoPhase => "two-phase",
+        }
+    }
+}
+
+impl std::fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+// JSON uses the same kebab-case names as `Display` and the summary's win
+// table ("two-phase", not "TwoPhase"), so the derive's variant-name
+// convention is wrong here; implement by hand.
+impl serde::Serialize for SchedulerKind {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::String(self.name().to_owned())
+    }
+}
+
+impl serde::Deserialize for SchedulerKind {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| serde::DeError::expected("scheduler name", v))?;
+        SchedulerKind::ALL
+            .into_iter()
+            .find(|k| k.name() == s)
+            .ok_or_else(|| serde::DeError(format!("unknown scheduler `{s}`")))
+    }
+}
+
+/// Per-block policy options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyOptions {
+    /// Deduction-step budget for the VC scheduler (the compile-time
+    /// threshold of §6.1; see [`crate::STEPS_4M`] and friends).
+    pub max_dp_steps: u64,
+    /// Race UAS and two-phase alongside VC and CARS.
+    pub portfolio: bool,
+}
+
+impl Default for PolicyOptions {
+    fn default() -> Self {
+        PolicyOptions {
+            max_dp_steps: crate::STEPS_4M,
+            portfolio: false,
+        }
+    }
+}
+
+/// Outcome of scheduling one block under the policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockOutcome {
+    /// Which scheduler won.
+    pub winner: SchedulerKind,
+    /// Validated AWCT of the winning schedule.
+    pub awct: f64,
+    /// Deduction steps VC consumed (0 when the budget made it bail
+    /// immediately; `max_dp_steps + 1` marks a timeout).
+    pub vc_steps: u64,
+    /// Whether VC exhausted its budget and CARS fallback kicked in.
+    pub vc_timed_out: bool,
+    /// The winning schedule.
+    pub schedule: Schedule,
+}
+
+/// One candidate schedule with its validated cost.
+fn candidate(
+    kind: SchedulerKind,
+    schedule: Schedule,
+    sb: &Superblock,
+    machine: &MachineConfig,
+) -> Option<(SchedulerKind, f64, Schedule)> {
+    match validate(sb, machine, &schedule) {
+        Ok(report) => Some((kind, report.awct, schedule)),
+        // An invalid candidate is dropped, never surfaced: the portfolio
+        // guarantees every returned schedule passed machine-level
+        // validation.
+        Err(_) => None,
+    }
+}
+
+/// Schedules one block under the policy. `homes` pins the block's live-ins
+/// to register files; every portfolio member receives the same placement
+/// (§6.1).
+pub fn schedule_block(
+    sb: &Superblock,
+    machine: &MachineConfig,
+    homes: &[ClusterId],
+    options: &PolicyOptions,
+) -> BlockOutcome {
+    let vc = VcScheduler::with_options(
+        machine.clone(),
+        VcOptions {
+            max_dp_steps: options.max_dp_steps,
+            ..VcOptions::default()
+        },
+    );
+
+    // Baselines run on scoped threads while the (usually much slower) VC
+    // scheduler runs on this one. In single mode only CARS rides along —
+    // it is needed either way, as fallback or comparison.
+    let (vc_result, cars_out, extra) = std::thread::scope(|scope| {
+        let cars_handle =
+            scope.spawn(|| CarsScheduler::new(machine.clone()).schedule_with_live_ins(sb, homes));
+        let extra_handle = options.portfolio.then(|| {
+            scope.spawn(|| {
+                let uas = UasScheduler::new(machine.clone(), ClusterOrder::Cwp)
+                    .schedule_with_live_ins(sb, homes);
+                let two = TwoPhaseScheduler::new(machine.clone()).schedule_with_live_ins(sb, homes);
+                (uas.schedule, two.schedule)
+            })
+        });
+        let vc_result = vc.schedule_with_live_ins(sb, homes);
+        (
+            vc_result,
+            cars_handle.join().expect("CARS worker panicked"),
+            extra_handle.map(|h| h.join().expect("baseline worker panicked")),
+        )
+    });
+
+    let (vc_steps, vc_timed_out, vc_schedule) = match vc_result {
+        Ok(out) => (out.stats.dp_steps, false, Some(out.schedule)),
+        Err(_) => (options.max_dp_steps + 1, true, None),
+    };
+
+    let mut candidates: Vec<(SchedulerKind, f64, Schedule)> = Vec::with_capacity(4);
+    if let Some(s) = vc_schedule {
+        candidates.extend(candidate(SchedulerKind::Vc, s, sb, machine));
+    }
+    candidates.extend(candidate(
+        SchedulerKind::Cars,
+        cars_out.schedule,
+        sb,
+        machine,
+    ));
+    if let Some((uas, two)) = extra {
+        candidates.extend(candidate(SchedulerKind::Uas, uas, sb, machine));
+        candidates.extend(candidate(SchedulerKind::TwoPhase, two, sb, machine));
+    }
+
+    // Best validated AWCT; ties keep the earliest (candidates are pushed
+    // in SchedulerKind::ALL order).
+    let (winner, awct, schedule) = candidates
+        .into_iter()
+        .reduce(|best, next| if next.1 < best.1 { next } else { best })
+        .expect("CARS always yields a valid schedule");
+
+    BlockOutcome {
+        winner,
+        awct,
+        vc_steps,
+        vc_timed_out,
+        schedule,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcsched_workload::{benchmark, generate_block, live_in_placement, InputSet};
+
+    fn fixture() -> (Superblock, MachineConfig, Vec<ClusterId>) {
+        let spec = benchmark("099.go").expect("known benchmark");
+        let sb = generate_block(&spec, 7, 3, InputSet::Ref);
+        let machine = MachineConfig::paper_2c_8w();
+        let homes = live_in_placement(&sb, machine.cluster_count(), 7);
+        (sb, machine, homes)
+    }
+
+    #[test]
+    fn single_mode_mirrors_paper_fallback_policy() {
+        let (sb, machine, homes) = fixture();
+        let out = schedule_block(
+            &sb,
+            &machine,
+            &homes,
+            &PolicyOptions {
+                max_dp_steps: crate::STEPS_1M,
+                portfolio: false,
+            },
+        );
+        assert!(matches!(
+            out.winner,
+            SchedulerKind::Vc | SchedulerKind::Cars
+        ));
+        assert!(validate(&sb, &machine, &out.schedule).is_ok());
+        if out.vc_timed_out {
+            assert_eq!(out.winner, SchedulerKind::Cars);
+        }
+    }
+
+    #[test]
+    fn zero_budget_forces_cars_fallback() {
+        let (sb, machine, homes) = fixture();
+        let out = schedule_block(
+            &sb,
+            &machine,
+            &homes,
+            &PolicyOptions {
+                max_dp_steps: 0,
+                portfolio: false,
+            },
+        );
+        assert!(out.vc_timed_out);
+        assert_eq!(out.winner, SchedulerKind::Cars);
+        assert_eq!(out.vc_steps, 1);
+    }
+
+    #[test]
+    fn portfolio_never_loses_to_single_mode() {
+        let (sb, machine, homes) = fixture();
+        let opts = PolicyOptions {
+            max_dp_steps: crate::STEPS_1M,
+            portfolio: false,
+        };
+        let single = schedule_block(&sb, &machine, &homes, &opts);
+        let port = schedule_block(
+            &sb,
+            &machine,
+            &homes,
+            &PolicyOptions {
+                portfolio: true,
+                ..opts
+            },
+        );
+        assert!(port.awct <= single.awct + 1e-9);
+        assert!(validate(&sb, &machine, &port.schedule).is_ok());
+    }
+
+    #[test]
+    fn outcome_is_deterministic() {
+        let (sb, machine, homes) = fixture();
+        let opts = PolicyOptions {
+            max_dp_steps: crate::STEPS_1S,
+            portfolio: true,
+        };
+        let a = schedule_block(&sb, &machine, &homes, &opts);
+        let b = schedule_block(&sb, &machine, &homes, &opts);
+        assert_eq!(a, b);
+    }
+}

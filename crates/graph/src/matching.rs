@@ -298,9 +298,32 @@ mod tests {
     #[test]
     fn exact_matches_brute_force_on_fixed_graphs() {
         let cases: Vec<(usize, Vec<(usize, usize, u64)>)> = vec![
-            (6, vec![(0, 1, 7), (0, 2, 3), (1, 2, 5), (3, 4, 6), (4, 5, 6), (3, 5, 9)]),
-            (5, vec![(0, 1, 2), (1, 2, 2), (2, 3, 2), (3, 4, 2), (4, 0, 2)]),
-            (8, vec![(0, 4, 1), (1, 5, 2), (2, 6, 3), (3, 7, 4), (0, 1, 10), (2, 3, 10)]),
+            (
+                6,
+                vec![
+                    (0, 1, 7),
+                    (0, 2, 3),
+                    (1, 2, 5),
+                    (3, 4, 6),
+                    (4, 5, 6),
+                    (3, 5, 9),
+                ],
+            ),
+            (
+                5,
+                vec![(0, 1, 2), (1, 2, 2), (2, 3, 2), (3, 4, 2), (4, 0, 2)],
+            ),
+            (
+                8,
+                vec![
+                    (0, 4, 1),
+                    (1, 5, 2),
+                    (2, 6, 3),
+                    (3, 7, 4),
+                    (0, 1, 10),
+                    (2, 3, 10),
+                ],
+            ),
         ];
         for (n, edges) in cases {
             let m = max_weight_matching(n, &edges);

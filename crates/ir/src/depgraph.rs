@@ -57,10 +57,7 @@ impl DepGraph {
         let estart = graph.longest_from_sources();
         let reach = graph.reachability();
         let exits: Vec<InstId> = sb.exits().map(|(id, _)| id).collect();
-        let dist_to_exit = exits
-            .iter()
-            .map(|x| graph.longest_to(x.index()))
-            .collect();
+        let dist_to_exit = exits.iter().map(|x| graph.longest_to(x.index())).collect();
         DepGraph {
             graph,
             estart,

@@ -111,16 +111,18 @@ impl Superblock {
 
     /// Exit branches in program order with their probabilities.
     pub fn exits(&self) -> impl Iterator<Item = (InstId, f64)> + '_ {
-        self.insts.iter().enumerate().filter_map(|(i, inst)| {
-            inst.exit_prob().map(|p| (InstId(i as u32), p))
-        })
+        self.insts
+            .iter()
+            .enumerate()
+            .filter_map(|(i, inst)| inst.exit_prob().map(|p| (InstId(i as u32), p)))
     }
 
     /// Live-in pseudo-instructions in declaration order.
     pub fn live_ins(&self) -> impl Iterator<Item = InstId> + '_ {
-        self.insts.iter().enumerate().filter_map(|(i, inst)| {
-            inst.is_live_in().then_some(InstId(i as u32))
-        })
+        self.insts
+            .iter()
+            .enumerate()
+            .filter_map(|(i, inst)| inst.is_live_in().then_some(InstId(i as u32)))
     }
 
     /// Execution count from profiling.

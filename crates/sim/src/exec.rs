@@ -133,10 +133,7 @@ pub fn execute(
         .iter()
         .map(|&c| machine.capacity(c) * machine.cluster_count())
         .sum();
-    let used: usize = sb
-        .ids()
-        .filter(|&id| sb.inst(id).uses_resources())
-        .count();
+    let used: usize = sb.ids().filter(|&id| sb.inst(id).uses_resources()).count();
     let fu_utilization = used as f64 / (slots_per_cycle as f64 * makespan as f64);
 
     let mut bus_busy = std::collections::HashSet::new();
@@ -154,7 +151,6 @@ pub fn execute(
             .iter()
             .map(|&(id, _)| id)
             .zip(counts.iter().copied())
-            .map(|(id, c)| (id, c))
             .collect(),
         fu_utilization,
         bus_busy_cycles: bus_busy.len() as u64,

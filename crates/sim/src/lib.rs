@@ -115,7 +115,10 @@ impl std::fmt::Display for Violation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Violation::ShapeMismatch { expected, found } => {
-                write!(f, "schedule covers {found} instructions, block has {expected}")
+                write!(
+                    f,
+                    "schedule covers {found} instructions, block has {expected}"
+                )
             }
             Violation::NegativeCycle(i) => write!(f, "{i} scheduled before cycle 0"),
             Violation::BadCluster(i, c) => write!(f, "{i} placed on missing cluster {c}"),
@@ -125,7 +128,10 @@ impl std::fmt::Display for Violation {
                 to,
                 needed,
                 got,
-            } => write!(f, "dependence {from}->{to} needs {needed} cycles, got {got}"),
+            } => write!(
+                f,
+                "dependence {from}->{to} needs {needed} cycles, got {got}"
+            ),
             Violation::MissingCopy { from, to } => {
                 write!(f, "no copy delivers {from}'s value to {to}")
             }
@@ -265,7 +271,11 @@ pub fn validate(
             continue;
         }
         if (schedule.cluster(id).0 as usize) < k
-            && !rt.try_place(schedule.cycle(id) as u32, schedule.cluster(id), inst.class())
+            && !rt.try_place(
+                schedule.cycle(id) as u32,
+                schedule.cluster(id),
+                inst.class(),
+            )
         {
             violations.push(Violation::ResourceOverflow {
                 cycle: schedule.cycle(id),
@@ -389,9 +399,13 @@ mod tests {
             copies: vec![],
         };
         let errs = validate(&sb, &m, &s).unwrap_err();
-        assert!(errs
-            .iter()
-            .any(|v| matches!(v, Violation::ResourceOverflow { class: OpClass::Mem, .. })));
+        assert!(errs.iter().any(|v| matches!(
+            v,
+            Violation::ResourceOverflow {
+                class: OpClass::Mem,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -409,9 +423,13 @@ mod tests {
         };
         let errs = validate(&sb, &m, &s).unwrap_err();
         // Both the machine-wide branch cap and the exit order trip.
-        assert!(errs
-            .iter()
-            .any(|v| matches!(v, Violation::ResourceOverflow { class: OpClass::Branch, .. })));
+        assert!(errs.iter().any(|v| matches!(
+            v,
+            Violation::ResourceOverflow {
+                class: OpClass::Branch,
+                ..
+            }
+        )));
         assert!(errs.iter().any(|v| matches!(v, Violation::ExitsReordered)));
     }
 
@@ -423,7 +441,10 @@ mod tests {
         let c = b.inst(OpClass::Int, 1);
         let d = b.inst(OpClass::Int, 1);
         let x = b.exit(1, 1.0);
-        b.data_dep(p, c).data_dep(q, d).data_dep(c, x).data_dep(d, x);
+        b.data_dep(p, c)
+            .data_dep(q, d)
+            .data_dep(c, x)
+            .data_dep(d, x);
         let sb = b.build().unwrap();
         let m = MachineConfig::paper_4c_16w_lat2(); // 1 bus, 2-cycle, unpipelined
         let s = Schedule {
@@ -451,7 +472,9 @@ mod tests {
             ],
         };
         let errs = validate(&sb, &m, &s).unwrap_err();
-        assert!(errs.iter().any(|v| matches!(v, Violation::BusOverflow { .. })));
+        assert!(errs
+            .iter()
+            .any(|v| matches!(v, Violation::BusOverflow { .. })));
     }
 
     #[test]

@@ -48,10 +48,9 @@ pub fn pressure(sb: &Superblock, machine: &MachineConfig, schedule: &Schedule) -
         // Local reads: data consumers in the same cluster.
         let mut last_local = ready + 1; // written ⇒ occupied ≥ 1 cycle
         for d in sb.deps() {
-            if d.from == id && d.kind == DepKind::Data {
-                if schedule.cluster(d.to).0 as usize == home {
-                    last_local = last_local.max(schedule.cycle(d.to) + 1);
-                }
+            if d.from == id && d.kind == DepKind::Data && schedule.cluster(d.to).0 as usize == home
+            {
+                last_local = last_local.max(schedule.cycle(d.to) + 1);
             }
         }
         // Copy departures read from the home file too.
@@ -65,10 +64,7 @@ pub fn pressure(sb: &Superblock, machine: &MachineConfig, schedule: &Schedule) -
             // Live remotely until the last consumer on that cluster.
             let mut last_remote = arrive + 1;
             for d in sb.deps() {
-                if d.from == id
-                    && d.kind == DepKind::Data
-                    && schedule.cluster(d.to) == cp.to
-                {
+                if d.from == id && d.kind == DepKind::Data && schedule.cluster(d.to) == cp.to {
                     last_remote = last_remote.max(schedule.cycle(d.to) + 1);
                 }
             }

@@ -72,12 +72,7 @@ fn negative_cycle_caught() {
     expect_caught(
         1,
         |_, s| s.cycles[0] = -1,
-        |v| {
-            matches!(
-                v,
-                Violation::NegativeCycle(_) | Violation::LiveInMoved(_)
-            )
-        },
+        |v| matches!(v, Violation::NegativeCycle(_) | Violation::LiveInMoved(_)),
         "negative cycle",
     );
 }
@@ -132,10 +127,9 @@ fn early_copy_caught() {
         }
         s.copies[0].cycle = -10;
         let violations = validate(&sb, &machine, &s).unwrap_err();
-        assert!(violations.iter().any(|v| matches!(
-            v,
-            Violation::BadCopy { .. } | Violation::MissingCopy { .. }
-        )));
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::BadCopy { .. } | Violation::MissingCopy { .. })));
         return;
     }
     panic!("no corpus schedule used a copy — widen the search");
@@ -177,8 +171,10 @@ fn resource_overflow_caught() {
     let violations = validate(&sb, &machine, &s).unwrap_err();
     assert!(violations.iter().any(|v| matches!(
         v,
-        Violation::ResourceOverflow { class: OpClass::Int, .. }
-            | Violation::DependenceViolated { .. }
+        Violation::ResourceOverflow {
+            class: OpClass::Int,
+            ..
+        } | Violation::DependenceViolated { .. }
             | Violation::MissingCopy { .. }
     )));
 }
@@ -220,7 +216,9 @@ fn reordered_exits_caught() {
             let (a, b) = (exits[0], exits[1]);
             s.cycles.swap(a.index(), b.index());
             let violations = validate(&sb, &machine, &s).unwrap_err();
-            assert!(violations.iter().any(|v| matches!(v, Violation::ExitsReordered)));
+            assert!(violations
+                .iter()
+                .any(|v| matches!(v, Violation::ExitsReordered)));
             return;
         }
         panic!("no multi-exit block found");
@@ -244,14 +242,32 @@ fn shape_mismatch_caught() {
 #[test]
 fn every_violation_displays() {
     let samples = [
-        Violation::ShapeMismatch { expected: 3, found: 2 },
+        Violation::ShapeMismatch {
+            expected: 3,
+            found: 2,
+        },
         Violation::NegativeCycle(InstId(0)),
         Violation::BadCluster(InstId(0), ClusterId(9)),
         Violation::LiveInMoved(InstId(1)),
-        Violation::DependenceViolated { from: InstId(0), to: InstId(1), needed: 2, got: 1 },
-        Violation::MissingCopy { from: InstId(0), to: InstId(1) },
-        Violation::BadCopy { value: InstId(0), why: "test" },
-        Violation::ResourceOverflow { cycle: 3, cluster: ClusterId(0), class: OpClass::Int },
+        Violation::DependenceViolated {
+            from: InstId(0),
+            to: InstId(1),
+            needed: 2,
+            got: 1,
+        },
+        Violation::MissingCopy {
+            from: InstId(0),
+            to: InstId(1),
+        },
+        Violation::BadCopy {
+            value: InstId(0),
+            why: "test",
+        },
+        Violation::ResourceOverflow {
+            cycle: 3,
+            cluster: ClusterId(0),
+            class: OpClass::Int,
+        },
         Violation::BusOverflow { cycle: 3 },
         Violation::ExitsReordered,
     ];

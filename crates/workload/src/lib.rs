@@ -177,21 +177,21 @@ fn lognormal(rng: &mut StdRng, mu: f64, sigma: f64) -> f64 {
 /// `(spec, seed)`; the [`InputSet`] perturbs exit probabilities and
 /// execution weights, modelling a different program input under the same
 /// binary.
-pub fn generate_blocks(spec: &BenchmarkSpec, opts: &GenOptions, input: InputSet) -> Vec<Superblock> {
+pub fn generate_blocks(
+    spec: &BenchmarkSpec,
+    opts: &GenOptions,
+    input: InputSet,
+) -> Vec<Superblock> {
     (0..opts.blocks)
         .map(|i| generate_block(spec, opts.seed, i as u64, input))
         .collect()
 }
 
 /// Generates block number `index` of the corpus.
-pub fn generate_block(
-    spec: &BenchmarkSpec,
-    seed: u64,
-    index: u64,
-    input: InputSet,
-) -> Superblock {
+pub fn generate_block(spec: &BenchmarkSpec, seed: u64, index: u64, input: InputSet) -> Superblock {
     let mut rng = StdRng::seed_from_u64(
-        seed ^ spec.seed_salt.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ index.wrapping_mul(0xD134_2543_DE82_EF95),
+        seed ^ spec.seed_salt.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ index.wrapping_mul(0xD134_2543_DE82_EF95),
     );
     let n_ops = (lognormal(&mut rng, spec.size_mu, spec.size_sigma).round() as usize).clamp(3, 96);
     let side_exits = if n_ops >= 8 {
@@ -421,7 +421,11 @@ mod tests {
             for i in 0..30 {
                 let sb = generate_block(&spec, 1, i, InputSet::Ref);
                 let total: f64 = sb.exits().map(|(_, p)| p).sum();
-                assert!((total - 1.0).abs() < 1e-6, "{}: probs sum {total}", sb.name());
+                assert!(
+                    (total - 1.0).abs() < 1e-6,
+                    "{}: probs sum {total}",
+                    sb.name()
+                );
                 assert!(sb.exits().count() >= 1);
                 assert!(sb.op_count() >= 3);
             }
@@ -443,7 +447,10 @@ mod tests {
             );
             blocks.iter().map(|b| b.op_count() as f64).sum::<f64>() / 60.0
         };
-        assert!(avg(&mpeg) > avg(&go) * 1.2, "MediaBench blocks should be larger");
+        assert!(
+            avg(&mpeg) > avg(&go) * 1.2,
+            "MediaBench blocks should be larger"
+        );
     }
 
     #[test]

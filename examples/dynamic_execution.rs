@@ -48,11 +48,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             *count as f64 / report.iterations as f64 * 100.0
         );
     }
-    println!("  FU utilization        : {:.1}%", report.fu_utilization * 100.0);
+    println!(
+        "  FU utilization        : {:.1}%",
+        report.fu_utilization * 100.0
+    );
     println!("  bus busy cycles       : {}", report.bus_busy_cycles);
 
     let p = pressure(&sb, &machine, &out.schedule);
-    println!("\nregister pressure: max {} (peak at cycle {})", p.max(), p.peak_cycle);
+    println!(
+        "\nregister pressure: max {} (peak at cycle {})",
+        p.max(),
+        p.peak_cycle
+    );
     for (c, (mx, area)) in p
         .max_per_cluster
         .iter()

@@ -61,11 +61,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let cars = CarsScheduler::new(machine.clone()).schedule(&sb);
     validate(&sb, &machine, &cars.schedule).expect("CARS hetero schedule valid");
-    println!("CARS: AWCT {:.1}, {} copies", cars.awct, cars.schedule.copy_count());
+    println!(
+        "CARS: AWCT {:.1}, {} copies",
+        cars.awct,
+        cars.schedule.copy_count()
+    );
 
     let uas = UasScheduler::new(machine.clone(), ClusterOrder::Cwp).schedule(&sb);
     validate(&sb, &machine, &uas.schedule).expect("UAS hetero schedule valid");
-    println!("UAS (CWP): AWCT {:.1}, {} copies", uas.awct, uas.schedule.copy_count());
+    println!(
+        "UAS (CWP): AWCT {:.1}, {} copies",
+        uas.awct,
+        uas.schedule.copy_count()
+    );
 
     let two = TwoPhaseScheduler::new(machine.clone()).schedule(&sb);
     validate(&sb, &machine, &two.schedule).expect("two-phase hetero schedule valid");

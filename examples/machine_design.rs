@@ -17,7 +17,10 @@ fn main() {
     let blocks = 12;
 
     println!("bus-latency sweep (4 clusters, 1 bus):");
-    println!("{:<26} {:>10} {:>10} {:>9}", "machine", "VC cycles", "CARS", "ratio");
+    println!(
+        "{:<26} {:>10} {:>10} {:>9}",
+        "machine", "VC cycles", "CARS", "ratio"
+    );
     for lat in 1..=3u32 {
         let machine = MachineConfig::builder()
             .name(&format!("4c bus-lat {lat}"))
@@ -31,7 +34,10 @@ fn main() {
     }
 
     println!("\ncluster-count sweep (4 int units total, 1-cycle bus):");
-    println!("{:<26} {:>10} {:>10} {:>9}", "machine", "VC cycles", "CARS", "ratio");
+    println!(
+        "{:<26} {:>10} {:>10} {:>9}",
+        "machine", "VC cycles", "CARS", "ratio"
+    );
     for (clusters, ints) in [(1u8, 4u8), (2, 2), (4, 1)] {
         let machine = MachineConfig::builder()
             .name(&format!("{clusters}x{ints}-int"))

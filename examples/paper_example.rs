@@ -10,9 +10,9 @@
 //! Run with `cargo run --example paper_example`.
 
 use vcsched::arch::MachineConfig;
+use vcsched::arch::OpClass;
 use vcsched::core::{init, StateCtx, VcScheduler};
 use vcsched::ir::{InstId, Superblock, SuperblockBuilder};
-use vcsched::arch::OpClass;
 
 fn fig1_block() -> Superblock {
     let mut b = SuperblockBuilder::new("fig1");

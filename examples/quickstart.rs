@@ -42,7 +42,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     print_schedule(&sb, &vc.schedule);
 
     let cars = CarsScheduler::new(machine.clone()).schedule(&sb);
-    println!("\nCARS baseline: AWCT {:.2}, {} copies", cars.awct, cars.schedule.copy_count());
+    println!(
+        "\nCARS baseline: AWCT {:.2}, {} copies",
+        cars.awct,
+        cars.schedule.copy_count()
+    );
     print_schedule(&sb, &cars.schedule);
 
     // Both schedules must pass the machine-level validator.

@@ -13,6 +13,8 @@
 //! * [`workload`] — synthetic SpecInt95/MediaBench superblock corpora;
 //! * [`sim`] — schedule validation, trace-driven execution, register
 //!   pressure, VLIW listings;
+//! * [`engine`] — the parallel batch-scheduling engine: worker pool,
+//!   portfolio mode, memoizing schedule cache;
 //! * [`arch`], [`ir`], [`graph`] — machine model, superblock IR, graph
 //!   algorithms.
 
@@ -21,6 +23,7 @@ pub use vcsched_baselines as baselines;
 pub use vcsched_cars as cars;
 pub use vcsched_cfg as cfg;
 pub use vcsched_core as core;
+pub use vcsched_engine as engine;
 pub use vcsched_graph as graph;
 pub use vcsched_ir as ir;
 pub use vcsched_sim as sim;

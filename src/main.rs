@@ -4,6 +4,7 @@
 //! vcsched machines                         list machine presets
 //! vcsched gen [OPTS]                       dump a corpus superblock as JSON
 //! vcsched schedule [OPTS]                  schedule a JSON superblock
+//! vcsched batch [OPTS]                     batch-schedule a corpus in parallel
 //! vcsched demo                             the paper's Fig. 1 block, all machines
 //! ```
 //!
@@ -29,8 +30,23 @@ USAGE:
     vcsched gen [--bench NAME] [--index N] [--seed N] [--out FILE]
     vcsched schedule --block FILE [--machine M] [--scheduler S]
                      [--steps N] [--listing] [--execute] [--pressure]
+    vcsched batch [--corpus FILE | --bench NAME] [--count N] [--seed N]
+                  [--machine M] [--jobs N] [--portfolio] [--cache DIR]
+                  [--steps N] [--details]
     vcsched demo
     vcsched help
+
+BATCH:
+    Streams superblocks from a JSONL corpus (--corpus; one block per
+    line) or synthesizes them (--bench/--count/--seed), fans them out
+    over a worker pool (--jobs, default: all cores), and schedules each
+    block under the paper's Section 6.1 policy: virtual-cluster
+    scheduling within a deduction-step budget (--steps), CARS fallback
+    on timeout. --portfolio races UAS and two-phase too, keeping the
+    best validated schedule. --cache DIR persists a content-addressed
+    schedule cache so repeated runs are near-instant. Prints a JSON
+    summary (per-scheduler win counts, aggregate AWCT, wall-clock,
+    cache hit rate); --details adds per-block JSONL on stderr.
 
 MACHINES (for --machine):
     2c        paper config 1: 2 clusters, 8-issue, 1-cycle bus   [default]
@@ -52,6 +68,7 @@ fn main() -> ExitCode {
         "machines" => cmd_machines(),
         "gen" => cmd_gen(&args[1..]),
         "schedule" => cmd_schedule(&args[1..]),
+        "batch" => cmd_batch(&args[1..]),
         "demo" => cmd_demo(),
         "help" | "--help" | "-h" => {
             print!("{HELP}");
@@ -173,17 +190,29 @@ fn cmd_schedule(args: &[String]) -> Result<(), String> {
         }
         "cars" => {
             let out = CarsScheduler::new(machine.clone()).schedule(&sb);
-            eprintln!("cars: AWCT {:.3}, {} copies", out.awct, out.schedule.copy_count());
+            eprintln!(
+                "cars: AWCT {:.3}, {} copies",
+                out.awct,
+                out.schedule.copy_count()
+            );
             out.schedule
         }
         "uas" => {
             let out = UasScheduler::new(machine.clone(), ClusterOrder::Cwp).schedule(&sb);
-            eprintln!("uas/CWP: AWCT {:.3}, {} copies", out.awct, out.schedule.copy_count());
+            eprintln!(
+                "uas/CWP: AWCT {:.3}, {} copies",
+                out.awct,
+                out.schedule.copy_count()
+            );
             out.schedule
         }
         "two-phase" => {
             let out = TwoPhaseScheduler::new(machine.clone()).schedule(&sb);
-            eprintln!("two-phase: AWCT {:.3}, {} copies", out.awct, out.schedule.copy_count());
+            eprintln!(
+                "two-phase: AWCT {:.3}, {} copies",
+                out.awct,
+                out.schedule.copy_count()
+            );
             out.schedule
         }
         other => return Err(format!("unknown scheduler `{other}`")),
@@ -218,6 +247,62 @@ fn cmd_schedule(args: &[String]) -> Result<(), String> {
             r.fu_utilization * 100.0
         );
     }
+    Ok(())
+}
+
+fn cmd_batch(args: &[String]) -> Result<(), String> {
+    let source = match (flag_value(args, "--corpus"), flag_value(args, "--bench")) {
+        (Some(_), Some(_)) => return Err("--corpus and --bench are mutually exclusive".into()),
+        (Some(path), None) => {
+            // Synthesis-only flags would be silently ignored; reject them
+            // so nobody believes they sampled or reseeded a corpus file.
+            for flag in ["--count", "--seed"] {
+                if has_flag(args, flag) {
+                    return Err(format!("{flag} only applies to --bench synthesis"));
+                }
+            }
+            vcsched::engine::CorpusSource::Jsonl(path.into())
+        }
+        (None, bench) => vcsched::engine::CorpusSource::Synth {
+            bench: bench.unwrap_or("099.go").to_owned(),
+            count: flag_value(args, "--count")
+                .unwrap_or("200")
+                .parse()
+                .map_err(|e| format!("--count: {e}"))?,
+            seed: flag_value(args, "--seed")
+                .unwrap_or("7")
+                .parse()
+                .map_err(|e| format!("--seed: {e}"))?,
+        },
+    };
+    let config = vcsched::engine::BatchConfig {
+        source,
+        machine: machine_by_name(flag_value(args, "--machine").unwrap_or("2c"))?,
+        jobs: match flag_value(args, "--jobs") {
+            Some(n) => n.parse().map_err(|e| format!("--jobs: {e}"))?,
+            None => vcsched::engine::default_jobs(),
+        },
+        portfolio: has_flag(args, "--portfolio"),
+        max_dp_steps: flag_value(args, "--steps")
+            .unwrap_or("300000")
+            .parse()
+            .map_err(|e| format!("--steps: {e}"))?,
+        cache_dir: flag_value(args, "--cache").map(Into::into),
+        ..vcsched::engine::BatchConfig::default()
+    };
+    let result = vcsched::engine::run_batch(&config)?;
+    if has_flag(args, "--details") {
+        for line in &result.lines {
+            eprintln!(
+                "{}",
+                serde_json::to_string(line).map_err(|e| e.to_string())?
+            );
+        }
+    }
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&result.summary).map_err(|e| e.to_string())?
+    );
     Ok(())
 }
 

@@ -61,7 +61,10 @@ fn tighter_budgets_only_add_fallbacks_never_invalidity() {
         }
     }
     assert!(roomy_ok >= tight_ok, "budget can only help");
-    assert!(roomy_ok >= 8, "most small blocks schedule within 500k steps");
+    assert!(
+        roomy_ok >= 8,
+        "most small blocks schedule within 500k steps"
+    );
 }
 
 #[test]

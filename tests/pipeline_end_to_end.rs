@@ -33,7 +33,11 @@ fn corpus() -> Vec<Superblock> {
 #[test]
 fn every_scheduler_validates_on_formed_blocks() {
     let blocks = corpus();
-    assert!(blocks.len() >= 20, "corpus came out too small: {}", blocks.len());
+    assert!(
+        blocks.len() >= 20,
+        "corpus came out too small: {}",
+        blocks.len()
+    );
     let machine = MachineConfig::paper_4c_16w_lat1();
     let cars = CarsScheduler::new(machine.clone());
     let uas = UasScheduler::new(machine.clone(), ClusterOrder::Cwp);
