@@ -171,6 +171,22 @@ impl MachineConfig {
             .expect("preset is valid")
     }
 
+    /// Resolves a short preset key (`2c`, `4c1`, `4c2`, `hetero`) — the
+    /// one table the CLI flags and the service wire protocol share.
+    pub fn preset(key: &str) -> Option<MachineConfig> {
+        match key {
+            "2c" => Some(MachineConfig::paper_2c_8w()),
+            "4c1" => Some(MachineConfig::paper_4c_16w_lat1()),
+            "4c2" => Some(MachineConfig::paper_4c_16w_lat2()),
+            "hetero" => Some(MachineConfig::hetero_2c()),
+            _ => None,
+        }
+    }
+
+    /// The preset keys [`MachineConfig::preset`] accepts, for error
+    /// messages.
+    pub const PRESET_KEYS: [&'static str; 4] = ["2c", "4c1", "4c2", "hetero"];
+
     /// Human-readable configuration name (matches the paper's figure axes).
     pub fn name(&self) -> &str {
         &self.name

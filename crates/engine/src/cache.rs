@@ -1,4 +1,5 @@
-//! Content-addressed, memoizing schedule cache.
+//! Content-addressed, memoizing schedule cache — hash-sharded for
+//! concurrent access.
 //!
 //! The cache key is a stable FNV-1a/64 hash over the *canonical scheduling
 //! problem*: the superblock's compact JSON, the machine configuration, the
@@ -6,13 +7,25 @@
 //! across runs, processes, and `--jobs` settings — therefore hit the same
 //! entry.
 //!
-//! Two layers:
+//! Three layers:
 //!
-//! * an in-memory LRU map (bounded, thread-safe behind a mutex), and
+//! * an in-memory LRU map **partitioned into N shards by key hash**, one
+//!   lock per shard, so concurrent lookups/inserts from the worker pool or
+//!   the service front end stop serializing on a single cache lock;
+//! * per-shard hit / miss / insertion / eviction counters ([`ShardStats`]),
+//!   surfaced through `vcsched serve`'s `stats` request;
 //! * an optional on-disk JSONL journal (`schedules.jsonl` in the cache
-//!   directory): entries are appended as they are produced and replayed
-//!   into memory when the cache is opened, so a second corpus run is
-//!   served entirely from cache.
+//!   directory, guarded by its own lock): entries are appended as they are
+//!   produced and replayed into memory when the cache is opened, so a
+//!   second corpus run is served entirely from cache.
+//!
+//! Sharding changes which lock guards an entry, never what a lookup
+//! returns for a resident entry. Total capacity is split evenly across
+//! shards, so under capacity pressure eviction boundaries are per-shard
+//! and an unlucky key skew can evict earlier than a single-shard cache
+//! would; when the working set fits in capacity (the intended sizing,
+//! and the golden-corpus case) batch summaries are byte-identical at any
+//! shard count — the regression test pins this at 1, 4, and 8 shards.
 
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, Write as _};
@@ -45,6 +58,23 @@ pub fn fnv1a_check(bytes: &[u8]) -> u64 {
         h ^= u64::from(b);
     }
     h
+}
+
+/// Whether a journal file is non-empty and missing its trailing newline
+/// (the signature of a line torn by a killed writer).
+fn journal_ends_mid_line(path: &Path) -> bool {
+    use std::io::{Read as _, Seek as _, SeekFrom};
+    let Ok(mut file) = std::fs::File::open(path) else {
+        return false;
+    };
+    let Ok(len) = file.metadata().map(|m| m.len()) else {
+        return false;
+    };
+    if len == 0 {
+        return false;
+    }
+    let mut last = [0u8; 1];
+    file.seek(SeekFrom::End(-1)).is_ok() && file.read_exact(&mut last).is_ok() && last[0] != b'\n'
 }
 
 /// What the cache remembers for one scheduling problem.
@@ -89,49 +119,151 @@ impl CacheStats {
     }
 }
 
-struct Inner {
+/// Per-shard accounting, surfaced through the service's `stats` request.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct ShardStats {
+    /// Lookups answered by this shard.
+    pub hits: u64,
+    /// Lookups this shard could not answer.
+    pub misses: u64,
+    /// Entries inserted (journal replay included).
+    pub insertions: u64,
+    /// Entries evicted by the shard's LRU policy.
+    pub evictions: u64,
+    /// Schedules currently held by this shard.
+    pub len: usize,
+}
+
+struct Shard {
     map: HashMap<u64, (CacheEntry, u64)>,
     /// Lazy LRU recency queue: keys are re-pushed on every touch and
     /// validated against the entry's tick when evicting.
     recency: VecDeque<(u64, u64)>,
     tick: u64,
-    stats: CacheStats,
-    journal: Option<std::io::BufWriter<std::fs::File>>,
+    hits: u64,
+    misses: u64,
+    insertions: u64,
+    evictions: u64,
 }
 
-/// The memoizing schedule cache (in-memory LRU + optional disk journal).
+impl Shard {
+    fn new() -> Shard {
+        Shard {
+            map: HashMap::new(),
+            recency: VecDeque::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            insertions: 0,
+            evictions: 0,
+        }
+    }
+
+    fn insert(&mut self, capacity: usize, key: u64, entry: CacheEntry) {
+        self.tick += 1;
+        let tick = self.tick;
+        self.insertions += 1;
+        self.map.insert(key, (entry, tick));
+        self.recency.push_back((key, tick));
+        while self.map.len() > capacity {
+            match self.recency.pop_front() {
+                Some((old_key, old_tick)) => {
+                    // Only evict if this queue entry is the key's latest
+                    // touch; otherwise it is a stale duplicate.
+                    if self
+                        .map
+                        .get(&old_key)
+                        .is_some_and(|(_, last)| *last == old_tick)
+                    {
+                        self.map.remove(&old_key);
+                        self.evictions += 1;
+                    }
+                }
+                None => break,
+            }
+        }
+        self.drain_stale();
+    }
+
+    /// Keeps the lazy-LRU recency queue bounded: pop stale duplicates off
+    /// the front, and if hit traffic has still outgrown the live set
+    /// (every live key holds exactly one current tuple; the rest are
+    /// stale), rebuild the queue from the map. Without this a
+    /// hit-dominated steady state would grow the queue forever.
+    fn drain_stale(&mut self) {
+        while let Some(&(key, tick)) = self.recency.front() {
+            if self.map.get(&key).is_some_and(|(_, last)| *last == tick) {
+                break;
+            }
+            self.recency.pop_front();
+        }
+        if self.recency.len() > 2 * self.map.len() + 64 {
+            let mut live: Vec<(u64, u64)> = self.map.iter().map(|(k, (_, t))| (*k, *t)).collect();
+            live.sort_by_key(|&(_, t)| t);
+            self.recency = live.into();
+        }
+    }
+
+    fn stats(&self) -> ShardStats {
+        ShardStats {
+            hits: self.hits,
+            misses: self.misses,
+            insertions: self.insertions,
+            evictions: self.evictions,
+            len: self.map.len(),
+        }
+    }
+}
+
+/// The memoizing schedule cache: a sharded in-memory LRU plus an optional
+/// disk journal.
 pub struct ScheduleCache {
-    capacity: usize,
-    inner: Mutex<Inner>,
+    shards: Vec<Mutex<Shard>>,
+    /// Per-shard LRU capacity (total capacity split evenly across shards).
+    shard_capacity: usize,
+    journal: Option<Mutex<std::io::BufWriter<std::fs::File>>>,
     dir: Option<PathBuf>,
 }
 
 impl ScheduleCache {
-    /// An in-memory cache holding at most `capacity` schedules.
+    /// A single-shard in-memory cache holding at most `capacity`
+    /// schedules (see [`ScheduleCache::in_memory_sharded`]).
     pub fn in_memory(capacity: usize) -> ScheduleCache {
+        ScheduleCache::in_memory_sharded(capacity, 1)
+    }
+
+    /// An in-memory cache holding at most `capacity` schedules total,
+    /// hash-partitioned over `shards` independently locked shards.
+    pub fn in_memory_sharded(capacity: usize, shards: usize) -> ScheduleCache {
+        let shards = shards.max(1);
         ScheduleCache {
-            capacity: capacity.max(1),
-            inner: Mutex::new(Inner {
-                map: HashMap::new(),
-                recency: VecDeque::new(),
-                tick: 0,
-                stats: CacheStats::default(),
-                journal: None,
-            }),
+            shards: (0..shards).map(|_| Mutex::new(Shard::new())).collect(),
+            shard_capacity: capacity.max(1).div_ceil(shards).max(1),
+            journal: None,
             dir: None,
         }
     }
 
-    /// Opens (or creates) a persistent cache under `dir`, replaying any
-    /// existing `schedules.jsonl` into memory.
+    /// Opens (or creates) a single-shard persistent cache under `dir`
+    /// (see [`ScheduleCache::persistent_sharded`]).
+    pub fn persistent(dir: &Path, capacity: usize) -> Result<ScheduleCache, String> {
+        ScheduleCache::persistent_sharded(dir, capacity, 1)
+    }
+
+    /// Opens (or creates) a sharded persistent cache under `dir`,
+    /// replaying any existing `schedules.jsonl` into memory.
     ///
     /// Unparseable journal lines (e.g. a tail truncated by a killed run)
     /// are skipped with a warning rather than failing the open: a cache
     /// miss costs a recomputation, never correctness.
-    pub fn persistent(dir: &Path, capacity: usize) -> Result<ScheduleCache, String> {
+    pub fn persistent_sharded(
+        dir: &Path,
+        capacity: usize,
+        shards: usize,
+    ) -> Result<ScheduleCache, String> {
         std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
         let path = dir.join("schedules.jsonl");
-        let mut cache = ScheduleCache::in_memory(capacity);
+        let mut cache = ScheduleCache::in_memory_sharded(capacity, shards);
         cache.dir = Some(dir.to_path_buf());
         if path.exists() {
             let file =
@@ -162,12 +294,19 @@ impl ScheduleCache {
                 );
             }
         }
-        let file = std::fs::OpenOptions::new()
+        let mut file = std::fs::OpenOptions::new()
             .create(true)
             .append(true)
             .open(&path)
             .map_err(|e| format!("{}: {e}", path.display()))?;
-        cache.inner.lock().unwrap().journal = Some(std::io::BufWriter::new(file));
+        // A crash can tear the journal's last line, leaving no trailing
+        // newline; appending the next entry right after the torn tail
+        // would corrupt that entry as well. Start on a fresh line.
+        if journal_ends_mid_line(&path) {
+            use std::io::Write as _;
+            let _ = file.write_all(b"\n");
+        }
+        cache.journal = Some(Mutex::new(std::io::BufWriter::new(file)));
         Ok(cache)
     }
 
@@ -176,108 +315,101 @@ impl ScheduleCache {
         self.dir.as_deref()
     }
 
-    /// Looks up a problem hash, counting a hit or miss. `check` is the
-    /// problem's [`fnv1a_check`] hash; an entry whose stored check hash
-    /// differs is a primary-hash collision and is treated as a miss.
+    /// Number of shards the key space is partitioned over.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a key lives in. FNV output is uniform, so a plain
+    /// modulus spreads keys evenly.
+    fn shard_of(&self, key: u64) -> &Mutex<Shard> {
+        &self.shards[(key % self.shards.len() as u64) as usize]
+    }
+
+    /// Looks up a problem hash, counting a hit or miss on its shard.
+    /// `check` is the problem's [`fnv1a_check`] hash; an entry whose
+    /// stored check hash differs is a primary-hash collision and is
+    /// treated as a miss.
     pub fn get(&self, key: u64, check: u64) -> Option<CacheEntry> {
         let check_hex = format!("{check:016x}");
-        let mut inner = self.inner.lock().unwrap();
-        inner.tick += 1;
-        let tick = inner.tick;
-        let hit = match inner.map.get_mut(&key) {
+        let mut shard = self.shard_of(key).lock().unwrap();
+        shard.tick += 1;
+        let tick = shard.tick;
+        let hit = match shard.map.get_mut(&key) {
             Some((entry, last)) if entry.check == check_hex => {
                 *last = tick;
                 let entry = entry.clone();
-                inner.recency.push_back((key, tick));
-                inner.stats.hits += 1;
+                shard.recency.push_back((key, tick));
+                shard.hits += 1;
                 Some(entry)
             }
             _ => {
-                inner.stats.misses += 1;
+                shard.misses += 1;
                 None
             }
         };
-        Self::drain_stale(&mut inner);
+        shard.drain_stale();
         hit
     }
 
-    /// Stores a freshly computed entry, journaling it if persistent.
+    /// Stores a freshly computed entry, journaling it if persistent. The
+    /// journal lock and the shard lock are taken one after the other,
+    /// never nested, so writers on different shards only contend on the
+    /// (I/O-bound) append itself.
     pub fn put(&self, key: u64, entry: CacheEntry) {
-        let mut inner = self.inner.lock().unwrap();
-        if let Some(journal) = inner.journal.as_mut() {
+        if let Some(journal) = &self.journal {
             // One JSON object per line; the compact printer never emits
             // newlines.
             if let Ok(line) = serde_json::to_string(&entry) {
-                let _ = writeln!(journal, "{line}");
+                let _ = writeln!(journal.lock().unwrap(), "{line}");
             }
         }
-        Self::insert_locked(&mut inner, self.capacity, key, entry);
+        self.shard_of(key)
+            .lock()
+            .unwrap()
+            .insert(self.shard_capacity, key, entry);
     }
 
-    /// Inserts without journaling or stats (used while replaying disk).
+    /// Inserts without journaling (used while replaying disk).
     fn insert_silent(&self, key: u64, entry: CacheEntry) {
-        let mut inner = self.inner.lock().unwrap();
-        Self::insert_locked(&mut inner, self.capacity, key, entry);
-    }
-
-    fn insert_locked(inner: &mut Inner, capacity: usize, key: u64, entry: CacheEntry) {
-        inner.tick += 1;
-        let tick = inner.tick;
-        inner.map.insert(key, (entry, tick));
-        inner.recency.push_back((key, tick));
-        while inner.map.len() > capacity {
-            match inner.recency.pop_front() {
-                Some((old_key, old_tick)) => {
-                    // Only evict if this queue entry is the key's latest
-                    // touch; otherwise it is a stale duplicate.
-                    if inner
-                        .map
-                        .get(&old_key)
-                        .is_some_and(|(_, last)| *last == old_tick)
-                    {
-                        inner.map.remove(&old_key);
-                    }
-                }
-                None => break,
-            }
-        }
-        Self::drain_stale(inner);
-    }
-
-    /// Keeps the lazy-LRU recency queue bounded: pop stale duplicates off
-    /// the front, and if hit traffic has still outgrown the live set
-    /// (every live key holds exactly one current tuple; the rest are
-    /// stale), rebuild the queue from the map. Without this a
-    /// hit-dominated steady state would grow the queue forever.
-    fn drain_stale(inner: &mut Inner) {
-        while let Some(&(key, tick)) = inner.recency.front() {
-            if inner.map.get(&key).is_some_and(|(_, last)| *last == tick) {
-                break;
-            }
-            inner.recency.pop_front();
-        }
-        if inner.recency.len() > 2 * inner.map.len() + 64 {
-            let mut live: Vec<(u64, u64)> = inner.map.iter().map(|(k, (_, t))| (*k, *t)).collect();
-            live.sort_by_key(|&(_, t)| t);
-            inner.recency = live.into();
-        }
+        self.shard_of(key)
+            .lock()
+            .unwrap()
+            .insert(self.shard_capacity, key, entry);
     }
 
     /// Flushes the disk journal (no-op for in-memory caches).
     pub fn flush(&self) {
-        if let Some(journal) = self.inner.lock().unwrap().journal.as_mut() {
-            let _ = journal.flush();
+        if let Some(journal) = &self.journal {
+            let _ = journal.lock().unwrap().flush();
         }
     }
 
-    /// Snapshot of the hit/miss counters.
+    /// Snapshot of the hit/miss counters, summed over shards.
     pub fn stats(&self) -> CacheStats {
-        self.inner.lock().unwrap().stats
+        let mut total = CacheStats::default();
+        for shard in &self.shards {
+            let s = shard.lock().unwrap();
+            total.hits += s.hits;
+            total.misses += s.misses;
+        }
+        total
     }
 
-    /// Number of schedules currently held in memory.
+    /// Per-shard counter snapshots, in shard order.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .map(|shard| shard.lock().unwrap().stats())
+            .collect()
+    }
+
+    /// Number of schedules currently held in memory (all shards).
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().map.len()
+        self.shards
+            .iter()
+            .map(|shard| shard.lock().unwrap().map.len())
+            .sum()
     }
 
     /// Whether the in-memory map is empty.
@@ -357,6 +489,10 @@ mod tests {
         assert!(c.get(2, 2).is_none());
         assert!(c.get(1, 1).is_some());
         assert!(c.get(3, 3).is_some());
+        let shard = &c.shard_stats()[0];
+        assert_eq!(shard.insertions, 3);
+        assert_eq!(shard.evictions, 1);
+        assert_eq!(shard.len, 2);
     }
 
     #[test]
@@ -370,12 +506,58 @@ mod tests {
                 assert!(c.get(k, k).is_some());
             }
         }
-        let inner = c.inner.lock().unwrap();
+        let shard = c.shards[0].lock().unwrap();
         assert!(
-            inner.recency.len() <= 2 * inner.map.len() + 64,
+            shard.recency.len() <= 2 * shard.map.len() + 64,
             "recency queue grew to {} entries",
-            inner.recency.len()
+            shard.recency.len()
         );
+    }
+
+    #[test]
+    fn shards_partition_the_key_space() {
+        let c = ScheduleCache::in_memory_sharded(64, 4);
+        assert_eq!(c.shard_count(), 4);
+        for k in 0..32u64 {
+            c.put(k, entry(k, k as f64));
+        }
+        for k in 0..32u64 {
+            assert_eq!(c.get(k, k).expect("present").awct, k as f64);
+        }
+        let shards = c.shard_stats();
+        // key % 4 places exactly 8 keys on each shard.
+        assert!(shards.iter().all(|s| s.len == 8 && s.insertions == 8));
+        let total: u64 = shards.iter().map(|s| s.hits).sum();
+        assert_eq!(total, 32);
+        assert_eq!(
+            c.stats(),
+            CacheStats {
+                hits: 32,
+                misses: 0
+            }
+        );
+        assert_eq!(c.len(), 32);
+    }
+
+    #[test]
+    fn shard_count_does_not_change_contents() {
+        // The same traffic against 1 and 8 shards yields identical
+        // entries and identical aggregate accounting.
+        let results: Vec<(Vec<f64>, CacheStats)> = [1usize, 8]
+            .into_iter()
+            .map(|n| {
+                let c = ScheduleCache::in_memory_sharded(256, n);
+                for k in 0..40u64 {
+                    assert!(c.get(k, k).is_none());
+                    c.put(k, entry(k, (k * 3) as f64));
+                }
+                let values = (0..40u64)
+                    .map(|k| c.get(k, k).expect("present").awct)
+                    .collect();
+                (values, c.stats())
+            })
+            .collect();
+        assert_eq!(results[0], results[1]);
     }
 
     #[test]
@@ -387,7 +569,8 @@ mod tests {
             c.put(42, entry(42, 7.5));
             c.flush();
         }
-        let c = ScheduleCache::persistent(&dir, 64).expect("reopen");
+        // Replaying under a different shard count still finds the entry.
+        let c = ScheduleCache::persistent_sharded(&dir, 64, 4).expect("reopen");
         let hit = c.get(42, 42).expect("replayed from disk");
         assert_eq!(hit.awct, 7.5);
         assert_eq!(hit.winner, SchedulerKind::Cars);

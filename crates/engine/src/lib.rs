@@ -14,8 +14,11 @@
 //!   are validated by `vcsched-sim` before the best AWCT wins;
 //! * a content-addressed [`cache`] memoizes schedules by a stable FNV
 //!   hash of the canonical problem (superblock JSON + machine + options +
-//!   live-in placement), with an in-memory LRU and an optional on-disk
-//!   JSONL journal, so repeated corpus runs are near-instant;
+//!   live-in placement), with a hash-sharded in-memory LRU (one lock per
+//!   shard, per-shard counters) and an optional on-disk JSONL journal,
+//!   so repeated corpus runs are near-instant;
+//! * a [`submit`] pool keeps workers resident behind a bounded admission
+//!   queue with backpressure — the engine side of `vcsched serve`;
 //! * [`corpus`] streams superblocks from JSONL files or synthesizes them
 //!   via `vcsched-workload`.
 //!
@@ -44,6 +47,7 @@ pub mod cache;
 pub mod corpus;
 pub mod pool;
 pub mod portfolio;
+pub mod submit;
 
 use std::path::PathBuf;
 
@@ -51,10 +55,11 @@ use serde::Serialize;
 use vcsched_arch::MachineConfig;
 use vcsched_workload::live_in_placement;
 
-pub use cache::{CacheEntry, CacheStats, ScheduleCache};
+pub use cache::{CacheEntry, CacheStats, ScheduleCache, ShardStats};
 pub use corpus::CorpusSource;
 pub use pool::{default_jobs, scatter};
 pub use portfolio::{schedule_block, BlockOutcome, PolicyOptions, SchedulerKind};
+pub use submit::{Problem, Solved, SubmitError, SubmitPool, Ticket};
 
 /// Deduction-step analogue of the paper's "1 second" bucket (§6.1).
 pub const STEPS_1S: u64 = 5_000;
@@ -83,6 +88,11 @@ pub struct BatchConfig {
     pub cache_dir: Option<PathBuf>,
     /// In-memory cache capacity (schedules).
     pub cache_capacity: usize,
+    /// Shards the cache's key space is partitioned over (one lock
+    /// each). Capacity is split evenly across shards, so as long as the
+    /// working set fits in [`BatchConfig::cache_capacity`] the shard
+    /// count only changes lock granularity, never results.
+    pub cache_shards: usize,
 }
 
 impl Default for BatchConfig {
@@ -100,6 +110,7 @@ impl Default for BatchConfig {
             placement_seed: 0xC60_2007,
             cache_dir: None,
             cache_capacity: 1 << 16,
+            cache_shards: 8,
         }
     }
 }
@@ -222,15 +233,69 @@ fn problem_key(
     )
 }
 
+/// Schedules one block through the cache: serve a remembered schedule if
+/// the canonical problem is known, otherwise run the policy and remember
+/// the outcome. Returns the outcome and whether it came from the cache.
+///
+/// This is the single per-problem step shared by [`run_batch_with_cache`]
+/// and the service's [`SubmitPool`] workers.
+pub fn solve_one(
+    sb: &vcsched_ir::Superblock,
+    machine: &MachineConfig,
+    homes: &[vcsched_arch::ClusterId],
+    options: &PolicyOptions,
+    cache: &ScheduleCache,
+) -> (BlockOutcome, bool) {
+    let sb_json = serde_json::to_string(sb).expect("superblocks serialize");
+    let (key, check) = problem_key(&sb_json, machine, homes, options);
+    if let Some(entry) = cache.get(key, check) {
+        return (
+            BlockOutcome {
+                winner: entry.winner,
+                awct: entry.awct,
+                vc_steps: entry.vc_steps,
+                vc_timed_out: entry.vc_timed_out,
+                schedule: entry.schedule,
+            },
+            true,
+        );
+    }
+    let outcome = schedule_block(sb, machine, homes, options);
+    cache.put(
+        key,
+        CacheEntry {
+            key: format!("{key:016x}"),
+            check: format!("{check:016x}"),
+            winner: outcome.winner,
+            awct: outcome.awct,
+            vc_steps: outcome.vc_steps,
+            vc_timed_out: outcome.vc_timed_out,
+            schedule: outcome.schedule.clone(),
+        },
+    );
+    (outcome, false)
+}
+
+/// Builds the cache a [`BatchConfig`] asks for (persistent or in-memory,
+/// sharded as configured).
+pub fn open_cache(config: &BatchConfig) -> Result<ScheduleCache, String> {
+    match &config.cache_dir {
+        Some(dir) => {
+            ScheduleCache::persistent_sharded(dir, config.cache_capacity, config.cache_shards)
+        }
+        None => Ok(ScheduleCache::in_memory_sharded(
+            config.cache_capacity,
+            config.cache_shards,
+        )),
+    }
+}
+
 /// Runs a whole batch: load corpus, fan out over the pool, schedule each
 /// block under the policy (through the cache), aggregate.
 pub fn run_batch(config: &BatchConfig) -> Result<BatchResult, String> {
     let t0 = std::time::Instant::now();
     let blocks = config.source.load()?;
-    let cache = match &config.cache_dir {
-        Some(dir) => ScheduleCache::persistent(dir, config.cache_capacity)?,
-        None => ScheduleCache::in_memory(config.cache_capacity),
-    };
+    let cache = open_cache(config)?;
     let result = run_batch_with_cache(config, &blocks, &cache, t0)?;
     cache.flush();
     Ok(result)
@@ -250,10 +315,6 @@ pub fn run_batch_with_cache(
         portfolio: config.portfolio,
     };
     let machine = &config.machine;
-    // The cache counters are process-cumulative (one cache may serve many
-    // batches); the summary reports this batch's delta.
-    let stats_before = cache.stats();
-
     let per_block: Vec<(BlockOutcome, bool)> = scatter(blocks.len(), config.jobs, |i| {
         let sb = &blocks[i];
         let homes = live_in_placement(
@@ -261,46 +322,35 @@ pub fn run_batch_with_cache(
             machine.cluster_count(),
             config.placement_seed ^ i as u64,
         );
-        let sb_json = serde_json::to_string(sb).expect("superblocks serialize");
-        let (key, check) = problem_key(&sb_json, machine, &homes, &options);
-        if let Some(entry) = cache.get(key, check) {
-            return (
-                BlockOutcome {
-                    winner: entry.winner,
-                    awct: entry.awct,
-                    vc_steps: entry.vc_steps,
-                    vc_timed_out: entry.vc_timed_out,
-                    schedule: entry.schedule,
-                },
-                true,
-            );
-        }
-        let outcome = schedule_block(sb, machine, &homes, &options);
-        cache.put(
-            key,
-            CacheEntry {
-                key: format!("{key:016x}"),
-                check: format!("{check:016x}"),
-                winner: outcome.winner,
-                awct: outcome.awct,
-                vc_steps: outcome.vc_steps,
-                vc_timed_out: outcome.vc_timed_out,
-                schedule: outcome.schedule.clone(),
-            },
-        );
-        (outcome, false)
+        solve_one(sb, machine, &homes, &options, cache)
     });
+    Ok(aggregate_batch(config, blocks, per_block, t0))
+}
 
+/// Aggregates per-block outcomes (in corpus order) into a
+/// [`BatchResult`]. Cache accounting comes from the per-block
+/// cached flags, so a shared long-lived cache serving other traffic
+/// concurrently (the service case) cannot skew this batch's hit rate.
+pub fn aggregate_batch(
+    config: &BatchConfig,
+    blocks: &[vcsched_ir::Superblock],
+    per_block: Vec<(BlockOutcome, bool)>,
+    t0: std::time::Instant,
+) -> BatchResult {
     let mut wins = Wins::default();
     let mut vc_timeouts = 0usize;
     let mut weighted_cycles = 0.0f64;
     let mut total_weight = 0u64;
+    let mut hits = 0u64;
     let mut lines = Vec::with_capacity(per_block.len());
     let mut outcomes = Vec::with_capacity(per_block.len());
     for (sb, (outcome, cached)) in blocks.iter().zip(per_block) {
         wins.add(outcome.winner);
         if outcome.vc_timed_out {
             vc_timeouts += 1;
+        }
+        if cached {
+            hits += 1;
         }
         weighted_cycles += outcome.awct * sb.weight() as f64;
         total_weight += sb.weight();
@@ -314,14 +364,13 @@ pub fn run_batch_with_cache(
         outcomes.push(outcome);
     }
 
-    let stats_after = cache.stats();
     let stats = CacheStats {
-        hits: stats_after.hits - stats_before.hits,
-        misses: stats_after.misses - stats_before.misses,
+        hits,
+        misses: blocks.len() as u64 - hits,
     };
     let summary = BatchSummary {
         corpus: config.source.describe(),
-        machine: machine.name().to_owned(),
+        machine: config.machine.name().to_owned(),
         jobs: config.jobs.max(1),
         portfolio: config.portfolio,
         steps: config.max_dp_steps,
@@ -341,11 +390,11 @@ pub fn run_batch_with_cache(
         },
         wall_ms: t0.elapsed().as_millis() as u64,
     };
-    Ok(BatchResult {
+    BatchResult {
         summary,
         lines,
         outcomes,
-    })
+    }
 }
 
 #[cfg(test)]

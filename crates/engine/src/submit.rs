@@ -1,0 +1,426 @@
+//! Long-lived submission pool: the engine side of `vcsched serve`.
+//!
+//! [`pool::scatter`](crate::pool::scatter) fans a *known* corpus over
+//! short-lived scoped threads; a service instead admits problems
+//! continuously. [`SubmitPool`] owns a fixed set of worker threads and a
+//! **bounded admission queue** in front of them:
+//!
+//! * [`SubmitPool::try_submit`] enqueues one scheduling [`Problem`] or
+//!   fails immediately with [`SubmitError::Saturated`] (carrying a
+//!   suggested retry delay) when the queue is full — the backpressure
+//!   signal `vcsched serve` forwards to clients as `retry_after_ms`;
+//! * [`SubmitPool::submit`] blocks for queue space instead (used for
+//!   service-side batch fan-out, where the caller *is* the backpressure);
+//! * [`SubmitPool::probe`] runs a no-op (optionally delayed) job through
+//!   the same queue and workers, measuring true end-to-end service time —
+//!   and giving tests a deterministic way to hold workers busy;
+//! * [`SubmitPool::shutdown`] closes admission, drains every already
+//!   accepted job, and joins the workers — in-flight work is never
+//!   dropped.
+//!
+//! Every solve goes through the shared sharded [`ScheduleCache`], so a
+//! repeated request is answered from memory and counted as a hit.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use vcsched_arch::{ClusterId, MachineConfig};
+use vcsched_ir::Superblock;
+
+use crate::cache::ScheduleCache;
+use crate::portfolio::{BlockOutcome, PolicyOptions};
+
+/// One scheduling problem in canonical form.
+#[derive(Debug, Clone)]
+pub struct Problem {
+    /// The superblock to schedule.
+    pub block: Superblock,
+    /// Target machine.
+    pub machine: MachineConfig,
+    /// Live-in home clusters (same contract as
+    /// [`schedule_block`](crate::schedule_block)).
+    pub homes: Vec<ClusterId>,
+    /// Policy options (deduction-step budget, portfolio widening).
+    pub options: PolicyOptions,
+}
+
+/// A solved problem: the policy outcome plus whether the cache answered.
+#[derive(Debug, Clone)]
+pub struct Solved {
+    /// Winner, AWCT, VC accounting and the schedule itself.
+    pub outcome: BlockOutcome,
+    /// Whether the answer came from the schedule cache.
+    pub cached: bool,
+}
+
+/// Why a submission was not accepted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The admission queue is full; retry after the suggested delay.
+    Saturated {
+        /// Queue capacity that was exhausted.
+        queue_capacity: usize,
+        /// Suggested client backoff, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The pool has been shut down and admits nothing.
+    ShutDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Saturated {
+                queue_capacity,
+                retry_after_ms,
+            } => write!(
+                f,
+                "admission queue full (capacity {queue_capacity}); \
+                 retry in ~{retry_after_ms} ms"
+            ),
+            SubmitError::ShutDown => f.write_str("pool is shut down"),
+        }
+    }
+}
+
+/// A claim on one submitted job's eventual result.
+#[derive(Debug)]
+pub struct Ticket<T>(Receiver<T>);
+
+impl<T> Ticket<T> {
+    /// Blocks until the job completes. Only errors if the pool died
+    /// without running the job — which [`SubmitPool::shutdown`]'s drain
+    /// guarantee rules out for accepted jobs.
+    pub fn wait(self) -> Result<T, String> {
+        self.0
+            .recv()
+            .map_err(|_| "submission pool dropped the job".to_owned())
+    }
+}
+
+enum Task {
+    Solve {
+        problem: Problem,
+        reply: mpsc::Sender<Solved>,
+    },
+    Probe {
+        delay: Duration,
+        reply: mpsc::Sender<Duration>,
+    },
+}
+
+/// Long-lived worker pool with a bounded admission queue (see the module
+/// docs).
+pub struct SubmitPool {
+    tx: Mutex<Option<SyncSender<Task>>>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    cache: Arc<ScheduleCache>,
+    queue_capacity: usize,
+    jobs: usize,
+    depth: Arc<AtomicUsize>,
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    completed: Arc<AtomicU64>,
+}
+
+impl SubmitPool {
+    /// Spawns `jobs` workers behind a queue admitting at most
+    /// `queue_capacity` waiting jobs, all solving through `cache`.
+    pub fn new(jobs: usize, queue_capacity: usize, cache: Arc<ScheduleCache>) -> SubmitPool {
+        let jobs = jobs.max(1);
+        let queue_capacity = queue_capacity.max(1);
+        let (tx, rx) = mpsc::sync_channel::<Task>(queue_capacity);
+        let rx = Arc::new(Mutex::new(rx));
+        let depth = Arc::new(AtomicUsize::new(0));
+        let completed = Arc::new(AtomicU64::new(0));
+        let workers = (0..jobs)
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let cache = Arc::clone(&cache);
+                let depth = Arc::clone(&depth);
+                let completed = Arc::clone(&completed);
+                std::thread::spawn(move || loop {
+                    // Holding the lock across the blocking recv is the
+                    // standard std worker-pool pattern: pickup is quick
+                    // when tasks exist, and an idle holder blocks inside
+                    // recv, not on useful work.
+                    let task = match rx.lock().unwrap().recv() {
+                        Ok(task) => task,
+                        Err(_) => break, // admission closed and queue drained
+                    };
+                    depth.fetch_sub(1, Ordering::Relaxed);
+                    match task {
+                        Task::Solve { problem, reply } => {
+                            let (outcome, cached) = crate::solve_one(
+                                &problem.block,
+                                &problem.machine,
+                                &problem.homes,
+                                &problem.options,
+                                &cache,
+                            );
+                            // A dropped ticket just means nobody is
+                            // waiting anymore; the work (and its cache
+                            // entry) still happened.
+                            let _ = reply.send(Solved { outcome, cached });
+                        }
+                        Task::Probe { delay, reply } => {
+                            if !delay.is_zero() {
+                                std::thread::sleep(delay);
+                            }
+                            let _ = reply.send(delay);
+                        }
+                    }
+                    completed.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        SubmitPool {
+            tx: Mutex::new(Some(tx)),
+            workers: Mutex::new(workers),
+            cache,
+            queue_capacity,
+            jobs,
+            depth,
+            accepted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            completed,
+        }
+    }
+
+    /// The shared schedule cache the workers solve through.
+    pub fn cache(&self) -> &Arc<ScheduleCache> {
+        &self.cache
+    }
+
+    /// Worker thread count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Admission queue capacity.
+    pub fn queue_capacity(&self) -> usize {
+        self.queue_capacity
+    }
+
+    /// Jobs currently waiting in the admission queue (not yet picked up).
+    pub fn queue_depth(&self) -> usize {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime counters: (accepted, rejected, completed).
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (
+            self.accepted.load(Ordering::Relaxed),
+            self.rejected.load(Ordering::Relaxed),
+            self.completed.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Suggested client backoff when saturated: proportional to how much
+    /// work is stacked per worker, clamped to a sane band.
+    fn retry_after_ms(&self) -> u64 {
+        let backlog = self.queue_depth() as u64 + 1;
+        (25 * backlog / self.jobs as u64).clamp(25, 2_000)
+    }
+
+    fn dispatch(&self, task: Task, block_for_space: bool) -> Result<(), SubmitError> {
+        // Clone the sender and release the lock before sending: a
+        // blocking send that waited for queue space while holding the
+        // mutex would stall every concurrent try_submit behind it,
+        // turning fail-fast backpressure into head-of-line blocking.
+        let tx = self
+            .tx
+            .lock()
+            .unwrap()
+            .clone()
+            .ok_or(SubmitError::ShutDown)?;
+        // Count the slot before sending so a racing depth reader never
+        // sees fewer waiters than the channel holds.
+        self.depth.fetch_add(1, Ordering::Relaxed);
+        let result = if block_for_space {
+            tx.send(task).map_err(|_| SubmitError::ShutDown)
+        } else {
+            tx.try_send(task).map_err(|e| match e {
+                TrySendError::Full(_) => SubmitError::Saturated {
+                    queue_capacity: self.queue_capacity,
+                    retry_after_ms: self.retry_after_ms(),
+                },
+                TrySendError::Disconnected(_) => SubmitError::ShutDown,
+            })
+        };
+        match result {
+            Ok(()) => {
+                self.accepted.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(e) => {
+                self.depth.fetch_sub(1, Ordering::Relaxed);
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    /// Admits a problem if the queue has space, else fails immediately
+    /// with the backpressure signal.
+    pub fn try_submit(&self, problem: Problem) -> Result<Ticket<Solved>, SubmitError> {
+        let (reply, rx) = mpsc::channel();
+        self.dispatch(Task::Solve { problem, reply }, false)?;
+        Ok(Ticket(rx))
+    }
+
+    /// Admits a problem, waiting for queue space if necessary. Only fails
+    /// once the pool is shut down.
+    pub fn submit(&self, problem: Problem) -> Result<Ticket<Solved>, SubmitError> {
+        let (reply, rx) = mpsc::channel();
+        self.dispatch(Task::Solve { problem, reply }, true)?;
+        Ok(Ticket(rx))
+    }
+
+    /// Runs a no-op job (sleeping `delay_ms` on the worker) through the
+    /// full queue + pool path. The ticket resolves when the worker is
+    /// done, so `wait` measures true end-to-end service latency.
+    pub fn probe(&self, delay_ms: u64) -> Result<Ticket<Duration>, SubmitError> {
+        let (reply, rx) = mpsc::channel();
+        self.dispatch(
+            Task::Probe {
+                delay: Duration::from_millis(delay_ms),
+                reply,
+            },
+            false,
+        )?;
+        Ok(Ticket(rx))
+    }
+
+    /// Closes admission, drains every accepted job, and joins the
+    /// workers. Idempotent; concurrent submitters get
+    /// [`SubmitError::ShutDown`].
+    pub fn shutdown(&self) {
+        // Dropping the sender disconnects the channel once the queue is
+        // empty; workers finish what was admitted, then exit.
+        drop(self.tx.lock().unwrap().take());
+        let workers: Vec<_> = self.workers.lock().unwrap().drain(..).collect();
+        for handle in workers {
+            let _ = handle.join();
+        }
+        self.cache.flush();
+    }
+}
+
+impl Drop for SubmitPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcsched_workload::{benchmark, generate_block, live_in_placement, InputSet};
+
+    fn problem(index: u64) -> Problem {
+        let spec = benchmark("130.li").expect("known benchmark");
+        let block = generate_block(&spec, 13, index, InputSet::Ref);
+        let machine = MachineConfig::paper_2c_8w();
+        let homes = live_in_placement(&block, machine.cluster_count(), index);
+        Problem {
+            block,
+            machine,
+            homes,
+            options: PolicyOptions {
+                max_dp_steps: crate::STEPS_1S,
+                portfolio: false,
+            },
+        }
+    }
+
+    #[test]
+    fn solves_and_caches_repeated_problems() {
+        let pool = SubmitPool::new(2, 8, Arc::new(ScheduleCache::in_memory_sharded(64, 4)));
+        let first = pool
+            .try_submit(problem(0))
+            .expect("accepted")
+            .wait()
+            .expect("solved");
+        assert!(!first.cached);
+        let again = pool
+            .try_submit(problem(0))
+            .expect("accepted")
+            .wait()
+            .expect("solved");
+        assert!(again.cached, "identical problem must be served from cache");
+        assert_eq!(again.outcome, first.outcome);
+        assert_eq!(pool.cache().stats().hits, 1);
+        let (accepted, rejected, completed) = pool.counters();
+        assert_eq!((accepted, rejected), (2, 0));
+        assert_eq!(completed, 2);
+    }
+
+    #[test]
+    fn saturated_queue_rejects_with_retry_hint() {
+        let pool = SubmitPool::new(1, 1, Arc::new(ScheduleCache::in_memory(8)));
+        // Occupy the single worker, then fill the single queue slot.
+        let busy = pool.probe(400).expect("worker probe accepted");
+        std::thread::sleep(Duration::from_millis(50));
+        let queued = pool.probe(0).expect("queue slot accepted");
+        let rejected = (0..8)
+            .filter(|_| matches!(pool.probe(0), Err(SubmitError::Saturated { .. })))
+            .count();
+        assert!(rejected > 0, "a full queue must reject");
+        if let Err(SubmitError::Saturated { retry_after_ms, .. }) = pool.probe(0) {
+            assert!(retry_after_ms >= 25);
+        }
+        busy.wait().expect("busy probe completes");
+        queued.wait().expect("queued probe completes");
+        assert!(pool.counters().1 > 0);
+    }
+
+    #[test]
+    fn blocking_submit_does_not_stall_try_submit() {
+        let pool = Arc::new(SubmitPool::new(1, 1, Arc::new(ScheduleCache::in_memory(8))));
+        // Worker busy + queue full, then a blocking submit parks waiting
+        // for space.
+        let busy = pool.probe(800).expect("worker occupied");
+        std::thread::sleep(Duration::from_millis(50));
+        let queued = pool.probe(0).expect("queue filled");
+        let blocker = {
+            let pool = Arc::clone(&pool);
+            std::thread::spawn(move || pool.submit(problem(3)).expect("eventually admitted"))
+        };
+        std::thread::sleep(Duration::from_millis(100));
+        // Fail-fast backpressure must stay fail-fast: the parked
+        // blocking submit may not hold a lock that serializes this.
+        let t0 = std::time::Instant::now();
+        assert!(matches!(pool.probe(0), Err(SubmitError::Saturated { .. })));
+        assert!(
+            t0.elapsed() < Duration::from_millis(250),
+            "try-path dispatch stalled {}ms behind a blocking submit",
+            t0.elapsed().as_millis()
+        );
+        busy.wait().expect("busy");
+        queued.wait().expect("queued");
+        blocker
+            .join()
+            .expect("blocker thread")
+            .wait()
+            .expect("blocked submit completes");
+    }
+
+    #[test]
+    fn shutdown_drains_accepted_work() {
+        let pool = SubmitPool::new(1, 4, Arc::new(ScheduleCache::in_memory(8)));
+        let slow = pool.probe(200).expect("accepted");
+        let queued = pool.probe(0).expect("accepted");
+        pool.shutdown();
+        // Both jobs were admitted before shutdown: both must complete.
+        assert!(slow.wait().is_ok());
+        assert!(queued.wait().is_ok());
+        assert!(matches!(pool.probe(0), Err(SubmitError::ShutDown)));
+        assert!(matches!(
+            pool.try_submit(problem(1)),
+            Err(SubmitError::ShutDown)
+        ));
+    }
+}

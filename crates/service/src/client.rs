@@ -1,0 +1,61 @@
+//! A thin blocking client for the service protocol — what `vcsched
+//! request` and the tests use.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::protocol::{Request, Response};
+
+/// A connected protocol client. One request/response exchange at a time;
+/// the connection stays open across requests.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a running `vcsched serve`.
+    pub fn connect<A: ToSocketAddrs + std::fmt::Debug>(addr: A) -> Result<Client, String> {
+        let stream = TcpStream::connect(&addr).map_err(|e| format!("connect {addr:?}: {e}"))?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client {
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Bounds how long [`Client::request`] waits for a response (`None` =
+    /// wait forever, the default).
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<(), String> {
+        self.reader
+            .get_ref()
+            .set_read_timeout(timeout)
+            .map_err(|e| e.to_string())
+    }
+
+    /// Sends one request and reads its response.
+    pub fn request(&mut self, request: &Request) -> Result<Response, String> {
+        let line = serde_json::to_string(request).map_err(|e| e.to_string())?;
+        let raw = self.request_raw(&line)?;
+        serde_json::from_str(&raw).map_err(|e| format!("bad response `{raw}`: {e}"))
+    }
+
+    /// Sends one raw JSON line and returns the raw response line — the
+    /// scripting escape hatch (`vcsched request --json`).
+    pub fn request_raw(&mut self, line: &str) -> Result<String, String> {
+        debug_assert!(!line.contains('\n'), "requests are single lines");
+        let stream = self.reader.get_mut();
+        stream
+            .write_all(format!("{line}\n").as_bytes())
+            .and_then(|()| stream.flush())
+            .map_err(|e| format!("send: {e}"))?;
+        let mut response = String::new();
+        let n = self
+            .reader
+            .read_line(&mut response)
+            .map_err(|e| format!("receive: {e}"))?;
+        if n == 0 {
+            return Err("server closed the connection".to_owned());
+        }
+        Ok(response.trim_end().to_owned())
+    }
+}

@@ -1,0 +1,494 @@
+//! The wire protocol: newline-delimited JSON, one request and one
+//! response object per line.
+//!
+//! Every request object carries a `"type"` tag (`schedule`, `batch`,
+//! `stats`, `ping`, `shutdown`); every response carries `"ok"` plus a
+//! `"type"` tag (`schedule`, `batch`, `stats`, `pong`, `bye`, `error`).
+//! Optional request fields fall back to the server's configured defaults.
+//!
+//! ```text
+//! → {"type":"ping","delay_ms":0}
+//! ← {"ok":true,"type":"pong","delay_ms":0}
+//! → {"type":"schedule","block":{…},"machine":"2c","mode":"portfolio"}
+//! ← {"ok":true,"type":"schedule","winner":"vc","awct":11.2,…}
+//! → {"type":"stats"}
+//! ← {"ok":true,"type":"stats","jobs":8,…,"cache":{…,"shards":[…]}}
+//! ```
+//!
+//! A rejected admission (queue full) is an `error` response carrying
+//! `retry_after_ms` — the client's backoff hint.
+
+use serde::{DeError, Deserialize, Serialize, Value};
+use vcsched_engine::SchedulerKind;
+use vcsched_ir::{Schedule, Superblock};
+
+/// Scheduling mode of a `schedule` request: the paper's §6.1 policy
+/// (VC with CARS fallback) or the widened four-scheduler portfolio.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScheduleMode {
+    /// VC under the step budget, CARS fallback (§6.1).
+    #[default]
+    Single,
+    /// Race VC, CARS, UAS and two-phase; best validated AWCT wins.
+    Portfolio,
+}
+
+impl ScheduleMode {
+    /// Stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScheduleMode::Single => "single",
+            ScheduleMode::Portfolio => "portfolio",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn parse(s: &str) -> Result<ScheduleMode, DeError> {
+        match s {
+            "single" => Ok(ScheduleMode::Single),
+            "portfolio" => Ok(ScheduleMode::Portfolio),
+            other => Err(DeError(format!(
+                "unknown mode `{other}` (single, portfolio)"
+            ))),
+        }
+    }
+}
+
+/// One client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Schedule one superblock.
+    Schedule {
+        /// The superblock, in its serde JSON form.
+        block: Superblock,
+        /// Machine preset name (`2c`, `4c1`, `4c2`, `hetero`).
+        machine: String,
+        /// Policy or portfolio.
+        mode: ScheduleMode,
+        /// VC deduction-step budget (`None` = server default).
+        steps: Option<u64>,
+        /// Live-in placement seed (`None` = server default).
+        placement_seed: Option<u64>,
+        /// Return the winning schedule itself, not just its metrics.
+        return_schedule: bool,
+    },
+    /// Schedule a synthesized corpus through the pool and summarize.
+    Batch {
+        /// Benchmark name for synthesis.
+        bench: String,
+        /// Number of blocks.
+        count: usize,
+        /// Corpus seed.
+        seed: u64,
+        /// Machine preset name.
+        machine: String,
+        /// Portfolio mode for every block.
+        portfolio: bool,
+        /// VC deduction-step budget (`None` = server default).
+        steps: Option<u64>,
+    },
+    /// Service and cache counters.
+    Stats,
+    /// Round-trip through the admission queue and worker pool; the
+    /// worker sleeps `delay_ms` before answering (0 = pure latency
+    /// probe). Exercises the same backpressure path as real work.
+    Ping {
+        /// Server-side delay in milliseconds.
+        delay_ms: u64,
+    },
+    /// Stop accepting work, drain in-flight jobs, exit.
+    Shutdown,
+}
+
+/// A `schedule` response body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleReply {
+    /// Winning scheduler.
+    pub winner: SchedulerKind,
+    /// Validated AWCT of the winning schedule.
+    pub awct: f64,
+    /// Deduction steps the VC scheduler spent.
+    pub vc_steps: u64,
+    /// Whether VC exhausted its budget (CARS fallback).
+    pub vc_timed_out: bool,
+    /// Whether the answer came from the schedule cache.
+    pub cached: bool,
+    /// Inter-cluster copies in the winning schedule.
+    pub copies: usize,
+    /// The schedule itself, if `return_schedule` was set.
+    pub schedule: Option<Schedule>,
+}
+
+/// Per-shard cache counters in a `stats` response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardReply {
+    /// Lookups answered by this shard.
+    pub hits: u64,
+    /// Lookups this shard could not answer.
+    pub misses: u64,
+    /// Entries inserted (journal replay included).
+    pub insertions: u64,
+    /// Entries evicted by the shard's LRU policy.
+    pub evictions: u64,
+    /// Schedules currently held by this shard.
+    pub len: usize,
+}
+
+/// Cache section of a `stats` response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheReply {
+    /// Total hits over all shards.
+    pub hits: u64,
+    /// Total misses over all shards.
+    pub misses: u64,
+    /// `hits / (hits + misses)`.
+    pub hit_rate: f64,
+    /// Schedules held in memory.
+    pub len: usize,
+    /// Per-shard counters, in shard order.
+    pub shards: Vec<ShardReply>,
+}
+
+/// A `stats` response body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsReply {
+    /// Worker threads.
+    pub jobs: usize,
+    /// Admission queue capacity.
+    pub queue_capacity: usize,
+    /// Jobs currently waiting for a worker.
+    pub queue_depth: usize,
+    /// Jobs admitted since start.
+    pub accepted: u64,
+    /// Jobs rejected by backpressure since start.
+    pub rejected: u64,
+    /// Jobs completed since start.
+    pub completed: u64,
+    /// Sharded cache counters.
+    pub cache: CacheReply,
+}
+
+/// One server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Result of a `schedule` request.
+    Schedule(ScheduleReply),
+    /// Result of a `batch` request: the engine's JSON batch summary.
+    Batch {
+        /// The `BatchSummary` value, verbatim.
+        summary: Value,
+    },
+    /// Result of a `stats` request.
+    Stats(StatsReply),
+    /// Result of a `ping` request.
+    Pong {
+        /// The server-side delay that was applied.
+        delay_ms: u64,
+    },
+    /// Acknowledgement of a `shutdown` request.
+    Bye,
+    /// Any failure, including backpressure rejections.
+    Error {
+        /// Human-readable reason.
+        error: String,
+        /// Present on queue-full rejections: suggested client backoff.
+        retry_after_ms: Option<u64>,
+    },
+}
+
+impl Response {
+    /// Whether this response reports success.
+    pub fn is_ok(&self) -> bool {
+        !matches!(self, Response::Error { .. })
+    }
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+/// Prepends tag fields to a struct body's object form.
+fn tagged(head: Vec<(&str, Value)>, body: Value) -> Value {
+    let mut fields: Vec<(String, Value)> =
+        head.into_iter().map(|(k, v)| (k.to_owned(), v)).collect();
+    if let Value::Object(inner) = body {
+        fields.extend(inner);
+    }
+    Value::Object(fields)
+}
+
+impl Serialize for Request {
+    fn to_value(&self) -> Value {
+        match self {
+            Request::Schedule {
+                block,
+                machine,
+                mode,
+                steps,
+                placement_seed,
+                return_schedule,
+            } => obj(vec![
+                ("type", Value::String("schedule".into())),
+                ("block", block.to_value()),
+                ("machine", Value::String(machine.clone())),
+                ("mode", Value::String(mode.name().into())),
+                ("steps", steps.to_value()),
+                ("placement_seed", placement_seed.to_value()),
+                ("return_schedule", Value::Bool(*return_schedule)),
+            ]),
+            Request::Batch {
+                bench,
+                count,
+                seed,
+                machine,
+                portfolio,
+                steps,
+            } => obj(vec![
+                ("type", Value::String("batch".into())),
+                ("bench", Value::String(bench.clone())),
+                ("count", Value::UInt(*count as u64)),
+                ("seed", Value::UInt(*seed)),
+                ("machine", Value::String(machine.clone())),
+                ("portfolio", Value::Bool(*portfolio)),
+                ("steps", steps.to_value()),
+            ]),
+            Request::Stats => obj(vec![("type", Value::String("stats".into()))]),
+            Request::Ping { delay_ms } => obj(vec![
+                ("type", Value::String("ping".into())),
+                ("delay_ms", Value::UInt(*delay_ms)),
+            ]),
+            Request::Shutdown => obj(vec![("type", Value::String("shutdown".into()))]),
+        }
+    }
+}
+
+/// Reads an optional field, treating both absence and JSON `null` as
+/// `None`.
+fn opt<T: Deserialize>(v: &Value, name: &str) -> Result<Option<T>, DeError> {
+    match v.get(name) {
+        None | Some(Value::Null) => Ok(None),
+        Some(field) => T::from_value(field).map(Some),
+    }
+}
+
+impl Deserialize for Request {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let ty = v
+            .get("type")
+            .and_then(Value::as_str)
+            .ok_or_else(|| DeError("request needs a string `type` field".into()))?;
+        match ty {
+            "schedule" => Ok(Request::Schedule {
+                block: Superblock::from_value(
+                    v.get("block")
+                        .ok_or_else(|| DeError::missing("schedule request", "block"))?,
+                )?,
+                machine: opt(v, "machine")?.unwrap_or_else(|| "2c".to_owned()),
+                mode: match opt::<String>(v, "mode")? {
+                    Some(s) => ScheduleMode::parse(&s)?,
+                    None => ScheduleMode::Single,
+                },
+                steps: opt(v, "steps")?,
+                placement_seed: opt(v, "placement_seed")?,
+                return_schedule: opt(v, "return_schedule")?.unwrap_or(false),
+            }),
+            "batch" => Ok(Request::Batch {
+                bench: opt(v, "bench")?.unwrap_or_else(|| "099.go".to_owned()),
+                count: opt(v, "count")?.unwrap_or(100),
+                seed: opt(v, "seed")?.unwrap_or(7),
+                machine: opt(v, "machine")?.unwrap_or_else(|| "2c".to_owned()),
+                portfolio: opt(v, "portfolio")?.unwrap_or(false),
+                steps: opt(v, "steps")?,
+            }),
+            "stats" => Ok(Request::Stats),
+            "ping" => Ok(Request::Ping {
+                delay_ms: opt(v, "delay_ms")?.unwrap_or(0),
+            }),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(DeError(format!(
+                "unknown request type `{other}` (schedule, batch, stats, ping, shutdown)"
+            ))),
+        }
+    }
+}
+
+impl Serialize for Response {
+    fn to_value(&self) -> Value {
+        let ok = |ty: &str| {
+            vec![
+                ("ok", Value::Bool(true)),
+                ("type", Value::String(ty.into())),
+            ]
+        };
+        match self {
+            Response::Schedule(reply) => tagged(ok("schedule"), reply.to_value()),
+            Response::Batch { summary } => {
+                tagged(ok("batch"), obj(vec![("summary", summary.clone())]))
+            }
+            Response::Stats(reply) => tagged(ok("stats"), reply.to_value()),
+            Response::Pong { delay_ms } => {
+                tagged(ok("pong"), obj(vec![("delay_ms", Value::UInt(*delay_ms))]))
+            }
+            Response::Bye => Value::Object(
+                ok("bye")
+                    .into_iter()
+                    .map(|(k, v)| (k.to_owned(), v))
+                    .collect(),
+            ),
+            Response::Error {
+                error,
+                retry_after_ms,
+            } => obj(vec![
+                ("ok", Value::Bool(false)),
+                ("type", Value::String("error".into())),
+                ("error", Value::String(error.clone())),
+                ("retry_after_ms", retry_after_ms.to_value()),
+            ]),
+        }
+    }
+}
+
+impl Deserialize for Response {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let ty = v
+            .get("type")
+            .and_then(Value::as_str)
+            .ok_or_else(|| DeError("response needs a string `type` field".into()))?;
+        match ty {
+            "schedule" => Ok(Response::Schedule(ScheduleReply::from_value(v)?)),
+            "batch" => Ok(Response::Batch {
+                summary: v
+                    .get("summary")
+                    .cloned()
+                    .ok_or_else(|| DeError::missing("batch response", "summary"))?,
+            }),
+            "stats" => Ok(Response::Stats(StatsReply::from_value(v)?)),
+            "pong" => Ok(Response::Pong {
+                delay_ms: opt(v, "delay_ms")?.unwrap_or(0),
+            }),
+            "bye" => Ok(Response::Bye),
+            "error" => Ok(Response::Error {
+                error: opt(v, "error")?.unwrap_or_else(|| "unspecified".to_owned()),
+                retry_after_ms: opt(v, "retry_after_ms")?,
+            }),
+            other => Err(DeError(format!("unknown response type `{other}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_wire_roundtrip() {
+        let reqs = vec![
+            Request::Stats,
+            Request::Shutdown,
+            Request::Ping { delay_ms: 40 },
+            Request::Batch {
+                bench: "130.li".into(),
+                count: 9,
+                seed: 3,
+                machine: "4c1".into(),
+                portfolio: true,
+                steps: Some(5000),
+            },
+        ];
+        for req in reqs {
+            let line = serde_json::to_string(&req).unwrap();
+            assert!(!line.contains('\n'));
+            let back: Request = serde_json::from_str(&line).unwrap();
+            assert_eq!(req, back);
+        }
+    }
+
+    #[test]
+    fn schedule_request_defaults_apply() {
+        let sb = {
+            use vcsched_arch::OpClass;
+            let mut b = vcsched_ir::SuperblockBuilder::new("p");
+            let i = b.inst(OpClass::Int, 1);
+            let x = b.exit(1, 1.0);
+            b.data_dep(i, x);
+            b.build().unwrap()
+        };
+        let block_json = serde_json::to_string(&sb).unwrap();
+        let req: Request =
+            serde_json::from_str(&format!(r#"{{"type":"schedule","block":{block_json}}}"#))
+                .unwrap();
+        match req {
+            Request::Schedule {
+                machine,
+                mode,
+                steps,
+                placement_seed,
+                return_schedule,
+                ..
+            } => {
+                assert_eq!(machine, "2c");
+                assert_eq!(mode, ScheduleMode::Single);
+                assert_eq!(steps, None);
+                assert_eq!(placement_seed, None);
+                assert!(!return_schedule);
+            }
+            other => panic!("parsed as {other:?}"),
+        }
+    }
+
+    #[test]
+    fn response_wire_roundtrip() {
+        let resps = vec![
+            Response::Bye,
+            Response::Pong { delay_ms: 7 },
+            Response::Error {
+                error: "admission queue full".into(),
+                retry_after_ms: Some(50),
+            },
+            Response::Stats(StatsReply {
+                jobs: 4,
+                queue_capacity: 64,
+                queue_depth: 1,
+                accepted: 10,
+                rejected: 2,
+                completed: 9,
+                cache: CacheReply {
+                    hits: 5,
+                    misses: 4,
+                    hit_rate: 5.0 / 9.0,
+                    len: 4,
+                    shards: vec![ShardReply {
+                        hits: 5,
+                        misses: 4,
+                        insertions: 4,
+                        evictions: 0,
+                        len: 4,
+                    }],
+                },
+            }),
+        ];
+        for resp in resps {
+            let line = serde_json::to_string(&resp).unwrap();
+            let back: Response = serde_json::from_str(&line).unwrap();
+            assert_eq!(resp, back);
+        }
+    }
+
+    #[test]
+    fn error_responses_report_not_ok() {
+        let err = Response::Error {
+            error: "x".into(),
+            retry_after_ms: None,
+        };
+        assert!(!err.is_ok());
+        assert!(Response::Bye.is_ok());
+        let line = serde_json::to_string(&err).unwrap();
+        assert!(line.starts_with(r#"{"ok":false"#), "{line}");
+    }
+
+    #[test]
+    fn unknown_request_type_is_a_clean_error() {
+        let err = serde_json::from_str::<Request>(r#"{"type":"frobnicate"}"#).unwrap_err();
+        assert!(err.to_string().contains("unknown request type"), "{err}");
+    }
+}

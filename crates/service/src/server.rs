@@ -1,0 +1,520 @@
+//! The daemon: a TCP listener speaking the newline-delimited JSON
+//! protocol over a [`SubmitPool`].
+//!
+//! One thread accepts connections; each connection gets a thread that
+//! reads request lines (capped at [`ServiceConfig::max_request_bytes`]),
+//! dispatches them, and writes one response line per request. Scheduling
+//! work flows through the pool's bounded admission queue, so a saturated
+//! server answers `error` + `retry_after_ms` instead of building an
+//! unbounded backlog.
+//!
+//! Shutdown (a `shutdown` request or [`ServerHandle::shutdown`]) is
+//! *draining*: admission closes, every already-accepted job completes and
+//! its response is delivered, connection threads and workers are joined,
+//! and the cache journal is flushed.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use serde_json::to_string as to_json;
+use vcsched_engine::{
+    aggregate_batch, default_jobs, open_cache, BatchConfig, CorpusSource, PolicyOptions, Problem,
+    SubmitError, SubmitPool, STEPS_1M,
+};
+use vcsched_workload::live_in_placement;
+
+use crate::protocol::{
+    CacheReply, Request, Response, ScheduleMode, ScheduleReply, ShardReply, StatsReply,
+};
+
+/// How often blocked connection reads wake up to check the stop flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// Server configuration (see `vcsched serve` for the CLI surface).
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Worker threads in the scheduling pool.
+    pub jobs: usize,
+    /// Bounded admission queue capacity; beyond it requests are rejected
+    /// with `retry_after_ms`.
+    pub queue_capacity: usize,
+    /// In-memory schedule-cache capacity (schedules).
+    pub cache_capacity: usize,
+    /// Cache shards (one lock per shard).
+    pub cache_shards: usize,
+    /// Persist the cache journal in this directory (`None` = in-memory).
+    pub cache_dir: Option<PathBuf>,
+    /// Maximum request line length; longer lines terminate the
+    /// connection with an error response.
+    pub max_request_bytes: usize,
+    /// Default VC deduction-step budget for requests that omit `steps`.
+    pub default_steps: u64,
+    /// Default live-in placement seed for `schedule` requests.
+    pub default_placement_seed: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            jobs: default_jobs(),
+            queue_capacity: 64,
+            cache_capacity: 1 << 16,
+            cache_shards: 8,
+            cache_dir: None,
+            max_request_bytes: 1 << 20,
+            default_steps: STEPS_1M,
+            default_placement_seed: 0xC60_2007,
+        }
+    }
+}
+
+struct Shared {
+    pool: SubmitPool,
+    config: ServiceConfig,
+    addr: SocketAddr,
+    stop: AtomicBool,
+}
+
+impl Shared {
+    /// Signals shutdown and wakes the blocked accept loop with a
+    /// throwaway connection.
+    fn request_stop(&self) {
+        if !self.stop.swap(true, Ordering::SeqCst) {
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+}
+
+/// A running server. Dropping the handle does *not* stop the server;
+/// call [`ServerHandle::shutdown`] or send a `shutdown` request.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    accept: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the real port when `:0` was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Signals a draining shutdown without waiting for it to finish.
+    pub fn shutdown(&self) {
+        self.shared.request_stop();
+    }
+
+    /// Blocks until the server has fully shut down (listener closed,
+    /// connections and workers drained and joined).
+    pub fn join(mut self) {
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Binds the listener and spawns the accept loop; returns once the
+/// server is ready to take connections.
+pub fn serve(config: ServiceConfig) -> Result<ServerHandle, String> {
+    let cache = Arc::new(open_cache(&BatchConfig {
+        cache_dir: config.cache_dir.clone(),
+        cache_capacity: config.cache_capacity,
+        cache_shards: config.cache_shards,
+        ..BatchConfig::default()
+    })?);
+    let pool = SubmitPool::new(config.jobs, config.queue_capacity, cache);
+    let listener =
+        TcpListener::bind(&config.addr).map_err(|e| format!("bind {}: {e}", config.addr))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("local_addr: {e}"))?;
+    let shared = Arc::new(Shared {
+        pool,
+        config,
+        addr,
+        stop: AtomicBool::new(false),
+    });
+
+    let accept_shared = Arc::clone(&shared);
+    let accept = std::thread::spawn(move || {
+        let conns: Mutex<Vec<std::thread::JoinHandle<()>>> = Mutex::new(Vec::new());
+        for stream in listener.incoming() {
+            if accept_shared.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            let conn_shared = Arc::clone(&accept_shared);
+            let mut conns = conns.lock().unwrap();
+            // Reap finished connection threads so a long-lived server
+            // doesn't accumulate handles.
+            conns.retain(|h| !h.is_finished());
+            conns.push(std::thread::spawn(move || {
+                handle_connection(stream, &conn_shared);
+            }));
+        }
+        drop(listener);
+        // Drain: connections finish their in-flight request/response
+        // exchanges (their reads poll the stop flag), then the pool
+        // completes everything it admitted.
+        for handle in conns.into_inner().unwrap() {
+            let _ = handle.join();
+        }
+        accept_shared.pool.shutdown();
+    });
+
+    Ok(ServerHandle {
+        shared,
+        accept: Some(accept),
+    })
+}
+
+enum LineRead {
+    Line(String),
+    NotUtf8,
+    Oversized,
+    Closed,
+    Stopping,
+}
+
+/// Reads one `\n`-terminated line, polling the stop flag while idle and
+/// enforcing the request size cap. `pending` carries bytes of the next
+/// line(s) between calls, so pipelined requests are not lost.
+fn read_line(
+    stream: &mut TcpStream,
+    pending: &mut Vec<u8>,
+    max_bytes: usize,
+    stop: &AtomicBool,
+) -> LineRead {
+    loop {
+        if let Some(pos) = pending.iter().position(|&b| b == b'\n') {
+            let rest = pending.split_off(pos + 1);
+            let mut line = std::mem::replace(pending, rest);
+            line.pop(); // the newline
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            return match String::from_utf8(line) {
+                Ok(s) => LineRead::Line(s),
+                // The line was consumed up to its newline, so the stream
+                // stays in sync; the caller answers with an error.
+                Err(_) => LineRead::NotUtf8,
+            };
+        }
+        if pending.len() > max_bytes {
+            return LineRead::Oversized;
+        }
+        if stop.load(Ordering::SeqCst) {
+            return LineRead::Stopping;
+        }
+        let mut chunk = [0u8; 4096];
+        match stream.read(&mut chunk) {
+            Ok(0) => return LineRead::Closed,
+            Ok(n) => pending.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue; // poll tick: loop re-checks the stop flag
+            }
+            Err(_) => return LineRead::Closed,
+        }
+    }
+}
+
+fn write_response(stream: &mut TcpStream, response: &Response) -> bool {
+    let line = match to_json(response) {
+        Ok(l) => l,
+        Err(_) => return false,
+    };
+    stream
+        .write_all(format!("{line}\n").as_bytes())
+        .and_then(|()| stream.flush())
+        .is_ok()
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let _ = stream.set_nodelay(true);
+    let mut pending = Vec::new();
+    loop {
+        match read_line(
+            &mut stream,
+            &mut pending,
+            shared.config.max_request_bytes,
+            &shared.stop,
+        ) {
+            LineRead::Line(line) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let (response, terminal) = dispatch(&line, shared);
+                if !write_response(&mut stream, &response) || terminal {
+                    return;
+                }
+            }
+            LineRead::NotUtf8 => {
+                let keep = write_response(
+                    &mut stream,
+                    &Response::Error {
+                        error: "invalid request: line is not valid UTF-8".to_owned(),
+                        retry_after_ms: None,
+                    },
+                );
+                if !keep {
+                    return;
+                }
+            }
+            LineRead::Oversized => {
+                // A request this large is a protocol violation; the rest
+                // of the stream cannot be re-synchronized, so answer and
+                // hang up.
+                let _ = write_response(
+                    &mut stream,
+                    &Response::Error {
+                        error: format!(
+                            "request exceeds {} bytes; closing connection",
+                            shared.config.max_request_bytes
+                        ),
+                        retry_after_ms: None,
+                    },
+                );
+                return;
+            }
+            LineRead::Closed | LineRead::Stopping => return,
+        }
+    }
+}
+
+/// Parses and executes one request line. The second tuple element is
+/// true when the connection should close afterwards (shutdown).
+fn dispatch(line: &str, shared: &Shared) -> (Response, bool) {
+    let request: Request = match serde_json::from_str(line) {
+        Ok(r) => r,
+        Err(e) => {
+            return (
+                Response::Error {
+                    error: format!("invalid request: {e}"),
+                    retry_after_ms: None,
+                },
+                false,
+            )
+        }
+    };
+    match request {
+        Request::Schedule {
+            block,
+            machine,
+            mode,
+            steps,
+            placement_seed,
+            return_schedule,
+        } => {
+            let machine = match crate::machine_by_name(&machine) {
+                Ok(m) => m,
+                Err(e) => {
+                    return (
+                        Response::Error {
+                            error: e,
+                            retry_after_ms: None,
+                        },
+                        false,
+                    )
+                }
+            };
+            let homes = live_in_placement(
+                &block,
+                machine.cluster_count(),
+                placement_seed.unwrap_or(shared.config.default_placement_seed),
+            );
+            let problem = Problem {
+                block,
+                machine,
+                homes,
+                options: PolicyOptions {
+                    max_dp_steps: steps.unwrap_or(shared.config.default_steps),
+                    portfolio: mode == ScheduleMode::Portfolio,
+                },
+            };
+            let ticket = match shared.pool.try_submit(problem) {
+                Ok(t) => t,
+                Err(e) => return (submit_error(e), false),
+            };
+            match ticket.wait() {
+                Ok(solved) => (
+                    Response::Schedule(ScheduleReply {
+                        winner: solved.outcome.winner,
+                        awct: solved.outcome.awct,
+                        vc_steps: solved.outcome.vc_steps,
+                        vc_timed_out: solved.outcome.vc_timed_out,
+                        cached: solved.cached,
+                        copies: solved.outcome.schedule.copy_count(),
+                        schedule: return_schedule.then_some(solved.outcome.schedule),
+                    }),
+                    false,
+                ),
+                Err(e) => (
+                    Response::Error {
+                        error: e,
+                        retry_after_ms: None,
+                    },
+                    false,
+                ),
+            }
+        }
+        Request::Batch {
+            bench,
+            count,
+            seed,
+            machine,
+            portfolio,
+            steps,
+        } => (
+            run_service_batch(shared, bench, count, seed, machine, portfolio, steps),
+            false,
+        ),
+        Request::Stats => (Response::Stats(stats(shared)), false),
+        Request::Ping { delay_ms } => match shared.pool.probe(delay_ms) {
+            Ok(ticket) => match ticket.wait() {
+                Ok(delay) => (
+                    Response::Pong {
+                        delay_ms: delay.as_millis() as u64,
+                    },
+                    false,
+                ),
+                Err(e) => (
+                    Response::Error {
+                        error: e,
+                        retry_after_ms: None,
+                    },
+                    false,
+                ),
+            },
+            Err(e) => (submit_error(e), false),
+        },
+        Request::Shutdown => {
+            shared.request_stop();
+            (Response::Bye, true)
+        }
+    }
+}
+
+fn submit_error(e: SubmitError) -> Response {
+    let retry = match &e {
+        SubmitError::Saturated { retry_after_ms, .. } => Some(*retry_after_ms),
+        SubmitError::ShutDown => None,
+    };
+    Response::Error {
+        error: e.to_string(),
+        retry_after_ms: retry,
+    }
+}
+
+/// Runs a `batch` request: every block is admitted to the shared pool
+/// (blocking for queue space — the requesting connection is the
+/// backpressure), results are aggregated with the engine's summary code.
+fn run_service_batch(
+    shared: &Shared,
+    bench: String,
+    count: usize,
+    seed: u64,
+    machine: String,
+    portfolio: bool,
+    steps: Option<u64>,
+) -> Response {
+    let error = |msg: String| Response::Error {
+        error: msg,
+        retry_after_ms: None,
+    };
+    let machine = match crate::machine_by_name(&machine) {
+        Ok(m) => m,
+        Err(e) => return error(e),
+    };
+    let config = BatchConfig {
+        source: CorpusSource::Synth { bench, count, seed },
+        machine,
+        jobs: shared.pool.jobs(),
+        portfolio,
+        max_dp_steps: steps.unwrap_or(shared.config.default_steps),
+        ..BatchConfig::default()
+    };
+    let t0 = std::time::Instant::now();
+    let blocks = match config.source.load() {
+        Ok(b) => b,
+        Err(e) => return error(e),
+    };
+    // Admit every block through the bounded queue, then collect in
+    // corpus order — the same order-preserving contract as the batch
+    // engine's scatter, so summaries match `vcsched batch` exactly.
+    let mut tickets = Vec::with_capacity(blocks.len());
+    for (i, sb) in blocks.iter().enumerate() {
+        let homes = live_in_placement(
+            sb,
+            config.machine.cluster_count(),
+            config.placement_seed ^ i as u64,
+        );
+        let problem = Problem {
+            block: sb.clone(),
+            machine: config.machine.clone(),
+            homes,
+            options: PolicyOptions {
+                max_dp_steps: config.max_dp_steps,
+                portfolio: config.portfolio,
+            },
+        };
+        match shared.pool.submit(problem) {
+            Ok(t) => tickets.push(t),
+            Err(e) => return error(format!("batch admission failed: {e}")),
+        }
+    }
+    let mut per_block = Vec::with_capacity(tickets.len());
+    for ticket in tickets {
+        match ticket.wait() {
+            Ok(solved) => per_block.push((solved.outcome, solved.cached)),
+            Err(e) => return error(format!("batch job lost: {e}")),
+        }
+    }
+    let result = aggregate_batch(&config, &blocks, per_block, t0);
+    Response::Batch {
+        summary: serde_json::to_value(&result.summary),
+    }
+}
+
+fn stats(shared: &Shared) -> StatsReply {
+    let (accepted, rejected, completed) = shared.pool.counters();
+    let cache = shared.pool.cache();
+    let totals = cache.stats();
+    StatsReply {
+        jobs: shared.pool.jobs(),
+        queue_capacity: shared.pool.queue_capacity(),
+        queue_depth: shared.pool.queue_depth(),
+        accepted,
+        rejected,
+        completed,
+        cache: CacheReply {
+            hits: totals.hits,
+            misses: totals.misses,
+            hit_rate: totals.hit_rate(),
+            len: cache.len(),
+            shards: cache
+                .shard_stats()
+                .into_iter()
+                .map(|s| ShardReply {
+                    hits: s.hits,
+                    misses: s.misses,
+                    insertions: s.insertions,
+                    evictions: s.evictions,
+                    len: s.len,
+                })
+                .collect(),
+        },
+    }
+}

@@ -1,0 +1,265 @@
+//! Service protocol tests over real loopback sockets: malformed input,
+//! oversized requests, queue-full backpressure, and the draining
+//! `shutdown` contract.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use vcsched_service::{
+    serve, Client, Request, Response, ScheduleMode, ServerHandle, ServiceConfig,
+};
+use vcsched_workload::{benchmark, generate_block, InputSet};
+
+fn small_server(jobs: usize, queue: usize) -> ServerHandle {
+    serve(ServiceConfig {
+        addr: "127.0.0.1:0".into(),
+        jobs,
+        queue_capacity: queue,
+        cache_shards: 4,
+        max_request_bytes: 64 * 1024,
+        ..ServiceConfig::default()
+    })
+    .expect("server starts")
+}
+
+fn block_request(index: u64) -> Request {
+    let spec = benchmark("130.li").expect("known benchmark");
+    Request::Schedule {
+        block: generate_block(&spec, 99, index, InputSet::Ref),
+        machine: "2c".into(),
+        mode: ScheduleMode::Single,
+        steps: Some(5_000),
+        placement_seed: Some(index),
+        return_schedule: false,
+    }
+}
+
+#[test]
+fn malformed_json_gets_an_error_and_keeps_the_connection() {
+    let server = small_server(2, 8);
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    let raw = client
+        .request_raw("{this is not json")
+        .expect("error reply");
+    let parsed: Response = serde_json::from_str(&raw).expect("error parses");
+    match parsed {
+        Response::Error {
+            error,
+            retry_after_ms,
+        } => {
+            assert!(error.contains("invalid request"), "{error}");
+            assert_eq!(retry_after_ms, None, "parse errors carry no backoff");
+        }
+        other => panic!("expected error, got {other:?}"),
+    }
+
+    // Valid JSON of the wrong shape is also a clean protocol error.
+    let raw = client
+        .request_raw(r#"{"type":"frobnicate"}"#)
+        .expect("reply");
+    assert!(raw.contains("unknown request type"), "{raw}");
+
+    // The connection survives malformed lines: a well-formed request on
+    // the same socket still works.
+    let response = client.request(&Request::Stats).expect("stats");
+    assert!(matches!(response, Response::Stats(_)));
+
+    // A line that is not even UTF-8 gets an error response too (never a
+    // silent drop), and the connection stays usable.
+    let mut raw = TcpStream::connect(server.addr()).expect("connect");
+    raw.write_all(b"\xff\xfe not text \xff\n").expect("send");
+    let mut reader = BufReader::new(raw.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("error response");
+    assert!(line.contains("\"ok\":false"), "{line}");
+    assert!(line.contains("UTF-8"), "{line}");
+    raw.write_all(b"{\"type\":\"stats\"}\n")
+        .expect("send stats");
+    line.clear();
+    reader.read_line(&mut line).expect("stats response");
+    assert!(line.contains("\"ok\":true"), "{line}");
+
+    client.request(&Request::Shutdown).expect("shutdown");
+    server.join();
+}
+
+#[test]
+fn oversized_request_is_rejected_and_connection_closed() {
+    let server = small_server(2, 8);
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+
+    // Stream far more than max_request_bytes without a newline.
+    let junk = vec![b'x'; 80 * 1024];
+    stream.write_all(&junk).expect("send oversized");
+    stream.flush().unwrap();
+
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("error response");
+    assert!(line.contains("\"ok\":false"), "{line}");
+    assert!(line.contains("exceeds"), "{line}");
+
+    // After the error the server hangs up. Closing with our unread junk
+    // still in its receive buffer surfaces as either EOF or a reset,
+    // depending on timing — both mean "terminated".
+    let mut rest = Vec::new();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    match reader.read_to_end(&mut rest) {
+        Ok(n) => assert_eq!(n, 0, "connection must close after an oversized request"),
+        Err(e) if e.kind() == std::io::ErrorKind::ConnectionReset => {}
+        Err(e) => panic!("expected EOF or reset, got {e}"),
+    }
+
+    // The server itself is still healthy.
+    let mut client = Client::connect(server.addr()).expect("reconnect");
+    assert!(client.request(&Request::Stats).expect("stats").is_ok());
+    client.request(&Request::Shutdown).expect("shutdown");
+    server.join();
+}
+
+#[test]
+fn saturated_queue_answers_backpressure_with_retry_after() {
+    // One worker, one queue slot: deterministic saturation.
+    let server = small_server(1, 1);
+
+    // Occupy the worker with a slow ping on its own connection (the
+    // response arrives only when the worker wakes up).
+    let addr = server.addr();
+    let busy = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).expect("connect");
+        c.request(&Request::Ping { delay_ms: 1_500 }).expect("pong")
+    });
+    std::thread::sleep(Duration::from_millis(300));
+
+    // Fill the single queue slot with a second slow ping.
+    let queued = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).expect("connect");
+        c.request(&Request::Ping { delay_ms: 0 }).expect("pong")
+    });
+    std::thread::sleep(Duration::from_millis(300));
+
+    // Worker busy + queue full: the next request must be shed with a
+    // retry hint, not queued.
+    let mut client = Client::connect(server.addr()).expect("connect");
+    match client
+        .request(&Request::Ping { delay_ms: 0 })
+        .expect("reply")
+    {
+        Response::Error {
+            error,
+            retry_after_ms,
+        } => {
+            assert!(error.contains("queue full"), "{error}");
+            let retry = retry_after_ms.expect("backpressure carries retry_after_ms");
+            assert!(retry >= 25, "retry_after_ms {retry} too small");
+        }
+        other => panic!("expected backpressure error, got {other:?}"),
+    }
+
+    // Scheduling requests are shed the same way.
+    match client.request(&block_request(0)).expect("reply") {
+        Response::Error { retry_after_ms, .. } => {
+            assert!(retry_after_ms.is_some());
+        }
+        other => panic!("expected backpressure error, got {other:?}"),
+    }
+
+    // The rejections are visible in stats, and the admitted work still
+    // completes.
+    assert!(matches!(busy.join().expect("busy"), Response::Pong { .. }));
+    assert!(matches!(
+        queued.join().expect("queued"),
+        Response::Pong { .. }
+    ));
+    match client.request(&Request::Stats).expect("stats") {
+        Response::Stats(stats) => {
+            assert!(stats.rejected >= 2, "rejections must be counted");
+            assert!(stats.completed >= 2, "admitted pings must complete");
+        }
+        other => panic!("expected stats, got {other:?}"),
+    }
+
+    client.request(&Request::Shutdown).expect("shutdown");
+    server.join();
+}
+
+#[test]
+fn shutdown_drains_in_flight_work() {
+    let server = small_server(1, 4);
+    let addr = server.addr();
+
+    // A slow job is in flight on its own connection.
+    let in_flight = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).expect("connect");
+        c.request(&Request::Ping { delay_ms: 1_000 }).expect("pong")
+    });
+    std::thread::sleep(Duration::from_millis(200));
+
+    // Shutdown from a second connection acknowledges immediately...
+    let mut shutter = Client::connect(addr).expect("connect");
+    assert_eq!(
+        shutter.request(&Request::Shutdown).expect("bye"),
+        Response::Bye
+    );
+
+    // ...but the in-flight ping is drained, not dropped.
+    assert!(matches!(
+        in_flight.join().expect("in-flight"),
+        Response::Pong { delay_ms: 1_000 }
+    ));
+
+    // join() returns only after listener, connections and pool wound
+    // down; afterwards the port no longer accepts work.
+    server.join();
+    let refused = match TcpStream::connect(addr) {
+        Err(_) => true,
+        Ok(stream) => {
+            // Some platforms accept briefly in the TIME_WAIT window; a
+            // closed server must at least not answer.
+            let mut s = stream;
+            let _ = s.write_all(b"{\"type\":\"stats\"}\n");
+            let _ = s.set_read_timeout(Some(Duration::from_millis(500)));
+            let mut buf = [0u8; 1];
+            !matches!(s.read(&mut buf), Ok(n) if n > 0)
+        }
+    };
+    assert!(refused, "a shut-down server must not serve requests");
+}
+
+#[test]
+fn schedule_roundtrip_and_cache_hit_through_the_wire() {
+    let server = small_server(2, 16);
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    let cold = match client.request(&block_request(7)).expect("reply") {
+        Response::Schedule(reply) => reply,
+        other => panic!("expected schedule reply, got {other:?}"),
+    };
+    assert!(!cold.cached);
+    assert!(cold.awct > 0.0);
+
+    let warm = match client.request(&block_request(7)).expect("reply") {
+        Response::Schedule(reply) => reply,
+        other => panic!("expected schedule reply, got {other:?}"),
+    };
+    assert!(warm.cached, "repeated problem must be served from cache");
+    assert_eq!(warm.winner, cold.winner);
+    assert_eq!(warm.awct, cold.awct);
+
+    match client.request(&Request::Stats).expect("stats") {
+        Response::Stats(stats) => {
+            assert_eq!(stats.cache.hits, 1);
+            assert_eq!(stats.cache.shards.len(), 4);
+            let shard_hits: u64 = stats.cache.shards.iter().map(|s| s.hits).sum();
+            assert_eq!(shard_hits, 1, "the hit must be booked on one shard");
+        }
+        other => panic!("expected stats, got {other:?}"),
+    }
+
+    client.request(&Request::Shutdown).expect("shutdown");
+    server.join();
+}

@@ -1,0 +1,151 @@
+//! Round-trip the scheduling service: start a server (or target a
+//! running one), fire concurrent mixed-mode requests, and check every
+//! response — including that a repeated request is answered from the
+//! sharded cache.
+//!
+//! ```console
+//! $ cargo run --release --example service_roundtrip              # in-process server
+//! $ cargo run --release --example service_roundtrip 127.0.0.1:7411   # external server
+//! ```
+//!
+//! With an external address (CI boots `vcsched serve` and points this
+//! example at it) the final shutdown request stops that server too, so
+//! the smoke test ends cleanly.
+
+use vcsched::service::{serve, Client, Request, Response, ScheduleMode, ServiceConfig};
+use vcsched::workload::{benchmark, generate_block, InputSet};
+
+fn main() {
+    let external = std::env::args().nth(1);
+    let handle = if external.is_none() {
+        Some(
+            serve(ServiceConfig {
+                addr: "127.0.0.1:0".into(),
+                jobs: 4,
+                queue_capacity: 32,
+                cache_shards: 4,
+                ..ServiceConfig::default()
+            })
+            .expect("server starts"),
+        )
+    } else {
+        None
+    };
+    let addr = external.unwrap_or_else(|| handle.as_ref().unwrap().addr().to_string());
+    println!("service_roundtrip: targeting {addr}");
+
+    // Concurrent mixed-mode traffic: every thread schedules its own
+    // block, alternating the §6.1 policy and the full portfolio.
+    let workers: Vec<_> = (0..8u64)
+        .map(|i| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let spec = benchmark("099.go").expect("known benchmark");
+                let block = generate_block(&spec, 42, i, InputSet::Ref);
+                let mut client = Client::connect(addr.as_str()).expect("connect");
+                let request = Request::Schedule {
+                    block,
+                    machine: if i % 4 == 0 { "4c1" } else { "2c" }.into(),
+                    mode: if i % 2 == 0 {
+                        ScheduleMode::Single
+                    } else {
+                        ScheduleMode::Portfolio
+                    },
+                    steps: Some(5_000),
+                    placement_seed: Some(i),
+                    return_schedule: false,
+                };
+                // Honor backpressure like a real client: back off
+                // retry_after_ms and resend.
+                let mut attempts = 0;
+                loop {
+                    match client.request(&request).expect("response") {
+                        Response::Schedule(reply) => {
+                            assert!(reply.awct > 0.0, "block {i}: AWCT must be positive");
+                            break (i, reply.winner, reply.awct);
+                        }
+                        Response::Error {
+                            retry_after_ms: Some(ms),
+                            ..
+                        } if attempts < 100 => {
+                            attempts += 1;
+                            std::thread::sleep(std::time::Duration::from_millis(ms));
+                        }
+                        other => panic!("block {i}: unexpected response {other:?}"),
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        let (i, winner, awct) = w.join().expect("worker");
+        println!("  block {i}: winner {winner}, AWCT {awct:.3}");
+    }
+
+    let mut client = Client::connect(addr.as_str()).expect("connect");
+
+    // A repeated problem must be served from the cache...
+    let spec = benchmark("099.go").expect("known benchmark");
+    let repeat = Request::Schedule {
+        block: generate_block(&spec, 42, 0, InputSet::Ref),
+        machine: "4c1".into(),
+        mode: ScheduleMode::Single,
+        steps: Some(5_000),
+        placement_seed: Some(0),
+        return_schedule: false,
+    };
+    match client.request(&repeat).expect("response") {
+        Response::Schedule(reply) => {
+            assert!(reply.cached, "repeated request must hit the cache");
+            println!("  repeat: cached=true, winner {}", reply.winner);
+        }
+        other => panic!("unexpected response {other:?}"),
+    }
+
+    // ...and the hit must show up in the sharded stats.
+    match client.request(&Request::Stats).expect("response") {
+        Response::Stats(stats) => {
+            assert!(stats.cache.hits >= 1, "stats must count the cache hit");
+            assert!(!stats.cache.shards.is_empty());
+            let shard_hits: u64 = stats.cache.shards.iter().map(|s| s.hits).sum();
+            assert_eq!(shard_hits, stats.cache.hits, "shard counters must sum up");
+            println!(
+                "  stats: {} accepted, {} completed, cache {}/{} hits over {} shards",
+                stats.accepted,
+                stats.completed,
+                stats.cache.hits,
+                stats.cache.hits + stats.cache.misses,
+                stats.cache.shards.len()
+            );
+        }
+        other => panic!("unexpected response {other:?}"),
+    }
+
+    // A small batch through the same admission queue.
+    match client
+        .request(&Request::Batch {
+            bench: "130.li".into(),
+            count: 12,
+            seed: 3,
+            machine: "2c".into(),
+            portfolio: true,
+            steps: Some(5_000),
+        })
+        .expect("response")
+    {
+        Response::Batch { summary } => {
+            let blocks = summary.get("blocks").cloned();
+            println!("  batch: 12 blocks summarized ({blocks:?})");
+        }
+        other => panic!("unexpected response {other:?}"),
+    }
+
+    assert_eq!(
+        client.request(&Request::Shutdown).expect("response"),
+        Response::Bye
+    );
+    if let Some(handle) = handle {
+        handle.join();
+    }
+    println!("service_roundtrip: OK");
+}

@@ -14,7 +14,9 @@
 //! * [`sim`] — schedule validation, trace-driven execution, register
 //!   pressure, VLIW listings;
 //! * [`engine`] — the parallel batch-scheduling engine: worker pool,
-//!   portfolio mode, memoizing schedule cache;
+//!   portfolio mode, sharded memoizing schedule cache;
+//! * [`service`] — the long-running daemon: TCP server speaking
+//!   newline-delimited JSON over a bounded admission queue;
 //! * [`arch`], [`ir`], [`graph`] — machine model, superblock IR, graph
 //!   algorithms.
 
@@ -26,5 +28,6 @@ pub use vcsched_core as core;
 pub use vcsched_engine as engine;
 pub use vcsched_graph as graph;
 pub use vcsched_ir as ir;
+pub use vcsched_service as service;
 pub use vcsched_sim as sim;
 pub use vcsched_workload as workload;

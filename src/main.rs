@@ -5,6 +5,8 @@
 //! vcsched gen [OPTS]                       dump a corpus superblock as JSON
 //! vcsched schedule [OPTS]                  schedule a JSON superblock
 //! vcsched batch [OPTS]                     batch-schedule a corpus in parallel
+//! vcsched serve [OPTS]                     run the persistent scheduling service
+//! vcsched request [OPTS] CMD               talk to a running service
 //! vcsched demo                             the paper's Fig. 1 block, all machines
 //! ```
 //!
@@ -32,7 +34,15 @@ USAGE:
                      [--steps N] [--listing] [--execute] [--pressure]
     vcsched batch [--corpus FILE | --bench NAME] [--count N] [--seed N]
                   [--machine M] [--jobs N] [--portfolio] [--cache DIR]
-                  [--steps N] [--details]
+                  [--cache-shards N] [--steps N] [--details]
+    vcsched serve [--addr HOST:PORT] [--jobs N] [--queue N] [--cache DIR]
+                  [--cache-shards N] [--steps N] [--max-request BYTES]
+    vcsched request [--addr HOST:PORT] (stats | shutdown | ping [--delay-ms N]
+                  | schedule --block FILE [--machine M] [--mode single|portfolio]
+                    [--steps N] [--placement-seed N] [--return-schedule]
+                  | batch [--bench NAME] [--count N] [--seed N] [--machine M]
+                    [--portfolio] [--steps N]
+                  | --json LINE)
     vcsched demo
     vcsched help
 
@@ -44,9 +54,22 @@ BATCH:
     scheduling within a deduction-step budget (--steps), CARS fallback
     on timeout. --portfolio races UAS and two-phase too, keeping the
     best validated schedule. --cache DIR persists a content-addressed
-    schedule cache so repeated runs are near-instant. Prints a JSON
+    schedule cache so repeated runs are near-instant; --cache-shards
+    partitions it N ways (one lock per shard, default 8). Prints a JSON
     summary (per-scheduler win counts, aggregate AWCT, wall-clock,
     cache hit rate); --details adds per-block JSONL on stderr.
+
+SERVE / REQUEST:
+    `serve` runs the engine as a daemon: a TCP listener (default
+    127.0.0.1:7411) speaking newline-delimited JSON — one request
+    object in, one response object out. Work is admitted to a bounded
+    queue (--queue, default 64) in front of --jobs workers; when the
+    queue is full the server rejects with
+    {\"ok\":false,...,\"retry_after_ms\":N} instead of queueing
+    unboundedly. All schedules flow through the sharded cache; `stats`
+    reports queue depth and per-shard hit/eviction counters. `request`
+    is the matching thin client; `--json LINE` sends a raw protocol
+    line. A `shutdown` request drains in-flight work, then exits.
 
 MACHINES (for --machine):
     2c        paper config 1: 2 clusters, 8-issue, 1-cycle bus   [default]
@@ -69,6 +92,8 @@ fn main() -> ExitCode {
         "gen" => cmd_gen(&args[1..]),
         "schedule" => cmd_schedule(&args[1..]),
         "batch" => cmd_batch(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
+        "request" => cmd_request(&args[1..]),
         "demo" => cmd_demo(),
         "help" | "--help" | "-h" => {
             print!("{HELP}");
@@ -97,22 +122,18 @@ fn has_flag(args: &[String], name: &str) -> bool {
 }
 
 fn machine_by_name(name: &str) -> Result<MachineConfig, String> {
-    match name {
-        "2c" => Ok(MachineConfig::paper_2c_8w()),
-        "4c1" => Ok(MachineConfig::paper_4c_16w_lat1()),
-        "4c2" => Ok(MachineConfig::paper_4c_16w_lat2()),
-        "hetero" => Ok(MachineConfig::hetero_2c()),
-        other => Err(format!("unknown machine `{other}` (2c, 4c1, 4c2, hetero)")),
-    }
+    // One preset table for the CLI and the service wire protocol.
+    MachineConfig::preset(name).ok_or_else(|| {
+        format!(
+            "unknown machine `{name}` (one of {})",
+            MachineConfig::PRESET_KEYS.join(", ")
+        )
+    })
 }
 
 fn cmd_machines() -> Result<(), String> {
-    for (key, m) in [
-        ("2c", MachineConfig::paper_2c_8w()),
-        ("4c1", MachineConfig::paper_4c_16w_lat1()),
-        ("4c2", MachineConfig::paper_4c_16w_lat2()),
-        ("hetero", MachineConfig::hetero_2c()),
-    ] {
+    for key in MachineConfig::PRESET_KEYS {
+        let m = MachineConfig::preset(key).expect("preset key resolves");
         println!("{key:<8} {m}");
     }
     Ok(())
@@ -288,6 +309,10 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
             .parse()
             .map_err(|e| format!("--steps: {e}"))?,
         cache_dir: flag_value(args, "--cache").map(Into::into),
+        cache_shards: flag_value(args, "--cache-shards")
+            .unwrap_or("8")
+            .parse()
+            .map_err(|e| format!("--cache-shards: {e}"))?,
         ..vcsched::engine::BatchConfig::default()
     };
     let result = vcsched::engine::run_batch(&config)?;
@@ -304,6 +329,142 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         serde_json::to_string_pretty(&result.summary).map_err(|e| e.to_string())?
     );
     Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let parse = |flag: &str, default: &str| -> Result<usize, String> {
+        flag_value(args, flag)
+            .unwrap_or(default)
+            .parse()
+            .map_err(|e| format!("{flag}: {e}"))
+    };
+    let config = vcsched::service::ServiceConfig {
+        addr: flag_value(args, "--addr")
+            .unwrap_or("127.0.0.1:7411")
+            .to_owned(),
+        jobs: match flag_value(args, "--jobs") {
+            Some(n) => n.parse().map_err(|e| format!("--jobs: {e}"))?,
+            None => vcsched::engine::default_jobs(),
+        },
+        queue_capacity: parse("--queue", "64")?,
+        cache_capacity: parse("--cache-capacity", "65536")?,
+        cache_shards: parse("--cache-shards", "8")?,
+        cache_dir: flag_value(args, "--cache").map(Into::into),
+        max_request_bytes: parse("--max-request", "1048576")?,
+        default_steps: flag_value(args, "--steps")
+            .unwrap_or("300000")
+            .parse()
+            .map_err(|e| format!("--steps: {e}"))?,
+        ..vcsched::service::ServiceConfig::default()
+    };
+    let jobs = config.jobs;
+    let shards = config.cache_shards;
+    let handle = vcsched::service::serve(config)?;
+    eprintln!(
+        "vcsched serve: listening on {} ({jobs} jobs, {shards} cache shards); \
+         send {{\"type\":\"shutdown\"}} to stop",
+        handle.addr()
+    );
+    handle.join();
+    eprintln!("vcsched serve: drained and stopped");
+    Ok(())
+}
+
+fn cmd_request(args: &[String]) -> Result<(), String> {
+    use vcsched::service::{Client, Request, ScheduleMode};
+
+    let addr = flag_value(args, "--addr").unwrap_or("127.0.0.1:7411");
+    let mut client = Client::connect(addr)?;
+
+    // Raw escape hatch first: forward the line verbatim, print the reply.
+    if let Some(line) = flag_value(args, "--json") {
+        let raw = client.request_raw(line)?;
+        println!("{raw}");
+        let parsed: vcsched::service::Response =
+            serde_json::from_str(&raw).map_err(|e| format!("bad response: {e}"))?;
+        return if parsed.is_ok() {
+            Ok(())
+        } else {
+            Err("request failed (see response above)".to_owned())
+        };
+    }
+
+    // The verb is the first token that is not a flag or a flag's value.
+    let boolean_flags = ["--portfolio", "--return-schedule"];
+    let mut verb = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i].starts_with("--") {
+            i += if boolean_flags.contains(&args[i].as_str()) {
+                1
+            } else {
+                2
+            };
+        } else {
+            verb = Some(args[i].clone());
+            break;
+        }
+    }
+    let verb = verb
+        .ok_or("request verb required: stats, shutdown, ping, schedule, batch (or --json LINE)")?;
+    let steps = match flag_value(args, "--steps") {
+        Some(n) => Some(n.parse().map_err(|e| format!("--steps: {e}"))?),
+        None => None,
+    };
+    let request = match verb.as_str() {
+        "stats" => Request::Stats,
+        "shutdown" => Request::Shutdown,
+        "ping" => Request::Ping {
+            delay_ms: flag_value(args, "--delay-ms")
+                .unwrap_or("0")
+                .parse()
+                .map_err(|e| format!("--delay-ms: {e}"))?,
+        },
+        "schedule" => {
+            let path = flag_value(args, "--block").ok_or("--block FILE is required")?;
+            let data = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            Request::Schedule {
+                block: serde_json::from_str(&data).map_err(|e| format!("{path}: {e}"))?,
+                machine: flag_value(args, "--machine").unwrap_or("2c").to_owned(),
+                mode: match flag_value(args, "--mode").unwrap_or("single") {
+                    "single" => ScheduleMode::Single,
+                    "portfolio" => ScheduleMode::Portfolio,
+                    other => return Err(format!("--mode: unknown mode `{other}`")),
+                },
+                steps,
+                placement_seed: match flag_value(args, "--placement-seed") {
+                    Some(n) => Some(n.parse().map_err(|e| format!("--placement-seed: {e}"))?),
+                    None => None,
+                },
+                return_schedule: has_flag(args, "--return-schedule"),
+            }
+        }
+        "batch" => Request::Batch {
+            bench: flag_value(args, "--bench").unwrap_or("099.go").to_owned(),
+            count: flag_value(args, "--count")
+                .unwrap_or("100")
+                .parse()
+                .map_err(|e| format!("--count: {e}"))?,
+            seed: flag_value(args, "--seed")
+                .unwrap_or("7")
+                .parse()
+                .map_err(|e| format!("--seed: {e}"))?,
+            machine: flag_value(args, "--machine").unwrap_or("2c").to_owned(),
+            portfolio: has_flag(args, "--portfolio"),
+            steps,
+        },
+        other => return Err(format!("unknown request verb `{other}`")),
+    };
+    let response = client.request(&request)?;
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&response).map_err(|e| e.to_string())?
+    );
+    if response.is_ok() {
+        Ok(())
+    } else {
+        Err("request failed (see response above)".to_owned())
+    }
 }
 
 fn cmd_demo() -> Result<(), String> {

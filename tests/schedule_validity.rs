@@ -1,0 +1,151 @@
+//! Property tests: schedule-validity invariants for every scheduler the
+//! engine can race — vc (with CARS fallback), cars, uas, two-phase, and
+//! the full portfolio — over synthesized superblocks.
+//!
+//! The invariants checked for every produced schedule:
+//!
+//! * **every op is issued exactly once** — the schedule's cycle and
+//!   cluster vectors are dense over the block (one slot per instruction,
+//!   no op missing, none duplicated), every cycle is non-negative and
+//!   every cluster exists on the machine;
+//! * **dependence constraints respected** — `vcsched-sim`'s validator
+//!   checks every dependence edge, including cross-cluster data flow
+//!   being routed through an in-time copy;
+//! * **resource constraints respected** — the same validator checks
+//!   per-cycle FU capacity, issue width, branch caps and bus bandwidth.
+
+use proptest::prelude::*;
+use vcsched::arch::MachineConfig;
+use vcsched::baselines::{ClusterOrder, TwoPhaseScheduler, UasScheduler};
+use vcsched::cars::CarsScheduler;
+use vcsched::engine::{schedule_block, PolicyOptions, SchedulerKind, STEPS_1S};
+use vcsched::ir::{Schedule, Superblock};
+use vcsched::workload::{benchmarks, generate_block, live_in_placement, InputSet};
+
+fn machines() -> Vec<MachineConfig> {
+    let mut m = MachineConfig::paper_eval_configs();
+    m.push(MachineConfig::hetero_2c());
+    m
+}
+
+/// The "issued exactly once" invariant plus machine-shape sanity; the
+/// dependence and resource invariants are delegated to the validator.
+fn assert_valid(tag: &str, sb: &Superblock, machine: &MachineConfig, schedule: &Schedule) {
+    assert_eq!(
+        schedule.cycles.len(),
+        sb.len(),
+        "{tag}: every op must get exactly one issue cycle on {}",
+        sb.name()
+    );
+    assert_eq!(
+        schedule.clusters.len(),
+        sb.len(),
+        "{tag}: every op must get exactly one cluster on {}",
+        sb.name()
+    );
+    for id in sb.ids() {
+        assert!(
+            schedule.cycle(id) >= 0,
+            "{tag}: op {id:?} of {} issued before cycle 0",
+            sb.name()
+        );
+        assert!(
+            (schedule.cluster(id).0 as usize) < machine.cluster_count(),
+            "{tag}: op {id:?} of {} placed on a nonexistent cluster",
+            sb.name()
+        );
+    }
+    if let Err(violations) = vcsched::sim::validate(sb, machine, schedule) {
+        panic!(
+            "{tag}: dependence/resource violations on {} / {}: {violations:?}",
+            sb.name(),
+            machine.name()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn policy_schedules_are_valid(
+        spec_idx in 0usize..14,
+        block in 0u64..40,
+        machine_idx in 0usize..4,
+        portfolio in any::<bool>(),
+    ) {
+        let spec = &benchmarks()[spec_idx];
+        let machine = machines()[machine_idx].clone();
+        let sb = generate_block(spec, 41, block, InputSet::Ref);
+        let homes = live_in_placement(&sb, machine.cluster_count(), block);
+        let out = schedule_block(
+            &sb,
+            &machine,
+            &homes,
+            &PolicyOptions {
+                max_dp_steps: STEPS_1S,
+                portfolio,
+            },
+        );
+        assert_valid(
+            if portfolio { "portfolio" } else { "policy" },
+            &sb,
+            &machine,
+            &out.schedule,
+        );
+        prop_assert!(out.awct > 0.0);
+        if !portfolio {
+            prop_assert!(matches!(
+                out.winner,
+                SchedulerKind::Vc | SchedulerKind::Cars
+            ));
+        }
+        if out.vc_timed_out {
+            prop_assert!(out.winner != SchedulerKind::Vc);
+        }
+    }
+
+    #[test]
+    fn cars_schedules_are_valid(
+        spec_idx in 0usize..14,
+        block in 0u64..40,
+        machine_idx in 0usize..4,
+    ) {
+        let spec = &benchmarks()[spec_idx];
+        let machine = machines()[machine_idx].clone();
+        let sb = generate_block(spec, 43, block, InputSet::Ref);
+        let homes = live_in_placement(&sb, machine.cluster_count(), block);
+        let out = CarsScheduler::new(machine.clone()).schedule_with_live_ins(&sb, &homes);
+        assert_valid("cars", &sb, &machine, &out.schedule);
+        prop_assert!(out.awct > 0.0);
+    }
+
+    #[test]
+    fn uas_schedules_are_valid(
+        spec_idx in 0usize..14,
+        block in 0u64..40,
+        machine_idx in 0usize..4,
+    ) {
+        let spec = &benchmarks()[spec_idx];
+        let machine = machines()[machine_idx].clone();
+        let sb = generate_block(spec, 47, block, InputSet::Ref);
+        let homes = live_in_placement(&sb, machine.cluster_count(), block);
+        let out = UasScheduler::new(machine.clone(), ClusterOrder::Cwp)
+            .schedule_with_live_ins(&sb, &homes);
+        assert_valid("uas", &sb, &machine, &out.schedule);
+    }
+
+    #[test]
+    fn two_phase_schedules_are_valid(
+        spec_idx in 0usize..14,
+        block in 0u64..40,
+        machine_idx in 0usize..4,
+    ) {
+        let spec = &benchmarks()[spec_idx];
+        let machine = machines()[machine_idx].clone();
+        let sb = generate_block(spec, 53, block, InputSet::Ref);
+        let homes = live_in_placement(&sb, machine.cluster_count(), block);
+        let out = TwoPhaseScheduler::new(machine.clone()).schedule_with_live_ins(&sb, &homes);
+        assert_valid("two-phase", &sb, &machine, &out.schedule);
+    }
+}
