@@ -5,9 +5,9 @@
 //!
 //! * **integrated single-pass** schedulers, which decide scheduling and
 //!   assignment per instruction — CARS (the paper's baseline, in
-//!   `vcsched-cars`) and UAS [24], reproduced here as [`UasScheduler`];
+//!   `vcsched-cars`) and UAS \[24\], reproduced here as [`UasScheduler`];
 //! * **two-phase** approaches, which partition the dependence graph first
-//!   and then schedule within the fixed partition [10][3][17][9][6][20] —
+//!   and then schedule within the fixed partition \[10\]\[3\]\[17\]\[9\]\[6\]\[20\] —
 //!   reproduced here as [`TwoPhaseScheduler`].
 //!
 //! Both produce the workspace-wide [`Schedule`] format and validate under
@@ -43,6 +43,9 @@ mod uas;
 pub use two_phase::TwoPhaseScheduler;
 pub use uas::{ClusterOrder, UasScheduler};
 
+// `UasPolicy` / `TwoPhasePolicy` (defined below) adapt both baselines to
+// the workspace-wide `vcsched_policy::SchedulePolicy` interface.
+
 use vcsched_ir::{InstId, Schedule, Superblock};
 
 /// Result of a baseline scheduling run. Like CARS, these list schedulers
@@ -53,6 +56,68 @@ pub struct BaselineOutcome {
     pub schedule: Schedule,
     /// Achieved average weighted completion time.
     pub awct: f64,
+}
+
+use vcsched_arch::{ClusterId, MachineConfig};
+use vcsched_policy::{PolicyBudget, PolicyOutcome, SchedulePolicy};
+
+/// UAS as a portfolio policy (CWP cluster order unless configured
+/// otherwise). Single-pass and infallible; ignores the step budget.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UasPolicy {
+    /// Cluster-priority heuristic handed to [`UasScheduler`].
+    pub order: ClusterOrder,
+}
+
+impl UasPolicy {
+    /// The paper's §6.1 configuration: completion-weighted predecessors.
+    pub fn cwp() -> UasPolicy {
+        UasPolicy {
+            order: ClusterOrder::Cwp,
+        }
+    }
+}
+
+impl SchedulePolicy for UasPolicy {
+    fn name(&self) -> &'static str {
+        "uas"
+    }
+
+    fn schedule(
+        &self,
+        block: &Superblock,
+        machine: &MachineConfig,
+        homes: &[ClusterId],
+        _budget: &PolicyBudget,
+    ) -> PolicyOutcome {
+        let start = std::time::Instant::now();
+        let out =
+            UasScheduler::new(machine.clone(), self.order).schedule_with_live_ins(block, homes);
+        PolicyOutcome::solved(out.schedule, out.awct, 0, start.elapsed())
+    }
+}
+
+/// Two-phase partition-then-schedule as a portfolio policy. Single-pass
+/// and infallible; ignores the step budget.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TwoPhasePolicy;
+
+impl SchedulePolicy for TwoPhasePolicy {
+    fn name(&self) -> &'static str {
+        "two-phase"
+    }
+
+    fn schedule(
+        &self,
+        block: &Superblock,
+        machine: &MachineConfig,
+        homes: &[ClusterId],
+        _budget: &PolicyBudget,
+    ) -> PolicyOutcome {
+        let start = std::time::Instant::now();
+        let out = TwoPhaseScheduler::new(machine.clone()).schedule_with_live_ins(block, homes);
+        PolicyOutcome::solved(out.schedule, out.awct, 0, start.elapsed())
+    }
 }
 
 /// Weighted critical-path priorities shared by the baselines:

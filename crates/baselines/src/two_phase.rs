@@ -1,6 +1,6 @@
 //! Two-phase partition-then-schedule, the pre-integrated school of
-//! clustered code generation (Ellis' Bulldog [10], Capitanio et al. [3],
-//! Jang et al. [17]).
+//! clustered code generation (Ellis' Bulldog \[10\], Capitanio et al. \[3\],
+//! Jang et al. \[17\]).
 //!
 //! **Phase 1** partitions the dependence graph over clusters with a greedy
 //! affinity pass in estart order: each instruction goes to the cluster

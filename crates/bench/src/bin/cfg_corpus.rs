@@ -75,7 +75,11 @@ fn main() {
             let c = cars.schedule(sb);
             let v = match vc.schedule(sb) {
                 Ok(out) => out.awct.min(c.awct),
-                Err(VcError::BudgetExhausted) | Err(VcError::BumpLimitReached) => c.awct,
+                // No cutoff configured: `Beaten` cannot occur, but every
+                // give-up falls back to CARS either way (§6.1).
+                Err(VcError::BudgetExhausted | VcError::BumpLimitReached | VcError::Beaten) => {
+                    c.awct
+                }
             };
             (c.awct * w, v * w)
         });

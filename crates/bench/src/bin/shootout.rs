@@ -1,10 +1,10 @@
 //! Scheduler shoot-out (beyond the paper's tables): every scheduler family
 //! from the paper's related work (§7) on the same corpus and machines.
 //!
-//! * **two-phase** — partition first, schedule second [10][3][17];
-//! * **UAS** — integrated, cycle-driven, per-instruction decisions [24],
+//! * **two-phase** — partition first, schedule second \[10\]\[3\]\[17\];
+//! * **UAS** — integrated, cycle-driven, per-instruction decisions \[24\],
 //!   with the three cluster-priority heuristics;
-//! * **CARS** — integrated, operation-driven (the paper's baseline) [18];
+//! * **CARS** — integrated, operation-driven (the paper's baseline) \[18\];
 //! * **VC** — this paper: deduction-driven with delayed assignment.
 //!
 //! Reported numbers are total weighted cycles normalised to CARS = 1.000

@@ -261,6 +261,38 @@ fn weighted_priorities(sb: &Superblock) -> Vec<f64> {
         .collect()
 }
 
+/// CARS as a portfolio policy. Single-pass list scheduling cannot fail,
+/// so this policy ignores the step budget and never takes a fallback —
+/// which is exactly why the paper (§6.1) and the engine use CARS *as*
+/// the fallback.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CarsPolicy;
+
+impl CarsPolicy {
+    /// The CARS policy.
+    pub fn new() -> CarsPolicy {
+        CarsPolicy
+    }
+}
+
+impl vcsched_policy::SchedulePolicy for CarsPolicy {
+    fn name(&self) -> &'static str {
+        "cars"
+    }
+
+    fn schedule(
+        &self,
+        block: &Superblock,
+        machine: &MachineConfig,
+        homes: &[ClusterId],
+        _budget: &vcsched_policy::PolicyBudget,
+    ) -> vcsched_policy::PolicyOutcome {
+        let start = std::time::Instant::now();
+        let out = CarsScheduler::new(machine.clone()).schedule_with_live_ins(block, homes);
+        vcsched_policy::PolicyOutcome::solved(out.schedule, out.awct, 0, start.elapsed())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -2,7 +2,7 @@
 //! scheduler IR of `vcsched-ir`.
 //!
 //! Side entrances into the middle of a trace are removed by *tail
-//! duplication* exactly as in the superblock paper [16]: the duplicated
+//! duplication* exactly as in the superblock paper \[16\]: the duplicated
 //! tail becomes its own (shorter) superblock whose profile weight is the
 //! side-entrance count, and the main trace keeps the head-entry count.
 //!

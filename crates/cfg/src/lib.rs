@@ -4,7 +4,7 @@
 //! a top-down fashion. For each superblock visited the DG is built and the
 //! scheduling technique is applied").
 //!
-//! The paper obtains superblocks from the IMPACT compiler [5] running on
+//! The paper obtains superblocks from the IMPACT compiler \[5\] running on
 //! SpecInt95 / MediaBench. This crate reproduces that front end on
 //! synthetic functions:
 //!

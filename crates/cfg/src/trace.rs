@@ -1,7 +1,7 @@
 //! Trace selection: picking the hot paths that become superblocks.
 //!
 //! Implements the classic mutually-most-likely trace growing of Hwu et
-//! al.'s superblock work [16]: seed at the hottest unassigned block, grow
+//! al.'s superblock work \[16\]: seed at the hottest unassigned block, grow
 //! forward along the most frequent successor edge while (a) the edge is
 //! likely enough, (b) the successor is not already in a trace, and (c) the
 //! current block is also the successor's most frequent predecessor.

@@ -29,6 +29,7 @@ pub mod combination;
 pub mod decision;
 pub mod dp;
 pub mod init;
+pub mod policy;
 pub mod scheduler;
 pub mod search;
 pub mod stages;
@@ -37,6 +38,7 @@ pub mod state;
 pub use combination::{CombDomain, CombRange};
 pub use decision::Decision;
 pub use dp::{Budget, Contradiction, DpAbort};
-pub use scheduler::{VcError, VcOptions, VcOutcome, VcScheduler, VcStats};
+pub use policy::VcPolicy;
+pub use scheduler::{VcAttempt, VcError, VcOptions, VcOutcome, VcScheduler, VcStats};
 pub use search::{SearchFail, SearchResult};
 pub use state::{Comm, CommKind, EdgeState, NodeId, NodeKind, SchedulingState, StateCtx, Tuning};

@@ -14,7 +14,7 @@ use crate::state::{StateCtx, Tuning};
 /// The defaults are generous enough for typical superblocks; the experiment
 /// harness lowers `max_dp_steps` to reproduce the paper's compile-time
 /// thresholds (1-minute vs 4-minute timeouts, §6.1).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VcOptions {
     /// Cap on deduction-process rule firings for one superblock.
     pub max_dp_steps: u64,
@@ -22,6 +22,13 @@ pub struct VcOptions {
     pub max_awct_bumps: u32,
     /// Optional wall-clock limit for one superblock.
     pub time_limit: Option<Duration>,
+    /// Cooperative early-cancel: abandon the search with
+    /// [`VcError::Beaten`] when the *certified* AWCT lower bound (the
+    /// enhanced minAWCT of §4.2) strictly exceeds this value — a racing
+    /// driver already holds a schedule this search can only lose to.
+    /// Strict comparison keeps ties alive, so cancellation never changes
+    /// which schedule a deterministic portfolio picks.
+    pub awct_cutoff: Option<f64>,
     /// Ablation switches (all off for the paper's configuration).
     pub tuning: Tuning,
 }
@@ -32,6 +39,7 @@ impl Default for VcOptions {
             max_dp_steps: 4_000_000,
             max_awct_bumps: 128,
             time_limit: None,
+            awct_cutoff: None,
             tuning: Tuning::default(),
         }
     }
@@ -71,6 +79,10 @@ pub enum VcError {
     BudgetExhausted,
     /// No schedule found within the AWCT bump limit.
     BumpLimitReached,
+    /// [`VcOptions::awct_cutoff`] proved the search could only lose: the
+    /// certified lower bound strictly exceeds a schedule the driver
+    /// already holds.
+    Beaten,
 }
 
 impl std::fmt::Display for VcError {
@@ -78,6 +90,7 @@ impl std::fmt::Display for VcError {
         match self {
             VcError::BudgetExhausted => write!(f, "scheduling budget exhausted"),
             VcError::BumpLimitReached => write!(f, "AWCT bump limit reached"),
+            VcError::Beaten => write!(f, "abandoned: a better schedule is already in hand"),
         }
     }
 }
@@ -161,16 +174,28 @@ impl VcScheduler {
         sb: &Superblock,
         live_in_homes: &[ClusterId],
     ) -> Result<VcOutcome, VcError> {
+        self.try_schedule_with_live_ins(sb, live_in_homes).result
+    }
+
+    /// Like [`VcScheduler::schedule_with_live_ins`], but the telemetry
+    /// (deduction steps spent, wall-clock) survives failure too — what a
+    /// portfolio racer reports for a losing or abandoned attempt.
+    pub fn try_schedule_with_live_ins(
+        &self,
+        sb: &Superblock,
+        live_in_homes: &[ClusterId],
+    ) -> VcAttempt {
         let start = Instant::now();
         let ctx = StateCtx::with_tuning(sb, &self.machine, self.options.tuning);
         let deadline = self.options.time_limit.map(|d| start + d);
         let mut budget = Budget::new(self.options.max_dp_steps, deadline);
-        match search(
+        let result = match search(
             sb,
             &ctx,
             live_in_homes,
             &mut budget,
             self.options.max_awct_bumps,
+            self.options.awct_cutoff,
         ) {
             Ok(r) => Ok(VcOutcome {
                 awct: r.awct,
@@ -185,6 +210,23 @@ impl VcScheduler {
             }),
             Err(SearchFail::Budget) => Err(VcError::BudgetExhausted),
             Err(SearchFail::BumpLimit) => Err(VcError::BumpLimitReached),
+            Err(SearchFail::Beaten) => Err(VcError::Beaten),
+        };
+        VcAttempt {
+            result,
+            dp_steps: budget.spent(),
+            wall: start.elapsed(),
         }
     }
+}
+
+/// One scheduling attempt with its telemetry, successful or not.
+#[derive(Debug, Clone)]
+pub struct VcAttempt {
+    /// The outcome (or why the attempt was abandoned).
+    pub result: Result<VcOutcome, VcError>,
+    /// Deduction steps consumed, including failed attempts.
+    pub dp_steps: u64,
+    /// Wall-clock spent.
+    pub wall: Duration,
 }

@@ -32,6 +32,10 @@ pub enum SearchFail {
     Budget,
     /// The AWCT bump limit was reached without finding a schedule.
     BumpLimit,
+    /// The caller's AWCT cutoff proved the search can only lose: the
+    /// certified lower bound (enhanced minAWCT, §4.2) strictly exceeds a
+    /// schedule already in hand.
+    Beaten,
 }
 
 /// Maximum per-exit enhancement iterations in the minAWCT computation.
@@ -221,6 +225,7 @@ pub fn search(
     live_in_homes: &[ClusterId],
     budget: &mut Budget,
     max_bumps: u32,
+    awct_cutoff: Option<f64>,
 ) -> Result<SearchResult, SearchFail> {
     let windows = sg_windows(ctx);
     let probs: Vec<f64> = sb.exits().map(|(_, p)| p).collect();
@@ -230,6 +235,13 @@ pub fn search(
         Err(DpAbort::Contradiction(_)) => unreachable!("enhancement absorbs contradictions"),
     };
     let min_awct = ExitTargets::new(sb, targets.clone()).awct();
+    // Cooperative early-cancel: `min_awct` is a *certified* lower bound on
+    // any schedule this search can produce, so strictly exceeding the
+    // cutoff proves the search would lose the race. (Strict: a tie can
+    // still win on portfolio set order, so keep working.)
+    if awct_cutoff.is_some_and(|cutoff| min_awct > cutoff) {
+        return Err(SearchFail::Beaten);
+    }
     let mut bumps = 0;
     // Failures in the cluster stages (3/4) depend on the pin structure, not
     // on the AWCT value, so repeating them across bumps is a dead end; give

@@ -70,6 +70,9 @@ proptest! {
                 prop_assert!(out.awct + 1e-9 >= out.stats.min_awct);
             }
             Err(VcError::BudgetExhausted) | Err(VcError::BumpLimitReached) => {}
+            // No cutoff is configured here, so the search can never be
+            // cancelled by a racing schedule.
+            Err(VcError::Beaten) => prop_assert!(false, "beaten without a cutoff"),
         }
     }
 

@@ -35,7 +35,7 @@ use std::sync::Mutex;
 use serde::{Deserialize, Serialize};
 use vcsched_ir::Schedule;
 
-use crate::portfolio::SchedulerKind;
+use crate::portfolio::PolicyStat;
 
 /// Stable FNV-1a over bytes; the cache's content hash.
 pub fn fnv1a(bytes: &[u8]) -> u64 {
@@ -78,7 +78,11 @@ fn journal_ends_mid_line(path: &Path) -> bool {
 }
 
 /// What the cache remembers for one scheduling problem.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `Deserialize` is implemented by hand (not derived) so journals written
+/// before per-policy telemetry existed still replay: a missing `stats`
+/// field defaults to empty instead of failing the line.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct CacheEntry {
     /// Hex form of the problem hash (the JSONL join key).
     pub key: String,
@@ -86,8 +90,8 @@ pub struct CacheEntry {
     /// checked on every lookup so a primary-hash collision degrades to a
     /// miss instead of returning the wrong schedule.
     pub check: String,
-    /// Which scheduler produced the winning schedule.
-    pub winner: SchedulerKind,
+    /// Name of the policy that produced the winning schedule.
+    pub winner: String,
     /// Validated AWCT of the winning schedule.
     pub awct: f64,
     /// Deduction steps the VC scheduler spent (0 if VC was not run).
@@ -96,6 +100,27 @@ pub struct CacheEntry {
     pub vc_timed_out: bool,
     /// The winning schedule itself.
     pub schedule: Schedule,
+    /// Per-policy telemetry of the run that produced this entry.
+    pub stats: Vec<PolicyStat>,
+}
+
+impl Deserialize for CacheEntry {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let req = |name: &str| serde::field(v, "CacheEntry", name);
+        Ok(CacheEntry {
+            key: Deserialize::from_value(req("key")?)?,
+            check: Deserialize::from_value(req("check")?)?,
+            winner: Deserialize::from_value(req("winner")?)?,
+            awct: Deserialize::from_value(req("awct")?)?,
+            vc_steps: Deserialize::from_value(req("vc_steps")?)?,
+            vc_timed_out: Deserialize::from_value(req("vc_timed_out")?)?,
+            schedule: Deserialize::from_value(req("schedule")?)?,
+            stats: match v.get("stats") {
+                None | Some(serde::Value::Null) => Vec::new(),
+                Some(field) => Deserialize::from_value(field)?,
+            },
+        })
+    }
 }
 
 /// Hit/miss counters, snapshotted into the batch summary.
@@ -433,7 +458,7 @@ mod tests {
         CacheEntry {
             key: format!("{key:016x}"),
             check: format!("{key:016x}"),
-            winner: SchedulerKind::Cars,
+            winner: "cars".to_owned(),
             awct,
             vc_steps: 0,
             vc_timed_out: false,
@@ -442,6 +467,7 @@ mod tests {
                 clusters: vec![vcsched_arch::ClusterId(0); 2],
                 copies: vec![],
             },
+            stats: Vec::new(),
         }
     }
 
@@ -573,7 +599,18 @@ mod tests {
         let c = ScheduleCache::persistent_sharded(&dir, 64, 4).expect("reopen");
         let hit = c.get(42, 42).expect("replayed from disk");
         assert_eq!(hit.awct, 7.5);
-        assert_eq!(hit.winner, SchedulerKind::Cars);
+        assert_eq!(hit.winner, "cars");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journal_lines_without_stats_still_replay() {
+        // A journal written before per-policy telemetry existed: the
+        // entry must replay with empty stats, not be skipped as corrupt.
+        let legacy = serde_json::to_string(&entry(9, 2.5)).unwrap();
+        let legacy = legacy.replace(",\"stats\":[]", "");
+        assert!(!legacy.contains("stats"), "{legacy}");
+        let parsed: CacheEntry = serde_json::from_str(&legacy).expect("legacy line parses");
+        assert_eq!(parsed, entry(9, 2.5));
     }
 }

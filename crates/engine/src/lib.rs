@@ -7,16 +7,23 @@
 //! * a [`pool`] of worker threads (`std::thread` + channels) fans a corpus
 //!   of superblocks out over all cores, returning results in corpus order
 //!   so every run is deterministic regardless of `--jobs`;
-//! * [`portfolio`] schedules each block under the §6.1 policy — the
-//!   virtual-cluster scheduler under a deduction-step budget with CARS
-//!   fallback — optionally widened to a four-scheduler portfolio (VC,
-//!   CARS, UAS, two-phase) whose candidates race on scoped threads and
-//!   are validated by `vcsched-sim` before the best AWCT wins;
+//! * [`portfolio`] races an arbitrary [`PolicySet`] of registered
+//!   [`SchedulePolicy`] implementations per block — the default `vc,cars`
+//!   pair is the paper's §6.1 policy (the virtual-cluster scheduler under
+//!   a deduction-step budget with CARS fallback), `vc,cars,uas,two-phase`
+//!   the full portfolio. Single-pass members race on scoped threads,
+//!   every candidate is validated by `vcsched-sim`, ties break by the
+//!   set's canonical order, and a shared best-AWCT bound lets a provably
+//!   beaten exhaustive search abandon its work early;
+//! * a [`registry`] owns the canonical name → constructor table
+//!   ([`PolicyRegistry`]), so CLI flags, wire requests and cache keys all
+//!   resolve policies the same way and a new policy is a one-file
+//!   addition;
 //! * a content-addressed [`cache`] memoizes schedules by a stable FNV
-//!   hash of the canonical problem (superblock JSON + machine + options +
-//!   live-in placement), with a hash-sharded in-memory LRU (one lock per
-//!   shard, per-shard counters) and an optional on-disk JSONL journal,
-//!   so repeated corpus runs are near-instant;
+//!   hash of the canonical problem (superblock JSON + machine + policy
+//!   set + budget + live-in placement), with a hash-sharded in-memory LRU
+//!   (one lock per shard, per-shard counters) and an optional on-disk
+//!   JSONL journal, so repeated corpus runs are near-instant;
 //! * a [`submit`] pool keeps workers resident behind a bounded admission
 //!   queue with backpressure — the engine side of `vcsched serve`;
 //! * [`corpus`] streams superblocks from JSONL files or synthesizes them
@@ -47,6 +54,7 @@ pub mod cache;
 pub mod corpus;
 pub mod pool;
 pub mod portfolio;
+pub mod registry;
 pub mod submit;
 
 use std::path::PathBuf;
@@ -58,8 +66,10 @@ use vcsched_workload::live_in_placement;
 pub use cache::{CacheEntry, CacheStats, ScheduleCache, ShardStats};
 pub use corpus::CorpusSource;
 pub use pool::{default_jobs, scatter};
-pub use portfolio::{schedule_block, BlockOutcome, PolicyOptions, SchedulerKind};
-pub use submit::{Problem, Solved, SubmitError, SubmitPool, Ticket};
+pub use portfolio::{schedule_block, schedule_block_with, BlockOutcome, PolicyOptions, PolicyStat};
+pub use registry::{PolicyRegistry, PolicySet};
+pub use submit::{PolicyTotals, Problem, Solved, SubmitError, SubmitPool, Ticket};
+pub use vcsched_policy::{AwctBound, PolicyBudget, PolicyFallback, PolicyOutcome, SchedulePolicy};
 
 /// Deduction-step analogue of the paper's "1 second" bucket (§6.1).
 pub const STEPS_1S: u64 = 5_000;
@@ -77,8 +87,12 @@ pub struct BatchConfig {
     pub machine: MachineConfig,
     /// Worker threads (0 or 1 = serial).
     pub jobs: usize,
-    /// Race all four schedulers instead of VC + CARS fallback only.
-    pub portfolio: bool,
+    /// The policies raced per block (default: the §6.1 pair `vc,cars`;
+    /// [`PolicySet::full`] is the four-scheduler portfolio).
+    pub policies: PolicySet,
+    /// Cooperative early-cancel for exhaustive policies (see
+    /// [`PolicyOptions::early_cancel`]).
+    pub early_cancel: bool,
     /// VC deduction-step budget per block.
     pub max_dp_steps: u64,
     /// Seed for the per-block live-in placements (§6.1 randomizes these
@@ -105,7 +119,8 @@ impl Default for BatchConfig {
             },
             machine: MachineConfig::paper_2c_8w(),
             jobs: default_jobs(),
-            portfolio: false,
+            policies: PolicySet::single(),
+            early_cancel: false,
             max_dp_steps: STEPS_1M,
             placement_seed: 0xC60_2007,
             cache_dir: None,
@@ -129,19 +144,41 @@ pub struct Wins {
 }
 
 impl Wins {
-    fn add(&mut self, kind: SchedulerKind) {
-        match kind {
-            SchedulerKind::Vc => self.vc += 1,
-            SchedulerKind::Cars => self.cars += 1,
-            SchedulerKind::Uas => self.uas += 1,
-            SchedulerKind::TwoPhase => self.two_phase += 1,
+    /// Counts one win by built-in policy name. Custom policies are
+    /// tallied in the per-policy table ([`BatchSummary::policies`]) only;
+    /// this struct keeps the fixed §6.1 shape of the JSON summary.
+    fn add(&mut self, winner: &str) {
+        match winner {
+            "vc" => self.vc += 1,
+            "cars" => self.cars += 1,
+            "uas" => self.uas += 1,
+            "two-phase" => self.two_phase += 1,
+            _ => {}
         }
     }
 
-    /// Total wins (equals the number of blocks scheduled).
+    /// Total built-in wins (equals the number of blocks scheduled when
+    /// only built-in policies race).
     pub fn total(&self) -> usize {
         self.vc + self.cars + self.uas + self.two_phase
     }
+}
+
+/// Per-policy aggregates over one batch — the authoritative win/step
+/// table ([`Wins`] keeps the four fixed legacy fields). Rows appear in
+/// policy-set order, followed by any policy that only entered as the
+/// implicit §6.1 fallback.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct PolicySummary {
+    /// Policy name (registry identity).
+    pub policy: String,
+    /// Blocks this policy won.
+    pub wins: usize,
+    /// Total deduction steps it consumed (cached blocks contribute the
+    /// steps recorded when they were first scheduled).
+    pub steps: u64,
+    /// Blocks where it abandoned (budget, beaten, or gave up).
+    pub fallbacks: usize,
 }
 
 /// Cache accounting in the JSON summary.
@@ -161,8 +198,8 @@ pub struct CacheSummary {
 pub struct BlockLine {
     /// Block name (`bench#index`).
     pub name: String,
-    /// Winning scheduler.
-    pub winner: SchedulerKind,
+    /// Winning policy name.
+    pub winner: String,
     /// Validated AWCT.
     pub awct: f64,
     /// Profile execution count.
@@ -180,7 +217,8 @@ pub struct BatchSummary {
     pub machine: String,
     /// Worker threads used.
     pub jobs: usize,
-    /// Whether portfolio mode was on.
+    /// Legacy §6.1 flag: whether the full four-scheduler portfolio
+    /// raced (`policies == PolicySet::full()`).
     pub portfolio: bool,
     /// VC deduction-step budget.
     pub steps: u64,
@@ -199,6 +237,10 @@ pub struct BatchSummary {
     /// Wall-clock of the whole batch, in milliseconds. Zero this field
     /// before comparing summaries across runs.
     pub wall_ms: u64,
+    /// Per-policy win counts, step totals and fallback counts, in
+    /// policy-set order (the authoritative table; [`Wins`] keeps the
+    /// fixed legacy shape).
+    pub policies: Vec<PolicySummary>,
 }
 
 /// Full result of a batch run: the summary plus every block's outcome (in
@@ -215,6 +257,13 @@ pub struct BatchResult {
 
 /// Hashes one scheduling problem into its cache key plus the independent
 /// verification hash checked on lookup.
+///
+/// The composite covers the *entire* policy configuration — the
+/// canonical policy-set spelling, the step budget and the early-cancel
+/// switch — so identical blocks scheduled under different portfolios
+/// never alias: a `vc`-only entry can never answer a full-portfolio
+/// request (whose winner could differ), and telemetry-changing knobs
+/// (`early_cancel`) separate entries too.
 fn problem_key(
     sb_json: &str,
     machine: &MachineConfig,
@@ -224,8 +273,10 @@ fn problem_key(
     // The machine's Debug form covers every field; options and homes are
     // tiny, so a readable composite string is cheap and stable.
     let composite = format!(
-        "{sb_json}|{machine:?}|{homes:?}|steps={}|portfolio={}",
-        options.max_dp_steps, options.portfolio
+        "{sb_json}|{machine:?}|{homes:?}|steps={}|policies={}|early_cancel={}",
+        options.max_dp_steps,
+        options.policies.key(),
+        options.early_cancel
     );
     (
         cache::fnv1a(composite.as_bytes()),
@@ -256,6 +307,7 @@ pub fn solve_one(
                 vc_steps: entry.vc_steps,
                 vc_timed_out: entry.vc_timed_out,
                 schedule: entry.schedule,
+                policy_stats: entry.stats,
             },
             true,
         );
@@ -266,11 +318,12 @@ pub fn solve_one(
         CacheEntry {
             key: format!("{key:016x}"),
             check: format!("{check:016x}"),
-            winner: outcome.winner,
+            winner: outcome.winner.clone(),
             awct: outcome.awct,
             vc_steps: outcome.vc_steps,
             vc_timed_out: outcome.vc_timed_out,
             schedule: outcome.schedule.clone(),
+            stats: outcome.policy_stats.clone(),
         },
     );
     (outcome, false)
@@ -312,7 +365,8 @@ pub fn run_batch_with_cache(
 ) -> Result<BatchResult, String> {
     let options = PolicyOptions {
         max_dp_steps: config.max_dp_steps,
-        portfolio: config.portfolio,
+        policies: config.policies.clone(),
+        early_cancel: config.early_cancel,
     };
     let machine = &config.machine;
     let per_block: Vec<(BlockOutcome, bool)> = scatter(blocks.len(), config.jobs, |i| {
@@ -344,8 +398,45 @@ pub fn aggregate_batch(
     let mut hits = 0u64;
     let mut lines = Vec::with_capacity(per_block.len());
     let mut outcomes = Vec::with_capacity(per_block.len());
+    // Per-policy aggregation: rows for the configured set up front (so
+    // they appear even with zero blocks), extras (the implicit fallback)
+    // appended in first-encounter order.
+    let mut policies: Vec<PolicySummary> = config
+        .policies
+        .names()
+        .iter()
+        .map(|name| PolicySummary {
+            policy: name.clone(),
+            wins: 0,
+            steps: 0,
+            fallbacks: 0,
+        })
+        .collect();
+    let tally = |policies: &mut Vec<PolicySummary>, name: &str| -> usize {
+        match policies.iter().position(|p| p.policy == name) {
+            Some(i) => i,
+            None => {
+                policies.push(PolicySummary {
+                    policy: name.to_owned(),
+                    wins: 0,
+                    steps: 0,
+                    fallbacks: 0,
+                });
+                policies.len() - 1
+            }
+        }
+    };
     for (sb, (outcome, cached)) in blocks.iter().zip(per_block) {
-        wins.add(outcome.winner);
+        wins.add(&outcome.winner);
+        let i = tally(&mut policies, &outcome.winner);
+        policies[i].wins += 1;
+        for stat in &outcome.policy_stats {
+            let i = tally(&mut policies, &stat.policy);
+            policies[i].steps += stat.steps;
+            if stat.gave_up() {
+                policies[i].fallbacks += 1;
+            }
+        }
         if outcome.vc_timed_out {
             vc_timeouts += 1;
         }
@@ -356,7 +447,7 @@ pub fn aggregate_batch(
         total_weight += sb.weight();
         lines.push(BlockLine {
             name: sb.name().to_owned(),
-            winner: outcome.winner,
+            winner: outcome.winner.clone(),
             awct: outcome.awct,
             weight: sb.weight(),
             cached,
@@ -372,7 +463,7 @@ pub fn aggregate_batch(
         corpus: config.source.describe(),
         machine: config.machine.name().to_owned(),
         jobs: config.jobs.max(1),
-        portfolio: config.portfolio,
+        portfolio: config.policies == PolicySet::full(),
         steps: config.max_dp_steps,
         blocks: blocks.len(),
         wins,
@@ -389,6 +480,7 @@ pub fn aggregate_batch(
             hit_rate: stats.hit_rate(),
         },
         wall_ms: t0.elapsed().as_millis() as u64,
+        policies,
     };
     BatchResult {
         summary,

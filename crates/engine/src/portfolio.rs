@@ -1,207 +1,310 @@
-//! Per-block scheduling policy: the paper's §6.1 pipeline, optionally
-//! widened into a portfolio.
+//! Per-block scheduling policy: an arbitrary set of registered
+//! [`SchedulePolicy`] implementations raced to the best validated AWCT.
 //!
-//! * **Single mode** mirrors the paper exactly: run the virtual-cluster
-//!   scheduler under a deduction-step budget; if it exhausts the budget
-//!   (or fails), fall back to CARS. When both schedules exist the better
-//!   (lower validated AWCT) one is kept — both costs are static, so a
-//!   production driver gets this comparison for free.
-//! * **Portfolio mode** additionally runs the UAS (CWP order) and
-//!   two-phase baselines concurrently on scoped threads, validates every
-//!   candidate with `vcsched-sim`, and keeps the best valid schedule.
-//!   Ties break toward the earlier entry of the fixed order VC, CARS,
-//!   UAS, two-phase, so outcomes are deterministic.
+//! * The **default set** (`vc,cars`) mirrors the paper exactly: run the
+//!   virtual-cluster scheduler under a deduction-step budget with CARS
+//!   riding along; when both schedules exist the better (lower validated
+//!   AWCT) one is kept (§6.1).
+//! * The **full portfolio** (`vc,cars,uas,two-phase`) additionally races
+//!   the UAS (CWP order) and two-phase baselines.
+//! * Any other subset can be selected per request (`--policies`, the
+//!   service protocol's `"policies"` field); members resolve through the
+//!   [`PolicyRegistry`].
+//!
+//! The race is deterministic: single-pass policies run concurrently on
+//! scoped threads, every candidate is validated by `vcsched-sim`, and
+//! ties break toward the earlier entry of the set's canonical order —
+//! outcomes never depend on completion order. With
+//! [`PolicyOptions::early_cancel`] the validated single-pass results are
+//! sealed into a shared [`AwctBound`] *before* the exhaustive stage, so
+//! an exhaustive policy (VC) whose certified lower bound is already
+//! beaten abandons the search — deterministically, because the bound is
+//! fixed when it starts. If every selected policy abandons, CARS is
+//! invoked as the §6.1 fallback even when it is not in the set, so a
+//! schedule is always produced.
 
+use serde::{Deserialize, Serialize};
 use vcsched_arch::{ClusterId, MachineConfig};
-use vcsched_baselines::{ClusterOrder, TwoPhaseScheduler, UasScheduler};
-use vcsched_cars::CarsScheduler;
-use vcsched_core::{VcOptions, VcScheduler};
 use vcsched_ir::{Schedule, Superblock};
+use vcsched_policy::{AwctBound, PolicyBudget, PolicyFallback, PolicyOutcome, SchedulePolicy};
 use vcsched_sim::validate;
 
-/// The schedulers the engine can race.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum SchedulerKind {
-    /// The paper's virtual-cluster scheduler.
-    Vc,
-    /// CARS single-pass list scheduling (also the fallback).
-    Cars,
-    /// Unified assign-and-schedule, CWP cluster order.
-    Uas,
-    /// Partition first, schedule second.
-    TwoPhase,
-}
-
-impl SchedulerKind {
-    /// All portfolio members, in deterministic tie-break order.
-    pub const ALL: [SchedulerKind; 4] = [
-        SchedulerKind::Vc,
-        SchedulerKind::Cars,
-        SchedulerKind::Uas,
-        SchedulerKind::TwoPhase,
-    ];
-
-    /// Stable lower-case name (used in JSON summaries and CLI flags).
-    pub fn name(self) -> &'static str {
-        match self {
-            SchedulerKind::Vc => "vc",
-            SchedulerKind::Cars => "cars",
-            SchedulerKind::Uas => "uas",
-            SchedulerKind::TwoPhase => "two-phase",
-        }
-    }
-}
-
-impl std::fmt::Display for SchedulerKind {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.name())
-    }
-}
-
-// JSON uses the same kebab-case names as `Display` and the summary's win
-// table ("two-phase", not "TwoPhase"), so the derive's variant-name
-// convention is wrong here; implement by hand.
-impl serde::Serialize for SchedulerKind {
-    fn to_value(&self) -> serde::Value {
-        serde::Value::String(self.name().to_owned())
-    }
-}
-
-impl serde::Deserialize for SchedulerKind {
-    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
-        let s = v
-            .as_str()
-            .ok_or_else(|| serde::DeError::expected("scheduler name", v))?;
-        SchedulerKind::ALL
-            .into_iter()
-            .find(|k| k.name() == s)
-            .ok_or_else(|| serde::DeError(format!("unknown scheduler `{s}`")))
-    }
-}
+use crate::registry::{PolicyRegistry, PolicySet};
 
 /// Per-block policy options.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PolicyOptions {
-    /// Deduction-step budget for the VC scheduler (the compile-time
+    /// Deduction-step budget for exhaustive policies (the compile-time
     /// threshold of §6.1; see [`crate::STEPS_4M`] and friends).
     pub max_dp_steps: u64,
-    /// Race UAS and two-phase alongside VC and CARS.
-    pub portfolio: bool,
+    /// The policies to race, in canonical tie-break order.
+    pub policies: PolicySet,
+    /// Seal the validated single-pass results into a shared best-AWCT
+    /// bound before the exhaustive stage, letting a provably beaten
+    /// search abandon its remaining work. Never changes which schedule
+    /// wins (cancellation requires a *strictly* better schedule in
+    /// hand); it does change the loser's step/fallback telemetry, so it
+    /// is part of the cache key. Off by default to keep the §6.1
+    /// telemetry byte-identical.
+    pub early_cancel: bool,
 }
 
 impl Default for PolicyOptions {
     fn default() -> Self {
         PolicyOptions {
             max_dp_steps: crate::STEPS_4M,
-            portfolio: false,
+            policies: PolicySet::single(),
+            early_cancel: false,
         }
     }
 }
 
-/// Outcome of scheduling one block under the policy.
-#[derive(Debug, Clone, PartialEq)]
-pub struct BlockOutcome {
-    /// Which scheduler won.
-    pub winner: SchedulerKind,
-    /// Validated AWCT of the winning schedule.
-    pub awct: f64,
-    /// Deduction steps VC consumed (0 when the budget made it bail
-    /// immediately; `max_dp_steps + 1` marks a timeout).
-    pub vc_steps: u64,
-    /// Whether VC exhausted its budget and CARS fallback kicked in.
-    pub vc_timed_out: bool,
-    /// The winning schedule.
-    pub schedule: Schedule,
+/// Per-policy telemetry for one block: what each racer member did, won
+/// or lost.
+///
+/// Equality ignores `wall_ms` (wall-clock legitimately varies between
+/// identical runs; everything else is deterministic).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PolicyStat {
+    /// Policy name (registry identity).
+    pub policy: String,
+    /// Deduction steps consumed (0 for single-pass policies).
+    pub steps: u64,
+    /// Validated AWCT of this policy's candidate (`None`: no schedule,
+    /// or the schedule failed machine-level validation).
+    pub awct: Option<f64>,
+    /// Whether (and why) the policy took its fallback.
+    pub fallback: PolicyFallback,
+    /// Wall-clock the policy spent, in milliseconds.
+    pub wall_ms: u64,
 }
 
-/// One candidate schedule with its validated cost.
-fn candidate(
-    kind: SchedulerKind,
-    schedule: Schedule,
-    sb: &Superblock,
-    machine: &MachineConfig,
-) -> Option<(SchedulerKind, f64, Schedule)> {
-    match validate(sb, machine, &schedule) {
-        Ok(report) => Some((kind, report.awct, schedule)),
-        // An invalid candidate is dropped, never surfaced: the portfolio
-        // guarantees every returned schedule passed machine-level
-        // validation.
-        Err(_) => None,
+impl PolicyStat {
+    /// Whether this stat records an abandoned attempt — the single
+    /// definition of "fallback taken" shared by batch summaries and the
+    /// submit pool's lifetime counters.
+    pub fn gave_up(&self) -> bool {
+        self.fallback != PolicyFallback::None
     }
 }
 
-/// Schedules one block under the policy. `homes` pins the block's live-ins
-/// to register files; every portfolio member receives the same placement
-/// (§6.1).
+impl PartialEq for PolicyStat {
+    fn eq(&self, other: &Self) -> bool {
+        self.policy == other.policy
+            && self.steps == other.steps
+            && self.awct == other.awct
+            && self.fallback == other.fallback
+    }
+}
+
+/// Outcome of scheduling one block under the policy set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockOutcome {
+    /// Name of the policy that won (always a registry name; `"cars"`
+    /// even outside the set when the §6.1 fallback fired).
+    pub winner: String,
+    /// Validated AWCT of the winning schedule.
+    pub awct: f64,
+    /// Deduction steps VC consumed, when `vc` raced (legacy §6.1
+    /// accounting: `max_dp_steps + 1` marks a burnt budget; 0 when `vc`
+    /// was not in the set).
+    pub vc_steps: u64,
+    /// Whether VC gave up (budget or bump limit) and the fallback won
+    /// instead. An early-cancelled VC is *not* a timeout — it was beaten,
+    /// not exhausted.
+    pub vc_timed_out: bool,
+    /// The winning schedule.
+    pub schedule: Schedule,
+    /// Per-policy telemetry, in set order (plus a trailing `cars` entry
+    /// if the implicit fallback fired).
+    pub policy_stats: Vec<PolicyStat>,
+}
+
+/// One raced policy's full result: trait outcome plus validation.
+struct Raced {
+    name: String,
+    outcome: PolicyOutcome,
+    /// `Some((validated AWCT, schedule))` when the candidate passed
+    /// machine-level validation. An invalid candidate is dropped, never
+    /// surfaced: the race guarantees every returned schedule validated.
+    candidate: Option<(f64, Schedule)>,
+}
+
+fn race_one(
+    policy: &dyn SchedulePolicy,
+    sb: &Superblock,
+    machine: &MachineConfig,
+    homes: &[ClusterId],
+    budget: &PolicyBudget,
+) -> Raced {
+    let mut outcome = policy.schedule(sb, machine, homes, budget);
+    // Move (never clone) the schedule into the candidate slot once it
+    // validates; an invalid candidate is dropped entirely.
+    let candidate = outcome.schedule.take().and_then(|schedule| {
+        validate(sb, machine, &schedule)
+            .ok()
+            .map(|report| (report.awct, schedule))
+    });
+    Raced {
+        name: policy.name().to_owned(),
+        outcome,
+        candidate,
+    }
+}
+
+fn stat_of(raced: &Raced) -> PolicyStat {
+    PolicyStat {
+        policy: raced.name.clone(),
+        steps: raced.outcome.steps,
+        awct: raced.candidate.as_ref().map(|&(awct, _)| awct),
+        fallback: raced.outcome.fallback,
+        wall_ms: raced.outcome.wall.as_millis() as u64,
+    }
+}
+
+/// Schedules one block under the policy set, resolving members through
+/// the built-in registry. `homes` pins the block's live-ins to register
+/// files; every racer member receives the same placement (§6.1).
 pub fn schedule_block(
     sb: &Superblock,
     machine: &MachineConfig,
     homes: &[ClusterId],
     options: &PolicyOptions,
 ) -> BlockOutcome {
-    let vc = VcScheduler::with_options(
-        machine.clone(),
-        VcOptions {
-            max_dp_steps: options.max_dp_steps,
-            ..VcOptions::default()
-        },
-    );
+    schedule_block_with(PolicyRegistry::builtin(), sb, machine, homes, options)
+}
 
-    // Baselines run on scoped threads while the (usually much slower) VC
-    // scheduler runs on this one. In single mode only CARS rides along —
-    // it is needed either way, as fallback or comparison.
-    let (vc_result, cars_out, extra) = std::thread::scope(|scope| {
-        let cars_handle =
-            scope.spawn(|| CarsScheduler::new(machine.clone()).schedule_with_live_ins(sb, homes));
-        let extra_handle = options.portfolio.then(|| {
-            scope.spawn(|| {
-                let uas = UasScheduler::new(machine.clone(), ClusterOrder::Cwp)
-                    .schedule_with_live_ins(sb, homes);
-                let two = TwoPhaseScheduler::new(machine.clone()).schedule_with_live_ins(sb, homes);
-                (uas.schedule, two.schedule)
-            })
-        });
-        let vc_result = vc.schedule_with_live_ins(sb, homes);
-        (
-            vc_result,
-            cars_handle.join().expect("CARS worker panicked"),
-            extra_handle.map(|h| h.join().expect("baseline worker panicked")),
-        )
-    });
+/// [`schedule_block`] against an explicit registry (custom policies).
+///
+/// # Panics
+///
+/// Panics if a set member is not registered — sets are validated at
+/// construction ([`PolicySet::parse_with`]), so this indicates a set
+/// built against a different registry.
+pub fn schedule_block_with(
+    registry: &PolicyRegistry,
+    sb: &Superblock,
+    machine: &MachineConfig,
+    homes: &[ClusterId],
+    options: &PolicyOptions,
+) -> BlockOutcome {
+    let policies: Vec<Box<dyn SchedulePolicy>> = options
+        .policies
+        .names()
+        .iter()
+        .map(|name| {
+            registry
+                .create(name)
+                .unwrap_or_else(|e| panic!("policy set not from this registry: {e}"))
+        })
+        .collect();
 
-    let (vc_steps, vc_timed_out, vc_schedule) = match vc_result {
-        Ok(out) => (out.stats.dp_steps, false, Some(out.schedule)),
-        Err(_) => (options.max_dp_steps + 1, true, None),
+    let bound = AwctBound::new();
+    let budget = PolicyBudget {
+        max_dp_steps: options.max_dp_steps,
+        best: bound.clone(),
     };
 
-    let mut candidates: Vec<(SchedulerKind, f64, Schedule)> = Vec::with_capacity(4);
-    if let Some(s) = vc_schedule {
-        candidates.extend(candidate(SchedulerKind::Vc, s, sb, machine));
+    // Stage 1: single-pass policies race concurrently on scoped threads.
+    // Stage 2: exhaustive policies run on this thread with the stage-1
+    // results already validated — and, under `early_cancel`, sealed into
+    // the shared bound. Sealing *between* the stages is what keeps
+    // cancellation deterministic: the bound an exhaustive policy sees
+    // never depends on thread timing.
+    let mut raced: Vec<Option<Raced>> = Vec::with_capacity(policies.len());
+    raced.resize_with(policies.len(), || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<(usize, std::thread::ScopedJoinHandle<'_, Raced>)> = policies
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| !p.exhaustive())
+            .map(|(i, p)| {
+                let budget = &budget;
+                (
+                    i,
+                    scope.spawn(move || race_one(p.as_ref(), sb, machine, homes, budget)),
+                )
+            })
+            .collect();
+        for (i, handle) in handles {
+            raced[i] = Some(handle.join().expect("policy worker panicked"));
+        }
+    });
+    if options.early_cancel {
+        for r in raced.iter().flatten() {
+            if let Some(&(awct, _)) = r.candidate.as_ref() {
+                bound.record(awct);
+            }
+        }
     }
-    candidates.extend(candidate(
-        SchedulerKind::Cars,
-        cars_out.schedule,
-        sb,
-        machine,
-    ));
-    if let Some((uas, two)) = extra {
-        candidates.extend(candidate(SchedulerKind::Uas, uas, sb, machine));
-        candidates.extend(candidate(SchedulerKind::TwoPhase, two, sb, machine));
+    for (i, p) in policies.iter().enumerate() {
+        if p.exhaustive() {
+            let r = race_one(p.as_ref(), sb, machine, homes, &budget);
+            if options.early_cancel {
+                if let Some(&(awct, _)) = r.candidate.as_ref() {
+                    bound.record(awct);
+                }
+            }
+            raced[i] = Some(r);
+        }
     }
-
-    // Best validated AWCT; ties keep the earliest (candidates are pushed
-    // in SchedulerKind::ALL order).
-    let (winner, awct, schedule) = candidates
+    let mut raced: Vec<Raced> = raced
         .into_iter()
-        .reduce(|best, next| if next.1 < best.1 { next } else { best })
-        .expect("CARS always yields a valid schedule");
+        .map(|r| r.expect("every set member raced"))
+        .collect();
 
+    // Best validated AWCT; ties keep the earliest entry of the set's
+    // canonical order, so outcomes are deterministic.
+    let best = raced
+        .iter()
+        .filter_map(|r| {
+            r.candidate
+                .as_ref()
+                .map(|&(awct, _)| (r.name.clone(), awct))
+        })
+        .reduce(|best, next| if next.1 < best.1 { next } else { best });
+
+    // §6.1 fallback: if every selected policy abandoned (e.g. a vc-only
+    // set past its budget), CARS — which cannot fail — schedules the
+    // block, exactly as the paper does past its thresholds.
+    let (winner, awct) = match best {
+        Some(x) => x,
+        None => {
+            let fallback = race_one(
+                &vcsched_cars::CarsPolicy,
+                sb,
+                machine,
+                homes,
+                &PolicyBudget::steps(options.max_dp_steps),
+            );
+            let (awct, _) = *fallback
+                .candidate
+                .as_ref()
+                .expect("CARS always yields a valid schedule");
+            raced.push(fallback);
+            ("cars".to_owned(), awct)
+        }
+    };
+    let policy_stats: Vec<PolicyStat> = raced.iter().map(stat_of).collect();
+    let schedule = raced
+        .iter_mut()
+        .find(|r| r.name == winner && r.candidate.as_ref().is_some_and(|&(a, _)| a == awct))
+        .and_then(|r| r.candidate.take().map(|(_, s)| s))
+        .expect("winner came from the raced candidates");
+
+    let vc = raced.iter().find(|r| r.name == "vc");
     BlockOutcome {
         winner,
         awct,
-        vc_steps,
-        vc_timed_out,
+        vc_steps: vc.map_or(0, |r| r.outcome.steps),
+        vc_timed_out: vc.is_some_and(|r| {
+            matches!(
+                r.outcome.fallback,
+                PolicyFallback::Budget | PolicyFallback::GaveUp
+            )
+        }),
         schedule,
+        policy_stats,
     }
 }
 
@@ -218,6 +321,14 @@ mod tests {
         (sb, machine, homes)
     }
 
+    fn opts(steps: u64, policies: PolicySet) -> PolicyOptions {
+        PolicyOptions {
+            max_dp_steps: steps,
+            policies,
+            early_cancel: false,
+        }
+    }
+
     #[test]
     fn single_mode_mirrors_paper_fallback_policy() {
         let (sb, machine, homes) = fixture();
@@ -225,68 +336,127 @@ mod tests {
             &sb,
             &machine,
             &homes,
-            &PolicyOptions {
-                max_dp_steps: crate::STEPS_1M,
-                portfolio: false,
-            },
+            &opts(crate::STEPS_1M, PolicySet::single()),
         );
-        assert!(matches!(
-            out.winner,
-            SchedulerKind::Vc | SchedulerKind::Cars
-        ));
+        assert!(out.winner == "vc" || out.winner == "cars");
         assert!(validate(&sb, &machine, &out.schedule).is_ok());
         if out.vc_timed_out {
-            assert_eq!(out.winner, SchedulerKind::Cars);
+            assert_eq!(out.winner, "cars");
         }
+        assert_eq!(out.policy_stats.len(), 2);
+        assert_eq!(out.policy_stats[0].policy, "vc");
+        assert_eq!(out.policy_stats[1].policy, "cars");
     }
 
     #[test]
     fn zero_budget_forces_cars_fallback() {
         let (sb, machine, homes) = fixture();
-        let out = schedule_block(
-            &sb,
-            &machine,
-            &homes,
-            &PolicyOptions {
-                max_dp_steps: 0,
-                portfolio: false,
-            },
-        );
+        let out = schedule_block(&sb, &machine, &homes, &opts(0, PolicySet::single()));
         assert!(out.vc_timed_out);
-        assert_eq!(out.winner, SchedulerKind::Cars);
+        assert_eq!(out.winner, "cars");
         assert_eq!(out.vc_steps, 1);
+        assert_eq!(out.policy_stats[0].fallback, PolicyFallback::Budget);
     }
 
     #[test]
     fn portfolio_never_loses_to_single_mode() {
         let (sb, machine, homes) = fixture();
-        let opts = PolicyOptions {
-            max_dp_steps: crate::STEPS_1M,
-            portfolio: false,
-        };
-        let single = schedule_block(&sb, &machine, &homes, &opts);
+        let single = schedule_block(
+            &sb,
+            &machine,
+            &homes,
+            &opts(crate::STEPS_1M, PolicySet::single()),
+        );
         let port = schedule_block(
             &sb,
             &machine,
             &homes,
-            &PolicyOptions {
-                portfolio: true,
-                ..opts
-            },
+            &opts(crate::STEPS_1M, PolicySet::full()),
         );
         assert!(port.awct <= single.awct + 1e-9);
         assert!(validate(&sb, &machine, &port.schedule).is_ok());
+        assert_eq!(port.policy_stats.len(), 4);
     }
 
     #[test]
     fn outcome_is_deterministic() {
         let (sb, machine, homes) = fixture();
-        let opts = PolicyOptions {
-            max_dp_steps: crate::STEPS_1S,
-            portfolio: true,
-        };
-        let a = schedule_block(&sb, &machine, &homes, &opts);
-        let b = schedule_block(&sb, &machine, &homes, &opts);
+        let o = opts(crate::STEPS_1S, PolicySet::full());
+        let a = schedule_block(&sb, &machine, &homes, &o);
+        let b = schedule_block(&sb, &machine, &homes, &o);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn vc_only_set_falls_back_to_cars_when_exhausted() {
+        let (sb, machine, homes) = fixture();
+        let out = schedule_block(
+            &sb,
+            &machine,
+            &homes,
+            &opts(0, PolicySet::parse("vc").expect("vc alone is a valid set")),
+        );
+        assert_eq!(out.winner, "cars", "implicit §6.1 fallback");
+        assert!(validate(&sb, &machine, &out.schedule).is_ok());
+        // Telemetry shows both the abandoned vc and the fallback cars.
+        assert_eq!(out.policy_stats.len(), 2);
+        assert_eq!(out.policy_stats[0].policy, "vc");
+        assert_eq!(out.policy_stats[0].fallback, PolicyFallback::Budget);
+        assert_eq!(out.policy_stats[1].policy, "cars");
+    }
+
+    #[test]
+    fn subsets_race_only_their_members() {
+        let (sb, machine, homes) = fixture();
+        let out = schedule_block(
+            &sb,
+            &machine,
+            &homes,
+            &opts(
+                crate::STEPS_1S,
+                PolicySet::parse("uas,two-phase").expect("baseline-only set"),
+            ),
+        );
+        assert!(out.winner == "uas" || out.winner == "two-phase");
+        assert_eq!(out.vc_steps, 0, "vc did not race");
+        assert!(!out.vc_timed_out);
+        let names: Vec<&str> = out.policy_stats.iter().map(|s| s.policy.as_str()).collect();
+        assert_eq!(names, vec!["uas", "two-phase"]);
+    }
+
+    #[test]
+    fn early_cancel_preserves_winner_and_awct() {
+        let (sb, machine, homes) = fixture();
+        let plain = schedule_block(
+            &sb,
+            &machine,
+            &homes,
+            &opts(crate::STEPS_1S, PolicySet::full()),
+        );
+        let cancel = schedule_block(
+            &sb,
+            &machine,
+            &homes,
+            &PolicyOptions {
+                early_cancel: true,
+                ..opts(crate::STEPS_1S, PolicySet::full())
+            },
+        );
+        // Cancellation may change the losers' telemetry, never the
+        // result.
+        assert_eq!(plain.winner, cancel.winner);
+        assert_eq!(plain.awct, cancel.awct);
+        assert_eq!(plain.schedule, cancel.schedule);
+        // And it is itself deterministic.
+        let again = schedule_block(
+            &sb,
+            &machine,
+            &homes,
+            &PolicyOptions {
+                early_cancel: true,
+                ..opts(crate::STEPS_1S, PolicySet::full())
+            },
+        );
+        assert_eq!(cancel, again);
     }
 }

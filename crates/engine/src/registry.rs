@@ -1,0 +1,310 @@
+//! The policy registry: the canonical name → constructor table, and the
+//! validated, deterministically ordered policy *sets* built from it.
+//!
+//! Everything that selects schedulers by name — `vcsched batch
+//! --policies vc,cars`, the service protocol's `"policies"` field, the
+//! schedule-cache key — resolves through one [`PolicyRegistry`]. Adding a
+//! policy is one trait impl plus one [`PolicyRegistry::register`] call;
+//! no layer above the registry enumerates policies by hand.
+
+use std::sync::OnceLock;
+
+use vcsched_policy::SchedulePolicy;
+
+/// Constructor plus catalogue metadata for one registered policy.
+struct RegisteredPolicy {
+    name: String,
+    origin: String,
+    ctor: Box<dyn Fn() -> Box<dyn SchedulePolicy> + Send + Sync>,
+}
+
+/// The name → constructor table the engine resolves policies through.
+pub struct PolicyRegistry {
+    entries: Vec<RegisteredPolicy>,
+}
+
+impl PolicyRegistry {
+    /// An empty registry (for fully custom policy tables).
+    pub fn empty() -> PolicyRegistry {
+        PolicyRegistry {
+            entries: Vec::new(),
+        }
+    }
+
+    /// A registry holding the four built-in policies, in the canonical
+    /// tie-break order the paper's evaluation uses: `vc`, `cars`, `uas`,
+    /// `two-phase`.
+    pub fn with_builtins() -> PolicyRegistry {
+        let mut r = PolicyRegistry::empty();
+        r.register("vc", "the paper's virtual-cluster scheduler (§4)", || {
+            Box::new(vcsched_core::VcPolicy::new())
+        })
+        .expect("fresh registry");
+        r.register(
+            "cars",
+            "CARS single-pass list scheduling (HPCA 2001)",
+            || Box::new(vcsched_cars::CarsPolicy::new()),
+        )
+        .expect("fresh registry");
+        r.register(
+            "uas",
+            "unified assign-and-schedule, CWP order (MICRO 1998)",
+            || Box::new(vcsched_baselines::UasPolicy::cwp()),
+        )
+        .expect("fresh registry");
+        r.register(
+            "two-phase",
+            "partition first, schedule second (Bulldog school)",
+            || Box::new(vcsched_baselines::TwoPhasePolicy),
+        )
+        .expect("fresh registry");
+        r
+    }
+
+    /// The shared built-in registry (constructed once per process).
+    pub fn builtin() -> &'static PolicyRegistry {
+        static BUILTIN: OnceLock<PolicyRegistry> = OnceLock::new();
+        BUILTIN.get_or_init(PolicyRegistry::with_builtins)
+    }
+
+    /// Registers a policy under `name`. Fails on a duplicate name or if
+    /// the constructed policy disagrees about its own name (the registry
+    /// key and [`SchedulePolicy::name`] must be the same string — it is
+    /// the identity used in win tables and cache keys).
+    pub fn register<F>(&mut self, name: &str, origin: &str, ctor: F) -> Result<(), String>
+    where
+        F: Fn() -> Box<dyn SchedulePolicy> + Send + Sync + 'static,
+    {
+        if name.is_empty() || name.contains(',') || name.contains(char::is_whitespace) {
+            return Err(format!("invalid policy name `{name}`"));
+        }
+        if self.index_of(name).is_some() {
+            return Err(format!("policy `{name}` is already registered"));
+        }
+        let built = ctor();
+        if built.name() != name {
+            return Err(format!(
+                "policy registered as `{name}` but names itself `{}`",
+                built.name()
+            ));
+        }
+        self.entries.push(RegisteredPolicy {
+            name: name.to_owned(),
+            origin: origin.to_owned(),
+            ctor: Box::new(ctor),
+        });
+        Ok(())
+    }
+
+    /// Position of `name` in the canonical (tie-break) order.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.entries.iter().position(|e| e.name == name)
+    }
+
+    /// Constructs the policy registered under `name`.
+    pub fn create(&self, name: &str) -> Result<Box<dyn SchedulePolicy>, String> {
+        match self.entries.iter().find(|e| e.name == name) {
+            Some(e) => Ok((e.ctor)()),
+            None => Err(format!(
+                "unknown policy `{name}` (one of {})",
+                self.names().join(", ")
+            )),
+        }
+    }
+
+    /// Registered names, in canonical order.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(|e| e.name.as_str()).collect()
+    }
+
+    /// `(name, origin)` pairs, in canonical order — the catalogue behind
+    /// `vcsched policies` and the README table.
+    pub fn catalogue(&self) -> Vec<(&str, &str)> {
+        self.entries
+            .iter()
+            .map(|e| (e.name.as_str(), e.origin.as_str()))
+            .collect()
+    }
+}
+
+/// A validated, deduplicated policy set in canonical (registry) order —
+/// the deterministic tie-break order the racer uses.
+///
+/// Canonicalization makes `"cars,vc"` and `"vc,cars"` the *same* set:
+/// same race, same tie-breaks, same cache key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PolicySet {
+    names: Vec<String>,
+}
+
+impl PolicySet {
+    /// The paper's §6.1 single mode: VC under the step budget with CARS
+    /// riding along as fallback and comparison.
+    pub fn single() -> PolicySet {
+        PolicySet {
+            names: vec!["vc".to_owned(), "cars".to_owned()],
+        }
+    }
+
+    /// The full built-in portfolio: `vc`, `cars`, `uas`, `two-phase`.
+    pub fn full() -> PolicySet {
+        PolicySet {
+            names: PolicyRegistry::builtin()
+                .names()
+                .into_iter()
+                .map(str::to_owned)
+                .collect(),
+        }
+    }
+
+    /// Parses a comma-separated spec (`"vc,cars"`) against the built-in
+    /// registry. Unknown names are an error; duplicates collapse; the
+    /// result is re-ordered canonically.
+    pub fn parse(spec: &str) -> Result<PolicySet, String> {
+        PolicySet::parse_with(spec, PolicyRegistry::builtin())
+    }
+
+    /// [`PolicySet::parse`] against an explicit registry.
+    pub fn parse_with(spec: &str, registry: &PolicyRegistry) -> Result<PolicySet, String> {
+        PolicySet::from_names_with(&PolicySet::split_spec(spec), registry)
+    }
+
+    /// Splits a comma-separated policy spec into raw names (trimmed,
+    /// empties dropped) — the one grammar shared by the CLI flags, the
+    /// wire protocol's string form and [`PolicySet::parse`]. No
+    /// validation happens here; feed the result to
+    /// [`PolicySet::from_names`].
+    pub fn split_spec(spec: &str) -> Vec<String> {
+        spec.split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(str::to_owned)
+            .collect()
+    }
+
+    /// Builds a set from explicit names (validated against the built-in
+    /// registry, canonically ordered, deduplicated).
+    pub fn from_names<S: AsRef<str>>(names: &[S]) -> Result<PolicySet, String> {
+        PolicySet::from_names_with(names, PolicyRegistry::builtin())
+    }
+
+    /// [`PolicySet::from_names`] against an explicit registry.
+    pub fn from_names_with<S: AsRef<str>>(
+        names: &[S],
+        registry: &PolicyRegistry,
+    ) -> Result<PolicySet, String> {
+        if names.is_empty() {
+            return Err(format!(
+                "empty policy set (pick from {})",
+                registry.names().join(", ")
+            ));
+        }
+        let mut indexed: Vec<(usize, &str)> = Vec::with_capacity(names.len());
+        for name in names {
+            let name = name.as_ref();
+            let idx = registry.index_of(name).ok_or_else(|| {
+                format!(
+                    "unknown policy `{name}` (one of {})",
+                    registry.names().join(", ")
+                )
+            })?;
+            if !indexed.iter().any(|&(i, _)| i == idx) {
+                indexed.push((idx, name));
+            }
+        }
+        indexed.sort_by_key(|&(i, _)| i);
+        Ok(PolicySet {
+            names: indexed.into_iter().map(|(_, n)| n.to_owned()).collect(),
+        })
+    }
+
+    /// The member names, in canonical (tie-break) order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Whether `name` is in the set.
+    pub fn contains(&self, name: &str) -> bool {
+        self.names.iter().any(|n| n == name)
+    }
+
+    /// The canonical comma-joined form — the stable spelling used in the
+    /// schedule-cache key and JSON summaries.
+    pub fn key(&self) -> String {
+        self.names.join(",")
+    }
+}
+
+impl Default for PolicySet {
+    fn default() -> Self {
+        PolicySet::single()
+    }
+}
+
+impl std::fmt::Display for PolicySet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.key())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_registry_has_the_canonical_order() {
+        let names = PolicyRegistry::builtin().names();
+        assert_eq!(names, vec!["vc", "cars", "uas", "two-phase"]);
+        for name in names {
+            let p = PolicyRegistry::builtin().create(name).expect("constructs");
+            assert_eq!(p.name(), name);
+        }
+    }
+
+    #[test]
+    fn unknown_policy_is_a_clean_error() {
+        let err = PolicyRegistry::builtin()
+            .create("lst")
+            .map(|p| p.name())
+            .unwrap_err();
+        assert!(err.contains("unknown policy `lst`"), "{err}");
+        assert!(err.contains("vc, cars, uas, two-phase"), "{err}");
+    }
+
+    #[test]
+    fn sets_canonicalize_order_and_duplicates() {
+        let a = PolicySet::parse("cars,vc").expect("parses");
+        let b = PolicySet::parse("vc, cars ,vc").expect("parses");
+        assert_eq!(a, b);
+        assert_eq!(a.key(), "vc,cars");
+        assert_eq!(a, PolicySet::single());
+        assert_eq!(
+            PolicySet::parse("two-phase,uas,cars,vc").expect("parses"),
+            PolicySet::full()
+        );
+    }
+
+    #[test]
+    fn empty_and_unknown_sets_error() {
+        assert!(PolicySet::parse("").is_err());
+        assert!(PolicySet::parse(" , ,").is_err());
+        let err = PolicySet::parse("vc,warp").unwrap_err();
+        assert!(err.contains("unknown policy `warp`"), "{err}");
+    }
+
+    #[test]
+    fn register_rejects_duplicates_and_name_mismatch() {
+        let mut r = PolicyRegistry::with_builtins();
+        assert!(r
+            .register("vc", "dup", || Box::new(vcsched_cars::CarsPolicy))
+            .is_err());
+        assert!(r
+            .register("not-cars", "mismatch", || Box::new(
+                vcsched_cars::CarsPolicy
+            ))
+            .is_err());
+        assert!(r
+            .register("bad name", "ws", || Box::new(vcsched_cars::CarsPolicy))
+            .is_err());
+    }
+}

@@ -111,6 +111,51 @@ enum Task {
     },
 }
 
+/// Folds one solve into the pool's per-policy lifetime counters.
+fn record_policy_totals(totals: &Mutex<Vec<PolicyTotals>>, outcome: &BlockOutcome, cached: bool) {
+    let mut totals = totals.lock().unwrap();
+    let index_of = |totals: &mut Vec<PolicyTotals>, name: &str| -> usize {
+        match totals.iter().position(|t| t.policy == name) {
+            Some(i) => i,
+            None => {
+                totals.push(PolicyTotals {
+                    policy: name.to_owned(),
+                    ..PolicyTotals::default()
+                });
+                totals.len() - 1
+            }
+        }
+    };
+    let i = index_of(&mut totals, &outcome.winner);
+    totals[i].wins += 1;
+    if !cached {
+        for stat in &outcome.policy_stats {
+            let i = index_of(&mut totals, &stat.policy);
+            totals[i].steps += stat.steps;
+            if stat.gave_up() {
+                totals[i].fallbacks += 1;
+            }
+        }
+    }
+}
+
+/// Per-policy lifetime counters, surfaced through `vcsched serve`'s
+/// `stats` request.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PolicyTotals {
+    /// Policy name (registry identity).
+    pub policy: String,
+    /// Requests this policy won (cached answers included: the remembered
+    /// winner still won).
+    pub wins: u64,
+    /// Deduction steps actually spent by this pool's workers — cache
+    /// hits do no work, so they add nothing here.
+    pub steps: u64,
+    /// Fresh solves where the policy abandoned (budget, beaten, gave
+    /// up).
+    pub fallbacks: u64,
+}
+
 /// Long-lived worker pool with a bounded admission queue (see the module
 /// docs).
 pub struct SubmitPool {
@@ -123,6 +168,7 @@ pub struct SubmitPool {
     accepted: AtomicU64,
     rejected: AtomicU64,
     completed: Arc<AtomicU64>,
+    policy_totals: Arc<Mutex<Vec<PolicyTotals>>>,
 }
 
 impl SubmitPool {
@@ -135,12 +181,14 @@ impl SubmitPool {
         let rx = Arc::new(Mutex::new(rx));
         let depth = Arc::new(AtomicUsize::new(0));
         let completed = Arc::new(AtomicU64::new(0));
+        let policy_totals: Arc<Mutex<Vec<PolicyTotals>>> = Arc::new(Mutex::new(Vec::new()));
         let workers = (0..jobs)
             .map(|_| {
                 let rx = Arc::clone(&rx);
                 let cache = Arc::clone(&cache);
                 let depth = Arc::clone(&depth);
                 let completed = Arc::clone(&completed);
+                let policy_totals = Arc::clone(&policy_totals);
                 std::thread::spawn(move || loop {
                     // Holding the lock across the blocking recv is the
                     // standard std worker-pool pattern: pickup is quick
@@ -160,6 +208,7 @@ impl SubmitPool {
                                 &problem.options,
                                 &cache,
                             );
+                            record_policy_totals(&policy_totals, &outcome, cached);
                             // A dropped ticket just means nobody is
                             // waiting anymore; the work (and its cache
                             // entry) still happened.
@@ -186,6 +235,7 @@ impl SubmitPool {
             accepted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             completed,
+            policy_totals,
         }
     }
 
@@ -207,6 +257,13 @@ impl SubmitPool {
     /// Jobs currently waiting in the admission queue (not yet picked up).
     pub fn queue_depth(&self) -> usize {
         self.depth.load(Ordering::Relaxed)
+    }
+
+    /// Per-policy lifetime counters, in first-encounter order. Wins count
+    /// every solved request (the cache remembers who won); steps and
+    /// fallbacks count only fresh solves — work this pool actually did.
+    pub fn policy_totals(&self) -> Vec<PolicyTotals> {
+        self.policy_totals.lock().unwrap().clone()
     }
 
     /// Lifetime counters: (accepted, rejected, completed).
@@ -331,7 +388,7 @@ mod tests {
             homes,
             options: PolicyOptions {
                 max_dp_steps: crate::STEPS_1S,
-                portfolio: false,
+                ..PolicyOptions::default()
             },
         }
     }

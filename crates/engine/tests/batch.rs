@@ -6,7 +6,7 @@
 //!   persistent cache is answered entirely from cache, with a summary
 //!   identical byte-for-byte (modulo wall clock) to the first run's.
 
-use vcsched_engine::{run_batch, BatchConfig, BatchSummary, CorpusSource, STEPS_1S};
+use vcsched_engine::{run_batch, BatchConfig, BatchSummary, CorpusSource, PolicySet, STEPS_1S};
 
 fn small_config(jobs: usize) -> BatchConfig {
     BatchConfig {
@@ -16,7 +16,7 @@ fn small_config(jobs: usize) -> BatchConfig {
             seed: 0xBEEF,
         },
         jobs,
-        portfolio: true,
+        policies: PolicySet::full(),
         max_dp_steps: STEPS_1S,
         ..BatchConfig::default()
     }
@@ -121,6 +121,73 @@ fn cache_respects_policy_boundaries() {
     );
 
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cache_never_aliases_across_policy_sets() {
+    // Regression test for policy-set aliasing: the cache key must
+    // incorporate the policy set (and every other policy knob), so an
+    // entry recorded for a vc-only request is never returned for a
+    // portfolio request over the identical block — their winners could
+    // legitimately differ.
+    use vcsched_engine::{solve_one, PolicyOptions, ScheduleCache};
+    use vcsched_workload::{benchmark, generate_block, live_in_placement, InputSet};
+
+    let spec = benchmark("130.li").expect("known benchmark");
+    let sb = generate_block(&spec, 11, 0, InputSet::Ref);
+    let machine = vcsched_arch::MachineConfig::paper_2c_8w();
+    let homes = live_in_placement(&sb, machine.cluster_count(), 11);
+    let cache = ScheduleCache::in_memory(64);
+
+    let opts = |spec: &str, early_cancel: bool| PolicyOptions {
+        max_dp_steps: STEPS_1S,
+        policies: PolicySet::parse(spec).expect("valid set"),
+        early_cancel,
+    };
+    let vc_only = opts("vc", false);
+    let full = opts("vc,cars,uas,two-phase", false);
+
+    let (_, cached) = solve_one(&sb, &machine, &homes, &vc_only, &cache);
+    assert!(!cached, "first vc-only solve is a miss");
+    let (_, cached) = solve_one(&sb, &machine, &homes, &full, &cache);
+    assert!(
+        !cached,
+        "a vc-only entry must never answer a portfolio request"
+    );
+    // Spelling does not matter — the canonical set does: a permuted,
+    // duplicated spec of the same portfolio must hit.
+    let permuted = opts("two-phase,uas,cars,vc,cars", false);
+    let (_, cached) = solve_one(&sb, &machine, &homes, &permuted, &cache);
+    assert!(cached, "canonically equal sets share one entry");
+    let (_, cached) = solve_one(&sb, &machine, &homes, &vc_only, &cache);
+    assert!(cached, "the vc-only entry is still there");
+    // Telemetry-changing knobs separate entries too.
+    let (_, cached) = solve_one(
+        &sb,
+        &machine,
+        &homes,
+        &opts("vc,cars,uas,two-phase", true),
+        &cache,
+    );
+    assert!(!cached, "early-cancel is part of the problem identity");
+}
+
+#[test]
+fn batch_summary_reports_per_policy_telemetry() {
+    let result = run_batch(&small_config(2)).expect("batch runs");
+    let s = &result.summary;
+    let names: Vec<&str> = s.policies.iter().map(|p| p.policy.as_str()).collect();
+    assert_eq!(names, vec!["vc", "cars", "uas", "two-phase"]);
+    let total_wins: usize = s.policies.iter().map(|p| p.wins).sum();
+    assert_eq!(total_wins, s.blocks, "every block has exactly one winner");
+    let by_name = |n: &str| s.policies.iter().find(|p| p.policy == n).unwrap();
+    assert_eq!(by_name("vc").wins, s.wins.vc);
+    assert_eq!(by_name("cars").wins, s.wins.cars);
+    assert_eq!(by_name("uas").wins, s.wins.uas);
+    assert_eq!(by_name("two-phase").wins, s.wins.two_phase);
+    assert_eq!(by_name("vc").fallbacks, s.vc_timeouts);
+    assert!(by_name("vc").steps > 0, "vc consumed deduction steps");
+    assert_eq!(by_name("cars").steps, 0, "single-pass: no deduction steps");
 }
 
 #[test]

@@ -10,7 +10,6 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use vcsched_engine::cache::{CacheEntry, ScheduleCache};
-use vcsched_engine::SchedulerKind;
 use vcsched_ir::Schedule;
 
 /// Stress entries use `check == key` so any key can be looked up.
@@ -18,7 +17,7 @@ fn entry(key: u64, awct: f64) -> CacheEntry {
     CacheEntry {
         key: format!("{key:016x}"),
         check: format!("{key:016x}"),
-        winner: SchedulerKind::Cars,
+        winner: "cars".to_owned(),
         awct,
         vc_steps: 0,
         vc_timed_out: false,
@@ -27,6 +26,7 @@ fn entry(key: u64, awct: f64) -> CacheEntry {
             clusters: vec![vcsched_arch::ClusterId(0)],
             copies: vec![],
         },
+        stats: Vec::new(),
     }
 }
 

@@ -1,0 +1,289 @@
+//! `vcsched-policy` — the [`SchedulePolicy`] trait: one fixed interface
+//! over every scheduler the engine can race.
+//!
+//! The paper's §6.1 evaluation races the virtual-cluster scheduler against
+//! CARS, UAS and two-phase baselines. Each of those lives in its own crate
+//! with its own concrete API; this crate defines the *policy* abstraction
+//! they all implement, so drivers (the portfolio racer, the batch engine,
+//! the service) talk to an interchangeable `dyn SchedulePolicy` instead of
+//! one bespoke call path per scheduler — the framing of portfolio /
+//! algorithm-selection schedulers in Casanova et al. and Stillwell et al.
+//!
+//! Three pieces:
+//!
+//! * [`SchedulePolicy`] — `name()` plus `schedule(block, machine, homes,
+//!   budget)`, returning a [`PolicyOutcome`] that carries the schedule
+//!   (if one was produced) and per-policy telemetry: deduction steps
+//!   used, wall-time, and whether a fallback was taken;
+//! * [`PolicyBudget`] — the cooperative budget a racer hands every
+//!   policy: the deduction-step cap plus a shared [`AwctBound`];
+//! * [`AwctBound`] — an atomic best-AWCT bound. A racer records each
+//!   validated candidate into it; an exhaustive policy whose *certified
+//!   lower bound* exceeds the recorded best knows it has already lost and
+//!   abandons the remaining work ([`PolicyFallback::Beaten`]).
+//!
+//! Determinism contract: a policy may abandon **only** when it can prove
+//! its result would be *strictly* worse than the bound. A policy that
+//! could still tie must keep working, because portfolio ties break by set
+//! order, not completion order — so early-cancel never changes which
+//! schedule wins, only how much work the losers burn.
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use serde::{DeError, Deserialize, Serialize, Value};
+use vcsched_arch::{ClusterId, MachineConfig};
+use vcsched_ir::{Schedule, Superblock};
+
+/// A shared atomic best-AWCT bound: the cooperative early-cancel channel
+/// between racing policies.
+///
+/// Stores the bits of a non-negative `f64` (IEEE-754 orders non-negative
+/// floats like their bit patterns, so `fetch_min` on bits is `fetch_min`
+/// on values). Starts at `+∞`; [`AwctBound::record`] lowers it.
+#[derive(Debug, Clone, Default)]
+pub struct AwctBound(Arc<AtomicU64>);
+
+impl AwctBound {
+    /// A fresh bound at `+∞` (nothing recorded yet).
+    pub fn new() -> AwctBound {
+        AwctBound(Arc::new(AtomicU64::new(f64::INFINITY.to_bits())))
+    }
+
+    /// Records a validated candidate AWCT, lowering the bound if it beats
+    /// the current best. Negative or NaN values are ignored.
+    pub fn record(&self, awct: f64) {
+        if awct.is_finite() && awct >= 0.0 {
+            self.0.fetch_min(awct.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// The best AWCT recorded so far (`+∞` if none).
+    pub fn best(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    /// Whether a policy whose certified lower bound is `lower_bound` has
+    /// already lost: some racer produced a *strictly better* schedule.
+    /// Strict comparison keeps ties alive — a tying policy can still win
+    /// on set order.
+    pub fn beaten(&self, lower_bound: f64) -> bool {
+        lower_bound > self.best()
+    }
+}
+
+/// The cooperative budget a racer hands each policy.
+#[derive(Debug, Clone)]
+pub struct PolicyBudget {
+    /// Deduction-step cap (the paper's compile-time threshold analogue,
+    /// §6.1). Single-pass policies ignore it; exhaustive policies abandon
+    /// with [`PolicyFallback::Budget`] when it runs out.
+    pub max_dp_steps: u64,
+    /// Shared best-AWCT bound for cooperative early-cancel. Pass a fresh
+    /// [`AwctBound::new`] (forever `+∞`) to disable cancellation.
+    pub best: AwctBound,
+}
+
+impl PolicyBudget {
+    /// A budget with the given step cap and cancellation disabled.
+    pub fn steps(max_dp_steps: u64) -> PolicyBudget {
+        PolicyBudget {
+            max_dp_steps,
+            best: AwctBound::new(),
+        }
+    }
+}
+
+/// Why a policy returned without a schedule (or `None` if it produced
+/// one). The "fallback taken" bit of the telemetry: a driver seeing
+/// anything but `None` applies its fallback policy (§6.1: CARS).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyFallback {
+    /// The policy produced a schedule; no fallback needed.
+    None,
+    /// The deduction-step (or wall-clock) budget ran out.
+    Budget,
+    /// The shared [`AwctBound`] proved the policy could only lose; it
+    /// abandoned the remaining work.
+    Beaten,
+    /// The policy gave up for an internal reason (e.g. the AWCT bump
+    /// limit).
+    GaveUp,
+}
+
+impl PolicyFallback {
+    /// Stable lower-case name (used in JSON telemetry).
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyFallback::None => "none",
+            PolicyFallback::Budget => "budget",
+            PolicyFallback::Beaten => "beaten",
+            PolicyFallback::GaveUp => "gave-up",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn parse(s: &str) -> Option<PolicyFallback> {
+        [
+            PolicyFallback::None,
+            PolicyFallback::Budget,
+            PolicyFallback::Beaten,
+            PolicyFallback::GaveUp,
+        ]
+        .into_iter()
+        .find(|f| f.name() == s)
+    }
+}
+
+impl std::fmt::Display for PolicyFallback {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl Serialize for PolicyFallback {
+    fn to_value(&self) -> Value {
+        Value::String(self.name().to_owned())
+    }
+}
+
+impl Deserialize for PolicyFallback {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| DeError::expected("policy fallback name", v))?;
+        PolicyFallback::parse(s).ok_or_else(|| DeError(format!("unknown policy fallback `{s}`")))
+    }
+}
+
+/// What one policy returns for one block: the schedule (if any) plus
+/// per-policy telemetry.
+#[derive(Debug, Clone)]
+pub struct PolicyOutcome {
+    /// The schedule, or `None` when the policy abandoned the block.
+    pub schedule: Option<Schedule>,
+    /// The policy's claimed AWCT (`+∞` when no schedule was produced).
+    /// Racers re-validate with the simulator; this is telemetry, not the
+    /// ranking key.
+    pub awct: f64,
+    /// Deduction steps consumed (0 for single-pass list schedulers,
+    /// which do no deduction).
+    pub steps: u64,
+    /// Wall-clock the policy spent on this block.
+    pub wall: Duration,
+    /// Whether (and why) a fallback was taken.
+    pub fallback: PolicyFallback,
+}
+
+impl PolicyOutcome {
+    /// A successful outcome.
+    pub fn solved(schedule: Schedule, awct: f64, steps: u64, wall: Duration) -> PolicyOutcome {
+        PolicyOutcome {
+            schedule: Some(schedule),
+            awct,
+            steps,
+            wall,
+            fallback: PolicyFallback::None,
+        }
+    }
+
+    /// An abandoned outcome (budget, beaten, or gave up).
+    pub fn abandoned(fallback: PolicyFallback, steps: u64, wall: Duration) -> PolicyOutcome {
+        PolicyOutcome {
+            schedule: None,
+            awct: f64::INFINITY,
+            steps,
+            wall,
+            fallback,
+        }
+    }
+}
+
+/// One scheduling policy behind a fixed interface.
+///
+/// Implementations live next to their schedulers (`vcsched-core` for the
+/// paper's virtual-cluster scheduler, `vcsched-cars` for CARS,
+/// `vcsched-baselines` for UAS and two-phase); the engine's registry maps
+/// canonical names to constructors so adding a policy is a one-file
+/// change plus a registry entry.
+pub trait SchedulePolicy: Send + Sync {
+    /// Stable lower-case name — the identity used in CLI flags, wire
+    /// requests, cache keys and win tables.
+    fn name(&self) -> &'static str;
+
+    /// Schedules one block. `homes` pins the block's live-ins to register
+    /// files (every racing policy receives the same placement, §6.1);
+    /// `budget` carries the step cap and the shared best-AWCT bound.
+    ///
+    /// Must be deterministic given `(block, machine, homes, budget.
+    /// max_dp_steps, budget.best)` — racers rely on it for reproducible
+    /// batch output.
+    fn schedule(
+        &self,
+        block: &Superblock,
+        machine: &MachineConfig,
+        homes: &[ClusterId],
+        budget: &PolicyBudget,
+    ) -> PolicyOutcome;
+
+    /// Whether this policy does open-ended (budgeted) search. Racers run
+    /// single-pass policies first and seal the [`AwctBound`] before the
+    /// exhaustive stage, which keeps early-cancel deterministic.
+    fn exhaustive(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_records_minimum_and_orders_correctly() {
+        let b = AwctBound::new();
+        assert_eq!(b.best(), f64::INFINITY);
+        assert!(!b.beaten(1e300), "nothing recorded: nobody is beaten");
+        b.record(7.5);
+        b.record(9.0); // worse: ignored
+        assert_eq!(b.best(), 7.5);
+        b.record(3.25);
+        assert_eq!(b.best(), 3.25);
+        // Strictness: a tie is not beaten (ties break by set order).
+        assert!(!b.beaten(3.25));
+        assert!(b.beaten(3.2500001));
+        assert!(!b.beaten(1.0));
+    }
+
+    #[test]
+    fn bound_ignores_nan_and_negatives() {
+        let b = AwctBound::new();
+        b.record(f64::NAN);
+        b.record(-1.0);
+        b.record(f64::INFINITY);
+        assert_eq!(b.best(), f64::INFINITY);
+    }
+
+    #[test]
+    fn bound_clones_share_state() {
+        let a = AwctBound::new();
+        let b = a.clone();
+        b.record(4.0);
+        assert_eq!(a.best(), 4.0);
+    }
+
+    #[test]
+    fn fallback_names_roundtrip() {
+        for f in [
+            PolicyFallback::None,
+            PolicyFallback::Budget,
+            PolicyFallback::Beaten,
+            PolicyFallback::GaveUp,
+        ] {
+            assert_eq!(PolicyFallback::parse(f.name()), Some(f));
+        }
+        assert_eq!(PolicyFallback::parse("bogus"), None);
+    }
+}

@@ -9,27 +9,33 @@
 //! ```text
 //! → {"type":"ping","delay_ms":0}
 //! ← {"ok":true,"type":"pong","delay_ms":0}
-//! → {"type":"schedule","block":{…},"machine":"2c","mode":"portfolio"}
-//! ← {"ok":true,"type":"schedule","winner":"vc","awct":11.2,…}
+//! → {"type":"schedule","block":{…},"machine":"2c","policies":["vc","uas"]}
+//! ← {"ok":true,"type":"schedule","winner":"vc","awct":11.2,"policies":[…],…}
 //! → {"type":"stats"}
-//! ← {"ok":true,"type":"stats","jobs":8,…,"cache":{…,"shards":[…]}}
+//! ← {"ok":true,"type":"stats","jobs":8,…,"policies":[…],"cache":{…}}
 //! ```
+//!
+//! `schedule` and `batch` requests pick their policy set per request:
+//! `"policies"` (a JSON array of registry names, or one comma-separated
+//! string) wins over the legacy `"mode"`/`"portfolio"` switches, which in
+//! turn win over the server's configured default set. Responses report
+//! per-policy telemetry (win counts, deduction steps, fallbacks).
 //!
 //! A rejected admission (queue full) is an `error` response carrying
 //! `retry_after_ms` — the client's backoff hint.
 
 use serde::{DeError, Deserialize, Serialize, Value};
-use vcsched_engine::SchedulerKind;
+use vcsched_engine::PolicyStat;
 use vcsched_ir::{Schedule, Superblock};
 
-/// Scheduling mode of a `schedule` request: the paper's §6.1 policy
-/// (VC with CARS fallback) or the widened four-scheduler portfolio.
+/// Legacy scheduling mode of a `schedule` request — shorthand for the
+/// two canonical policy sets. The `"policies"` field supersedes it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ScheduleMode {
-    /// VC under the step budget, CARS fallback (§6.1).
+    /// VC under the step budget, CARS fallback (§6.1): the `vc,cars` set.
     #[default]
     Single,
-    /// Race VC, CARS, UAS and two-phase; best validated AWCT wins.
+    /// The full registered portfolio: `vc,cars,uas,two-phase`.
     Portfolio,
 }
 
@@ -63,10 +69,15 @@ pub enum Request {
         block: Superblock,
         /// Machine preset name (`2c`, `4c1`, `4c2`, `hetero`).
         machine: String,
-        /// Policy or portfolio.
-        mode: ScheduleMode,
+        /// Explicit policy set (registry names). Wins over `mode`;
+        /// `None` falls through to `mode`, then the server default.
+        policies: Option<Vec<String>>,
+        /// Legacy mode shorthand (`None` = server default set).
+        mode: Option<ScheduleMode>,
         /// VC deduction-step budget (`None` = server default).
         steps: Option<u64>,
+        /// Cooperative early-cancel (`None` = server default).
+        early_cancel: Option<bool>,
         /// Live-in placement seed (`None` = server default).
         placement_seed: Option<u64>,
         /// Return the winning schedule itself, not just its metrics.
@@ -82,10 +93,15 @@ pub enum Request {
         seed: u64,
         /// Machine preset name.
         machine: String,
-        /// Portfolio mode for every block.
-        portfolio: bool,
+        /// Explicit policy set (registry names). Wins over `portfolio`.
+        policies: Option<Vec<String>>,
+        /// Legacy switch: `true` races the full portfolio, `false` the
+        /// §6.1 single mode (`None` = server default set).
+        portfolio: Option<bool>,
         /// VC deduction-step budget (`None` = server default).
         steps: Option<u64>,
+        /// Cooperative early-cancel (`None` = server default).
+        early_cancel: Option<bool>,
     },
     /// Service and cache counters.
     Stats,
@@ -103,8 +119,8 @@ pub enum Request {
 /// A `schedule` response body.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScheduleReply {
-    /// Winning scheduler.
-    pub winner: SchedulerKind,
+    /// Winning policy name.
+    pub winner: String,
     /// Validated AWCT of the winning schedule.
     pub awct: f64,
     /// Deduction steps the VC scheduler spent.
@@ -115,8 +131,24 @@ pub struct ScheduleReply {
     pub cached: bool,
     /// Inter-cluster copies in the winning schedule.
     pub copies: usize,
+    /// Per-policy telemetry of the race that produced this schedule (the
+    /// recorded race, when the answer came from the cache).
+    pub policies: Vec<PolicyStat>,
     /// The schedule itself, if `return_schedule` was set.
     pub schedule: Option<Schedule>,
+}
+
+/// Per-policy lifetime counters in a `stats` response.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PolicyTotalsReply {
+    /// Policy name (registry identity).
+    pub policy: String,
+    /// Requests this policy won (cached answers included).
+    pub wins: u64,
+    /// Deduction steps actually spent by the pool's workers.
+    pub steps: u64,
+    /// Fresh solves where the policy abandoned.
+    pub fallbacks: u64,
 }
 
 /// Per-shard cache counters in a `stats` response.
@@ -164,6 +196,9 @@ pub struct StatsReply {
     pub rejected: u64,
     /// Jobs completed since start.
     pub completed: u64,
+    /// Per-policy win counts and step totals since start, in
+    /// first-encounter order.
+    pub policies: Vec<PolicyTotalsReply>,
     /// Sharded cache counters.
     pub cache: CacheReply,
 }
@@ -223,16 +258,20 @@ impl Serialize for Request {
             Request::Schedule {
                 block,
                 machine,
+                policies,
                 mode,
                 steps,
+                early_cancel,
                 placement_seed,
                 return_schedule,
             } => obj(vec![
                 ("type", Value::String("schedule".into())),
                 ("block", block.to_value()),
                 ("machine", Value::String(machine.clone())),
-                ("mode", Value::String(mode.name().into())),
+                ("policies", policies.to_value()),
+                ("mode", mode.map(ScheduleMode::name).to_value()),
                 ("steps", steps.to_value()),
+                ("early_cancel", early_cancel.to_value()),
                 ("placement_seed", placement_seed.to_value()),
                 ("return_schedule", Value::Bool(*return_schedule)),
             ]),
@@ -241,16 +280,20 @@ impl Serialize for Request {
                 count,
                 seed,
                 machine,
+                policies,
                 portfolio,
                 steps,
+                early_cancel,
             } => obj(vec![
                 ("type", Value::String("batch".into())),
                 ("bench", Value::String(bench.clone())),
                 ("count", Value::UInt(*count as u64)),
                 ("seed", Value::UInt(*seed)),
                 ("machine", Value::String(machine.clone())),
-                ("portfolio", Value::Bool(*portfolio)),
+                ("policies", policies.to_value()),
+                ("portfolio", portfolio.to_value()),
                 ("steps", steps.to_value()),
+                ("early_cancel", early_cancel.to_value()),
             ]),
             Request::Stats => obj(vec![("type", Value::String("stats".into()))]),
             Request::Ping { delay_ms } => obj(vec![
@@ -271,6 +314,16 @@ fn opt<T: Deserialize>(v: &Value, name: &str) -> Result<Option<T>, DeError> {
     }
 }
 
+/// Reads the `policies` field: a JSON array of names, or one
+/// comma-separated string (`"vc,cars"`), both meaning the same set.
+fn opt_policies(v: &Value) -> Result<Option<Vec<String>>, DeError> {
+    match v.get("policies") {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::String(spec)) => Ok(Some(vcsched_engine::PolicySet::split_spec(spec))),
+        Some(field) => Vec::<String>::from_value(field).map(Some),
+    }
+}
+
 impl Deserialize for Request {
     fn from_value(v: &Value) -> Result<Self, DeError> {
         let ty = v
@@ -284,11 +337,13 @@ impl Deserialize for Request {
                         .ok_or_else(|| DeError::missing("schedule request", "block"))?,
                 )?,
                 machine: opt(v, "machine")?.unwrap_or_else(|| "2c".to_owned()),
+                policies: opt_policies(v)?,
                 mode: match opt::<String>(v, "mode")? {
-                    Some(s) => ScheduleMode::parse(&s)?,
-                    None => ScheduleMode::Single,
+                    Some(s) => Some(ScheduleMode::parse(&s)?),
+                    None => None,
                 },
                 steps: opt(v, "steps")?,
+                early_cancel: opt(v, "early_cancel")?,
                 placement_seed: opt(v, "placement_seed")?,
                 return_schedule: opt(v, "return_schedule")?.unwrap_or(false),
             }),
@@ -297,8 +352,10 @@ impl Deserialize for Request {
                 count: opt(v, "count")?.unwrap_or(100),
                 seed: opt(v, "seed")?.unwrap_or(7),
                 machine: opt(v, "machine")?.unwrap_or_else(|| "2c".to_owned()),
-                portfolio: opt(v, "portfolio")?.unwrap_or(false),
+                policies: opt_policies(v)?,
+                portfolio: opt(v, "portfolio")?,
                 steps: opt(v, "steps")?,
+                early_cancel: opt(v, "early_cancel")?,
             }),
             "stats" => Ok(Request::Stats),
             "ping" => Ok(Request::Ping {
@@ -391,8 +448,20 @@ mod tests {
                 count: 9,
                 seed: 3,
                 machine: "4c1".into(),
-                portfolio: true,
+                policies: None,
+                portfolio: Some(true),
                 steps: Some(5000),
+                early_cancel: None,
+            },
+            Request::Batch {
+                bench: "099.go".into(),
+                count: 4,
+                seed: 1,
+                machine: "2c".into(),
+                policies: Some(vec!["vc".into(), "uas".into()]),
+                portfolio: None,
+                steps: None,
+                early_cancel: Some(true),
             },
         ];
         for req in reqs {
@@ -420,19 +489,43 @@ mod tests {
         match req {
             Request::Schedule {
                 machine,
+                policies,
                 mode,
                 steps,
+                early_cancel,
                 placement_seed,
                 return_schedule,
                 ..
             } => {
                 assert_eq!(machine, "2c");
-                assert_eq!(mode, ScheduleMode::Single);
+                assert_eq!(policies, None);
+                assert_eq!(mode, None);
                 assert_eq!(steps, None);
+                assert_eq!(early_cancel, None);
                 assert_eq!(placement_seed, None);
                 assert!(!return_schedule);
             }
             other => panic!("parsed as {other:?}"),
+        }
+    }
+
+    #[test]
+    fn policies_accept_array_and_comma_string() {
+        for line in [
+            r#"{"type":"batch","policies":["vc","uas"]}"#,
+            r#"{"type":"batch","policies":"vc, uas"}"#,
+        ] {
+            let req: Request = serde_json::from_str(line).unwrap();
+            match req {
+                Request::Batch { policies, .. } => {
+                    assert_eq!(
+                        policies,
+                        Some(vec!["vc".to_owned(), "uas".to_owned()]),
+                        "{line}"
+                    );
+                }
+                other => panic!("parsed as {other:?}"),
+            }
         }
     }
 
@@ -452,6 +545,12 @@ mod tests {
                 accepted: 10,
                 rejected: 2,
                 completed: 9,
+                policies: vec![PolicyTotalsReply {
+                    policy: "vc".into(),
+                    wins: 6,
+                    steps: 12_000,
+                    fallbacks: 1,
+                }],
                 cache: CacheReply {
                     hits: 5,
                     misses: 4,

@@ -22,13 +22,14 @@ use std::time::Duration;
 
 use serde_json::to_string as to_json;
 use vcsched_engine::{
-    aggregate_batch, default_jobs, open_cache, BatchConfig, CorpusSource, PolicyOptions, Problem,
-    SubmitError, SubmitPool, STEPS_1M,
+    aggregate_batch, default_jobs, open_cache, BatchConfig, CorpusSource, PolicyOptions, PolicySet,
+    Problem, SubmitError, SubmitPool, STEPS_1M,
 };
 use vcsched_workload::live_in_placement;
 
 use crate::protocol::{
-    CacheReply, Request, Response, ScheduleMode, ScheduleReply, ShardReply, StatsReply,
+    CacheReply, PolicyTotalsReply, Request, Response, ScheduleMode, ScheduleReply, ShardReply,
+    StatsReply,
 };
 
 /// How often blocked connection reads wake up to check the stop flag.
@@ -55,6 +56,12 @@ pub struct ServiceConfig {
     pub max_request_bytes: usize,
     /// Default VC deduction-step budget for requests that omit `steps`.
     pub default_steps: u64,
+    /// Default policy set for requests that name neither `policies` nor
+    /// a legacy mode switch.
+    pub default_policies: PolicySet,
+    /// Default early-cancel switch for requests that omit
+    /// `early_cancel`.
+    pub default_early_cancel: bool,
     /// Default live-in placement seed for `schedule` requests.
     pub default_placement_seed: u64,
 }
@@ -70,8 +77,25 @@ impl Default for ServiceConfig {
             cache_dir: None,
             max_request_bytes: 1 << 20,
             default_steps: STEPS_1M,
+            default_policies: PolicySet::single(),
+            default_early_cancel: false,
             default_placement_seed: 0xC60_2007,
         }
+    }
+}
+
+/// Resolves a request's effective policy set: explicit `policies` wins,
+/// then the legacy mode/portfolio switch, then the server default.
+fn resolve_policies(
+    explicit: Option<Vec<String>>,
+    legacy_full: Option<bool>,
+    config: &ServiceConfig,
+) -> Result<PolicySet, String> {
+    match (explicit, legacy_full) {
+        (Some(names), _) => PolicySet::from_names(&names),
+        (None, Some(true)) => Ok(PolicySet::full()),
+        (None, Some(false)) => Ok(PolicySet::single()),
+        (None, None) => Ok(config.default_policies.clone()),
     }
 }
 
@@ -313,22 +337,33 @@ fn dispatch(line: &str, shared: &Shared) -> (Response, bool) {
         Request::Schedule {
             block,
             machine,
+            policies,
             mode,
             steps,
+            early_cancel,
             placement_seed,
             return_schedule,
         } => {
+            let error = |msg: String| {
+                (
+                    Response::Error {
+                        error: msg,
+                        retry_after_ms: None,
+                    },
+                    false,
+                )
+            };
             let machine = match crate::machine_by_name(&machine) {
                 Ok(m) => m,
-                Err(e) => {
-                    return (
-                        Response::Error {
-                            error: e,
-                            retry_after_ms: None,
-                        },
-                        false,
-                    )
-                }
+                Err(e) => return error(e),
+            };
+            let policies = match resolve_policies(
+                policies,
+                mode.map(|m| m == ScheduleMode::Portfolio),
+                &shared.config,
+            ) {
+                Ok(p) => p,
+                Err(e) => return error(e),
             };
             let homes = live_in_placement(
                 &block,
@@ -341,7 +376,8 @@ fn dispatch(line: &str, shared: &Shared) -> (Response, bool) {
                 homes,
                 options: PolicyOptions {
                     max_dp_steps: steps.unwrap_or(shared.config.default_steps),
-                    portfolio: mode == ScheduleMode::Portfolio,
+                    policies,
+                    early_cancel: early_cancel.unwrap_or(shared.config.default_early_cancel),
                 },
             };
             let ticket = match shared.pool.try_submit(problem) {
@@ -357,17 +393,12 @@ fn dispatch(line: &str, shared: &Shared) -> (Response, bool) {
                         vc_timed_out: solved.outcome.vc_timed_out,
                         cached: solved.cached,
                         copies: solved.outcome.schedule.copy_count(),
+                        policies: solved.outcome.policy_stats,
                         schedule: return_schedule.then_some(solved.outcome.schedule),
                     }),
                     false,
                 ),
-                Err(e) => (
-                    Response::Error {
-                        error: e,
-                        retry_after_ms: None,
-                    },
-                    false,
-                ),
+                Err(e) => error(e),
             }
         }
         Request::Batch {
@@ -375,10 +406,22 @@ fn dispatch(line: &str, shared: &Shared) -> (Response, bool) {
             count,
             seed,
             machine,
+            policies,
             portfolio,
             steps,
+            early_cancel,
         } => (
-            run_service_batch(shared, bench, count, seed, machine, portfolio, steps),
+            run_service_batch(
+                shared,
+                bench,
+                count,
+                seed,
+                machine,
+                policies,
+                portfolio,
+                steps,
+                early_cancel,
+            ),
             false,
         ),
         Request::Stats => (Response::Stats(stats(shared)), false),
@@ -421,14 +464,17 @@ fn submit_error(e: SubmitError) -> Response {
 /// Runs a `batch` request: every block is admitted to the shared pool
 /// (blocking for queue space — the requesting connection is the
 /// backpressure), results are aggregated with the engine's summary code.
+#[allow(clippy::too_many_arguments)] // mirrors the wire request's fields
 fn run_service_batch(
     shared: &Shared,
     bench: String,
     count: usize,
     seed: u64,
     machine: String,
-    portfolio: bool,
+    policies: Option<Vec<String>>,
+    portfolio: Option<bool>,
     steps: Option<u64>,
+    early_cancel: Option<bool>,
 ) -> Response {
     let error = |msg: String| Response::Error {
         error: msg,
@@ -438,11 +484,19 @@ fn run_service_batch(
         Ok(m) => m,
         Err(e) => return error(e),
     };
+    // The legacy switch spells the two canonical sets; only an *absent*
+    // switch falls through to the server's default (same precedence as
+    // the schedule verb's `mode`).
+    let policies = match resolve_policies(policies, portfolio, &shared.config) {
+        Ok(p) => p,
+        Err(e) => return error(e),
+    };
     let config = BatchConfig {
         source: CorpusSource::Synth { bench, count, seed },
         machine,
         jobs: shared.pool.jobs(),
-        portfolio,
+        policies,
+        early_cancel: early_cancel.unwrap_or(shared.config.default_early_cancel),
         max_dp_steps: steps.unwrap_or(shared.config.default_steps),
         ..BatchConfig::default()
     };
@@ -467,7 +521,8 @@ fn run_service_batch(
             homes,
             options: PolicyOptions {
                 max_dp_steps: config.max_dp_steps,
-                portfolio: config.portfolio,
+                policies: config.policies.clone(),
+                early_cancel: config.early_cancel,
             },
         };
         match shared.pool.submit(problem) {
@@ -499,6 +554,17 @@ fn stats(shared: &Shared) -> StatsReply {
         accepted,
         rejected,
         completed,
+        policies: shared
+            .pool
+            .policy_totals()
+            .into_iter()
+            .map(|t| PolicyTotalsReply {
+                policy: t.policy,
+                wins: t.wins,
+                steps: t.steps,
+                fallbacks: t.fallbacks,
+            })
+            .collect(),
         cache: CacheReply {
             hits: totals.hits,
             misses: totals.misses,

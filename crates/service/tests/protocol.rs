@@ -28,8 +28,10 @@ fn block_request(index: u64) -> Request {
     Request::Schedule {
         block: generate_block(&spec, 99, index, InputSet::Ref),
         machine: "2c".into(),
-        mode: ScheduleMode::Single,
+        policies: None,
+        mode: Some(ScheduleMode::Single),
         steps: Some(5_000),
+        early_cancel: None,
         placement_seed: Some(index),
         return_schedule: false,
     }
@@ -256,6 +258,82 @@ fn schedule_roundtrip_and_cache_hit_through_the_wire() {
             assert_eq!(stats.cache.shards.len(), 4);
             let shard_hits: u64 = stats.cache.shards.iter().map(|s| s.hits).sum();
             assert_eq!(shard_hits, 1, "the hit must be booked on one shard");
+        }
+        other => panic!("expected stats, got {other:?}"),
+    }
+
+    client.request(&Request::Shutdown).expect("shutdown");
+    server.join();
+}
+
+#[test]
+fn per_request_policy_sets_and_stats_telemetry() {
+    let server = small_server(2, 8);
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    // A baseline-only set: the winner must come from the requested set,
+    // and the reply's telemetry must cover exactly its members.
+    let spec = benchmark("130.li").expect("known benchmark");
+    let subset = Request::Schedule {
+        block: generate_block(&spec, 5, 0, InputSet::Ref),
+        machine: "2c".into(),
+        policies: Some(vec!["uas".into(), "two-phase".into()]),
+        mode: None,
+        steps: Some(5_000),
+        early_cancel: None,
+        placement_seed: Some(1),
+        return_schedule: false,
+    };
+    let reply = match client.request(&subset).expect("reply") {
+        Response::Schedule(reply) => reply,
+        other => panic!("expected schedule reply, got {other:?}"),
+    };
+    assert!(
+        reply.winner == "uas" || reply.winner == "two-phase",
+        "winner {} not in the requested set",
+        reply.winner
+    );
+    assert_eq!(reply.vc_steps, 0, "vc did not race");
+    let raced: Vec<&str> = reply.policies.iter().map(|s| s.policy.as_str()).collect();
+    assert_eq!(raced, vec!["uas", "two-phase"]);
+
+    // An unknown policy is a clean protocol error, not a hangup.
+    let bogus = Request::Schedule {
+        block: generate_block(&spec, 5, 0, InputSet::Ref),
+        machine: "2c".into(),
+        policies: Some(vec!["warp".into()]),
+        mode: None,
+        steps: Some(5_000),
+        early_cancel: None,
+        placement_seed: Some(1),
+        return_schedule: false,
+    };
+    match client.request(&bogus).expect("reply") {
+        Response::Error { error, .. } => {
+            assert!(error.contains("unknown policy `warp`"), "{error}");
+        }
+        other => panic!("expected error, got {other:?}"),
+    }
+
+    // The same set spelled as a comma string works through the raw path.
+    let raw = client
+        .request_raw(
+            &serde_json::to_string(&subset)
+                .unwrap()
+                .replace(r#"["uas","two-phase"]"#, r#""two-phase , uas""#),
+        )
+        .expect("raw reply");
+    assert!(raw.contains(r#""ok":true"#), "{raw}");
+
+    // Lifetime per-policy totals surface in stats.
+    match client.request(&Request::Stats).expect("stats") {
+        Response::Stats(stats) => {
+            let total_wins: u64 = stats.policies.iter().map(|t| t.wins).sum();
+            assert_eq!(total_wins, 2, "two solved requests, two wins");
+            assert!(stats
+                .policies
+                .iter()
+                .all(|t| t.policy == "uas" || t.policy == "two-phase"));
         }
         other => panic!("expected stats, got {other:?}"),
     }

@@ -2,7 +2,7 @@
 //!
 //! The paper's single-communication-per-value assumption is motivated by
 //! register pressure ("more communications may help register pressure
-//! [7]", §3.3.1): every extra copy of a value parks it in another register
+//! \[7\]", §3.3.1): every extra copy of a value parks it in another register
 //! file. This module measures exactly that — per-cluster live-value counts
 //! over the schedule — so experiments can quantify the pressure cost of a
 //! scheduler's communication choices.

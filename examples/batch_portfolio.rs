@@ -9,7 +9,9 @@
 //! Run with: `cargo run --release --example batch_portfolio`
 
 use vcsched::arch::MachineConfig;
-use vcsched::engine::{run_batch_with_cache, BatchConfig, CorpusSource, ScheduleCache, STEPS_1S};
+use vcsched::engine::{
+    run_batch_with_cache, BatchConfig, CorpusSource, PolicySet, ScheduleCache, STEPS_1S,
+};
 
 fn main() -> Result<(), String> {
     let config = BatchConfig {
@@ -19,7 +21,7 @@ fn main() -> Result<(), String> {
             seed: 0xC60_2007,
         },
         machine: MachineConfig::paper_4c_16w_lat2(),
-        portfolio: true,
+        policies: PolicySet::full(),
         max_dp_steps: STEPS_1S,
         ..BatchConfig::default()
     };

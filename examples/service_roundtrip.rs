@@ -35,7 +35,8 @@ fn main() {
     println!("service_roundtrip: targeting {addr}");
 
     // Concurrent mixed-mode traffic: every thread schedules its own
-    // block, alternating the §6.1 policy and the full portfolio.
+    // block, cycling the §6.1 policy, the full portfolio, and an
+    // explicit per-request policy subset.
     let workers: Vec<_> = (0..8u64)
         .map(|i| {
             let addr = addr.clone();
@@ -46,12 +47,14 @@ fn main() {
                 let request = Request::Schedule {
                     block,
                     machine: if i % 4 == 0 { "4c1" } else { "2c" }.into(),
-                    mode: if i % 2 == 0 {
-                        ScheduleMode::Single
-                    } else {
-                        ScheduleMode::Portfolio
+                    policies: (i % 3 == 2).then(|| vec!["cars".into(), "uas".into()]),
+                    mode: match i % 3 {
+                        0 => Some(ScheduleMode::Single),
+                        1 => Some(ScheduleMode::Portfolio),
+                        _ => None, // the explicit policies field decides
                     },
                     steps: Some(5_000),
+                    early_cancel: None,
                     placement_seed: Some(i),
                     return_schedule: false,
                 };
@@ -89,8 +92,10 @@ fn main() {
     let repeat = Request::Schedule {
         block: generate_block(&spec, 42, 0, InputSet::Ref),
         machine: "4c1".into(),
-        mode: ScheduleMode::Single,
+        policies: None,
+        mode: Some(ScheduleMode::Single),
         steps: Some(5_000),
+        early_cancel: None,
         placement_seed: Some(0),
         return_schedule: false,
     };
@@ -128,8 +133,10 @@ fn main() {
             count: 12,
             seed: 3,
             machine: "2c".into(),
-            portfolio: true,
+            policies: None,
+            portfolio: Some(true),
             steps: Some(5_000),
+            early_cancel: None,
         })
         .expect("response")
     {

@@ -8,13 +8,16 @@
 //! * [`cars`] — the CARS baseline the paper compares against;
 //! * [`baselines`] — UAS and two-phase partition-then-schedule, the other
 //!   two families in the paper's related work;
-//! * [`cfg`] — control-flow graphs, profiles, trace selection, superblock
+//! * [`mod@cfg`] — control-flow graphs, profiles, trace selection, superblock
 //!   formation (the IMPACT-style front end);
 //! * [`workload`] — synthetic SpecInt95/MediaBench superblock corpora;
 //! * [`sim`] — schedule validation, trace-driven execution, register
 //!   pressure, VLIW listings;
+//! * [`policy`] — the `SchedulePolicy` trait every scheduler implements,
+//!   so drivers race interchangeable policies instead of concrete types;
 //! * [`engine`] — the parallel batch-scheduling engine: worker pool,
-//!   portfolio mode, sharded memoizing schedule cache;
+//!   policy registry and configurable portfolios, sharded memoizing
+//!   schedule cache;
 //! * [`service`] — the long-running daemon: TCP server speaking
 //!   newline-delimited JSON over a bounded admission queue;
 //! * [`arch`], [`ir`], [`graph`] — machine model, superblock IR, graph
@@ -28,6 +31,7 @@ pub use vcsched_core as core;
 pub use vcsched_engine as engine;
 pub use vcsched_graph as graph;
 pub use vcsched_ir as ir;
+pub use vcsched_policy as policy;
 pub use vcsched_service as service;
 pub use vcsched_sim as sim;
 pub use vcsched_workload as workload;

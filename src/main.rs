@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! vcsched machines                         list machine presets
+//! vcsched policies                         list registered scheduling policies
 //! vcsched gen [OPTS]                       dump a corpus superblock as JSON
 //! vcsched schedule [OPTS]                  schedule a JSON superblock
 //! vcsched batch [OPTS]                     batch-schedule a corpus in parallel
@@ -17,9 +18,8 @@
 use std::process::ExitCode;
 
 use vcsched::arch::{MachineConfig, OpClass};
-use vcsched::baselines::{ClusterOrder, TwoPhaseScheduler, UasScheduler};
 use vcsched::cars::CarsScheduler;
-use vcsched::core::{VcOptions, VcScheduler};
+use vcsched::core::VcScheduler;
 use vcsched::ir::{Schedule, Superblock, SuperblockBuilder};
 use vcsched::sim::{execute, listing, pressure, validate, ExecOptions};
 use vcsched::workload::{benchmark, benchmarks, generate_block, InputSet};
@@ -29,19 +29,24 @@ vcsched — virtual cluster scheduling for clustered VLIW processors
 
 USAGE:
     vcsched machines
+    vcsched policies
     vcsched gen [--bench NAME] [--index N] [--seed N] [--out FILE]
     vcsched schedule --block FILE [--machine M] [--scheduler S]
                      [--steps N] [--listing] [--execute] [--pressure]
     vcsched batch [--corpus FILE | --bench NAME] [--count N] [--seed N]
-                  [--machine M] [--jobs N] [--portfolio] [--cache DIR]
-                  [--cache-shards N] [--steps N] [--details]
+                  [--machine M] [--jobs N] [--policies P,P,… | --portfolio]
+                  [--early-cancel] [--cache DIR] [--cache-shards N]
+                  [--steps N] [--details]
     vcsched serve [--addr HOST:PORT] [--jobs N] [--queue N] [--cache DIR]
-                  [--cache-shards N] [--steps N] [--max-request BYTES]
+                  [--cache-shards N] [--steps N] [--policies P,P,…]
+                  [--early-cancel] [--max-request BYTES]
     vcsched request [--addr HOST:PORT] (stats | shutdown | ping [--delay-ms N]
-                  | schedule --block FILE [--machine M] [--mode single|portfolio]
-                    [--steps N] [--placement-seed N] [--return-schedule]
+                  | schedule --block FILE [--machine M] [--policies P,P,…]
+                    [--mode single|portfolio] [--steps N] [--early-cancel]
+                    [--placement-seed N] [--return-schedule]
                   | batch [--bench NAME] [--count N] [--seed N] [--machine M]
-                    [--portfolio] [--steps N]
+                    [--policies P,P,…] [--portfolio] [--steps N]
+                    [--early-cancel]
                   | --json LINE)
     vcsched demo
     vcsched help
@@ -49,15 +54,20 @@ USAGE:
 BATCH:
     Streams superblocks from a JSONL corpus (--corpus; one block per
     line) or synthesizes them (--bench/--count/--seed), fans them out
-    over a worker pool (--jobs, default: all cores), and schedules each
-    block under the paper's Section 6.1 policy: virtual-cluster
-    scheduling within a deduction-step budget (--steps), CARS fallback
-    on timeout. --portfolio races UAS and two-phase too, keeping the
-    best validated schedule. --cache DIR persists a content-addressed
-    schedule cache so repeated runs are near-instant; --cache-shards
-    partitions it N ways (one lock per shard, default 8). Prints a JSON
-    summary (per-scheduler win counts, aggregate AWCT, wall-clock,
-    cache hit rate); --details adds per-block JSONL on stderr.
+    over a worker pool (--jobs, default: all cores), and races the
+    selected policy set per block. The default set `vc,cars` is the
+    paper's Section 6.1 policy: virtual-cluster scheduling within a
+    deduction-step budget (--steps), CARS fallback on timeout.
+    --policies picks any subset of the registered policies (see
+    `vcsched policies`); --portfolio is shorthand for all of them.
+    --early-cancel lets a provably beaten search abandon its work (same
+    winners, less work, different loser telemetry). --cache DIR
+    persists a content-addressed schedule cache so repeated runs are
+    near-instant (the key covers the policy set, so different
+    portfolios never alias); --cache-shards partitions it N ways (one
+    lock per shard, default 8). Prints a JSON summary (per-policy win
+    counts and step totals, aggregate AWCT, wall-clock, cache hit
+    rate); --details adds per-block JSONL on stderr.
 
 SERVE / REQUEST:
     `serve` runs the engine as a daemon: a TCP listener (default
@@ -66,10 +76,13 @@ SERVE / REQUEST:
     queue (--queue, default 64) in front of --jobs workers; when the
     queue is full the server rejects with
     {\"ok\":false,...,\"retry_after_ms\":N} instead of queueing
-    unboundedly. All schedules flow through the sharded cache; `stats`
-    reports queue depth and per-shard hit/eviction counters. `request`
-    is the matching thin client; `--json LINE` sends a raw protocol
-    line. A `shutdown` request drains in-flight work, then exits.
+    unboundedly. `schedule`/`batch` requests pick their policy set per
+    request (\"policies\"); --policies sets the server default. All
+    schedules flow through the sharded cache; `stats` reports queue
+    depth, per-policy win/step totals and per-shard hit/eviction
+    counters. `request` is the matching thin client; `--json LINE`
+    sends a raw protocol line. A `shutdown` request drains in-flight
+    work, then exits.
 
 MACHINES (for --machine):
     2c        paper config 1: 2 clusters, 8-issue, 1-cycle bus   [default]
@@ -77,7 +90,7 @@ MACHINES (for --machine):
     4c2       paper config 3: 4 clusters, 16-issue, 2-cycle unpipelined bus
     hetero    heterogeneous 2-cluster preset
 
-SCHEDULERS (for --scheduler):
+POLICIES (for --policies / --scheduler; see `vcsched policies`):
     vc        the paper's virtual-cluster scheduler              [default]
     cars      CARS baseline (single-pass list scheduling)
     uas       unified assign-and-schedule (CWP cluster order)
@@ -89,6 +102,7 @@ fn main() -> ExitCode {
     let cmd = args.first().map(String::as_str).unwrap_or("help");
     let r = match cmd {
         "machines" => cmd_machines(),
+        "policies" => cmd_policies(),
         "gen" => cmd_gen(&args[1..]),
         "schedule" => cmd_schedule(&args[1..]),
         "batch" => cmd_batch(&args[1..]),
@@ -139,6 +153,29 @@ fn cmd_machines() -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_policies() -> Result<(), String> {
+    // The registry is the single source of truth: whatever is registered
+    // is selectable via --policies and the service protocol.
+    for (name, origin) in vcsched::engine::PolicyRegistry::builtin().catalogue() {
+        println!("{name:<10} {origin}");
+    }
+    Ok(())
+}
+
+/// Parses the `--policies`/`--portfolio` pair shared by `batch` and
+/// `serve`. `None` means "use the default set".
+fn policy_set_flags(args: &[String]) -> Result<Option<vcsched::engine::PolicySet>, String> {
+    match (
+        flag_value(args, "--policies"),
+        has_flag(args, "--portfolio"),
+    ) {
+        (Some(_), true) => Err("--policies and --portfolio are mutually exclusive".into()),
+        (Some(spec), false) => vcsched::engine::PolicySet::parse(spec).map(Some),
+        (None, true) => Ok(Some(vcsched::engine::PolicySet::full())),
+        (None, false) => Ok(None),
+    }
+}
+
 fn cmd_gen(args: &[String]) -> Result<(), String> {
     let bench_name = flag_value(args, "--bench").unwrap_or("099.go");
     let index: u64 = flag_value(args, "--index")
@@ -182,61 +219,41 @@ fn cmd_schedule(args: &[String]) -> Result<(), String> {
         .map_err(|e| format!("--steps: {e}"))?;
     let scheduler = flag_value(args, "--scheduler").unwrap_or("vc");
 
-    let schedule: Schedule = match scheduler {
-        "vc" => {
-            let vc = VcScheduler::with_options(
-                machine.clone(),
-                VcOptions {
-                    max_dp_steps: steps,
-                    ..VcOptions::default()
-                },
-            );
-            match vc.schedule(&sb) {
-                Ok(out) => {
-                    eprintln!(
-                        "vc: AWCT {:.3} (lower bound {:.3}), {} copies, {} DP steps, {} bumps",
-                        out.awct,
-                        out.stats.min_awct,
-                        out.stats.copies,
-                        out.stats.dp_steps,
-                        out.stats.awct_bumps
-                    );
-                    out.schedule
-                }
-                Err(e) => {
-                    eprintln!("vc: {e}; falling back to CARS (the paper's policy)");
-                    CarsScheduler::new(machine.clone()).schedule(&sb).schedule
-                }
-            }
-        }
-        "cars" => {
-            let out = CarsScheduler::new(machine.clone()).schedule(&sb);
+    // Resolve through the registry: any registered policy (built-in or
+    // plugin) is a valid --scheduler, and the error message lists the
+    // live table. Live-ins go round-robin, matching the schedulers' own
+    // `schedule()` convention.
+    let policy = vcsched::engine::PolicyRegistry::builtin().create(scheduler)?;
+    let k = machine.cluster_count();
+    let homes: Vec<vcsched::arch::ClusterId> = sb
+        .live_ins()
+        .enumerate()
+        .map(|(i, _)| vcsched::arch::ClusterId((i % k) as u8))
+        .collect();
+    let out = policy.schedule(
+        &sb,
+        &machine,
+        &homes,
+        &vcsched::engine::PolicyBudget::steps(steps),
+    );
+    let schedule: Schedule = match out.schedule {
+        Some(schedule) => {
             eprintln!(
-                "cars: AWCT {:.3}, {} copies",
+                "{scheduler}: AWCT {:.3}, {} copies, {} deduction steps, {} ms",
                 out.awct,
-                out.schedule.copy_count()
+                schedule.copy_count(),
+                out.steps,
+                out.wall.as_millis()
             );
-            out.schedule
+            schedule
         }
-        "uas" => {
-            let out = UasScheduler::new(machine.clone(), ClusterOrder::Cwp).schedule(&sb);
+        None => {
             eprintln!(
-                "uas/CWP: AWCT {:.3}, {} copies",
-                out.awct,
-                out.schedule.copy_count()
+                "{scheduler}: gave up ({}, {} steps); falling back to CARS (the paper's policy)",
+                out.fallback, out.steps
             );
-            out.schedule
+            CarsScheduler::new(machine.clone()).schedule(&sb).schedule
         }
-        "two-phase" => {
-            let out = TwoPhaseScheduler::new(machine.clone()).schedule(&sb);
-            eprintln!(
-                "two-phase: AWCT {:.3}, {} copies",
-                out.awct,
-                out.schedule.copy_count()
-            );
-            out.schedule
-        }
-        other => return Err(format!("unknown scheduler `{other}`")),
     };
 
     let report = validate(&sb, &machine, &schedule)
@@ -303,7 +320,8 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
             Some(n) => n.parse().map_err(|e| format!("--jobs: {e}"))?,
             None => vcsched::engine::default_jobs(),
         },
-        portfolio: has_flag(args, "--portfolio"),
+        policies: policy_set_flags(args)?.unwrap_or_default(),
+        early_cancel: has_flag(args, "--early-cancel"),
         max_dp_steps: flag_value(args, "--steps")
             .unwrap_or("300000")
             .parse()
@@ -355,6 +373,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             .unwrap_or("300000")
             .parse()
             .map_err(|e| format!("--steps: {e}"))?,
+        default_policies: policy_set_flags(args)?.unwrap_or_default(),
+        default_early_cancel: has_flag(args, "--early-cancel"),
         ..vcsched::service::ServiceConfig::default()
     };
     let jobs = config.jobs;
@@ -390,7 +410,7 @@ fn cmd_request(args: &[String]) -> Result<(), String> {
     }
 
     // The verb is the first token that is not a flag or a flag's value.
-    let boolean_flags = ["--portfolio", "--return-schedule"];
+    let boolean_flags = ["--portfolio", "--return-schedule", "--early-cancel"];
     let mut verb = None;
     let mut i = 0;
     while i < args.len() {
@@ -411,6 +431,11 @@ fn cmd_request(args: &[String]) -> Result<(), String> {
         Some(n) => Some(n.parse().map_err(|e| format!("--steps: {e}"))?),
         None => None,
     };
+    // Forwarded verbatim: the server validates names against its
+    // registry and answers a clean protocol error for unknown ones.
+    let policies: Option<Vec<String>> =
+        flag_value(args, "--policies").map(vcsched::engine::PolicySet::split_spec);
+    let early_cancel = has_flag(args, "--early-cancel").then_some(true);
     let request = match verb.as_str() {
         "stats" => Request::Stats,
         "shutdown" => Request::Shutdown,
@@ -426,12 +451,15 @@ fn cmd_request(args: &[String]) -> Result<(), String> {
             Request::Schedule {
                 block: serde_json::from_str(&data).map_err(|e| format!("{path}: {e}"))?,
                 machine: flag_value(args, "--machine").unwrap_or("2c").to_owned(),
-                mode: match flag_value(args, "--mode").unwrap_or("single") {
-                    "single" => ScheduleMode::Single,
-                    "portfolio" => ScheduleMode::Portfolio,
-                    other => return Err(format!("--mode: unknown mode `{other}`")),
+                policies,
+                mode: match flag_value(args, "--mode") {
+                    None => None,
+                    Some("single") => Some(ScheduleMode::Single),
+                    Some("portfolio") => Some(ScheduleMode::Portfolio),
+                    Some(other) => return Err(format!("--mode: unknown mode `{other}`")),
                 },
                 steps,
+                early_cancel,
                 placement_seed: match flag_value(args, "--placement-seed") {
                     Some(n) => Some(n.parse().map_err(|e| format!("--placement-seed: {e}"))?),
                     None => None,
@@ -450,8 +478,10 @@ fn cmd_request(args: &[String]) -> Result<(), String> {
                 .parse()
                 .map_err(|e| format!("--seed: {e}"))?,
             machine: flag_value(args, "--machine").unwrap_or("2c").to_owned(),
-            portfolio: has_flag(args, "--portfolio"),
+            policies,
+            portfolio: has_flag(args, "--portfolio").then_some(true),
             steps,
+            early_cancel,
         },
         other => return Err(format!("unknown request verb `{other}`")),
     };

@@ -87,6 +87,8 @@ fn vc_schedules_validate_everywhere() {
                     Err(VcError::BudgetExhausted) | Err(VcError::BumpLimitReached) => {
                         fallbacks += 1;
                     }
+                    // No cutoff configured: a cancellation here is a bug.
+                    Err(VcError::Beaten) => panic!("beaten without a cutoff"),
                 }
             }
         }

@@ -18,7 +18,7 @@ use proptest::prelude::*;
 use vcsched::arch::MachineConfig;
 use vcsched::baselines::{ClusterOrder, TwoPhaseScheduler, UasScheduler};
 use vcsched::cars::CarsScheduler;
-use vcsched::engine::{schedule_block, PolicyOptions, SchedulerKind, STEPS_1S};
+use vcsched::engine::{schedule_block, PolicyOptions, PolicySet, STEPS_1S};
 use vcsched::ir::{Schedule, Superblock};
 use vcsched::workload::{benchmarks, generate_block, live_in_placement, InputSet};
 
@@ -84,7 +84,12 @@ proptest! {
             &homes,
             &PolicyOptions {
                 max_dp_steps: STEPS_1S,
-                portfolio,
+                policies: if portfolio {
+                    PolicySet::full()
+                } else {
+                    PolicySet::single()
+                },
+                early_cancel: false,
             },
         );
         assert_valid(
@@ -95,13 +100,10 @@ proptest! {
         );
         prop_assert!(out.awct > 0.0);
         if !portfolio {
-            prop_assert!(matches!(
-                out.winner,
-                SchedulerKind::Vc | SchedulerKind::Cars
-            ));
+            prop_assert!(out.winner == "vc" || out.winner == "cars");
         }
         if out.vc_timed_out {
-            prop_assert!(out.winner != SchedulerKind::Vc);
+            prop_assert!(out.winner != "vc");
         }
     }
 
