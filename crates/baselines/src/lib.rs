@@ -63,6 +63,11 @@ use vcsched_policy::{PolicyBudget, PolicyOutcome, SchedulePolicy};
 
 /// UAS as a portfolio policy (CWP cluster order unless configured
 /// otherwise). Single-pass and infallible; ignores the step budget.
+///
+/// Each cluster order is a distinct registry identity — `uas` (CWP, the
+/// paper's §6.1 pick), `uas-mwp`, `uas-none` and `uas-balance` — so a
+/// portfolio can race the orders against each other and the adaptive
+/// selector can learn which one wins a given block class.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct UasPolicy {
     /// Cluster-priority heuristic handed to [`UasScheduler`].
@@ -76,11 +81,37 @@ impl UasPolicy {
             order: ClusterOrder::Cwp,
         }
     }
+
+    /// Magnitude-weighted predecessors (registry name `uas-mwp`).
+    pub fn mwp() -> UasPolicy {
+        UasPolicy {
+            order: ClusterOrder::Mwp,
+        }
+    }
+
+    /// Özer et al.'s "no ordering" (registry name `uas-none`).
+    pub fn unordered() -> UasPolicy {
+        UasPolicy {
+            order: ClusterOrder::None,
+        }
+    }
+
+    /// Least-loaded-cluster-first (registry name `uas-balance`).
+    pub fn balance() -> UasPolicy {
+        UasPolicy {
+            order: ClusterOrder::LoadBalance,
+        }
+    }
 }
 
 impl SchedulePolicy for UasPolicy {
     fn name(&self) -> &'static str {
-        "uas"
+        match self.order {
+            ClusterOrder::Cwp => "uas",
+            ClusterOrder::Mwp => "uas-mwp",
+            ClusterOrder::None => "uas-none",
+            ClusterOrder::LoadBalance => "uas-balance",
+        }
     }
 
     fn schedule(

@@ -1,0 +1,217 @@
+//! `adaptive_bench` — the perf-trajectory driver behind CI's bench lane.
+//!
+//! Races the golden corpus twice — once as the full §6.1 portfolio, once
+//! adaptively after a training pass — and writes one stable-schema JSON
+//! document (`BENCH_adaptive.json` by default) recording blocks/sec,
+//! total deduction steps, aggregate AWCT, per-policy wins and the
+//! selector's decision counts for both modes. CI uploads the file as an
+//! artifact, so the repository accumulates a perf trajectory over time.
+//!
+//! Exits non-zero if adaptive mode produces a worse aggregate AWCT than
+//! the full race — the selector's contract is "same answer, less work",
+//! and this driver is the gate that enforces it on every push.
+//!
+//! ```console
+//! $ adaptive_bench [--corpus FILE] [--out FILE] [--machine M]
+//!                  [--steps N] [--jobs N] [--repeats N]
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use serde::Value;
+use vcsched_arch::MachineConfig;
+use vcsched_engine::{
+    run_batch_with_cache, run_batch_with_selector, AdaptiveOptions, BatchConfig, BatchResult,
+    BatchSummary, CorpusSource, PolicySet, ScheduleCache, SelectorTable,
+};
+
+fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+fn total_steps(summary: &BatchSummary) -> u64 {
+    summary.policies.iter().map(|p| p.steps).sum()
+}
+
+fn wins(summary: &BatchSummary) -> Value {
+    Value::Object(
+        summary
+            .policies
+            .iter()
+            .map(|p| (p.policy.clone(), Value::UInt(p.wins as u64)))
+            .collect(),
+    )
+}
+
+/// One mode's section of the report.
+fn mode_report(summary: &BatchSummary, wall_ms: u64, repeats: u64) -> Vec<(&'static str, Value)> {
+    let total_blocks = summary.blocks as u64 * repeats;
+    let blocks_per_sec = total_blocks as f64 / (wall_ms.max(1) as f64 / 1_000.0);
+    vec![
+        ("blocks_per_sec", Value::Float(blocks_per_sec)),
+        ("wall_ms", Value::UInt(wall_ms)),
+        ("total_steps", Value::UInt(total_steps(summary))),
+        ("aggregate_awct", Value::Float(summary.aggregate_awct)),
+        ("wins", wins(summary)),
+    ]
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(ok) => {
+            if ok {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("adaptive_bench: error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<bool, String> {
+    let corpus =
+        PathBuf::from(flag(args, "--corpus").unwrap_or("tests/fixtures/golden_corpus.jsonl"));
+    let out = PathBuf::from(flag(args, "--out").unwrap_or("BENCH_adaptive.json"));
+    let machine_key = flag(args, "--machine").unwrap_or("2c");
+    let machine = MachineConfig::preset(machine_key)
+        .ok_or_else(|| format!("unknown machine preset `{machine_key}`"))?;
+    let steps: u64 = flag(args, "--steps")
+        .unwrap_or("5000")
+        .parse()
+        .map_err(|e| format!("--steps: {e}"))?;
+    let jobs: usize = match flag(args, "--jobs") {
+        Some(n) => n.parse().map_err(|e| format!("--jobs: {e}"))?,
+        None => vcsched_engine::default_jobs(),
+    };
+    let repeats: u64 = flag(args, "--repeats")
+        .unwrap_or("5")
+        .parse::<u64>()
+        .map_err(|e| format!("--repeats: {e}"))?
+        .max(1);
+
+    let config = BatchConfig {
+        source: CorpusSource::Jsonl(corpus.clone()),
+        machine,
+        jobs,
+        policies: PolicySet::full(),
+        max_dp_steps: steps,
+        ..BatchConfig::default()
+    };
+    let blocks = config.source.load()?;
+
+    // A timed pass runs the mode `repeats` times against fresh caches
+    // (cold every iteration — we are measuring scheduling, not cache
+    // lookups) and keeps the last result plus the summed wall time.
+    let timed = |run_once: &dyn Fn() -> Result<BatchResult, String>| {
+        let t0 = std::time::Instant::now();
+        let mut last = None;
+        for _ in 0..repeats {
+            last = Some(run_once()?);
+        }
+        Ok::<_, String>((last.expect("repeats >= 1"), t0.elapsed().as_millis() as u64))
+    };
+
+    // Mode 1: the full §6.1 race — also the adaptive mode's baseline
+    // and training data.
+    let (full, full_wall) = timed(&|| {
+        let cache = ScheduleCache::in_memory_sharded(config.cache_capacity, config.cache_shards);
+        run_batch_with_cache(&config, &blocks, &cache, std::time::Instant::now())
+    })?;
+
+    // Train a selector with one greedy adaptive pass (cold table =
+    // full race everywhere), then time the trained adaptive mode.
+    let adaptive_config = BatchConfig {
+        adaptive: Some(AdaptiveOptions {
+            epsilon: 0.0,
+            min_observations: 1,
+            ..AdaptiveOptions::default()
+        }),
+        ..config.clone()
+    };
+    let adaptive_run = |table: &mut SelectorTable| {
+        let cache = ScheduleCache::in_memory_sharded(config.cache_capacity, config.cache_shards);
+        run_batch_with_selector(
+            &adaptive_config,
+            &blocks,
+            &cache,
+            table,
+            std::time::Instant::now(),
+        )
+    };
+    let mut trained = SelectorTable::new();
+    adaptive_run(&mut trained)?;
+    let (adaptive, adaptive_wall) = timed(&|| adaptive_run(&mut trained.clone()))?;
+
+    let selector = adaptive
+        .summary
+        .adaptive
+        .clone()
+        .ok_or("adaptive run reported no selector stats")?;
+    let awct_match =
+        adaptive.summary.aggregate_awct.to_bits() == full.summary.aggregate_awct.to_bits();
+    let full_steps = total_steps(&full.summary).max(1);
+    let step_savings = 1.0 - total_steps(&adaptive.summary) as f64 / full_steps as f64;
+
+    let report = obj(vec![
+        ("schema", Value::String("vcsched-bench-adaptive/v1".into())),
+        ("corpus", Value::String(corpus.display().to_string())),
+        ("machine", Value::String(machine_key.to_owned())),
+        ("blocks", Value::UInt(blocks.len() as u64)),
+        ("steps_budget", Value::UInt(steps)),
+        ("jobs", Value::UInt(config.jobs.max(1) as u64)),
+        ("repeats", Value::UInt(repeats)),
+        ("policies", Value::String(config.policies.key())),
+        ("full", obj(mode_report(&full.summary, full_wall, repeats))),
+        (
+            "adaptive",
+            obj({
+                let mut fields = mode_report(&adaptive.summary, adaptive_wall, repeats);
+                fields.push((
+                    "selector",
+                    obj(vec![
+                        ("classes_known", Value::UInt(selector.classes_known as u64)),
+                        ("narrowed", Value::UInt(selector.narrowed as u64)),
+                        ("full_unseen", Value::UInt(selector.full_unseen as u64)),
+                        ("full_explore", Value::UInt(selector.full_explore as u64)),
+                        ("hit_rate", Value::Float(selector.narrow_rate)),
+                        ("policies_skipped", Value::UInt(selector.policies_skipped)),
+                    ]),
+                ));
+                fields
+            }),
+        ),
+        ("awct_match", Value::Bool(awct_match)),
+        ("step_savings", Value::Float(step_savings)),
+    ]);
+    let text = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())? + "\n";
+    std::fs::write(&out, &text).map_err(|e| format!("{}: {e}", out.display()))?;
+    println!("{text}");
+    eprintln!(
+        "adaptive_bench: wrote {} ({} blocks x {repeats}; awct_match={awct_match}, \
+         step_savings={:.1}%, selector hit rate {:.1}%)",
+        out.display(),
+        blocks.len(),
+        step_savings * 100.0,
+        selector.narrow_rate * 100.0,
+    );
+    if !awct_match {
+        eprintln!(
+            "adaptive_bench: FAIL — adaptive aggregate AWCT {} != full race {}",
+            adaptive.summary.aggregate_awct, full.summary.aggregate_awct
+        );
+    }
+    Ok(awct_match)
+}

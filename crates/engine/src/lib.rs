@@ -50,6 +50,7 @@
 
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod cache;
 pub mod corpus;
 pub mod pool;
@@ -63,6 +64,7 @@ use serde::Serialize;
 use vcsched_arch::MachineConfig;
 use vcsched_workload::live_in_placement;
 
+pub use adaptive::{AdaptiveOptions, AdaptiveSummary, BlockClass, SelectorTable, SELECTOR_FILE};
 pub use cache::{CacheEntry, CacheStats, ScheduleCache, ShardStats};
 pub use corpus::CorpusSource;
 pub use pool::{default_jobs, scatter};
@@ -93,6 +95,11 @@ pub struct BatchConfig {
     /// Cooperative early-cancel for exhaustive policies (see
     /// [`PolicyOptions::early_cancel`]).
     pub early_cancel: bool,
+    /// Adaptive portfolio selection: `Some` narrows each block's race to
+    /// the top policies its class has been won by (see [`adaptive`]),
+    /// falling back to the full configured set for unseen classes.
+    /// `None` (the default) races the configured set on every block.
+    pub adaptive: Option<AdaptiveOptions>,
     /// VC deduction-step budget per block.
     pub max_dp_steps: u64,
     /// Seed for the per-block live-in placements (§6.1 randomizes these
@@ -121,6 +128,7 @@ impl Default for BatchConfig {
             jobs: default_jobs(),
             policies: PolicySet::single(),
             early_cancel: false,
+            adaptive: None,
             max_dp_steps: STEPS_1M,
             placement_seed: 0xC60_2007,
             cache_dir: None,
@@ -241,6 +249,9 @@ pub struct BatchSummary {
     /// policy-set order (the authoritative table; [`Wins`] keeps the
     /// fixed legacy shape).
     pub policies: Vec<PolicySummary>,
+    /// Selector accounting when the batch ran adaptively (`None` for a
+    /// plain full race).
+    pub adaptive: Option<AdaptiveSummary>,
 }
 
 /// Full result of a batch run: the summary plus every block's outcome (in
@@ -343,20 +354,49 @@ pub fn open_cache(config: &BatchConfig) -> Result<ScheduleCache, String> {
     }
 }
 
+/// The path the selector table persists at for a [`BatchConfig`] with a
+/// cache directory (next to the schedule cache's journal).
+pub fn selector_path(cache_dir: &std::path::Path) -> PathBuf {
+    cache_dir.join(SELECTOR_FILE)
+}
+
 /// Runs a whole batch: load corpus, fan out over the pool, schedule each
 /// block under the policy (through the cache), aggregate.
+///
+/// With [`BatchConfig::adaptive`] set, the selector table is loaded from
+/// (and saved back to) [`selector_path`] when the cache is persistent,
+/// so successive runs keep learning. Without a cache directory the table
+/// starts cold and is discarded at the end — and since the plan is fixed
+/// *before* any observation folds in, such a run can never narrow: it is
+/// a full race plus bookkeeping. Callers that want within-process
+/// learning across batches hold their own table and call
+/// [`run_batch_with_selector`].
 pub fn run_batch(config: &BatchConfig) -> Result<BatchResult, String> {
     let t0 = std::time::Instant::now();
     let blocks = config.source.load()?;
     let cache = open_cache(config)?;
-    let result = run_batch_with_cache(config, &blocks, &cache, t0)?;
+    let result = if config.adaptive.is_some() {
+        let table_path = config.cache_dir.as_deref().map(selector_path);
+        let mut selector = table_path
+            .as_deref()
+            .map(SelectorTable::load)
+            .unwrap_or_default();
+        let result = run_batch_with_selector(config, &blocks, &cache, &mut selector, t0)?;
+        if let Some(path) = &table_path {
+            selector.save(path)?;
+        }
+        result
+    } else {
+        run_batch_with_cache(config, &blocks, &cache, t0)?
+    };
     cache.flush();
     Ok(result)
 }
 
 /// [`run_batch`] against a caller-managed cache (lets one cache serve many
 /// batches in a long-lived process). `t0` anchors the summary's wall
-/// clock.
+/// clock. Ignores [`BatchConfig::adaptive`] — use
+/// [`run_batch_with_selector`] to race adaptively.
 pub fn run_batch_with_cache(
     config: &BatchConfig,
     blocks: &[vcsched_ir::Superblock],
@@ -379,6 +419,52 @@ pub fn run_batch_with_cache(
         solve_one(sb, machine, &homes, &options, cache)
     });
     Ok(aggregate_batch(config, blocks, per_block, t0))
+}
+
+/// Adaptive variant of [`run_batch_with_cache`]: plans each block's
+/// policy set against the `selector` snapshot taken at batch start,
+/// races the plan, then folds every outcome back into `selector` in
+/// corpus order — so the run (and the table it leaves behind) is
+/// deterministic at any `--jobs` value.
+pub fn run_batch_with_selector(
+    config: &BatchConfig,
+    blocks: &[vcsched_ir::Superblock],
+    cache: &ScheduleCache,
+    selector: &mut SelectorTable,
+    t0: std::time::Instant,
+) -> Result<BatchResult, String> {
+    let adaptive = config
+        .adaptive
+        .clone()
+        .ok_or("run_batch_with_selector needs BatchConfig::adaptive")?;
+    let machine = &config.machine;
+    let classes_known = selector.classes.len();
+    let decisions = selector.plan(blocks, machine, &config.policies, &adaptive);
+    let per_block: Vec<(BlockOutcome, bool)> = scatter(blocks.len(), config.jobs, |i| {
+        let sb = &blocks[i];
+        let homes = live_in_placement(
+            sb,
+            machine.cluster_count(),
+            config.placement_seed ^ i as u64,
+        );
+        let options = PolicyOptions {
+            max_dp_steps: config.max_dp_steps,
+            policies: decisions[i].policies.clone(),
+            early_cancel: config.early_cancel,
+        };
+        solve_one(sb, machine, &homes, &options, cache)
+    });
+    for (decision, (outcome, _)) in decisions.iter().zip(&per_block) {
+        selector.observe(&decision.class, outcome);
+    }
+    let mut result = aggregate_batch(config, blocks, per_block, t0);
+    result.summary.adaptive = Some(adaptive::summarize(
+        &decisions,
+        &config.policies,
+        adaptive.seed,
+        classes_known,
+    ));
+    Ok(result)
 }
 
 /// Aggregates per-block outcomes (in corpus order) into a
@@ -481,6 +567,7 @@ pub fn aggregate_batch(
         },
         wall_ms: t0.elapsed().as_millis() as u64,
         policies,
+        adaptive: None,
     };
     BatchResult {
         summary,

@@ -31,9 +31,10 @@ impl PolicyRegistry {
         }
     }
 
-    /// A registry holding the four built-in policies, in the canonical
-    /// tie-break order the paper's evaluation uses: `vc`, `cars`, `uas`,
-    /// `two-phase`.
+    /// A registry holding the built-in policies. The first four are the
+    /// paper's §6.1 portfolio in its canonical tie-break order (`vc`,
+    /// `cars`, `uas`, `two-phase`); the UAS cluster-order variants
+    /// follow, so appending them never changes an existing tie-break.
     pub fn with_builtins() -> PolicyRegistry {
         let mut r = PolicyRegistry::empty();
         r.register("vc", "the paper's virtual-cluster scheduler (§4)", || {
@@ -56,6 +57,24 @@ impl PolicyRegistry {
             "two-phase",
             "partition first, schedule second (Bulldog school)",
             || Box::new(vcsched_baselines::TwoPhasePolicy),
+        )
+        .expect("fresh registry");
+        r.register(
+            "uas-mwp",
+            "UAS, magnitude-weighted-predecessors order (MICRO 1998)",
+            || Box::new(vcsched_baselines::UasPolicy::mwp()),
+        )
+        .expect("fresh registry");
+        r.register(
+            "uas-none",
+            "UAS, fixed PC0..PCn cluster order (MICRO 1998)",
+            || Box::new(vcsched_baselines::UasPolicy::unordered()),
+        )
+        .expect("fresh registry");
+        r.register(
+            "uas-balance",
+            "UAS, least-loaded-cluster-first order",
+            || Box::new(vcsched_baselines::UasPolicy::balance()),
         )
         .expect("fresh registry");
         r
@@ -146,8 +165,22 @@ impl PolicySet {
         }
     }
 
-    /// The full built-in portfolio: `vc`, `cars`, `uas`, `two-phase`.
+    /// The paper's §6.1 four-scheduler portfolio: `vc`, `cars`, `uas`,
+    /// `two-phase` — the fixed set `--portfolio` spells, regardless of
+    /// what else is registered ([`PolicySet::all`] races everything).
     pub fn full() -> PolicySet {
+        PolicySet {
+            names: ["vc", "cars", "uas", "two-phase"]
+                .into_iter()
+                .map(str::to_owned)
+                .collect(),
+        }
+    }
+
+    /// Every registered built-in policy (the §6.1 four plus the UAS
+    /// cluster-order variants) — the widest portfolio the adaptive
+    /// selector can learn over.
+    pub fn all() -> PolicySet {
         PolicySet {
             names: PolicyRegistry::builtin()
                 .names()
@@ -254,7 +287,18 @@ mod tests {
     #[test]
     fn builtin_registry_has_the_canonical_order() {
         let names = PolicyRegistry::builtin().names();
-        assert_eq!(names, vec!["vc", "cars", "uas", "two-phase"]);
+        assert_eq!(
+            names,
+            vec![
+                "vc",
+                "cars",
+                "uas",
+                "two-phase",
+                "uas-mwp",
+                "uas-none",
+                "uas-balance"
+            ]
+        );
         for name in names {
             let p = PolicyRegistry::builtin().create(name).expect("constructs");
             assert_eq!(p.name(), name);
@@ -282,6 +326,19 @@ mod tests {
             PolicySet::parse("two-phase,uas,cars,vc").expect("parses"),
             PolicySet::full()
         );
+    }
+
+    #[test]
+    fn all_extends_full_with_the_uas_variants() {
+        let all = PolicySet::all();
+        assert_eq!(
+            all.key(),
+            "vc,cars,uas,two-phase,uas-mwp,uas-none,uas-balance"
+        );
+        for name in PolicySet::full().names() {
+            assert!(all.contains(name), "all() must cover full(): {name}");
+        }
+        assert_ne!(all, PolicySet::full(), "--portfolio stays the §6.1 four");
     }
 
     #[test]

@@ -40,8 +40,8 @@ pub mod server;
 
 pub use client::Client;
 pub use protocol::{
-    CacheReply, PolicyTotalsReply, Request, Response, ScheduleMode, ScheduleReply, ShardReply,
-    StatsReply,
+    CacheReply, PolicyTotalsReply, Request, Response, ScheduleMode, ScheduleReply,
+    SelectorStatsReply, ShardReply, StatsReply,
 };
 pub use server::{serve, ServerHandle, ServiceConfig};
 

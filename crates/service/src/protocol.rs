@@ -78,6 +78,9 @@ pub enum Request {
         steps: Option<u64>,
         /// Cooperative early-cancel (`None` = server default).
         early_cancel: Option<bool>,
+        /// Adaptive portfolio selection: narrow the race to the block
+        /// class's learned winners (`None` = server default).
+        adaptive: Option<bool>,
         /// Live-in placement seed (`None` = server default).
         placement_seed: Option<u64>,
         /// Return the winning schedule itself, not just its metrics.
@@ -102,6 +105,9 @@ pub enum Request {
         steps: Option<u64>,
         /// Cooperative early-cancel (`None` = server default).
         early_cancel: Option<bool>,
+        /// Adaptive portfolio selection over the batch (`None` = server
+        /// default).
+        adaptive: Option<bool>,
     },
     /// Service and cache counters.
     Stats,
@@ -181,6 +187,21 @@ pub struct CacheReply {
     pub shards: Vec<ShardReply>,
 }
 
+/// Adaptive-selector section of a `stats` response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SelectorStatsReply {
+    /// Block classes the selector has learned.
+    pub classes: usize,
+    /// Blocks folded into the table since start.
+    pub blocks_observed: u64,
+    /// Adaptive decisions that raced a narrowed set.
+    pub narrowed: u64,
+    /// Adaptive decisions that raced full (class unseen/under-observed).
+    pub full_unseen: u64,
+    /// Adaptive decisions that raced full on the ε-exploration schedule.
+    pub full_explore: u64,
+}
+
 /// A `stats` response body.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StatsReply {
@@ -201,6 +222,9 @@ pub struct StatsReply {
     pub policies: Vec<PolicyTotalsReply>,
     /// Sharded cache counters.
     pub cache: CacheReply,
+    /// Adaptive-selector counters (`None` from servers predating the
+    /// selector).
+    pub adaptive: Option<SelectorStatsReply>,
 }
 
 /// One server response.
@@ -262,6 +286,7 @@ impl Serialize for Request {
                 mode,
                 steps,
                 early_cancel,
+                adaptive,
                 placement_seed,
                 return_schedule,
             } => obj(vec![
@@ -272,6 +297,7 @@ impl Serialize for Request {
                 ("mode", mode.map(ScheduleMode::name).to_value()),
                 ("steps", steps.to_value()),
                 ("early_cancel", early_cancel.to_value()),
+                ("adaptive", adaptive.to_value()),
                 ("placement_seed", placement_seed.to_value()),
                 ("return_schedule", Value::Bool(*return_schedule)),
             ]),
@@ -284,6 +310,7 @@ impl Serialize for Request {
                 portfolio,
                 steps,
                 early_cancel,
+                adaptive,
             } => obj(vec![
                 ("type", Value::String("batch".into())),
                 ("bench", Value::String(bench.clone())),
@@ -294,6 +321,7 @@ impl Serialize for Request {
                 ("portfolio", portfolio.to_value()),
                 ("steps", steps.to_value()),
                 ("early_cancel", early_cancel.to_value()),
+                ("adaptive", adaptive.to_value()),
             ]),
             Request::Stats => obj(vec![("type", Value::String("stats".into()))]),
             Request::Ping { delay_ms } => obj(vec![
@@ -344,6 +372,7 @@ impl Deserialize for Request {
                 },
                 steps: opt(v, "steps")?,
                 early_cancel: opt(v, "early_cancel")?,
+                adaptive: opt(v, "adaptive")?,
                 placement_seed: opt(v, "placement_seed")?,
                 return_schedule: opt(v, "return_schedule")?.unwrap_or(false),
             }),
@@ -356,6 +385,7 @@ impl Deserialize for Request {
                 portfolio: opt(v, "portfolio")?,
                 steps: opt(v, "steps")?,
                 early_cancel: opt(v, "early_cancel")?,
+                adaptive: opt(v, "adaptive")?,
             }),
             "stats" => Ok(Request::Stats),
             "ping" => Ok(Request::Ping {
@@ -452,6 +482,7 @@ mod tests {
                 portfolio: Some(true),
                 steps: Some(5000),
                 early_cancel: None,
+                adaptive: None,
             },
             Request::Batch {
                 bench: "099.go".into(),
@@ -462,6 +493,7 @@ mod tests {
                 portfolio: None,
                 steps: None,
                 early_cancel: Some(true),
+                adaptive: Some(true),
             },
         ];
         for req in reqs {
@@ -493,6 +525,7 @@ mod tests {
                 mode,
                 steps,
                 early_cancel,
+                adaptive,
                 placement_seed,
                 return_schedule,
                 ..
@@ -502,6 +535,7 @@ mod tests {
                 assert_eq!(mode, None);
                 assert_eq!(steps, None);
                 assert_eq!(early_cancel, None);
+                assert_eq!(adaptive, None);
                 assert_eq!(placement_seed, None);
                 assert!(!return_schedule);
             }
@@ -564,6 +598,13 @@ mod tests {
                         len: 4,
                     }],
                 },
+                adaptive: Some(SelectorStatsReply {
+                    classes: 3,
+                    blocks_observed: 9,
+                    narrowed: 4,
+                    full_unseen: 4,
+                    full_explore: 1,
+                }),
             }),
         ];
         for resp in resps {
@@ -571,6 +612,36 @@ mod tests {
             let back: Response = serde_json::from_str(&line).unwrap();
             assert_eq!(resp, back);
         }
+    }
+
+    #[test]
+    fn adaptive_flag_parses_and_selector_stats_may_be_absent() {
+        let req: Request = serde_json::from_str(r#"{"type":"batch","adaptive":true}"#).unwrap();
+        match req {
+            Request::Batch { adaptive, .. } => assert_eq!(adaptive, Some(true)),
+            other => panic!("parsed as {other:?}"),
+        }
+        // A pre-selector server omits the stats section entirely.
+        let stats = Response::Stats(StatsReply {
+            jobs: 1,
+            queue_capacity: 1,
+            queue_depth: 0,
+            accepted: 0,
+            rejected: 0,
+            completed: 0,
+            policies: vec![],
+            cache: CacheReply {
+                hits: 0,
+                misses: 0,
+                hit_rate: 0.0,
+                len: 0,
+                shards: vec![],
+            },
+            adaptive: None,
+        });
+        let line = serde_json::to_string(&stats).unwrap();
+        let back: Response = serde_json::from_str(&line).unwrap();
+        assert_eq!(stats, back);
     }
 
     #[test]

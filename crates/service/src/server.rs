@@ -16,20 +16,22 @@
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use serde_json::to_string as to_json;
 use vcsched_engine::{
-    aggregate_batch, default_jobs, open_cache, BatchConfig, CorpusSource, PolicyOptions, PolicySet,
-    Problem, SubmitError, SubmitPool, STEPS_1M,
+    adaptive::{explore_draw, summarize, DecisionKind},
+    aggregate_batch, default_jobs, open_cache, selector_path, AdaptiveOptions, BatchConfig,
+    BlockClass, CorpusSource, PolicyOptions, PolicySet, Problem, SelectorTable, SubmitError,
+    SubmitPool, STEPS_1M,
 };
 use vcsched_workload::live_in_placement;
 
 use crate::protocol::{
-    CacheReply, PolicyTotalsReply, Request, Response, ScheduleMode, ScheduleReply, ShardReply,
-    StatsReply,
+    CacheReply, PolicyTotalsReply, Request, Response, ScheduleMode, ScheduleReply,
+    SelectorStatsReply, ShardReply, StatsReply,
 };
 
 /// How often blocked connection reads wake up to check the stop flag.
@@ -59,9 +61,19 @@ pub struct ServiceConfig {
     /// Default policy set for requests that name neither `policies` nor
     /// a legacy mode switch.
     pub default_policies: PolicySet,
+    /// Per-machine default policy sets: `(preset key, set)` pairs
+    /// consulted (before [`ServiceConfig::default_policies`]) for
+    /// requests that name neither `policies` nor a legacy mode switch —
+    /// e.g. race `two-phase` only on the communication-hostile `4c2`.
+    pub preset_policies: Vec<(String, PolicySet)>,
     /// Default early-cancel switch for requests that omit
     /// `early_cancel`.
     pub default_early_cancel: bool,
+    /// Default adaptive-selection switch for requests that omit
+    /// `adaptive`.
+    pub default_adaptive: bool,
+    /// Selector tuning used for adaptive requests.
+    pub adaptive: AdaptiveOptions,
     /// Default live-in placement seed for `schedule` requests.
     pub default_placement_seed: u64,
 }
@@ -78,24 +90,54 @@ impl Default for ServiceConfig {
             max_request_bytes: 1 << 20,
             default_steps: STEPS_1M,
             default_policies: PolicySet::single(),
+            preset_policies: Vec::new(),
             default_early_cancel: false,
+            default_adaptive: false,
+            adaptive: AdaptiveOptions::default(),
             default_placement_seed: 0xC60_2007,
         }
     }
 }
 
 /// Resolves a request's effective policy set: explicit `policies` wins,
-/// then the legacy mode/portfolio switch, then the server default.
+/// then the legacy mode/portfolio switch, then the per-machine default
+/// for the request's preset, then the server-wide default.
 fn resolve_policies(
     explicit: Option<Vec<String>>,
     legacy_full: Option<bool>,
+    machine: &str,
     config: &ServiceConfig,
 ) -> Result<PolicySet, String> {
     match (explicit, legacy_full) {
         (Some(names), _) => PolicySet::from_names(&names),
         (None, Some(true)) => Ok(PolicySet::full()),
         (None, Some(false)) => Ok(PolicySet::single()),
-        (None, None) => Ok(config.default_policies.clone()),
+        (None, None) => Ok(config
+            .preset_policies
+            .iter()
+            .find(|(preset, _)| preset == machine)
+            .map(|(_, set)| set.clone())
+            .unwrap_or_else(|| config.default_policies.clone())),
+    }
+}
+
+/// Lifetime counters over adaptive decisions (narrowed / full-unseen /
+/// full-explore).
+#[derive(Default)]
+struct DecisionCounters {
+    narrowed: AtomicU64,
+    full_unseen: AtomicU64,
+    full_explore: AtomicU64,
+}
+
+impl DecisionCounters {
+    fn count(&self, kind: DecisionKind) {
+        let counter = match kind {
+            DecisionKind::Narrowed => &self.narrowed,
+            DecisionKind::FullUnseen => &self.full_unseen,
+            DecisionKind::FullExplore => &self.full_explore,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -104,6 +146,15 @@ struct Shared {
     config: ServiceConfig,
     addr: SocketAddr,
     stop: AtomicBool,
+    /// The adaptive selector's learned table. Every solved `schedule`
+    /// and `batch` block folds in (seeding the table even before the
+    /// first adaptive request); narrowing happens only when a request
+    /// asks for it.
+    selector: Mutex<SelectorTable>,
+    /// Position in the ε-exploration stream for one-off `schedule`
+    /// requests (batches use their own corpus indices).
+    explore_seq: AtomicU64,
+    decisions: DecisionCounters,
 }
 
 impl Shared {
@@ -158,11 +209,21 @@ pub fn serve(config: ServiceConfig) -> Result<ServerHandle, String> {
     let addr = listener
         .local_addr()
         .map_err(|e| format!("local_addr: {e}"))?;
+    // A persistent cache dir also persists the selector table: the
+    // service resumes with everything a previous run learned.
+    let selector = config
+        .cache_dir
+        .as_deref()
+        .map(|dir| SelectorTable::load(&selector_path(dir)))
+        .unwrap_or_default();
     let shared = Arc::new(Shared {
         pool,
         config,
         addr,
         stop: AtomicBool::new(false),
+        selector: Mutex::new(selector),
+        explore_seq: AtomicU64::new(0),
+        decisions: DecisionCounters::default(),
     });
 
     let accept_shared = Arc::clone(&shared);
@@ -193,6 +254,13 @@ pub fn serve(config: ServiceConfig) -> Result<ServerHandle, String> {
             let _ = handle.join();
         }
         accept_shared.pool.shutdown();
+        if let Some(dir) = &accept_shared.config.cache_dir {
+            let _ = accept_shared
+                .selector
+                .lock()
+                .unwrap()
+                .save(&selector_path(dir));
+        }
     });
 
     Ok(ServerHandle {
@@ -341,6 +409,7 @@ fn dispatch(line: &str, shared: &Shared) -> (Response, bool) {
             mode,
             steps,
             early_cancel,
+            adaptive,
             placement_seed,
             return_schedule,
         } => {
@@ -353,17 +422,37 @@ fn dispatch(line: &str, shared: &Shared) -> (Response, bool) {
                     false,
                 )
             };
-            let machine = match crate::machine_by_name(&machine) {
+            let machine_name = machine;
+            let machine = match crate::machine_by_name(&machine_name) {
                 Ok(m) => m,
                 Err(e) => return error(e),
             };
-            let policies = match resolve_policies(
+            let configured = match resolve_policies(
                 policies,
                 mode.map(|m| m == ScheduleMode::Portfolio),
+                &machine_name,
                 &shared.config,
             ) {
                 Ok(p) => p,
                 Err(e) => return error(e),
+            };
+            let class = BlockClass::of(&block, &machine);
+            let mut decision = None;
+            let policies = if adaptive.unwrap_or(shared.config.default_adaptive) {
+                let draw = explore_draw(
+                    shared.config.adaptive.seed,
+                    shared.explore_seq.fetch_add(1, Ordering::Relaxed),
+                );
+                let (kind, narrowed) = shared.selector.lock().unwrap().select(
+                    &class,
+                    &configured,
+                    &shared.config.adaptive,
+                    draw,
+                );
+                decision = Some(kind);
+                narrowed
+            } else {
+                configured
             };
             let homes = live_in_placement(
                 &block,
@@ -385,19 +474,32 @@ fn dispatch(line: &str, shared: &Shared) -> (Response, bool) {
                 Err(e) => return (submit_error(e), false),
             };
             match ticket.wait() {
-                Ok(solved) => (
-                    Response::Schedule(ScheduleReply {
-                        winner: solved.outcome.winner,
-                        awct: solved.outcome.awct,
-                        vc_steps: solved.outcome.vc_steps,
-                        vc_timed_out: solved.outcome.vc_timed_out,
-                        cached: solved.cached,
-                        copies: solved.outcome.schedule.copy_count(),
-                        policies: solved.outcome.policy_stats,
-                        schedule: return_schedule.then_some(solved.outcome.schedule),
-                    }),
-                    false,
-                ),
+                Ok(solved) => {
+                    // Count the decision only for work that completed —
+                    // a rejected or lost job never reached the race, so
+                    // it must not skew the selector counters.
+                    if let Some(kind) = decision {
+                        shared.decisions.count(kind);
+                    }
+                    shared
+                        .selector
+                        .lock()
+                        .unwrap()
+                        .observe(&class, &solved.outcome);
+                    (
+                        Response::Schedule(ScheduleReply {
+                            winner: solved.outcome.winner,
+                            awct: solved.outcome.awct,
+                            vc_steps: solved.outcome.vc_steps,
+                            vc_timed_out: solved.outcome.vc_timed_out,
+                            cached: solved.cached,
+                            copies: solved.outcome.schedule.copy_count(),
+                            policies: solved.outcome.policy_stats,
+                            schedule: return_schedule.then_some(solved.outcome.schedule),
+                        }),
+                        false,
+                    )
+                }
                 Err(e) => error(e),
             }
         }
@@ -410,6 +512,7 @@ fn dispatch(line: &str, shared: &Shared) -> (Response, bool) {
             portfolio,
             steps,
             early_cancel,
+            adaptive,
         } => (
             run_service_batch(
                 shared,
@@ -421,6 +524,7 @@ fn dispatch(line: &str, shared: &Shared) -> (Response, bool) {
                 portfolio,
                 steps,
                 early_cancel,
+                adaptive,
             ),
             false,
         ),
@@ -464,6 +568,11 @@ fn submit_error(e: SubmitError) -> Response {
 /// Runs a `batch` request: every block is admitted to the shared pool
 /// (blocking for queue space — the requesting connection is the
 /// backpressure), results are aggregated with the engine's summary code.
+///
+/// An adaptive batch plans every block's set against a snapshot of the
+/// server's selector taken up front (the same snapshot-then-fold
+/// discipline as the engine's `run_batch_with_selector`), then folds the
+/// outcomes back into the live table.
 #[allow(clippy::too_many_arguments)] // mirrors the wire request's fields
 fn run_service_batch(
     shared: &Shared,
@@ -475,28 +584,32 @@ fn run_service_batch(
     portfolio: Option<bool>,
     steps: Option<u64>,
     early_cancel: Option<bool>,
+    adaptive: Option<bool>,
 ) -> Response {
     let error = |msg: String| Response::Error {
         error: msg,
         retry_after_ms: None,
     };
-    let machine = match crate::machine_by_name(&machine) {
+    let machine_name = machine;
+    let machine = match crate::machine_by_name(&machine_name) {
         Ok(m) => m,
         Err(e) => return error(e),
     };
     // The legacy switch spells the two canonical sets; only an *absent*
-    // switch falls through to the server's default (same precedence as
-    // the schedule verb's `mode`).
-    let policies = match resolve_policies(policies, portfolio, &shared.config) {
+    // switch falls through to the per-machine/server default (same
+    // precedence as the schedule verb's `mode`).
+    let policies = match resolve_policies(policies, portfolio, &machine_name, &shared.config) {
         Ok(p) => p,
         Err(e) => return error(e),
     };
+    let adaptive_on = adaptive.unwrap_or(shared.config.default_adaptive);
     let config = BatchConfig {
         source: CorpusSource::Synth { bench, count, seed },
         machine,
         jobs: shared.pool.jobs(),
         policies,
         early_cancel: early_cancel.unwrap_or(shared.config.default_early_cancel),
+        adaptive: adaptive_on.then(|| shared.config.adaptive.clone()),
         max_dp_steps: steps.unwrap_or(shared.config.default_steps),
         ..BatchConfig::default()
     };
@@ -505,6 +618,11 @@ fn run_service_batch(
         Ok(b) => b,
         Err(e) => return error(e),
     };
+    let decisions = config.adaptive.as_ref().map(|options| {
+        let snapshot = shared.selector.lock().unwrap().clone();
+        let plan = snapshot.plan(&blocks, &config.machine, &config.policies, options);
+        (plan, snapshot.classes.len())
+    });
     // Admit every block through the bounded queue, then collect in
     // corpus order — the same order-preserving contract as the batch
     // engine's scatter, so summaries match `vcsched batch` exactly.
@@ -521,7 +639,10 @@ fn run_service_batch(
             homes,
             options: PolicyOptions {
                 max_dp_steps: config.max_dp_steps,
-                policies: config.policies.clone(),
+                policies: decisions
+                    .as_ref()
+                    .map(|(plan, _)| plan[i].policies.clone())
+                    .unwrap_or_else(|| config.policies.clone()),
                 early_cancel: config.early_cancel,
             },
         };
@@ -537,7 +658,30 @@ fn run_service_batch(
             Err(e) => return error(format!("batch job lost: {e}")),
         }
     }
-    let result = aggregate_batch(&config, &blocks, per_block, t0);
+    // Count decisions and fold observations only now that every block
+    // completed — an aborted batch must not skew the selector counters.
+    if let Some((plan, _)) = &decisions {
+        for d in plan {
+            shared.decisions.count(d.kind);
+        }
+    }
+    {
+        // Fold in corpus order, adaptive or not: every full race seeds
+        // the table the next adaptive request narrows from.
+        let mut selector = shared.selector.lock().unwrap();
+        for (sb, (outcome, _)) in blocks.iter().zip(&per_block) {
+            selector.observe(&BlockClass::of(sb, &config.machine), outcome);
+        }
+    }
+    let mut result = aggregate_batch(&config, &blocks, per_block, t0);
+    if let (Some((plan, classes_known)), Some(options)) = (decisions, &config.adaptive) {
+        result.summary.adaptive = Some(summarize(
+            &plan,
+            &config.policies,
+            options.seed,
+            classes_known,
+        ));
+    }
     Response::Batch {
         summary: serde_json::to_value(&result.summary),
     }
@@ -582,5 +726,15 @@ fn stats(shared: &Shared) -> StatsReply {
                 })
                 .collect(),
         },
+        adaptive: Some({
+            let selector = shared.selector.lock().unwrap();
+            SelectorStatsReply {
+                classes: selector.classes.len(),
+                blocks_observed: selector.blocks_observed(),
+                narrowed: shared.decisions.narrowed.load(Ordering::Relaxed),
+                full_unseen: shared.decisions.full_unseen.load(Ordering::Relaxed),
+                full_explore: shared.decisions.full_explore.load(Ordering::Relaxed),
+            }
+        }),
     }
 }

@@ -32,6 +32,7 @@ fn block_request(index: u64) -> Request {
         mode: Some(ScheduleMode::Single),
         steps: Some(5_000),
         early_cancel: None,
+        adaptive: None,
         placement_seed: Some(index),
         return_schedule: false,
     }
@@ -281,6 +282,7 @@ fn per_request_policy_sets_and_stats_telemetry() {
         mode: None,
         steps: Some(5_000),
         early_cancel: None,
+        adaptive: None,
         placement_seed: Some(1),
         return_schedule: false,
     };
@@ -305,6 +307,7 @@ fn per_request_policy_sets_and_stats_telemetry() {
         mode: None,
         steps: Some(5_000),
         early_cancel: None,
+        adaptive: None,
         placement_seed: Some(1),
         return_schedule: false,
     };
@@ -334,6 +337,90 @@ fn per_request_policy_sets_and_stats_telemetry() {
                 .policies
                 .iter()
                 .all(|t| t.policy == "uas" || t.policy == "two-phase"));
+        }
+        other => panic!("expected stats, got {other:?}"),
+    }
+
+    client.request(&Request::Shutdown).expect("shutdown");
+    server.join();
+}
+
+/// Per-machine default portfolios and the adaptive selector, end to end:
+/// a preset-mapped machine races its own default set, adaptive requests
+/// narrow once their class is observed, and `stats` reports the selector
+/// counters.
+#[test]
+fn per_machine_defaults_and_adaptive_narrowing() {
+    let server = serve(ServiceConfig {
+        addr: "127.0.0.1:0".into(),
+        jobs: 2,
+        queue_capacity: 8,
+        cache_shards: 4,
+        preset_policies: vec![(
+            "4c2".to_owned(),
+            vcsched_engine::PolicySet::parse("two-phase,cars").expect("valid set"),
+        )],
+        // Greedy selector: narrow after one observation, never explore —
+        // makes the second request's narrowing deterministic.
+        adaptive: vcsched_engine::AdaptiveOptions {
+            epsilon: 0.0,
+            min_observations: 1,
+            ..vcsched_engine::AdaptiveOptions::default()
+        },
+        ..ServiceConfig::default()
+    })
+    .expect("server starts");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let spec = benchmark("099.go").expect("known benchmark");
+    let request = |machine: &str, adaptive: Option<bool>| Request::Schedule {
+        block: generate_block(&spec, 17, 4, InputSet::Ref),
+        machine: machine.into(),
+        policies: None,
+        mode: None,
+        steps: Some(5_000),
+        early_cancel: None,
+        adaptive,
+        placement_seed: Some(4),
+        return_schedule: false,
+    };
+    let schedule = |client: &mut Client, req: &Request| match client.request(req).expect("reply") {
+        Response::Schedule(reply) => reply,
+        other => panic!("expected schedule reply, got {other:?}"),
+    };
+
+    // The preset-mapped machine races its own default set...
+    let on_4c2 = schedule(&mut client, &request("4c2", None));
+    let raced: Vec<&str> = on_4c2.policies.iter().map(|s| s.policy.as_str()).collect();
+    assert_eq!(raced, vec!["cars", "two-phase"], "4c2 default portfolio");
+    // ...while an unmapped machine keeps the server-wide default.
+    let on_2c = schedule(&mut client, &request("2c", None));
+    let raced: Vec<&str> = on_2c.policies.iter().map(|s| s.policy.as_str()).collect();
+    assert_eq!(raced, vec!["vc", "cars"], "server-wide §6.1 default");
+
+    // First adaptive request: its (2c) class has one observation, so the
+    // greedy selector already narrows to the recorded winner — and the
+    // result must match the full race's.
+    let narrowed = schedule(&mut client, &request("2c", Some(true)));
+    assert_eq!(narrowed.winner, on_2c.winner, "narrowing kept the winner");
+    assert_eq!(
+        narrowed.awct.to_bits(),
+        on_2c.awct.to_bits(),
+        "narrowing kept the AWCT"
+    );
+    assert_eq!(
+        narrowed.policies.len(),
+        1,
+        "one recorded winner => one raced policy: {:?}",
+        narrowed.policies
+    );
+
+    // The selector counters surface through stats.
+    match client.request(&Request::Stats).expect("reply") {
+        Response::Stats(stats) => {
+            let selector = stats.adaptive.expect("selector stats present");
+            assert!(selector.classes >= 2, "{selector:?}");
+            assert_eq!(selector.blocks_observed, 3, "every solve folds in");
+            assert_eq!(selector.narrowed, 1, "{selector:?}");
         }
         other => panic!("expected stats, got {other:?}"),
     }

@@ -55,6 +55,7 @@ fn main() {
                     },
                     steps: Some(5_000),
                     early_cancel: None,
+                    adaptive: None,
                     placement_seed: Some(i),
                     return_schedule: false,
                 };
@@ -96,6 +97,7 @@ fn main() {
         mode: Some(ScheduleMode::Single),
         steps: Some(5_000),
         early_cancel: None,
+        adaptive: None,
         placement_seed: Some(0),
         return_schedule: false,
     };
@@ -137,6 +139,7 @@ fn main() {
             portfolio: Some(true),
             steps: Some(5_000),
             early_cancel: None,
+            adaptive: None,
         })
         .expect("response")
     {

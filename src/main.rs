@@ -35,18 +35,23 @@ USAGE:
                      [--steps N] [--listing] [--execute] [--pressure]
     vcsched batch [--corpus FILE | --bench NAME] [--count N] [--seed N]
                   [--machine M] [--jobs N] [--policies P,P,… | --portfolio]
-                  [--early-cancel] [--cache DIR] [--cache-shards N]
+                  [--early-cancel] [--adaptive] [--adaptive-seed N]
+                  [--adaptive-epsilon F] [--adaptive-top-k N]
+                  [--adaptive-min-obs N] [--cache DIR] [--cache-shards N]
                   [--steps N] [--details]
     vcsched serve [--addr HOST:PORT] [--jobs N] [--queue N] [--cache DIR]
                   [--cache-shards N] [--steps N] [--policies P,P,…]
-                  [--early-cancel] [--max-request BYTES]
+                  [--machine-policies M=P,P[;M=P,P…]] [--early-cancel]
+                  [--adaptive] [--adaptive-seed N] [--adaptive-epsilon F]
+                  [--adaptive-top-k N] [--adaptive-min-obs N]
+                  [--max-request BYTES]
     vcsched request [--addr HOST:PORT] (stats | shutdown | ping [--delay-ms N]
                   | schedule --block FILE [--machine M] [--policies P,P,…]
                     [--mode single|portfolio] [--steps N] [--early-cancel]
-                    [--placement-seed N] [--return-schedule]
+                    [--adaptive] [--placement-seed N] [--return-schedule]
                   | batch [--bench NAME] [--count N] [--seed N] [--machine M]
                     [--policies P,P,…] [--portfolio] [--steps N]
-                    [--early-cancel]
+                    [--early-cancel] [--adaptive]
                   | --json LINE)
     vcsched demo
     vcsched help
@@ -61,13 +66,19 @@ BATCH:
     --policies picks any subset of the registered policies (see
     `vcsched policies`); --portfolio is shorthand for all of them.
     --early-cancel lets a provably beaten search abandon its work (same
-    winners, less work, different loser telemetry). --cache DIR
-    persists a content-addressed schedule cache so repeated runs are
-    near-instant (the key covers the policy set, so different
-    portfolios never alias); --cache-shards partitions it N ways (one
-    lock per shard, default 8). Prints a JSON summary (per-policy win
-    counts and step totals, aggregate AWCT, wall-clock, cache hit
-    rate); --details adds per-block JSONL on stderr.
+    winners, less work, different loser telemetry). --adaptive learns,
+    per block class (op-count bucket x exit count x machine), which
+    policies win, and races only the class's top winners — full set for
+    unseen classes, and on a seeded epsilon-exploration schedule
+    (--adaptive-seed/-epsilon/-top-k/-min-obs tune it; runs are
+    reproducible at any --jobs). --cache DIR persists a
+    content-addressed schedule cache so repeated runs are near-instant
+    (the key covers the policy set, so different portfolios never
+    alias) plus the adaptive selector table (selector.json);
+    --cache-shards partitions the cache N ways (one lock per shard,
+    default 8). Prints a JSON summary (per-policy win counts and step
+    totals, aggregate AWCT, wall-clock, cache hit rate, selector
+    stats); --details adds per-block JSONL on stderr.
 
 SERVE / REQUEST:
     `serve` runs the engine as a daemon: a TCP listener (default
@@ -77,12 +88,17 @@ SERVE / REQUEST:
     queue is full the server rejects with
     {\"ok\":false,...,\"retry_after_ms\":N} instead of queueing
     unboundedly. `schedule`/`batch` requests pick their policy set per
-    request (\"policies\"); --policies sets the server default. All
-    schedules flow through the sharded cache; `stats` reports queue
-    depth, per-policy win/step totals and per-shard hit/eviction
-    counters. `request` is the matching thin client; `--json LINE`
-    sends a raw protocol line. A `shutdown` request drains in-flight
-    work, then exits.
+    request (\"policies\"); --policies sets the server default and
+    --machine-policies maps machine presets to their own defaults
+    (e.g. --machine-policies \"4c2=two-phase,cars;2c=vc,cars\").
+    --adaptive turns on adaptive narrowing by default (requests can
+    override with \"adaptive\"); the server folds every solved block
+    into its selector table either way and persists it next to the
+    cache. All schedules flow through the sharded cache; `stats`
+    reports queue depth, per-policy win/step totals, per-shard
+    hit/eviction counters and selector counters. `request` is the
+    matching thin client; `--json LINE` sends a raw protocol line. A
+    `shutdown` request drains in-flight work, then exits.
 
 MACHINES (for --machine):
     2c        paper config 1: 2 clusters, 8-issue, 1-cycle bus   [default]
@@ -91,10 +107,14 @@ MACHINES (for --machine):
     hetero    heterogeneous 2-cluster preset
 
 POLICIES (for --policies / --scheduler; see `vcsched policies`):
-    vc        the paper's virtual-cluster scheduler              [default]
-    cars      CARS baseline (single-pass list scheduling)
-    uas       unified assign-and-schedule (CWP cluster order)
-    two-phase partition first, schedule second
+    vc          the paper's virtual-cluster scheduler            [default]
+    cars        CARS baseline (single-pass list scheduling)
+    uas         unified assign-and-schedule (CWP cluster order)
+    two-phase   partition first, schedule second
+    uas-mwp     UAS, magnitude-weighted-predecessors order
+    uas-none    UAS, fixed PC0..PCn cluster order
+    uas-balance UAS, least-loaded-cluster-first order
+    (--portfolio spells the first four — the paper's Section 6.1 race)
 ";
 
 fn main() -> ExitCode {
@@ -174,6 +194,82 @@ fn policy_set_flags(args: &[String]) -> Result<Option<vcsched::engine::PolicySet
         (None, true) => Ok(Some(vcsched::engine::PolicySet::full())),
         (None, false) => Ok(None),
     }
+}
+
+/// Parses the `--adaptive*` flag family for `batch`: `None` when
+/// `--adaptive` is absent (tuning flags without the switch are an error
+/// — they would be silently ignored otherwise).
+fn adaptive_flags(args: &[String]) -> Result<Option<vcsched::engine::AdaptiveOptions>, String> {
+    let tuning = [
+        "--adaptive-seed",
+        "--adaptive-epsilon",
+        "--adaptive-top-k",
+        "--adaptive-min-obs",
+    ];
+    if !has_flag(args, "--adaptive") {
+        for flag in tuning {
+            if has_flag(args, flag) {
+                return Err(format!("{flag} requires --adaptive"));
+            }
+        }
+        return Ok(None);
+    }
+    adaptive_tuning(args).map(Some)
+}
+
+/// Parses the adaptive tuning flags alone (no `--adaptive` switch
+/// required). `serve` uses this directly: clients can opt in per
+/// request with `"adaptive":true`, so tuning must be configurable even
+/// when the server-wide default stays off.
+fn adaptive_tuning(args: &[String]) -> Result<vcsched::engine::AdaptiveOptions, String> {
+    let mut options = vcsched::engine::AdaptiveOptions::default();
+    if let Some(v) = flag_value(args, "--adaptive-seed") {
+        options.seed = v.parse().map_err(|e| format!("--adaptive-seed: {e}"))?;
+    }
+    if let Some(v) = flag_value(args, "--adaptive-epsilon") {
+        options.epsilon = v.parse().map_err(|e| format!("--adaptive-epsilon: {e}"))?;
+        if !(0.0..=1.0).contains(&options.epsilon) {
+            return Err("--adaptive-epsilon must be in [0, 1]".into());
+        }
+    }
+    if let Some(v) = flag_value(args, "--adaptive-top-k") {
+        options.top_k = v.parse().map_err(|e| format!("--adaptive-top-k: {e}"))?;
+        if options.top_k == 0 {
+            return Err("--adaptive-top-k must be at least 1".into());
+        }
+    }
+    if let Some(v) = flag_value(args, "--adaptive-min-obs") {
+        options.min_observations = v.parse().map_err(|e| format!("--adaptive-min-obs: {e}"))?;
+    }
+    Ok(options)
+}
+
+/// Parses `--machine-policies "4c2=two-phase,cars;2c=vc,cars"` into
+/// per-preset default policy sets (entries separated by `;`, each
+/// `PRESET=SET` with the usual comma-separated set grammar).
+fn machine_policies_flag(
+    args: &[String],
+) -> Result<Vec<(String, vcsched::engine::PolicySet)>, String> {
+    let Some(spec) = flag_value(args, "--machine-policies") else {
+        return Ok(Vec::new());
+    };
+    let mut pairs = Vec::new();
+    for entry in spec.split(';').filter(|e| !e.trim().is_empty()) {
+        let (preset, set) = entry
+            .split_once('=')
+            .ok_or_else(|| format!("--machine-policies: `{entry}` is not PRESET=P,P,…"))?;
+        let preset = preset.trim();
+        machine_by_name(preset)?;
+        if pairs.iter().any(|(p, _)| p == preset) {
+            return Err(format!("--machine-policies: duplicate preset `{preset}`"));
+        }
+        pairs.push((
+            preset.to_owned(),
+            vcsched::engine::PolicySet::parse(set)
+                .map_err(|e| format!("--machine-policies: {preset}: {e}"))?,
+        ));
+    }
+    Ok(pairs)
 }
 
 fn cmd_gen(args: &[String]) -> Result<(), String> {
@@ -322,6 +418,7 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         },
         policies: policy_set_flags(args)?.unwrap_or_default(),
         early_cancel: has_flag(args, "--early-cancel"),
+        adaptive: adaptive_flags(args)?,
         max_dp_steps: flag_value(args, "--steps")
             .unwrap_or("300000")
             .parse()
@@ -333,6 +430,15 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
             .map_err(|e| format!("--cache-shards: {e}"))?,
         ..vcsched::engine::BatchConfig::default()
     };
+    if config.adaptive.is_some() && config.cache_dir.is_none() {
+        // The plan is fixed before any observation, so a one-shot run
+        // with nowhere to persist the table can never narrow anything.
+        eprintln!(
+            "warning: --adaptive without --cache DIR cannot narrow: the selector \
+             table is learned during the run but discarded at exit; add --cache \
+             to persist it across runs"
+        );
+    }
     let result = vcsched::engine::run_batch(&config)?;
     if has_flag(args, "--details") {
         for line in &result.lines {
@@ -374,7 +480,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             .parse()
             .map_err(|e| format!("--steps: {e}"))?,
         default_policies: policy_set_flags(args)?.unwrap_or_default(),
+        preset_policies: machine_policies_flag(args)?,
         default_early_cancel: has_flag(args, "--early-cancel"),
+        default_adaptive: has_flag(args, "--adaptive"),
+        adaptive: adaptive_tuning(args)?,
         ..vcsched::service::ServiceConfig::default()
     };
     let jobs = config.jobs;
@@ -410,7 +519,12 @@ fn cmd_request(args: &[String]) -> Result<(), String> {
     }
 
     // The verb is the first token that is not a flag or a flag's value.
-    let boolean_flags = ["--portfolio", "--return-schedule", "--early-cancel"];
+    let boolean_flags = [
+        "--portfolio",
+        "--return-schedule",
+        "--early-cancel",
+        "--adaptive",
+    ];
     let mut verb = None;
     let mut i = 0;
     while i < args.len() {
@@ -436,6 +550,7 @@ fn cmd_request(args: &[String]) -> Result<(), String> {
     let policies: Option<Vec<String>> =
         flag_value(args, "--policies").map(vcsched::engine::PolicySet::split_spec);
     let early_cancel = has_flag(args, "--early-cancel").then_some(true);
+    let adaptive = has_flag(args, "--adaptive").then_some(true);
     let request = match verb.as_str() {
         "stats" => Request::Stats,
         "shutdown" => Request::Shutdown,
@@ -460,6 +575,7 @@ fn cmd_request(args: &[String]) -> Result<(), String> {
                 },
                 steps,
                 early_cancel,
+                adaptive,
                 placement_seed: match flag_value(args, "--placement-seed") {
                     Some(n) => Some(n.parse().map_err(|e| format!("--placement-seed: {e}"))?),
                     None => None,
@@ -482,6 +598,7 @@ fn cmd_request(args: &[String]) -> Result<(), String> {
             portfolio: has_flag(args, "--portfolio").then_some(true),
             steps,
             early_cancel,
+            adaptive,
         },
         other => return Err(format!("unknown request verb `{other}`")),
     };

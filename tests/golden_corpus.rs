@@ -71,10 +71,12 @@ fn strip(value: &mut Value, field: &str) {
 /// fixture path) pinned, as a compact JSON string.
 ///
 /// The per-policy telemetry table (`policies`, added after the fixture
-/// was recorded) is stripped rather than re-recorded: keeping the
-/// checked-in fixture byte-identical proves the policy refactor changed
-/// no scheduling result. The table's own consistency is covered by
-/// `golden_corpus_policy_telemetry_is_consistent`.
+/// was recorded) and the adaptive-selector section (`adaptive`, always
+/// null for these full races) are stripped rather than re-recorded:
+/// keeping the checked-in fixture byte-identical proves the refactors
+/// changed no scheduling result. The telemetry's own consistency is
+/// covered by `golden_corpus_policy_telemetry_is_consistent`; adaptive
+/// mode has its own golden-corpus parity test in `tests/adaptive.rs`.
 fn normalized_summary(summary: &vcsched::engine::BatchSummary) -> String {
     let mut v = serde_json::to_value(summary);
     patch(
@@ -85,6 +87,7 @@ fn normalized_summary(summary: &vcsched::engine::BatchSummary) -> String {
     patch(&mut v, "jobs", Value::UInt(0));
     patch(&mut v, "wall_ms", Value::UInt(0));
     strip(&mut v, "policies");
+    strip(&mut v, "adaptive");
     serde_json::to_string(&v).expect("summary serializes")
 }
 
