@@ -83,7 +83,10 @@ impl CombRange {
 
 /// The set of still-possible combination values of one scheduling-graph
 /// edge, kept as the original window plus a discard mask.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// `Copy` (a range plus one `u64` mask) so edge resolutions are cheap to
+/// snapshot onto the speculation trail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CombDomain {
     range: CombRange,
     /// Bit `i` set ⇒ value `range.lo + i` discarded.

@@ -1,7 +1,16 @@
 //! Decisions (§3): the actions the staged search studies through the DP.
+//!
+//! Studying is **trail-based** by default: a candidate is applied to the
+//! real state under an active speculation
+//! ([`SchedulingState::begin_speculation`]), its resulting score is
+//! snapshotted, and the state is rolled back bit-exactly — no clone. The
+//! paper's literal clone-and-discard mechanism survives as
+//! [`study_decision_cloned`] (selected by
+//! [`crate::state::Tuning::clone_study`]) so the differential tests and
+//! `speculation_bench` can prove the two engines byte-identical.
 
 use crate::dp::{self, Budget, DpAbort, Queue};
-use crate::state::{NodeId, SchedulingState};
+use crate::state::{NodeId, SchedulingState, StateScore};
 
 /// One candidate action over the scheduling state.
 ///
@@ -60,16 +69,16 @@ pub fn apply_decision(
     let mut q: Queue = Queue::new();
     match decision {
         Decision::ChooseComb { u, v, d } => {
-            let e_idx = *st
+            let e_idx = st
                 .edge_of
-                .get(&(*u, *v))
+                .get(*u, *v)
                 .expect("decision references an existing edge");
             dp::choose_comb(st, &mut q, e_idx, *d)?;
         }
         Decision::DiscardComb { u, v, d } => {
-            let e_idx = *st
+            let e_idx = st
                 .edge_of
-                .get(&(*u, *v))
+                .get(*u, *v)
                 .expect("decision references an existing edge");
             dp::discard_comb(st, &mut q, e_idx, *d)?;
         }
@@ -94,10 +103,73 @@ pub fn apply_decision(
     Ok(())
 }
 
-/// Studies `decision` on a clone of `st` (§4.4.2): returns the resulting
-/// state on success so the caller can compare scores and adopt the winner
-/// without recomputing.
+/// Studies `decision` on `st` itself through the trail (§4.4.2, delta
+/// form): applies it under an active speculation, snapshots the resulting
+/// heuristic score, and rolls the state back bit-exactly. Returns the
+/// score the future state would have — callers compare scores and
+/// [`replay_decision`] (or [`study_and_keep`]) the winner.
+///
+/// # Errors
+///
+/// As [`apply_decision`]; the state is rolled back on error too.
 pub fn study_decision(
+    st: &mut SchedulingState,
+    decision: &Decision,
+    budget: &mut Budget,
+) -> Result<StateScore, DpAbort> {
+    let mark = st.begin_speculation();
+    let applied = apply_decision(st, decision, budget);
+    let outcome = applied.map(|()| st.score());
+    st.rollback(mark);
+    outcome
+}
+
+/// Studies `decision` and, on success, keeps the applied deltas (commits
+/// the speculation) — the adopt-unconditionally path of stage 3. On
+/// contradiction or budget exhaustion the state is rolled back.
+///
+/// # Errors
+///
+/// As [`apply_decision`].
+pub fn study_and_keep(
+    st: &mut SchedulingState,
+    decision: &Decision,
+    budget: &mut Budget,
+) -> Result<(), DpAbort> {
+    let mark = st.begin_speculation();
+    match apply_decision(st, decision, budget) {
+        Ok(()) => {
+            st.commit(mark);
+            Ok(())
+        }
+        Err(e) => {
+            st.rollback(mark);
+            Err(e)
+        }
+    }
+}
+
+/// Re-applies a decision that a study already proved viable — the adopted
+/// winner after every candidate was rolled back. Runs outside speculation
+/// (full path compression, no recording) and against an *uncharged*
+/// budget: the study already paid the deduction steps, and the clone
+/// engine's adoption (moving the studied clone) was free too, so step
+/// telemetry stays identical between the engines.
+pub fn replay_decision(st: &mut SchedulingState, decision: &Decision) {
+    let mut free = Budget::unlimited();
+    apply_decision(st, decision, &mut free)
+        .expect("replaying a studied decision on the identical state cannot fail");
+}
+
+/// Studies `decision` on a clone of `st` (the paper's literal §4.4.2
+/// mechanism): returns the resulting state on success so the caller can
+/// compare scores and adopt the winner without recomputing. Kept as the
+/// reference engine behind [`crate::state::Tuning::clone_study`].
+///
+/// # Errors
+///
+/// As [`apply_decision`].
+pub fn study_decision_cloned(
     st: &SchedulingState,
     decision: &Decision,
     budget: &mut Budget,

@@ -24,12 +24,14 @@
 //! work for the paper's compile-time thresholds (§6.1).
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 use std::time::Instant;
 
 use vcsched_arch::{ClusterId, OpClass};
 use vcsched_graph::coloring::is_k_colorable;
 
 use crate::state::{Comm, CommKind, EdgeState, NodeId, NodeKind, SchedulingState};
+use crate::trail::TrailEntry;
 
 /// A contradiction: the current state admits no valid schedule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -149,6 +151,9 @@ pub fn tighten_est(
     v: i64,
 ) -> Result<(), Contradiction> {
     if v > st.est[n] {
+        if st.trail.active {
+            st.trail.push(TrailEntry::Est { n, old: st.est[n] });
+        }
         st.est[n] = v;
         st.dirty = true;
         if st.est[n] > st.lst[n] {
@@ -167,6 +172,9 @@ pub fn tighten_lst(
     v: i64,
 ) -> Result<(), Contradiction> {
     if v < st.lst[n] {
+        if st.trail.active {
+            st.trail.push(TrailEntry::Lst { n, old: st.lst[n] });
+        }
         st.lst[n] = v;
         st.dirty = true;
         if st.est[n] > st.lst[n] {
@@ -185,10 +193,23 @@ pub fn add_dep_edge(
     to: NodeId,
     lat: i64,
 ) -> Result<(), Contradiction> {
+    if st.trail.active {
+        st.trail.push(TrailEntry::DepEdge { from, to });
+    }
     st.succ[from].push((to, lat));
     st.pred[to].push((from, lat));
     tighten_est(st, q, to, st.est[from] + lat)?;
     tighten_lst(st, q, from, st.lst[to] - lat)
+}
+
+/// Records `edges[e]`'s current resolution on the trail; call *before*
+/// mutating it.
+#[inline]
+fn touch_edge(st: &mut SchedulingState, e: usize) {
+    if st.trail.active {
+        let old = st.edges[e].state;
+        st.trail.push(TrailEntry::Edge { e, old });
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -218,7 +239,11 @@ pub fn prune_edge(
         SetNoOverlap,
         Choose(i64),
     }
-    let next = match &mut st.edges[e_idx].state {
+    // Narrow a local copy (EdgeState is `Copy`), then write back through
+    // the trail so speculative pruning is undone exactly.
+    let old = st.edges[e_idx].state;
+    let mut state = old;
+    let next = match &mut state {
         EdgeState::Open(dom) => {
             dom.discard_below(lo);
             dom.discard_above(hi);
@@ -250,6 +275,10 @@ pub fn prune_edge(
             Next::Nothing
         }
     };
+    if state != old {
+        touch_edge(st, e_idx);
+        st.edges[e_idx].state = state;
+    }
     match next {
         Next::Nothing => {
             if matches!(st.edges[e_idx].state, EdgeState::NoOverlap) {
@@ -258,6 +287,7 @@ pub fn prune_edge(
             Ok(())
         }
         Next::SetNoOverlap => {
+            touch_edge(st, e_idx);
             st.edges[e_idx].state = EdgeState::NoOverlap;
             propagate_no_overlap(st, q, e_idx)
         }
@@ -312,6 +342,7 @@ pub fn choose_comb(
             if !dom.contains(d) {
                 return Err(Contradiction::EdgeConflict(u, v));
             }
+            touch_edge(st, e_idx);
             st.edges[e_idx].state = EdgeState::Chosen(d);
         }
         EdgeState::Chosen(d0) if *d0 == d => {}
@@ -334,7 +365,9 @@ pub fn discard_comb(
         SetNoOverlap,
         Choose(i64),
     }
-    let next = match &mut st.edges[e_idx].state {
+    let old = st.edges[e_idx].state;
+    let mut state = old;
+    let next = match &mut state {
         EdgeState::Open(dom) => {
             dom.discard(d);
             if dom.is_empty() {
@@ -359,9 +392,14 @@ pub fn discard_comb(
         }
         EdgeState::NoOverlap => Next::Nothing,
     };
+    if state != old {
+        touch_edge(st, e_idx);
+        st.edges[e_idx].state = state;
+    }
     match next {
         Next::Nothing => Ok(()),
         Next::SetNoOverlap => {
+            touch_edge(st, e_idx);
             st.edges[e_idx].state = EdgeState::NoOverlap;
             propagate_no_overlap(st, q, e_idx)
         }
@@ -397,6 +435,13 @@ pub fn merge_cc(
     let new_root = st.cc.root(u);
     let minor_root = if new_root == ru { rv } else { ru };
     let moved = std::mem::take(&mut st.cc_list[minor_root]);
+    if st.trail.active {
+        st.trail.push(TrailEntry::CcListMove {
+            root: new_root,
+            minor: minor_root,
+            moved: moved.len(),
+        });
+    }
     st.cc_list[new_root].extend(moved);
     // Bounds will re-synchronise through the worklist.
     q.push_back(u);
@@ -434,7 +479,7 @@ pub fn resolve_fixed_pair(
     } else {
         (y, x, -delta_xy)
     };
-    let Some(&e_idx) = st.edge_of.get(&(u, v)) else {
+    let Some(e_idx) = st.edge_of.get(u, v) else {
         return Ok(());
     };
     let within = st.edges[e_idx].window.contains(d);
@@ -444,8 +489,10 @@ pub fn resolve_fixed_pair(
                 if !dom.contains(d) {
                     return Err(Contradiction::EdgeConflict(u, v));
                 }
+                touch_edge(st, e_idx);
                 st.edges[e_idx].state = EdgeState::Chosen(d);
             } else {
+                touch_edge(st, e_idx);
                 st.edges[e_idx].state = EdgeState::NoOverlap;
             }
         }
@@ -555,7 +602,7 @@ pub fn fuse_vcs(
     if ra == rb {
         return Ok(());
     }
-    if st.vc_adj[ra].contains(&rb) {
+    if st.vc_adj[ra].contains(rb) {
         return Err(Contradiction::VcConflict(a, b));
     }
     st.dirty = true;
@@ -564,16 +611,32 @@ pub fn fuse_vcs(
     let root = st.vc.union(ra, rb);
     let minor = if root == ra { rb } else { ra };
     let moved = std::mem::take(&mut st.vc_list[minor]);
+    if st.trail.active {
+        st.trail.push(TrailEntry::VcListMove {
+            root,
+            minor,
+            moved: moved.len(),
+        });
+    }
     st.vc_list[root].extend(moved);
     // Fused VC inherits all incompatibilities (§3.2).
     let minor_adj: Vec<usize> = st.vc_adj[minor].iter().copied().collect();
     for nb in minor_adj {
-        st.vc_adj[nb].remove(&minor);
-        st.vc_adj[nb].insert(root);
-        st.vc_adj[root].insert(nb);
+        if st.vc_adj[nb].remove(minor) && st.trail.active {
+            st.trail.push(TrailEntry::VcAdjRemove { a: nb, b: minor });
+        }
+        if st.vc_adj[nb].insert(root) && st.trail.active {
+            st.trail.push(TrailEntry::VcAdjInsert { a: nb, b: root });
+        }
+        if st.vc_adj[root].insert(nb) && st.trail.active {
+            st.trail.push(TrailEntry::VcAdjInsert { a: root, b: nb });
+        }
+        if st.trail.active {
+            st.trail.push(TrailEntry::VcAdjRemove { a: minor, b: nb });
+        }
     }
     st.vc_adj[minor].clear();
-    if st.vc_adj[root].contains(&root) {
+    if st.vc_adj[root].contains(root) {
         return Err(Contradiction::VcConflict(a, b));
     }
     // Heterogeneous machines (the paper's §2.1 extension): the merged
@@ -656,8 +719,10 @@ fn ensure_comms_for_incompatible_edges(
     st: &mut SchedulingState,
     q: &mut Queue,
 ) -> Result<(), Contradiction> {
-    let data_edges = st.ctx.data_edges.clone();
-    for (p, c) in data_edges {
+    // Borrow the shared context through its own `Arc` (a refcount bump)
+    // instead of deep-copying the edge list on every repair pass.
+    let ctx = Arc::clone(&st.ctx);
+    for &(p, c) in &ctx.data_edges {
         if st.vcs_incompatible(p, c) {
             require_comm(st, q, p, c)?;
         }
@@ -678,10 +743,14 @@ pub fn make_incompat(
     if ra == rb {
         return Err(Contradiction::VcConflict(a, b));
     }
-    if st.vc_adj[ra].contains(&rb) {
+    if st.vc_adj[ra].contains(rb) {
         return Ok(());
     }
     st.dirty = true;
+    if st.trail.active {
+        st.trail.push(TrailEntry::VcAdjInsert { a: ra, b: rb });
+        st.trail.push(TrailEntry::VcAdjInsert { a: rb, b: ra });
+    }
     st.vc_adj[ra].insert(rb);
     st.vc_adj[rb].insert(ra);
     let a_members: Vec<NodeId> = st
@@ -695,8 +764,8 @@ pub fn make_incompat(
         .filter(|&m| m < st.ctx.n_insts)
         .collect();
     // Crossing data edges need a communication.
-    let data_edges = st.ctx.data_edges.clone();
-    for &(p, c) in &data_edges {
+    let ctx = Arc::clone(&st.ctx);
+    for &(p, c) in &ctx.data_edges {
         let (rp, rc) = (st.vc.find(p), st.vc.find(c));
         if (rp == st.vc.find(ra) && rc == st.vc.find(rb))
             || (rp == st.vc.find(rb) && rc == st.vc.find(ra))
@@ -724,15 +793,14 @@ pub fn rule1_slack_check(
         return Ok(());
     }
     let bus = st.ctx.machine.bus_latency() as i64;
-    let as_producer: Vec<usize> = st.ctx.consumers_of[n].clone();
-    for c in as_producer {
+    let ctx = Arc::clone(&st.ctx);
+    for &c in &ctx.consumers_of[n] {
         let lat = st.latency(n);
         if !st.same_vc(n, c) && !st.vcs_incompatible(n, c) && st.lst[c] - (st.est[n] + lat) < bus {
             fuse_vcs(st, q, n, c)?;
         }
     }
-    let as_consumer: Vec<usize> = st.ctx.producers_of[n].clone();
-    for p in as_consumer {
+    for &p in &ctx.producers_of[n] {
         let lat = st.latency(p);
         if !st.same_vc(p, n) && !st.vcs_incompatible(p, n) && st.lst[n] - (st.est[p] + lat) < bus {
             fuse_vcs(st, q, p, n)?;
@@ -774,6 +842,10 @@ pub fn require_comm(
         }
         if st.same_vc(first_consumer, c) {
             // Same destination register file: share the transfer.
+            if st.trail.active {
+                let old = st.comms[ci].kind.clone();
+                st.trail.push(TrailEntry::CommKind { ci, old });
+            }
             if let CommKind::Flc { consumers, .. } = &mut st.comms[ci].kind {
                 consumers.push(c);
             }
@@ -788,6 +860,9 @@ pub fn require_comm(
         return Err(Contradiction::NoCommSlack(node));
     }
     let ci = st.comms.len();
+    if st.trail.active {
+        st.trail.push(TrailEntry::CommPush);
+    }
     st.comms.push(Comm {
         node,
         kind: CommKind::Flc {
@@ -795,6 +870,10 @@ pub fn require_comm(
             consumers: vec![c],
         },
     });
+    let created = !st.flc_by_value.contains_key(&p);
+    if st.trail.active {
+        st.trail.push(TrailEntry::FlcPush { value: p, created });
+    }
     st.flc_by_value.entry(p).or_default().push(ci);
     add_dep_edge(st, q, p, node, lat_p)?;
     add_dep_edge(st, q, node, c, bus)?;
@@ -806,6 +885,9 @@ pub fn require_comm(
 
 fn new_comm_node(st: &mut SchedulingState, est: i64, lst: i64) -> NodeId {
     let node = st.kind.len();
+    if st.trail.active {
+        st.trail.push(TrailEntry::NewNode);
+    }
     st.kind.push(NodeKind::Comm(st.comms.len()));
     st.est.push(est.max(0));
     st.lst.push(lst.min(st.horizon));
@@ -824,8 +906,8 @@ fn new_comm_node(st: &mut SchedulingState, est: i64, lst: i64) -> NodeId {
 }
 
 fn kill_plcs_subsumed_by(st: &mut SchedulingState, p: NodeId, c: NodeId) {
-    for comm in &mut st.comms {
-        let dead = match &comm.kind {
+    for ci in 0..st.comms.len() {
+        let dead = match &st.comms[ci].kind {
             CommKind::PPlc {
                 producers,
                 consumer,
@@ -834,7 +916,11 @@ fn kill_plcs_subsumed_by(st: &mut SchedulingState, p: NodeId, c: NodeId) {
             _ => false,
         };
         if dead {
-            comm.kind = CommKind::Dead;
+            if st.trail.active {
+                let old = st.comms[ci].kind.clone();
+                st.trail.push(TrailEntry::CommKind { ci, old });
+            }
+            st.comms[ci].kind = CommKind::Dead;
         }
     }
 }
@@ -852,11 +938,11 @@ fn create_plcs_for_pair(
         return Ok(());
     }
     let bus = st.ctx.machine.bus_latency() as i64;
+    let ctx = Arc::clone(&st.ctx);
     // Rule 5: common data successor s in a third VC ⇒ at least one of the
     // two values will be communicated to s.
-    let succ_x: Vec<usize> = st.ctx.consumers_of[x].clone();
-    for s in succ_x {
-        if !st.ctx.consumers_of[y].contains(&s) {
+    for &s in &ctx.consumers_of[x] {
+        if !ctx.consumers_of[y].contains(&s) {
             continue;
         }
         let rs = st.vc.find(s);
@@ -870,12 +956,18 @@ fn create_plcs_for_pair(
         {
             continue;
         }
+        if st.trail.active {
+            st.trail.push(TrailEntry::PlcSeen { key });
+        }
         st.plc_seen.insert(key);
         let est = (st.est[x] + st.latency(x)).min(st.est[y] + st.latency(y));
         let lst = st.lst[s] - bus;
         let node = new_comm_node(st, est, lst);
         if st.est[node] > st.lst[node] {
             return Err(Contradiction::NoCommSlack(node));
+        }
+        if st.trail.active {
+            st.trail.push(TrailEntry::CommPush);
         }
         st.comms.push(Comm {
             node,
@@ -891,9 +983,8 @@ fn create_plcs_for_pair(
     }
     // Dual: common data predecessor p in a third VC ⇒ p's single
     // communication will serve x or y.
-    let pred_x: Vec<usize> = st.ctx.producers_of[x].clone();
-    for p in pred_x {
-        if !st.ctx.producers_of[y].contains(&p) {
+    for &p in &ctx.producers_of[x] {
+        if !ctx.producers_of[y].contains(&p) {
             continue;
         }
         let rp = st.vc.find(p);
@@ -904,12 +995,18 @@ fn create_plcs_for_pair(
         if st.plc_seen.contains(&key) || st.flc_by_value.contains_key(&p) {
             continue;
         }
+        if st.trail.active {
+            st.trail.push(TrailEntry::PlcSeen { key });
+        }
         st.plc_seen.insert(key);
         let est = st.est[p] + st.latency(p);
         let lst = st.lst[x].max(st.lst[y]) - bus;
         let node = new_comm_node(st, est, lst);
         if st.est[node] > st.lst[node] {
             return Err(Contradiction::NoCommSlack(node));
+        }
+        if st.trail.active {
+            st.trail.push(TrailEntry::CommPush);
         }
         st.comms.push(Comm {
             node,
@@ -944,7 +1041,7 @@ pub fn promote_plcs(st: &mut SchedulingState, q: &mut Queue) -> Result<(), Contr
                             break;
                         }
                         let (rt, rs) = (st.vc.find_const(this), st.vc.find_const(s));
-                        if rt != rs && st.vc_adj[rt].contains(&rs) {
+                        if rt != rs && st.vc_adj[rt].contains(rs) {
                             // Rule 7: (this, s) incompatible ⇒ it communicates.
                             action = Some((ci, this, s));
                             break;
@@ -962,7 +1059,7 @@ pub fn promote_plcs(st: &mut SchedulingState, q: &mut Queue) -> Result<(), Contr
                             break;
                         }
                         let (rp, rt) = (st.vc.find_const(p), st.vc.find_const(this));
-                        if rp != rt && st.vc_adj[rp].contains(&rt) {
+                        if rp != rt && st.vc_adj[rp].contains(rt) {
                             action = Some((ci, p, this));
                             break;
                         }
@@ -977,6 +1074,10 @@ pub fn promote_plcs(st: &mut SchedulingState, q: &mut Queue) -> Result<(), Contr
         match action {
             None => return Ok(()),
             Some((ci, p, c)) => {
+                if st.trail.active {
+                    let old = st.comms[ci].kind.clone();
+                    st.trail.push(TrailEntry::CommKind { ci, old });
+                }
                 st.comms[ci].kind = CommKind::Dead;
                 require_comm(st, q, p, c)?;
             }

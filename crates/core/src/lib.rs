@@ -34,11 +34,16 @@ pub mod scheduler;
 pub mod search;
 pub mod stages;
 pub mod state;
+pub mod trail;
 
 pub use combination::{CombDomain, CombRange};
 pub use decision::Decision;
 pub use dp::{Budget, Contradiction, DpAbort};
+pub use init::StateArena;
 pub use policy::VcPolicy;
 pub use scheduler::{VcAttempt, VcError, VcOptions, VcOutcome, VcScheduler, VcStats};
 pub use search::{SearchFail, SearchResult};
-pub use state::{Comm, CommKind, EdgeState, NodeId, NodeKind, SchedulingState, StateCtx, Tuning};
+pub use state::{
+    Comm, CommKind, EdgeIndex, EdgeState, NodeId, NodeKind, SchedulingState, StateCtx, Tuning,
+};
+pub use trail::{Trail, TrailMark};

@@ -52,9 +52,11 @@ impl SchedulePolicy for VcPolicy {
             },
         );
         let attempt = vc.try_schedule_with_live_ins(block, homes);
+        let spec = attempt.spec;
         match attempt.result {
             Ok(out) => {
                 PolicyOutcome::solved(out.schedule, out.awct, out.stats.dp_steps, attempt.wall)
+                    .with_spec(spec)
             }
             Err(e) => {
                 // Legacy §6.1 convention: a burnt budget is reported as
@@ -66,7 +68,7 @@ impl SchedulePolicy for VcPolicy {
                     VcError::BumpLimitReached => (PolicyFallback::GaveUp, budget.max_dp_steps + 1),
                     VcError::Beaten => (PolicyFallback::Beaten, attempt.dp_steps),
                 };
-                PolicyOutcome::abandoned(fallback, steps, attempt.wall)
+                PolicyOutcome::abandoned(fallback, steps, attempt.wall).with_spec(spec)
             }
         }
     }

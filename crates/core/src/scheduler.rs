@@ -4,8 +4,10 @@ use std::time::{Duration, Instant};
 
 use vcsched_arch::{ClusterId, MachineConfig};
 use vcsched_ir::{Schedule, Superblock};
+use vcsched_policy::SpecStats;
 
 use crate::dp::Budget;
+use crate::init::StateArena;
 use crate::search::{search, SearchFail};
 use crate::state::{StateCtx, Tuning};
 
@@ -58,6 +60,9 @@ pub struct VcStats {
     pub min_awct: f64,
     /// Wall-clock time spent.
     pub wall: Duration,
+    /// Speculation-engine telemetry: trail entries recorded, rollbacks,
+    /// peak trail depth, and the clone bytes the trail engine avoided.
+    pub spec: SpecStats,
 }
 
 /// A successful scheduling outcome.
@@ -189,14 +194,28 @@ impl VcScheduler {
         let ctx = StateCtx::with_tuning(sb, &self.machine, self.options.tuning);
         let deadline = self.options.time_limit.map(|d| start + d);
         let mut budget = Budget::new(self.options.max_dp_steps, deadline);
-        let result = match search(
+        let mut arena = StateArena::new();
+        let searched = search(
             sb,
             &ctx,
             live_in_homes,
             &mut budget,
             self.options.max_awct_bumps,
             self.options.awct_cutoff,
-        ) {
+            &mut arena,
+        );
+        // The arena's state carries the whole run's trail telemetry,
+        // success or failure.
+        let spec = arena
+            .state()
+            .map(|st| SpecStats {
+                trail_entries: st.trail.total_entries(),
+                rollbacks: st.trail.rollbacks(),
+                peak_trail_depth: st.trail.peak_depth() as u64,
+                bytes_not_cloned: st.trail.bytes_not_cloned(),
+            })
+            .unwrap_or_default();
+        let result = match searched {
             Ok(r) => Ok(VcOutcome {
                 awct: r.awct,
                 stats: VcStats {
@@ -205,6 +224,7 @@ impl VcScheduler {
                     copies: r.schedule.copy_count(),
                     min_awct: r.min_awct,
                     wall: start.elapsed(),
+                    spec,
                 },
                 schedule: r.schedule,
             }),
@@ -216,6 +236,7 @@ impl VcScheduler {
             result,
             dp_steps: budget.spent(),
             wall: start.elapsed(),
+            spec,
         }
     }
 }
@@ -229,4 +250,7 @@ pub struct VcAttempt {
     pub dp_steps: u64,
     /// Wall-clock spent.
     pub wall: Duration,
+    /// Speculation-engine telemetry for the attempt (see
+    /// [`SpecStats`]).
+    pub spec: SpecStats,
 }

@@ -7,7 +7,7 @@ use vcsched_ir::{CopyOp, ExitTargets, InstId, Schedule, Superblock};
 
 use crate::combination::CombRange;
 use crate::dp::{Budget, DpAbort};
-use crate::init::{build_state, sg_windows};
+use crate::init::{sg_windows, StateArena};
 use crate::stages::{run_all_stages_indexed, StageFail};
 use crate::state::{CommKind, EdgeState, NodeKind, SchedulingState, StateCtx};
 
@@ -33,8 +33,11 @@ pub enum SearchFail {
     /// The AWCT bump limit was reached without finding a schedule.
     BumpLimit,
     /// The caller's AWCT cutoff proved the search can only lose: the
-    /// certified lower bound (enhanced minAWCT, §4.2) strictly exceeds a
-    /// schedule already in hand.
+    /// certified lower bound strictly exceeds a schedule already in hand.
+    /// Fired either up front (enhanced minAWCT, §4.2) or mid-search on an
+    /// AWCT bump whose failed target the deduction process *certified*
+    /// infeasible (single-exit blocks, where target → AWCT dominance is
+    /// exact).
     Beaten,
 }
 
@@ -49,6 +52,7 @@ fn enhanced_min_targets(
     windows: &[(usize, usize, CombRange)],
     live_in_homes: &[ClusterId],
     budget: &mut Budget,
+    arena: &mut StateArena,
 ) -> Result<Vec<i64>, DpAbort> {
     let exits = ctx.dg.exits().to_vec();
     let n = ctx.n_insts;
@@ -62,7 +66,7 @@ fn enhanced_min_targets(
         horizon_for(ctx, &dep_cycles) + ops
     };
     let unconstrained: Vec<i64> = vec![slack_horizon; n];
-    let mut targets: Vec<i64> = match build_state(
+    let mut targets: Vec<i64> = match arena.build(
         ctx,
         windows,
         &unconstrained,
@@ -87,7 +91,7 @@ fn enhanced_min_targets(
                     None => slack_horizon,
                 })
                 .collect();
-            match build_state(ctx, windows, &lstarts, slack_horizon, live_in_homes, budget) {
+            match arena.build(ctx, windows, &lstarts, slack_horizon, live_in_homes, budget) {
                 Ok(_) => break,
                 Err(DpAbort::Budget) => return Err(DpAbort::Budget),
                 Err(DpAbort::Contradiction(_)) => {
@@ -219,6 +223,10 @@ fn extract(st: &mut SchedulingState) -> Result<Schedule, StageFail> {
 
 /// Runs the full search: enhanced minAWCT, then AWCT enumeration with the
 /// six-stage process per value (Fig. 6).
+///
+/// `arena` provides the one scheduling state reused (allocations and all)
+/// across the enhancement probes and every AWCT bump; after the search it
+/// also carries the speculation-trail telemetry for the whole run.
 pub fn search(
     sb: &Superblock,
     ctx: &Arc<StateCtx>,
@@ -226,10 +234,11 @@ pub fn search(
     budget: &mut Budget,
     max_bumps: u32,
     awct_cutoff: Option<f64>,
+    arena: &mut StateArena,
 ) -> Result<SearchResult, SearchFail> {
     let windows = sg_windows(ctx);
     let probs: Vec<f64> = sb.exits().map(|(_, p)| p).collect();
-    let mut targets = match enhanced_min_targets(ctx, &windows, live_in_homes, budget) {
+    let mut targets = match enhanced_min_targets(ctx, &windows, live_in_homes, budget, arena) {
         Ok(t) => t,
         Err(DpAbort::Budget) => return Err(SearchFail::Budget),
         Err(DpAbort::Contradiction(_)) => unreachable!("enhancement absorbs contradictions"),
@@ -242,6 +251,7 @@ pub fn search(
     if awct_cutoff.is_some_and(|cutoff| min_awct > cutoff) {
         return Err(SearchFail::Beaten);
     }
+    let single_exit = ctx.dg.exits().len() == 1;
     let mut bumps = 0;
     // Failures in the cluster stages (3/4) depend on the pin structure, not
     // on the AWCT value, so repeating them across bumps is a dead end; give
@@ -251,10 +261,13 @@ pub fn search(
         let et = ExitTargets::new(sb, targets.clone());
         let lstarts = ctx.dg.lstarts(&et);
         let horizon = horizon_for(ctx, &targets);
-        let attempt = build_state(ctx, &windows, &lstarts, horizon, live_in_homes, budget);
-        let outcome = match attempt {
-            Ok(mut st) => match run_all_stages_indexed(&mut st, budget) {
-                Ok(()) => match extract(&mut st) {
+        // `certified` marks a restart whose failed target vector the
+        // deduction process *proved* infeasible (the state build itself
+        // contradicted) — as opposed to a heuristic stage dead end.
+        let mut certified = false;
+        let outcome = match arena.build(ctx, &windows, &lstarts, horizon, live_in_homes, budget) {
+            Ok(st) => match run_all_stages_indexed(st, budget) {
+                Ok(()) => match extract(st) {
                     Ok(schedule) => {
                         let awct = schedule.awct(sb);
                         return Ok(SearchResult {
@@ -269,7 +282,10 @@ pub fn search(
                 Err(f) => Err(f),
             },
             Err(DpAbort::Budget) => return Err(SearchFail::Budget),
-            Err(DpAbort::Contradiction(_)) => Err((0usize, StageFail::Restart)),
+            Err(DpAbort::Contradiction(_)) => {
+                certified = true;
+                Err((0usize, StageFail::Restart))
+            }
         };
         match outcome {
             Err((_, StageFail::Budget)) => return Err(SearchFail::Budget),
@@ -281,6 +297,21 @@ pub fn search(
                     }
                 } else {
                     cluster_stage_failures = 0;
+                }
+                // Stage-2 budget-aware early-cancel (ROADMAP): on every
+                // *certified* bump of a single-exit block, re-certify the
+                // lower bound against the sealed portfolio bound. With one
+                // exit, target → AWCT dominance is exact: infeasibility at
+                // target t certifies every schedule needs t+1 or later, so
+                // the AWCT of (t+1) is a new certified lower bound. Strict
+                // comparison keeps ties alive (set order decides those).
+                if certified && single_exit {
+                    if let Some(cutoff) = awct_cutoff {
+                        let lb = ExitTargets::new(sb, vec![targets[0] + 1]).awct();
+                        if lb > cutoff {
+                            return Err(SearchFail::Beaten);
+                        }
+                    }
                 }
                 bumps += 1;
                 if bumps > max_bumps {

@@ -1,9 +1,14 @@
 //! The six stages of the per-AWCT search (§4.4, Fig. 7).
 //!
 //! Each stage runs the iterative process of Fig. 8: select the most
-//! constraining candidates, study each with the deduction process on a
-//! cloned state, discard candidates that contradict (a *mandatory* fact
-//! applied to the real state), and adopt the heuristically best survivor.
+//! constraining candidates, study each with the deduction process,
+//! discard candidates that contradict (a *mandatory* fact applied to the
+//! real state), and adopt the heuristically best survivor.
+//!
+//! Studying is trail-based by default — apply on the real state, score,
+//! roll back, replay the winner — with the paper's literal clone-based
+//! engine kept behind [`crate::state::Tuning::clone_study`]; both produce
+//! byte-identical schedules, winners and step counts.
 //!
 //! | stage | candidates                              | decision kind |
 //! |-------|------------------------------------------|---------------|
@@ -17,9 +22,12 @@
 use vcsched_graph::matching::{greedy_max_weight_matching, max_weight_matching};
 
 use crate::combination::{CombDomain, CombRange};
-use crate::decision::{apply_decision, study_decision, Decision};
-use crate::dp::{self, Budget, DpAbort, Queue};
-use crate::state::{CommKind, EdgeState, NodeId, NodeKind, SchedulingState, SgEdge};
+use crate::decision::{
+    apply_decision, replay_decision, study_and_keep, study_decision, study_decision_cloned,
+    Decision,
+};
+use crate::dp::{self, Budget, Contradiction, DpAbort, Queue};
+use crate::state::{CommKind, EdgeState, NodeId, NodeKind, SchedulingState, SgEdge, StateScore};
 
 /// Why a stage could not complete.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,6 +48,61 @@ fn map_abort(a: DpAbort) -> StageFail {
 
 /// How many candidates each iteration studies in depth.
 const STUDY_WIDTH: usize = 2;
+
+/// One studied candidate: the heuristic score its future state would
+/// have, plus — clone engine only — the already-built future state.
+struct Studied {
+    score: StateScore,
+    future: Option<Box<SchedulingState>>,
+}
+
+/// Studies `d` with the engine [`crate::state::Tuning::clone_study`]
+/// selects: trail-based (apply, score, roll back — no clone) or the
+/// legacy clone-based reference.
+fn study(st: &mut SchedulingState, d: &Decision, budget: &mut Budget) -> Result<Studied, DpAbort> {
+    if st.ctx.tuning.clone_study {
+        let mut future = study_decision_cloned(st, d, budget)?;
+        Ok(Studied {
+            score: future.score(),
+            future: Some(Box::new(future)),
+        })
+    } else {
+        Ok(Studied {
+            score: study_decision(st, d, budget)?,
+            future: None,
+        })
+    }
+}
+
+/// Adopts a studied winner: move the clone in (clone engine) or replay
+/// the decision's deltas (trail engine; uncharged, see
+/// [`replay_decision`]).
+fn adopt(st: &mut SchedulingState, d: &Decision, studied: Studied) {
+    match studied.future {
+        Some(future) => *st = *future,
+        None => replay_decision(st, d),
+    }
+}
+
+/// Studies `d` and adopts it immediately on success (the stage-3 path).
+/// `Ok(None)` means adopted; `Ok(Some(c))` reports the contradiction that
+/// discarded the candidate (state untouched).
+fn study_adopt(
+    st: &mut SchedulingState,
+    d: &Decision,
+    budget: &mut Budget,
+) -> Result<Option<Contradiction>, StageFail> {
+    let outcome = if st.ctx.tuning.clone_study {
+        study_decision_cloned(st, d, budget).map(|future| *st = future)
+    } else {
+        study_and_keep(st, d, budget)
+    };
+    match outcome {
+        Ok(()) => Ok(None),
+        Err(DpAbort::Budget) => Err(StageFail::Budget),
+        Err(DpAbort::Contradiction(c)) => Ok(Some(c)),
+    }
+}
 
 /// Slack of a combination `(u, v, d)`: the number of cycles where the
 /// overlap could be placed (§4.4.1.1).
@@ -75,7 +138,7 @@ fn combination_stage(
             return Ok(());
         }
         cands.sort_unstable();
-        let mut survivors: Vec<SchedulingState> = Vec::new();
+        let mut survivors: Vec<(Decision, Studied)> = Vec::new();
         let mut any_mandatory = false;
         for &(_, u, v, d) in cands.iter().take(STUDY_WIDTH) {
             // Study both actions on the candidate (§4.4: "choose or
@@ -83,20 +146,20 @@ fn combination_stage(
             // mandatory; two viable futures go to the heuristics.
             let choose = Decision::ChooseComb { u, v, d };
             let discard = Decision::DiscardComb { u, v, d };
-            let chosen = match study_decision(st, &choose, budget) {
+            let chosen = match study(st, &choose, budget) {
                 Ok(f) => Some(f),
                 Err(DpAbort::Budget) => return Err(StageFail::Budget),
                 Err(DpAbort::Contradiction(_)) => None,
             };
-            let discarded = match study_decision(st, &discard, budget) {
+            let discarded = match study(st, &discard, budget) {
                 Ok(f) => Some(f),
                 Err(DpAbort::Budget) => return Err(StageFail::Budget),
                 Err(DpAbort::Contradiction(_)) => None,
             };
             match (chosen, discarded) {
-                (Some(c), Some(d)) => {
-                    survivors.push(c);
-                    survivors.push(d);
+                (Some(c), Some(dd)) => {
+                    survivors.push((choose, c));
+                    survivors.push((discard, dd));
                 }
                 (Some(_), None) => {
                     // Discard impossible ⇒ choosing is mandatory.
@@ -115,18 +178,19 @@ fn combination_stage(
             continue; // re-select candidates on the updated state
         }
         match pick_best(survivors) {
-            Some(best) => *st = best,
+            Some((d, best)) => adopt(st, &d, best),
             None => return Err(StageFail::Restart),
         }
     }
 }
 
-fn pick_best(mut survivors: Vec<SchedulingState>) -> Option<SchedulingState> {
-    let mut best: Option<(crate::state::StateScore, usize)> = None;
-    for (i, s) in survivors.iter_mut().enumerate() {
-        let sc = s.score();
-        if best.is_none_or(|(b, _)| sc.better_than(&b)) {
-            best = Some((sc, i));
+/// Best survivor by the §4.4.3 heuristic; ties keep the earliest entry
+/// (callers push the *choose* future first).
+fn pick_best(mut survivors: Vec<(Decision, Studied)>) -> Option<(Decision, Studied)> {
+    let mut best: Option<(StateScore, usize)> = None;
+    for (i, (_, s)) in survivors.iter().enumerate() {
+        if best.is_none_or(|(b, _)| s.score.better_than(&b)) {
+            best = Some((s.score, i));
         }
     }
     best.map(|(_, i)| survivors.swap_remove(i))
@@ -138,6 +202,31 @@ pub fn stage1_combinations(st: &mut SchedulingState, budget: &mut Budget) -> Res
     combination_stage(st, budget, |state, e| {
         matches!(state.kind[e.u], NodeKind::Inst(_)) && matches!(state.kind[e.v], NodeKind::Inst(_))
     })
+}
+
+/// Applies a mandatory bound move (the pinning stage's contradiction
+/// path) and drains it to a fixpoint. With `discard_after` the move runs
+/// under a speculation and is rolled back once drained — used by the
+/// trail engine when a viable survivor is already in hand: the legacy
+/// clone engine adopts that survivor's *pre-tighten* future wholesale,
+/// discarding the tighten's side effects, so the trail engine must
+/// charge the identical deduction work but restore the pre-tighten state
+/// before replaying the winner.
+fn mandatory_tighten(
+    st: &mut SchedulingState,
+    budget: &mut Budget,
+    discard_after: bool,
+    apply: impl FnOnce(&mut SchedulingState, &mut Queue) -> Result<(), Contradiction>,
+) -> Result<(), StageFail> {
+    let mark = discard_after.then(|| st.begin_speculation());
+    let mut q: Queue = Queue::new();
+    let drained = apply(st, &mut q)
+        .map_err(DpAbort::from)
+        .and_then(|()| dp::drain(st, &mut q, budget));
+    if let Some(m) = mark {
+        st.rollback(m);
+    }
+    drained.map_err(map_abort)
 }
 
 /// Generic pinning stage over a node filter.
@@ -156,33 +245,41 @@ fn pinning_stage(
             return Ok(());
         };
         let (est, lst) = (st.est[node], st.lst[node]);
-        let mut survivors = Vec::new();
+        let mut survivors: Vec<(Decision, Studied)> = Vec::new();
         let mut tightened = false;
-        match study_decision(st, &Decision::Pin { node, cycle: est }, budget) {
-            Ok(f) => survivors.push(f),
+        let pin_est = Decision::Pin { node, cycle: est };
+        match study(st, &pin_est, budget) {
+            Ok(f) => survivors.push((pin_est, f)),
             Err(DpAbort::Budget) => return Err(StageFail::Budget),
             Err(DpAbort::Contradiction(_)) => {
                 // Mandatory: this cycle is impossible; the bound rises.
-                let mut q: Queue = Queue::new();
-                dp::tighten_est(st, &mut q, node, est + 1).map_err(|_| StageFail::Restart)?;
-                dp::drain(st, &mut q, budget).map_err(map_abort)?;
+                // No survivor exists yet, so the move always persists.
+                mandatory_tighten(st, budget, false, |st, q| {
+                    dp::tighten_est(st, q, node, est + 1)
+                })?;
                 tightened = true;
             }
         }
         if !tightened && lst != est {
-            match study_decision(st, &Decision::Pin { node, cycle: lst }, budget) {
-                Ok(f) => survivors.push(f),
+            let pin_lst = Decision::Pin { node, cycle: lst };
+            match study(st, &pin_lst, budget) {
+                Ok(f) => survivors.push((pin_lst, f)),
                 Err(DpAbort::Budget) => return Err(StageFail::Budget),
                 Err(DpAbort::Contradiction(_)) => {
-                    let mut q: Queue = Queue::new();
-                    dp::tighten_lst(st, &mut q, node, lst - 1).map_err(|_| StageFail::Restart)?;
-                    dp::drain(st, &mut q, budget).map_err(map_abort)?;
+                    // A viable est future may already be in hand; its
+                    // adoption below supersedes this mandatory move, so
+                    // the trail engine discards the move after charging
+                    // it (see `mandatory_tighten`).
+                    let discard = !survivors.is_empty() && !st.ctx.tuning.clone_study;
+                    mandatory_tighten(st, budget, discard, |st, q| {
+                        dp::tighten_lst(st, q, node, lst - 1)
+                    })?;
                     tightened = true;
                 }
             }
         }
-        if let Some(best) = pick_best(survivors) {
-            *st = best;
+        if let Some((d, best)) = pick_best(survivors) {
+            adopt(st, &d, best);
         } else if !tightened {
             return Err(StageFail::Restart);
         }
@@ -238,13 +335,8 @@ pub fn stage3_eliminate_outedges(
             .collect();
         debug_assert!(!pairs.is_empty());
         // Candidate: fuse the whole matching simultaneously.
-        match study_decision(st, &Decision::FuseSet(pairs), budget) {
-            Ok(f) => {
-                *st = f;
-                continue;
-            }
-            Err(DpAbort::Budget) => return Err(StageFail::Budget),
-            Err(DpAbort::Contradiction(_)) => {}
+        if study_adopt(st, &Decision::FuseSet(pairs), budget)?.is_none() {
+            continue;
         }
         // Fallback (§4.4.2): treat the highest-weight edge individually —
         // try to fuse it, and if that is impossible separating it is
@@ -253,21 +345,13 @@ pub fn stage3_eliminate_outedges(
             .iter()
             .max_by_key(|(&(a, b), &w)| (w, std::cmp::Reverse((a, b))))
             .expect("outedges exist");
-        match study_decision(st, &Decision::Fuse(a, b), budget) {
-            Ok(f) => {
-                *st = f;
-            }
-            Err(DpAbort::Budget) => return Err(StageFail::Budget),
-            Err(DpAbort::Contradiction(cf)) => {
-                // Mandatory: they cannot share a cluster.
-                if let Err(e) = apply_decision(st, &Decision::Incompat(a, b), budget) {
-                    if std::env::var_os("VCSCHED_DEBUG").is_some() {
-                        eprintln!(
-                            "stage3 dead end on VCs ({a},{b}): fuse: {cf:?}; incompat: {e:?}"
-                        );
-                    }
-                    return Err(map_abort(e));
+        if let Some(cf) = study_adopt(st, &Decision::Fuse(a, b), budget)? {
+            // Mandatory: they cannot share a cluster.
+            if let Err(e) = apply_decision(st, &Decision::Incompat(a, b), budget) {
+                if std::env::var_os("VCSCHED_DEBUG").is_some() {
+                    eprintln!("stage3 dead end on VCs ({a},{b}): fuse: {cf:?}; incompat: {e:?}");
                 }
+                return Err(map_abort(e));
             }
         }
     }
@@ -292,17 +376,18 @@ pub fn stage4_map_clusters(st: &mut SchedulingState, budget: &mut Budget) -> Res
         // Highest incompatibility degree first (graph-colouring order).
         unmapped.sort_by_key(|&(deg, r)| (std::cmp::Reverse(deg), r));
         let (_, vc_root) = unmapped[0];
-        let mut survivors = Vec::new();
+        let mut survivors: Vec<(Decision, Studied)> = Vec::new();
         for c in 0..k {
             let anchor = st.ctx.anchor(c);
-            match study_decision(st, &Decision::Fuse(vc_root, anchor), budget) {
-                Ok(f) => survivors.push(f),
+            let fuse = Decision::Fuse(vc_root, anchor);
+            match study(st, &fuse, budget) {
+                Ok(f) => survivors.push((fuse, f)),
                 Err(DpAbort::Budget) => return Err(StageFail::Budget),
                 Err(DpAbort::Contradiction(_)) => {}
             }
         }
         match pick_best(survivors) {
-            Some(best) => *st = best,
+            Some((d, best)) => adopt(st, &d, best),
             None => return Err(StageFail::Restart),
         }
     }
@@ -327,7 +412,7 @@ pub fn stage5_comm_combinations(
         for (i, &a) in comm_nodes.iter().enumerate() {
             for &b in comm_nodes.iter().skip(i + 1) {
                 let (u, v) = (a.min(b), a.max(b));
-                if st.edge_of.contains_key(&(u, v)) {
+                if st.edge_of.contains(u, v) {
                     continue;
                 }
                 let w = CombRange::overlap(occ, occ);
@@ -338,7 +423,7 @@ pub fn stage5_comm_combinations(
                     window: w,
                     state: EdgeState::Open(CombDomain::new(w)),
                 });
-                st.edge_of.insert((u, v), e_idx);
+                st.edge_of.insert(u, v, e_idx);
                 st.edges_at[u].push(e_idx);
                 st.edges_at[v].push(e_idx);
                 dp::prune_edge(st, &mut q, e_idx).map_err(|c| map_abort(c.into()))?;

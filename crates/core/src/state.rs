@@ -18,10 +18,11 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use vcsched_arch::{ClusterId, MachineConfig, OpClass};
-use vcsched_graph::{OffsetUnionFind, Ungraph, UnionFind};
+use vcsched_graph::{OffsetUnionFind, SortedSet, Ungraph, UnionFind};
 use vcsched_ir::{DepGraph, DepKind, InstId, Superblock};
 
 use crate::combination::{CombDomain, CombRange};
+use crate::trail::{Trail, TrailEntry, TrailMark};
 
 /// Dense node index inside a scheduling state.
 ///
@@ -42,7 +43,10 @@ pub enum NodeKind {
 }
 
 /// Resolution state of one scheduling-graph edge.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// `Copy` on purpose: the trail journals the pre-mutation value of an
+/// edge's resolution as one small undo record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EdgeState {
     /// Still undecided; holds the remaining combination values.
     Open(CombDomain),
@@ -116,6 +120,79 @@ pub struct Tuning {
     /// Replace the exact maximum-weight matching of stage 3 by the greedy
     /// approximation.
     pub greedy_matching: bool,
+    /// Study candidates on full state clones (the paper's literal §4.4.2
+    /// mechanism) instead of the trail-based delta/rollback engine. Kept
+    /// as a live code path so the differential tests and
+    /// `speculation_bench` can race the two engines; results are
+    /// byte-identical by contract.
+    pub clone_study: bool,
+}
+
+/// Scheduling-graph edge lookup by node pair, kept as a `Vec` sorted by
+/// `(u, v)` — the flat replacement for the former
+/// `BTreeMap<(NodeId, NodeId), usize>`. Lookups are a binary search over
+/// contiguous memory and a clone is one `memcpy`; insertion order during
+/// state construction is already sorted, so building it is append-only.
+#[derive(Debug, Clone, Default)]
+pub struct EdgeIndex {
+    entries: Vec<(NodeId, NodeId, usize)>,
+}
+
+impl EdgeIndex {
+    /// An empty index.
+    pub fn new() -> EdgeIndex {
+        EdgeIndex::default()
+    }
+
+    /// Number of indexed pairs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no pair is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Removes every entry, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    fn position(&self, u: NodeId, v: NodeId) -> Result<usize, usize> {
+        self.entries
+            .binary_search_by(|&(a, b, _)| (a, b).cmp(&(u, v)))
+    }
+
+    /// The edge index stored for pair `(u, v)`, if any.
+    pub fn get(&self, u: NodeId, v: NodeId) -> Option<usize> {
+        self.position(u, v).ok().map(|i| self.entries[i].2)
+    }
+
+    /// Returns `true` if pair `(u, v)` is indexed.
+    pub fn contains(&self, u: NodeId, v: NodeId) -> bool {
+        self.position(u, v).is_ok()
+    }
+
+    /// Inserts `(u, v) → e`. The pair must not be present yet. Appending
+    /// in ascending pair order is O(1); out-of-order inserts shift.
+    pub fn insert(&mut self, u: NodeId, v: NodeId, e: usize) {
+        match self.entries.last() {
+            Some(&(a, b, _)) if (a, b) < (u, v) => self.entries.push((u, v, e)),
+            None => self.entries.push((u, v, e)),
+            _ => {
+                let pos = self.position(u, v).expect_err("pair already indexed");
+                self.entries.insert(pos, (u, v, e));
+            }
+        }
+    }
+
+    /// Removes pair `(u, v)` if present.
+    pub fn remove(&mut self, u: NodeId, v: NodeId) {
+        if let Ok(pos) = self.position(u, v) {
+            self.entries.remove(pos);
+        }
+    }
 }
 
 /// Immutable per-superblock context shared by all cloned states.
@@ -222,7 +299,11 @@ impl StateScore {
     }
 }
 
-/// The mutable scheduling state. Cheap enough to clone for candidate study.
+/// The mutable scheduling state.
+///
+/// Candidate study is trail-based by default (apply on this state, then
+/// [`SchedulingState::rollback`]); the state remains cheap enough to clone
+/// for the legacy engine kept behind [`Tuning::clone_study`].
 #[derive(Debug, Clone)]
 pub struct SchedulingState {
     /// Shared immutable context.
@@ -241,12 +322,14 @@ pub struct SchedulingState {
     pub cc: OffsetUnionFind,
     /// Virtual clusters over nodes.
     pub vc: UnionFind,
-    /// VC incompatibility adjacency, authoritative at VC roots.
-    pub vc_adj: Vec<std::collections::BTreeSet<usize>>,
+    /// VC incompatibility adjacency, authoritative at VC roots. Sorted-vec
+    /// sets: ascending iteration like the former `BTreeSet`, contiguous
+    /// storage, bit-exact under insert/remove round trips.
+    pub vc_adj: Vec<SortedSet>,
     /// Scheduling-graph edges.
     pub edges: Vec<SgEdge>,
-    /// Edge index by node pair `(min, max)`.
-    pub edge_of: BTreeMap<(NodeId, NodeId), usize>,
+    /// Edge index by node pair `(min, max)`, flat and binary-searched.
+    pub edge_of: EdgeIndex,
     /// Edges incident to each node.
     pub edges_at: Vec<Vec<usize>>,
     /// Communication table.
@@ -267,6 +350,8 @@ pub struct SchedulingState {
     /// Set whenever a bound tightened or the VC/comm structure changed;
     /// gates re-running the (expensive) resource rules.
     pub dirty: bool,
+    /// The speculation trail: undo log plus lifetime telemetry.
+    pub trail: Trail,
 }
 
 impl SchedulingState {
@@ -337,7 +422,7 @@ impl SchedulingState {
     /// Returns `true` if the VCs of the two nodes are marked incompatible.
     pub fn vcs_incompatible(&mut self, a: NodeId, b: NodeId) -> bool {
         let (ra, rb) = (self.vc.find(a), self.vc.find(b));
-        ra != rb && self.vc_adj[ra].contains(&rb)
+        ra != rb && self.vc_adj[ra].contains(rb)
     }
 
     /// Members of the VC containing `n`.
@@ -385,7 +470,7 @@ impl SchedulingState {
         for i in 0..self.ctx.data_edges.len() {
             let (p, c) = self.ctx.data_edges[i];
             let (rp, rc) = (self.vc.find(p), self.vc.find(c));
-            if rp != rc && !self.vc_adj[rp].contains(&rc) {
+            if rp != rc && !self.vc_adj[rp].contains(rc) {
                 out.push((p, c));
             }
         }
@@ -416,6 +501,139 @@ impl SchedulingState {
             g.add_edge(e.u, e.v);
         }
         g
+    }
+
+    /// Starts a speculation: subsequent mutations are recorded on the
+    /// trail (and in the union-finds' own journals, with path compression
+    /// suspended) until [`SchedulingState::rollback`] or
+    /// [`SchedulingState::commit`] consumes the returned mark.
+    /// Speculations do not nest.
+    pub fn begin_speculation(&mut self) -> TrailMark {
+        debug_assert!(
+            !self.trail.active && self.trail.entries.is_empty(),
+            "speculations do not nest"
+        );
+        self.trail.active = true;
+        self.cc.begin_journal();
+        self.vc.begin_journal();
+        TrailMark {
+            len: self.trail.entries.len(),
+            cc: self.cc.mark(),
+            vc: self.vc.mark(),
+            dirty: self.dirty,
+        }
+    }
+
+    /// Undoes every mutation recorded since `mark`, restoring the state
+    /// bit-exactly, and ends the speculation.
+    pub fn rollback(&mut self, mark: TrailMark) {
+        self.trail.note_rollback();
+        while self.trail.entries.len() > mark.len {
+            match self.trail.entries.pop().expect("trail entry") {
+                TrailEntry::Est { n, old } => self.est[n] = old,
+                TrailEntry::Lst { n, old } => self.lst[n] = old,
+                TrailEntry::Edge { e, old } => self.edges[e].state = old,
+                TrailEntry::DepEdge { from, to } => {
+                    self.succ[from].pop();
+                    self.pred[to].pop();
+                }
+                TrailEntry::CcListMove { root, minor, moved } => {
+                    let at = self.cc_list[root].len() - moved;
+                    let tail = self.cc_list[root].split_off(at);
+                    self.cc_list[minor] = tail;
+                }
+                TrailEntry::VcListMove { root, minor, moved } => {
+                    let at = self.vc_list[root].len() - moved;
+                    let tail = self.vc_list[root].split_off(at);
+                    self.vc_list[minor] = tail;
+                }
+                TrailEntry::VcAdjInsert { a, b } => {
+                    self.vc_adj[a].remove(b);
+                }
+                TrailEntry::VcAdjRemove { a, b } => {
+                    self.vc_adj[a].insert(b);
+                }
+                TrailEntry::CommPush => {
+                    self.comms.pop();
+                }
+                TrailEntry::CommKind { ci, old } => self.comms[ci].kind = old,
+                TrailEntry::FlcPush { value, created } => {
+                    if created {
+                        self.flc_by_value.remove(&value);
+                    } else {
+                        self.flc_by_value
+                            .get_mut(&value)
+                            .expect("flc entry exists")
+                            .pop();
+                    }
+                }
+                TrailEntry::PlcSeen { key } => {
+                    self.plc_seen.remove(&key);
+                }
+                TrailEntry::NewNode => {
+                    self.kind.pop();
+                    self.est.pop();
+                    self.lst.pop();
+                    self.succ.pop();
+                    self.pred.pop();
+                    self.vc_adj.pop();
+                    self.edges_at.pop();
+                    self.cc_list.pop();
+                    self.vc_list.pop();
+                }
+            }
+        }
+        self.cc.rollback(mark.cc);
+        self.vc.rollback(mark.vc);
+        self.cc.end_journal();
+        self.vc.end_journal();
+        self.dirty = mark.dirty;
+        self.trail.active = false;
+    }
+
+    /// Keeps every mutation recorded since `mark` (the adopted-winner
+    /// path) and ends the speculation, discarding the undo records.
+    pub fn commit(&mut self, mark: TrailMark) {
+        self.trail.entries.truncate(mark.len);
+        self.cc.end_journal();
+        self.vc.end_journal();
+        self.trail.active = false;
+    }
+
+    /// Estimated heap bytes a full clone of this state would copy — the
+    /// per-study cost the trail engine avoids. Measured once per state
+    /// (re)build and cached on the trail, which credits it to
+    /// [`Trail::bytes_not_cloned`] on each rollback in O(1) (walking the
+    /// whole heap per study would reintroduce the very cost the trail
+    /// removes).
+    pub fn approx_clone_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        let per_node = size_of::<NodeKind>()      // kind
+            + 2 * size_of::<i64>()                // est + lst
+            + 3 * size_of::<usize>()              // cc parent/rank/offset (approx)
+            + 2 * size_of::<usize>(); // vc parent/rank (approx)
+        let mut bytes = (self.kind.len() * per_node) as u64;
+        for v in &self.succ {
+            bytes += (v.len() * size_of::<(NodeId, i64)>()) as u64;
+        }
+        for v in &self.pred {
+            bytes += (v.len() * size_of::<(NodeId, i64)>()) as u64;
+        }
+        for adj in &self.vc_adj {
+            bytes += (adj.len() * size_of::<usize>()) as u64;
+        }
+        for v in &self.edges_at {
+            bytes += (v.len() * size_of::<usize>()) as u64;
+        }
+        for v in self.cc_list.iter().chain(&self.vc_list) {
+            bytes += (v.len() * size_of::<NodeId>()) as u64;
+        }
+        bytes += (self.edges.len() * size_of::<SgEdge>()) as u64;
+        bytes += (self.edge_of.len() * size_of::<(NodeId, NodeId, usize)>()) as u64;
+        bytes += (self.comms.len() * size_of::<Comm>()) as u64;
+        bytes += (self.flc_by_value.len() * 3 * size_of::<usize>()) as u64;
+        bytes += (self.plc_seen.len() * size_of::<(u8, NodeId, NodeId, NodeId)>()) as u64;
+        bytes
     }
 
     /// Builds the VCG restricted to current roots, as `(graph, roots)` with

@@ -130,7 +130,7 @@ fn choosing_comb_zero_merges_connected_components() {
     // On the 4-cluster machine Rule 2 fires per-cluster capacity 1.
     assert!(st.vcs_incompatible(0, 1));
     // The scheduling-graph edge is now resolved as chosen.
-    let e = st.edge_of[&(0, 1)];
+    let e = st.edge_of.get(0, 1).expect("edge exists");
     assert!(matches!(st.edges[e].state, EdgeState::Chosen(0)));
 }
 
@@ -146,7 +146,7 @@ fn discarding_all_combinations_resolves_no_overlap_and_serialises() {
         &mut budget,
     )
     .unwrap();
-    let e = st.edge_of[&(0, 1)];
+    let e = st.edge_of.get(0, 1).expect("edge exists");
     assert!(matches!(st.edges[e].state, EdgeState::NoOverlap));
     // Pin node 0; the serialisation constraint now forces node 1 apart.
     apply_decision(&mut st, &Decision::Pin { node: 0, cycle: 2 }, &mut budget).unwrap();
@@ -154,7 +154,7 @@ fn discarding_all_combinations_resolves_no_overlap_and_serialises() {
         st.est[1] != 2 || st.lst[1] != 2,
         "node 1 may not share cycle 2"
     );
-    let pin_same = study_decision(&st, &Decision::Pin { node: 1, cycle: 2 }, &mut budget);
+    let pin_same = study_decision(&mut st, &Decision::Pin { node: 1, cycle: 2 }, &mut budget);
     assert!(matches!(pin_same, Err(DpAbort::Contradiction(_))));
 }
 
@@ -169,7 +169,7 @@ fn anchors_make_mapping_decisions_ordinary_fusions() {
     apply_decision(&mut st, &Decision::Fuse(0, anchor0), &mut budget).unwrap();
     assert_eq!(st.cluster_of(0), Some(ClusterId(0)));
     // Anchors are pairwise incompatible: mapping node 0 to both is absurd.
-    let both = study_decision(&st, &Decision::Fuse(0, anchor1), &mut budget);
+    let both = study_decision(&mut st, &Decision::Fuse(0, anchor1), &mut budget);
     assert!(matches!(both, Err(DpAbort::Contradiction(_))));
 }
 
@@ -300,7 +300,7 @@ fn two_remote_consumer_pairs_serialise_on_one_bus() {
     )
     .expect("one consumer at cycle 1 is fine");
     let both = study_decision(
-        &st,
+        &mut st,
         &Decision::Pin {
             node: c2n,
             cycle: 1,

@@ -270,12 +270,16 @@ pub struct BatchResult {
 /// verification hash checked on lookup.
 ///
 /// The composite covers the *entire* policy configuration — the
-/// canonical policy-set spelling, the step budget and the early-cancel
+/// **version-qualified** policy-set spelling (each member as
+/// `name@algorithm_version`), the step budget and the early-cancel
 /// switch — so identical blocks scheduled under different portfolios
 /// never alias: a `vc`-only entry can never answer a full-portfolio
-/// request (whose winner could differ), and telemetry-changing knobs
-/// (`early_cancel`) separate entries too.
+/// request (whose winner could differ), telemetry-changing knobs
+/// (`early_cancel`) separate entries, and bumping one policy's
+/// [`SchedulePolicy::algorithm_version`] invalidates exactly that
+/// policy's entries — sets not containing it keep hitting.
 fn problem_key(
+    registry: &PolicyRegistry,
     sb_json: &str,
     machine: &MachineConfig,
     homes: &[vcsched_arch::ClusterId],
@@ -286,7 +290,7 @@ fn problem_key(
     let composite = format!(
         "{sb_json}|{machine:?}|{homes:?}|steps={}|policies={}|early_cancel={}",
         options.max_dp_steps,
-        options.policies.key(),
+        options.policies.versioned_key_with(registry),
         options.early_cancel
     );
     (
@@ -308,8 +312,30 @@ pub fn solve_one(
     options: &PolicyOptions,
     cache: &ScheduleCache,
 ) -> (BlockOutcome, bool) {
+    solve_one_with(
+        PolicyRegistry::builtin(),
+        sb,
+        machine,
+        homes,
+        options,
+        cache,
+    )
+}
+
+/// [`solve_one`] against an explicit registry: policy construction *and*
+/// the cache key's version qualifiers both resolve through `registry`,
+/// so custom policies participate in content addressing exactly like the
+/// built-ins.
+pub fn solve_one_with(
+    registry: &PolicyRegistry,
+    sb: &vcsched_ir::Superblock,
+    machine: &MachineConfig,
+    homes: &[vcsched_arch::ClusterId],
+    options: &PolicyOptions,
+    cache: &ScheduleCache,
+) -> (BlockOutcome, bool) {
     let sb_json = serde_json::to_string(sb).expect("superblocks serialize");
-    let (key, check) = problem_key(&sb_json, machine, homes, options);
+    let (key, check) = problem_key(registry, &sb_json, machine, homes, options);
     if let Some(entry) = cache.get(key, check) {
         return (
             BlockOutcome {
@@ -323,7 +349,7 @@ pub fn solve_one(
             true,
         );
     }
-    let outcome = schedule_block(sb, machine, homes, options);
+    let outcome = portfolio::schedule_block_with(registry, sb, machine, homes, options);
     cache.put(
         key,
         CacheEntry {

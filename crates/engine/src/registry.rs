@@ -15,6 +15,10 @@ use vcsched_policy::SchedulePolicy;
 struct RegisteredPolicy {
     name: String,
     origin: String,
+    /// [`SchedulePolicy::algorithm_version`], captured at registration —
+    /// folded into the schedule-cache key so bumping one policy's version
+    /// invalidates exactly that policy's cached entries.
+    version: String,
     ctor: Box<dyn Fn() -> Box<dyn SchedulePolicy> + Send + Sync>,
 }
 
@@ -110,9 +114,19 @@ impl PolicyRegistry {
         self.entries.push(RegisteredPolicy {
             name: name.to_owned(),
             origin: origin.to_owned(),
+            version: built.algorithm_version().to_owned(),
             ctor: Box::new(ctor),
         });
         Ok(())
+    }
+
+    /// The algorithm version registered under `name` (see
+    /// [`SchedulePolicy::algorithm_version`]).
+    pub fn version_of(&self, name: &str) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| e.version.as_str())
     }
 
     /// Position of `name` in the canonical (tie-break) order.
@@ -261,10 +275,31 @@ impl PolicySet {
         self.names.iter().any(|n| n == name)
     }
 
-    /// The canonical comma-joined form — the stable spelling used in the
-    /// schedule-cache key and JSON summaries.
+    /// The canonical comma-joined form — the stable spelling used in
+    /// JSON summaries and wire requests.
     pub fn key(&self) -> String {
         self.names.join(",")
+    }
+
+    /// The version-qualified spelling (`vc@1,cars@1`) used in the
+    /// schedule-cache key: each member carries its registered
+    /// [`SchedulePolicy::algorithm_version`], so bumping one policy's
+    /// version invalidates exactly its own cached entries. Members the
+    /// registry does not know keep their bare name.
+    pub fn versioned_key_with(&self, registry: &PolicyRegistry) -> String {
+        self.names
+            .iter()
+            .map(|name| match registry.version_of(name) {
+                Some(v) => format!("{name}@{v}"),
+                None => name.clone(),
+            })
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    /// [`PolicySet::versioned_key_with`] against the built-in registry.
+    pub fn versioned_key(&self) -> String {
+        self.versioned_key_with(PolicyRegistry::builtin())
     }
 }
 

@@ -1,0 +1,125 @@
+//! Policy-versioning regression test: the schedule-cache key folds each
+//! registered policy's `algorithm_version` in, so bumping one policy's
+//! version invalidates exactly its own cached entries — sets that do not
+//! contain the bumped policy keep hitting.
+
+use vcsched_arch::{ClusterId, MachineConfig};
+use vcsched_engine::{
+    solve_one_with, PolicyBudget, PolicyOptions, PolicyOutcome, PolicyRegistry, PolicySet,
+    ScheduleCache, SchedulePolicy,
+};
+use vcsched_ir::Superblock;
+use vcsched_workload::{benchmark, generate_block, live_in_placement, InputSet};
+
+/// A CARS-backed test policy with an explicit name and algorithm version.
+struct VersionedCars {
+    name: &'static str,
+    version: &'static str,
+}
+
+impl SchedulePolicy for VersionedCars {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn algorithm_version(&self) -> &'static str {
+        self.version
+    }
+
+    fn schedule(
+        &self,
+        block: &Superblock,
+        machine: &MachineConfig,
+        homes: &[ClusterId],
+        budget: &PolicyBudget,
+    ) -> PolicyOutcome {
+        vcsched_cars::CarsPolicy.schedule(block, machine, homes, budget)
+    }
+}
+
+fn registry(mycars_version: &'static str) -> PolicyRegistry {
+    let mut r = PolicyRegistry::empty();
+    r.register("mycars", "versioned test policy", move || {
+        Box::new(VersionedCars {
+            name: "mycars",
+            version: mycars_version,
+        })
+    })
+    .expect("fresh registry");
+    r.register("othercars", "control policy", || {
+        Box::new(VersionedCars {
+            name: "othercars",
+            version: "1",
+        })
+    })
+    .expect("fresh registry");
+    r
+}
+
+fn fixture() -> (Superblock, MachineConfig, Vec<ClusterId>) {
+    let spec = benchmark("130.li").expect("known benchmark");
+    let sb = generate_block(&spec, 11, 2, InputSet::Ref);
+    let machine = MachineConfig::paper_2c_8w();
+    let homes = live_in_placement(&sb, machine.cluster_count(), 11);
+    (sb, machine, homes)
+}
+
+fn opts(set: PolicySet) -> PolicyOptions {
+    PolicyOptions {
+        max_dp_steps: 1_000,
+        policies: set,
+        early_cancel: false,
+    }
+}
+
+#[test]
+fn versioned_keys_spell_each_members_version() {
+    let v1 = registry("1");
+    let v2 = registry("2");
+    let both = PolicySet::parse_with("mycars,othercars", &v1).expect("valid set");
+    assert_eq!(both.versioned_key_with(&v1), "mycars@1,othercars@1");
+    assert_eq!(both.versioned_key_with(&v2), "mycars@2,othercars@1");
+    // The plain spelling (summaries, wire protocol) stays unqualified.
+    assert_eq!(both.key(), "mycars,othercars");
+    // Unknown members keep their bare name instead of failing.
+    assert_eq!(
+        PolicySet::single().versioned_key_with(&v1),
+        "vc,cars",
+        "names absent from the registry are unqualified"
+    );
+    // Built-in resolution goes through the built-in registry.
+    assert_eq!(PolicySet::single().versioned_key(), "vc@1,cars@1");
+}
+
+#[test]
+fn version_bump_invalidates_exactly_its_own_entries() {
+    let v1 = registry("1");
+    let v2 = registry("2");
+    let (sb, machine, homes) = fixture();
+    let my = PolicySet::parse_with("mycars", &v1).expect("valid set");
+    let other = PolicySet::parse_with("othercars", &v1).expect("valid set");
+    let cache = ScheduleCache::in_memory(64);
+
+    // Cold: both sets insert their entries under version 1.
+    let (out_my_v1, hit) = solve_one_with(&v1, &sb, &machine, &homes, &opts(my.clone()), &cache);
+    assert!(!hit, "cold cache");
+    let (_, hit) = solve_one_with(&v1, &sb, &machine, &homes, &opts(other.clone()), &cache);
+    assert!(!hit, "different set, different entry");
+
+    // Warm: same versions answer from cache.
+    let (_, hit) = solve_one_with(&v1, &sb, &machine, &homes, &opts(my.clone()), &cache);
+    assert!(hit, "same version must hit");
+    let (_, hit) = solve_one_with(&v1, &sb, &machine, &homes, &opts(other.clone()), &cache);
+    assert!(hit, "same version must hit");
+
+    // Bump `mycars` to version 2: exactly its own entries stop matching.
+    let (out_my_v2, hit) = solve_one_with(&v2, &sb, &machine, &homes, &opts(my.clone()), &cache);
+    assert!(!hit, "bumped version must miss (entry invalidated)");
+    let (_, hit) = solve_one_with(&v2, &sb, &machine, &homes, &opts(other.clone()), &cache);
+    assert!(hit, "untouched policy's entries keep hitting");
+
+    // And the rescheduled result is remembered under the new version.
+    let (_, hit) = solve_one_with(&v2, &sb, &machine, &homes, &opts(my), &cache);
+    assert!(hit, "new-version entry is cached in turn");
+    assert_eq!(out_my_v1.schedule, out_my_v2.schedule, "same algorithm");
+}

@@ -42,10 +42,12 @@ mod bitset;
 pub mod coloring;
 mod digraph;
 pub mod matching;
+mod sortedset;
 mod undirected;
 mod union_find;
 
 pub use bitset::BitSet;
 pub use digraph::Digraph;
+pub use sortedset::SortedSet;
 pub use undirected::Ungraph;
 pub use union_find::{OffsetUnion, OffsetUnionFind, UnionFind};

@@ -1,0 +1,140 @@
+//! A sorted-vec set of small integers.
+//!
+//! [`SortedSet`] replaces `BTreeSet<usize>` on the scheduler's hot paths
+//! (virtual-cluster incompatibility adjacency): same ascending iteration
+//! order, but contiguous storage — `contains` is a binary search over one
+//! cache line for typical degrees, clones are a single `memcpy`, and the
+//! canonical layout means undoing an `insert` with a `remove` (or vice
+//! versa) restores the set bit-exactly, which the trail-based rollback
+//! engine relies on.
+
+/// A set of `usize` kept as a sorted, deduplicated `Vec`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SortedSet {
+    items: Vec<usize>,
+}
+
+impl SortedSet {
+    /// An empty set.
+    pub fn new() -> SortedSet {
+        SortedSet::default()
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns `true` if the set has no members.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Returns `true` if `x` is a member.
+    pub fn contains(&self, x: usize) -> bool {
+        self.items.binary_search(&x).is_ok()
+    }
+
+    /// Inserts `x`. Returns `true` if it was not already present.
+    pub fn insert(&mut self, x: usize) -> bool {
+        match self.items.binary_search(&x) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.items.insert(pos, x);
+                true
+            }
+        }
+    }
+
+    /// Removes `x`. Returns `true` if it was present.
+    pub fn remove(&mut self, x: usize) -> bool {
+        match self.items.binary_search(&x) {
+            Ok(pos) => {
+                self.items.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Removes every member, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+
+    /// Members in ascending order.
+    pub fn iter(&self) -> std::slice::Iter<'_, usize> {
+        self.items.iter()
+    }
+
+    /// The members as a sorted slice.
+    pub fn as_slice(&self) -> &[usize] {
+        &self.items
+    }
+}
+
+impl<'a> IntoIterator for &'a SortedSet {
+    type Item = &'a usize;
+    type IntoIter = std::slice::Iter<'a, usize>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter()
+    }
+}
+
+impl FromIterator<usize> for SortedSet {
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> SortedSet {
+        let mut s = SortedSet::new();
+        for x in iter {
+            s.insert(x);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = SortedSet::new();
+        assert!(s.is_empty());
+        assert!(s.insert(5));
+        assert!(s.insert(1));
+        assert!(s.insert(3));
+        assert!(!s.insert(3), "duplicate insert is a no-op");
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(3));
+        assert!(!s.contains(2));
+        assert!(s.remove(3));
+        assert!(!s.remove(3));
+        assert_eq!(s.iter().copied().collect::<Vec<_>>(), vec![1, 5]);
+    }
+
+    #[test]
+    fn iteration_is_ascending_like_btreeset() {
+        let mut s = SortedSet::new();
+        let mut b = std::collections::BTreeSet::new();
+        for x in [9usize, 2, 7, 2, 0, 4] {
+            s.insert(x);
+            b.insert(x);
+        }
+        assert_eq!(
+            s.iter().copied().collect::<Vec<_>>(),
+            b.iter().copied().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn insert_undoes_remove_bit_exactly() {
+        let mut s: SortedSet = [4usize, 8, 15, 16].into_iter().collect();
+        let snapshot = s.clone();
+        assert!(s.remove(15));
+        assert!(s.insert(15));
+        assert_eq!(s, snapshot);
+        assert!(s.insert(23));
+        assert!(s.remove(23));
+        assert_eq!(s, snapshot);
+    }
+}

@@ -9,6 +9,26 @@
 //!   the paper's *connected components* (§3.1): choosing a combination
 //!   `comb(u, v) = d` pins `cycle(u) − cycle(v) = d`, so all members of a
 //!   component sit at fixed relative cycles.
+//!
+//! Both structures support **speculative journaling** for the trail-based
+//! study engine (`vcsched-core`): while journaling is enabled every
+//! mutation (union, push) appends an undo record, *path compression is
+//! suspended* (finds become pure reads), and [`UnionFind::rollback`]
+//! restores the structure bit-exactly to an earlier [`UnionFind::mark`].
+//! Compression performed outside journaling never needs undoing — it only
+//! re-points non-roots at their (unchanged) root — so suspending it during
+//! speculation is what makes the undo log exact *and* small: one entry per
+//! union or push, none per find.
+
+/// One undo record of a journaled union-find mutation.
+#[derive(Debug, Clone, Copy)]
+enum UfUndo {
+    /// A union attached `child` (an old root) under the surviving root;
+    /// `rank_bumped` records whether the survivor's rank was incremented.
+    Union { child: usize, rank_bumped: bool },
+    /// A new singleton element was pushed.
+    Push,
+}
 
 /// Classic disjoint-set forest with union by rank and path compression.
 ///
@@ -21,12 +41,24 @@
 /// uf.union(0, 1);
 /// assert!(uf.same(0, 1));
 /// assert!(!uf.same(0, 2));
+///
+/// // Speculative journaling: mutations between `begin_journal` and
+/// // `rollback` are undone exactly.
+/// uf.begin_journal();
+/// let mark = uf.mark();
+/// uf.union(1, 2);
+/// assert!(uf.same(0, 2));
+/// uf.rollback(mark);
+/// uf.end_journal();
+/// assert!(!uf.same(0, 2));
 /// ```
 #[derive(Debug, Clone)]
 pub struct UnionFind {
     parent: Vec<usize>,
     rank: Vec<u32>,
     sets: usize,
+    journal: Vec<UfUndo>,
+    journaling: bool,
 }
 
 impl UnionFind {
@@ -36,7 +68,20 @@ impl UnionFind {
             parent: (0..n).collect(),
             rank: vec![0; n],
             sets: n,
+            journal: Vec::new(),
+            journaling: false,
         }
+    }
+
+    /// Resets to `n` singleton sets, reusing the allocations. The journal
+    /// must be inactive and empty.
+    pub fn reset(&mut self, n: usize) {
+        debug_assert!(!self.journaling && self.journal.is_empty());
+        self.parent.clear();
+        self.parent.extend(0..n);
+        self.rank.clear();
+        self.rank.resize(n, 0);
+        self.sets = n;
     }
 
     /// Number of elements.
@@ -54,26 +99,78 @@ impl UnionFind {
         self.sets
     }
 
+    /// Starts journaling: subsequent unions and pushes append undo
+    /// records and path compression is suspended, so a later
+    /// [`UnionFind::rollback`] restores the structure bit-exactly.
+    pub fn begin_journal(&mut self) {
+        debug_assert!(!self.journaling && self.journal.is_empty());
+        self.journaling = true;
+    }
+
+    /// Stops journaling and discards the (already rolled-back or
+    /// committed) undo records.
+    pub fn end_journal(&mut self) {
+        self.journaling = false;
+        self.journal.clear();
+    }
+
+    /// Whether journaling is active.
+    pub fn journaling(&self) -> bool {
+        self.journaling
+    }
+
+    /// Current journal position; pass to [`UnionFind::rollback`].
+    pub fn mark(&self) -> usize {
+        self.journal.len()
+    }
+
+    /// Undoes every journaled mutation after `mark`, in reverse order.
+    pub fn rollback(&mut self, mark: usize) {
+        while self.journal.len() > mark {
+            match self.journal.pop().expect("journal entry") {
+                UfUndo::Union { child, rank_bumped } => {
+                    let root = self.parent[child];
+                    self.parent[child] = child;
+                    if rank_bumped {
+                        self.rank[root] -= 1;
+                    }
+                    self.sets += 1;
+                }
+                UfUndo::Push => {
+                    self.parent.pop();
+                    self.rank.pop();
+                    self.sets -= 1;
+                }
+            }
+        }
+    }
+
     /// Adds one more singleton set and returns its index.
     pub fn push(&mut self) -> usize {
         let id = self.parent.len();
         self.parent.push(id);
         self.rank.push(0);
         self.sets += 1;
+        if self.journaling {
+            self.journal.push(UfUndo::Push);
+        }
         id
     }
 
-    /// Returns the representative of `x`'s set.
+    /// Returns the representative of `x`'s set. Compresses paths unless
+    /// journaling is active (speculative finds must not write).
     pub fn find(&mut self, x: usize) -> usize {
         let mut root = x;
         while self.parent[root] != root {
             root = self.parent[root];
         }
-        let mut cur = x;
-        while self.parent[cur] != root {
-            let next = self.parent[cur];
-            self.parent[cur] = root;
-            cur = next;
+        if !self.journaling {
+            let mut cur = x;
+            while self.parent[cur] != root {
+                let next = self.parent[cur];
+                self.parent[cur] = root;
+                cur = next;
+            }
         }
         root
     }
@@ -100,8 +197,15 @@ impl UnionFind {
             (rb, ra)
         };
         self.parent[lo] = hi;
-        if self.rank[hi] == self.rank[lo] {
+        let rank_bumped = self.rank[hi] == self.rank[lo];
+        if rank_bumped {
             self.rank[hi] += 1;
+        }
+        if self.journaling {
+            self.journal.push(UfUndo::Union {
+                child: lo,
+                rank_bumped,
+            });
         }
         hi
     }
@@ -130,6 +234,10 @@ pub enum OffsetUnion {
 /// `value(x) − value(y) = offset(x) − offset(y)` for the implicit quantity
 /// being related (schedule cycles, in this workspace).
 ///
+/// Supports the same speculative journaling protocol as [`UnionFind`]:
+/// while journaling, finds do not compress and every union/push is undone
+/// exactly by [`OffsetUnionFind::rollback`].
+///
 /// # Example
 ///
 /// ```
@@ -149,6 +257,8 @@ pub struct OffsetUnionFind {
     /// Offset of element relative to its parent: `value(x) − value(parent(x))`.
     offset: Vec<i64>,
     rank: Vec<u32>,
+    journal: Vec<UfUndo>,
+    journaling: bool,
 }
 
 impl OffsetUnionFind {
@@ -158,7 +268,21 @@ impl OffsetUnionFind {
             parent: (0..n).collect(),
             offset: vec![0; n],
             rank: vec![0; n],
+            journal: Vec::new(),
+            journaling: false,
         }
+    }
+
+    /// Resets to `n` singleton sets, reusing the allocations. The journal
+    /// must be inactive and empty.
+    pub fn reset(&mut self, n: usize) {
+        debug_assert!(!self.journaling && self.journal.is_empty());
+        self.parent.clear();
+        self.parent.extend(0..n);
+        self.offset.clear();
+        self.offset.resize(n, 0);
+        self.rank.clear();
+        self.rank.resize(n, 0);
     }
 
     /// Number of elements.
@@ -171,17 +295,67 @@ impl OffsetUnionFind {
         self.parent.is_empty()
     }
 
+    /// Starts journaling (see [`UnionFind::begin_journal`]).
+    pub fn begin_journal(&mut self) {
+        debug_assert!(!self.journaling && self.journal.is_empty());
+        self.journaling = true;
+    }
+
+    /// Stops journaling and discards the undo records.
+    pub fn end_journal(&mut self) {
+        self.journaling = false;
+        self.journal.clear();
+    }
+
+    /// Whether journaling is active.
+    pub fn journaling(&self) -> bool {
+        self.journaling
+    }
+
+    /// Current journal position; pass to [`OffsetUnionFind::rollback`].
+    pub fn mark(&self) -> usize {
+        self.journal.len()
+    }
+
+    /// Undoes every journaled mutation after `mark`, in reverse order.
+    pub fn rollback(&mut self, mark: usize) {
+        while self.journal.len() > mark {
+            match self.journal.pop().expect("journal entry") {
+                UfUndo::Union { child, rank_bumped } => {
+                    let root = self.parent[child];
+                    self.parent[child] = child;
+                    self.offset[child] = 0;
+                    if rank_bumped {
+                        self.rank[root] -= 1;
+                    }
+                }
+                UfUndo::Push => {
+                    self.parent.pop();
+                    self.offset.pop();
+                    self.rank.pop();
+                }
+            }
+        }
+    }
+
     /// Adds one more singleton element and returns its index.
     pub fn push(&mut self) -> usize {
         let id = self.parent.len();
         self.parent.push(id);
         self.offset.push(0);
         self.rank.push(0);
+        if self.journaling {
+            self.journal.push(UfUndo::Push);
+        }
         id
     }
 
-    /// Returns `(root, offset_to_root)` for `x`, compressing paths.
+    /// Returns `(root, offset_to_root)` for `x`. Compresses paths unless
+    /// journaling is active.
     pub fn find(&mut self, x: usize) -> (usize, i64) {
+        if self.journaling {
+            return self.find_const(x);
+        }
         if self.parent[x] == x {
             return (x, 0);
         }
@@ -189,6 +363,17 @@ impl OffsetUnionFind {
         self.parent[x] = root;
         self.offset[x] += parent_off;
         (root, self.offset[x])
+    }
+
+    /// `(root, offset_to_root)` without path compression.
+    pub fn find_const(&self, x: usize) -> (usize, i64) {
+        let mut cur = x;
+        let mut off = 0;
+        while self.parent[cur] != cur {
+            off += self.offset[cur];
+            cur = self.parent[cur];
+        }
+        (cur, off)
     }
 
     /// Representative of `x`'s set.
@@ -219,15 +404,21 @@ impl OffsetUnionFind {
         //   value(a) = value(ra) + oa, value(b) = value(rb) + ob
         //   value(a) − value(b) = delta  ⇒  value(ra) − value(rb) = delta − oa + ob
         let root_delta = delta - oa + ob;
-        if self.rank[ra] >= self.rank[rb] {
+        let (child, rank_bumped) = if self.rank[ra] >= self.rank[rb] {
             self.parent[rb] = ra;
             self.offset[rb] = -root_delta;
-            if self.rank[ra] == self.rank[rb] {
+            let bumped = self.rank[ra] == self.rank[rb];
+            if bumped {
                 self.rank[ra] += 1;
             }
+            (rb, bumped)
         } else {
             self.parent[ra] = rb;
             self.offset[ra] = root_delta;
+            (ra, false)
+        };
+        if self.journaling {
+            self.journal.push(UfUndo::Union { child, rank_bumped });
         }
         OffsetUnion::Merged
     }
@@ -317,5 +508,164 @@ mod tests {
         assert_eq!(b, 1);
         uf.union_with_offset(0, 1, 4);
         assert_eq!(uf.relative_offset(0, 1), Some(4));
+    }
+
+    /// Captures every observable of a plain union-find: the canonical
+    /// (minimum-element) representative per element plus the set count.
+    fn canon(uf: &UnionFind) -> (Vec<usize>, usize) {
+        let mut reps: Vec<usize> = (0..uf.len()).map(|i| uf.find_const(i)).collect();
+        // Normalize to the minimum member of each set.
+        let n = uf.len();
+        let mut min_of = vec![usize::MAX; n];
+        for (i, &r) in reps.iter().enumerate() {
+            min_of[r] = min_of[r].min(i);
+        }
+        for r in reps.iter_mut() {
+            *r = min_of[*r];
+        }
+        (reps, uf.set_count())
+    }
+
+    #[test]
+    fn journal_rollback_restores_unions_and_pushes() {
+        let mut uf = UnionFind::new(6);
+        uf.union(0, 1);
+        uf.union(2, 3);
+        let before = canon(&uf);
+        uf.begin_journal();
+        let mark = uf.mark();
+        uf.union(1, 2);
+        uf.union(4, 5);
+        let e = uf.push();
+        uf.union(e, 0);
+        assert!(uf.same(3, e));
+        assert_eq!(uf.len(), 7);
+        uf.rollback(mark);
+        uf.end_journal();
+        assert_eq!(uf.len(), 6);
+        assert_eq!(canon(&uf), before);
+        // The structure stays fully usable after rollback.
+        uf.union(0, 4);
+        assert!(uf.same(1, 4));
+        assert!(!uf.same(2, 4));
+    }
+
+    #[test]
+    fn journal_marks_nest_and_commit_keeps_changes() {
+        let mut uf = UnionFind::new(5);
+        uf.begin_journal();
+        let outer = uf.mark();
+        uf.union(0, 1);
+        let inner = uf.mark();
+        uf.union(2, 3);
+        assert!(uf.same(2, 3));
+        uf.rollback(inner);
+        assert!(!uf.same(2, 3));
+        assert!(uf.same(0, 1), "inner rollback keeps the outer union");
+        uf.rollback(outer);
+        assert!(!uf.same(0, 1));
+        // Commit path: keep journaled changes by discarding the journal.
+        uf.union(3, 4);
+        uf.end_journal();
+        assert!(uf.same(3, 4));
+    }
+
+    #[test]
+    fn speculative_finds_do_not_compress() {
+        // Build a chain 0 <- 1 <- 2 (by rank manipulation), then check a
+        // speculative find leaves the parent structure untouched: a
+        // rollback after deep finds must still be exact.
+        let mut uf = UnionFind::new(4);
+        uf.union(0, 1); // rank(0) = 1
+        uf.union(2, 3); // rank(2) = 1
+        uf.begin_journal();
+        let mark = uf.mark();
+        uf.union(1, 3); // one root under the other
+                        // Deep finds while journaling: reads only.
+        for x in 0..4 {
+            let _ = uf.find(x);
+        }
+        uf.rollback(mark);
+        uf.end_journal();
+        assert!(!uf.same(1, 3));
+        assert!(uf.same(0, 1));
+        assert!(uf.same(2, 3));
+    }
+
+    /// Observable view of an offset union-find: per element, the canonical
+    /// set representative and the offset *relative to that representative*.
+    fn offset_canon(uf: &OffsetUnionFind) -> Vec<(usize, i64)> {
+        let n = uf.len();
+        let raw: Vec<(usize, i64)> = (0..n).map(|i| uf.find_const(i)).collect();
+        let mut min_of = vec![usize::MAX; n];
+        for (i, &(r, _)) in raw.iter().enumerate() {
+            min_of[r] = min_of[r].min(i);
+        }
+        raw.iter()
+            .map(|&(r, o)| {
+                let m = min_of[r];
+                let (_, om) = uf.find_const(m);
+                (m, o - om)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn offset_journal_rollback_is_exact() {
+        let mut uf = OffsetUnionFind::new(6);
+        uf.union_with_offset(0, 1, 2);
+        uf.union_with_offset(3, 4, -1);
+        let before = offset_canon(&uf);
+        uf.begin_journal();
+        let mark = uf.mark();
+        assert_eq!(uf.union_with_offset(1, 3, 5), OffsetUnion::Merged);
+        let e = uf.push();
+        assert_eq!(uf.union_with_offset(e, 0, 7), OffsetUnion::Merged);
+        assert_eq!(uf.relative_offset(0, 4), Some(6));
+        assert_eq!(uf.relative_offset(e, 1), Some(9));
+        // A conflicting union inside speculation mutates nothing.
+        assert_eq!(uf.union_with_offset(0, 4, 99), OffsetUnion::Conflict);
+        uf.rollback(mark);
+        uf.end_journal();
+        assert_eq!(uf.len(), 6);
+        assert_eq!(offset_canon(&uf), before);
+        assert_eq!(uf.relative_offset(0, 4), None);
+        // Still fully usable: offsets compose correctly after rollback.
+        // value(0)−value(1)=2, value(1)−value(4)=3, value(4)−value(3)=1
+        uf.union_with_offset(1, 4, 3);
+        assert_eq!(uf.relative_offset(0, 3), Some(6));
+    }
+
+    #[test]
+    fn offset_speculative_finds_are_pure_reads() {
+        let mut uf = OffsetUnionFind::new(5);
+        uf.union_with_offset(0, 1, 1);
+        uf.union_with_offset(1, 2, 1);
+        uf.union_with_offset(2, 3, 1);
+        let before = offset_canon(&uf);
+        uf.begin_journal();
+        for x in 0..5 {
+            let _ = uf.find(x);
+        }
+        assert_eq!(uf.relative_offset(0, 3), Some(3));
+        uf.rollback(uf.mark()); // nothing journaled: no-op
+        uf.end_journal();
+        assert_eq!(offset_canon(&uf), before);
+    }
+
+    #[test]
+    fn reset_reuses_allocations() {
+        let mut uf = UnionFind::new(4);
+        uf.union(0, 1);
+        uf.push();
+        uf.reset(3);
+        assert_eq!(uf.len(), 3);
+        assert_eq!(uf.set_count(), 3);
+        assert!(!uf.same(0, 1));
+        let mut ouf = OffsetUnionFind::new(4);
+        ouf.union_with_offset(0, 1, 9);
+        ouf.reset(2);
+        assert_eq!(ouf.len(), 2);
+        assert_eq!(ouf.relative_offset(0, 1), None);
     }
 }

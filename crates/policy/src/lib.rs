@@ -159,6 +159,23 @@ impl Deserialize for PolicyFallback {
     }
 }
 
+/// Speculation-engine telemetry for one scheduling attempt: what the
+/// trail-based delta/rollback study recorded instead of cloning states.
+/// All-zero for single-pass policies (no speculation) and for the legacy
+/// clone-based engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct SpecStats {
+    /// Undo records appended to the trail over the whole attempt.
+    pub trail_entries: u64,
+    /// Rollbacks performed (candidate studies that were not kept).
+    pub rollbacks: u64,
+    /// Deepest the undo log grew (entries outstanding at once).
+    pub peak_trail_depth: u64,
+    /// Estimated bytes the clone-based engine would have copied for the
+    /// rolled-back studies.
+    pub bytes_not_cloned: u64,
+}
+
 /// What one policy returns for one block: the schedule (if any) plus
 /// per-policy telemetry.
 #[derive(Debug, Clone)]
@@ -176,6 +193,9 @@ pub struct PolicyOutcome {
     pub wall: Duration,
     /// Whether (and why) a fallback was taken.
     pub fallback: PolicyFallback,
+    /// Speculation-engine counters (zero unless the policy runs the
+    /// trail-based study engine).
+    pub spec: SpecStats,
 }
 
 impl PolicyOutcome {
@@ -187,6 +207,7 @@ impl PolicyOutcome {
             steps,
             wall,
             fallback: PolicyFallback::None,
+            spec: SpecStats::default(),
         }
     }
 
@@ -198,7 +219,14 @@ impl PolicyOutcome {
             steps,
             wall,
             fallback,
+            spec: SpecStats::default(),
         }
+    }
+
+    /// Attaches speculation-engine telemetry.
+    pub fn with_spec(mut self, spec: SpecStats) -> PolicyOutcome {
+        self.spec = spec;
+        self
     }
 }
 
@@ -213,6 +241,15 @@ pub trait SchedulePolicy: Send + Sync {
     /// Stable lower-case name — the identity used in CLI flags, wire
     /// requests, cache keys and win tables.
     fn name(&self) -> &'static str;
+
+    /// Version of the *algorithm implementation*, folded into the
+    /// engine's schedule-cache key: bump it when a change makes this
+    /// policy produce different schedules/telemetry for the same input,
+    /// and exactly this policy's cached entries stop matching — no
+    /// manual cache flush, no collateral invalidation of other policies.
+    fn algorithm_version(&self) -> &'static str {
+        "1"
+    }
 
     /// Schedules one block. `homes` pins the block's live-ins to register
     /// files (every racing policy receives the same placement, §6.1);
