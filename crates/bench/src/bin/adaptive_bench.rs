@@ -11,12 +11,20 @@
 //! the full race — the selector's contract is "same answer, less work",
 //! and this driver is the gate that enforces it on every push.
 //!
+//! With `--history FILE` the run also appends one timestamped
+//! `vcsched-bench-history/v1` row (see [`vcsched_bench::history`]) to a
+//! rolling JSONL trajectory, and `--baseline FILE` gates the full-race
+//! blocks/sec against the baseline's most recent `adaptive` row —
+//! exiting non-zero on a >10% regression (tolerance overridable via
+//! `VCSCHED_BENCH_TOLERANCE`).
+//!
 //! ```console
 //! $ adaptive_bench [--corpus FILE] [--out FILE] [--machine M]
 //!                  [--steps N] [--jobs N] [--repeats N]
+//!                  [--history FILE] [--baseline FILE]
 //! ```
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use serde::Value;
@@ -213,5 +221,37 @@ fn run(args: &[String]) -> Result<bool, String> {
             adaptive.summary.aggregate_awct, full.summary.aggregate_awct
         );
     }
+
+    // Trajectory history and the regression gate. The gate reads the
+    // baseline *before* the history append, so --baseline and --history
+    // may name the same rolling file; the row is appended even on a
+    // regression so the trajectory records the bad run.
+    let total_blocks = blocks.len() as u64 * repeats;
+    let full_bps = total_blocks as f64 / (full_wall.max(1) as f64 / 1_000.0);
+    let adaptive_bps = total_blocks as f64 / (adaptive_wall.max(1) as f64 / 1_000.0);
+    let gate = match flag(args, "--baseline") {
+        Some(baseline) => {
+            vcsched_bench::history::check_regression(Path::new(baseline), "adaptive", full_bps)
+        }
+        None => Ok(()),
+    };
+    if let Some(history) = flag(args, "--history") {
+        let row = vcsched_bench::history::row(
+            "adaptive",
+            machine_key,
+            blocks.len() as u64,
+            repeats,
+            config.jobs.max(1) as u64,
+            full_bps,
+            vec![
+                ("adaptive_blocks_per_sec", Value::Float(adaptive_bps)),
+                ("step_savings", Value::Float(step_savings)),
+                ("awct_match", Value::Bool(awct_match)),
+            ],
+        );
+        vcsched_bench::history::append(Path::new(history), &row)?;
+        eprintln!("adaptive_bench: appended history row to {history}");
+    }
+    gate?;
     Ok(awct_match)
 }

@@ -14,12 +14,20 @@
 //! default); CI uploads it as an artifact, so the repository accumulates
 //! a perf trajectory over time.
 //!
+//! With `--history FILE` the run also appends one timestamped
+//! `vcsched-bench-history/v1` row (see [`vcsched_bench::history`]) to a
+//! rolling JSONL trajectory, and `--baseline FILE` gates the trail
+//! engine's blocks/sec against the baseline's most recent `speculation`
+//! row — exiting non-zero on a >10% regression (tolerance overridable
+//! via `VCSCHED_BENCH_TOLERANCE`).
+//!
 //! ```console
 //! $ speculation_bench [--corpus FILE] [--out FILE] [--machine M]
 //!                     [--steps N] [--jobs N] [--repeats N]
+//!                     [--history FILE] [--baseline FILE]
 //! ```
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use serde::Value;
@@ -255,5 +263,37 @@ fn run(args: &[String]) -> Result<bool, String> {
              vs trail AWCT {trail_awct})"
         );
     }
+
+    // Trajectory history and the regression gate. The gate reads the
+    // baseline *before* the history append, so --baseline and --history
+    // may name the same rolling file; the row is appended even on a
+    // regression so the trajectory records the bad run.
+    let total_blocks = blocks.len() as u64 * repeats;
+    let trail_bps = total_blocks as f64 / (trail_pass.wall_ms.max(1) as f64 / 1_000.0);
+    let clone_bps = total_blocks as f64 / (clone_pass.wall_ms.max(1) as f64 / 1_000.0);
+    let gate = match flag(args, "--baseline") {
+        Some(baseline) => {
+            vcsched_bench::history::check_regression(Path::new(baseline), "speculation", trail_bps)
+        }
+        None => Ok(()),
+    };
+    if let Some(history) = flag(args, "--history") {
+        let row = vcsched_bench::history::row(
+            "speculation",
+            machine_key,
+            blocks.len() as u64,
+            repeats,
+            jobs.max(1) as u64,
+            trail_bps,
+            vec![
+                ("clone_blocks_per_sec", Value::Float(clone_bps)),
+                ("speedup", Value::Float(speedup)),
+                ("awct_match", Value::Bool(awct_match)),
+            ],
+        );
+        vcsched_bench::history::append(Path::new(history), &row)?;
+        eprintln!("speculation_bench: appended history row to {history}");
+    }
+    gate?;
     Ok(awct_match)
 }

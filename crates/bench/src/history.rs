@@ -1,0 +1,183 @@
+//! Bench trajectory history: append-only JSONL rows and the regression
+//! gate over them.
+//!
+//! Every perf-lane binary (`adaptive_bench`, `speculation_bench`)
+//! appends one timestamped row per run via [`append`], so a rolling
+//! `BENCH_history.jsonl` artifact accumulates the repository's perf
+//! trajectory. [`check_regression`] compares a run's blocks/sec against
+//! the most recent matching row of a baseline file (the rolling history,
+//! or the committed seed in `tests/fixtures/bench_history_seed.jsonl`)
+//! and fails on a drop beyond the tolerance — >10% by default,
+//! overridable with the `VCSCHED_BENCH_TOLERANCE` environment variable
+//! (a fraction, e.g. `0.25`).
+//!
+//! Row schema (`vcsched-bench-history/v1`), one JSON object per line:
+//!
+//! ```json
+//! {"schema":"vcsched-bench-history/v1","bench":"adaptive",
+//!  "timestamp_ms":1754700000000,"machine":"2c","blocks":24,
+//!  "repeats":5,"jobs":8,"blocks_per_sec":812.5,"extra":{…}}
+//! ```
+
+use std::path::Path;
+
+use serde::Value;
+
+/// The history row schema identifier.
+pub const HISTORY_SCHEMA: &str = "vcsched-bench-history/v1";
+
+/// Default regression tolerance: fail on a >10% blocks/sec drop.
+pub const DEFAULT_TOLERANCE: f64 = 0.10;
+
+/// Milliseconds since the Unix epoch (0 if the clock is before it).
+pub fn timestamp_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// Builds one history row. `extra` carries bench-specific aggregates
+/// (step savings, engine speed-up, …) under the `extra` object.
+pub fn row(
+    bench: &str,
+    machine: &str,
+    blocks: u64,
+    repeats: u64,
+    jobs: u64,
+    blocks_per_sec: f64,
+    extra: Vec<(&str, Value)>,
+) -> Value {
+    let obj = |fields: Vec<(&str, Value)>| {
+        Value::Object(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    };
+    obj(vec![
+        ("schema", Value::String(HISTORY_SCHEMA.into())),
+        ("bench", Value::String(bench.to_owned())),
+        ("timestamp_ms", Value::UInt(timestamp_ms())),
+        ("machine", Value::String(machine.to_owned())),
+        ("blocks", Value::UInt(blocks)),
+        ("repeats", Value::UInt(repeats)),
+        ("jobs", Value::UInt(jobs)),
+        ("blocks_per_sec", Value::Float(blocks_per_sec)),
+        ("extra", obj(extra)),
+    ])
+}
+
+/// Appends one row to the JSONL history file (creating it if absent).
+pub fn append(path: &Path, row: &Value) -> Result<(), String> {
+    use std::io::Write;
+    let line = serde_json::to_string(row).map_err(|e| e.to_string())?;
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    writeln!(file, "{line}").map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn as_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::Float(f) => Some(*f),
+        Value::UInt(n) => Some(*n as f64),
+        Value::Int(n) => Some(*n as f64),
+        _ => None,
+    }
+}
+
+/// The most recent `blocks_per_sec` recorded for `bench` in a history
+/// file. `Ok(None)` when the file has no matching row.
+pub fn last_blocks_per_sec(path: &Path, bench: &str) -> Result<Option<f64>, String> {
+    let data = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut last = None;
+    for (i, line) in data.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v: Value =
+            serde_json::from_str(line).map_err(|e| format!("{}:{}: {e}", path.display(), i + 1))?;
+        if v.get("bench").and_then(Value::as_str) == Some(bench) {
+            last = v.get("blocks_per_sec").and_then(as_f64).or(last);
+        }
+    }
+    Ok(last)
+}
+
+/// The regression tolerance: `VCSCHED_BENCH_TOLERANCE` (a fraction) or
+/// [`DEFAULT_TOLERANCE`].
+pub fn tolerance() -> f64 {
+    std::env::var("VCSCHED_BENCH_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_TOLERANCE)
+}
+
+/// Gates `current` blocks/sec against the baseline file's most recent
+/// row for `bench`: `Err` when it dropped more than [`tolerance`]. A
+/// baseline without a matching row passes with a note — a fresh history
+/// has nothing to regress against.
+pub fn check_regression(baseline: &Path, bench: &str, current: f64) -> Result<(), String> {
+    let Some(reference) = last_blocks_per_sec(baseline, bench)? else {
+        eprintln!(
+            "bench history: no `{bench}` row in {}; skipping regression gate",
+            baseline.display()
+        );
+        return Ok(());
+    };
+    let tol = tolerance();
+    let floor = reference * (1.0 - tol);
+    if current < floor {
+        return Err(format!(
+            "perf regression: {bench} ran at {current:.1} blocks/sec, below {floor:.1} \
+             ({}% under the baseline {reference:.1} from {})",
+            (tol * 100.0).round(),
+            baseline.display()
+        ));
+    }
+    eprintln!(
+        "bench history: {bench} at {current:.1} blocks/sec (baseline {reference:.1}, \
+         floor {floor:.1}) — ok"
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("vcsched-bench-history-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn rows_roundtrip_through_the_file() {
+        let path = tmp("roundtrip.jsonl");
+        let _ = std::fs::remove_file(&path);
+        append(&path, &row("adaptive", "2c", 24, 5, 8, 100.0, vec![])).unwrap();
+        append(&path, &row("speculation", "2c", 24, 5, 8, 300.0, vec![])).unwrap();
+        append(&path, &row("adaptive", "2c", 24, 5, 8, 250.0, vec![])).unwrap();
+        // The latest matching row wins; other benches don't interfere.
+        assert_eq!(last_blocks_per_sec(&path, "adaptive").unwrap(), Some(250.0));
+        assert_eq!(
+            last_blocks_per_sec(&path, "speculation").unwrap(),
+            Some(300.0)
+        );
+        assert_eq!(last_blocks_per_sec(&path, "absent").unwrap(), None);
+    }
+
+    #[test]
+    fn regression_gate_trips_beyond_tolerance() {
+        let path = tmp("gate.jsonl");
+        let _ = std::fs::remove_file(&path);
+        append(&path, &row("adaptive", "2c", 24, 5, 8, 1000.0, vec![])).unwrap();
+        // Within 10%: passes.
+        assert!(check_regression(&path, "adaptive", 901.0).is_ok());
+        // Beyond 10%: fails with a diagnostic.
+        let err = check_regression(&path, "adaptive", 899.0).unwrap_err();
+        assert!(err.contains("perf regression"), "{err}");
+        // No matching row: passes (nothing to regress against).
+        assert!(check_regression(&path, "other", 1.0).is_ok());
+    }
+}

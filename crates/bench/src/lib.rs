@@ -40,6 +40,8 @@
 
 #![warn(missing_docs)]
 
+pub mod history;
+
 use std::time::Duration;
 
 use vcsched_arch::MachineConfig;

@@ -34,6 +34,7 @@ pub mod scheduler;
 pub mod search;
 pub mod stages;
 pub mod state;
+pub(crate) mod telemetry;
 pub mod trail;
 
 pub use combination::{CombDomain, CombRange};

@@ -191,6 +191,7 @@ impl VcScheduler {
         live_in_homes: &[ClusterId],
     ) -> VcAttempt {
         let start = Instant::now();
+        let mut span = vcsched_obs::span!("vc_attempt", insts = sb.len());
         let ctx = StateCtx::with_tuning(sb, &self.machine, self.options.tuning);
         let deadline = self.options.time_limit.map(|d| start + d);
         let mut budget = Budget::new(self.options.max_dp_steps, deadline);
@@ -215,23 +216,45 @@ impl VcScheduler {
                 bytes_not_cloned: st.trail.bytes_not_cloned(),
             })
             .unwrap_or_default();
+        let m = crate::telemetry::attempt_metrics();
+        m.dp_steps.record(budget.spent());
+        m.trail_entries.record(spec.trail_entries);
+        m.trail_rollbacks.record(spec.rollbacks);
+        m.trail_peak_depth.record(spec.peak_trail_depth);
+        m.bytes_not_cloned.add(spec.bytes_not_cloned);
         let result = match searched {
-            Ok(r) => Ok(VcOutcome {
-                awct: r.awct,
-                stats: VcStats {
-                    dp_steps: budget.spent(),
-                    awct_bumps: r.bumps,
-                    copies: r.schedule.copy_count(),
-                    min_awct: r.min_awct,
-                    wall: start.elapsed(),
-                    spec,
-                },
-                schedule: r.schedule,
-            }),
-            Err(SearchFail::Budget) => Err(VcError::BudgetExhausted),
-            Err(SearchFail::BumpLimit) => Err(VcError::BumpLimitReached),
-            Err(SearchFail::Beaten) => Err(VcError::Beaten),
+            Ok(r) => {
+                m.outcome_ok.inc();
+                m.awct_bumps.record(r.bumps as u64);
+                Ok(VcOutcome {
+                    awct: r.awct,
+                    stats: VcStats {
+                        dp_steps: budget.spent(),
+                        awct_bumps: r.bumps,
+                        copies: r.schedule.copy_count(),
+                        min_awct: r.min_awct,
+                        wall: start.elapsed(),
+                        spec,
+                    },
+                    schedule: r.schedule,
+                })
+            }
+            Err(SearchFail::Budget) => {
+                m.outcome_budget.inc();
+                Err(VcError::BudgetExhausted)
+            }
+            Err(SearchFail::BumpLimit) => {
+                m.outcome_bump_limit.inc();
+                Err(VcError::BumpLimitReached)
+            }
+            Err(SearchFail::Beaten) => {
+                m.outcome_beaten.inc();
+                Err(VcError::Beaten)
+            }
         };
+        span.field("dp_steps", budget.spent());
+        span.field("ok", result.is_ok());
+        drop(span);
         VcAttempt {
             result,
             dp_steps: budget.spent(),

@@ -54,6 +54,23 @@ fn enhanced_min_targets(
     budget: &mut Budget,
     arena: &mut StateArena,
 ) -> Result<Vec<i64>, DpAbort> {
+    let mut span = vcsched_obs::span!("vc_minawct");
+    let mut probes = 0u64;
+    let out = enhanced_min_targets_inner(ctx, windows, live_in_homes, budget, arena, &mut probes);
+    crate::telemetry::minawct_probes().record(probes);
+    span.field("probes", probes);
+    span.field("ok", out.is_ok());
+    out
+}
+
+fn enhanced_min_targets_inner(
+    ctx: &Arc<StateCtx>,
+    windows: &[(usize, usize, CombRange)],
+    live_in_homes: &[ClusterId],
+    budget: &mut Budget,
+    arena: &mut StateArena,
+    probes: &mut u64,
+) -> Result<Vec<i64>, DpAbort> {
     let exits = ctx.dg.exits().to_vec();
     let n = ctx.n_insts;
     // Resource-aware starting point: one build with every exit
@@ -66,6 +83,7 @@ fn enhanced_min_targets(
         horizon_for(ctx, &dep_cycles) + ops
     };
     let unconstrained: Vec<i64> = vec![slack_horizon; n];
+    *probes += 1;
     let mut targets: Vec<i64> = match arena.build(
         ctx,
         windows,
@@ -91,6 +109,7 @@ fn enhanced_min_targets(
                     None => slack_horizon,
                 })
                 .collect();
+            *probes += 1;
             match arena.build(ctx, windows, &lstarts, slack_horizon, live_in_homes, budget) {
                 Ok(_) => break,
                 Err(DpAbort::Budget) => return Err(DpAbort::Budget),

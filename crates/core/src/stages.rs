@@ -474,10 +474,23 @@ pub fn run_all_stages_indexed(
     st: &mut SchedulingState,
     budget: &mut Budget,
 ) -> Result<(), (usize, StageFail)> {
-    stage1_combinations(st, budget).map_err(|e| (1, e))?;
-    stage2_pin_instructions(st, budget).map_err(|e| (2, e))?;
-    stage3_eliminate_outedges(st, budget).map_err(|e| (3, e))?;
-    stage4_map_clusters(st, budget).map_err(|e| (4, e))?;
-    stage5_comm_combinations(st, budget).map_err(|e| (5, e))?;
-    stage6_pin_comms(st, budget).map_err(|e| (6, e))
+    let run = |stage: usize,
+               st: &mut SchedulingState,
+               budget: &mut Budget,
+               f: fn(&mut SchedulingState, &mut Budget) -> Result<(), StageFail>|
+     -> Result<(), (usize, StageFail)> {
+        let before = budget.spent();
+        let out = f(st, budget).map_err(|e| (stage, e));
+        crate::telemetry::stage_steps(stage).record(budget.spent() - before);
+        if out.is_err() {
+            crate::telemetry::stage_failures(stage).inc();
+        }
+        out
+    };
+    run(1, st, budget, stage1_combinations)?;
+    run(2, st, budget, stage2_pin_instructions)?;
+    run(3, st, budget, stage3_eliminate_outedges)?;
+    run(4, st, budget, stage4_map_clusters)?;
+    run(5, st, budget, stage5_comm_combinations)?;
+    run(6, st, budget, stage6_pin_comms)
 }

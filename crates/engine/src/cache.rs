@@ -188,6 +188,7 @@ impl Shard {
         self.tick += 1;
         let tick = self.tick;
         self.insertions += 1;
+        crate::telemetry::cache_metrics().insertions.inc();
         self.map.insert(key, (entry, tick));
         self.recency.push_back((key, tick));
         while self.map.len() > capacity {
@@ -202,6 +203,7 @@ impl Shard {
                     {
                         self.map.remove(&old_key);
                         self.evictions += 1;
+                        crate::telemetry::cache_metrics().evictions.inc();
                     }
                 }
                 None => break,
@@ -366,10 +368,12 @@ impl ScheduleCache {
                 let entry = entry.clone();
                 shard.recency.push_back((key, tick));
                 shard.hits += 1;
+                crate::telemetry::cache_metrics().hits.inc();
                 Some(entry)
             }
             _ => {
                 shard.misses += 1;
+                crate::telemetry::cache_metrics().misses.inc();
                 None
             }
         };

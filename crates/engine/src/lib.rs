@@ -57,6 +57,7 @@ pub mod pool;
 pub mod portfolio;
 pub mod registry;
 pub mod submit;
+pub(crate) mod telemetry;
 
 use std::path::PathBuf;
 
@@ -334,9 +335,13 @@ pub fn solve_one_with(
     options: &PolicyOptions,
     cache: &ScheduleCache,
 ) -> (BlockOutcome, bool) {
+    let solve_start = std::time::Instant::now();
+    let mut span = vcsched_obs::span!("engine_solve", insts = sb.len());
     let sb_json = serde_json::to_string(sb).expect("superblocks serialize");
     let (key, check) = problem_key(registry, &sb_json, machine, homes, options);
     if let Some(entry) = cache.get(key, check) {
+        telemetry::solve_latency().record_duration(solve_start.elapsed());
+        span.field("cached", true);
         return (
             BlockOutcome {
                 winner: entry.winner,
@@ -350,6 +355,9 @@ pub fn solve_one_with(
         );
     }
     let outcome = portfolio::schedule_block_with(registry, sb, machine, homes, options);
+    telemetry::solve_latency().record_duration(solve_start.elapsed());
+    span.field("cached", false);
+    span.field("winner", outcome.winner.as_str());
     cache.put(
         key,
         CacheEntry {

@@ -24,7 +24,7 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use vcsched_arch::{ClusterId, MachineConfig};
 use vcsched_ir::Superblock;
@@ -100,7 +100,7 @@ impl<T> Ticket<T> {
     }
 }
 
-enum Task {
+enum TaskKind {
     Solve {
         problem: Problem,
         reply: mpsc::Sender<Solved>,
@@ -109,6 +109,13 @@ enum Task {
         delay: Duration,
         reply: mpsc::Sender<Duration>,
     },
+}
+
+struct Task {
+    kind: TaskKind,
+    /// When the task entered the admission queue — the worker records the
+    /// elapsed wait into the `engine_queue_wait_us` histogram on pickup.
+    enqueued: Instant,
 }
 
 /// Folds one solve into the pool's per-policy lifetime counters.
@@ -199,8 +206,12 @@ impl SubmitPool {
                         Err(_) => break, // admission closed and queue drained
                     };
                     depth.fetch_sub(1, Ordering::Relaxed);
-                    match task {
-                        Task::Solve { problem, reply } => {
+                    let m = crate::telemetry::pool_metrics();
+                    m.queue_depth.dec();
+                    m.queue_wait.record_duration(task.enqueued.elapsed());
+                    m.busy.inc();
+                    match task.kind {
+                        TaskKind::Solve { problem, reply } => {
                             let (outcome, cached) = crate::solve_one(
                                 &problem.block,
                                 &problem.machine,
@@ -214,13 +225,15 @@ impl SubmitPool {
                             // entry) still happened.
                             let _ = reply.send(Solved { outcome, cached });
                         }
-                        Task::Probe { delay, reply } => {
+                        TaskKind::Probe { delay, reply } => {
                             if !delay.is_zero() {
                                 std::thread::sleep(delay);
                             }
                             let _ = reply.send(delay);
                         }
                     }
+                    m.busy.dec();
+                    m.completed.inc();
                     completed.fetch_add(1, Ordering::Relaxed);
                 })
             })
@@ -282,7 +295,11 @@ impl SubmitPool {
         (25 * backlog / self.jobs as u64).clamp(25, 2_000)
     }
 
-    fn dispatch(&self, task: Task, block_for_space: bool) -> Result<(), SubmitError> {
+    fn dispatch(&self, kind: TaskKind, block_for_space: bool) -> Result<(), SubmitError> {
+        let task = Task {
+            kind,
+            enqueued: Instant::now(),
+        };
         // Clone the sender and release the lock before sending: a
         // blocking send that waited for queue space while holding the
         // mutex would stall every concurrent try_submit behind it,
@@ -296,6 +313,7 @@ impl SubmitPool {
         // Count the slot before sending so a racing depth reader never
         // sees fewer waiters than the channel holds.
         self.depth.fetch_add(1, Ordering::Relaxed);
+        crate::telemetry::pool_metrics().queue_depth.inc();
         let result = if block_for_space {
             tx.send(task).map_err(|_| SubmitError::ShutDown)
         } else {
@@ -307,14 +325,18 @@ impl SubmitPool {
                 TrySendError::Disconnected(_) => SubmitError::ShutDown,
             })
         };
+        let m = crate::telemetry::pool_metrics();
         match result {
             Ok(()) => {
                 self.accepted.fetch_add(1, Ordering::Relaxed);
+                m.accepted.inc();
                 Ok(())
             }
             Err(e) => {
                 self.depth.fetch_sub(1, Ordering::Relaxed);
+                m.queue_depth.dec();
                 self.rejected.fetch_add(1, Ordering::Relaxed);
+                m.rejected.inc();
                 Err(e)
             }
         }
@@ -324,7 +346,7 @@ impl SubmitPool {
     /// with the backpressure signal.
     pub fn try_submit(&self, problem: Problem) -> Result<Ticket<Solved>, SubmitError> {
         let (reply, rx) = mpsc::channel();
-        self.dispatch(Task::Solve { problem, reply }, false)?;
+        self.dispatch(TaskKind::Solve { problem, reply }, false)?;
         Ok(Ticket(rx))
     }
 
@@ -332,7 +354,7 @@ impl SubmitPool {
     /// once the pool is shut down.
     pub fn submit(&self, problem: Problem) -> Result<Ticket<Solved>, SubmitError> {
         let (reply, rx) = mpsc::channel();
-        self.dispatch(Task::Solve { problem, reply }, true)?;
+        self.dispatch(TaskKind::Solve { problem, reply }, true)?;
         Ok(Ticket(rx))
     }
 
@@ -342,7 +364,7 @@ impl SubmitPool {
     pub fn probe(&self, delay_ms: u64) -> Result<Ticket<Duration>, SubmitError> {
         let (reply, rx) = mpsc::channel();
         self.dispatch(
-            Task::Probe {
+            TaskKind::Probe {
                 delay: Duration::from_millis(delay_ms),
                 reply,
             },

@@ -1,0 +1,105 @@
+//! Handles into the process-global obs registry for the engine layer.
+//!
+//! Fetched once behind `OnceLock`s so workers and cache shards update
+//! lock-free atomics only. These are *global* aggregates across every
+//! pool/cache instance in the process; the per-instance counters
+//! ([`SubmitPool::counters`](crate::SubmitPool::counters),
+//! [`ScheduleCache::shard_stats`](crate::ScheduleCache::shard_stats))
+//! remain exact per instance and continue to back the `stats` protocol
+//! reply.
+
+use std::sync::OnceLock;
+
+use vcsched_obs::{Counter, Gauge, Histogram};
+
+use crate::adaptive::DecisionKind;
+
+/// Submit-pool metrics: queue wait, occupancy, admission counters.
+pub(crate) struct PoolMetrics {
+    /// `engine_queue_wait_us` — admission-queue wait per task.
+    pub queue_wait: Histogram,
+    /// `engine_pool_busy` — workers currently executing a task.
+    pub busy: Gauge,
+    /// `engine_queue_depth` — tasks waiting in admission queues.
+    pub queue_depth: Gauge,
+    /// `engine_pool_accepted_total`.
+    pub accepted: Counter,
+    /// `engine_pool_rejected_total`.
+    pub rejected: Counter,
+    /// `engine_pool_completed_total`.
+    pub completed: Counter,
+}
+
+pub(crate) fn pool_metrics() -> &'static PoolMetrics {
+    static M: OnceLock<PoolMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let r = vcsched_obs::global();
+        PoolMetrics {
+            queue_wait: r.histogram("engine_queue_wait_us"),
+            busy: r.gauge("engine_pool_busy"),
+            queue_depth: r.gauge("engine_queue_depth"),
+            accepted: r.counter("engine_pool_accepted_total"),
+            rejected: r.counter("engine_pool_rejected_total"),
+            completed: r.counter("engine_pool_completed_total"),
+        }
+    })
+}
+
+/// Schedule-cache metrics, aggregated across all cache instances.
+pub(crate) struct CacheMetrics {
+    /// `engine_cache_hits_total`.
+    pub hits: Counter,
+    /// `engine_cache_misses_total`.
+    pub misses: Counter,
+    /// `engine_cache_insertions_total`.
+    pub insertions: Counter,
+    /// `engine_cache_evictions_total`.
+    pub evictions: Counter,
+}
+
+pub(crate) fn cache_metrics() -> &'static CacheMetrics {
+    static M: OnceLock<CacheMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let r = vcsched_obs::global();
+        CacheMetrics {
+            hits: r.counter("engine_cache_hits_total"),
+            misses: r.counter("engine_cache_misses_total"),
+            insertions: r.counter("engine_cache_insertions_total"),
+            evictions: r.counter("engine_cache_evictions_total"),
+        }
+    })
+}
+
+/// `engine_solve_us` — end-to-end latency of one [`solve_one`]
+/// (cache hit or fresh portfolio race).
+///
+/// [`solve_one`]: crate::solve_one
+pub(crate) fn solve_latency() -> &'static Histogram {
+    static M: OnceLock<Histogram> = OnceLock::new();
+    M.get_or_init(|| vcsched_obs::global().histogram("engine_solve_us"))
+}
+
+/// `engine_selector_decisions_total{kind=…}` — adaptive narrowing
+/// decisions by kind.
+pub(crate) fn decision_counter(kind: DecisionKind) -> &'static Counter {
+    static M: OnceLock<[Counter; 3]> = OnceLock::new();
+    let all = M.get_or_init(|| {
+        let r = vcsched_obs::global();
+        [
+            r.counter_with(
+                "engine_selector_decisions_total",
+                &[("kind", "full-unseen")],
+            ),
+            r.counter_with(
+                "engine_selector_decisions_total",
+                &[("kind", "full-explore")],
+            ),
+            r.counter_with("engine_selector_decisions_total", &[("kind", "narrowed")]),
+        ]
+    });
+    match kind {
+        DecisionKind::FullUnseen => &all[0],
+        DecisionKind::FullExplore => &all[1],
+        DecisionKind::Narrowed => &all[2],
+    }
+}

@@ -1,0 +1,207 @@
+//! Concurrency stress tests for the obs registry and span ring: exact
+//! counter totals under contention, snapshot-during-write consistency,
+//! histogram quantile determinism across thread counts, and ring
+//! overflow/drain accounting.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use vcsched_obs::trace::Ring;
+use vcsched_obs::{Registry, SpanEvent, Tracer};
+
+const THREADS: usize = 8;
+const PER_THREAD: u64 = 100_000;
+
+#[test]
+fn counters_lose_no_increments_under_contention() {
+    let reg = Arc::new(Registry::new());
+    thread::scope(|s| {
+        for _ in 0..THREADS {
+            let reg = Arc::clone(&reg);
+            s.spawn(move || {
+                let c = reg.counter("stress_total");
+                for _ in 0..PER_THREAD {
+                    c.inc();
+                }
+            });
+        }
+    });
+    assert_eq!(
+        reg.counter("stress_total").get(),
+        THREADS as u64 * PER_THREAD
+    );
+}
+
+#[test]
+fn histograms_lose_no_samples_under_contention() {
+    let reg = Arc::new(Registry::new());
+    thread::scope(|s| {
+        for t in 0..THREADS {
+            let reg = Arc::clone(&reg);
+            s.spawn(move || {
+                let h = reg.histogram("stress_hist");
+                for i in 0..PER_THREAD {
+                    h.record((t as u64 * PER_THREAD + i) % 4096);
+                }
+            });
+        }
+    });
+    let snap = reg.histogram("stress_hist").snapshot();
+    assert_eq!(snap.count, THREADS as u64 * PER_THREAD);
+    let bucket_total: u64 = snap.buckets.iter().map(|&(_, c)| c).sum();
+    assert_eq!(bucket_total, snap.count);
+}
+
+#[test]
+fn snapshot_during_writes_is_monotone_and_consistent() {
+    let reg = Arc::new(Registry::new());
+    let stop = Arc::new(AtomicBool::new(false));
+    thread::scope(|s| {
+        for _ in 0..4 {
+            let reg = Arc::clone(&reg);
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                let c = reg.counter("mono_total");
+                let h = reg.histogram("mono_hist");
+                // At least one write each, even if the reader finishes first.
+                loop {
+                    c.inc();
+                    h.record(17);
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                }
+            });
+        }
+        let mut last_counter = 0u64;
+        let mut last_hist = 0u64;
+        for _ in 0..200 {
+            let snap = reg.snapshot();
+            let c = snap.counter_value("mono_total").unwrap_or(0);
+            assert!(c >= last_counter, "counter total went backwards");
+            last_counter = c;
+            if let Some(m) = snap.find("mono_hist", &[]) {
+                if let vcsched_obs::MetricValue::Histogram(h) = &m.value {
+                    assert!(h.count >= last_hist, "histogram count went backwards");
+                    let bucket_total: u64 = h.buckets.iter().map(|&(_, c)| c).sum();
+                    assert_eq!(bucket_total, h.count, "snapshot internally inconsistent");
+                    last_hist = h.count;
+                }
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    assert!(last_nonzero(&reg));
+}
+
+fn last_nonzero(reg: &Registry) -> bool {
+    reg.counter("mono_total").get() > 0
+}
+
+/// Quantiles depend only on the multiset of samples — never on how many
+/// threads recorded them or how increments interleaved.
+#[test]
+fn quantiles_identical_across_thread_counts() {
+    let samples: Vec<u64> = (0..50_000u64)
+        .map(|i| (i * 2_654_435_761) % 100_000)
+        .collect();
+    let mut snaps = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let reg = Registry::new();
+        let h = reg.histogram("det_hist");
+        thread::scope(|s| {
+            for chunk in samples.chunks(samples.len().div_ceil(threads)) {
+                let h = h.clone();
+                s.spawn(move || {
+                    for &v in chunk {
+                        h.record(v);
+                    }
+                });
+            }
+        });
+        snaps.push(h.snapshot());
+    }
+    assert_eq!(snaps[0], snaps[1]);
+    assert_eq!(snaps[1], snaps[2]);
+    assert_eq!(snaps[0].count, samples.len() as u64);
+}
+
+#[test]
+fn ring_concurrent_push_drain_accounts_for_every_event() {
+    let tracer = Arc::new(Tracer::new(256));
+    tracer.set_enabled(true);
+    let total: u64 = 4 * 20_000;
+    let drained = Arc::new(std::sync::Mutex::new(0u64));
+    thread::scope(|s| {
+        for t in 0..4u64 {
+            let tracer = Arc::clone(&tracer);
+            s.spawn(move || {
+                for i in 0..20_000u64 {
+                    tracer.record("stress", t * 20_000 + i, 1, Vec::new());
+                }
+            });
+        }
+        let tracer = Arc::clone(&tracer);
+        let drained = Arc::clone(&drained);
+        s.spawn(move || {
+            for _ in 0..50 {
+                *drained.lock().unwrap() += tracer.drain().len() as u64;
+                thread::yield_now();
+            }
+        });
+    });
+    let tail = tracer.drain().len() as u64;
+    let consumed = *drained.lock().unwrap() + tail;
+    assert_eq!(
+        consumed + tracer.dropped(),
+        total,
+        "every pushed event is either drained or counted dropped"
+    );
+}
+
+#[test]
+fn ring_overflow_drops_oldest_and_counts_them() {
+    let tracer = Tracer::new(8);
+    tracer.set_enabled(true);
+    for i in 0..100u64 {
+        tracer.record("ev", i, 1, Vec::new());
+    }
+    assert_eq!(tracer.dropped(), 92);
+    let kept: Vec<u64> = tracer.drain().iter().map(|e| e.start_us).collect();
+    assert_eq!(kept, (92..100).collect::<Vec<_>>(), "newest 8 survive");
+}
+
+#[test]
+fn bare_ring_is_fifo_under_concurrency() {
+    let ring = Arc::new(Ring::with_capacity(1024));
+    thread::scope(|s| {
+        for t in 0..4u64 {
+            let ring = Arc::clone(&ring);
+            s.spawn(move || {
+                for i in 0..200u64 {
+                    let ev = SpanEvent {
+                        seq: t * 1000 + i,
+                        name: "fifo",
+                        start_us: i,
+                        dur_us: 0,
+                        fields: Vec::new(),
+                    };
+                    let _ = ring.push(ev);
+                }
+            });
+        }
+    });
+    let mut per_thread_last = [None::<u64>; 4];
+    let mut n = 0;
+    while let Some(ev) = ring.pop() {
+        let t = (ev.seq / 1000) as usize;
+        let i = ev.seq % 1000;
+        if let Some(last) = per_thread_last[t] {
+            assert!(i > last, "per-producer order preserved");
+        }
+        per_thread_last[t] = Some(i);
+        n += 1;
+    }
+    assert_eq!(n, 800);
+}

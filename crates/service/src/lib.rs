@@ -2,8 +2,8 @@
 //!
 //! The batch engine (`vcsched-engine`) schedules a corpus and exits; this
 //! crate keeps it resident. A TCP [`server`] speaks a newline-delimited
-//! JSON [`protocol`] (`schedule`, `batch`, `stats`, `ping`, `shutdown`)
-//! and feeds every piece of work through the engine's
+//! JSON [`protocol`] (`schedule`, `batch`, `stats`, `metrics`, `ping`,
+//! `shutdown`) and feeds every piece of work through the engine's
 //! [`SubmitPool`](vcsched_engine::SubmitPool): a bounded admission queue
 //! in front of a fixed worker pool, backed by the sharded
 //! content-addressed schedule cache. When the queue is full the server
@@ -37,10 +37,11 @@
 pub mod client;
 pub mod protocol;
 pub mod server;
+pub(crate) mod telemetry;
 
 pub use client::Client;
 pub use protocol::{
-    CacheReply, PolicyTotalsReply, Request, Response, ScheduleMode, ScheduleReply,
+    CacheReply, LatencyReply, PolicyTotalsReply, Request, Response, ScheduleMode, ScheduleReply,
     SelectorStatsReply, ShardReply, StatsReply,
 };
 pub use server::{serve, ServerHandle, ServiceConfig};

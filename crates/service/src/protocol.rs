@@ -2,9 +2,10 @@
 //! response object per line.
 //!
 //! Every request object carries a `"type"` tag (`schedule`, `batch`,
-//! `stats`, `ping`, `shutdown`); every response carries `"ok"` plus a
-//! `"type"` tag (`schedule`, `batch`, `stats`, `pong`, `bye`, `error`).
-//! Optional request fields fall back to the server's configured defaults.
+//! `stats`, `metrics`, `ping`, `shutdown`); every response carries `"ok"`
+//! plus a `"type"` tag (`schedule`, `batch`, `stats`, `metrics`, `pong`,
+//! `bye`, `error`). Optional request fields fall back to the server's
+//! configured defaults.
 //!
 //! ```text
 //! → {"type":"ping","delay_ms":0}
@@ -111,6 +112,9 @@ pub enum Request {
     },
     /// Service and cache counters.
     Stats,
+    /// Full observability snapshot: every counter, gauge and histogram in
+    /// the process-global obs registry (see `vcsched-obs`).
+    Metrics,
     /// Round-trip through the admission queue and worker pool; the
     /// worker sleeps `delay_ms` before answering (0 = pure latency
     /// probe). Exercises the same backpressure path as real work.
@@ -202,8 +206,31 @@ pub struct SelectorStatsReply {
     pub full_explore: u64,
 }
 
+/// Per-request-type latency quantiles in a `stats` response, read from
+/// the obs registry's `service_request_us` histograms. Quantile values
+/// are deterministic histogram-bucket lower bounds, in microseconds.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyReply {
+    /// Request type (`schedule`, `batch`, `stats`, `ping`, `metrics`).
+    pub request: String,
+    /// Requests of this type dispatched since process start.
+    pub count: u64,
+    /// Median end-to-end latency, µs.
+    pub p50_us: u64,
+    /// 90th percentile, µs.
+    pub p90_us: u64,
+    /// 99th percentile, µs.
+    pub p99_us: u64,
+    /// 99.9th percentile, µs.
+    pub p999_us: u64,
+}
+
 /// A `stats` response body.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Deserialization is backward-compatible: replies from servers predating
+/// the obs layer (no `uptime_ms`, no `latency`) parse with those fields
+/// defaulted, so newer clients keep working against older daemons.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct StatsReply {
     /// Worker threads.
     pub jobs: usize,
@@ -225,6 +252,32 @@ pub struct StatsReply {
     /// Adaptive-selector counters (`None` from servers predating the
     /// selector).
     pub adaptive: Option<SelectorStatsReply>,
+    /// Milliseconds since the server started.
+    pub uptime_ms: u64,
+    /// Per-request-type end-to-end latency quantiles. Process-global:
+    /// embedded servers sharing one process also share these histograms.
+    pub latency: Vec<LatencyReply>,
+}
+
+impl Deserialize for StatsReply {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        const TY: &str = "StatsReply";
+        Ok(StatsReply {
+            jobs: Deserialize::from_value(serde::field(v, TY, "jobs")?)?,
+            queue_capacity: Deserialize::from_value(serde::field(v, TY, "queue_capacity")?)?,
+            queue_depth: Deserialize::from_value(serde::field(v, TY, "queue_depth")?)?,
+            accepted: Deserialize::from_value(serde::field(v, TY, "accepted")?)?,
+            rejected: Deserialize::from_value(serde::field(v, TY, "rejected")?)?,
+            completed: Deserialize::from_value(serde::field(v, TY, "completed")?)?,
+            policies: Deserialize::from_value(serde::field(v, TY, "policies")?)?,
+            cache: Deserialize::from_value(serde::field(v, TY, "cache")?)?,
+            adaptive: opt(v, "adaptive")?,
+            // Fields the pre-obs protocol did not have: default, do not
+            // require.
+            uptime_ms: opt(v, "uptime_ms")?.unwrap_or(0),
+            latency: opt(v, "latency")?.unwrap_or_default(),
+        })
+    }
 }
 
 /// One server response.
@@ -239,6 +292,12 @@ pub enum Response {
     },
     /// Result of a `stats` request.
     Stats(StatsReply),
+    /// Result of a `metrics` request: the serialized obs registry
+    /// snapshot (`vcsched_obs::Snapshot` in its serde JSON form).
+    Metrics {
+        /// The snapshot value, verbatim.
+        metrics: Value,
+    },
     /// Result of a `ping` request.
     Pong {
         /// The server-side delay that was applied.
@@ -324,6 +383,7 @@ impl Serialize for Request {
                 ("adaptive", adaptive.to_value()),
             ]),
             Request::Stats => obj(vec![("type", Value::String("stats".into()))]),
+            Request::Metrics => obj(vec![("type", Value::String("metrics".into()))]),
             Request::Ping { delay_ms } => obj(vec![
                 ("type", Value::String("ping".into())),
                 ("delay_ms", Value::UInt(*delay_ms)),
@@ -388,12 +448,13 @@ impl Deserialize for Request {
                 adaptive: opt(v, "adaptive")?,
             }),
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
             "ping" => Ok(Request::Ping {
                 delay_ms: opt(v, "delay_ms")?.unwrap_or(0),
             }),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(DeError(format!(
-                "unknown request type `{other}` (schedule, batch, stats, ping, shutdown)"
+                "unknown request type `{other}` (schedule, batch, stats, metrics, ping, shutdown)"
             ))),
         }
     }
@@ -413,6 +474,9 @@ impl Serialize for Response {
                 tagged(ok("batch"), obj(vec![("summary", summary.clone())]))
             }
             Response::Stats(reply) => tagged(ok("stats"), reply.to_value()),
+            Response::Metrics { metrics } => {
+                tagged(ok("metrics"), obj(vec![("metrics", metrics.clone())]))
+            }
             Response::Pong { delay_ms } => {
                 tagged(ok("pong"), obj(vec![("delay_ms", Value::UInt(*delay_ms))]))
             }
@@ -450,6 +514,12 @@ impl Deserialize for Response {
                     .ok_or_else(|| DeError::missing("batch response", "summary"))?,
             }),
             "stats" => Ok(Response::Stats(StatsReply::from_value(v)?)),
+            "metrics" => Ok(Response::Metrics {
+                metrics: v
+                    .get("metrics")
+                    .cloned()
+                    .ok_or_else(|| DeError::missing("metrics response", "metrics"))?,
+            }),
             "pong" => Ok(Response::Pong {
                 delay_ms: opt(v, "delay_ms")?.unwrap_or(0),
             }),
@@ -471,6 +541,7 @@ mod tests {
     fn request_wire_roundtrip() {
         let reqs = vec![
             Request::Stats,
+            Request::Metrics,
             Request::Shutdown,
             Request::Ping { delay_ms: 40 },
             Request::Batch {
@@ -605,7 +676,19 @@ mod tests {
                     full_unseen: 4,
                     full_explore: 1,
                 }),
+                uptime_ms: 12_345,
+                latency: vec![LatencyReply {
+                    request: "schedule".into(),
+                    count: 10,
+                    p50_us: 800,
+                    p90_us: 1_500,
+                    p99_us: 4_000,
+                    p999_us: 4_000,
+                }],
             }),
+            Response::Metrics {
+                metrics: Value::Object(vec![("metrics".to_owned(), Value::Array(vec![]))]),
+            },
         ];
         for resp in resps {
             let line = serde_json::to_string(&resp).unwrap();
@@ -638,10 +721,33 @@ mod tests {
                 shards: vec![],
             },
             adaptive: None,
+            uptime_ms: 0,
+            latency: vec![],
         });
         let line = serde_json::to_string(&stats).unwrap();
         let back: Response = serde_json::from_str(&line).unwrap();
         assert_eq!(stats, back);
+    }
+
+    #[test]
+    fn stats_reply_without_obs_fields_still_parses() {
+        // A reply shaped like the pre-obs protocol: no uptime_ms, no
+        // latency section. Newer clients must still accept it.
+        let line = concat!(
+            r#"{"ok":true,"type":"stats","jobs":2,"queue_capacity":8,"#,
+            r#""queue_depth":0,"accepted":3,"rejected":0,"completed":3,"#,
+            r#""policies":[],"cache":{"hits":1,"misses":2,"hit_rate":0.5,"#,
+            r#""len":2,"shards":[]}}"#
+        );
+        let back: Response = serde_json::from_str(line).unwrap();
+        match back {
+            Response::Stats(reply) => {
+                assert_eq!(reply.uptime_ms, 0);
+                assert!(reply.latency.is_empty());
+                assert_eq!(reply.accepted, 3);
+            }
+            other => panic!("parsed as {other:?}"),
+        }
     }
 
     #[test]

@@ -15,10 +15,10 @@
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use serde_json::to_string as to_json;
 use vcsched_engine::{
@@ -76,6 +76,13 @@ pub struct ServiceConfig {
     pub adaptive: AdaptiveOptions,
     /// Default live-in placement seed for `schedule` requests.
     pub default_placement_seed: u64,
+    /// Append span-trace events (JSONL) to this file. Enables the
+    /// process-global tracer for the server's lifetime; a flusher thread
+    /// drains the ring periodically and once more after the drain.
+    pub trace_out: Option<PathBuf>,
+    /// Span sampling when tracing: record every Nth span (0 and 1 both
+    /// mean every span).
+    pub trace_sample: u64,
 }
 
 impl Default for ServiceConfig {
@@ -95,6 +102,8 @@ impl Default for ServiceConfig {
             default_adaptive: false,
             adaptive: AdaptiveOptions::default(),
             default_placement_seed: 0xC60_2007,
+            trace_out: None,
+            trace_sample: 1,
         }
     }
 }
@@ -155,6 +164,8 @@ struct Shared {
     /// requests (batches use their own corpus indices).
     explore_seq: AtomicU64,
     decisions: DecisionCounters,
+    /// When the server started, for the stats reply's `uptime_ms`.
+    started: Instant,
 }
 
 impl Shared {
@@ -224,6 +235,21 @@ pub fn serve(config: ServiceConfig) -> Result<ServerHandle, String> {
         selector: Mutex::new(selector),
         explore_seq: AtomicU64::new(0),
         decisions: DecisionCounters::default(),
+        started: Instant::now(),
+    });
+
+    // Tracing: enable the global tracer and spawn a flusher that drains
+    // the span ring to the JSONL file while the server runs. The accept
+    // thread stops the flusher only after the pool has fully drained, so
+    // spans recorded by in-flight work still reach the file.
+    let trace = shared.config.trace_out.clone().map(|path| {
+        let tracer = vcsched_obs::tracer();
+        tracer.set_sampling(shared.config.trace_sample);
+        tracer.set_enabled(true);
+        let stop = Arc::new(AtomicBool::new(false));
+        let flusher_stop = Arc::clone(&stop);
+        let flusher = std::thread::spawn(move || trace_flusher(&path, &flusher_stop));
+        (stop, flusher)
     });
 
     let accept_shared = Arc::clone(&shared);
@@ -261,12 +287,41 @@ pub fn serve(config: ServiceConfig) -> Result<ServerHandle, String> {
                 .unwrap()
                 .save(&selector_path(dir));
         }
+        if let Some((stop, flusher)) = trace {
+            stop.store(true, Ordering::SeqCst);
+            let _ = flusher.join();
+            vcsched_obs::tracer().set_enabled(false);
+        }
     });
 
     Ok(ServerHandle {
         shared,
         accept: Some(accept),
     })
+}
+
+/// Appends drained span events to `path` until `stop` is set, then
+/// drains once more so nothing recorded during shutdown is lost.
+fn trace_flusher(path: &Path, stop: &AtomicBool) {
+    let file = match std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    {
+        Ok(f) => f,
+        Err(_) => return,
+    };
+    let mut out = std::io::BufWriter::new(file);
+    loop {
+        let done = stop.load(Ordering::SeqCst);
+        let events = vcsched_obs::tracer().drain();
+        let _ = vcsched_obs::write_jsonl(&events, &mut out);
+        let _ = out.flush();
+        if done {
+            return;
+        }
+        std::thread::sleep(POLL_INTERVAL);
+    }
 }
 
 enum LineRead {
@@ -333,7 +388,19 @@ fn write_response(stream: &mut TcpStream, response: &Response) -> bool {
         .is_ok()
 }
 
+/// Decrements the connection gauge on every exit path of
+/// [`handle_connection`].
+struct ConnectionGuard;
+
+impl Drop for ConnectionGuard {
+    fn drop(&mut self) {
+        crate::telemetry::connections().dec();
+    }
+}
+
 fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+    crate::telemetry::connections().inc();
+    let _guard = ConnectionGuard;
     let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
     let _ = stream.set_nodelay(true);
     let mut pending = Vec::new();
@@ -388,19 +455,46 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
 
 /// Parses and executes one request line. The second tuple element is
 /// true when the connection should close afterwards (shutdown).
+///
+/// Every parsed request is counted and timed end-to-end under its wire
+/// type (`service_requests_total{type=…}`, `service_request_us{type=…}`)
+/// and wrapped in a `service_request` span.
 fn dispatch(line: &str, shared: &Shared) -> (Response, bool) {
     let request: Request = match serde_json::from_str(line) {
         Ok(r) => r,
         Err(e) => {
+            crate::telemetry::invalid_requests().inc();
             return (
                 Response::Error {
                     error: format!("invalid request: {e}"),
                     retry_after_ms: None,
                 },
                 false,
-            )
+            );
         }
     };
+    let ty = match &request {
+        Request::Schedule { .. } => "schedule",
+        Request::Batch { .. } => "batch",
+        Request::Stats => "stats",
+        Request::Metrics => "metrics",
+        Request::Ping { .. } => "ping",
+        Request::Shutdown => "shutdown",
+    };
+    let metrics = crate::telemetry::request_metrics(ty);
+    metrics.total.inc();
+    let start = Instant::now();
+    let mut span = vcsched_obs::span!("service_request");
+    span.field("request", ty);
+    let out = execute(request, shared);
+    metrics.latency.record_duration(start.elapsed());
+    span.field("ok", out.0.is_ok());
+    drop(span);
+    out
+}
+
+/// Executes one parsed request.
+fn execute(request: Request, shared: &Shared) -> (Response, bool) {
     match request {
         Request::Schedule {
             block,
@@ -529,6 +623,12 @@ fn dispatch(line: &str, shared: &Shared) -> (Response, bool) {
             false,
         ),
         Request::Stats => (Response::Stats(stats(shared)), false),
+        Request::Metrics => (
+            Response::Metrics {
+                metrics: serde_json::to_value(&vcsched_obs::global().snapshot()),
+            },
+            false,
+        ),
         Request::Ping { delay_ms } => match shared.pool.probe(delay_ms) {
             Ok(ticket) => match ticket.wait() {
                 Ok(delay) => (
@@ -556,7 +656,10 @@ fn dispatch(line: &str, shared: &Shared) -> (Response, bool) {
 
 fn submit_error(e: SubmitError) -> Response {
     let retry = match &e {
-        SubmitError::Saturated { retry_after_ms, .. } => Some(*retry_after_ms),
+        SubmitError::Saturated { retry_after_ms, .. } => {
+            crate::telemetry::rejections().inc();
+            Some(*retry_after_ms)
+        }
         SubmitError::ShutDown => None,
     };
     Response::Error {
@@ -736,5 +839,7 @@ fn stats(shared: &Shared) -> StatsReply {
                 full_explore: shared.decisions.full_explore.load(Ordering::Relaxed),
             }
         }),
+        uptime_ms: shared.started.elapsed().as_millis() as u64,
+        latency: crate::telemetry::latency_replies(),
     }
 }

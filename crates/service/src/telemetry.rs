@@ -1,0 +1,84 @@
+//! Service-layer handles into the process-global obs registry.
+//!
+//! Everything here is process-global: multiple servers embedded in one
+//! process (as the test suite does) share these metrics. The per-server
+//! exact counters in [`crate::StatsReply`] stay authoritative for the
+//! `stats` verb; the registry aggregates for the `metrics` verb and the
+//! Prometheus exposition.
+
+use std::sync::OnceLock;
+
+use vcsched_obs::{Counter, Gauge, Histogram};
+
+use crate::protocol::LatencyReply;
+
+/// Request types with per-type dispatch metrics, in wire order.
+pub(crate) const REQUEST_TYPES: &[&str] =
+    &["schedule", "batch", "stats", "metrics", "ping", "shutdown"];
+
+/// Per-request-type dispatch metrics.
+pub(crate) struct RequestMetrics {
+    /// `service_requests_total{type=…}`: requests dispatched.
+    pub total: Counter,
+    /// `service_request_us{type=…}`: end-to-end dispatch latency.
+    pub latency: Histogram,
+}
+
+/// The dispatch metrics for one request type (a [`REQUEST_TYPES`] name).
+pub(crate) fn request_metrics(ty: &str) -> &'static RequestMetrics {
+    static CELL: OnceLock<Vec<RequestMetrics>> = OnceLock::new();
+    let all = CELL.get_or_init(|| {
+        let reg = vcsched_obs::global();
+        REQUEST_TYPES
+            .iter()
+            .map(|&t| RequestMetrics {
+                total: reg.counter_with("service_requests_total", &[("type", t)]),
+                latency: reg.histogram_with("service_request_us", &[("type", t)]),
+            })
+            .collect()
+    });
+    let idx = REQUEST_TYPES
+        .iter()
+        .position(|&t| t == ty)
+        .expect("known request type");
+    &all[idx]
+}
+
+/// `service_connections`: currently open client connections.
+pub(crate) fn connections() -> &'static Gauge {
+    static CELL: OnceLock<Gauge> = OnceLock::new();
+    CELL.get_or_init(|| vcsched_obs::global().gauge("service_connections"))
+}
+
+/// `service_rejections_total`: requests answered with a backpressure
+/// rejection (`error` + `retry_after_ms`).
+pub(crate) fn rejections() -> &'static Counter {
+    static CELL: OnceLock<Counter> = OnceLock::new();
+    CELL.get_or_init(|| vcsched_obs::global().counter("service_rejections_total"))
+}
+
+/// `service_invalid_requests_total`: lines that failed to parse as a
+/// request.
+pub(crate) fn invalid_requests() -> &'static Counter {
+    static CELL: OnceLock<Counter> = OnceLock::new();
+    CELL.get_or_init(|| vcsched_obs::global().counter("service_invalid_requests_total"))
+}
+
+/// The `stats` reply's latency section: one row per request type, read
+/// from the registry's `service_request_us` histograms.
+pub(crate) fn latency_replies() -> Vec<LatencyReply> {
+    REQUEST_TYPES
+        .iter()
+        .map(|&t| {
+            let snap = request_metrics(t).latency.snapshot();
+            LatencyReply {
+                request: t.to_owned(),
+                count: snap.count,
+                p50_us: snap.p50,
+                p90_us: snap.p90,
+                p99_us: snap.p99,
+                p999_us: snap.p999,
+            }
+        })
+        .collect()
+}

@@ -1,0 +1,208 @@
+//! Observability through the wire: the `metrics` verb, the Prometheus
+//! exposition derived from it, the stats reply's latency section, and
+//! rejection accounting in the global registry.
+//!
+//! The obs registry is process-global and these tests run in one test
+//! binary, so every assertion is a delta or a lower bound — never an
+//! exact global count.
+
+use std::time::Duration;
+
+use serde::Deserialize;
+use vcsched_service::{
+    serve, Client, Request, Response, ScheduleMode, ServerHandle, ServiceConfig,
+};
+use vcsched_workload::{benchmark, generate_block, InputSet};
+
+fn small_server(jobs: usize, queue: usize) -> ServerHandle {
+    serve(ServiceConfig {
+        addr: "127.0.0.1:0".into(),
+        jobs,
+        queue_capacity: queue,
+        cache_shards: 4,
+        ..ServiceConfig::default()
+    })
+    .expect("server starts")
+}
+
+fn block_request(index: u64) -> Request {
+    let spec = benchmark("130.li").expect("known benchmark");
+    Request::Schedule {
+        block: generate_block(&spec, 42, index, InputSet::Ref),
+        machine: "2c".into(),
+        policies: None,
+        mode: Some(ScheduleMode::Single),
+        steps: Some(5_000),
+        early_cancel: None,
+        adaptive: None,
+        placement_seed: Some(index),
+        return_schedule: false,
+    }
+}
+
+#[test]
+fn metrics_verb_roundtrips_and_renders_prometheus_text() {
+    let server = small_server(2, 8);
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    // Generate some traffic so the snapshot is non-trivial.
+    assert!(client.request(&block_request(1)).expect("reply").is_ok());
+    assert!(client.request(&Request::Stats).expect("reply").is_ok());
+
+    let metrics = match client.request(&Request::Metrics).expect("reply") {
+        Response::Metrics { metrics } => metrics,
+        other => panic!("expected metrics reply, got {other:?}"),
+    };
+    let snapshot = vcsched_obs::Snapshot::from_value(&metrics).expect("snapshot parses");
+    assert!(!snapshot.metrics.is_empty(), "snapshot must not be empty");
+    // The service's own dispatch counter must be visible, with the
+    // requests this test already made.
+    let schedule_total = snapshot
+        .find("service_requests_total", &[("type", "schedule")])
+        .expect("service_requests_total{type=schedule} present");
+    match schedule_total.value {
+        vcsched_obs::MetricValue::Counter(n) => assert!(n >= 1, "counted {n}"),
+        ref other => panic!("expected a counter, got {other:?}"),
+    }
+
+    // The exposition derived from the snapshot parses line by line:
+    // comments are TYPE headers, samples are `name[{labels}] value`.
+    let text = snapshot.to_prometheus_text();
+    assert!(!text.trim().is_empty(), "exposition must not be empty");
+    let mut samples = 0usize;
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            assert!(
+                comment.trim_start().starts_with("TYPE "),
+                "unexpected comment line: {line}"
+            );
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').expect("sample has a value");
+        let name = series.split('{').next().unwrap();
+        assert!(
+            !name.is_empty()
+                && name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "bad metric name in: {line}"
+        );
+        if let Some(rest) = series.strip_prefix(name) {
+            if !rest.is_empty() {
+                assert!(
+                    rest.starts_with('{') && rest.ends_with('}'),
+                    "bad label block in: {line}"
+                );
+            }
+        }
+        assert!(value.parse::<f64>().is_ok(), "bad value in: {line}");
+        samples += 1;
+    }
+    assert!(samples > 0, "exposition must carry samples");
+    assert!(
+        text.contains("service_requests_total"),
+        "service metrics must be exposed"
+    );
+
+    client.request(&Request::Shutdown).expect("shutdown");
+    server.join();
+}
+
+#[test]
+fn stats_reply_reports_uptime_and_latency_quantiles() {
+    let server = small_server(2, 8);
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    // A schedule/batch mix, then read the latency section.
+    assert!(client.request(&block_request(2)).expect("reply").is_ok());
+    let batch = Request::Batch {
+        bench: "099.go".into(),
+        count: 3,
+        seed: 11,
+        machine: "2c".into(),
+        policies: None,
+        portfolio: Some(false),
+        steps: Some(5_000),
+        early_cancel: None,
+        adaptive: None,
+    };
+    assert!(client.request(&batch).expect("reply").is_ok());
+
+    let stats = match client.request(&Request::Stats).expect("reply") {
+        Response::Stats(stats) => stats,
+        other => panic!("expected stats, got {other:?}"),
+    };
+    let by_type = |ty: &str| {
+        stats
+            .latency
+            .iter()
+            .find(|l| l.request == ty)
+            .unwrap_or_else(|| panic!("latency row for {ty}"))
+    };
+    // Latency histograms are process-global, so only lower bounds hold.
+    assert!(by_type("schedule").count >= 1, "{:?}", stats.latency);
+    assert!(by_type("batch").count >= 1, "{:?}", stats.latency);
+    let schedule = by_type("schedule");
+    assert!(
+        schedule.p50_us <= schedule.p90_us
+            && schedule.p90_us <= schedule.p99_us
+            && schedule.p99_us <= schedule.p999_us,
+        "quantiles must be monotone: {schedule:?}"
+    );
+
+    client.request(&Request::Shutdown).expect("shutdown");
+    server.join();
+}
+
+#[test]
+fn queue_full_rejection_counts_in_the_global_registry() {
+    let rejections = vcsched_obs::global().counter("service_rejections_total");
+    let before = rejections.get();
+
+    // One worker, one queue slot: deterministic saturation.
+    let server = small_server(1, 1);
+    let addr = server.addr();
+    let busy = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).expect("connect");
+        c.request(&Request::Ping { delay_ms: 1_500 }).expect("pong")
+    });
+    std::thread::sleep(Duration::from_millis(300));
+    let queued = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).expect("connect");
+        c.request(&Request::Ping { delay_ms: 0 }).expect("pong")
+    });
+    std::thread::sleep(Duration::from_millis(300));
+
+    let mut client = Client::connect(server.addr()).expect("connect");
+    match client
+        .request(&Request::Ping { delay_ms: 0 })
+        .expect("reply")
+    {
+        Response::Error {
+            error,
+            retry_after_ms,
+        } => {
+            assert!(error.contains("queue full"), "{error}");
+            assert!(
+                retry_after_ms.is_some(),
+                "the backoff hint must survive the obs wiring"
+            );
+        }
+        other => panic!("expected backpressure error, got {other:?}"),
+    }
+    assert!(
+        rejections.get() > before,
+        "the global rejection counter must move"
+    );
+
+    assert!(matches!(busy.join().expect("busy"), Response::Pong { .. }));
+    assert!(matches!(
+        queued.join().expect("queued"),
+        Response::Pong { .. }
+    ));
+    client.request(&Request::Shutdown).expect("shutdown");
+    server.join();
+}

@@ -20,6 +20,8 @@
 //!   schedule cache;
 //! * [`service`] — the long-running daemon: TCP server speaking
 //!   newline-delimited JSON over a bounded admission queue;
+//! * [`obs`] — the observability core: process-global metrics registry
+//!   (counters, gauges, latency histograms) and span-based tracing;
 //! * [`arch`], [`ir`], [`graph`] — machine model, superblock IR, graph
 //!   algorithms.
 
@@ -31,6 +33,7 @@ pub use vcsched_core as core;
 pub use vcsched_engine as engine;
 pub use vcsched_graph as graph;
 pub use vcsched_ir as ir;
+pub use vcsched_obs as obs;
 pub use vcsched_policy as policy;
 pub use vcsched_service as service;
 pub use vcsched_sim as sim;

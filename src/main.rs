@@ -8,6 +8,7 @@
 //! vcsched batch [OPTS]                     batch-schedule a corpus in parallel
 //! vcsched serve [OPTS]                     run the persistent scheduling service
 //! vcsched request [OPTS] CMD               talk to a running service
+//! vcsched top [OPTS]                       live metrics view of a running service
 //! vcsched demo                             the paper's Fig. 1 block, all machines
 //! ```
 //!
@@ -38,14 +39,15 @@ USAGE:
                   [--early-cancel] [--adaptive] [--adaptive-seed N]
                   [--adaptive-epsilon F] [--adaptive-top-k N]
                   [--adaptive-min-obs N] [--cache DIR] [--cache-shards N]
-                  [--steps N] [--details]
+                  [--steps N] [--details] [--trace-out FILE [--obs-sample N]]
     vcsched serve [--addr HOST:PORT] [--jobs N] [--queue N] [--cache DIR]
                   [--cache-shards N] [--steps N] [--policies P,P,…]
                   [--machine-policies M=P,P[;M=P,P…]] [--early-cancel]
                   [--adaptive] [--adaptive-seed N] [--adaptive-epsilon F]
                   [--adaptive-top-k N] [--adaptive-min-obs N]
-                  [--max-request BYTES]
-    vcsched request [--addr HOST:PORT] (stats | shutdown | ping [--delay-ms N]
+                  [--max-request BYTES] [--trace-out FILE [--obs-sample N]]
+    vcsched request [--addr HOST:PORT] (stats | metrics [--metrics-text]
+                  | shutdown | ping [--delay-ms N]
                   | schedule --block FILE [--machine M] [--policies P,P,…]
                     [--mode single|portfolio] [--steps N] [--early-cancel]
                     [--adaptive] [--placement-seed N] [--return-schedule]
@@ -53,6 +55,7 @@ USAGE:
                     [--policies P,P,…] [--portfolio] [--steps N]
                     [--early-cancel] [--adaptive]
                   | --json LINE)
+    vcsched top [--addr HOST:PORT] [--interval SECS] [--count N]
     vcsched demo
     vcsched help
 
@@ -100,6 +103,19 @@ SERVE / REQUEST:
     matching thin client; `--json LINE` sends a raw protocol line. A
     `shutdown` request drains in-flight work, then exits.
 
+OBSERVABILITY:
+    Every layer dual-writes into a process-global metrics registry
+    (counters, gauges, log-scale latency histograms with deterministic
+    p50/p90/p99/p999). `vcsched request metrics` dumps the full
+    snapshot as JSON; add --metrics-text for Prometheus exposition
+    text. `vcsched top` renders the same snapshot as a terminal view —
+    one-shot by default, repeating with --interval SECS (--count N
+    frames). --trace-out FILE (on batch and serve) appends structured
+    span events as JSONL, one object per span:
+    {\"span\":NAME,\"seq\":N,\"start_us\":N,\"dur_us\":N,\"fields\":{…}};
+    --obs-sample N records every Nth span. Tracing is off by
+    default and never changes scheduling results — only records them.
+
 MACHINES (for --machine):
     2c        paper config 1: 2 clusters, 8-issue, 1-cycle bus   [default]
     4c1       paper config 2: 4 clusters, 16-issue, 1-cycle bus
@@ -128,6 +144,7 @@ fn main() -> ExitCode {
         "batch" => cmd_batch(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
         "request" => cmd_request(&args[1..]),
+        "top" => cmd_top(&args[1..]),
         "demo" => cmd_demo(),
         "help" | "--help" | "-h" => {
             print!("{HELP}");
@@ -242,6 +259,21 @@ fn adaptive_tuning(args: &[String]) -> Result<vcsched::engine::AdaptiveOptions, 
         options.min_observations = v.parse().map_err(|e| format!("--adaptive-min-obs: {e}"))?;
     }
     Ok(options)
+}
+
+/// Parses the `--trace-out FILE` / `--obs-sample N` pair shared by
+/// `batch` and `serve`. Sampling without an output file would silently
+/// record nothing, so it is rejected.
+fn trace_flags(args: &[String]) -> Result<Option<(std::path::PathBuf, u64)>, String> {
+    let sample = match flag_value(args, "--obs-sample") {
+        Some(n) => Some(n.parse::<u64>().map_err(|e| format!("--obs-sample: {e}"))?),
+        None => None,
+    };
+    match flag_value(args, "--trace-out") {
+        Some(path) => Ok(Some((path.into(), sample.unwrap_or(1)))),
+        None if sample.is_some() => Err("--obs-sample requires --trace-out".into()),
+        None => Ok(None),
+    }
 }
 
 /// Parses `--machine-policies "4c2=two-phase,cars;2c=vc,cars"` into
@@ -439,7 +471,28 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
              to persist it across runs"
         );
     }
+    let trace = trace_flags(args)?;
+    if let Some((_, sample)) = &trace {
+        let tracer = vcsched::obs::tracer();
+        tracer.set_sampling(*sample);
+        tracer.set_enabled(true);
+    }
     let result = vcsched::engine::run_batch(&config)?;
+    if let Some((path, _)) = &trace {
+        let tracer = vcsched::obs::tracer();
+        tracer.set_enabled(false);
+        let events = tracer.drain();
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        let mut out = std::io::BufWriter::new(file);
+        vcsched::obs::write_jsonl(&events, &mut out)
+            .and_then(|()| std::io::Write::flush(&mut out))
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        eprintln!("wrote {} trace events to {}", events.len(), path.display());
+    }
     if has_flag(args, "--details") {
         for line in &result.lines {
             eprintln!(
@@ -462,6 +515,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             .parse()
             .map_err(|e| format!("{flag}: {e}"))
     };
+    let trace = trace_flags(args)?;
     let config = vcsched::service::ServiceConfig {
         addr: flag_value(args, "--addr")
             .unwrap_or("127.0.0.1:7411")
@@ -484,6 +538,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         default_early_cancel: has_flag(args, "--early-cancel"),
         default_adaptive: has_flag(args, "--adaptive"),
         adaptive: adaptive_tuning(args)?,
+        trace_out: trace.as_ref().map(|(path, _)| path.clone()),
+        trace_sample: trace.map(|(_, sample)| sample).unwrap_or(1),
         ..vcsched::service::ServiceConfig::default()
     };
     let jobs = config.jobs;
@@ -524,6 +580,7 @@ fn cmd_request(args: &[String]) -> Result<(), String> {
         "--return-schedule",
         "--early-cancel",
         "--adaptive",
+        "--metrics-text",
     ];
     let mut verb = None;
     let mut i = 0;
@@ -539,8 +596,12 @@ fn cmd_request(args: &[String]) -> Result<(), String> {
             break;
         }
     }
-    let verb = verb
-        .ok_or("request verb required: stats, shutdown, ping, schedule, batch (or --json LINE)")?;
+    let verb = verb.ok_or(
+        "request verb required: stats, metrics, shutdown, ping, schedule, batch (or --json LINE)",
+    )?;
+    if has_flag(args, "--metrics-text") && verb != "metrics" {
+        return Err("--metrics-text only applies to the metrics verb".into());
+    }
     let steps = match flag_value(args, "--steps") {
         Some(n) => Some(n.parse().map_err(|e| format!("--steps: {e}"))?),
         None => None,
@@ -553,6 +614,7 @@ fn cmd_request(args: &[String]) -> Result<(), String> {
     let adaptive = has_flag(args, "--adaptive").then_some(true);
     let request = match verb.as_str() {
         "stats" => Request::Stats,
+        "metrics" => Request::Metrics,
         "shutdown" => Request::Shutdown,
         "ping" => Request::Ping {
             delay_ms: flag_value(args, "--delay-ms")
@@ -603,14 +665,110 @@ fn cmd_request(args: &[String]) -> Result<(), String> {
         other => return Err(format!("unknown request verb `{other}`")),
     };
     let response = client.request(&request)?;
-    println!(
-        "{}",
-        serde_json::to_string_pretty(&response).map_err(|e| e.to_string())?
-    );
+    match &response {
+        vcsched::service::Response::Metrics { metrics } if has_flag(args, "--metrics-text") => {
+            use serde::Deserialize;
+            let snapshot = vcsched::obs::Snapshot::from_value(metrics)
+                .map_err(|e| format!("bad metrics snapshot: {e}"))?;
+            print!("{}", snapshot.to_prometheus_text());
+        }
+        _ => println!(
+            "{}",
+            serde_json::to_string_pretty(&response).map_err(|e| e.to_string())?
+        ),
+    }
     if response.is_ok() {
         Ok(())
     } else {
         Err("request failed (see response above)".to_owned())
+    }
+}
+
+/// `vcsched top`: renders a running server's metrics snapshot as a
+/// terminal view — one frame by default, repeating with `--interval`.
+fn cmd_top(args: &[String]) -> Result<(), String> {
+    use serde::Deserialize;
+    use vcsched::obs::Snapshot;
+    use vcsched::service::{Client, Request, Response};
+
+    let addr = flag_value(args, "--addr").unwrap_or("127.0.0.1:7411");
+    let interval: Option<u64> = match flag_value(args, "--interval") {
+        Some(v) => Some(v.parse().map_err(|e| format!("--interval: {e}"))?),
+        None => None,
+    };
+    let frames: u64 = match flag_value(args, "--count") {
+        Some(v) => v.parse().map_err(|e| format!("--count: {e}"))?,
+        // --interval without --count watches until interrupted.
+        None if interval.is_some() => u64::MAX,
+        None => 1,
+    };
+    if frames == 0 {
+        return Err("--count must be at least 1".into());
+    }
+    let mut client = Client::connect(addr)?;
+    for frame in 0..frames {
+        if frame > 0 {
+            std::thread::sleep(std::time::Duration::from_secs(interval.unwrap_or(2)));
+        }
+        let snapshot = match client.request(&Request::Metrics)? {
+            Response::Metrics { metrics } => {
+                Snapshot::from_value(&metrics).map_err(|e| format!("bad metrics snapshot: {e}"))?
+            }
+            Response::Error { error, .. } => return Err(format!("server: {error}")),
+            other => return Err(format!("unexpected response: {other:?}")),
+        };
+        render_top(&snapshot, addr, frame);
+    }
+    Ok(())
+}
+
+/// One `vcsched top` frame: counters and gauges as `series value` rows,
+/// histograms as count/quantile/mean rows.
+fn render_top(snapshot: &vcsched::obs::Snapshot, addr: &str, frame: u64) {
+    use vcsched::obs::MetricValue;
+
+    let series = |m: &vcsched::obs::MetricSnapshot| -> String {
+        if m.labels.is_empty() {
+            m.name.clone()
+        } else {
+            let labels: Vec<String> = m.labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            format!("{}{{{}}}", m.name, labels.join(","))
+        }
+    };
+    let mut counters = Vec::new();
+    let mut gauges = Vec::new();
+    let mut histograms = Vec::new();
+    for m in &snapshot.metrics {
+        match &m.value {
+            MetricValue::Counter(n) => counters.push(format!("  {:<52} {n:>12}", series(m))),
+            MetricValue::Gauge(n) => gauges.push(format!("  {:<52} {n:>12}", series(m))),
+            MetricValue::Histogram(h) => histograms.push(format!(
+                "  {:<36} {:>9} {:>9} {:>9} {:>9} {:>9} {:>11.1}",
+                series(m),
+                h.count,
+                h.p50,
+                h.p90,
+                h.p99,
+                h.p999,
+                h.mean()
+            )),
+        }
+    }
+    println!("vcsched top — {addr} (frame {})", frame + 1);
+    if !counters.is_empty() {
+        println!("COUNTERS");
+        counters.iter().for_each(|l| println!("{l}"));
+    }
+    if !gauges.is_empty() {
+        println!("GAUGES");
+        gauges.iter().for_each(|l| println!("{l}"));
+    }
+    if !histograms.is_empty() {
+        println!(
+            "HISTOGRAMS{:>37} {:>9} {:>9} {:>9} {:>9} {:>11}",
+            "count", "p50", "p90", "p99", "p999", "mean"
+        );
+        histograms.iter().for_each(|l| println!("{l}"));
     }
 }
 

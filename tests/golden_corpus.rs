@@ -261,6 +261,57 @@ fn golden_corpus_policy_telemetry_is_consistent() {
     }
 }
 
+/// Observability must be results-neutral: racing the corpus with span
+/// tracing enabled — unsampled and sampled — must reproduce the recorded
+/// fixture byte-for-byte, while still recording spans. The metrics
+/// registry is always on (dual-write), so every golden run in this file
+/// already proves counters don't perturb schedules; this test closes the
+/// tracing half of the contract.
+#[test]
+fn golden_corpus_is_byte_identical_with_tracing_enabled() {
+    let expected_raw =
+        std::fs::read_to_string(expected_path()).expect("golden_expected.json present");
+    let expected: Value = serde_json::from_str(&expected_raw).expect("expected JSON parses");
+    let expected_summary =
+        serde_json::to_string(expected.get("summary").expect("expected has summary")).unwrap();
+    let expected_lines =
+        serde_json::to_string(expected.get("lines").expect("expected has lines")).unwrap();
+
+    let tracer = vcsched::obs::tracer();
+    for sample in [1u64, 3] {
+        tracer.set_sampling(sample);
+        tracer.set_enabled(true);
+        let got = run_golden(2, 4);
+        tracer.set_enabled(false);
+        let events = tracer.drain();
+        assert!(
+            !events.is_empty(),
+            "tracing enabled (sample={sample}) must record spans"
+        );
+        assert_eq!(
+            normalized_summary(&got.summary),
+            expected_summary,
+            "{}",
+            report_drift(
+                &format!("summary (tracing on, sample={sample})"),
+                &expected,
+                &got
+            )
+        );
+        assert_eq!(
+            lines_json(&got.lines),
+            expected_lines,
+            "{}",
+            report_drift(
+                &format!("per-block lines (tracing on, sample={sample})"),
+                &expected,
+                &got
+            )
+        );
+    }
+    tracer.set_sampling(1);
+}
+
 /// Regenerates both fixture files. Run explicitly, review the diff, and
 /// explain it in the PR:
 ///
