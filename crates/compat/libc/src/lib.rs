@@ -1,0 +1,245 @@
+//! Offline API-compatible subset of the `libc` crate.
+//!
+//! The container has no crates.io access, so — like the sibling compat
+//! crates — this vendors exactly the surface the workspace uses: the
+//! readiness-I/O syscalls behind `vcsched-service`'s reactor
+//! (`epoll_create1`/`epoll_ctl`/`epoll_wait` on Linux, POSIX `poll` as
+//! the portable fallback, `pipe2`/`pipe` + `fcntl` for the wakeup pipe,
+//! and raw `read`/`write`/`close`). Declarations, constants and struct
+//! layouts match the real `libc` crate, so swapping the vendored crate
+//! for the published one is a `Cargo.toml` change only.
+//!
+//! Everything here is a thin `extern "C"` binding into the platform's C
+//! library — the same library `std` already links — with errno reported
+//! through `std::io::Error::last_os_error()` at the call sites.
+
+#![allow(non_camel_case_types)]
+#![cfg(unix)]
+
+/// C `int`.
+pub type c_int = i32;
+/// C `short`.
+pub type c_short = i16;
+/// C `unsigned long` (`nfds_t` on the platforms this workspace targets).
+pub type c_ulong = u64;
+/// C `void` (opaque; only ever used behind raw pointers).
+pub type c_void = std::ffi::c_void;
+/// `size_t`.
+pub type size_t = usize;
+/// `ssize_t`.
+pub type ssize_t = isize;
+/// `nfds_t`, the `poll` descriptor-count type.
+pub type nfds_t = c_ulong;
+
+// --- fcntl / open flags -------------------------------------------------
+
+/// `O_NONBLOCK` open/status flag.
+#[cfg(target_os = "linux")]
+pub const O_NONBLOCK: c_int = 0o4000;
+/// `O_CLOEXEC` open flag.
+#[cfg(target_os = "linux")]
+pub const O_CLOEXEC: c_int = 0o2000000;
+/// `O_NONBLOCK` open/status flag.
+#[cfg(not(target_os = "linux"))]
+pub const O_NONBLOCK: c_int = 0x0004;
+/// `O_CLOEXEC` open flag.
+#[cfg(not(target_os = "linux"))]
+pub const O_CLOEXEC: c_int = 0x1000000;
+
+/// `fcntl` command: get file status flags.
+pub const F_GETFL: c_int = 3;
+/// `fcntl` command: set file status flags.
+pub const F_SETFL: c_int = 4;
+/// `fcntl` command: get file descriptor flags.
+pub const F_GETFD: c_int = 1;
+/// `fcntl` command: set file descriptor flags.
+pub const F_SETFD: c_int = 2;
+/// `FD_CLOEXEC` descriptor flag.
+pub const FD_CLOEXEC: c_int = 1;
+
+// --- poll ---------------------------------------------------------------
+
+/// `POLLIN`: data available to read.
+pub const POLLIN: c_short = 0x0001;
+/// `POLLOUT`: writing will not block.
+pub const POLLOUT: c_short = 0x0004;
+/// `POLLERR`: error condition (revents only).
+pub const POLLERR: c_short = 0x0008;
+/// `POLLHUP`: peer hung up (revents only).
+pub const POLLHUP: c_short = 0x0010;
+/// `POLLNVAL`: invalid descriptor (revents only).
+pub const POLLNVAL: c_short = 0x0020;
+
+/// One `poll` registration: descriptor, requested events, and the
+/// kernel-reported ready events.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct pollfd {
+    /// File descriptor to poll.
+    pub fd: c_int,
+    /// Requested readiness (`POLLIN` / `POLLOUT`).
+    pub events: c_short,
+    /// Kernel-reported readiness, written by `poll`.
+    pub revents: c_short,
+}
+
+// --- epoll (Linux) ------------------------------------------------------
+
+/// `EPOLL_CLOEXEC` flag for [`epoll_create1`].
+#[cfg(target_os = "linux")]
+pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+/// [`epoll_ctl`] op: add a descriptor to the interest list.
+#[cfg(target_os = "linux")]
+pub const EPOLL_CTL_ADD: c_int = 1;
+/// [`epoll_ctl`] op: remove a descriptor from the interest list.
+#[cfg(target_os = "linux")]
+pub const EPOLL_CTL_DEL: c_int = 2;
+/// [`epoll_ctl`] op: change a registered descriptor's interest.
+#[cfg(target_os = "linux")]
+pub const EPOLL_CTL_MOD: c_int = 3;
+/// `EPOLLIN`: readable.
+#[cfg(target_os = "linux")]
+pub const EPOLLIN: u32 = 0x001;
+/// `EPOLLOUT`: writable.
+#[cfg(target_os = "linux")]
+pub const EPOLLOUT: u32 = 0x004;
+/// `EPOLLERR`: error condition (always reported).
+#[cfg(target_os = "linux")]
+pub const EPOLLERR: u32 = 0x008;
+/// `EPOLLHUP`: hangup (always reported).
+#[cfg(target_os = "linux")]
+pub const EPOLLHUP: u32 = 0x010;
+/// `EPOLLRDHUP`: peer shut down the write half.
+#[cfg(target_os = "linux")]
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+/// One epoll readiness event: an event mask plus the caller's token.
+///
+/// Packed on x86/x86_64 to match the kernel ABI (the real `libc` crate
+/// does the same); naturally aligned elsewhere.
+#[cfg(target_os = "linux")]
+#[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(C, packed))]
+#[cfg_attr(not(any(target_arch = "x86", target_arch = "x86_64")), repr(C))]
+#[derive(Debug, Clone, Copy)]
+pub struct epoll_event {
+    /// Ready-event mask (`EPOLLIN` | …).
+    pub events: u32,
+    /// Caller-chosen token, returned verbatim with each event.
+    pub u64: u64,
+}
+
+extern "C" {
+    /// Creates an epoll instance; `flags` takes [`EPOLL_CLOEXEC`].
+    #[cfg(target_os = "linux")]
+    pub fn epoll_create1(flags: c_int) -> c_int;
+    /// Adds/modifies/removes `fd` on the epoll interest list.
+    #[cfg(target_os = "linux")]
+    pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut epoll_event) -> c_int;
+    /// Waits for readiness events; `timeout` in milliseconds, -1 blocks.
+    #[cfg(target_os = "linux")]
+    pub fn epoll_wait(
+        epfd: c_int,
+        events: *mut epoll_event,
+        maxevents: c_int,
+        timeout: c_int,
+    ) -> c_int;
+    /// Creates a pipe with `flags` applied atomically
+    /// (`O_CLOEXEC | O_NONBLOCK`).
+    #[cfg(target_os = "linux")]
+    pub fn pipe2(fds: *mut c_int, flags: c_int) -> c_int;
+
+    /// POSIX readiness poll over `nfds` descriptors.
+    pub fn poll(fds: *mut pollfd, nfds: nfds_t, timeout: c_int) -> c_int;
+    /// Creates a pipe (`fds[0]` read end, `fds[1]` write end).
+    pub fn pipe(fds: *mut c_int) -> c_int;
+    /// File-control: declared with the one-int-argument shape the
+    /// workspace uses (`F_GETFL`/`F_SETFL`/`F_GETFD`/`F_SETFD`).
+    pub fn fcntl(fd: c_int, cmd: c_int, arg: c_int) -> c_int;
+    /// Raw read.
+    pub fn read(fd: c_int, buf: *mut c_void, count: size_t) -> ssize_t;
+    /// Raw write.
+    pub fn write(fd: c_int, buf: *const c_void, count: size_t) -> ssize_t;
+    /// Closes a descriptor.
+    pub fn close(fd: c_int) -> c_int;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipe_roundtrip_and_close() {
+        let mut fds = [-1 as c_int; 2];
+        #[cfg(target_os = "linux")]
+        let rc = unsafe { pipe2(fds.as_mut_ptr(), O_CLOEXEC) };
+        #[cfg(not(target_os = "linux"))]
+        let rc = unsafe { pipe(fds.as_mut_ptr()) };
+        assert_eq!(rc, 0, "pipe: {}", std::io::Error::last_os_error());
+        let payload = b"x";
+        let n = unsafe { write(fds[1], payload.as_ptr() as *const c_void, 1) };
+        assert_eq!(n, 1);
+        let mut buf = [0u8; 4];
+        let n = unsafe { read(fds[0], buf.as_mut_ptr() as *mut c_void, buf.len()) };
+        assert_eq!(n, 1);
+        assert_eq!(buf[0], b'x');
+        unsafe {
+            close(fds[0]);
+            close(fds[1]);
+        }
+    }
+
+    #[test]
+    fn poll_reports_pipe_readability() {
+        let mut fds = [-1 as c_int; 2];
+        assert_eq!(unsafe { pipe(fds.as_mut_ptr()) }, 0);
+        let mut entry = pollfd {
+            fd: fds[0],
+            events: POLLIN,
+            revents: 0,
+        };
+        // Nothing written yet: an immediate poll must time out clean.
+        assert_eq!(unsafe { poll(&mut entry, 1, 0) }, 0);
+        assert_eq!(
+            unsafe { write(fds[1], b"y".as_ptr() as *const c_void, 1) },
+            1
+        );
+        assert_eq!(unsafe { poll(&mut entry, 1, 1_000) }, 1);
+        assert_ne!(entry.revents & POLLIN, 0);
+        unsafe {
+            close(fds[0]);
+            close(fds[1]);
+        }
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn epoll_reports_pipe_readability_with_token() {
+        let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        assert!(epfd >= 0, "{}", std::io::Error::last_os_error());
+        let mut fds = [-1 as c_int; 2];
+        assert_eq!(unsafe { pipe2(fds.as_mut_ptr(), O_CLOEXEC) }, 0);
+        let mut ev = epoll_event {
+            events: EPOLLIN,
+            u64: 0xC0FFEE,
+        };
+        assert_eq!(
+            unsafe { epoll_ctl(epfd, EPOLL_CTL_ADD, fds[0], &mut ev) },
+            0
+        );
+        assert_eq!(
+            unsafe { write(fds[1], b"z".as_ptr() as *const c_void, 1) },
+            1
+        );
+        let mut out = [epoll_event { events: 0, u64: 0 }; 4];
+        let n = unsafe { epoll_wait(epfd, out.as_mut_ptr(), out.len() as c_int, 1_000) };
+        assert_eq!(n, 1);
+        let (events, token) = (out[0].events, out[0].u64);
+        assert_ne!(events & EPOLLIN, 0);
+        assert_eq!(token, 0xC0FFEE);
+        unsafe {
+            close(fds[0]);
+            close(fds[1]);
+            close(epfd);
+        }
+    }
+}

@@ -11,6 +11,10 @@
 //!   signal `vcsched serve` forwards to clients as `retry_after_ms`;
 //! * [`SubmitPool::submit`] blocks for queue space instead (used for
 //!   service-side batch fan-out, where the caller *is* the backpressure);
+//! * [`SubmitPool::try_submit_with`] / [`SubmitPool::submit_with`] /
+//!   [`SubmitPool::probe_with`] take a completion callback invoked on the
+//!   worker thread instead of handing back a [`Ticket`] — the service
+//!   reactor's path, where no thread may park per request;
 //! * [`SubmitPool::probe`] runs a no-op (optionally delayed) job through
 //!   the same queue and workers, measuring true end-to-end service time —
 //!   and giving tests a deterministic way to hold workers busy;
@@ -100,14 +104,34 @@ impl<T> Ticket<T> {
     }
 }
 
+/// How a finished task hands back its result: a channel behind a
+/// [`Ticket`] for blocking callers, or a callback invoked on the worker
+/// thread for readiness-driven callers (the service reactor) that must
+/// never park a thread per request.
+enum Reply<T> {
+    Channel(mpsc::Sender<T>),
+    Callback(Box<dyn FnOnce(T) + Send>),
+}
+
+impl<T> Reply<T> {
+    fn complete(self, value: T) {
+        match self {
+            // A dropped ticket just means nobody is waiting anymore; the
+            // work (and its cache entry) still happened.
+            Reply::Channel(tx) => drop(tx.send(value)),
+            Reply::Callback(f) => f(value),
+        }
+    }
+}
+
 enum TaskKind {
     Solve {
         problem: Problem,
-        reply: mpsc::Sender<Solved>,
+        reply: Reply<Solved>,
     },
     Probe {
         delay: Duration,
-        reply: mpsc::Sender<Duration>,
+        reply: Reply<Duration>,
     },
 }
 
@@ -220,16 +244,13 @@ impl SubmitPool {
                                 &cache,
                             );
                             record_policy_totals(&policy_totals, &outcome, cached);
-                            // A dropped ticket just means nobody is
-                            // waiting anymore; the work (and its cache
-                            // entry) still happened.
-                            let _ = reply.send(Solved { outcome, cached });
+                            reply.complete(Solved { outcome, cached });
                         }
                         TaskKind::Probe { delay, reply } => {
                             if !delay.is_zero() {
                                 std::thread::sleep(delay);
                             }
-                            let _ = reply.send(delay);
+                            reply.complete(delay);
                         }
                     }
                     m.busy.dec();
@@ -346,7 +367,13 @@ impl SubmitPool {
     /// with the backpressure signal.
     pub fn try_submit(&self, problem: Problem) -> Result<Ticket<Solved>, SubmitError> {
         let (reply, rx) = mpsc::channel();
-        self.dispatch(TaskKind::Solve { problem, reply }, false)?;
+        self.dispatch(
+            TaskKind::Solve {
+                problem,
+                reply: Reply::Channel(reply),
+            },
+            false,
+        )?;
         Ok(Ticket(rx))
     }
 
@@ -354,8 +381,53 @@ impl SubmitPool {
     /// once the pool is shut down.
     pub fn submit(&self, problem: Problem) -> Result<Ticket<Solved>, SubmitError> {
         let (reply, rx) = mpsc::channel();
-        self.dispatch(TaskKind::Solve { problem, reply }, true)?;
+        self.dispatch(
+            TaskKind::Solve {
+                problem,
+                reply: Reply::Channel(reply),
+            },
+            true,
+        )?;
         Ok(Ticket(rx))
+    }
+
+    /// [`SubmitPool::try_submit`], completion-callback form: `notify`
+    /// runs on the worker thread the moment the solve finishes, instead
+    /// of a caller thread parking in [`Ticket::wait`]. This is the
+    /// readiness-driven service core's submission path — one reactor
+    /// thread can keep thousands of requests in flight with no thread
+    /// per request. The callback should hand off quickly (push to a
+    /// completion queue, wake an event loop); the worker is busy for as
+    /// long as it runs.
+    pub fn try_submit_with(
+        &self,
+        problem: Problem,
+        notify: impl FnOnce(Solved) + Send + 'static,
+    ) -> Result<(), SubmitError> {
+        self.dispatch(
+            TaskKind::Solve {
+                problem,
+                reply: Reply::Callback(Box::new(notify)),
+            },
+            false,
+        )
+    }
+
+    /// [`SubmitPool::submit`], completion-callback form (blocks for
+    /// queue space; see [`SubmitPool::try_submit_with`] for the callback
+    /// contract).
+    pub fn submit_with(
+        &self,
+        problem: Problem,
+        notify: impl FnOnce(Solved) + Send + 'static,
+    ) -> Result<(), SubmitError> {
+        self.dispatch(
+            TaskKind::Solve {
+                problem,
+                reply: Reply::Callback(Box::new(notify)),
+            },
+            true,
+        )
     }
 
     /// Runs a no-op job (sleeping `delay_ms` on the worker) through the
@@ -366,11 +438,27 @@ impl SubmitPool {
         self.dispatch(
             TaskKind::Probe {
                 delay: Duration::from_millis(delay_ms),
-                reply,
+                reply: Reply::Channel(reply),
             },
             false,
         )?;
         Ok(Ticket(rx))
+    }
+
+    /// [`SubmitPool::probe`], completion-callback form (see
+    /// [`SubmitPool::try_submit_with`] for the callback contract).
+    pub fn probe_with(
+        &self,
+        delay_ms: u64,
+        notify: impl FnOnce(Duration) + Send + 'static,
+    ) -> Result<(), SubmitError> {
+        self.dispatch(
+            TaskKind::Probe {
+                delay: Duration::from_millis(delay_ms),
+                reply: Reply::Callback(Box::new(notify)),
+            },
+            false,
+        )
     }
 
     /// Closes admission, drains every accepted job, and joins the
@@ -485,6 +573,41 @@ mod tests {
             .expect("blocker thread")
             .wait()
             .expect("blocked submit completes");
+    }
+
+    #[test]
+    fn callback_completions_fire_on_the_worker() {
+        let pool = SubmitPool::new(2, 8, Arc::new(ScheduleCache::in_memory_sharded(64, 4)));
+        let (tx, rx) = mpsc::channel();
+        let probe_tx = tx.clone();
+        pool.probe_with(0, move |delay| {
+            probe_tx
+                .send(format!("probe:{}", delay.as_millis()))
+                .unwrap();
+        })
+        .expect("probe accepted");
+        pool.try_submit_with(problem(0), move |solved| {
+            tx.send(format!("solve:{}", solved.outcome.winner)).unwrap();
+        })
+        .expect("solve accepted");
+        let mut got: Vec<String> = (0..2).map(|_| rx.recv().expect("completion")).collect();
+        got.sort();
+        assert_eq!(got[0], "probe:0");
+        assert!(got[1].starts_with("solve:"), "{got:?}");
+        // Callback completions hit the same counters as ticket waits.
+        let (accepted, rejected, _) = pool.counters();
+        assert_eq!((accepted, rejected), (2, 0));
+        pool.shutdown();
+        assert_eq!(pool.counters().2, 2, "both callback jobs completed");
+        // After shutdown the callback paths refuse like the ticket ones.
+        assert!(matches!(
+            pool.try_submit_with(problem(1), |_| {}),
+            Err(SubmitError::ShutDown)
+        ));
+        assert!(matches!(
+            pool.probe_with(0, |_| {}),
+            Err(SubmitError::ShutDown)
+        ));
     }
 
     #[test]

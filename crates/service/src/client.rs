@@ -1,11 +1,22 @@
 //! A thin blocking client for the service protocol — what `vcsched
 //! request` and the tests use.
+//!
+//! [`Client::request`] is the one-shot exchange. For pipelining, pair
+//! [`Client::send`] (tagging each request with an `id`) with
+//! [`Client::recv`]: replies carry the id back, so they can be matched
+//! even when the server completes them out of order — including the
+//! streamed `block` frames of a `{"type":"batch","stream":true}`
+//! request, which all carry the batch's id with `recv` returning them
+//! one frame at a time until the summary arrives.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-use crate::protocol::{Request, Response};
+use serde::Deserialize;
+use serde_json::Value;
+
+use crate::protocol::{envelope_id, request_line, Request, Response};
 
 /// A connected protocol client. One request/response exchange at a time;
 /// the connection stays open across requests.
@@ -42,12 +53,30 @@ impl Client {
     /// Sends one raw JSON line and returns the raw response line — the
     /// scripting escape hatch (`vcsched request --json`).
     pub fn request_raw(&mut self, line: &str) -> Result<String, String> {
+        self.send_raw(line)?;
+        self.recv_raw()
+    }
+
+    /// Sends one request without waiting for its reply, optionally
+    /// tagged with an envelope `id` (the pipelining half-exchange; pair
+    /// with [`Client::recv`]).
+    pub fn send(&mut self, request: &Request, id: Option<u64>) -> Result<(), String> {
+        let line = request_line(request, id)?;
+        self.send_raw(&line)
+    }
+
+    /// Sends one raw JSON line without waiting for a reply.
+    pub fn send_raw(&mut self, line: &str) -> Result<(), String> {
         debug_assert!(!line.contains('\n'), "requests are single lines");
         let stream = self.reader.get_mut();
         stream
             .write_all(format!("{line}\n").as_bytes())
             .and_then(|()| stream.flush())
-            .map_err(|e| format!("send: {e}"))?;
+            .map_err(|e| format!("send: {e}"))
+    }
+
+    /// Reads the next raw reply line.
+    pub fn recv_raw(&mut self) -> Result<String, String> {
         let mut response = String::new();
         let n = self
             .reader
@@ -57,5 +86,18 @@ impl Client {
             return Err("server closed the connection".to_owned());
         }
         Ok(response.trim_end().to_owned())
+    }
+
+    /// Reads the next reply and its envelope `id` (`None` for replies
+    /// to id-less requests). Streamed `block` frames come back as
+    /// ordinary [`Response::Block`] values under their batch's id.
+    pub fn recv(&mut self) -> Result<(Option<u64>, Response), String> {
+        let raw = self.recv_raw()?;
+        let value: Value =
+            serde_json::from_str(&raw).map_err(|e| format!("bad response `{raw}`: {e}"))?;
+        let id = envelope_id(&value).map_err(|e| format!("bad response `{raw}`: {e}"))?;
+        let response =
+            Response::from_value(&value).map_err(|e| format!("bad response `{raw}`: {e}"))?;
+        Ok((id, response))
     }
 }

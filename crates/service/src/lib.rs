@@ -36,13 +36,14 @@
 
 pub mod client;
 pub mod protocol;
+pub(crate) mod reactor;
 pub mod server;
 pub(crate) mod telemetry;
 
 pub use client::Client;
 pub use protocol::{
-    CacheReply, LatencyReply, PolicyTotalsReply, Request, Response, ScheduleMode, ScheduleReply,
-    SelectorStatsReply, ShardReply, StatsReply,
+    BlockReply, CacheReply, LatencyReply, PolicyTotalsReply, Request, Response, ScheduleMode,
+    ScheduleReply, SelectorStatsReply, ShardReply, StatsReply,
 };
 pub use server::{serve, ServerHandle, ServiceConfig};
 

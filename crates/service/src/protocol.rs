@@ -24,6 +24,38 @@
 //!
 //! A rejected admission (queue full) is an `error` response carrying
 //! `retry_after_ms` — the client's backoff hint.
+//!
+//! # Request ids and pipelining
+//!
+//! Any request may carry an optional `"id"` (an unsigned integer chosen
+//! by the client). The server echoes it on every frame it produces for
+//! that request, and id'd replies complete *out of order*: a client can
+//! pipeline many id'd requests on one connection and match replies by
+//! id as each finishes. Requests **without** an id keep the original
+//! contract — exactly one reply line per request, delivered in request
+//! order — and their reply bytes are identical to the pre-id protocol
+//! (no `"id"` field is injected).
+//!
+//! ```text
+//! → {"type":"ping","id":2,"delay_ms":50}
+//! → {"type":"stats","id":1}
+//! ← {"ok":true,"type":"stats","id":1,…}      (finishes first)
+//! ← {"ok":true,"type":"pong","id":2,"delay_ms":50}
+//! ```
+//!
+//! # Streaming batches
+//!
+//! A `batch` request with `"stream":true` (id required) answers with one
+//! `block` frame per solved block — in corpus order, as each resolves —
+//! followed by the usual `batch` summary frame:
+//!
+//! ```text
+//! → {"type":"batch","id":9,"stream":true,"count":3,…}
+//! ← {"ok":true,"type":"block","id":9,"index":0,"winner":"vc",…}
+//! ← {"ok":true,"type":"block","id":9,"index":1,…}
+//! ← {"ok":true,"type":"block","id":9,"index":2,…}
+//! ← {"ok":true,"type":"batch","id":9,"summary":{…}}
+//! ```
 
 use serde::{DeError, Deserialize, Serialize, Value};
 use vcsched_engine::PolicyStat;
@@ -109,6 +141,9 @@ pub enum Request {
         /// Adaptive portfolio selection over the batch (`None` = server
         /// default).
         adaptive: Option<bool>,
+        /// Stream one `block` frame per solved block before the summary.
+        /// Requires a request id (frames are matched by id).
+        stream: bool,
     },
     /// Service and cache counters.
     Stats,
@@ -146,6 +181,22 @@ pub struct ScheduleReply {
     pub policies: Vec<PolicyStat>,
     /// The schedule itself, if `return_schedule` was set.
     pub schedule: Option<Schedule>,
+}
+
+/// One streamed per-block frame of a `batch` request with
+/// `"stream":true`, emitted in corpus order as each block resolves.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlockReply {
+    /// Corpus index of the block this frame reports.
+    pub index: usize,
+    /// Winning policy name.
+    pub winner: String,
+    /// Validated AWCT of the winning schedule.
+    pub awct: f64,
+    /// Whether the answer came from the schedule cache.
+    pub cached: bool,
+    /// Inter-cluster copies in the winning schedule.
+    pub copies: usize,
 }
 
 /// Per-policy lifetime counters in a `stats` response.
@@ -244,6 +295,10 @@ pub struct StatsReply {
     pub rejected: u64,
     /// Jobs completed since start.
     pub completed: u64,
+    /// Client connections currently registered with the reactor.
+    pub connections_open: u64,
+    /// Client connections accepted since start.
+    pub connections_total: u64,
     /// Per-policy win counts and step totals since start, in
     /// first-encounter order.
     pub policies: Vec<PolicyTotalsReply>,
@@ -271,6 +326,8 @@ impl Deserialize for StatsReply {
             completed: Deserialize::from_value(serde::field(v, TY, "completed")?)?,
             policies: Deserialize::from_value(serde::field(v, TY, "policies")?)?,
             cache: Deserialize::from_value(serde::field(v, TY, "cache")?)?,
+            connections_open: opt(v, "connections_open")?.unwrap_or(0),
+            connections_total: opt(v, "connections_total")?.unwrap_or(0),
             adaptive: opt(v, "adaptive")?,
             // Fields the pre-obs protocol did not have: default, do not
             // require.
@@ -290,6 +347,9 @@ pub enum Response {
         /// The `BatchSummary` value, verbatim.
         summary: Value,
     },
+    /// One streamed block of a `batch` request with `"stream":true`;
+    /// the `batch` summary frame follows after the last block.
+    Block(BlockReply),
     /// Result of a `stats` request.
     Stats(StatsReply),
     /// Result of a `metrics` request: the serialized obs registry
@@ -370,6 +430,7 @@ impl Serialize for Request {
                 steps,
                 early_cancel,
                 adaptive,
+                stream,
             } => obj(vec![
                 ("type", Value::String("batch".into())),
                 ("bench", Value::String(bench.clone())),
@@ -381,6 +442,7 @@ impl Serialize for Request {
                 ("steps", steps.to_value()),
                 ("early_cancel", early_cancel.to_value()),
                 ("adaptive", adaptive.to_value()),
+                ("stream", Value::Bool(*stream)),
             ]),
             Request::Stats => obj(vec![("type", Value::String("stats".into()))]),
             Request::Metrics => obj(vec![("type", Value::String("metrics".into()))]),
@@ -446,6 +508,7 @@ impl Deserialize for Request {
                 steps: opt(v, "steps")?,
                 early_cancel: opt(v, "early_cancel")?,
                 adaptive: opt(v, "adaptive")?,
+                stream: opt(v, "stream")?.unwrap_or(false),
             }),
             "stats" => Ok(Request::Stats),
             "metrics" => Ok(Request::Metrics),
@@ -473,6 +536,7 @@ impl Serialize for Response {
             Response::Batch { summary } => {
                 tagged(ok("batch"), obj(vec![("summary", summary.clone())]))
             }
+            Response::Block(reply) => tagged(ok("block"), reply.to_value()),
             Response::Stats(reply) => tagged(ok("stats"), reply.to_value()),
             Response::Metrics { metrics } => {
                 tagged(ok("metrics"), obj(vec![("metrics", metrics.clone())]))
@@ -513,6 +577,7 @@ impl Deserialize for Response {
                     .cloned()
                     .ok_or_else(|| DeError::missing("batch response", "summary"))?,
             }),
+            "block" => Ok(Response::Block(BlockReply::from_value(v)?)),
             "stats" => Ok(Response::Stats(StatsReply::from_value(v)?)),
             "metrics" => Ok(Response::Metrics {
                 metrics: v
@@ -531,6 +596,49 @@ impl Deserialize for Response {
             other => Err(DeError(format!("unknown response type `{other}`"))),
         }
     }
+}
+
+/// Reads the optional `id` envelope field from a raw request or response
+/// object (absence and JSON `null` both mean "no id").
+pub fn envelope_id(v: &Value) -> Result<Option<u64>, DeError> {
+    match v.get("id") {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::UInt(n)) => Ok(Some(*n)),
+        Some(Value::Int(n)) if *n >= 0 => Ok(Some(*n as u64)),
+        Some(_) => Err(DeError("`id` must be an unsigned integer".into())),
+    }
+}
+
+/// Injects an envelope id right after the `type` tag of a serialized
+/// request/response object. `None` leaves the value untouched, so id-less
+/// traffic stays byte-identical to the pre-id protocol.
+fn inject_id(value: &mut Value, id: Option<u64>) {
+    if let (Some(id), Value::Object(fields)) = (id, value) {
+        let at = fields
+            .iter()
+            .position(|(k, _)| k == "type")
+            .map_or(fields.len(), |i| i + 1);
+        fields.insert(at, ("id".to_owned(), Value::UInt(id)));
+    }
+}
+
+/// Serializes one response line (no trailing newline), echoing the
+/// request's `id` when it had one.
+pub fn response_line(response: &Response, id: Option<u64>) -> String {
+    let mut value = response.to_value();
+    inject_id(&mut value, id);
+    serde_json::to_string(&value).unwrap_or_else(|_| {
+        r#"{"ok":false,"type":"error","error":"response serialization failed","retry_after_ms":null}"#
+            .to_owned()
+    })
+}
+
+/// Serializes one request line (no trailing newline), tagging it with an
+/// `id` for pipelined out-of-order completion when one is given.
+pub fn request_line(request: &Request, id: Option<u64>) -> Result<String, String> {
+    let mut value = request.to_value();
+    inject_id(&mut value, id);
+    serde_json::to_string(&value).map_err(|e| e.to_string())
 }
 
 #[cfg(test)]
@@ -554,6 +662,7 @@ mod tests {
                 steps: Some(5000),
                 early_cancel: None,
                 adaptive: None,
+                stream: false,
             },
             Request::Batch {
                 bench: "099.go".into(),
@@ -565,6 +674,7 @@ mod tests {
                 steps: None,
                 early_cancel: Some(true),
                 adaptive: Some(true),
+                stream: true,
             },
         ];
         for req in reqs {
@@ -650,6 +760,8 @@ mod tests {
                 accepted: 10,
                 rejected: 2,
                 completed: 9,
+                connections_open: 3,
+                connections_total: 17,
                 policies: vec![PolicyTotalsReply {
                     policy: "vc".into(),
                     wins: 6,
@@ -712,6 +824,8 @@ mod tests {
             accepted: 0,
             rejected: 0,
             completed: 0,
+            connections_open: 0,
+            connections_total: 0,
             policies: vec![],
             cache: CacheReply {
                 hits: 0,
@@ -766,5 +880,73 @@ mod tests {
     fn unknown_request_type_is_a_clean_error() {
         let err = serde_json::from_str::<Request>(r#"{"type":"frobnicate"}"#).unwrap_err();
         assert!(err.to_string().contains("unknown request type"), "{err}");
+    }
+
+    #[test]
+    fn idless_lines_are_byte_identical_to_plain_serialization() {
+        let resp = Response::Pong { delay_ms: 0 };
+        assert_eq!(
+            response_line(&resp, None),
+            serde_json::to_string(&resp).unwrap()
+        );
+        assert_eq!(
+            response_line(&resp, None),
+            r#"{"ok":true,"type":"pong","delay_ms":0}"#
+        );
+        let req = Request::Stats;
+        assert_eq!(
+            request_line(&req, None).unwrap(),
+            serde_json::to_string(&req).unwrap()
+        );
+    }
+
+    #[test]
+    fn envelope_id_lands_after_the_type_tag() {
+        let line = response_line(&Response::Pong { delay_ms: 3 }, Some(42));
+        assert_eq!(line, r#"{"ok":true,"type":"pong","id":42,"delay_ms":3}"#);
+        let line = request_line(&Request::Ping { delay_ms: 3 }, Some(7)).unwrap();
+        assert_eq!(line, r#"{"type":"ping","id":7,"delay_ms":3}"#);
+        let value: Value = serde_json::from_str(&line).unwrap();
+        assert_eq!(envelope_id(&value).unwrap(), Some(7));
+    }
+
+    #[test]
+    fn envelope_id_rejects_non_integers() {
+        for line in [
+            r#"{"type":"stats","id":"x"}"#,
+            r#"{"type":"stats","id":-1}"#,
+        ] {
+            let value: Value = serde_json::from_str(line).unwrap();
+            assert!(envelope_id(&value).is_err(), "{line}");
+        }
+        let value: Value = serde_json::from_str(r#"{"type":"stats","id":null}"#).unwrap();
+        assert_eq!(envelope_id(&value).unwrap(), None);
+    }
+
+    #[test]
+    fn block_frame_roundtrip() {
+        let frame = Response::Block(BlockReply {
+            index: 5,
+            winner: "vc".into(),
+            awct: 12.5,
+            cached: true,
+            copies: 2,
+        });
+        let line = response_line(&frame, Some(9));
+        assert!(
+            line.starts_with(r#"{"ok":true,"type":"block","id":9,"index":5"#),
+            "{line}"
+        );
+        let back: Response = serde_json::from_str(&line).unwrap();
+        assert_eq!(frame, back);
+    }
+
+    #[test]
+    fn batch_stream_flag_defaults_off() {
+        let req: Request = serde_json::from_str(r#"{"type":"batch"}"#).unwrap();
+        match req {
+            Request::Batch { stream, .. } => assert!(!stream),
+            other => panic!("parsed as {other:?}"),
+        }
     }
 }

@@ -1,41 +1,65 @@
 //! The daemon: a TCP listener speaking the newline-delimited JSON
 //! protocol over a [`SubmitPool`].
 //!
-//! One thread accepts connections; each connection gets a thread that
-//! reads request lines (capped at [`ServiceConfig::max_request_bytes`]),
-//! dispatches them, and writes one response line per request. Scheduling
-//! work flows through the pool's bounded admission queue, so a saturated
-//! server answers `error` + `retry_after_ms` instead of building an
-//! unbounded backlog.
+//! One reactor thread multiplexes the listener and every connection
+//! through a level-triggered readiness poller (the `reactor` module):
+//! sockets are nonblocking, each connection keeps its own read/write
+//! buffers, and scheduling work is handed to the pool with completion
+//! callbacks instead of a thread parked per request. Workers push
+//! finished replies onto a completion queue and ring the reactor's
+//! wakeup pipe; the reactor routes each line back to its connection.
+//!
+//! Requests may carry an optional `id` (see the protocol module's
+//! pipelining notes): id-less requests are answered strictly in arrival
+//! order (a reply-slot per request holds later completions until
+//! earlier ones emit), id'd requests complete out of order. Scheduling
+//! work flows through the pool's bounded admission queue, so a
+//! saturated server answers `error` + `retry_after_ms` instead of
+//! building an unbounded backlog.
 //!
 //! Shutdown (a `shutdown` request or [`ServerHandle::shutdown`]) is
-//! *draining*: admission closes, every already-accepted job completes and
-//! its response is delivered, connection threads and workers are joined,
-//! and the cache journal is flushed.
+//! *draining*: the listener closes, every admitted job completes and
+//! its reply line is flushed, then workers are joined and the cache
+//! journal is flushed. The wakeup pipe replaces both the old 100 ms
+//! stop-flag poll on blocked reads and the throwaway self-connect that
+//! used to unblock the accept loop.
 
+use std::collections::BTreeMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use serde_json::to_string as to_json;
+use serde::Deserialize;
+use serde_json::Value;
 use vcsched_engine::{
     adaptive::{explore_draw, summarize, DecisionKind},
     aggregate_batch, default_jobs, open_cache, selector_path, AdaptiveOptions, BatchConfig,
     BlockClass, CorpusSource, PolicyOptions, PolicySet, Problem, SelectorTable, SubmitError,
     SubmitPool, STEPS_1M,
 };
+use vcsched_ir::Superblock;
 use vcsched_workload::live_in_placement;
 
 use crate::protocol::{
-    CacheReply, PolicyTotalsReply, Request, Response, ScheduleMode, ScheduleReply,
-    SelectorStatsReply, ShardReply, StatsReply,
+    envelope_id, response_line, BlockReply, CacheReply, PolicyTotalsReply, Request, Response,
+    ScheduleMode, ScheduleReply, SelectorStatsReply, ShardReply, StatsReply,
 };
+use crate::reactor::{Poller, WakePipe};
+use crate::telemetry::RequestMetrics;
 
-/// How often blocked connection reads wake up to check the stop flag.
-const POLL_INTERVAL: Duration = Duration::from_millis(100);
+/// Poller token of the listening socket.
+const TOKEN_LISTENER: u64 = 0;
+/// Poller token of the wakeup pipe's read end.
+const TOKEN_WAKER: u64 = 1;
+/// First poller token handed to an accepted connection.
+const TOKEN_CONN0: u64 = 2;
+
+/// How often the trace flusher drains the span ring.
+const TRACE_FLUSH_INTERVAL: Duration = Duration::from_millis(100);
 
 /// Server configuration (see `vcsched serve` for the CLI surface).
 #[derive(Debug, Clone)]
@@ -56,6 +80,9 @@ pub struct ServiceConfig {
     /// Maximum request line length; longer lines terminate the
     /// connection with an error response.
     pub max_request_bytes: usize,
+    /// Maximum simultaneously open connections; beyond it new sockets
+    /// are answered with one `error` + `retry_after_ms` line and closed.
+    pub max_connections: usize,
     /// Default VC deduction-step budget for requests that omit `steps`.
     pub default_steps: u64,
     /// Default policy set for requests that name neither `policies` nor
@@ -95,6 +122,7 @@ impl Default for ServiceConfig {
             cache_shards: 8,
             cache_dir: None,
             max_request_bytes: 1 << 20,
+            max_connections: 1024,
             default_steps: STEPS_1M,
             default_policies: PolicySet::single(),
             preset_policies: Vec::new(),
@@ -150,6 +178,21 @@ impl DecisionCounters {
     }
 }
 
+/// One finished reply line (or a streamed `block` frame, when `done` is
+/// false) headed from a worker/batch thread back to a connection.
+struct Completion {
+    /// The connection the reply belongs to. If the connection died in
+    /// the meantime, the line is dropped — the token is never reused.
+    token: u64,
+    /// Reply-order slot for id-less requests (`None` = id'd or partial;
+    /// emit immediately).
+    slot: Option<u64>,
+    line: String,
+    /// True when this line retires the request (the connection's
+    /// open-request count drops by one).
+    done: bool,
+}
+
 struct Shared {
     pool: SubmitPool,
     config: ServiceConfig,
@@ -161,19 +204,84 @@ struct Shared {
     /// asks for it.
     selector: Mutex<SelectorTable>,
     /// Position in the ε-exploration stream for one-off `schedule`
-    /// requests (batches use their own corpus indices).
+    /// requests (batches use their own corpus indices). Advanced only
+    /// after the pool admits the job — see `schedule_request`.
     explore_seq: AtomicU64,
     decisions: DecisionCounters,
     /// When the server started, for the stats reply's `uptime_ms`.
     started: Instant,
+    /// Currently open client connections (exact, per-server — the
+    /// `service_connections` gauge aggregates across servers).
+    conns_open: AtomicU64,
+    /// Lifetime accepted connections.
+    conns_total: AtomicU64,
+    /// Reply lines from worker/batch threads awaiting reactor pickup.
+    completions: Mutex<Vec<Completion>>,
+    /// Doorbell into the reactor's blocked `wait`.
+    waker: WakePipe,
 }
 
 impl Shared {
-    /// Signals shutdown and wakes the blocked accept loop with a
-    /// throwaway connection.
+    /// Signals shutdown and rings the reactor's wakeup pipe.
     fn request_stop(&self) {
-        if !self.stop.swap(true, Ordering::SeqCst) {
-            let _ = TcpStream::connect(self.addr);
+        self.stop.store(true, Ordering::SeqCst);
+        self.waker.wake();
+    }
+
+    /// Queues a reply line for the reactor and wakes it.
+    fn push(&self, completion: Completion) {
+        self.completions.lock().unwrap().push(completion);
+        self.waker.wake();
+    }
+}
+
+/// An in-flight async request's reply duct: carries everything needed
+/// to finish the request (route, ordering slot, envelope id, latency
+/// metrics, span) into the worker's completion callback.
+///
+/// Exactly one done-reply is guaranteed: the success path sends it, the
+/// admission-failure path reclaims the value and sends the rejection,
+/// and if a worker drops the callback without running it (pool torn
+/// down mid-job) the `Drop` impl sends a "job lost" error.
+struct PendingReply {
+    shared: Arc<Shared>,
+    token: u64,
+    slot: Option<u64>,
+    id: Option<u64>,
+    metrics: &'static RequestMetrics,
+    start: Instant,
+    span: Option<vcsched_obs::SpanGuard>,
+    done: bool,
+}
+
+impl PendingReply {
+    fn send(&mut self, response: &Response, done: bool) {
+        if done {
+            self.done = true;
+            self.metrics.latency.record_duration(self.start.elapsed());
+            if let Some(mut span) = self.span.take() {
+                span.field("ok", response.is_ok());
+            }
+        }
+        self.shared.push(Completion {
+            token: self.token,
+            slot: self.slot,
+            line: response_line(response, self.id),
+            done,
+        });
+    }
+}
+
+impl Drop for PendingReply {
+    fn drop(&mut self) {
+        if !self.done {
+            self.send(
+                &Response::Error {
+                    error: "job lost: pool shut down before the request ran".to_owned(),
+                    retry_after_ms: None,
+                },
+                true,
+            );
         }
     }
 }
@@ -182,7 +290,7 @@ impl Shared {
 /// call [`ServerHandle::shutdown`] or send a `shutdown` request.
 pub struct ServerHandle {
     shared: Arc<Shared>,
-    accept: Option<std::thread::JoinHandle<()>>,
+    reactor: Option<std::thread::JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -199,14 +307,14 @@ impl ServerHandle {
     /// Blocks until the server has fully shut down (listener closed,
     /// connections and workers drained and joined).
     pub fn join(mut self) {
-        if let Some(handle) = self.accept.take() {
+        if let Some(handle) = self.reactor.take() {
             let _ = handle.join();
         }
     }
 }
 
-/// Binds the listener and spawns the accept loop; returns once the
-/// server is ready to take connections.
+/// Binds the listener, sets up the poller, and spawns the reactor
+/// thread; returns once the server is ready to take connections.
 pub fn serve(config: ServiceConfig) -> Result<ServerHandle, String> {
     let cache = Arc::new(open_cache(&BatchConfig {
         cache_dir: config.cache_dir.clone(),
@@ -217,6 +325,9 @@ pub fn serve(config: ServiceConfig) -> Result<ServerHandle, String> {
     let pool = SubmitPool::new(config.jobs, config.queue_capacity, cache);
     let listener =
         TcpListener::bind(&config.addr).map_err(|e| format!("bind {}: {e}", config.addr))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("set_nonblocking: {e}"))?;
     let addr = listener
         .local_addr()
         .map_err(|e| format!("local_addr: {e}"))?;
@@ -227,6 +338,14 @@ pub fn serve(config: ServiceConfig) -> Result<ServerHandle, String> {
         .as_deref()
         .map(|dir| SelectorTable::load(&selector_path(dir)))
         .unwrap_or_default();
+    let waker = WakePipe::new().map_err(|e| format!("wakeup pipe: {e}"))?;
+    let mut poller = Poller::new().map_err(|e| format!("poller: {e}"))?;
+    poller
+        .register(listener.as_raw_fd(), TOKEN_LISTENER, true, false)
+        .map_err(|e| format!("register listener: {e}"))?;
+    poller
+        .register(waker.read_fd(), TOKEN_WAKER, true, false)
+        .map_err(|e| format!("register waker: {e}"))?;
     let shared = Arc::new(Shared {
         pool,
         config,
@@ -236,10 +355,14 @@ pub fn serve(config: ServiceConfig) -> Result<ServerHandle, String> {
         explore_seq: AtomicU64::new(0),
         decisions: DecisionCounters::default(),
         started: Instant::now(),
+        conns_open: AtomicU64::new(0),
+        conns_total: AtomicU64::new(0),
+        completions: Mutex::new(Vec::new()),
+        waker,
     });
 
     // Tracing: enable the global tracer and spawn a flusher that drains
-    // the span ring to the JSONL file while the server runs. The accept
+    // the span ring to the JSONL file while the server runs. The reactor
     // thread stops the flusher only after the pool has fully drained, so
     // spans recorded by in-flight work still reach the file.
     let trace = shared.config.trace_out.clone().map(|path| {
@@ -252,36 +375,15 @@ pub fn serve(config: ServiceConfig) -> Result<ServerHandle, String> {
         (stop, flusher)
     });
 
-    let accept_shared = Arc::clone(&shared);
-    let accept = std::thread::spawn(move || {
-        let conns: Mutex<Vec<std::thread::JoinHandle<()>>> = Mutex::new(Vec::new());
-        for stream in listener.incoming() {
-            if accept_shared.stop.load(Ordering::SeqCst) {
-                break;
-            }
-            let stream = match stream {
-                Ok(s) => s,
-                Err(_) => continue,
-            };
-            let conn_shared = Arc::clone(&accept_shared);
-            let mut conns = conns.lock().unwrap();
-            // Reap finished connection threads so a long-lived server
-            // doesn't accumulate handles.
-            conns.retain(|h| !h.is_finished());
-            conns.push(std::thread::spawn(move || {
-                handle_connection(stream, &conn_shared);
-            }));
-        }
-        drop(listener);
-        // Drain: connections finish their in-flight request/response
-        // exchanges (their reads poll the stop flag), then the pool
-        // completes everything it admitted.
-        for handle in conns.into_inner().unwrap() {
-            let _ = handle.join();
-        }
-        accept_shared.pool.shutdown();
-        if let Some(dir) = &accept_shared.config.cache_dir {
-            let _ = accept_shared
+    let reactor_shared = Arc::clone(&shared);
+    let reactor = std::thread::spawn(move || {
+        event_loop(&reactor_shared, listener, poller);
+        // Drain: the loop only returns once every connection has closed
+        // with its reply lines flushed; the pool then completes
+        // everything it admitted.
+        reactor_shared.pool.shutdown();
+        if let Some(dir) = &reactor_shared.config.cache_dir {
+            let _ = reactor_shared
                 .selector
                 .lock()
                 .unwrap()
@@ -296,7 +398,7 @@ pub fn serve(config: ServiceConfig) -> Result<ServerHandle, String> {
 
     Ok(ServerHandle {
         shared,
-        accept: Some(accept),
+        reactor: Some(reactor),
     })
 }
 
@@ -320,158 +422,421 @@ fn trace_flusher(path: &Path, stop: &AtomicBool) {
         if done {
             return;
         }
-        std::thread::sleep(POLL_INTERVAL);
+        std::thread::sleep(TRACE_FLUSH_INTERVAL);
     }
 }
 
-enum LineRead {
-    Line(String),
-    NotUtf8,
-    Oversized,
-    Closed,
-    Stopping,
+/// What a nonblocking read drain left the connection in.
+enum Fill {
+    /// Drained to `WouldBlock`; the peer may send more.
+    Open,
+    /// Orderly EOF: process what's buffered, then close after flushing.
+    Eof,
+    /// Hard error: tear the connection down.
+    Dead,
 }
 
-/// Reads one `\n`-terminated line, polling the stop flag while idle and
-/// enforcing the request size cap. `pending` carries bytes of the next
-/// line(s) between calls, so pipelined requests are not lost.
-fn read_line(
-    stream: &mut TcpStream,
-    pending: &mut Vec<u8>,
-    max_bytes: usize,
-    stop: &AtomicBool,
-) -> LineRead {
-    loop {
-        if let Some(pos) = pending.iter().position(|&b| b == b'\n') {
-            let rest = pending.split_off(pos + 1);
-            let mut line = std::mem::replace(pending, rest);
-            line.pop(); // the newline
-            if line.last() == Some(&b'\r') {
-                line.pop();
+/// One multiplexed connection's state, owned by the reactor thread.
+struct Conn {
+    stream: TcpStream,
+    /// Bytes read but not yet consumed as request lines.
+    rbuf: Vec<u8>,
+    /// Reply bytes not yet accepted by the socket (from `wpos` on).
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// Next reply-order slot to assign to an id-less request.
+    next_slot: u64,
+    /// The slot whose reply may be emitted next.
+    emit_slot: u64,
+    /// Completed id-less replies waiting for earlier slots to finish.
+    held: BTreeMap<u64, String>,
+    /// Async requests admitted but not yet retired by a done-reply.
+    open: u64,
+    /// No more reads; flush what remains, then close once `finished`.
+    closing: bool,
+    /// Interest last registered with the poller (readable, writable).
+    interest: (bool, bool),
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            next_slot: 0,
+            emit_slot: 0,
+            held: BTreeMap::new(),
+            open: 0,
+            closing: false,
+            interest: (true, false),
+        }
+    }
+
+    fn take_slot(&mut self) -> u64 {
+        let slot = self.next_slot;
+        self.next_slot += 1;
+        slot
+    }
+
+    /// Queues one reply line: id'd and partial lines (`slot` = `None`)
+    /// go straight to the write buffer; slotted lines wait in `held`
+    /// until every earlier slot has emitted, so id-less clients see
+    /// replies in strict request order no matter how the pool reorders
+    /// completions.
+    fn emit(&mut self, slot: Option<u64>, line: String) {
+        match slot {
+            None => self.push_line(&line),
+            Some(s) => {
+                self.held.insert(s, line);
+                while let Some(next) = self.held.remove(&self.emit_slot) {
+                    self.push_line(&next);
+                    self.emit_slot += 1;
+                }
             }
-            return match String::from_utf8(line) {
-                Ok(s) => LineRead::Line(s),
-                // The line was consumed up to its newline, so the stream
-                // stays in sync; the caller answers with an error.
-                Err(_) => LineRead::NotUtf8,
-            };
         }
-        if pending.len() > max_bytes {
-            return LineRead::Oversized;
+    }
+
+    fn push_line(&mut self, line: &str) {
+        self.wbuf.extend_from_slice(line.as_bytes());
+        self.wbuf.push(b'\n');
+    }
+
+    /// Writes buffered reply bytes until done or `WouldBlock`. Returns
+    /// false when the connection is beyond use.
+    fn flush(&mut self) -> bool {
+        while self.wpos < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => return false,
+                Ok(n) => self.wpos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
         }
-        if stop.load(Ordering::SeqCst) {
-            return LineRead::Stopping;
-        }
+        self.wbuf.clear();
+        self.wpos = 0;
+        true
+    }
+
+    /// Drains the nonblocking socket into `rbuf`.
+    fn fill(&mut self) -> Fill {
         let mut chunk = [0u8; 4096];
-        match stream.read(&mut chunk) {
-            Ok(0) => return LineRead::Closed,
-            Ok(n) => pending.extend_from_slice(&chunk[..n]),
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                continue; // poll tick: loop re-checks the stop flag
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Fill::Eof,
+                Ok(n) => self.rbuf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Fill::Open,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return Fill::Dead,
             }
-            Err(_) => return LineRead::Closed,
+        }
+    }
+
+    /// True once a closing connection has nothing left to deliver.
+    fn finished(&self) -> bool {
+        self.closing && self.open == 0 && self.held.is_empty() && self.wpos == self.wbuf.len()
+    }
+}
+
+/// The reactor: multiplexes the listener, the wakeup pipe, and every
+/// connection until a draining shutdown completes.
+fn event_loop(shared: &Arc<Shared>, listener: TcpListener, mut poller: Poller) {
+    let fds_gauge = crate::telemetry::reactor_fds();
+    let wbuf_gauge = crate::telemetry::reactor_write_buffer();
+    let wakeups = crate::telemetry::reactor_wakeups();
+    let mut conns: BTreeMap<u64, Conn> = BTreeMap::new();
+    let mut next_token = TOKEN_CONN0;
+    let mut listener = Some(listener);
+    let mut draining = false;
+    let mut events = Vec::new();
+    // Gauges are process-global; track this server's contribution and
+    // publish deltas so embedded multi-server tests stay consistent.
+    let mut last_fds = poller.registered() as i64;
+    let mut last_wbuf: i64 = 0;
+    fds_gauge.add(last_fds);
+    loop {
+        // Route reply lines pushed by workers since the last pass.
+        let ready = std::mem::take(&mut *shared.completions.lock().unwrap());
+        for c in ready {
+            if let Some(conn) = conns.get_mut(&c.token) {
+                if c.done {
+                    conn.open -= 1;
+                }
+                conn.emit(c.slot, c.line);
+            }
+        }
+        // Begin draining: stop accepting, let every connection finish
+        // its in-flight requests and flush.
+        if shared.stop.load(Ordering::SeqCst) && !draining {
+            draining = true;
+            if let Some(l) = listener.take() {
+                let _ = poller.deregister(l.as_raw_fd());
+            }
+            for conn in conns.values_mut() {
+                conn.closing = true;
+            }
+        }
+        // Flush, retire finished connections, and (re)declare interest:
+        // a closing connection stops reading (level-triggered EPOLLIN
+        // would spin on EOF otherwise), a backed-up one asks for
+        // writability.
+        let mut dead = Vec::new();
+        let mut wbuf_total: i64 = 0;
+        for (&token, conn) in conns.iter_mut() {
+            if !conn.flush() || conn.finished() {
+                dead.push(token);
+                continue;
+            }
+            wbuf_total += (conn.wbuf.len() - conn.wpos) as i64;
+            let want = (!conn.closing, conn.wpos < conn.wbuf.len());
+            if want != conn.interest {
+                if poller
+                    .modify(conn.stream.as_raw_fd(), token, want.0, want.1)
+                    .is_err()
+                {
+                    dead.push(token);
+                    continue;
+                }
+                conn.interest = want;
+            }
+        }
+        for token in dead {
+            close_conn(shared, &mut poller, &mut conns, token);
+        }
+        fds_gauge.add(poller.registered() as i64 - last_fds);
+        last_fds = poller.registered() as i64;
+        wbuf_gauge.add(wbuf_total - last_wbuf);
+        last_wbuf = wbuf_total;
+        if draining && conns.is_empty() {
+            fds_gauge.add(-last_fds);
+            wbuf_gauge.add(-last_wbuf);
+            return;
+        }
+        if poller.wait(&mut events, -1).is_err() {
+            // A broken poller cannot be waited on; fall into the drain
+            // path so admitted work still completes.
+            shared.stop.store(true, Ordering::SeqCst);
+            continue;
+        }
+        for i in 0..events.len() {
+            let ev = events[i];
+            match ev.token {
+                TOKEN_LISTENER => {
+                    if let Some(l) = &listener {
+                        accept_ready(shared, &mut poller, &mut conns, l, &mut next_token);
+                    }
+                }
+                TOKEN_WAKER => {
+                    wakeups.inc();
+                    shared.waker.drain();
+                }
+                token => {
+                    let mut kill = false;
+                    if let Some(conn) = conns.get_mut(&token) {
+                        if ev.failed {
+                            kill = true;
+                        } else {
+                            if ev.writable && !conn.flush() {
+                                kill = true;
+                            }
+                            if !kill && ev.readable && !conn.closing {
+                                match conn.fill() {
+                                    Fill::Open => process_buffered(shared, token, conn),
+                                    Fill::Eof => {
+                                        process_buffered(shared, token, conn);
+                                        conn.closing = true;
+                                    }
+                                    Fill::Dead => kill = true,
+                                }
+                            }
+                        }
+                    }
+                    if kill {
+                        close_conn(shared, &mut poller, &mut conns, token);
+                    }
+                }
+            }
         }
     }
 }
 
-fn write_response(stream: &mut TcpStream, response: &Response) -> bool {
-    let line = match to_json(response) {
-        Ok(l) => l,
-        Err(_) => return false,
-    };
-    stream
-        .write_all(format!("{line}\n").as_bytes())
-        .and_then(|()| stream.flush())
-        .is_ok()
+/// Accepts until the nonblocking listener would block.
+fn accept_ready(
+    shared: &Arc<Shared>,
+    poller: &mut Poller,
+    conns: &mut BTreeMap<u64, Conn>,
+    listener: &TcpListener,
+    next_token: &mut u64,
+) {
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return,
+        };
+        let _ = stream.set_nodelay(true);
+        if stream.set_nonblocking(true).is_err() {
+            continue;
+        }
+        if conns.len() >= shared.config.max_connections {
+            // Best-effort rejection line; the socket closes either way.
+            let mut stream = stream;
+            let line = response_line(
+                &Response::Error {
+                    error: "connection limit reached".to_owned(),
+                    retry_after_ms: Some(100),
+                },
+                None,
+            );
+            let _ = stream.write_all(format!("{line}\n").as_bytes());
+            continue;
+        }
+        let token = *next_token;
+        *next_token += 1;
+        if poller
+            .register(stream.as_raw_fd(), token, true, false)
+            .is_err()
+        {
+            continue;
+        }
+        conns.insert(token, Conn::new(stream));
+        shared.conns_open.fetch_add(1, Ordering::Relaxed);
+        shared.conns_total.fetch_add(1, Ordering::Relaxed);
+        crate::telemetry::connections().inc();
+    }
 }
 
-/// Decrements the connection gauge on every exit path of
-/// [`handle_connection`].
-struct ConnectionGuard;
-
-impl Drop for ConnectionGuard {
-    fn drop(&mut self) {
+/// Removes a connection from the reactor (poller, map, gauges).
+fn close_conn(shared: &Shared, poller: &mut Poller, conns: &mut BTreeMap<u64, Conn>, token: u64) {
+    if let Some(conn) = conns.remove(&token) {
+        let _ = poller.deregister(conn.stream.as_raw_fd());
+        shared.conns_open.fetch_sub(1, Ordering::Relaxed);
         crate::telemetry::connections().dec();
     }
 }
 
-fn handle_connection(mut stream: TcpStream, shared: &Shared) {
-    crate::telemetry::connections().inc();
-    let _guard = ConnectionGuard;
-    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
-    let _ = stream.set_nodelay(true);
-    let mut pending = Vec::new();
-    loop {
-        match read_line(
-            &mut stream,
-            &mut pending,
-            shared.config.max_request_bytes,
-            &shared.stop,
-        ) {
-            LineRead::Line(line) => {
-                if line.trim().is_empty() {
-                    continue;
-                }
-                let (response, terminal) = dispatch(&line, shared);
-                if !write_response(&mut stream, &response) || terminal {
-                    return;
-                }
-            }
-            LineRead::NotUtf8 => {
-                let keep = write_response(
-                    &mut stream,
-                    &Response::Error {
-                        error: "invalid request: line is not valid UTF-8".to_owned(),
-                        retry_after_ms: None,
-                    },
-                );
-                if !keep {
-                    return;
-                }
-            }
-            LineRead::Oversized => {
-                // A request this large is a protocol violation; the rest
-                // of the stream cannot be re-synchronized, so answer and
-                // hang up.
-                let _ = write_response(
-                    &mut stream,
-                    &Response::Error {
-                        error: format!(
-                            "request exceeds {} bytes; closing connection",
-                            shared.config.max_request_bytes
-                        ),
-                        retry_after_ms: None,
-                    },
-                );
-                return;
-            }
-            LineRead::Closed | LineRead::Stopping => return,
+/// Consumes every complete line buffered on the connection, then
+/// enforces the request size cap on whatever incomplete tail remains.
+///
+/// All three rejection shapes — a line that is not UTF-8, an unbounded
+/// line past `max_request_bytes`, and a line that fails to parse (in
+/// `handle_line`) — count toward `service_invalid_requests_total`.
+fn process_buffered(shared: &Arc<Shared>, token: u64, conn: &mut Conn) {
+    while !conn.closing {
+        let Some(pos) = conn.rbuf.iter().position(|&b| b == b'\n') else {
+            break;
+        };
+        let rest = conn.rbuf.split_off(pos + 1);
+        let mut raw = std::mem::replace(&mut conn.rbuf, rest);
+        raw.pop(); // the newline
+        if raw.last() == Some(&b'\r') {
+            raw.pop();
         }
+        let line = match String::from_utf8(raw) {
+            Ok(s) => s,
+            Err(_) => {
+                // The line was consumed up to its newline, so the
+                // stream stays in sync; answer in slot order and keep
+                // the connection.
+                crate::telemetry::invalid_requests().inc();
+                let slot = Some(conn.take_slot());
+                conn.emit(
+                    slot,
+                    response_line(
+                        &Response::Error {
+                            error: "invalid request: line is not valid UTF-8".to_owned(),
+                            retry_after_ms: None,
+                        },
+                        None,
+                    ),
+                );
+                continue;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        handle_line(shared, token, conn, &line);
+    }
+    if !conn.closing && conn.rbuf.len() > shared.config.max_request_bytes {
+        // A request this large is a protocol violation; the rest of the
+        // stream cannot be re-synchronized, so answer and hang up.
+        crate::telemetry::invalid_requests().inc();
+        let slot = Some(conn.take_slot());
+        conn.emit(
+            slot,
+            response_line(
+                &Response::Error {
+                    error: format!(
+                        "request exceeds {} bytes; closing connection",
+                        shared.config.max_request_bytes
+                    ),
+                    retry_after_ms: None,
+                },
+                None,
+            ),
+        );
+        conn.rbuf.clear();
+        conn.closing = true;
     }
 }
 
-/// Parses and executes one request line. The second tuple element is
-/// true when the connection should close afterwards (shutdown).
+/// Records an inline (reactor-thread) reply's metrics and queues it.
+fn finish_inline(
+    conn: &mut Conn,
+    slot: Option<u64>,
+    id: Option<u64>,
+    rm: &'static RequestMetrics,
+    start: Instant,
+    mut span: vcsched_obs::SpanGuard,
+    response: &Response,
+) {
+    rm.latency.record_duration(start.elapsed());
+    span.field("ok", response.is_ok());
+    conn.emit(slot, response_line(response, id));
+}
+
+/// Parses and executes one request line on the reactor thread. Cheap
+/// requests (`stats`, `metrics`, `shutdown`) answer inline; everything
+/// that touches the pool goes through a [`PendingReply`] and completes
+/// asynchronously.
 ///
 /// Every parsed request is counted and timed end-to-end under its wire
 /// type (`service_requests_total{type=…}`, `service_request_us{type=…}`)
 /// and wrapped in a `service_request` span.
-fn dispatch(line: &str, shared: &Shared) -> (Response, bool) {
-    let request: Request = match serde_json::from_str(line) {
-        Ok(r) => r,
-        Err(e) => {
-            crate::telemetry::invalid_requests().inc();
-            return (
-                Response::Error {
-                    error: format!("invalid request: {e}"),
+fn handle_line(shared: &Arc<Shared>, token: u64, conn: &mut Conn, line: &str) {
+    fn invalid(conn: &mut Conn, id: Option<u64>, msg: String) {
+        crate::telemetry::invalid_requests().inc();
+        let slot = if id.is_some() {
+            None
+        } else {
+            Some(conn.take_slot())
+        };
+        conn.emit(
+            slot,
+            response_line(
+                &Response::Error {
+                    error: msg,
                     retry_after_ms: None,
                 },
-                false,
-            );
-        }
+                id,
+            ),
+        );
+    }
+    let value: Value = match serde_json::from_str(line) {
+        Ok(v) => v,
+        Err(e) => return invalid(conn, None, format!("invalid request: {e}")),
+    };
+    let id = match envelope_id(&value) {
+        Ok(id) => id,
+        Err(e) => return invalid(conn, None, format!("invalid request: {e}")),
+    };
+    let request = match Request::from_value(&value) {
+        Ok(r) => r,
+        Err(e) => return invalid(conn, id, format!("invalid request: {e}")),
     };
     let ty = match &request {
         Request::Schedule { .. } => "schedule",
@@ -481,21 +846,59 @@ fn dispatch(line: &str, shared: &Shared) -> (Response, bool) {
         Request::Ping { .. } => "ping",
         Request::Shutdown => "shutdown",
     };
-    let metrics = crate::telemetry::request_metrics(ty);
-    metrics.total.inc();
+    let rm = crate::telemetry::request_metrics(ty);
+    rm.total.inc();
     let start = Instant::now();
     let mut span = vcsched_obs::span!("service_request");
     span.field("request", ty);
-    let out = execute(request, shared);
-    metrics.latency.record_duration(start.elapsed());
-    span.field("ok", out.0.is_ok());
-    drop(span);
-    out
-}
-
-/// Executes one parsed request.
-fn execute(request: Request, shared: &Shared) -> (Response, bool) {
+    let slot = if id.is_some() {
+        None
+    } else {
+        Some(conn.take_slot())
+    };
+    let pending = |span| PendingReply {
+        shared: Arc::clone(shared),
+        token,
+        slot,
+        id,
+        metrics: rm,
+        start,
+        span: Some(span),
+        done: false,
+    };
     match request {
+        Request::Stats => {
+            finish_inline(
+                conn,
+                slot,
+                id,
+                rm,
+                start,
+                span,
+                &Response::Stats(stats(shared)),
+            );
+        }
+        Request::Metrics => finish_inline(
+            conn,
+            slot,
+            id,
+            rm,
+            start,
+            span,
+            &Response::Metrics {
+                metrics: serde_json::to_value(&vcsched_obs::global().snapshot()),
+            },
+        ),
+        Request::Shutdown => {
+            shared.request_stop();
+            finish_inline(conn, slot, id, rm, start, span, &Response::Bye);
+            // Terminal: drop any pipelined lines after the shutdown.
+            conn.closing = true;
+        }
+        Request::Ping { delay_ms } => {
+            conn.open += 1;
+            ping_request(shared, delay_ms, pending(span));
+        }
         Request::Schedule {
             block,
             machine,
@@ -507,95 +910,20 @@ fn execute(request: Request, shared: &Shared) -> (Response, bool) {
             placement_seed,
             return_schedule,
         } => {
-            let error = |msg: String| {
-                (
-                    Response::Error {
-                        error: msg,
-                        retry_after_ms: None,
-                    },
-                    false,
-                )
-            };
-            let machine_name = machine;
-            let machine = match crate::machine_by_name(&machine_name) {
-                Ok(m) => m,
-                Err(e) => return error(e),
-            };
-            let configured = match resolve_policies(
-                policies,
-                mode.map(|m| m == ScheduleMode::Portfolio),
-                &machine_name,
-                &shared.config,
-            ) {
-                Ok(p) => p,
-                Err(e) => return error(e),
-            };
-            let class = BlockClass::of(&block, &machine);
-            let mut decision = None;
-            let policies = if adaptive.unwrap_or(shared.config.default_adaptive) {
-                let draw = explore_draw(
-                    shared.config.adaptive.seed,
-                    shared.explore_seq.fetch_add(1, Ordering::Relaxed),
-                );
-                let (kind, narrowed) = shared.selector.lock().unwrap().select(
-                    &class,
-                    &configured,
-                    &shared.config.adaptive,
-                    draw,
-                );
-                decision = Some(kind);
-                narrowed
-            } else {
-                configured
-            };
-            let homes = live_in_placement(
-                &block,
-                machine.cluster_count(),
-                placement_seed.unwrap_or(shared.config.default_placement_seed),
-            );
-            let problem = Problem {
+            conn.open += 1;
+            schedule_request(
+                shared,
                 block,
                 machine,
-                homes,
-                options: PolicyOptions {
-                    max_dp_steps: steps.unwrap_or(shared.config.default_steps),
-                    policies,
-                    early_cancel: early_cancel.unwrap_or(shared.config.default_early_cancel),
-                },
-            };
-            let ticket = match shared.pool.try_submit(problem) {
-                Ok(t) => t,
-                Err(e) => return (submit_error(e), false),
-            };
-            match ticket.wait() {
-                Ok(solved) => {
-                    // Count the decision only for work that completed —
-                    // a rejected or lost job never reached the race, so
-                    // it must not skew the selector counters.
-                    if let Some(kind) = decision {
-                        shared.decisions.count(kind);
-                    }
-                    shared
-                        .selector
-                        .lock()
-                        .unwrap()
-                        .observe(&class, &solved.outcome);
-                    (
-                        Response::Schedule(ScheduleReply {
-                            winner: solved.outcome.winner,
-                            awct: solved.outcome.awct,
-                            vc_steps: solved.outcome.vc_steps,
-                            vc_timed_out: solved.outcome.vc_timed_out,
-                            cached: solved.cached,
-                            copies: solved.outcome.schedule.copy_count(),
-                            policies: solved.outcome.policy_stats,
-                            schedule: return_schedule.then_some(solved.outcome.schedule),
-                        }),
-                        false,
-                    )
-                }
-                Err(e) => error(e),
-            }
+                policies,
+                mode,
+                steps,
+                early_cancel,
+                adaptive,
+                placement_seed,
+                return_schedule,
+                pending(span),
+            );
         }
         Request::Batch {
             bench,
@@ -607,51 +935,220 @@ fn execute(request: Request, shared: &Shared) -> (Response, bool) {
             steps,
             early_cancel,
             adaptive,
-        } => (
-            run_service_batch(
-                shared,
-                bench,
-                count,
-                seed,
-                machine,
-                policies,
-                portfolio,
-                steps,
-                early_cancel,
-                adaptive,
-            ),
-            false,
-        ),
-        Request::Stats => (Response::Stats(stats(shared)), false),
-        Request::Metrics => (
-            Response::Metrics {
-                metrics: serde_json::to_value(&vcsched_obs::global().snapshot()),
-            },
-            false,
-        ),
-        Request::Ping { delay_ms } => match shared.pool.probe(delay_ms) {
-            Ok(ticket) => match ticket.wait() {
-                Ok(delay) => (
-                    Response::Pong {
-                        delay_ms: delay.as_millis() as u64,
-                    },
-                    false,
-                ),
-                Err(e) => (
-                    Response::Error {
-                        error: e,
+            stream,
+        } => {
+            if stream && id.is_none() {
+                finish_inline(
+                    conn,
+                    slot,
+                    id,
+                    rm,
+                    start,
+                    span,
+                    &Response::Error {
+                        error: "streaming batches need a request id (block frames are \
+                                matched to their batch by `id`)"
+                            .to_owned(),
                         retry_after_ms: None,
                     },
-                    false,
-                ),
-            },
-            Err(e) => (submit_error(e), false),
-        },
-        Request::Shutdown => {
-            shared.request_stop();
-            (Response::Bye, true)
+                );
+            } else {
+                conn.open += 1;
+                batch_request(
+                    shared,
+                    BatchArgs {
+                        bench,
+                        count,
+                        seed,
+                        machine,
+                        policies,
+                        portfolio,
+                        steps,
+                        early_cancel,
+                        adaptive,
+                    },
+                    stream,
+                    pending(span),
+                );
+            }
         }
     }
+}
+
+/// Runs a `ping` through the pool's probe path, replying from the
+/// worker's completion callback.
+fn ping_request(shared: &Arc<Shared>, delay_ms: u64, pending: PendingReply) {
+    let cell = Arc::new(Mutex::new(Some(pending)));
+    let callback_cell = Arc::clone(&cell);
+    let result = shared.pool.probe_with(delay_ms, move |delay| {
+        if let Some(mut p) = callback_cell.lock().unwrap().take() {
+            p.send(
+                &Response::Pong {
+                    delay_ms: delay.as_millis() as u64,
+                },
+                true,
+            );
+        }
+    });
+    if let Err(e) = result {
+        // The pool dropped the un-run callback; reclaim the reply and
+        // send the real rejection instead of the Drop fallback.
+        if let Some(mut p) = cell.lock().unwrap().take() {
+            p.send(&submit_error(e), true);
+        }
+    }
+}
+
+/// Runs a `schedule` request: resolve, (optionally) narrow adaptively,
+/// admit to the pool, and reply from the worker's callback.
+#[allow(clippy::too_many_arguments)] // mirrors the wire request's fields
+fn schedule_request(
+    shared: &Arc<Shared>,
+    block: Superblock,
+    machine: String,
+    policies: Option<Vec<String>>,
+    mode: Option<ScheduleMode>,
+    steps: Option<u64>,
+    early_cancel: Option<bool>,
+    adaptive: Option<bool>,
+    placement_seed: Option<u64>,
+    return_schedule: bool,
+    mut pending: PendingReply,
+) {
+    let fail = |pending: &mut PendingReply, msg: String| {
+        pending.send(
+            &Response::Error {
+                error: msg,
+                retry_after_ms: None,
+            },
+            true,
+        );
+    };
+    let machine_name = machine;
+    let machine = match crate::machine_by_name(&machine_name) {
+        Ok(m) => m,
+        Err(e) => return fail(&mut pending, e),
+    };
+    let configured = match resolve_policies(
+        policies,
+        mode.map(|m| m == ScheduleMode::Portfolio),
+        &machine_name,
+        &shared.config,
+    ) {
+        Ok(p) => p,
+        Err(e) => return fail(&mut pending, e),
+    };
+    let class = BlockClass::of(&block, &machine);
+    let mut decision = None;
+    let mut seq_used = None;
+    let policies = if adaptive.unwrap_or(shared.config.default_adaptive) {
+        // The reactor thread is the only dispatcher of one-off schedule
+        // requests, so reading the sequence here and advancing it only
+        // after admission succeeds is race-free — and it keeps a
+        // queue-full rejection from consuming an ε-draw, which would
+        // permanently shift every later adaptive decision.
+        let seq = shared.explore_seq.load(Ordering::Relaxed);
+        let draw = explore_draw(shared.config.adaptive.seed, seq);
+        let (kind, narrowed) = shared.selector.lock().unwrap().select(
+            &class,
+            &configured,
+            &shared.config.adaptive,
+            draw,
+        );
+        decision = Some(kind);
+        seq_used = Some(seq);
+        narrowed
+    } else {
+        configured
+    };
+    let homes = live_in_placement(
+        &block,
+        machine.cluster_count(),
+        placement_seed.unwrap_or(shared.config.default_placement_seed),
+    );
+    let problem = Problem {
+        block,
+        machine,
+        homes,
+        options: PolicyOptions {
+            max_dp_steps: steps.unwrap_or(shared.config.default_steps),
+            policies,
+            early_cancel: early_cancel.unwrap_or(shared.config.default_early_cancel),
+        },
+    };
+    let cell = Arc::new(Mutex::new(Some(pending)));
+    let callback_cell = Arc::clone(&cell);
+    let result = shared.pool.try_submit_with(problem, move |solved| {
+        if let Some(mut p) = callback_cell.lock().unwrap().take() {
+            // Count the decision only for work that completed — a
+            // rejected or lost job never reached the race, so it must
+            // not skew the selector counters.
+            if let Some(kind) = decision {
+                p.shared.decisions.count(kind);
+            }
+            p.shared
+                .selector
+                .lock()
+                .unwrap()
+                .observe(&class, &solved.outcome);
+            let copies = solved.outcome.schedule.copy_count();
+            p.send(
+                &Response::Schedule(ScheduleReply {
+                    winner: solved.outcome.winner,
+                    awct: solved.outcome.awct,
+                    vc_steps: solved.outcome.vc_steps,
+                    vc_timed_out: solved.outcome.vc_timed_out,
+                    cached: solved.cached,
+                    copies,
+                    policies: solved.outcome.policy_stats,
+                    schedule: return_schedule.then_some(solved.outcome.schedule),
+                }),
+                true,
+            );
+        }
+    });
+    match result {
+        Ok(()) => {
+            if let Some(seq) = seq_used {
+                shared.explore_seq.store(seq + 1, Ordering::Relaxed);
+            }
+        }
+        Err(e) => {
+            if let Some(mut p) = cell.lock().unwrap().take() {
+                p.send(&submit_error(e), true);
+            }
+        }
+    }
+}
+
+/// The `batch` request's wire fields, bundled for the helper thread.
+struct BatchArgs {
+    bench: String,
+    count: usize,
+    seed: u64,
+    machine: String,
+    policies: Option<Vec<String>>,
+    portfolio: Option<bool>,
+    steps: Option<u64>,
+    early_cancel: Option<bool>,
+    adaptive: Option<bool>,
+}
+
+/// Runs a `batch` request on a helper thread (admission blocks for
+/// queue space — that thread is the backpressure, not the reactor).
+/// With `stream`, every solved block is sent as a `block` frame before
+/// the final summary.
+fn batch_request(shared: &Arc<Shared>, args: BatchArgs, stream: bool, pending: PendingReply) {
+    let shared = Arc::clone(shared);
+    std::thread::spawn(move || {
+        let mut pending = pending;
+        let response = run_service_batch(&shared, args, &mut |frame| {
+            if stream {
+                pending.send(&Response::Block(frame), false);
+            }
+        });
+        pending.send(&response, true);
+    });
 }
 
 fn submit_error(e: SubmitError) -> Response {
@@ -669,30 +1166,39 @@ fn submit_error(e: SubmitError) -> Response {
 }
 
 /// Runs a `batch` request: every block is admitted to the shared pool
-/// (blocking for queue space — the requesting connection is the
-/// backpressure), results are aggregated with the engine's summary code.
+/// (blocking for queue space), solved blocks are reported through
+/// `emit_block` in corpus order, and results are aggregated with the
+/// engine's summary code.
 ///
 /// An adaptive batch plans every block's set against a snapshot of the
 /// server's selector taken up front (the same snapshot-then-fold
 /// discipline as the engine's `run_batch_with_selector`), then folds the
 /// outcomes back into the live table.
-#[allow(clippy::too_many_arguments)] // mirrors the wire request's fields
+///
+/// If admission fails mid-batch, every already-admitted ticket is still
+/// waited out before the error returns — abandoning live tickets would
+/// leave workers computing results nobody collects and (with callback
+/// tickets) leak "job lost" replies at pool teardown.
 fn run_service_batch(
     shared: &Shared,
-    bench: String,
-    count: usize,
-    seed: u64,
-    machine: String,
-    policies: Option<Vec<String>>,
-    portfolio: Option<bool>,
-    steps: Option<u64>,
-    early_cancel: Option<bool>,
-    adaptive: Option<bool>,
+    args: BatchArgs,
+    emit_block: &mut dyn FnMut(BlockReply),
 ) -> Response {
     let error = |msg: String| Response::Error {
         error: msg,
         retry_after_ms: None,
     };
+    let BatchArgs {
+        bench,
+        count,
+        seed,
+        machine,
+        policies,
+        portfolio,
+        steps,
+        early_cancel,
+        adaptive,
+    } = args;
     let machine_name = machine;
     let machine = match crate::machine_by_name(&machine_name) {
         Ok(m) => m,
@@ -730,6 +1236,7 @@ fn run_service_batch(
     // corpus order — the same order-preserving contract as the batch
     // engine's scatter, so summaries match `vcsched batch` exactly.
     let mut tickets = Vec::with_capacity(blocks.len());
+    let mut failure = None;
     for (i, sb) in blocks.iter().enumerate() {
         let homes = live_in_placement(
             sb,
@@ -751,15 +1258,41 @@ fn run_service_batch(
         };
         match shared.pool.submit(problem) {
             Ok(t) => tickets.push(t),
-            Err(e) => return error(format!("batch admission failed: {e}")),
+            Err(e) => {
+                // Earlier blocks are already in flight; fall through to
+                // the wait loop so they are drained, not abandoned.
+                failure = Some(format!("batch admission failed at block {i}: {e}"));
+                break;
+            }
         }
     }
+    let drained = tickets.len();
     let mut per_block = Vec::with_capacity(tickets.len());
-    for ticket in tickets {
+    for (i, ticket) in tickets.into_iter().enumerate() {
         match ticket.wait() {
-            Ok(solved) => per_block.push((solved.outcome, solved.cached)),
-            Err(e) => return error(format!("batch job lost: {e}")),
+            Ok(solved) => {
+                if failure.is_none() {
+                    emit_block(BlockReply {
+                        index: i,
+                        winner: solved.outcome.winner.clone(),
+                        awct: solved.outcome.awct,
+                        cached: solved.cached,
+                        copies: solved.outcome.schedule.copy_count(),
+                    });
+                }
+                per_block.push((solved.outcome, solved.cached));
+            }
+            Err(e) => {
+                if failure.is_none() {
+                    failure = Some(format!("batch job lost at block {i}: {e}"));
+                }
+            }
         }
+    }
+    if let Some(msg) = failure {
+        return error(format!(
+            "{msg}; drained {drained} admitted jobs before aborting"
+        ));
     }
     // Count decisions and fold observations only now that every block
     // completed — an aborted batch must not skew the selector counters.
@@ -829,6 +1362,8 @@ fn stats(shared: &Shared) -> StatsReply {
                 })
                 .collect(),
         },
+        connections_open: shared.conns_open.load(Ordering::Relaxed),
+        connections_total: shared.conns_total.load(Ordering::Relaxed),
         adaptive: Some({
             let selector = shared.selector.lock().unwrap();
             SelectorStatsReply {
@@ -841,5 +1376,192 @@ fn stats(shared: &Shared) -> StatsReply {
         }),
         uptime_ms: shared.started.elapsed().as_millis() as u64,
         latency: crate::telemetry::latency_replies(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcsched_arch::OpClass;
+    use vcsched_ir::SuperblockBuilder;
+
+    fn test_shared(jobs: usize, queue: usize) -> Arc<Shared> {
+        let cache = Arc::new(open_cache(&BatchConfig::default()).unwrap());
+        Arc::new(Shared {
+            pool: SubmitPool::new(jobs, queue, cache),
+            config: ServiceConfig::default(),
+            addr: "127.0.0.1:0".parse().unwrap(),
+            stop: AtomicBool::new(false),
+            selector: Mutex::new(SelectorTable::default()),
+            explore_seq: AtomicU64::new(0),
+            decisions: DecisionCounters::default(),
+            started: Instant::now(),
+            conns_open: AtomicU64::new(0),
+            conns_total: AtomicU64::new(0),
+            completions: Mutex::new(Vec::new()),
+            waker: WakePipe::new().unwrap(),
+        })
+    }
+
+    fn test_block() -> Superblock {
+        let mut b = SuperblockBuilder::new("p");
+        let i = b.inst(OpClass::Int, 1);
+        let x = b.exit(1, 1.0);
+        b.data_dep(i, x);
+        b.build().unwrap()
+    }
+
+    fn test_pending(shared: &Arc<Shared>, token: u64) -> PendingReply {
+        PendingReply {
+            shared: Arc::clone(shared),
+            token,
+            slot: None,
+            id: None,
+            metrics: crate::telemetry::request_metrics("schedule"),
+            start: Instant::now(),
+            span: None,
+            done: false,
+        }
+    }
+
+    /// Pops the next queued completion, waiting for a worker to push it.
+    fn wait_completion(shared: &Shared) -> Completion {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            {
+                let mut queue = shared.completions.lock().unwrap();
+                if !queue.is_empty() {
+                    return queue.remove(0);
+                }
+            }
+            assert!(Instant::now() < deadline, "no completion within 30s");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    fn schedule_adaptive(shared: &Arc<Shared>) {
+        schedule_request(
+            shared,
+            test_block(),
+            "2c".to_owned(),
+            None,
+            None,
+            None,
+            None,
+            Some(true),
+            None,
+            false,
+            test_pending(shared, 7),
+        );
+    }
+
+    /// Satellite fix: a queue-full rejection must not consume an
+    /// ε-exploration draw — the sequence advances only once the pool
+    /// actually admits the adaptive schedule request.
+    #[test]
+    fn rejected_adaptive_schedule_does_not_consume_an_explore_draw() {
+        let shared = test_shared(1, 1);
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        // Occupy the single worker for a long moment...
+        let tx = done_tx.clone();
+        shared
+            .pool
+            .probe_with(300, move |_| {
+                let _ = tx.send(());
+            })
+            .unwrap();
+        // ...and then the single queue slot (retrying until the worker
+        // has dequeued the first probe and the slot frees up).
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let tx = done_tx.clone();
+            match shared.pool.probe_with(300, move |_| {
+                let _ = tx.send(());
+            }) {
+                Ok(()) => break,
+                Err(SubmitError::Saturated { .. }) => {
+                    assert!(Instant::now() < deadline, "queue never freed");
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) => panic!("probe failed: {e}"),
+            }
+        }
+        // Saturated pool: the adaptive schedule is rejected and must
+        // leave the exploration sequence untouched.
+        schedule_adaptive(&shared);
+        let rejected = wait_completion(&shared);
+        assert!(rejected.done);
+        assert!(
+            rejected.line.contains("retry_after_ms"),
+            "expected a saturation rejection, got {}",
+            rejected.line
+        );
+        assert_eq!(shared.explore_seq.load(Ordering::Relaxed), 0);
+        // Let both probes finish, then the same request is admitted and
+        // consumes exactly the first draw.
+        done_rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        done_rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        schedule_adaptive(&shared);
+        let solved = wait_completion(&shared);
+        assert!(solved.done);
+        assert!(
+            solved.line.contains("\"type\":\"schedule\""),
+            "expected a schedule reply, got {}",
+            solved.line
+        );
+        assert_eq!(shared.explore_seq.load(Ordering::Relaxed), 1);
+    }
+
+    /// Satellite fix: when admission fails mid-batch, the already
+    /// admitted tickets are waited out (drained) before the error
+    /// returns, instead of being abandoned with workers mid-solve.
+    #[test]
+    fn batch_admission_failure_drains_admitted_tickets() {
+        let shared = test_shared(1, 1);
+        // Sabotage admission partway through: once two blocks have been
+        // accepted, shut the pool down so the next blocking submit
+        // fails.
+        let saboteur_shared = Arc::clone(&shared);
+        let saboteur = std::thread::spawn(move || {
+            while saboteur_shared.pool.counters().0 < 2 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            saboteur_shared.pool.shutdown();
+        });
+        let mut frames = 0usize;
+        let response = run_service_batch(
+            &shared,
+            BatchArgs {
+                bench: "099.go".to_owned(),
+                count: 48,
+                seed: 7,
+                machine: "2c".to_owned(),
+                policies: None,
+                portfolio: None,
+                steps: None,
+                early_cancel: None,
+                adaptive: None,
+            },
+            &mut |_| frames += 1,
+        );
+        let (accepted, _, completed_at_return) = shared.pool.counters();
+        saboteur.join().unwrap();
+        let Response::Error { error, .. } = response else {
+            panic!("expected an admission-failure error, got {response:?}");
+        };
+        assert!(
+            error.contains("batch admission failed"),
+            "unexpected error: {error}"
+        );
+        assert!(error.contains("drained"), "unexpected error: {error}");
+        assert_eq!(frames, 0, "an aborted batch must not stream blocks");
+        assert!(accepted >= 2, "saboteur fired before two admissions");
+        // Drained: every admitted job ran to completion before the
+        // error returned (the worker's counter increment can trail the
+        // final reply by one).
+        assert!(
+            completed_at_return + 1 >= accepted,
+            "returned with {completed_at_return} of {accepted} admitted jobs complete"
+        );
     }
 }

@@ -64,6 +64,28 @@ pub(crate) fn invalid_requests() -> &'static Counter {
     CELL.get_or_init(|| vcsched_obs::global().counter("service_invalid_requests_total"))
 }
 
+/// `service_reactor_fds`: descriptors registered with the reactor's
+/// poller (listener + wakeup pipe + connections), summed over in-process
+/// servers.
+pub(crate) fn reactor_fds() -> &'static Gauge {
+    static CELL: OnceLock<Gauge> = OnceLock::new();
+    CELL.get_or_init(|| vcsched_obs::global().gauge("service_reactor_fds"))
+}
+
+/// `service_reactor_wakeups_total`: times the reactor's wakeup pipe
+/// became readable (completion batches and stop signals, coalesced).
+pub(crate) fn reactor_wakeups() -> &'static Counter {
+    static CELL: OnceLock<Counter> = OnceLock::new();
+    CELL.get_or_init(|| vcsched_obs::global().counter("service_reactor_wakeups_total"))
+}
+
+/// `service_reactor_write_buffer_bytes`: reply bytes buffered on
+/// connections whose sockets have not yet accepted them.
+pub(crate) fn reactor_write_buffer() -> &'static Gauge {
+    static CELL: OnceLock<Gauge> = OnceLock::new();
+    CELL.get_or_init(|| vcsched_obs::global().gauge("service_reactor_write_buffer_bytes"))
+}
+
 /// The `stats` reply's latency section: one row per request type, read
 /// from the registry's `service_request_us` histograms.
 pub(crate) fn latency_replies() -> Vec<LatencyReply> {

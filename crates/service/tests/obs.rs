@@ -128,6 +128,7 @@ fn stats_reply_reports_uptime_and_latency_quantiles() {
         steps: Some(5_000),
         early_cancel: None,
         adaptive: None,
+        stream: false,
     };
     assert!(client.request(&batch).expect("reply").is_ok());
 

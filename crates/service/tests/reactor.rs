@@ -1,0 +1,324 @@
+//! Reactor-core integration tests over real loopback sockets: request
+//! ids and out-of-order pipelining, streamed batch framing, byte-level
+//! compatibility for id-less clients, invalid-request accounting, and a
+//! 64-connection soak with exact connection/request bookkeeping.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use serde::Deserialize;
+use vcsched_obs::{MetricValue, Snapshot};
+use vcsched_service::{serve, Client, Request, Response, ServerHandle, ServiceConfig};
+
+fn small_server(jobs: usize, queue: usize) -> ServerHandle {
+    serve(ServiceConfig {
+        addr: "127.0.0.1:0".into(),
+        jobs,
+        queue_capacity: queue,
+        cache_shards: 4,
+        max_request_bytes: 8 * 1024,
+        ..ServiceConfig::default()
+    })
+    .expect("server starts")
+}
+
+fn batch_request(stream: bool) -> Request {
+    Request::Batch {
+        bench: "130.li".into(),
+        count: 6,
+        seed: 3,
+        machine: "2c".into(),
+        policies: None,
+        portfolio: Some(false),
+        steps: Some(5_000),
+        early_cancel: None,
+        adaptive: None,
+        stream,
+    }
+}
+
+/// Reads the process-global invalid-request counter through the
+/// `metrics` verb (process-global, so tests assert deltas).
+fn invalid_requests(client: &mut Client) -> u64 {
+    let Response::Metrics { metrics } = client.request(&Request::Metrics).expect("metrics") else {
+        panic!("expected metrics reply");
+    };
+    let snapshot = Snapshot::from_value(&metrics).expect("snapshot parses");
+    snapshot
+        .metrics
+        .iter()
+        .find(|m| m.name == "service_invalid_requests_total")
+        .map(|m| match &m.value {
+            MetricValue::Counter(n) => *n,
+            other => panic!("unexpected metric kind: {other:?}"),
+        })
+        .unwrap_or(0)
+}
+
+/// Id'd requests pipeline: replies carry the id back and may complete
+/// out of order, so a fast request is not stuck behind a slow one.
+#[test]
+fn pipelined_ids_complete_out_of_order() {
+    let server = small_server(2, 8);
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    // One slow ping, one instant ping, one inline stats — sent
+    // back-to-back without reading. The slow ping must come back last.
+    client
+        .send(&Request::Ping { delay_ms: 600 }, Some(1))
+        .expect("send slow ping");
+    client
+        .send(&Request::Ping { delay_ms: 0 }, Some(2))
+        .expect("send fast ping");
+    client.send(&Request::Stats, Some(3)).expect("send stats");
+
+    let (id, first) = client.recv().expect("first reply");
+    assert_eq!(id, Some(3), "inline stats overtakes both pings");
+    assert!(matches!(first, Response::Stats(_)));
+    let (id, second) = client.recv().expect("second reply");
+    assert_eq!(id, Some(2), "the fast ping overtakes the slow one");
+    assert!(matches!(second, Response::Pong { delay_ms: 0 }));
+    let (id, third) = client.recv().expect("third reply");
+    assert_eq!(id, Some(1));
+    assert!(matches!(third, Response::Pong { delay_ms: 600 }));
+
+    client.request(&Request::Shutdown).expect("shutdown");
+    server.join();
+}
+
+/// Id-less pipelined requests keep the legacy contract: one reply line
+/// per request, in request order, even when later requests finish
+/// first on the pool.
+#[test]
+fn idless_pipelining_preserves_request_order() {
+    let server = small_server(2, 8);
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    client
+        .send(&Request::Ping { delay_ms: 500 }, None)
+        .expect("send slow ping");
+    client.send(&Request::Stats, None).expect("send stats");
+
+    // The stats reply is computed immediately but must be held until
+    // the slow ping's slot emits.
+    let (id, first) = client.recv().expect("first reply");
+    assert_eq!(id, None);
+    assert!(
+        matches!(first, Response::Pong { delay_ms: 500 }),
+        "id-less replies must arrive in request order, got {first:?}"
+    );
+    let (id, second) = client.recv().expect("second reply");
+    assert_eq!(id, None);
+    assert!(matches!(second, Response::Stats(_)));
+
+    client.request(&Request::Shutdown).expect("shutdown");
+    server.join();
+}
+
+/// A client that never sends ids sees byte-identical replies to the
+/// pre-id protocol: no `id` key, same field order.
+#[test]
+fn legacy_idless_replies_are_byte_identical() {
+    let server = small_server(1, 4);
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    let raw = client
+        .request_raw(r#"{"type":"ping","delay_ms":0}"#)
+        .expect("pong");
+    assert_eq!(raw, r#"{"ok":true,"type":"pong","delay_ms":0}"#);
+
+    let raw = client.request_raw(r#"{"type":"shutdown"}"#).expect("bye");
+    assert_eq!(raw, r#"{"ok":true,"type":"bye"}"#);
+    server.join();
+}
+
+/// A streamed batch sends one `block` frame per solved block — all
+/// tagged with the batch's id, indices in corpus order — before the
+/// summary frame, and the summary's scheduling results are identical
+/// to a plain (unstreamed) batch of the same corpus.
+#[test]
+fn streamed_batch_frames_precede_an_identical_summary() {
+    let server = small_server(2, 16);
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    // Plain batch first: the reference summary (and a warm cache, so
+    // the streamed run below reports cached blocks).
+    let Response::Batch { summary: plain } =
+        client.request(&batch_request(false)).expect("plain batch")
+    else {
+        panic!("expected batch summary");
+    };
+
+    client
+        .send(&batch_request(true), Some(9))
+        .expect("send streamed batch");
+    let mut frames = Vec::new();
+    let streamed = loop {
+        let (id, response) = client.recv().expect("frame");
+        assert_eq!(id, Some(9), "every frame carries the batch id");
+        match response {
+            Response::Block(frame) => frames.push(frame),
+            Response::Batch { summary } => break summary,
+            other => panic!("unexpected frame {other:?}"),
+        }
+    };
+
+    let indices: Vec<usize> = frames.iter().map(|f| f.index).collect();
+    assert_eq!(indices, vec![0, 1, 2, 3, 4, 5], "corpus order");
+    assert!(
+        frames.iter().all(|f| f.cached),
+        "second run over the same corpus is served from cache"
+    );
+    assert!(frames.iter().all(|f| f.awct > 0.0));
+
+    // The streamed summary matches the plain one on everything the
+    // scheduler decided (wall-clock and cache counters legitimately
+    // differ between the two runs).
+    for key in [
+        "corpus",
+        "machine",
+        "blocks",
+        "wins",
+        "vc_timeouts",
+        "aggregate_awct",
+        "total_weighted_cycles",
+        "policies",
+    ] {
+        assert_eq!(
+            streamed.get(key),
+            plain.get(key),
+            "summary field `{key}` must not change with streaming"
+        );
+    }
+    let winners: Vec<&str> = frames.iter().map(|f| f.winner.as_str()).collect();
+    assert!(!winners.is_empty());
+
+    // stream:true without an id is a protocol error, not a hang.
+    let raw = client
+        .request_raw(
+            r#"{"type":"batch","bench":"130.li","count":2,"seed":3,"machine":"2c","stream":true}"#,
+        )
+        .expect("error reply");
+    assert!(raw.contains("streaming batches need a request id"), "{raw}");
+
+    client.request(&Request::Shutdown).expect("shutdown");
+    server.join();
+}
+
+/// All three rejection paths — non-UTF-8 lines, oversized lines, and
+/// parse failures — count toward `service_invalid_requests_total`.
+/// (The counter is process-global, so the assertion is a delta.)
+#[test]
+fn every_rejection_path_counts_an_invalid_request() {
+    let server = small_server(1, 4);
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let before = invalid_requests(&mut client);
+
+    let mut raw = TcpStream::connect(server.addr()).expect("connect");
+    let mut reader = BufReader::new(raw.try_clone().unwrap());
+    let mut line = String::new();
+
+    // 1. Not UTF-8: error reply, connection survives.
+    raw.write_all(b"\xff\xfe junk \xff\n").expect("send");
+    reader.read_line(&mut line).expect("reply");
+    assert!(line.contains("UTF-8"), "{line}");
+
+    // 2. Parse failure: error reply, connection survives.
+    line.clear();
+    raw.write_all(b"{not json\n").expect("send");
+    reader.read_line(&mut line).expect("reply");
+    assert!(line.contains("invalid request"), "{line}");
+
+    // 3. Oversized line (no newline until past the cap): error reply,
+    // connection closed.
+    let junk = vec![b'x'; 16 * 1024];
+    raw.write_all(&junk).expect("send");
+    raw.flush().unwrap();
+    line.clear();
+    reader.read_line(&mut line).expect("reply");
+    assert!(line.contains("exceeds"), "{line}");
+
+    let after = invalid_requests(&mut client);
+    assert!(
+        after >= before + 3,
+        "all three rejection paths must count: before={before} after={after}"
+    );
+
+    client.request(&Request::Shutdown).expect("shutdown");
+    server.join();
+}
+
+/// 64 concurrent connections ping through one reactor thread; `stats`
+/// accounts for every connection and every admitted probe exactly.
+#[test]
+fn soak_64_connections_with_exact_accounting() {
+    const CONNS: usize = 64;
+    const PINGS: u64 = 3;
+    let server = serve(ServiceConfig {
+        addr: "127.0.0.1:0".into(),
+        jobs: 4,
+        queue_capacity: 256,
+        cache_shards: 4,
+        ..ServiceConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.addr();
+
+    // Every worker pings, then holds its connection open across the
+    // first barrier (so stats sees all 65) until the second releases.
+    let pinged = Arc::new(Barrier::new(CONNS + 1));
+    let release = Arc::new(Barrier::new(CONNS + 1));
+    let workers: Vec<_> = (0..CONNS)
+        .map(|_| {
+            let pinged = Arc::clone(&pinged);
+            let release = Arc::clone(&release);
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("connect");
+                for _ in 0..PINGS {
+                    let pong = c.request(&Request::Ping { delay_ms: 0 }).expect("pong");
+                    assert!(matches!(pong, Response::Pong { delay_ms: 0 }));
+                }
+                pinged.wait();
+                release.wait();
+            })
+        })
+        .collect();
+
+    let mut client = Client::connect(addr).expect("connect");
+    pinged.wait();
+    let Response::Stats(stats) = client.request(&Request::Stats).expect("stats") else {
+        panic!("expected stats");
+    };
+    assert_eq!(stats.connections_open, CONNS as u64 + 1, "{stats:?}");
+    assert_eq!(stats.connections_total, CONNS as u64 + 1, "{stats:?}");
+    assert_eq!(stats.accepted, CONNS as u64 * PINGS, "every probe admitted");
+    assert_eq!(stats.rejected, 0, "queue 256 never saturates");
+    // The worker's completed-counter increment can trail the last
+    // reply by a beat; every probe's reply has been received already.
+    assert!(stats.completed + 4 >= CONNS as u64 * PINGS, "{stats:?}");
+    release.wait();
+    for w in workers {
+        w.join().expect("worker");
+    }
+
+    // After the soak clients hang up, the reactor retires their
+    // connections; only this stats client remains.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let Response::Stats(stats) = client.request(&Request::Stats).expect("stats") else {
+            panic!("expected stats");
+        };
+        if stats.connections_open == 1 {
+            assert_eq!(stats.connections_total, CONNS as u64 + 1);
+            assert_eq!(stats.completed, CONNS as u64 * PINGS);
+            break;
+        }
+        assert!(Instant::now() < deadline, "connections never retired");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    client.request(&Request::Shutdown).expect("shutdown");
+    server.join();
+}

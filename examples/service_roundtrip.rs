@@ -140,6 +140,7 @@ fn main() {
             steps: Some(5_000),
             early_cancel: None,
             adaptive: None,
+            stream: false,
         })
         .expect("response")
     {

@@ -45,15 +45,16 @@ USAGE:
                   [--machine-policies M=P,P[;M=P,P…]] [--early-cancel]
                   [--adaptive] [--adaptive-seed N] [--adaptive-epsilon F]
                   [--adaptive-top-k N] [--adaptive-min-obs N]
-                  [--max-request BYTES] [--trace-out FILE [--obs-sample N]]
-    vcsched request [--addr HOST:PORT] (stats | metrics [--metrics-text]
+                  [--max-request BYTES] [--max-conns N]
+                  [--trace-out FILE [--obs-sample N]]
+    vcsched request [--addr HOST:PORT] [--id N] (stats | metrics [--metrics-text]
                   | shutdown | ping [--delay-ms N]
                   | schedule --block FILE [--machine M] [--policies P,P,…]
                     [--mode single|portfolio] [--steps N] [--early-cancel]
                     [--adaptive] [--placement-seed N] [--return-schedule]
                   | batch [--bench NAME] [--count N] [--seed N] [--machine M]
                     [--policies P,P,…] [--portfolio] [--steps N]
-                    [--early-cancel] [--adaptive]
+                    [--early-cancel] [--adaptive] [--stream]
                   | --json LINE)
     vcsched top [--addr HOST:PORT] [--interval SECS] [--count N]
     vcsched demo
@@ -99,9 +100,17 @@ SERVE / REQUEST:
     into its selector table either way and persists it next to the
     cache. All schedules flow through the sharded cache; `stats`
     reports queue depth, per-policy win/step totals, per-shard
-    hit/eviction counters and selector counters. `request` is the
-    matching thin client; `--json LINE` sends a raw protocol line. A
-    `shutdown` request drains in-flight work, then exits.
+    hit/eviction counters and selector counters. The server runs one
+    readiness-driven reactor thread (epoll) over all connections
+    (--max-conns caps them, default 1024); requests may carry an
+    \"id\" for pipelining — id'd replies echo the id and may complete
+    out of order, id-less requests keep strict one-reply-per-line
+    order. A batch with \"stream\":true (needs an id) sends one
+    {\"type\":\"block\",...} frame per solved block before the summary.
+    `request` is the matching thin client (--id tags the request,
+    --stream prints batch frames as they arrive); `--json LINE` sends
+    a raw protocol line. A `shutdown` request drains in-flight work,
+    then exits.
 
 OBSERVABILITY:
     Every layer dual-writes into a process-global metrics registry
@@ -529,6 +538,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         cache_shards: parse("--cache-shards", "8")?,
         cache_dir: flag_value(args, "--cache").map(Into::into),
         max_request_bytes: parse("--max-request", "1048576")?,
+        max_connections: parse("--max-conns", "1024")?,
         default_steps: flag_value(args, "--steps")
             .unwrap_or("300000")
             .parse()
@@ -581,6 +591,7 @@ fn cmd_request(args: &[String]) -> Result<(), String> {
         "--early-cancel",
         "--adaptive",
         "--metrics-text",
+        "--stream",
     ];
     let mut verb = None;
     let mut i = 0;
@@ -661,10 +672,47 @@ fn cmd_request(args: &[String]) -> Result<(), String> {
             steps,
             early_cancel,
             adaptive,
+            stream: has_flag(args, "--stream"),
         },
         other => return Err(format!("unknown request verb `{other}`")),
     };
-    let response = client.request(&request)?;
+    let id: Option<u64> = match flag_value(args, "--id") {
+        Some(n) => Some(n.parse().map_err(|e| format!("--id: {e}"))?),
+        None => None,
+    };
+    if has_flag(args, "--stream") {
+        if verb != "batch" {
+            return Err("--stream only applies to the batch verb".into());
+        }
+        // Streaming needs an id on the wire (frames are matched to the
+        // batch by it); pick one when the caller did not.
+        client.send(&request, Some(id.unwrap_or(1)))?;
+        loop {
+            let raw = client.recv_raw()?;
+            println!("{raw}");
+            let parsed: vcsched::service::Response =
+                serde_json::from_str(&raw).map_err(|e| format!("bad response: {e}"))?;
+            if matches!(parsed, vcsched::service::Response::Block(_)) {
+                continue;
+            }
+            return if parsed.is_ok() {
+                Ok(())
+            } else {
+                Err("request failed (see response above)".to_owned())
+            };
+        }
+    }
+    // With --id the raw reply line is kept around so the echoed id
+    // (an envelope field the typed Response drops) reaches the output.
+    let (raw, response) = if id.is_some() {
+        client.send(&request, id)?;
+        let raw = client.recv_raw()?;
+        let parsed: vcsched::service::Response =
+            serde_json::from_str(&raw).map_err(|e| format!("bad response: {e}"))?;
+        (Some(raw), parsed)
+    } else {
+        (None, client.request(&request)?)
+    };
     match &response {
         vcsched::service::Response::Metrics { metrics } if has_flag(args, "--metrics-text") => {
             use serde::Deserialize;
@@ -672,10 +720,17 @@ fn cmd_request(args: &[String]) -> Result<(), String> {
                 .map_err(|e| format!("bad metrics snapshot: {e}"))?;
             print!("{}", snapshot.to_prometheus_text());
         }
-        _ => println!(
-            "{}",
-            serde_json::to_string_pretty(&response).map_err(|e| e.to_string())?
-        ),
+        _ => {
+            let rendered = match &raw {
+                Some(raw) => {
+                    let value: serde_json::Value =
+                        serde_json::from_str(raw).map_err(|e| format!("bad response: {e}"))?;
+                    serde_json::to_string_pretty(&value).map_err(|e| e.to_string())?
+                }
+                None => serde_json::to_string_pretty(&response).map_err(|e| e.to_string())?,
+            };
+            println!("{rendered}");
+        }
     }
     if response.is_ok() {
         Ok(())
