@@ -1,22 +1,30 @@
-//! `speculation_bench` — clone-based vs trail-based candidate study,
-//! raced over the golden corpus.
+//! `speculation_bench` — the three candidate-study engines raced over
+//! the golden corpus.
 //!
-//! Runs the virtual-cluster scheduler over every corpus block twice: once
-//! with the legacy clone-and-discard study engine
-//! (`Tuning::clone_study`), once with the trail-based delta/rollback
-//! engine (the default). The two engines are byte-identical by contract —
-//! same schedules, same AWCT, same deduction-step counts — so this driver
-//! is both the perf gate (blocks/sec, steps/sec, trail stats, estimated
-//! clone bytes avoided) and the drift gate: it **exits non-zero** if any
-//! block's AWCT, schedule or step count differs between the engines.
+//! Runs the virtual-cluster scheduler over every corpus block three
+//! times: with the legacy clone-and-discard study engine
+//! (`Tuning::clone_study`, compiled here via the `clone-study` feature),
+//! with the trail engine adopting winners by **re-deduction**
+//! (`Tuning::replay_deduction`), and with the default trail engine
+//! adopting winners by **redo replay** (recorded forward deltas, no
+//! re-deduction). All three are byte-identical by contract — same
+//! schedules, same AWCT, same deduction-step counts — so this driver is
+//! both the perf gate (blocks/sec, steps/sec, trail/redo stats,
+//! estimated clone bytes avoided) and the drift gate: it **exits
+//! non-zero** if any block's AWCT, schedule or step count differs
+//! between the engines.
 //!
 //! Writes one stable-schema JSON document (`BENCH_speculation.json` by
 //! default); CI uploads it as an artifact, so the repository accumulates
-//! a perf trajectory over time.
+//! a perf trajectory over time. The headline `speedup` is the redo
+//! engine's wall-clock advantage over the clone baseline, measured
+//! **paired**: within each repeat the engines run back-to-back and the
+//! speedup is the median of the per-repeat wall ratios, so shared-box
+//! scheduling noise cancels instead of polluting the comparison.
 //!
 //! With `--history FILE` the run also appends one timestamped
 //! `vcsched-bench-history/v1` row (see [`vcsched_bench::history`]) to a
-//! rolling JSONL trajectory, and `--baseline FILE` gates the trail
+//! rolling JSONL trajectory, and `--baseline FILE` gates the redo
 //! engine's blocks/sec against the baseline's most recent `speculation`
 //! row — exiting non-zero on a >10% regression (tolerance overridable
 //! via `VCSCHED_BENCH_TOLERANCE`).
@@ -48,43 +56,92 @@ fn obj(fields: Vec<(&str, Value)>) -> Value {
     Value::Object(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
 }
 
+/// Which candidate-study engine a pass runs.
+#[derive(Clone, Copy)]
+enum Engine {
+    /// Legacy clone-and-discard reference (`Tuning::clone_study`).
+    Clone,
+    /// Trail study, winner adopted by re-deducing the decision.
+    Rededuce,
+    /// Trail study, winner adopted by replaying its redo log (default).
+    Redo,
+}
+
+impl Engine {
+    fn tuning(self) -> Tuning {
+        Tuning {
+            clone_study: matches!(self, Engine::Clone),
+            replay_deduction: matches!(self, Engine::Rededuce),
+            ..Tuning::default()
+        }
+    }
+}
+
 /// One engine's pass over the corpus.
 struct EnginePass {
     attempts: Vec<VcAttempt>,
+    /// Wall clock per repeat, nanoseconds (paired across engines).
+    walls_ns: Vec<u64>,
     wall_ms: u64,
 }
 
-fn run_engine(
+/// Races all three engines with **paired** timing: within each repeat the
+/// engines run back-to-back over the whole corpus, so every repeat's
+/// ratio compares walls measured under the same machine conditions. The
+/// headline speedup is then a median over these paired ratios — robust
+/// against the scheduling noise a loaded box injects into any single
+/// pass, which an unpaired pass-per-engine layout soaks up directly.
+fn run_race(
     blocks: &[Superblock],
     machine: &MachineConfig,
     steps: u64,
     jobs: usize,
     repeats: u64,
-    clone_study: bool,
-) -> EnginePass {
-    let t0 = std::time::Instant::now();
-    let mut attempts = Vec::new();
+) -> [EnginePass; 3] {
+    const ENGINES: [Engine; 3] = [Engine::Clone, Engine::Rededuce, Engine::Redo];
+    let mut passes = ENGINES.map(|_| EnginePass {
+        attempts: Vec::new(),
+        walls_ns: Vec::new(),
+        wall_ms: 0,
+    });
     for _ in 0..repeats {
-        attempts = scatter(blocks.len(), jobs, |i| {
-            let sb = &blocks[i];
-            let homes = live_in_placement(sb, machine.cluster_count(), 0xC60_2007 ^ i as u64);
-            VcScheduler::with_options(
-                machine.clone(),
-                VcOptions {
-                    max_dp_steps: steps,
-                    tuning: Tuning {
-                        clone_study,
-                        ..Tuning::default()
+        for (slot, engine) in ENGINES.iter().enumerate() {
+            let t0 = std::time::Instant::now();
+            passes[slot].attempts = scatter(blocks.len(), jobs, |i| {
+                let sb = &blocks[i];
+                let homes = live_in_placement(sb, machine.cluster_count(), 0xC60_2007 ^ i as u64);
+                VcScheduler::with_options(
+                    machine.clone(),
+                    VcOptions {
+                        max_dp_steps: steps,
+                        tuning: engine.tuning(),
+                        ..VcOptions::default()
                     },
-                    ..VcOptions::default()
-                },
-            )
-            .try_schedule_with_live_ins(sb, &homes)
-        });
+                )
+                .try_schedule_with_live_ins(sb, &homes)
+            });
+            passes[slot].walls_ns.push(t0.elapsed().as_nanos() as u64);
+        }
     }
-    EnginePass {
-        attempts,
-        wall_ms: t0.elapsed().as_millis() as u64,
+    for pass in &mut passes {
+        pass.wall_ms = pass.walls_ns.iter().sum::<u64>() / 1_000_000;
+    }
+    passes
+}
+
+/// Median of the per-repeat paired wall ratios `num[i] / den[i]`.
+fn median_paired_ratio(num: &[u64], den: &[u64]) -> f64 {
+    let mut ratios: Vec<f64> = num
+        .iter()
+        .zip(den)
+        .map(|(&n, &d)| n.max(1) as f64 / d.max(1) as f64)
+        .collect();
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+    let k = ratios.len();
+    if k % 2 == 1 {
+        ratios[k / 2]
+    } else {
+        (ratios[k / 2 - 1] + ratios[k / 2]) / 2.0
     }
 }
 
@@ -170,58 +227,63 @@ fn run(args: &[String]) -> Result<bool, String> {
         .max(1);
     let blocks = CorpusSource::Jsonl(corpus.clone()).load()?;
 
-    let clone_pass = run_engine(&blocks, &machine, steps, jobs, repeats, true);
-    let trail_pass = run_engine(&blocks, &machine, steps, jobs, repeats, false);
+    let [clone_pass, rededuce_pass, redo_pass] = run_race(&blocks, &machine, steps, jobs, repeats);
 
-    // Drift gate: per-block results must be bit-identical across engines.
+    // Drift gate: per-block results must be bit-identical across all
+    // three engines, with the clone engine as the reference.
     let mut drift = 0usize;
-    for (i, (c, t)) in clone_pass
-        .attempts
-        .iter()
-        .zip(&trail_pass.attempts)
-        .enumerate()
-    {
-        let same = c.dp_steps == t.dp_steps
-            && match (&c.result, &t.result) {
-                (Ok(a), Ok(b)) => {
-                    a.awct == b.awct
-                        && a.schedule == b.schedule
-                        && a.stats.awct_bumps == b.stats.awct_bumps
-                }
-                (Err(a), Err(b)) => a == b,
-                _ => false,
-            };
-        if !same {
-            drift += 1;
-            eprintln!(
-                "speculation_bench: DRIFT on block {} ({}): clone steps {} vs trail steps {}",
-                i,
-                blocks[i].name(),
-                c.dp_steps,
-                t.dp_steps
-            );
+    for (name, pass) in [("rededuce", &rededuce_pass), ("redo", &redo_pass)] {
+        for (i, (c, t)) in clone_pass.attempts.iter().zip(&pass.attempts).enumerate() {
+            let same = c.dp_steps == t.dp_steps
+                && match (&c.result, &t.result) {
+                    (Ok(a), Ok(b)) => {
+                        a.awct == b.awct
+                            && a.schedule == b.schedule
+                            && a.stats.awct_bumps == b.stats.awct_bumps
+                    }
+                    (Err(a), Err(b)) => a == b,
+                    _ => false,
+                };
+            if !same {
+                drift += 1;
+                eprintln!(
+                    "speculation_bench: DRIFT on block {} ({}): clone steps {} vs {name} steps {}",
+                    i,
+                    blocks[i].name(),
+                    c.dp_steps,
+                    t.dp_steps
+                );
+            }
         }
     }
     let clone_awct = aggregate_awct(&blocks, &clone_pass);
-    let trail_awct = aggregate_awct(&blocks, &trail_pass);
-    let awct_match = clone_awct.to_bits() == trail_awct.to_bits() && drift == 0;
+    let rededuce_awct = aggregate_awct(&blocks, &rededuce_pass);
+    let redo_awct = aggregate_awct(&blocks, &redo_pass);
+    let awct_match = clone_awct.to_bits() == redo_awct.to_bits()
+        && clone_awct.to_bits() == rededuce_awct.to_bits()
+        && drift == 0;
 
-    let spec_total = |f: fn(&VcAttempt) -> u64| -> u64 { trail_pass.attempts.iter().map(f).sum() };
-    let trail_entries = spec_total(|a| a.spec.trail_entries);
-    let rollbacks = spec_total(|a| a.spec.rollbacks);
-    let bytes_not_cloned = spec_total(|a| a.spec.bytes_not_cloned);
-    let peak_depth = trail_pass
+    let spec_total =
+        |pass: &EnginePass, f: fn(&VcAttempt) -> u64| -> u64 { pass.attempts.iter().map(f).sum() };
+    let trail_entries = spec_total(&redo_pass, |a| a.spec.trail_entries);
+    let rollbacks = spec_total(&redo_pass, |a| a.spec.rollbacks);
+    let bytes_not_cloned = spec_total(&redo_pass, |a| a.spec.bytes_not_cloned);
+    let redo_entries = spec_total(&redo_pass, |a| a.spec.redo_entries);
+    let redo_replays = spec_total(&redo_pass, |a| a.spec.redo_replays);
+    let redo_bytes_replayed = spec_total(&redo_pass, |a| a.spec.redo_bytes_replayed);
+    let peak_depth = redo_pass
         .attempts
         .iter()
         .map(|a| a.spec.peak_trail_depth)
         .max()
         .unwrap_or(0);
-    let speedup = clone_pass.wall_ms.max(1) as f64 / trail_pass.wall_ms.max(1) as f64;
+    let speedup = median_paired_ratio(&clone_pass.walls_ns, &redo_pass.walls_ns);
+    let rededuce_speedup = median_paired_ratio(&clone_pass.walls_ns, &rededuce_pass.walls_ns);
 
     let report = obj(vec![
         (
             "schema",
-            Value::String("vcsched-bench-speculation/v1".into()),
+            Value::String("vcsched-bench-speculation/v2".into()),
         ),
         ("corpus", Value::String(corpus.display().to_string())),
         ("machine", Value::String(machine_key.to_owned())),
@@ -234,18 +296,31 @@ fn run(args: &[String]) -> Result<bool, String> {
             obj(mode_report(blocks.len(), repeats, &clone_pass, clone_awct)),
         ),
         (
-            "trail",
+            "rededuce",
+            obj(mode_report(
+                blocks.len(),
+                repeats,
+                &rededuce_pass,
+                rededuce_awct,
+            )),
+        ),
+        (
+            "redo",
             obj({
-                let mut fields = mode_report(blocks.len(), repeats, &trail_pass, trail_awct);
+                let mut fields = mode_report(blocks.len(), repeats, &redo_pass, redo_awct);
                 fields.push(("trail_entries", Value::UInt(trail_entries)));
                 fields.push(("rollbacks", Value::UInt(rollbacks)));
                 fields.push(("peak_trail_depth", Value::UInt(peak_depth)));
                 fields.push(("bytes_not_cloned", Value::UInt(bytes_not_cloned)));
+                fields.push(("redo_entries", Value::UInt(redo_entries)));
+                fields.push(("redo_replays", Value::UInt(redo_replays)));
+                fields.push(("redo_bytes_replayed", Value::UInt(redo_bytes_replayed)));
                 fields
             }),
         ),
         ("awct_match", Value::Bool(awct_match)),
         ("speedup", Value::Float(speedup)),
+        ("rededuce_speedup", Value::Float(rededuce_speedup)),
     ]);
     let text = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())? + "\n";
     std::fs::write(&out, &text).map_err(|e| format!("{}: {e}", out.display()))?;
@@ -260,7 +335,7 @@ fn run(args: &[String]) -> Result<bool, String> {
     if !awct_match {
         eprintln!(
             "speculation_bench: FAIL — engines drifted ({drift} blocks; clone AWCT {clone_awct} \
-             vs trail AWCT {trail_awct})"
+             vs rededuce AWCT {rededuce_awct} vs redo AWCT {redo_awct})"
         );
     }
 
@@ -269,11 +344,11 @@ fn run(args: &[String]) -> Result<bool, String> {
     // may name the same rolling file; the row is appended even on a
     // regression so the trajectory records the bad run.
     let total_blocks = blocks.len() as u64 * repeats;
-    let trail_bps = total_blocks as f64 / (trail_pass.wall_ms.max(1) as f64 / 1_000.0);
+    let redo_bps = total_blocks as f64 / (redo_pass.wall_ms.max(1) as f64 / 1_000.0);
     let clone_bps = total_blocks as f64 / (clone_pass.wall_ms.max(1) as f64 / 1_000.0);
     let gate = match flag(args, "--baseline") {
         Some(baseline) => {
-            vcsched_bench::history::check_regression(Path::new(baseline), "speculation", trail_bps)
+            vcsched_bench::history::check_regression(Path::new(baseline), "speculation", redo_bps)
         }
         None => Ok(()),
     };
@@ -284,7 +359,7 @@ fn run(args: &[String]) -> Result<bool, String> {
             blocks.len() as u64,
             repeats,
             jobs.max(1) as u64,
-            trail_bps,
+            redo_bps,
             vec![
                 ("clone_blocks_per_sec", Value::Float(clone_bps)),
                 ("speedup", Value::Float(speedup)),

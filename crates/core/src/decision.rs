@@ -3,14 +3,18 @@
 //! Studying is **trail-based** by default: a candidate is applied to the
 //! real state under an active speculation
 //! ([`SchedulingState::begin_speculation`]), its resulting score is
-//! snapshotted, and the state is rolled back bit-exactly — no clone. The
-//! paper's literal clone-and-discard mechanism survives as
-//! [`study_decision_cloned`] (selected by
-//! [`crate::state::Tuning::clone_study`]) so the differential tests and
-//! `speculation_bench` can prove the two engines byte-identical.
+//! snapshotted, and the state is rolled back bit-exactly — no clone.
+//! [`study_decision_with_redo`] additionally captures the forward deltas
+//! so the winner can be adopted by replay
+//! ([`SchedulingState::apply_redo`]) instead of re-deduction. The paper's
+//! literal clone-and-discard mechanism survives as
+//! [`study_decision_cloned`] behind the `clone-study` feature so the
+//! differential tests and `speculation_bench` can prove the engines
+//! byte-identical.
 
 use crate::dp::{self, Budget, DpAbort, Queue};
 use crate::state::{NodeId, SchedulingState, StateScore};
+use crate::trail::RedoLog;
 
 /// One candidate action over the scheduling state.
 ///
@@ -124,6 +128,33 @@ pub fn study_decision(
     outcome
 }
 
+/// Like [`study_decision`], but also captures the candidate's forward
+/// deltas as a [`RedoLog`]: if this candidate wins, the caller adopts it
+/// with [`SchedulingState::apply_redo`] — replaying the recorded
+/// mutations directly instead of re-running the whole deduction.
+///
+/// # Errors
+///
+/// As [`apply_decision`]; the state is rolled back (and the partial log
+/// discarded) on error too.
+pub fn study_decision_with_redo(
+    st: &mut SchedulingState,
+    decision: &Decision,
+    budget: &mut Budget,
+) -> Result<(StateScore, RedoLog), DpAbort> {
+    let mark = st.begin_speculation();
+    debug_assert!(st.trail.redo.is_empty(), "redo buffer drained per study");
+    st.trail.redo_on = true;
+    let applied = apply_decision(st, decision, budget);
+    st.trail.redo_on = false;
+    let outcome = applied.map(|()| st.score());
+    let log = RedoLog {
+        entries: std::mem::take(&mut st.trail.redo),
+    };
+    st.rollback(mark);
+    outcome.map(|score| (score, log))
+}
+
 /// Studies `decision` and, on success, keeps the applied deltas (commits
 /// the speculation) — the adopt-unconditionally path of stage 3. On
 /// contradiction or budget exhaustion the state is rolled back.
@@ -163,12 +194,14 @@ pub fn replay_decision(st: &mut SchedulingState, decision: &Decision) {
 
 /// Studies `decision` on a clone of `st` (the paper's literal §4.4.2
 /// mechanism): returns the resulting state on success so the caller can
-/// compare scores and adopt the winner without recomputing. Kept as the
-/// reference engine behind [`crate::state::Tuning::clone_study`].
+/// compare scores and adopt the winner without recomputing. A
+/// test-and-bench-only reference engine, compiled only with the
+/// `clone-study` feature.
 ///
 /// # Errors
 ///
 /// As [`apply_decision`].
+#[cfg(feature = "clone-study")]
 pub fn study_decision_cloned(
     st: &SchedulingState,
     decision: &Decision,

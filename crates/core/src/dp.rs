@@ -31,7 +31,7 @@ use vcsched_arch::{ClusterId, OpClass};
 use vcsched_graph::coloring::is_k_colorable;
 
 use crate::state::{Comm, CommKind, EdgeState, NodeId, NodeKind, SchedulingState};
-use crate::trail::TrailEntry;
+use crate::trail::{RedoEntry, TrailEntry};
 
 /// A contradiction: the current state admits no valid schedule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,6 +90,7 @@ pub struct Budget {
     spent: u64,
     deadline: Option<Instant>,
     check_counter: u32,
+    bytes_cap: Option<u64>,
 }
 
 impl Budget {
@@ -100,6 +101,28 @@ impl Budget {
             spent: 0,
             deadline,
             check_counter: 0,
+            bytes_cap: None,
+        }
+    }
+
+    /// Additionally caps the lifetime trail-work bytes (state bytes touched
+    /// by deduction mutations) — the honest cross-block-size budget unit.
+    /// `None` leaves behaviour unchanged.
+    pub fn with_byte_cap(mut self, cap: Option<u64>) -> Budget {
+        self.bytes_cap = cap;
+        self
+    }
+
+    /// Checks the lifetime trail-work meter against the byte cap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DpAbort::Budget`] when `work_bytes` exceeds the cap.
+    #[inline]
+    pub fn check_bytes(&self, work_bytes: u64) -> Result<(), DpAbort> {
+        match self.bytes_cap {
+            Some(cap) if work_bytes > cap => Err(DpAbort::Budget),
+            _ => Ok(()),
         }
     }
 
@@ -154,6 +177,8 @@ pub fn tighten_est(
         if st.trail.active {
             st.trail.push(TrailEntry::Est { n, old: st.est[n] });
         }
+        st.trail.redo(RedoEntry::Est { n, new: v });
+        st.trail.charge_bytes(16);
         st.est[n] = v;
         st.dirty = true;
         if st.est[n] > st.lst[n] {
@@ -175,6 +200,8 @@ pub fn tighten_lst(
         if st.trail.active {
             st.trail.push(TrailEntry::Lst { n, old: st.lst[n] });
         }
+        st.trail.redo(RedoEntry::Lst { n, new: v });
+        st.trail.charge_bytes(16);
         st.lst[n] = v;
         st.dirty = true;
         if st.est[n] > st.lst[n] {
@@ -196,20 +223,28 @@ pub fn add_dep_edge(
     if st.trail.active {
         st.trail.push(TrailEntry::DepEdge { from, to });
     }
+    st.trail.redo(RedoEntry::DepEdge { from, to, lat });
+    st.trail.charge_bytes(32);
     st.succ[from].push((to, lat));
     st.pred[to].push((from, lat));
     tighten_est(st, q, to, st.est[from] + lat)?;
     tighten_lst(st, q, from, st.lst[to] - lat)
 }
 
-/// Records `edges[e]`'s current resolution on the trail; call *before*
-/// mutating it.
+/// Writes `edges[e].state = new` through the trail: one undo record (the
+/// current resolution), one redo record (the new one), one work-bytes
+/// charge. Every edge-state mutation goes through here so the delta pair
+/// is always complete.
 #[inline]
-fn touch_edge(st: &mut SchedulingState, e: usize) {
+fn set_edge_state(st: &mut SchedulingState, e: usize, new: EdgeState) {
     if st.trail.active {
         let old = st.edges[e].state;
         st.trail.push(TrailEntry::Edge { e, old });
     }
+    st.trail.redo(RedoEntry::Edge { e, new });
+    st.trail
+        .charge_bytes(std::mem::size_of::<EdgeState>() as u64);
+    st.edges[e].state = new;
 }
 
 // ---------------------------------------------------------------------------
@@ -276,8 +311,7 @@ pub fn prune_edge(
         }
     };
     if state != old {
-        touch_edge(st, e_idx);
-        st.edges[e_idx].state = state;
+        set_edge_state(st, e_idx, state);
     }
     match next {
         Next::Nothing => {
@@ -287,8 +321,7 @@ pub fn prune_edge(
             Ok(())
         }
         Next::SetNoOverlap => {
-            touch_edge(st, e_idx);
-            st.edges[e_idx].state = EdgeState::NoOverlap;
+            set_edge_state(st, e_idx, EdgeState::NoOverlap);
             propagate_no_overlap(st, q, e_idx)
         }
         Next::Choose(d) => choose_comb(st, q, e_idx, d),
@@ -342,8 +375,7 @@ pub fn choose_comb(
             if !dom.contains(d) {
                 return Err(Contradiction::EdgeConflict(u, v));
             }
-            touch_edge(st, e_idx);
-            st.edges[e_idx].state = EdgeState::Chosen(d);
+            set_edge_state(st, e_idx, EdgeState::Chosen(d));
         }
         EdgeState::Chosen(d0) if *d0 == d => {}
         _ => return Err(Contradiction::EdgeConflict(u, v)),
@@ -393,14 +425,12 @@ pub fn discard_comb(
         EdgeState::NoOverlap => Next::Nothing,
     };
     if state != old {
-        touch_edge(st, e_idx);
-        st.edges[e_idx].state = state;
+        set_edge_state(st, e_idx, state);
     }
     match next {
         Next::Nothing => Ok(()),
         Next::SetNoOverlap => {
-            touch_edge(st, e_idx);
-            st.edges[e_idx].state = EdgeState::NoOverlap;
+            set_edge_state(st, e_idx, EdgeState::NoOverlap);
             propagate_no_overlap(st, q, e_idx)
         }
         Next::Choose(only) => choose_comb(st, q, e_idx, only),
@@ -432,6 +462,7 @@ pub fn merge_cc(
         OffsetUnion::Conflict => return Err(Contradiction::OffsetConflict(u, v)),
         OffsetUnion::Merged | OffsetUnion::Consistent => {}
     }
+    st.trail.redo(RedoEntry::CcUnion { u, v, delta });
     let new_root = st.cc.root(u);
     let minor_root = if new_root == ru { rv } else { ru };
     let moved = std::mem::take(&mut st.cc_list[minor_root]);
@@ -442,6 +473,11 @@ pub fn merge_cc(
             moved: moved.len(),
         });
     }
+    st.trail.redo(RedoEntry::CcListMove {
+        root: new_root,
+        minor: minor_root,
+    });
+    st.trail.charge_bytes(16 + moved.len() as u64 * 8);
     st.cc_list[new_root].extend(moved);
     // Bounds will re-synchronise through the worklist.
     q.push_back(u);
@@ -489,11 +525,9 @@ pub fn resolve_fixed_pair(
                 if !dom.contains(d) {
                     return Err(Contradiction::EdgeConflict(u, v));
                 }
-                touch_edge(st, e_idx);
-                st.edges[e_idx].state = EdgeState::Chosen(d);
+                set_edge_state(st, e_idx, EdgeState::Chosen(d));
             } else {
-                touch_edge(st, e_idx);
-                st.edges[e_idx].state = EdgeState::NoOverlap;
+                set_edge_state(st, e_idx, EdgeState::NoOverlap);
             }
         }
         EdgeState::Chosen(d0) => {
@@ -523,16 +557,38 @@ pub fn audit_cycle_group(
     q: &mut Queue,
     n: NodeId,
 ) -> Result<(), Contradiction> {
+    // `fixed_delta(m, n) == Some(0)` holds in exactly two shapes: m shares
+    // n's connected component with offset 0, or the two sit in different
+    // components but are both pinned to the same cycle. Enumerate each
+    // shape directly — the component via its member list, the pinned case
+    // via a cheap est/lst scan — instead of running two union-find walks
+    // for every node in the graph. Sorting restores the ascending order
+    // the old full scan produced, so Rule 2 fires in the same sequence.
     let total_nodes = st.kind.len();
+    let (root_n, off_n) = st.cc.find_const(n);
     let mut group: Vec<NodeId> = Vec::new();
-    for m in 0..total_nodes {
-        if st.uses_resources(m) && st.fixed_delta(m, n) == Some(0) {
+    for i in 0..st.cc_list[root_n].len() {
+        let m = st.cc_list[root_n][i];
+        if st.uses_resources(m) && st.cc.find_const(m).1 == off_n {
             group.push(m);
+        }
+    }
+    if st.pinned(n) {
+        let cycle = st.est[n];
+        for m in 0..total_nodes {
+            if st.est[m] == cycle
+                && st.lst[m] == cycle
+                && st.uses_resources(m)
+                && st.cc.find_const(m).0 != root_n
+            {
+                group.push(m);
+            }
         }
     }
     if group.len() < 2 {
         return Ok(());
     }
+    group.sort_unstable();
     // Machine-wide per-class totals.
     for class in [
         OpClass::Int,
@@ -606,9 +662,11 @@ pub fn fuse_vcs(
         return Err(Contradiction::VcConflict(a, b));
     }
     st.dirty = true;
+    st.vcg_dirty = true;
     let a_members = st.vc_members(ra);
     let b_members = st.vc_members(rb);
     let root = st.vc.union(ra, rb);
+    st.trail.redo(RedoEntry::VcUnion { a: ra, b: rb });
     let minor = if root == ra { rb } else { ra };
     let moved = std::mem::take(&mut st.vc_list[minor]);
     if st.trail.active {
@@ -618,22 +676,35 @@ pub fn fuse_vcs(
             moved: moved.len(),
         });
     }
+    st.trail.redo(RedoEntry::VcListMove { root, minor });
+    st.trail.charge_bytes(16 + moved.len() as u64 * 8);
     st.vc_list[root].extend(moved);
     // Fused VC inherits all incompatibilities (§3.2).
-    let minor_adj: Vec<usize> = st.vc_adj[minor].iter().copied().collect();
+    let minor_adj: Vec<usize> = st.vc_adj[minor].iter().collect();
     for nb in minor_adj {
-        if st.vc_adj[nb].remove(minor) && st.trail.active {
-            st.trail.push(TrailEntry::VcAdjRemove { a: nb, b: minor });
+        if st.vc_adj[nb].remove(minor) {
+            if st.trail.active {
+                st.trail.push(TrailEntry::VcAdjRemove { a: nb, b: minor });
+            }
+            st.trail.redo(RedoEntry::VcAdjRemove { a: nb, b: minor });
         }
-        if st.vc_adj[nb].insert(root) && st.trail.active {
-            st.trail.push(TrailEntry::VcAdjInsert { a: nb, b: root });
+        if st.vc_adj[nb].insert(root) {
+            if st.trail.active {
+                st.trail.push(TrailEntry::VcAdjInsert { a: nb, b: root });
+            }
+            st.trail.redo(RedoEntry::VcAdjInsert { a: nb, b: root });
         }
-        if st.vc_adj[root].insert(nb) && st.trail.active {
-            st.trail.push(TrailEntry::VcAdjInsert { a: root, b: nb });
+        if st.vc_adj[root].insert(nb) {
+            if st.trail.active {
+                st.trail.push(TrailEntry::VcAdjInsert { a: root, b: nb });
+            }
+            st.trail.redo(RedoEntry::VcAdjInsert { a: root, b: nb });
         }
         if st.trail.active {
             st.trail.push(TrailEntry::VcAdjRemove { a: minor, b: nb });
         }
+        st.trail.redo(RedoEntry::VcAdjRemove { a: minor, b: nb });
+        st.trail.charge_bytes(32);
     }
     st.vc_adj[minor].clear();
     if st.vc_adj[root].contains(root) {
@@ -696,7 +767,7 @@ pub fn fuse_vcs(
         .copied()
         .filter(|&m| m < st.ctx.n_insts)
         .collect();
-    let neighbours: Vec<usize> = st.vc_adj[root_now].iter().copied().collect();
+    let neighbours: Vec<usize> = st.vc_adj[root_now].iter().collect();
     for nb in neighbours {
         let nb_members: Vec<NodeId> = st.vc_list[nb]
             .iter()
@@ -720,11 +791,23 @@ fn ensure_comms_for_incompatible_edges(
     q: &mut Queue,
 ) -> Result<(), Contradiction> {
     // Borrow the shared context through its own `Arc` (a refcount bump)
-    // instead of deep-copying the edge list on every repair pass.
+    // instead of deep-copying the edge list on every repair pass. VC
+    // roots are memoised across the sweep and flushed whenever a
+    // `require_comm` fires (it may fuse a consumer and move roots); the
+    // adjacency probe always reads live state.
     let ctx = Arc::clone(&st.ctx);
+    let mut root = vec![usize::MAX; st.kind.len()];
     for &(p, c) in &ctx.data_edges {
-        if st.vcs_incompatible(p, c) {
+        if root[p] == usize::MAX {
+            root[p] = st.vc.find(p);
+        }
+        if root[c] == usize::MAX {
+            root[c] = st.vc.find(c);
+        }
+        let (rp, rc) = (root[p], root[c]);
+        if rp != rc && st.vc_adj[rp].contains(rc) {
             require_comm(st, q, p, c)?;
+            root.fill(usize::MAX);
         }
     }
     Ok(())
@@ -747,10 +830,14 @@ pub fn make_incompat(
         return Ok(());
     }
     st.dirty = true;
+    st.vcg_dirty = true;
     if st.trail.active {
         st.trail.push(TrailEntry::VcAdjInsert { a: ra, b: rb });
         st.trail.push(TrailEntry::VcAdjInsert { a: rb, b: ra });
     }
+    st.trail.redo(RedoEntry::VcAdjInsert { a: ra, b: rb });
+    st.trail.redo(RedoEntry::VcAdjInsert { a: rb, b: ra });
+    st.trail.charge_bytes(16);
     st.vc_adj[ra].insert(rb);
     st.vc_adj[rb].insert(ra);
     let a_members: Vec<NodeId> = st
@@ -763,14 +850,18 @@ pub fn make_incompat(
         .into_iter()
         .filter(|&m| m < st.ctx.n_insts)
         .collect();
-    // Crossing data edges need a communication.
+    // Crossing data edges need a communication. The two side roots only
+    // move when a `require_comm` fires (it may fuse a consumer), so they
+    // are cached across iterations and refreshed after each hit instead
+    // of re-walked four times per edge.
     let ctx = Arc::clone(&st.ctx);
+    let (mut wa, mut wb) = (st.vc.find(ra), st.vc.find(rb));
     for &(p, c) in &ctx.data_edges {
         let (rp, rc) = (st.vc.find(p), st.vc.find(c));
-        if (rp == st.vc.find(ra) && rc == st.vc.find(rb))
-            || (rp == st.vc.find(rb) && rc == st.vc.find(ra))
-        {
+        if (rp == wa && rc == wb) || (rp == wb && rc == wa) {
             require_comm(st, q, p, c)?;
+            wa = st.vc.find(ra);
+            wb = st.vc.find(rb);
         }
     }
     // Rule 5 (P-PLC) and the consumer dual (C-PLC).
@@ -794,16 +885,31 @@ pub fn rule1_slack_check(
     }
     let bus = st.ctx.machine.bus_latency() as i64;
     let ctx = Arc::clone(&st.ctx);
+    // Slack first: the arithmetic test is branch-predictable and usually
+    // false, the VC probes cost union-find walks. The conjunction is
+    // pure, so the reorder cannot change which pairs fuse. `n`'s own root
+    // is walked once and refreshed only when a fuse can move it;
+    // `same_vc(a, b) || vcs_incompatible(a, b)` is exactly
+    // `ra == rb || vc_adj[ra].contains(rb)` on the two roots.
+    let lat_n = st.latency(n);
+    let mut rn = st.vc.find(n);
     for &c in &ctx.consumers_of[n] {
-        let lat = st.latency(n);
-        if !st.same_vc(n, c) && !st.vcs_incompatible(n, c) && st.lst[c] - (st.est[n] + lat) < bus {
-            fuse_vcs(st, q, n, c)?;
+        if st.lst[c] - (st.est[n] + lat_n) < bus {
+            let rc = st.vc.find(c);
+            if rn != rc && !st.vc_adj[rn].contains(rc) {
+                fuse_vcs(st, q, n, c)?;
+                rn = st.vc.find(n);
+            }
         }
     }
     for &p in &ctx.producers_of[n] {
         let lat = st.latency(p);
-        if !st.same_vc(p, n) && !st.vcs_incompatible(p, n) && st.lst[n] - (st.est[p] + lat) < bus {
-            fuse_vcs(st, q, p, n)?;
+        if st.lst[n] - (st.est[p] + lat) < bus {
+            let rp = st.vc.find(p);
+            if rp != rn && !st.vc_adj[rp].contains(rn) {
+                fuse_vcs(st, q, p, n)?;
+                rn = st.vc.find(n);
+            }
         }
     }
     Ok(())
@@ -846,6 +952,8 @@ pub fn require_comm(
                 let old = st.comms[ci].kind.clone();
                 st.trail.push(TrailEntry::CommKind { ci, old });
             }
+            st.trail.redo(RedoEntry::CommConsumerPush { ci, c });
+            st.trail.charge_bytes(16);
             if let CommKind::Flc { consumers, .. } = &mut st.comms[ci].kind {
                 consumers.push(c);
             }
@@ -863,6 +971,12 @@ pub fn require_comm(
     if st.trail.active {
         st.trail.push(TrailEntry::CommPush);
     }
+    st.trail.redo(RedoEntry::CommPushFlc {
+        node,
+        value: p,
+        consumer: c,
+    });
+    st.trail.charge_bytes(48);
     st.comms.push(Comm {
         node,
         kind: CommKind::Flc {
@@ -874,6 +988,8 @@ pub fn require_comm(
     if st.trail.active {
         st.trail.push(TrailEntry::FlcPush { value: p, created });
     }
+    st.trail.redo(RedoEntry::FlcPush { value: p, ci });
+    st.trail.charge_bytes(16);
     st.flc_by_value.entry(p).or_default().push(ci);
     add_dep_edge(st, q, p, node, lat_p)?;
     add_dep_edge(st, q, node, c, bus)?;
@@ -888,6 +1004,11 @@ fn new_comm_node(st: &mut SchedulingState, est: i64, lst: i64) -> NodeId {
     if st.trail.active {
         st.trail.push(TrailEntry::NewNode);
     }
+    st.trail.redo(RedoEntry::NewNode {
+        est: est.max(0),
+        lst: lst.min(st.horizon),
+    });
+    st.trail.charge_bytes(128);
     st.kind.push(NodeKind::Comm(st.comms.len()));
     st.est.push(est.max(0));
     st.lst.push(lst.min(st.horizon));
@@ -920,6 +1041,8 @@ fn kill_plcs_subsumed_by(st: &mut SchedulingState, p: NodeId, c: NodeId) {
                 let old = st.comms[ci].kind.clone();
                 st.trail.push(TrailEntry::CommKind { ci, old });
             }
+            st.trail.redo(RedoEntry::CommSetDead { ci });
+            st.trail.charge_bytes(16);
             st.comms[ci].kind = CommKind::Dead;
         }
     }
@@ -959,6 +1082,8 @@ fn create_plcs_for_pair(
         if st.trail.active {
             st.trail.push(TrailEntry::PlcSeen { key });
         }
+        st.trail.redo(RedoEntry::PlcInsert { key });
+        st.trail.charge_bytes(32);
         st.plc_seen.insert(key);
         let est = (st.est[x] + st.latency(x)).min(st.est[y] + st.latency(y));
         let lst = st.lst[s] - bus;
@@ -969,6 +1094,12 @@ fn create_plcs_for_pair(
         if st.trail.active {
             st.trail.push(TrailEntry::CommPush);
         }
+        st.trail.redo(RedoEntry::CommPushPPlc {
+            node,
+            producers: (x.min(y), x.max(y)),
+            consumer: s,
+        });
+        st.trail.charge_bytes(48);
         st.comms.push(Comm {
             node,
             kind: CommKind::PPlc {
@@ -998,6 +1129,8 @@ fn create_plcs_for_pair(
         if st.trail.active {
             st.trail.push(TrailEntry::PlcSeen { key });
         }
+        st.trail.redo(RedoEntry::PlcInsert { key });
+        st.trail.charge_bytes(32);
         st.plc_seen.insert(key);
         let est = st.est[p] + st.latency(p);
         let lst = st.lst[x].max(st.lst[y]) - bus;
@@ -1008,6 +1141,12 @@ fn create_plcs_for_pair(
         if st.trail.active {
             st.trail.push(TrailEntry::CommPush);
         }
+        st.trail.redo(RedoEntry::CommPushCPlc {
+            node,
+            value: p,
+            consumers: (x.min(y), x.max(y)),
+        });
+        st.trail.charge_bytes(48);
         st.comms.push(Comm {
             node,
             kind: CommKind::CPlc {
@@ -1078,6 +1217,8 @@ pub fn promote_plcs(st: &mut SchedulingState, q: &mut Queue) -> Result<(), Contr
                     let old = st.comms[ci].kind.clone();
                     st.trail.push(TrailEntry::CommKind { ci, old });
                 }
+                st.trail.redo(RedoEntry::CommSetDead { ci });
+                st.trail.charge_bytes(16);
                 st.comms[ci].kind = CommKind::Dead;
                 require_comm(st, q, p, c)?;
             }
@@ -1128,39 +1269,58 @@ pub fn refresh_plc_bounds(
 pub fn resource_pass(st: &mut SchedulingState, q: &mut Queue) -> Result<bool, Contradiction> {
     let before = q.len();
     let tighten = !st.ctx.tuning.disable_resource_tightening;
-    // Machine-wide, per FU class.
-    for class in OpClass::FU_CLASSES {
-        let nodes: Vec<NodeId> = (0..st.kind.len())
-            .filter(|&n| st.uses_resources(n) && st.class(n) == Some(class))
-            .collect();
-        let cap = st.ctx.machine.total_capacity(class);
-        pigeonhole(st, q, &nodes, cap, 1, tighten, class)?;
+    // Machine-wide, per FU class; the contender lists are static (comm
+    // nodes are `Copy`-class, live-ins never compete).
+    let ctx = Arc::clone(&st.ctx);
+    let mut scratch = PigeonScratch::default();
+    for (ci, &class) in OpClass::FU_CLASSES.iter().enumerate() {
+        let cap = ctx.machine.total_capacity(class);
+        pigeonhole(
+            st,
+            q,
+            &mut scratch,
+            &ctx.fu_nodes[ci],
+            cap,
+            1,
+            tighten,
+            class,
+        )?;
     }
-    // Per-VC, per FU class and per issue width.
-    let roots = st.vc_roots();
-    for root in roots {
-        let members: Vec<NodeId> = {
-            let all = st.vc_members(root);
-            all.into_iter()
-                .filter(|&m| st.uses_resources(m) && st.class(m).is_some_and(|c| c.uses_fu()))
-                .collect()
-        };
+    // Per-VC, per FU class and per issue width. Roots are scanned in the
+    // same ascending order `vc_roots()` returns, and the member/class
+    // buffers are reused across roots — pigeonhole only tightens bounds,
+    // never VC structure, so membership is stable across the loop.
+    let mut members: Vec<NodeId> = Vec::new();
+    let mut of_class: Vec<NodeId> = Vec::new();
+    for root in 0..st.kind.len() {
+        if st.vc_list[root].is_empty() || matches!(st.kind[root], NodeKind::Comm(_)) {
+            continue;
+        }
+        members.clear();
+        for i in 0..st.vc_list[root].len() {
+            let m = st.vc_list[root][i];
+            if st.uses_resources(m) && st.class(m).is_some_and(|c| c.uses_fu()) {
+                members.push(m);
+            }
+        }
         if members.len() < 2 {
             continue;
         }
         for class in OpClass::FU_CLASSES {
-            let of_class: Vec<NodeId> = members
-                .iter()
-                .copied()
-                .filter(|&m| st.class(m) == Some(class))
-                .collect();
+            of_class.clear();
+            of_class.extend(
+                members
+                    .iter()
+                    .copied()
+                    .filter(|&m| st.class(m) == Some(class)),
+            );
             if of_class.len() > 1 {
                 let cap = st.ctx.machine.capacity(class);
-                pigeonhole(st, q, &of_class, cap, 1, tighten, class)?;
+                pigeonhole(st, q, &mut scratch, &of_class, cap, 1, tighten, class)?;
             }
         }
         if let Some(w) = st.ctx.machine.issue_per_cluster() {
-            pigeonhole(st, q, &members, w, 1, tighten, OpClass::Int)?;
+            pigeonhole(st, q, &mut scratch, &members, w, 1, tighten, OpClass::Int)?;
         }
     }
     // Precedence rule: a group of same-class predecessors larger than the
@@ -1174,7 +1334,16 @@ pub fn resource_pass(st: &mut SchedulingState, q: &mut Queue) -> Result<bool, Co
     let comms: Vec<NodeId> = st.live_comms().map(|c| c.node).collect();
     let buses = st.ctx.machine.bus_count();
     let occ = st.ctx.machine.bus_occupancy() as i64;
-    pigeonhole(st, q, &comms, buses, occ, false, OpClass::Copy)?;
+    pigeonhole(
+        st,
+        q,
+        &mut scratch,
+        &comms,
+        buses,
+        occ,
+        false,
+        OpClass::Copy,
+    )?;
     // Pinned copies: exact sliding-window conflict for non-pipelined buses.
     let pinned: Vec<i64> = comms
         .iter()
@@ -1190,61 +1359,29 @@ pub fn resource_pass(st: &mut SchedulingState, q: &mut Queue) -> Result<bool, Co
     Ok(q.len() > before)
 }
 
-/// Precedence-based resource bounds (see [`resource_pass`]).
+/// Precedence-based resource bounds (see [`resource_pass`]): folds each
+/// precomputed [`vcsched_core::state` `PrecRule`] group's current EST/LST
+/// over its static membership. Group discovery (reachability, class,
+/// capacity overflow, path slack) happened once at context build.
 fn precedence_resource_rule(st: &mut SchedulingState, q: &mut Queue) -> Result<(), Contradiction> {
-    let n = st.ctx.n_insts;
-    for x in 0..n {
-        for class in OpClass::FU_CLASSES {
-            let cap = st.ctx.machine.total_capacity(class) as i64;
-            if cap == 0 {
-                continue;
-            }
-            // Predecessor side: everything of `class` that must run before x.
-            let mut group_est = i64::MAX;
-            let mut min_path = i64::MAX;
-            let mut count = 0i64;
-            for p in 0..n {
-                if st.ctx.classes[p] == class
-                    && !st.ctx.live_in[p]
-                    && st
-                        .ctx
-                        .dg
-                        .reaches(vcsched_ir::InstId(p as u32), vcsched_ir::InstId(x as u32))
-                {
-                    count += 1;
-                    group_est = group_est.min(st.est[p]);
-                    if let Some(d) = st.ctx.paths[x][p] {
-                        min_path = min_path.min(d);
-                    }
-                }
-            }
-            if count > cap && min_path != i64::MAX {
-                let rounds = (count + cap - 1) / cap;
-                tighten_est(st, q, x, group_est + (rounds - 1) + min_path)?;
-            }
-            // Successor side.
-            let mut group_lst = i64::MIN;
-            let mut min_path = i64::MAX;
-            let mut count = 0i64;
-            for c in 0..n {
-                if st.ctx.classes[c] == class
-                    && !st.ctx.live_in[c]
-                    && st
-                        .ctx
-                        .dg
-                        .reaches(vcsched_ir::InstId(x as u32), vcsched_ir::InstId(c as u32))
-                {
-                    count += 1;
-                    group_lst = group_lst.max(st.lst[c]);
-                    if let Some(d) = st.ctx.paths[c][x] {
-                        min_path = min_path.min(d);
-                    }
-                }
-            }
-            if count > cap && min_path != i64::MAX {
-                let rounds = (count + cap - 1) / cap;
-                tighten_lst(st, q, x, group_lst - (rounds - 1) - min_path)?;
-            }
+    let ctx = Arc::clone(&st.ctx);
+    for rule in &ctx.prec_rules {
+        if rule.succ_side {
+            let group_lst = rule
+                .members
+                .iter()
+                .map(|&c| st.lst[c])
+                .max()
+                .unwrap_or(i64::MIN);
+            tighten_lst(st, q, rule.node, group_lst - rule.slack)?;
+        } else {
+            let group_est = rule
+                .members
+                .iter()
+                .map(|&p| st.est[p])
+                .min()
+                .unwrap_or(i64::MAX);
+            tighten_est(st, q, rule.node, group_est + rule.slack)?;
         }
     }
     Ok(())
@@ -1257,9 +1394,23 @@ fn precedence_resource_rule(st: &mut SchedulingState, q: &mut Queue) -> Result<(
 /// Windows longer than `|confined|/cap` cycles can be neither overfull nor
 /// saturated, so for each window start only the first `n/cap` end values
 /// matter — that bound keeps the pass near-linear in practice.
+/// Reusable buffers for [`pigeonhole`]: one set per [`resource_pass`]
+/// call, shared across its dozens of per-class / per-VC invocations so
+/// the window scan allocates nothing in steady state.
+#[derive(Default)]
+struct PigeonScratch {
+    starts: Vec<i64>,
+    ends: Vec<i64>,
+    by_est: Vec<(i64, i64)>,
+    lsts: Vec<i64>,
+    saturated: Vec<(i64, i64)>,
+}
+
+#[allow(clippy::too_many_arguments)] // one scratch handle on top of the rule's natural shape
 fn pigeonhole(
     st: &mut SchedulingState,
     q: &mut Queue,
+    scratch: &mut PigeonScratch,
     nodes: &[NodeId],
     cap: usize,
     occupancy: i64,
@@ -1269,36 +1420,56 @@ fn pigeonhole(
     if nodes.len() <= cap || cap == 0 {
         return Ok(());
     }
-    let mut starts: Vec<i64> = nodes.iter().map(|&n| st.est[n]).collect();
-    starts.sort_unstable();
-    starts.dedup();
-    let mut ends: Vec<i64> = nodes.iter().map(|&n| st.lst[n]).collect();
-    ends.sort_unstable();
-    ends.dedup();
-    let mut saturated: Vec<(i64, i64)> = Vec::new();
-    for &a in &starts {
-        // Nodes that could belong to a window starting at `a`, ordered by
-        // their latest start so `must(a, b)` grows incrementally with `b`.
-        let mut lsts: Vec<i64> = nodes
-            .iter()
-            .filter(|&&n| st.est[n] >= a)
-            .map(|&n| st.lst[n])
-            .collect();
-        lsts.sort_unstable();
-        if (lsts.len() as i64) * occupancy <= cap as i64 * occupancy {
+    // Nodes that could belong to a window starting at `a` are those with
+    // `est >= a`, ordered by their latest start so `must(a, b)` grows
+    // incrementally with `b`. One sorted LST list serves every start: as
+    // `a` advances, members with `est < a` drop out one at a time —
+    // identical contents to a per-start refilter, without the O(n² log n)
+    // rebuild (the window scan reads bounds, it never tightens them).
+    // Two sorts feed all four views: the deduped window boundaries
+    // `starts` / `ends` are linear projections of `by_est` / `lsts`.
+    scratch.by_est.clear();
+    scratch
+        .by_est
+        .extend(nodes.iter().map(|&n| (st.est[n], st.lst[n])));
+    scratch.by_est.sort_unstable();
+    scratch.lsts.clear();
+    scratch.lsts.extend(scratch.by_est.iter().map(|&(_, l)| l));
+    scratch.lsts.sort_unstable();
+    scratch.starts.clear();
+    scratch
+        .starts
+        .extend(scratch.by_est.iter().map(|&(e, _)| e));
+    scratch.starts.dedup();
+    scratch.ends.clear();
+    scratch.ends.extend(scratch.lsts.iter().copied());
+    scratch.ends.dedup();
+    scratch.saturated.clear();
+    let mut dropped = 0usize;
+    for &a in &scratch.starts {
+        while dropped < scratch.by_est.len() && scratch.by_est[dropped].0 < a {
+            let gone = scratch.by_est[dropped].1;
+            let pos = scratch
+                .lsts
+                .binary_search(&gone)
+                .expect("member LST present");
+            scratch.lsts.remove(pos);
+            dropped += 1;
+        }
+        if (scratch.lsts.len() as i64) * occupancy <= cap as i64 * occupancy {
             continue;
         }
         // Longest window that can still overflow or saturate.
-        let max_len = (lsts.len() as i64 * occupancy) / cap as i64 + occupancy;
+        let max_len = (scratch.lsts.len() as i64 * occupancy) / cap as i64 + occupancy;
         let mut idx = 0;
-        for &b in &ends {
+        for &b in &scratch.ends {
             if b < a {
                 continue;
             }
             if b - a + 1 > max_len {
                 break;
             }
-            while idx < lsts.len() && lsts[idx] <= b {
+            while idx < scratch.lsts.len() && scratch.lsts[idx] <= b {
                 idx += 1;
             }
             let must = idx as i64;
@@ -1308,11 +1479,11 @@ fn pigeonhole(
                 return Err(Contradiction::ResourceOverflow(class));
             }
             if tighten && demand == supply && must > 0 {
-                saturated.push((a, b));
+                scratch.saturated.push((a, b));
             }
         }
     }
-    for (a, b) in saturated {
+    for &(a, b) in &scratch.saturated {
         // Re-check: earlier tightenings may have changed membership.
         let must = nodes
             .iter()
@@ -1342,20 +1513,38 @@ fn pigeonhole(
 /// Processes one bound change: dependence propagation, CC sync, edge
 /// pruning, pinned-pair resolution, Rule 1, PLC refresh, cycle audits.
 fn on_bound(st: &mut SchedulingState, q: &mut Queue, n: NodeId) -> Result<(), Contradiction> {
-    // Dependence propagation.
-    let succs: Vec<(NodeId, i64)> = st.succ[n].clone();
-    for (s, lat) in succs {
+    // Dependence propagation: the static CSR adjacency first, then the
+    // per-search extras (communication dependence edges) — together in
+    // exactly the order the old per-node `Vec`s held them. The CSR rows
+    // live in the shared context, so no clone is needed to iterate them;
+    // the extras use length-snapshot index loops for the same reason
+    // (tightening only queues work, it never grows these rows).
+    let ctx = Arc::clone(&st.ctx);
+    if n < ctx.succ_csr.rows() {
+        for &(s, lat) in ctx.succ_csr.row(n) {
+            tighten_est(st, q, s, st.est[n] + lat)?;
+        }
+    }
+    for i in 0..st.succ[n].len() {
+        let (s, lat) = st.succ[n][i];
         tighten_est(st, q, s, st.est[n] + lat)?;
     }
-    let preds: Vec<(NodeId, i64)> = st.pred[n].clone();
-    for (p, lat) in preds {
+    if n < ctx.pred_csr.rows() {
+        for &(p, lat) in ctx.pred_csr.row(n) {
+            tighten_lst(st, q, p, st.lst[n] - lat)?;
+        }
+    }
+    for i in 0..st.pred[n].len() {
+        let (p, lat) = st.pred[n][i];
         tighten_lst(st, q, p, st.lst[n] - lat)?;
     }
-    // Connected-component synchronisation.
+    // Connected-component synchronisation. Membership is stable across the
+    // loop (tightens only queue), so index without cloning the list.
     let (root, off_n) = st.cc.find(n);
     if st.cc_list[root].len() > 1 {
-        let members = st.cc_list[root].clone();
-        for m in members {
+        let members = st.cc_list[root].len();
+        for i in 0..members {
+            let m = st.cc_list[root][i];
             if m == n {
                 continue;
             }
@@ -1365,15 +1554,16 @@ fn on_bound(st: &mut SchedulingState, q: &mut Queue, n: NodeId) -> Result<(), Co
             tighten_lst(st, q, m, st.lst[n] + shift)?;
         }
     }
-    // Edge domain pruning.
-    let incident: Vec<usize> = st.edges_at[n].clone();
-    for e_idx in incident {
+    // Edge domain pruning. Row `n` never grows mid-loop (only *new* nodes
+    // gain rows), but the outer vec can reallocate, so re-index each pass.
+    for i in 0..st.edges_at[n].len() {
+        let e_idx = st.edges_at[n][i];
         prune_edge(st, q, e_idx)?;
     }
     // Pinned-pair resolution + same-cycle audit.
     if st.pinned(n) {
-        let incident: Vec<usize> = st.edges_at[n].clone();
-        for e_idx in incident {
+        for i in 0..st.edges_at[n].len() {
+            let e_idx = st.edges_at[n][i];
             let (u, v) = (st.edges[e_idx].u, st.edges[e_idx].v);
             let other = if u == n { v } else { u };
             if st.pinned(other) {
@@ -1398,12 +1588,14 @@ pub fn drain(st: &mut SchedulingState, q: &mut Queue, budget: &mut Budget) -> Re
     loop {
         while let Some(n) = q.pop_front() {
             budget.spend(1)?;
+            budget.check_bytes(st.trail.work_bytes())?;
             on_bound(st, q, n)?;
         }
         if !st.dirty {
             return Ok(());
         }
         budget.spend(8)?;
+        budget.check_bytes(st.trail.work_bytes())?;
         st.dirty = false;
         resource_pass(st, q)?;
         if q.is_empty() && !st.dirty {
@@ -1414,10 +1606,19 @@ pub fn drain(st: &mut SchedulingState, q: &mut Queue, budget: &mut Budget) -> Re
 
 /// Checks that the VCG is still mappable onto the physical clusters by
 /// colouring (§3.2): detects cliques exceeding the cluster count.
+///
+/// Colourability is pure in the VCG (the VC partition plus the
+/// incompatibility adjacency), so when `vcg_dirty` is clear — no fuse or
+/// incompatibility has landed since the last passing check — the graph is
+/// bit-identical to one already proven colourable and the check is skipped.
 pub fn check_colorable(st: &mut SchedulingState) -> Result<(), Contradiction> {
+    if !st.vcg_dirty {
+        return Ok(());
+    }
     let k = st.ctx.machine.cluster_count();
     let (g, _) = st.vcg_view();
     if is_k_colorable(&g, k, 22) {
+        st.vcg_dirty = false;
         Ok(())
     } else {
         Err(Contradiction::Uncolorable)

@@ -12,7 +12,7 @@
 use std::sync::Arc;
 
 use vcsched_arch::ClusterId;
-use vcsched_graph::SortedSet;
+use vcsched_graph::GrowSet;
 
 use crate::combination::{CombDomain, CombRange};
 use crate::dp::{self, Budget, DpAbort, Queue};
@@ -88,7 +88,10 @@ fn reset_into(
         st.est.push(0);
         st.lst.push(horizon);
     }
-    // Hard dependence edges from the superblock.
+    // Hard dependence edges from the superblock live in the context's
+    // flat CSR arrays ([`StateCtx::succ_csr`]/[`StateCtx::pred_csr`]) —
+    // only the dynamic-extras rows (Rule-1 edges, comm edges) are per
+    // state, and a reset just empties them.
     st.succ.truncate(n_nodes);
     st.pred.truncate(n_nodes);
     for v in st.succ.iter_mut().chain(st.pred.iter_mut()) {
@@ -96,12 +99,6 @@ fn reset_into(
     }
     st.succ.resize_with(n_nodes, Vec::new);
     st.pred.resize_with(n_nodes, Vec::new);
-    for u in 0..n {
-        for &(v, lat) in ctx.dg.graph().succs(u) {
-            st.succ[u].push((v, lat as i64));
-            st.pred[v].push((u, lat as i64));
-        }
-    }
     // Scheduling-graph edges with resource pre-pruning: combination 0 is
     // impossible for a class the whole machine issues once per cycle
     // (the paper's "single branch per cycle" example, §3.1).
@@ -138,7 +135,7 @@ fn reset_into(
     for s in &mut st.vc_adj {
         s.clear();
     }
-    st.vc_adj.resize_with(n_nodes, SortedSet::new);
+    st.vc_adj.resize_with(n_nodes, GrowSet::new);
     // Anchors are pairwise incompatible: a VC fused with anchor `i` can
     // never share a physical cluster with one fused with anchor `j`.
     for a in 0..k {
@@ -231,6 +228,7 @@ fn empty_state(ctx: &Arc<StateCtx>) -> SchedulingState {
         cc_list: Vec::new(),
         vc_list: Vec::new(),
         dirty: true,
+        vcg_dirty: true,
         trail: Default::default(),
     }
 }

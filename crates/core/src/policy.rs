@@ -8,14 +8,14 @@ use crate::scheduler::{VcError, VcOptions, VcScheduler};
 
 /// The paper's virtual-cluster scheduler (§4) as a portfolio policy.
 ///
-/// Per call, the step budget comes from the racer's [`PolicyBudget`] and
-/// the cooperative cutoff from its shared best-AWCT bound; everything
-/// else (bump limit, tuning) comes from the base options this policy was
-/// constructed with.
+/// Per call, the step and trail-byte budgets come from the racer's
+/// [`PolicyBudget`] and the cooperative cutoff from its shared best-AWCT
+/// bound; everything else (bump limit, tuning) comes from the base
+/// options this policy was constructed with.
 #[derive(Debug, Clone, Default)]
 pub struct VcPolicy {
-    /// Base options; `max_dp_steps` and `awct_cutoff` are overridden per
-    /// call from the [`PolicyBudget`].
+    /// Base options; `max_dp_steps`, `max_trail_bytes` and `awct_cutoff`
+    /// are overridden per call from the [`PolicyBudget`].
     pub base: VcOptions,
 }
 
@@ -47,6 +47,7 @@ impl SchedulePolicy for VcPolicy {
             machine.clone(),
             VcOptions {
                 max_dp_steps: budget.max_dp_steps,
+                max_trail_bytes: budget.max_trail_bytes,
                 awct_cutoff: best.is_finite().then_some(best),
                 ..self.base.clone()
             },
@@ -130,6 +131,7 @@ mod tests {
         bound.record(0.5);
         let budget = PolicyBudget {
             max_dp_steps: 100_000,
+            max_trail_bytes: None,
             best: bound,
         };
         let out = VcPolicy::new().schedule(&sb, &machine, &[], &budget);
@@ -153,6 +155,7 @@ mod tests {
         bound.record(direct.awct); // an exact tie: set order decides, not cancel
         let budget = PolicyBudget {
             max_dp_steps: 100_000,
+            max_trail_bytes: None,
             best: bound,
         };
         let out = VcPolicy::new().schedule(&sb, &machine, &[], &budget);

@@ -20,6 +20,11 @@ use crate::state::{StateCtx, Tuning};
 pub struct VcOptions {
     /// Cap on deduction-process rule firings for one superblock.
     pub max_dp_steps: u64,
+    /// Optional cap on trail work — lifetime bytes of state touched by
+    /// deduction mutations — for one superblock. A cache-footprint-
+    /// proportional budget, unlike step counts whose per-step cost varies;
+    /// `None` leaves work bounded by `max_dp_steps` alone.
+    pub max_trail_bytes: Option<u64>,
     /// Cap on AWCT increases before giving up.
     pub max_awct_bumps: u32,
     /// Optional wall-clock limit for one superblock.
@@ -39,6 +44,7 @@ impl Default for VcOptions {
     fn default() -> Self {
         VcOptions {
             max_dp_steps: 4_000_000,
+            max_trail_bytes: None,
             max_awct_bumps: 128,
             time_limit: None,
             awct_cutoff: None,
@@ -194,7 +200,8 @@ impl VcScheduler {
         let mut span = vcsched_obs::span!("vc_attempt", insts = sb.len());
         let ctx = StateCtx::with_tuning(sb, &self.machine, self.options.tuning);
         let deadline = self.options.time_limit.map(|d| start + d);
-        let mut budget = Budget::new(self.options.max_dp_steps, deadline);
+        let mut budget = Budget::new(self.options.max_dp_steps, deadline)
+            .with_byte_cap(self.options.max_trail_bytes);
         let mut arena = StateArena::new();
         let searched = search(
             sb,
@@ -214,6 +221,9 @@ impl VcScheduler {
                 rollbacks: st.trail.rollbacks(),
                 peak_trail_depth: st.trail.peak_depth() as u64,
                 bytes_not_cloned: st.trail.bytes_not_cloned(),
+                redo_entries: st.trail.redo_entries_total(),
+                redo_replays: st.trail.redo_replays(),
+                redo_bytes_replayed: st.trail.redo_bytes_replayed(),
             })
             .unwrap_or_default();
         let m = crate::telemetry::attempt_metrics();
@@ -222,6 +232,9 @@ impl VcScheduler {
         m.trail_rollbacks.record(spec.rollbacks);
         m.trail_peak_depth.record(spec.peak_trail_depth);
         m.bytes_not_cloned.add(spec.bytes_not_cloned);
+        m.redo_entries.record(spec.redo_entries);
+        m.redo_replays.add(spec.redo_replays);
+        m.redo_bytes_replayed.add(spec.redo_bytes_replayed);
         let result = match searched {
             Ok(r) => {
                 m.outcome_ok.inc();

@@ -6,9 +6,13 @@
 //! real state), and adopt the heuristically best survivor.
 //!
 //! Studying is trail-based by default — apply on the real state, score,
-//! roll back, replay the winner — with the paper's literal clone-based
-//! engine kept behind [`crate::state::Tuning::clone_study`]; both produce
-//! byte-identical schedules, winners and step counts.
+//! roll back while capturing a forward [`RedoLog`], and adopt the winner
+//! by replaying its recorded deltas ([`SchedulingState::apply_redo`])
+//! instead of re-running deduction. Setting
+//! [`crate::state::Tuning::replay_deduction`] falls back to re-deducing
+//! the winner, and the paper's literal clone-based engine survives behind
+//! the `clone-study` feature; all three produce byte-identical schedules,
+//! winners and step counts.
 //!
 //! | stage | candidates                              | decision kind |
 //! |-------|------------------------------------------|---------------|
@@ -22,12 +26,15 @@
 use vcsched_graph::matching::{greedy_max_weight_matching, max_weight_matching};
 
 use crate::combination::{CombDomain, CombRange};
+#[cfg(feature = "clone-study")]
+use crate::decision::study_decision_cloned;
 use crate::decision::{
-    apply_decision, replay_decision, study_and_keep, study_decision, study_decision_cloned,
+    apply_decision, replay_decision, study_and_keep, study_decision, study_decision_with_redo,
     Decision,
 };
 use crate::dp::{self, Budget, Contradiction, DpAbort, Queue};
 use crate::state::{CommKind, EdgeState, NodeId, NodeKind, SchedulingState, SgEdge, StateScore};
+use crate::trail::RedoLog;
 
 /// Why a stage could not complete.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,38 +57,94 @@ fn map_abort(a: DpAbort) -> StageFail {
 const STUDY_WIDTH: usize = 2;
 
 /// One studied candidate: the heuristic score its future state would
-/// have, plus — clone engine only — the already-built future state.
+/// have, plus what adoption needs — the already-built future state
+/// (clone engine) or the captured forward deltas (redo engine). Both
+/// `None` means adoption re-deduces ([`replay_decision`]).
 struct Studied {
     score: StateScore,
     future: Option<Box<SchedulingState>>,
+    redo: Option<RedoLog>,
 }
 
-/// Studies `d` with the engine [`crate::state::Tuning::clone_study`]
-/// selects: trail-based (apply, score, roll back — no clone) or the
-/// legacy clone-based reference.
+/// Studies `d` on a clone (the `clone-study` reference engine).
+#[cfg(feature = "clone-study")]
+fn study_cloned(
+    st: &mut SchedulingState,
+    d: &Decision,
+    budget: &mut Budget,
+) -> Result<Studied, DpAbort> {
+    let mut future = study_decision_cloned(st, d, budget)?;
+    Ok(Studied {
+        score: future.score(),
+        future: Some(Box::new(future)),
+        redo: None,
+    })
+}
+
+#[cfg(not(feature = "clone-study"))]
+fn study_cloned(
+    _st: &mut SchedulingState,
+    _d: &Decision,
+    _budget: &mut Budget,
+) -> Result<Studied, DpAbort> {
+    unreachable!("clone_study_enabled() is false without the clone-study feature")
+}
+
+/// Studies `d` with the engine the tuning selects: trail-based with redo
+/// capture (the default), trail-based with winner re-deduction
+/// ([`crate::state::Tuning::replay_deduction`]), or the legacy
+/// clone-based reference (`clone-study` feature).
 fn study(st: &mut SchedulingState, d: &Decision, budget: &mut Budget) -> Result<Studied, DpAbort> {
-    if st.ctx.tuning.clone_study {
-        let mut future = study_decision_cloned(st, d, budget)?;
-        Ok(Studied {
-            score: future.score(),
-            future: Some(Box::new(future)),
-        })
-    } else {
+    if st.ctx.tuning.clone_study_enabled() {
+        study_cloned(st, d, budget)
+    } else if st.ctx.tuning.replay_deduction {
         Ok(Studied {
             score: study_decision(st, d, budget)?,
             future: None,
+            redo: None,
+        })
+    } else {
+        let (score, redo) = study_decision_with_redo(st, d, budget)?;
+        Ok(Studied {
+            score,
+            future: None,
+            redo: Some(redo),
         })
     }
 }
 
-/// Adopts a studied winner: move the clone in (clone engine) or replay
-/// the decision's deltas (trail engine; uncharged, see
-/// [`replay_decision`]).
+/// Adopts a studied winner: move the clone in (clone engine), replay the
+/// captured forward deltas (redo engine; see
+/// [`SchedulingState::apply_redo`]) or re-deduce the decision
+/// (re-deduction engine; uncharged, see [`replay_decision`]).
 fn adopt(st: &mut SchedulingState, d: &Decision, studied: Studied) {
-    match studied.future {
-        Some(future) => *st = *future,
-        None => replay_decision(st, d),
+    if let Some(future) = studied.future {
+        *st = *future;
+    } else if let Some(redo) = studied.redo {
+        st.apply_redo(&redo);
+    } else {
+        replay_decision(st, d);
     }
+}
+
+/// Studies `d` on a clone and adopts it by moving the clone in (the
+/// `clone-study` stage-3 path).
+#[cfg(feature = "clone-study")]
+fn study_adopt_cloned(
+    st: &mut SchedulingState,
+    d: &Decision,
+    budget: &mut Budget,
+) -> Result<(), DpAbort> {
+    study_decision_cloned(st, d, budget).map(|future| *st = future)
+}
+
+#[cfg(not(feature = "clone-study"))]
+fn study_adopt_cloned(
+    _st: &mut SchedulingState,
+    _d: &Decision,
+    _budget: &mut Budget,
+) -> Result<(), DpAbort> {
+    unreachable!("clone_study_enabled() is false without the clone-study feature")
 }
 
 /// Studies `d` and adopts it immediately on success (the stage-3 path).
@@ -92,8 +155,8 @@ fn study_adopt(
     d: &Decision,
     budget: &mut Budget,
 ) -> Result<Option<Contradiction>, StageFail> {
-    let outcome = if st.ctx.tuning.clone_study {
-        study_decision_cloned(st, d, budget).map(|future| *st = future)
+    let outcome = if st.ctx.tuning.clone_study_enabled() {
+        study_adopt_cloned(st, d, budget)
     } else {
         study_and_keep(st, d, budget)
     };
@@ -122,25 +185,40 @@ fn combination_stage(
 ) -> Result<(), StageFail> {
     loop {
         budget.spend(1).map_err(map_abort)?;
-        // Candidates: the lowest-slack open combinations.
-        let mut cands: Vec<(i64, NodeId, NodeId, i64)> = Vec::new();
+        // Candidates: the lowest-slack open combinations. Only the
+        // STUDY_WIDTH smallest are ever studied, so keep a sorted
+        // best-of array instead of materialising and sorting the full
+        // candidate list each round. Tuples are unique per (u, v, d),
+        // so lexicographic `<` reproduces the old full-sort order.
+        let mut cands: [Option<(i64, NodeId, NodeId, i64)>; STUDY_WIDTH] = [None; STUDY_WIDTH];
         for e in &st.edges {
             if !edge_filter(st, e) {
                 continue;
             }
             if let EdgeState::Open(dom) = &e.state {
                 for d in dom.iter() {
-                    cands.push((comb_slack(st, e.u, e.v, d), e.u, e.v, d));
+                    let t = (comb_slack(st, e.u, e.v, d), e.u, e.v, d);
+                    for slot in 0..STUDY_WIDTH {
+                        match cands[slot] {
+                            Some(cur) if cur <= t => continue,
+                            _ => {
+                                for k in (slot + 1..STUDY_WIDTH).rev() {
+                                    cands[k] = cands[k - 1];
+                                }
+                                cands[slot] = Some(t);
+                                break;
+                            }
+                        }
+                    }
                 }
             }
         }
-        if cands.is_empty() {
+        if cands[0].is_none() {
             return Ok(());
         }
-        cands.sort_unstable();
         let mut survivors: Vec<(Decision, Studied)> = Vec::new();
         let mut any_mandatory = false;
-        for &(_, u, v, d) in cands.iter().take(STUDY_WIDTH) {
+        for (_, u, v, d) in cands.iter().flatten().copied() {
             // Study both actions on the candidate (§4.4: "choose or
             // discard"): a contradiction on one side makes the other
             // mandatory; two viable futures go to the heuristics.
@@ -270,7 +348,7 @@ fn pinning_stage(
                     // adoption below supersedes this mandatory move, so
                     // the trail engine discards the move after charging
                     // it (see `mandatory_tighten`).
-                    let discard = !survivors.is_empty() && !st.ctx.tuning.clone_study;
+                    let discard = !survivors.is_empty() && !st.ctx.tuning.clone_study_enabled();
                     mandatory_tighten(st, budget, discard, |st, q| {
                         dp::tighten_lst(st, q, node, lst - 1)
                     })?;

@@ -18,11 +18,11 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use vcsched_arch::{ClusterId, MachineConfig, OpClass};
-use vcsched_graph::{OffsetUnionFind, SortedSet, Ungraph, UnionFind};
+use vcsched_graph::{Csr, GrowSet, OffsetUnionFind, Ungraph, UnionFind};
 use vcsched_ir::{DepGraph, DepKind, InstId, Superblock};
 
 use crate::combination::{CombDomain, CombRange};
-use crate::trail::{Trail, TrailEntry, TrailMark};
+use crate::trail::{RedoEntry, RedoLog, Trail, TrailEntry, TrailMark};
 
 /// Dense node index inside a scheduling state.
 ///
@@ -120,12 +120,35 @@ pub struct Tuning {
     /// Replace the exact maximum-weight matching of stage 3 by the greedy
     /// approximation.
     pub greedy_matching: bool,
+    /// Adopt stage winners by *re-running* their deduction (the pre-redo
+    /// trail engine) instead of replaying the captured redo log. Kept as a
+    /// live code path so `speculation_bench` can race adoption-by-replay
+    /// against adoption-by-re-deduction; results are byte-identical by
+    /// contract.
+    pub replay_deduction: bool,
     /// Study candidates on full state clones (the paper's literal §4.4.2
-    /// mechanism) instead of the trail-based delta/rollback engine. Kept
-    /// as a live code path so the differential tests and
-    /// `speculation_bench` can race the two engines; results are
-    /// byte-identical by contract.
+    /// mechanism) instead of the trail-based delta/rollback engine. A
+    /// test-and-bench-only fixture: compiled only with the `clone-study`
+    /// feature (enabled by the differential suite and
+    /// `speculation_bench`), absent from release hot paths.
+    #[cfg(feature = "clone-study")]
     pub clone_study: bool,
+}
+
+impl Tuning {
+    /// Whether the clone-study reference engine is selected. Always
+    /// `false` when the `clone-study` feature is off (the engine is not
+    /// compiled in).
+    pub fn clone_study_enabled(&self) -> bool {
+        #[cfg(feature = "clone-study")]
+        {
+            self.clone_study
+        }
+        #[cfg(not(feature = "clone-study"))]
+        {
+            false
+        }
+    }
 }
 
 /// Scheduling-graph edge lookup by node pair, kept as a `Vec` sorted by
@@ -224,6 +247,44 @@ pub struct StateCtx {
     /// Pairwise longest dependence paths: `paths[v][u]` is the heaviest
     /// path `u → v`, `None` when unreachable. Computed once per block.
     pub paths: Vec<Vec<Option<i64>>>,
+    /// Static hard-dependence successors `(node, latency)` per fixed node,
+    /// flattened CSR-style. Built once per block; per-attempt states layer
+    /// only their dynamic extras (comm dependence edges) on top, so state
+    /// resets stop rebuilding — and clones stop copying — the static
+    /// adjacency.
+    pub succ_csr: Csr<(NodeId, i64)>,
+    /// Static hard-dependence predecessors, mirror of
+    /// [`StateCtx::succ_csr`].
+    pub pred_csr: Csr<(NodeId, i64)>,
+    /// Machine-wide resource contenders per FU class (one list per
+    /// [`OpClass::FU_CLASSES`] entry, ascending node order). Static:
+    /// live-in instructions never compete and comm nodes are
+    /// `Copy`-class, so the fixed instruction prefix decides membership.
+    pub fu_nodes: [Vec<NodeId>; 4],
+    /// Statically-firing groups of the precedence resource rule, in the
+    /// exact order the per-round rescan used to visit them. Membership,
+    /// capacity overflow and the dependence-path slack depend only on the
+    /// dependence graph and the machine, so each fixpoint round only has
+    /// to fold the group's current EST/LST bounds.
+    pub prec_rules: Vec<PrecRule>,
+}
+
+/// One precomputed firing site of the precedence resource rule: more
+/// same-class instructions than the machine can issue are all forced
+/// before (or after) `node`, so `node`'s bound moves by the group's
+/// issue-round count plus its nearest dependence path.
+#[derive(Debug)]
+pub struct PrecRule {
+    /// The instruction whose bound the rule tightens.
+    pub node: usize,
+    /// `false`: `members` precede `node` (tightens its EST); `true`:
+    /// `members` follow it (tightens its LST).
+    pub succ_side: bool,
+    /// The same-class group forced to one side of `node`.
+    pub members: Vec<usize>,
+    /// `(issue rounds − 1) + min dependence path`, added to the group's
+    /// min EST (or subtracted from its max LST).
+    pub slack: i64,
 }
 
 impl StateCtx {
@@ -251,19 +312,86 @@ impl StateCtx {
             }
         }
         let paths: Vec<Vec<Option<i64>>> = (0..n).map(|v| dg.graph().longest_to(v)).collect();
+        // Static adjacency, flattened. Row-major over producers exactly as
+        // the per-attempt reset used to push, so CSR iteration is
+        // bit-compatible with the `Vec<Vec<…>>` it replaces; anchor rows
+        // (the `cluster_count` tail) are empty.
+        let fixed = n + machine.cluster_count();
+        let mut succ_rows: Vec<Vec<(NodeId, i64)>> = vec![Vec::new(); fixed];
+        let mut pred_rows: Vec<Vec<(NodeId, i64)>> = vec![Vec::new(); fixed];
+        for u in 0..n {
+            for &(v, lat) in dg.graph().succs(u) {
+                succ_rows[u].push((v, lat as i64));
+                pred_rows[v].push((u, lat as i64));
+            }
+        }
+        let succ_csr: Csr<(NodeId, i64)> = succ_rows.into_iter().collect();
+        let pred_csr: Csr<(NodeId, i64)> = pred_rows.into_iter().collect();
+        let classes: Vec<OpClass> = sb.insts().iter().map(|i| i.class()).collect();
+        let live_in: Vec<bool> = sb.insts().iter().map(|i| i.is_live_in()).collect();
+        let mut fu_nodes: [Vec<NodeId>; 4] = Default::default();
+        for (ci, &class) in OpClass::FU_CLASSES.iter().enumerate() {
+            fu_nodes[ci] = (0..n)
+                .filter(|&i| !live_in[i] && classes[i] == class)
+                .collect();
+        }
+        // Same visit order as the per-round rescan this replaces: node
+        // ascending, FU class order, predecessor side before successor
+        // side — the deduction queue is order-sensitive.
+        let mut prec_rules = Vec::new();
+        let inst = |i: usize| vcsched_ir::InstId(i as u32);
+        for x in 0..n {
+            for class in OpClass::FU_CLASSES {
+                let cap = machine.total_capacity(class) as i64;
+                if cap == 0 {
+                    continue;
+                }
+                for succ_side in [false, true] {
+                    let mut members = Vec::new();
+                    let mut min_path = i64::MAX;
+                    for m in 0..n {
+                        let forced = if succ_side {
+                            dg.reaches(inst(x), inst(m))
+                        } else {
+                            dg.reaches(inst(m), inst(x))
+                        };
+                        if classes[m] == class && !live_in[m] && forced {
+                            members.push(m);
+                            let d = if succ_side { paths[m][x] } else { paths[x][m] };
+                            if let Some(d) = d {
+                                min_path = min_path.min(d);
+                            }
+                        }
+                    }
+                    if members.len() as i64 > cap && min_path != i64::MAX {
+                        let rounds = (members.len() as i64 + cap - 1) / cap;
+                        prec_rules.push(PrecRule {
+                            node: x,
+                            succ_side,
+                            members,
+                            slack: (rounds - 1) + min_path,
+                        });
+                    }
+                }
+            }
+        }
         Arc::new(StateCtx {
             machine: machine.clone(),
             tuning,
             n_insts: n,
-            classes: sb.insts().iter().map(|i| i.class()).collect(),
+            classes,
             latencies: sb.insts().iter().map(|i| i.latency()).collect(),
-            live_in: sb.insts().iter().map(|i| i.is_live_in()).collect(),
+            live_in,
             exit: sb.insts().iter().map(|i| i.is_exit()).collect(),
             data_edges,
             dg,
             consumers_of,
             producers_of,
             paths,
+            succ_csr,
+            pred_csr,
+            fu_nodes,
+            prec_rules,
         })
     }
 
@@ -314,18 +442,22 @@ pub struct SchedulingState {
     pub est: Vec<i64>,
     /// Latest start per node.
     pub lst: Vec<i64>,
-    /// Hard dependence successors `(node, latency)` per node.
+    /// *Dynamic* hard dependence successors `(node, latency)` per node —
+    /// only the edges deduction adds (communication edges). The static
+    /// superblock adjacency lives in [`StateCtx::succ_csr`] and is
+    /// iterated before these extras.
     pub succ: Vec<Vec<(NodeId, i64)>>,
-    /// Hard dependence predecessors `(node, latency)` per node.
+    /// *Dynamic* hard dependence predecessors, mirror of
+    /// [`SchedulingState::succ`].
     pub pred: Vec<Vec<(NodeId, i64)>>,
     /// Connected components over nodes, with fixed cycle offsets.
     pub cc: OffsetUnionFind,
     /// Virtual clusters over nodes.
     pub vc: UnionFind,
-    /// VC incompatibility adjacency, authoritative at VC roots. Sorted-vec
-    /// sets: ascending iteration like the former `BTreeSet`, contiguous
-    /// storage, bit-exact under insert/remove round trips.
-    pub vc_adj: Vec<SortedSet>,
+    /// VC incompatibility adjacency, authoritative at VC roots. Growable
+    /// bitsets: ascending iteration like the former sorted vecs, one cache
+    /// line for typical degrees, semantic equality under rollback churn.
+    pub vc_adj: Vec<GrowSet>,
     /// Scheduling-graph edges.
     pub edges: Vec<SgEdge>,
     /// Edge index by node pair `(min, max)`, flat and binary-searched.
@@ -350,6 +482,11 @@ pub struct SchedulingState {
     /// Set whenever a bound tightened or the VC/comm structure changed;
     /// gates re-running the (expensive) resource rules.
     pub dirty: bool,
+    /// Set when the virtual-cluster graph (VC sets or incompatibility
+    /// adjacency) may have changed since the last colourability check that
+    /// passed; clear means the VCG is bit-identical to one already proven
+    /// colourable, so the check can be skipped with an identical result.
+    pub vcg_dirty: bool,
     /// The speculation trail: undo log plus lifetime telemetry.
     pub trail: Trail,
 }
@@ -441,6 +578,14 @@ impl SchedulingState {
             .collect()
     }
 
+    /// Number of current VC roots — `vc_roots().len()` without the
+    /// allocation (the score heuristic calls this once per study).
+    pub fn vc_root_count(&self) -> usize {
+        (0..self.kind.len())
+            .filter(|&m| !self.vc_list[m].is_empty() && !matches!(self.kind[m], NodeKind::Comm(_)))
+            .count()
+    }
+
     /// The anchor cluster a node's VC is mapped to, if any.
     pub fn cluster_of(&mut self, n: NodeId) -> Option<ClusterId> {
         let root = self.vc.find(n);
@@ -466,15 +611,48 @@ impl SchedulingState {
     /// Data edges whose endpoints sit in *different, compatible* VCs — the
     /// paper's *outedges* (§4.4.1.2), the edges stage 3 eliminates.
     pub fn outedges(&mut self) -> Vec<(NodeId, NodeId)> {
+        // Memoise VC roots across the edge walk: endpoints repeat across
+        // data edges, and with the trail journaling suspending path
+        // compression each `find` would otherwise re-walk its chain.
+        let mut root = vec![usize::MAX; self.kind.len()];
+        let mut root_of = |vc: &mut UnionFind, n: NodeId| {
+            if root[n] == usize::MAX {
+                root[n] = vc.find(n);
+            }
+            root[n]
+        };
+        let ctx = Arc::clone(&self.ctx);
         let mut out = Vec::new();
-        for i in 0..self.ctx.data_edges.len() {
-            let (p, c) = self.ctx.data_edges[i];
-            let (rp, rc) = (self.vc.find(p), self.vc.find(c));
+        for &(p, c) in &ctx.data_edges {
+            let rp = root_of(&mut self.vc, p);
+            let rc = root_of(&mut self.vc, c);
             if rp != rc && !self.vc_adj[rp].contains(rc) {
                 out.push((p, c));
             }
         }
         out
+    }
+
+    /// `outedges().len()` without materialising the pair list (the score
+    /// heuristic only needs the count).
+    pub fn outedge_count(&mut self) -> usize {
+        let mut root = vec![usize::MAX; self.kind.len()];
+        let mut root_of = |vc: &mut UnionFind, n: NodeId| {
+            if root[n] == usize::MAX {
+                root[n] = vc.find(n);
+            }
+            root[n]
+        };
+        let ctx = Arc::clone(&self.ctx);
+        let mut count = 0;
+        for &(p, c) in &ctx.data_edges {
+            let rp = root_of(&mut self.vc, p);
+            let rc = root_of(&mut self.vc, c);
+            if rp != rc && !self.vc_adj[rp].contains(rc) {
+                count += 1;
+            }
+        }
+        count
     }
 
     /// Heuristic score of this state (§4.4.3).
@@ -484,8 +662,8 @@ impl SchedulingState {
             .filter(|&n| self.ctx.exit[n])
             .map(|n| self.est[n])
             .sum();
-        let outedges = self.outedges().len() as i64;
-        let vcs = self.vc_roots().len() as i64;
+        let outedges = self.outedge_count() as i64;
+        let vcs = self.vc_root_count() as i64;
         StateScore {
             comms,
             compactness,
@@ -521,6 +699,7 @@ impl SchedulingState {
             cc: self.cc.mark(),
             vc: self.vc.mark(),
             dirty: self.dirty,
+            vcg_dirty: self.vcg_dirty,
         }
     }
 
@@ -588,6 +767,9 @@ impl SchedulingState {
         self.cc.end_journal();
         self.vc.end_journal();
         self.dirty = mark.dirty;
+        // The VCG is restored bit-exactly too, so the colourability verdict
+        // the mark-time state held (checked or not) is valid again.
+        self.vcg_dirty = mark.vcg_dirty;
         self.trail.active = false;
     }
 
@@ -598,6 +780,151 @@ impl SchedulingState {
         self.cc.end_journal();
         self.vc.end_journal();
         self.trail.active = false;
+    }
+
+    /// Adopts a studied decision by replaying its captured forward deltas
+    /// (see [`RedoLog`]) instead of re-running deduction. The log was
+    /// captured on this exact state, so applying the records in order
+    /// reproduces the post-study state bit-exactly — uncharged against any
+    /// budget, leaving step telemetry untouched. Runs outside speculation
+    /// (like the re-deduction it replaces); ends with `dirty` clear, the
+    /// fixpoint the study's drain left behind.
+    pub fn apply_redo(&mut self, log: &RedoLog) {
+        debug_assert!(!self.trail.active, "adoption replays outside speculation");
+        use std::mem::size_of;
+        let mut bytes = 0u64;
+        for entry in &log.entries {
+            match *entry {
+                RedoEntry::Est { n, new } => {
+                    self.est[n] = new;
+                    bytes += 16;
+                }
+                RedoEntry::Lst { n, new } => {
+                    self.lst[n] = new;
+                    bytes += 16;
+                }
+                RedoEntry::Edge { e, new } => {
+                    self.edges[e].state = new;
+                    bytes += size_of::<EdgeState>() as u64;
+                }
+                RedoEntry::DepEdge { from, to, lat } => {
+                    self.succ[from].push((to, lat));
+                    self.pred[to].push((from, lat));
+                    bytes += 32;
+                }
+                RedoEntry::CcUnion { u, v, delta } => {
+                    use vcsched_graph::OffsetUnion;
+                    let r = self.cc.union_with_offset(u, v, delta);
+                    debug_assert!(matches!(r, OffsetUnion::Merged));
+                    let _ = r;
+                    bytes += 16;
+                }
+                RedoEntry::CcListMove { root, minor } => {
+                    let moved = std::mem::take(&mut self.cc_list[minor]);
+                    bytes += 16 + moved.len() as u64 * 8;
+                    self.cc_list[root].extend(moved);
+                }
+                RedoEntry::VcUnion { a, b } => {
+                    self.vc.union(a, b);
+                    bytes += 16;
+                }
+                RedoEntry::VcListMove { root, minor } => {
+                    let moved = std::mem::take(&mut self.vc_list[minor]);
+                    bytes += 16 + moved.len() as u64 * 8;
+                    self.vc_list[root].extend(moved);
+                }
+                RedoEntry::VcAdjInsert { a, b } => {
+                    self.vc_adj[a].insert(b);
+                    bytes += 16;
+                }
+                RedoEntry::VcAdjRemove { a, b } => {
+                    self.vc_adj[a].remove(b);
+                    bytes += 16;
+                }
+                RedoEntry::NewNode { est, lst } => {
+                    // Comm pushes replay in order, so the comm index the
+                    // node will point at is again `comms.len()`.
+                    let node = self.kind.len();
+                    self.kind.push(NodeKind::Comm(self.comms.len()));
+                    self.est.push(est);
+                    self.lst.push(lst);
+                    self.succ.push(Vec::new());
+                    self.pred.push(Vec::new());
+                    let cc_id = self.cc.push();
+                    debug_assert_eq!(cc_id, node);
+                    let vc_id = self.vc.push();
+                    debug_assert_eq!(vc_id, node);
+                    self.vc_adj.push(Default::default());
+                    self.edges_at.push(Vec::new());
+                    self.cc_list.push(vec![node]);
+                    self.vc_list.push(vec![node]);
+                    bytes += 128;
+                }
+                RedoEntry::CommPushFlc {
+                    node,
+                    value,
+                    consumer,
+                } => {
+                    self.comms.push(Comm {
+                        node,
+                        kind: CommKind::Flc {
+                            value,
+                            consumers: vec![consumer],
+                        },
+                    });
+                    bytes += 48;
+                }
+                RedoEntry::CommPushPPlc {
+                    node,
+                    producers,
+                    consumer,
+                } => {
+                    self.comms.push(Comm {
+                        node,
+                        kind: CommKind::PPlc {
+                            producers,
+                            consumer,
+                        },
+                    });
+                    bytes += 48;
+                }
+                RedoEntry::CommPushCPlc {
+                    node,
+                    value,
+                    consumers,
+                } => {
+                    self.comms.push(Comm {
+                        node,
+                        kind: CommKind::CPlc { value, consumers },
+                    });
+                    bytes += 48;
+                }
+                RedoEntry::CommConsumerPush { ci, c } => {
+                    if let CommKind::Flc { consumers, .. } = &mut self.comms[ci].kind {
+                        consumers.push(c);
+                    }
+                    bytes += 16;
+                }
+                RedoEntry::CommSetDead { ci } => {
+                    self.comms[ci].kind = CommKind::Dead;
+                    bytes += 16;
+                }
+                RedoEntry::FlcPush { value, ci } => {
+                    self.flc_by_value.entry(value).or_default().push(ci);
+                    bytes += 16;
+                }
+                RedoEntry::PlcInsert { key } => {
+                    self.plc_seen.insert(key);
+                    bytes += 32;
+                }
+            }
+        }
+        self.dirty = false;
+        // The replayed study ended with a passing colourability check (it
+        // survived), and the replay reproduces that exact post-study VCG.
+        self.vcg_dirty = false;
+        self.trail.charge_bytes(bytes);
+        self.trail.note_redo_replay(bytes);
     }
 
     /// Estimated heap bytes a full clone of this state would copy — the
@@ -640,15 +967,18 @@ impl SchedulingState {
     /// graph nodes indexing into `roots`.
     pub fn vcg_view(&mut self) -> (Ungraph, Vec<usize>) {
         let roots = self.vc_roots();
-        let index: BTreeMap<usize, usize> =
-            roots.iter().enumerate().map(|(i, &r)| (r, i)).collect();
+        // Flat root → view-index table; adjacency rows may still name
+        // merged-away roots, which stay at the MAX sentinel and are skipped.
+        let mut index = vec![usize::MAX; self.kind.len()];
+        for (i, &r) in roots.iter().enumerate() {
+            index[r] = i;
+        }
         let mut g = Ungraph::new(roots.len());
         for (i, &r) in roots.iter().enumerate() {
-            for &n in &self.vc_adj[r] {
-                if let Some(&j) = index.get(&n) {
-                    if i < j {
-                        g.add_edge(i, j);
-                    }
+            for n in self.vc_adj[r].iter() {
+                let j = index[n];
+                if j != usize::MAX && i < j {
+                    g.add_edge(i, j);
                 }
             }
         }

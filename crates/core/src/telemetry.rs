@@ -25,6 +25,13 @@ pub(crate) struct AttemptMetrics {
     pub trail_peak_depth: Histogram,
     /// `vc_bytes_not_cloned_total` — bytes the trail engine avoided cloning.
     pub bytes_not_cloned: Counter,
+    /// `vc_redo_entries` — forward (redo) records captured per attempt.
+    pub redo_entries: Histogram,
+    /// `vc_redo_replays_total` — winner adoptions performed by redo replay.
+    pub redo_replays: Counter,
+    /// `vc_redo_bytes_replayed_total` — state bytes written back by redo
+    /// replays.
+    pub redo_bytes_replayed: Counter,
     /// `vc_attempts_total{outcome=…}` — attempts by outcome.
     pub outcome_ok: Counter,
     /// See [`AttemptMetrics::outcome_ok`].
@@ -46,6 +53,9 @@ pub(crate) fn attempt_metrics() -> &'static AttemptMetrics {
             trail_rollbacks: r.histogram("vc_trail_rollbacks"),
             trail_peak_depth: r.histogram("vc_trail_peak_depth"),
             bytes_not_cloned: r.counter("vc_bytes_not_cloned_total"),
+            redo_entries: r.histogram("vc_redo_entries"),
+            redo_replays: r.counter("vc_redo_replays_total"),
+            redo_bytes_replayed: r.counter("vc_redo_bytes_replayed_total"),
             outcome_ok: r.counter_with("vc_attempts_total", &[("outcome", "ok")]),
             outcome_budget: r.counter_with("vc_attempts_total", &[("outcome", "budget")]),
             outcome_bump_limit: r.counter_with("vc_attempts_total", &[("outcome", "bump_limit")]),

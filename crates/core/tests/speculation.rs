@@ -1,13 +1,15 @@
-//! Differential tests of the trail-based speculation engine against the
-//! legacy clone-based study (§4.4.2): same contradictions, same scores,
-//! bit-identical states after rollback, and bit-identical schedules,
-//! winners and step counts from the full scheduler — over synthesized
-//! blocks × machines.
+//! Differential tests of the speculation engines (§4.4.2): the default
+//! redo-replay adoption against winner re-deduction (always compiled),
+//! and both against the legacy clone-based study (under the
+//! `clone-study` feature). Same contradictions, same scores,
+//! bit-identical states after rollback and adoption, and bit-identical
+//! schedules, winners and step counts from the full scheduler — over
+//! synthesized blocks × machines.
 
 use proptest::prelude::*;
 use vcsched_arch::{ClusterId, MachineConfig, OpClass};
 use vcsched_core::{
-    decision::{study_and_keep, study_decision, study_decision_cloned},
+    decision::{study_and_keep, study_decision, study_decision_with_redo},
     dp::Budget,
     init::{build_state, sg_windows},
     Decision, EdgeState, SchedulingState, StateCtx, Tuning, VcError, VcOptions, VcScheduler,
@@ -48,7 +50,7 @@ fn fingerprint(st: &SchedulingState) -> String {
         })
         .collect();
     let _ = write!(out, "cc={cc_canon:?};");
-    let adj: Vec<&[usize]> = st.vc_adj.iter().map(|s| s.as_slice()).collect();
+    let adj: Vec<Vec<usize>> = st.vc_adj.iter().map(|s| s.iter().collect()).collect();
     let _ = write!(out, "vc_adj={adj:?};");
     for e in &st.edges {
         let _ = write!(out, "e({},{},{:?},{:?});", e.u, e.v, e.window, e.state);
@@ -165,73 +167,167 @@ fn built_state(sb: &Superblock, machine: &MachineConfig) -> Option<SchedulingSta
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    /// Per candidate decision: the trail study and the clone study agree
-    /// on viability and score, the trail rollback restores the state
-    /// bit-exactly, and keeping the deltas equals adopting the clone.
+    /// Per candidate decision: the redo-capturing study agrees with the
+    /// plain trail study on viability and score, both roll back
+    /// bit-exactly, and adopting by redo replay equals adopting by
+    /// re-deducing the decision.
     #[test]
-    fn trail_study_matches_clone_study(sb in arb_superblock()) {
+    fn redo_replay_matches_rededuction(sb in arb_superblock()) {
         for machine in machines() {
             let Some(mut st) = built_state(&sb, &machine) else { continue };
             let before = fingerprint(&st);
             for decision in candidate_decisions(&st) {
-                // Trail-based study: state must come back bit-exact.
-                let trail = study_decision(&mut st, &decision, &mut Budget::unlimited());
+                let redo = study_decision_with_redo(&mut st, &decision, &mut Budget::unlimited());
                 prop_assert_eq!(
                     fingerprint(&st), before.clone(),
-                    "rollback must restore the state ({decision:?})"
+                    "redo study rollback must restore the state ({decision:?})"
                 );
-                // Clone-based study on the same state.
-                let cloned = study_decision_cloned(&st, &decision, &mut Budget::unlimited());
-                match (trail, cloned) {
-                    (Ok(score), Ok(mut future)) => {
-                        prop_assert_eq!(score, future.score(),
-                            "engines must score the future identically");
-                        // Keeping the deltas equals adopting the clone.
-                        let mut kept = st.clone();
-                        study_and_keep(&mut kept, &decision, &mut Budget::unlimited())
+                let plain = study_decision(&mut st, &decision, &mut Budget::unlimited());
+                prop_assert_eq!(
+                    fingerprint(&st), before.clone(),
+                    "plain study rollback must restore the state ({decision:?})"
+                );
+                match (redo, plain) {
+                    (Ok((score, log)), Ok(plain_score)) => {
+                        prop_assert_eq!(score, plain_score,
+                            "redo capture must not change the score");
+                        // Adoption by replaying the captured deltas …
+                        let mut by_replay = st.clone();
+                        by_replay.apply_redo(&log);
+                        // … equals adoption by re-deducing the decision.
+                        let mut by_rededuce = st.clone();
+                        study_and_keep(&mut by_rededuce, &decision, &mut Budget::unlimited())
                             .expect("viable decision");
-                        prop_assert_eq!(fingerprint(&kept), fingerprint(&future),
-                            "committed deltas must equal the adopted clone");
+                        prop_assert_eq!(fingerprint(&by_replay), fingerprint(&by_rededuce),
+                            "redo replay must equal re-deduction ({decision:?})");
                     }
                     (Err(a), Err(b)) => prop_assert_eq!(a, b),
                     (a, b) => prop_assert!(false,
-                        "engines disagree on {decision:?}: trail {a:?} vs clone {b:?}"),
+                        "studies disagree on {decision:?}: redo {a:?} vs plain {b:?}"),
                 }
             }
         }
     }
 
     /// The full scheduler produces bit-identical outcomes — schedule,
-    /// AWCT, step count, bump count, minAWCT — under both engines.
+    /// AWCT, step count, bump count, minAWCT, trail telemetry — whether
+    /// winners are adopted by redo replay (default) or by re-deduction
+    /// ([`Tuning::replay_deduction`]).
     #[test]
-    fn full_search_is_engine_invariant(sb in arb_superblock()) {
+    fn full_search_is_adoption_invariant(sb in arb_superblock()) {
         for machine in machines() {
-            let run = |clone_study: bool| {
+            let run = |replay_deduction: bool| {
                 VcScheduler::with_options(machine.clone(), VcOptions {
                     max_dp_steps: 200_000,
-                    tuning: Tuning { clone_study, ..Tuning::default() },
+                    tuning: Tuning { replay_deduction, ..Tuning::default() },
                     ..VcOptions::default()
                 })
                 .try_schedule_with_live_ins(&sb, &[ClusterId(0), ClusterId(1)])
             };
-            let trail = run(false);
-            let clone = run(true);
-            prop_assert_eq!(trail.dp_steps, clone.dp_steps,
-                "step telemetry must be engine-invariant");
-            match (trail.result, clone.result) {
+            let redo = run(false);
+            let rededuce = run(true);
+            prop_assert_eq!(redo.dp_steps, rededuce.dp_steps,
+                "step telemetry must be adoption-invariant");
+            prop_assert_eq!(redo.spec.trail_entries, rededuce.spec.trail_entries);
+            prop_assert_eq!(redo.spec.rollbacks, rededuce.spec.rollbacks);
+            prop_assert_eq!(redo.spec.peak_trail_depth, rededuce.spec.peak_trail_depth);
+            prop_assert_eq!(redo.spec.bytes_not_cloned, rededuce.spec.bytes_not_cloned);
+            prop_assert_eq!(rededuce.spec.redo_replays, 0,
+                "the re-deduction engine never replays a redo log");
+            match (redo.result, rededuce.result) {
                 (Ok(a), Ok(b)) => {
                     prop_assert_eq!(a.schedule, b.schedule);
                     prop_assert_eq!(a.awct, b.awct);
                     prop_assert_eq!(a.stats.awct_bumps, b.stats.awct_bumps);
                     prop_assert_eq!(a.stats.min_awct, b.stats.min_awct);
                     prop_assert_eq!(a.stats.dp_steps, b.stats.dp_steps);
-                    // Telemetry shape: the trail engine speculates, the
-                    // clone engine never touches the trail.
-                    prop_assert_eq!(b.stats.spec.trail_entries, 0);
-                    prop_assert_eq!(b.stats.spec.rollbacks, 0);
                 }
                 (Err(a), Err(b)) => prop_assert_eq!(a, b),
                 (a, b) => prop_assert!(false, "engines disagree: {a:?} vs {b:?}"),
+            }
+        }
+    }
+}
+
+/// Differential tests against the paper's literal clone-based engine —
+/// the `clone-study` reference fixture.
+#[cfg(feature = "clone-study")]
+mod clone_reference {
+    use super::*;
+    use vcsched_core::decision::study_decision_cloned;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Per candidate decision: the trail study and the clone study
+        /// agree on viability and score, the trail rollback restores the
+        /// state bit-exactly, and keeping the deltas equals adopting the
+        /// clone.
+        #[test]
+        fn trail_study_matches_clone_study(sb in arb_superblock()) {
+            for machine in machines() {
+                let Some(mut st) = built_state(&sb, &machine) else { continue };
+                let before = fingerprint(&st);
+                for decision in candidate_decisions(&st) {
+                    // Trail-based study: state must come back bit-exact.
+                    let trail = study_decision(&mut st, &decision, &mut Budget::unlimited());
+                    prop_assert_eq!(
+                        fingerprint(&st), before.clone(),
+                        "rollback must restore the state ({decision:?})"
+                    );
+                    // Clone-based study on the same state.
+                    let cloned = study_decision_cloned(&st, &decision, &mut Budget::unlimited());
+                    match (trail, cloned) {
+                        (Ok(score), Ok(mut future)) => {
+                            prop_assert_eq!(score, future.score(),
+                                "engines must score the future identically");
+                            // Keeping the deltas equals adopting the clone.
+                            let mut kept = st.clone();
+                            study_and_keep(&mut kept, &decision, &mut Budget::unlimited())
+                                .expect("viable decision");
+                            prop_assert_eq!(fingerprint(&kept), fingerprint(&future),
+                                "committed deltas must equal the adopted clone");
+                        }
+                        (Err(a), Err(b)) => prop_assert_eq!(a, b),
+                        (a, b) => prop_assert!(false,
+                            "engines disagree on {decision:?}: trail {a:?} vs clone {b:?}"),
+                    }
+                }
+            }
+        }
+
+        /// The full scheduler produces bit-identical outcomes — schedule,
+        /// AWCT, step count, bump count, minAWCT — under both engines.
+        #[test]
+        fn full_search_is_engine_invariant(sb in arb_superblock()) {
+            for machine in machines() {
+                let run = |clone_study: bool| {
+                    VcScheduler::with_options(machine.clone(), VcOptions {
+                        max_dp_steps: 200_000,
+                        tuning: Tuning { clone_study, ..Tuning::default() },
+                        ..VcOptions::default()
+                    })
+                    .try_schedule_with_live_ins(&sb, &[ClusterId(0), ClusterId(1)])
+                };
+                let trail = run(false);
+                let clone = run(true);
+                prop_assert_eq!(trail.dp_steps, clone.dp_steps,
+                    "step telemetry must be engine-invariant");
+                match (trail.result, clone.result) {
+                    (Ok(a), Ok(b)) => {
+                        prop_assert_eq!(a.schedule, b.schedule);
+                        prop_assert_eq!(a.awct, b.awct);
+                        prop_assert_eq!(a.stats.awct_bumps, b.stats.awct_bumps);
+                        prop_assert_eq!(a.stats.min_awct, b.stats.min_awct);
+                        prop_assert_eq!(a.stats.dp_steps, b.stats.dp_steps);
+                        // Telemetry shape: the trail engine speculates, the
+                        // clone engine never touches the trail.
+                        prop_assert_eq!(b.stats.spec.trail_entries, 0);
+                        prop_assert_eq!(b.stats.spec.rollbacks, 0);
+                    }
+                    (Err(a), Err(b)) => prop_assert_eq!(a, b),
+                    (a, b) => prop_assert!(false, "engines disagree: {a:?} vs {b:?}"),
+                }
             }
         }
     }

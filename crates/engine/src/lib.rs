@@ -103,6 +103,9 @@ pub struct BatchConfig {
     pub adaptive: Option<AdaptiveOptions>,
     /// VC deduction-step budget per block.
     pub max_dp_steps: u64,
+    /// Optional VC trail-work budget per block, in bytes of state touched
+    /// by deduction mutations (`--budget-bytes`).
+    pub max_trail_bytes: Option<u64>,
     /// Seed for the per-block live-in placements (§6.1 randomizes these
     /// but hands every scheduler the same assignment).
     pub placement_seed: u64,
@@ -131,6 +134,7 @@ impl Default for BatchConfig {
             early_cancel: false,
             adaptive: None,
             max_dp_steps: STEPS_1M,
+            max_trail_bytes: None,
             placement_seed: 0xC60_2007,
             cache_dir: None,
             cache_capacity: 1 << 16,
@@ -289,8 +293,9 @@ fn problem_key(
     // The machine's Debug form covers every field; options and homes are
     // tiny, so a readable composite string is cheap and stable.
     let composite = format!(
-        "{sb_json}|{machine:?}|{homes:?}|steps={}|policies={}|early_cancel={}",
+        "{sb_json}|{machine:?}|{homes:?}|steps={}|bytes={:?}|policies={}|early_cancel={}",
         options.max_dp_steps,
+        options.max_trail_bytes,
         options.policies.versioned_key_with(registry),
         options.early_cancel
     );
@@ -439,6 +444,7 @@ pub fn run_batch_with_cache(
 ) -> Result<BatchResult, String> {
     let options = PolicyOptions {
         max_dp_steps: config.max_dp_steps,
+        max_trail_bytes: config.max_trail_bytes,
         policies: config.policies.clone(),
         early_cancel: config.early_cancel,
     };
@@ -483,6 +489,7 @@ pub fn run_batch_with_selector(
         );
         let options = PolicyOptions {
             max_dp_steps: config.max_dp_steps,
+            max_trail_bytes: config.max_trail_bytes,
             policies: decisions[i].policies.clone(),
             early_cancel: config.early_cancel,
         };

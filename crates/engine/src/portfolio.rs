@@ -37,6 +37,10 @@ pub struct PolicyOptions {
     /// Deduction-step budget for exhaustive policies (the compile-time
     /// threshold of §6.1; see [`crate::STEPS_4M`] and friends).
     pub max_dp_steps: u64,
+    /// Optional trail-work budget in bytes of state touched by deduction
+    /// mutations (`--budget-bytes`); `None` leaves exhaustive policies
+    /// bounded by `max_dp_steps` alone.
+    pub max_trail_bytes: Option<u64>,
     /// The policies to race, in canonical tie-break order.
     pub policies: PolicySet,
     /// Seal the validated single-pass results into a shared best-AWCT
@@ -53,6 +57,7 @@ impl Default for PolicyOptions {
     fn default() -> Self {
         PolicyOptions {
             max_dp_steps: crate::STEPS_4M,
+            max_trail_bytes: None,
             policies: PolicySet::single(),
             early_cancel: false,
         }
@@ -202,6 +207,7 @@ pub fn schedule_block_with(
     let bound = AwctBound::new();
     let budget = PolicyBudget {
         max_dp_steps: options.max_dp_steps,
+        max_trail_bytes: options.max_trail_bytes,
         best: bound.clone(),
     };
 
@@ -325,7 +331,7 @@ mod tests {
         PolicyOptions {
             max_dp_steps: steps,
             policies,
-            early_cancel: false,
+            ..PolicyOptions::default()
         }
     }
 

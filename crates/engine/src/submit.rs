@@ -126,7 +126,9 @@ impl<T> Reply<T> {
 
 enum TaskKind {
     Solve {
-        problem: Problem,
+        // Boxed: a Problem is an order of magnitude larger than the
+        // Probe variant, and tasks move through a channel by value.
+        problem: Box<Problem>,
         reply: Reply<Solved>,
     },
     Probe {
@@ -369,7 +371,7 @@ impl SubmitPool {
         let (reply, rx) = mpsc::channel();
         self.dispatch(
             TaskKind::Solve {
-                problem,
+                problem: Box::new(problem),
                 reply: Reply::Channel(reply),
             },
             false,
@@ -383,7 +385,7 @@ impl SubmitPool {
         let (reply, rx) = mpsc::channel();
         self.dispatch(
             TaskKind::Solve {
-                problem,
+                problem: Box::new(problem),
                 reply: Reply::Channel(reply),
             },
             true,
@@ -406,7 +408,7 @@ impl SubmitPool {
     ) -> Result<(), SubmitError> {
         self.dispatch(
             TaskKind::Solve {
-                problem,
+                problem: Box::new(problem),
                 reply: Reply::Callback(Box::new(notify)),
             },
             false,
@@ -423,7 +425,7 @@ impl SubmitPool {
     ) -> Result<(), SubmitError> {
         self.dispatch(
             TaskKind::Solve {
-                problem,
+                problem: Box::new(problem),
                 reply: Reply::Callback(Box::new(notify)),
             },
             true,

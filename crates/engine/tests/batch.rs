@@ -143,6 +143,7 @@ fn cache_never_aliases_across_policy_sets() {
         max_dp_steps: STEPS_1S,
         policies: PolicySet::parse(spec).expect("valid set"),
         early_cancel,
+        max_trail_bytes: None,
     };
     let vc_only = opts("vc", false);
     let full = opts("vc,cars,uas,two-phase", false);

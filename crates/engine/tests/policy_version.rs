@@ -69,6 +69,7 @@ fn opts(set: PolicySet) -> PolicyOptions {
         max_dp_steps: 1_000,
         policies: set,
         early_cancel: false,
+        max_trail_bytes: None,
     }
 }
 

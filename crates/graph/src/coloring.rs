@@ -27,14 +27,21 @@ pub fn degree_order(g: &Ungraph) -> Vec<usize> {
 pub fn greedy_coloring(g: &Ungraph, order: &[usize]) -> Vec<usize> {
     let n = g.node_count();
     let mut color = vec![usize::MAX; n];
+    // One scratch row reused across nodes; cleared per node by walking the
+    // same neighbours that set it, so the cost is O(degree), not O(n).
+    let mut taken: Vec<bool> = vec![false; n.max(1)];
     for &v in order {
-        let mut taken: Vec<bool> = vec![false; n.max(1)];
         for u in g.neighbors(v) {
             if color[u] != usize::MAX {
                 taken[color[u]] = true;
             }
         }
         color[v] = (0..).find(|&c| !taken[c]).expect("always a free colour");
+        for u in g.neighbors(v) {
+            if color[u] != usize::MAX {
+                taken[color[u]] = false;
+            }
+        }
     }
     color
 }
@@ -57,7 +64,8 @@ pub fn is_k_colorable(g: &Ungraph, k: usize, exact_limit: usize) -> bool {
         return g.edge_count() == 0 && n == 0;
     }
     // Quick accept via greedy.
-    let greedy = color_count(&greedy_coloring(g, &degree_order(g)));
+    let order = degree_order(g);
+    let greedy = color_count(&greedy_coloring(g, &order));
     if greedy <= k {
         return true;
     }
@@ -65,7 +73,6 @@ pub fn is_k_colorable(g: &Ungraph, k: usize, exact_limit: usize) -> bool {
         return false; // conservative
     }
     // Backtracking on nodes in decreasing-degree order.
-    let order = degree_order(g);
     let mut color = vec![usize::MAX; n];
     fn bt(g: &Ungraph, order: &[usize], color: &mut [usize], i: usize, k: usize) -> bool {
         if i == order.len() {

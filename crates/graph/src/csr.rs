@@ -1,0 +1,157 @@
+//! Compressed-sparse-row adjacency storage.
+
+/// A compressed-sparse-row table: one flat payload array plus a row
+/// offset index, replacing `Vec<Vec<T>>` jagged adjacency for cache
+/// locality.
+///
+/// Rows are immutable once built — the scheduler keeps the *static*
+/// dependence-graph adjacency here (built once per problem) and layers
+/// per-search extras in small side vectors. Row order and within-row
+/// payload order are exactly the insertion order, so iteration over a
+/// CSR row is bit-compatible with iterating the `Vec` it replaced.
+///
+/// # Example
+///
+/// ```
+/// use vcsched_graph::Csr;
+///
+/// let mut b = Csr::builder();
+/// b.push_row([(1usize, 2i64), (2, 3)]);
+/// b.push_row([]);
+/// b.push_row([(0, 1)]);
+/// let csr = b.finish();
+/// assert_eq!(csr.rows(), 3);
+/// assert_eq!(csr.row(0), &[(1, 2), (2, 3)]);
+/// assert!(csr.row(1).is_empty());
+/// assert_eq!(csr.row(2), &[(0, 1)]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csr<T> {
+    /// `offsets[i]..offsets[i + 1]` delimits row `i` in `data`.
+    offsets: Vec<u32>,
+    data: Vec<T>,
+}
+
+/// Incremental [`Csr`] builder: append rows in order, then
+/// [`CsrBuilder::finish`].
+#[derive(Debug, Clone)]
+pub struct CsrBuilder<T> {
+    offsets: Vec<u32>,
+    data: Vec<T>,
+}
+
+impl<T> Csr<T> {
+    /// Starts building a table row by row.
+    pub fn builder() -> CsrBuilder<T> {
+        CsrBuilder {
+            offsets: vec![0],
+            data: Vec::new(),
+        }
+    }
+
+    /// An empty table with zero rows.
+    pub fn empty() -> Csr<T> {
+        Csr {
+            offsets: vec![0],
+            data: Vec::new(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The payload slice of row `i`, in insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    pub fn row(&self, i: usize) -> &[T] {
+        &self.data[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Total payload entries across all rows.
+    pub fn entries(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Heap bytes held by the table.
+    pub fn heap_bytes(&self) -> usize {
+        self.offsets.capacity() * std::mem::size_of::<u32>()
+            + self.data.capacity() * std::mem::size_of::<T>()
+    }
+}
+
+impl<T> CsrBuilder<T> {
+    /// Appends the next row's payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the total payload would exceed `u32::MAX` entries.
+    pub fn push_row<I: IntoIterator<Item = T>>(&mut self, row: I) {
+        self.data.extend(row);
+        let end = u32::try_from(self.data.len()).expect("CSR payload exceeds u32::MAX entries");
+        self.offsets.push(end);
+    }
+
+    /// Finalizes the table.
+    pub fn finish(self) -> Csr<T> {
+        Csr {
+            offsets: self.offsets,
+            data: self.data,
+        }
+    }
+}
+
+impl<T, R: IntoIterator<Item = T>> FromIterator<R> for Csr<T> {
+    fn from_iter<I: IntoIterator<Item = R>>(iter: I) -> Self {
+        let mut b = Csr::builder();
+        for row in iter {
+            b.push_row(row);
+        }
+        b.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_round_trip_in_order() {
+        let rows: Vec<Vec<u32>> = vec![vec![3, 1, 2], vec![], vec![9], vec![7, 7]];
+        let csr: Csr<u32> = rows.iter().cloned().collect();
+        assert_eq!(csr.rows(), 4);
+        assert_eq!(csr.entries(), 6);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(csr.row(i), row.as_slice(), "row {i}");
+        }
+    }
+
+    #[test]
+    fn empty_table_has_no_rows() {
+        let csr: Csr<u8> = Csr::empty();
+        assert_eq!(csr.rows(), 0);
+        assert_eq!(csr.entries(), 0);
+    }
+
+    #[test]
+    fn tuple_payloads_keep_insertion_order() {
+        let mut b = Csr::builder();
+        b.push_row([(4usize, -1i64), (2, 5)]);
+        b.push_row([(0, 0)]);
+        let csr = b.finish();
+        // Insertion order, NOT sorted: callers depend on Vec-identical
+        // iteration for bit-identical propagation order.
+        assert_eq!(csr.row(0), &[(4, -1), (2, 5)]);
+        assert_eq!(csr.row(1), &[(0, 0)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_row_panics() {
+        let csr: Csr<u8> = Csr::empty();
+        let _ = csr.row(0);
+    }
+}

@@ -40,13 +40,15 @@
 
 mod bitset;
 pub mod coloring;
+mod csr;
 mod digraph;
 pub mod matching;
 mod sortedset;
 mod undirected;
 mod union_find;
 
-pub use bitset::BitSet;
+pub use bitset::{BitSet, GrowSet};
+pub use csr::{Csr, CsrBuilder};
 pub use digraph::Digraph;
 pub use sortedset::SortedSet;
 pub use undirected::Ungraph;

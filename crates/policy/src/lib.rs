@@ -82,16 +82,23 @@ pub struct PolicyBudget {
     /// §6.1). Single-pass policies ignore it; exhaustive policies abandon
     /// with [`PolicyFallback::Budget`] when it runs out.
     pub max_dp_steps: u64,
+    /// Optional trail-work cap in bytes of state touched by deduction
+    /// mutations — a cache-footprint-proportional measure of work, unlike
+    /// the step count whose per-step cost varies. `None` leaves work
+    /// bounded by `max_dp_steps` alone.
+    pub max_trail_bytes: Option<u64>,
     /// Shared best-AWCT bound for cooperative early-cancel. Pass a fresh
     /// [`AwctBound::new`] (forever `+∞`) to disable cancellation.
     pub best: AwctBound,
 }
 
 impl PolicyBudget {
-    /// A budget with the given step cap and cancellation disabled.
+    /// A budget with the given step cap, no byte cap, and cancellation
+    /// disabled.
     pub fn steps(max_dp_steps: u64) -> PolicyBudget {
         PolicyBudget {
             max_dp_steps,
+            max_trail_bytes: None,
             best: AwctBound::new(),
         }
     }
@@ -174,6 +181,12 @@ pub struct SpecStats {
     /// Estimated bytes the clone-based engine would have copied for the
     /// rolled-back studies.
     pub bytes_not_cloned: u64,
+    /// Forward (redo) records captured during studies.
+    pub redo_entries: u64,
+    /// Winner adoptions performed by redo replay (skipping re-deduction).
+    pub redo_replays: u64,
+    /// State bytes written back by those redo replays.
+    pub redo_bytes_replayed: u64,
 }
 
 /// What one policy returns for one block: the schedule (if any) plus

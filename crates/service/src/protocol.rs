@@ -109,6 +109,9 @@ pub enum Request {
         mode: Option<ScheduleMode>,
         /// VC deduction-step budget (`None` = server default).
         steps: Option<u64>,
+        /// VC trail-work budget in bytes of state touched by deduction
+        /// mutations (`None` = unlimited).
+        budget_bytes: Option<u64>,
         /// Cooperative early-cancel (`None` = server default).
         early_cancel: Option<bool>,
         /// Adaptive portfolio selection: narrow the race to the block
@@ -136,6 +139,9 @@ pub enum Request {
         portfolio: Option<bool>,
         /// VC deduction-step budget (`None` = server default).
         steps: Option<u64>,
+        /// VC trail-work budget in bytes of state touched by deduction
+        /// mutations (`None` = unlimited).
+        budget_bytes: Option<u64>,
         /// Cooperative early-cancel (`None` = server default).
         early_cancel: Option<bool>,
         /// Adaptive portfolio selection over the batch (`None` = server
@@ -404,6 +410,7 @@ impl Serialize for Request {
                 policies,
                 mode,
                 steps,
+                budget_bytes,
                 early_cancel,
                 adaptive,
                 placement_seed,
@@ -415,6 +422,7 @@ impl Serialize for Request {
                 ("policies", policies.to_value()),
                 ("mode", mode.map(ScheduleMode::name).to_value()),
                 ("steps", steps.to_value()),
+                ("budget_bytes", budget_bytes.to_value()),
                 ("early_cancel", early_cancel.to_value()),
                 ("adaptive", adaptive.to_value()),
                 ("placement_seed", placement_seed.to_value()),
@@ -428,6 +436,7 @@ impl Serialize for Request {
                 policies,
                 portfolio,
                 steps,
+                budget_bytes,
                 early_cancel,
                 adaptive,
                 stream,
@@ -440,6 +449,7 @@ impl Serialize for Request {
                 ("policies", policies.to_value()),
                 ("portfolio", portfolio.to_value()),
                 ("steps", steps.to_value()),
+                ("budget_bytes", budget_bytes.to_value()),
                 ("early_cancel", early_cancel.to_value()),
                 ("adaptive", adaptive.to_value()),
                 ("stream", Value::Bool(*stream)),
@@ -493,6 +503,7 @@ impl Deserialize for Request {
                     None => None,
                 },
                 steps: opt(v, "steps")?,
+                budget_bytes: opt(v, "budget_bytes")?,
                 early_cancel: opt(v, "early_cancel")?,
                 adaptive: opt(v, "adaptive")?,
                 placement_seed: opt(v, "placement_seed")?,
@@ -506,6 +517,7 @@ impl Deserialize for Request {
                 policies: opt_policies(v)?,
                 portfolio: opt(v, "portfolio")?,
                 steps: opt(v, "steps")?,
+                budget_bytes: opt(v, "budget_bytes")?,
                 early_cancel: opt(v, "early_cancel")?,
                 adaptive: opt(v, "adaptive")?,
                 stream: opt(v, "stream")?.unwrap_or(false),
@@ -660,6 +672,7 @@ mod tests {
                 policies: None,
                 portfolio: Some(true),
                 steps: Some(5000),
+                budget_bytes: None,
                 early_cancel: None,
                 adaptive: None,
                 stream: false,
@@ -672,6 +685,7 @@ mod tests {
                 policies: Some(vec!["vc".into(), "uas".into()]),
                 portfolio: None,
                 steps: None,
+                budget_bytes: None,
                 early_cancel: Some(true),
                 adaptive: Some(true),
                 stream: true,

@@ -85,6 +85,9 @@ pub struct ServiceConfig {
     pub max_connections: usize,
     /// Default VC deduction-step budget for requests that omit `steps`.
     pub default_steps: u64,
+    /// Default VC trail-work byte budget for requests that omit
+    /// `budget_bytes` (`None` = unlimited).
+    pub default_budget_bytes: Option<u64>,
     /// Default policy set for requests that name neither `policies` nor
     /// a legacy mode switch.
     pub default_policies: PolicySet,
@@ -124,6 +127,7 @@ impl Default for ServiceConfig {
             max_request_bytes: 1 << 20,
             max_connections: 1024,
             default_steps: STEPS_1M,
+            default_budget_bytes: None,
             default_policies: PolicySet::single(),
             preset_policies: Vec::new(),
             default_early_cancel: false,
@@ -905,6 +909,7 @@ fn handle_line(shared: &Arc<Shared>, token: u64, conn: &mut Conn, line: &str) {
             policies,
             mode,
             steps,
+            budget_bytes,
             early_cancel,
             adaptive,
             placement_seed,
@@ -918,6 +923,7 @@ fn handle_line(shared: &Arc<Shared>, token: u64, conn: &mut Conn, line: &str) {
                 policies,
                 mode,
                 steps,
+                budget_bytes,
                 early_cancel,
                 adaptive,
                 placement_seed,
@@ -933,6 +939,7 @@ fn handle_line(shared: &Arc<Shared>, token: u64, conn: &mut Conn, line: &str) {
             policies,
             portfolio,
             steps,
+            budget_bytes,
             early_cancel,
             adaptive,
             stream,
@@ -964,6 +971,7 @@ fn handle_line(shared: &Arc<Shared>, token: u64, conn: &mut Conn, line: &str) {
                         policies,
                         portfolio,
                         steps,
+                        budget_bytes,
                         early_cancel,
                         adaptive,
                     },
@@ -1009,6 +1017,7 @@ fn schedule_request(
     policies: Option<Vec<String>>,
     mode: Option<ScheduleMode>,
     steps: Option<u64>,
+    budget_bytes: Option<u64>,
     early_cancel: Option<bool>,
     adaptive: Option<bool>,
     placement_seed: Option<u64>,
@@ -1072,6 +1081,7 @@ fn schedule_request(
         homes,
         options: PolicyOptions {
             max_dp_steps: steps.unwrap_or(shared.config.default_steps),
+            max_trail_bytes: budget_bytes.or(shared.config.default_budget_bytes),
             policies,
             early_cancel: early_cancel.unwrap_or(shared.config.default_early_cancel),
         },
@@ -1130,6 +1140,7 @@ struct BatchArgs {
     policies: Option<Vec<String>>,
     portfolio: Option<bool>,
     steps: Option<u64>,
+    budget_bytes: Option<u64>,
     early_cancel: Option<bool>,
     adaptive: Option<bool>,
 }
@@ -1196,6 +1207,7 @@ fn run_service_batch(
         policies,
         portfolio,
         steps,
+        budget_bytes,
         early_cancel,
         adaptive,
     } = args;
@@ -1220,6 +1232,7 @@ fn run_service_batch(
         early_cancel: early_cancel.unwrap_or(shared.config.default_early_cancel),
         adaptive: adaptive_on.then(|| shared.config.adaptive.clone()),
         max_dp_steps: steps.unwrap_or(shared.config.default_steps),
+        max_trail_bytes: budget_bytes.or(shared.config.default_budget_bytes),
         ..BatchConfig::default()
     };
     let t0 = std::time::Instant::now();
@@ -1249,6 +1262,7 @@ fn run_service_batch(
             homes,
             options: PolicyOptions {
                 max_dp_steps: config.max_dp_steps,
+                max_trail_bytes: config.max_trail_bytes,
                 policies: decisions
                     .as_ref()
                     .map(|(plan, _)| plan[i].policies.clone())
@@ -1448,6 +1462,7 @@ mod tests {
             None,
             None,
             None,
+            None,
             Some(true),
             None,
             false,
@@ -1539,6 +1554,7 @@ mod tests {
                 policies: None,
                 portfolio: None,
                 steps: None,
+                budget_bytes: None,
                 early_cancel: None,
                 adaptive: None,
             },

@@ -33,6 +33,7 @@ fn block_request(index: u64) -> Request {
         policies: None,
         mode: Some(ScheduleMode::Single),
         steps: Some(5_000),
+        budget_bytes: None,
         early_cancel: None,
         adaptive: None,
         placement_seed: Some(index),
@@ -126,6 +127,7 @@ fn stats_reply_reports_uptime_and_latency_quantiles() {
         policies: None,
         portfolio: Some(false),
         steps: Some(5_000),
+        budget_bytes: None,
         early_cancel: None,
         adaptive: None,
         stream: false,

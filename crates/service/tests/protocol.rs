@@ -31,6 +31,7 @@ fn block_request(index: u64) -> Request {
         policies: None,
         mode: Some(ScheduleMode::Single),
         steps: Some(5_000),
+        budget_bytes: None,
         early_cancel: None,
         adaptive: None,
         placement_seed: Some(index),
@@ -281,6 +282,7 @@ fn per_request_policy_sets_and_stats_telemetry() {
         policies: Some(vec!["uas".into(), "two-phase".into()]),
         mode: None,
         steps: Some(5_000),
+        budget_bytes: None,
         early_cancel: None,
         adaptive: None,
         placement_seed: Some(1),
@@ -306,6 +308,7 @@ fn per_request_policy_sets_and_stats_telemetry() {
         policies: Some(vec!["warp".into()]),
         mode: None,
         steps: Some(5_000),
+        budget_bytes: None,
         early_cancel: None,
         adaptive: None,
         placement_seed: Some(1),
@@ -378,6 +381,7 @@ fn per_machine_defaults_and_adaptive_narrowing() {
         policies: None,
         mode: None,
         steps: Some(5_000),
+        budget_bytes: None,
         early_cancel: None,
         adaptive,
         placement_seed: Some(4),

@@ -33,6 +33,7 @@ fn batch_request(stream: bool) -> Request {
         policies: None,
         portfolio: Some(false),
         steps: Some(5_000),
+        budget_bytes: None,
         early_cancel: None,
         adaptive: None,
         stream,

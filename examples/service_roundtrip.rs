@@ -54,6 +54,7 @@ fn main() {
                         _ => None, // the explicit policies field decides
                     },
                     steps: Some(5_000),
+                    budget_bytes: None,
                     early_cancel: None,
                     adaptive: None,
                     placement_seed: Some(i),
@@ -96,6 +97,7 @@ fn main() {
         policies: None,
         mode: Some(ScheduleMode::Single),
         steps: Some(5_000),
+        budget_bytes: None,
         early_cancel: None,
         adaptive: None,
         placement_seed: Some(0),
@@ -138,6 +140,7 @@ fn main() {
             policies: None,
             portfolio: Some(true),
             steps: Some(5_000),
+            budget_bytes: None,
             early_cancel: None,
             adaptive: None,
             stream: false,

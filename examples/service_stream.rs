@@ -69,6 +69,7 @@ fn main() {
                 policies: None,
                 portfolio: Some(false),
                 steps: Some(5_000),
+                budget_bytes: None,
                 early_cancel: None,
                 adaptive: None,
                 stream: true,

@@ -39,9 +39,11 @@ USAGE:
                   [--early-cancel] [--adaptive] [--adaptive-seed N]
                   [--adaptive-epsilon F] [--adaptive-top-k N]
                   [--adaptive-min-obs N] [--cache DIR] [--cache-shards N]
-                  [--steps N] [--details] [--trace-out FILE [--obs-sample N]]
+                  [--steps N] [--budget-bytes N] [--details]
+                  [--trace-out FILE [--obs-sample N]]
     vcsched serve [--addr HOST:PORT] [--jobs N] [--queue N] [--cache DIR]
-                  [--cache-shards N] [--steps N] [--policies P,P,…]
+                  [--cache-shards N] [--steps N] [--budget-bytes N]
+                  [--policies P,P,…]
                   [--machine-policies M=P,P[;M=P,P…]] [--early-cancel]
                   [--adaptive] [--adaptive-seed N] [--adaptive-epsilon F]
                   [--adaptive-top-k N] [--adaptive-min-obs N]
@@ -50,11 +52,12 @@ USAGE:
     vcsched request [--addr HOST:PORT] [--id N] (stats | metrics [--metrics-text]
                   | shutdown | ping [--delay-ms N]
                   | schedule --block FILE [--machine M] [--policies P,P,…]
-                    [--mode single|portfolio] [--steps N] [--early-cancel]
-                    [--adaptive] [--placement-seed N] [--return-schedule]
+                    [--mode single|portfolio] [--steps N] [--budget-bytes N]
+                    [--early-cancel] [--adaptive] [--placement-seed N]
+                    [--return-schedule]
                   | batch [--bench NAME] [--count N] [--seed N] [--machine M]
                     [--policies P,P,…] [--portfolio] [--steps N]
-                    [--early-cancel] [--adaptive] [--stream]
+                    [--budget-bytes N] [--early-cancel] [--adaptive] [--stream]
                   | --json LINE)
     vcsched top [--addr HOST:PORT] [--interval SECS] [--count N]
     vcsched demo
@@ -66,7 +69,13 @@ BATCH:
     over a worker pool (--jobs, default: all cores), and races the
     selected policy set per block. The default set `vc,cars` is the
     paper's Section 6.1 policy: virtual-cluster scheduling within a
-    deduction-step budget (--steps), CARS fallback on timeout.
+    work budget, CARS fallback on timeout. --budget-bytes caps the VC
+    search by bytes of state touched by deduction mutations — the
+    native currency of the trail engine; --steps is the legacy
+    deduction-step cap, kept as a deprecated alias (both may be set;
+    whichever trips first cancels the search). On serve, --steps and
+    --budget-bytes set the defaults for requests that omit \"steps\" /
+    \"budget_bytes\".
     --policies picks any subset of the registered policies (see
     `vcsched policies`); --portfolio is shorthand for all of them.
     --early-cancel lets a provably beaten search abandon its work (same
@@ -464,6 +473,10 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
             .unwrap_or("300000")
             .parse()
             .map_err(|e| format!("--steps: {e}"))?,
+        max_trail_bytes: match flag_value(args, "--budget-bytes") {
+            Some(n) => Some(n.parse().map_err(|e| format!("--budget-bytes: {e}"))?),
+            None => None,
+        },
         cache_dir: flag_value(args, "--cache").map(Into::into),
         cache_shards: flag_value(args, "--cache-shards")
             .unwrap_or("8")
@@ -543,6 +556,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             .unwrap_or("300000")
             .parse()
             .map_err(|e| format!("--steps: {e}"))?,
+        default_budget_bytes: match flag_value(args, "--budget-bytes") {
+            Some(n) => Some(n.parse().map_err(|e| format!("--budget-bytes: {e}"))?),
+            None => None,
+        },
         default_policies: policy_set_flags(args)?.unwrap_or_default(),
         preset_policies: machine_policies_flag(args)?,
         default_early_cancel: has_flag(args, "--early-cancel"),
@@ -617,6 +634,10 @@ fn cmd_request(args: &[String]) -> Result<(), String> {
         Some(n) => Some(n.parse().map_err(|e| format!("--steps: {e}"))?),
         None => None,
     };
+    let budget_bytes = match flag_value(args, "--budget-bytes") {
+        Some(n) => Some(n.parse().map_err(|e| format!("--budget-bytes: {e}"))?),
+        None => None,
+    };
     // Forwarded verbatim: the server validates names against its
     // registry and answers a clean protocol error for unknown ones.
     let policies: Option<Vec<String>> =
@@ -647,6 +668,7 @@ fn cmd_request(args: &[String]) -> Result<(), String> {
                     Some(other) => return Err(format!("--mode: unknown mode `{other}`")),
                 },
                 steps,
+                budget_bytes,
                 early_cancel,
                 adaptive,
                 placement_seed: match flag_value(args, "--placement-seed") {
@@ -670,6 +692,7 @@ fn cmd_request(args: &[String]) -> Result<(), String> {
             policies,
             portfolio: has_flag(args, "--portfolio").then_some(true),
             steps,
+            budget_bytes,
             early_cancel,
             adaptive,
             stream: has_flag(args, "--stream"),

@@ -90,6 +90,7 @@ proptest! {
                     PolicySet::single()
                 },
                 early_cancel: false,
+                max_trail_bytes: None,
             },
         );
         assert_valid(
