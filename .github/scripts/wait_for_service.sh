@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Bounded poll until a vcsched server answers `ping` — the serve-smoke
+# readiness helper (no fixed sleeps: it returns the moment the server is
+# up, and fails fast if the process died). On timeout or early exit the
+# server log is dumped for diagnosis.
+#
+# usage: wait_for_service.sh ADDR SERVER_PID LOG_FILE [ATTEMPTS]
+set -u
+
+addr="$1"
+pid="$2"
+log="$3"
+attempts="${4:-50}"
+
+for _ in $(seq 1 "$attempts"); do
+  if ./target/release/vcsched request --addr "$addr" ping --delay-ms 0 \
+    >/dev/null 2>&1; then
+    exit 0
+  fi
+  if ! kill -0 "$pid" 2>/dev/null; then
+    break
+  fi
+  sleep 0.2
+done
+
+echo "::error::vcsched serve at $addr did not come up; server log follows"
+cat "$log"
+exit 1

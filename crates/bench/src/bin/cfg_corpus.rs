@@ -75,11 +75,15 @@ fn main() {
             let c = cars.schedule(sb);
             let v = match vc.schedule(sb) {
                 Ok(out) => out.awct.min(c.awct),
-                // No cutoff configured: `Beaten` cannot occur, but every
-                // give-up falls back to CARS either way (§6.1).
-                Err(VcError::BudgetExhausted | VcError::BumpLimitReached | VcError::Beaten) => {
-                    c.awct
-                }
+                // No cutoff or deadline configured: `Beaten` and
+                // `Deadline` cannot occur, but every give-up falls back
+                // to CARS either way (§6.1).
+                Err(
+                    VcError::BudgetExhausted
+                    | VcError::BumpLimitReached
+                    | VcError::Beaten
+                    | VcError::Deadline,
+                ) => c.awct,
             };
             (c.awct * w, v * w)
         });

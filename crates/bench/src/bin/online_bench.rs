@@ -1,0 +1,301 @@
+//! `online_bench` — the latency-percentile CI lane for the online path.
+//!
+//! Replays three seeded arrival profiles (Poisson-bursty, diurnal,
+//! adversarial spike) through the engine's virtual-time online executor
+//! and writes one stable-schema JSON document (`BENCH_online.json` by
+//! default): per-profile p50/p99/p999 solve latency in virtual
+//! milliseconds, deadline-miss rate, shed rate, deadline-fired count
+//! and blocks/sec. The virtual-time fields are pure functions of the
+//! seed and options — byte-identical at any `--jobs` and on any host —
+//! so the committed document doubles as the regression baseline; only
+//! the wall-clock fields drift run to run.
+//!
+//! Gates (each exits non-zero on failure):
+//!
+//! * **miss rate** — every profile's deadline-miss rate may exceed the
+//!   committed baseline (`--baseline`, typically the checked-in
+//!   `BENCH_online.json`) by at most 2 percentage points
+//!   (`VCSCHED_MISS_TOLERANCE`, a fraction, overrides);
+//! * **throughput** — aggregate blocks/sec is gated against the most
+//!   recent `online` row of `--baseline-history` through the shared
+//!   [`vcsched_bench::history`] gate (>10% drop fails;
+//!   `VCSCHED_BENCH_TOLERANCE` overrides).
+//!
+//! With `--history FILE` the run appends one `vcsched-bench-history/v1`
+//! row (bench `online`) to the rolling trajectory.
+//!
+//! ```console
+//! $ online_bench [--out FILE] [--machine M] [--events N] [--seed N]
+//!                [--steps N] [--steps-per-ms N] [--mean-slack-ms N]
+//!                [--queue N] [--jobs N]
+//!                [--baseline FILE] [--history FILE]
+//!                [--baseline-history FILE]
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use serde::Value;
+use vcsched_engine::{run_trace, OnlineOptions, OnlineSummary};
+use vcsched_workload::{synthesize_trace, ArrivalProfile, TraceOptions};
+
+/// The report schema identifier.
+const SCHEMA: &str = "vcsched-bench-online/v1";
+
+/// Default miss-rate regression tolerance: 2 percentage points.
+const DEFAULT_MISS_TOLERANCE: f64 = 0.02;
+
+fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+/// One profile's section of the report, in a stable field order.
+fn profile_report(summary: &OnlineSummary) -> Value {
+    obj(vec![
+        ("events", Value::UInt(summary.events as u64)),
+        ("served", Value::UInt(summary.served as u64)),
+        ("shed", Value::UInt(summary.shed as u64)),
+        ("misses", Value::UInt(summary.misses as u64)),
+        ("deadline_fired", Value::UInt(summary.deadline_fired as u64)),
+        ("miss_rate", Value::Float(summary.miss_rate)),
+        ("shed_rate", Value::Float(summary.shed_rate)),
+        ("virt_p50_ms", Value::UInt(summary.virt_p50_ms)),
+        ("virt_p99_ms", Value::UInt(summary.virt_p99_ms)),
+        ("virt_p999_ms", Value::UInt(summary.virt_p999_ms)),
+        ("wall_ms", Value::UInt(summary.wall_ms)),
+        ("blocks_per_sec", Value::Float(summary.blocks_per_sec)),
+    ])
+}
+
+/// The baseline's `profiles.<name>.miss_rate`, if the file parses.
+fn baseline_miss_rate(baseline: &Value, profile: &str) -> Option<f64> {
+    match baseline.get("profiles")?.get(profile)?.get("miss_rate")? {
+        Value::Float(f) => Some(*f),
+        Value::UInt(n) => Some(*n as f64),
+        _ => None,
+    }
+}
+
+fn miss_tolerance() -> f64 {
+    std::env::var("VCSCHED_MISS_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_MISS_TOLERANCE)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("online_bench: error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let out = PathBuf::from(flag(args, "--out").unwrap_or("BENCH_online.json"));
+    let machine_key = flag(args, "--machine").unwrap_or("2c");
+    let parse = |name: &str, default: u64| -> Result<u64, String> {
+        match flag(args, name) {
+            Some(n) => n.parse().map_err(|e| format!("{name}: {e}")),
+            None => Ok(default),
+        }
+    };
+    // The lane's tuned defaults: a 5 000-step ceiling priced at
+    // 10 steps/ms over ~300 ms of mean slack puts the three profiles
+    // at distinct, mid-range miss/shed rates — none saturated, so the
+    // ±2pp gate has room to detect drift in either direction.
+    let trace_defaults = TraceOptions::default();
+    let events = parse("--events", trace_defaults.events as u64)? as usize;
+    let seed = parse("--seed", trace_defaults.seed)?;
+    let horizon_ms = parse("--horizon-ms", trace_defaults.horizon_ms)?;
+    let mean_slack_ms = parse("--mean-slack-ms", 300)?;
+    let base_steps = parse("--steps", 5_000)?;
+    let steps_per_ms = parse("--steps-per-ms", 10)?;
+    let online_defaults = OnlineOptions::default();
+    let queue_capacity = parse("--queue", online_defaults.queue_capacity as u64)? as usize;
+    let jobs: usize = match flag(args, "--jobs") {
+        Some(n) => n.parse().map_err(|e| format!("--jobs: {e}"))?,
+        None => vcsched_engine::default_jobs(),
+    };
+    let options = OnlineOptions {
+        machine: vcsched_arch::MachineConfig::preset(machine_key)
+            .ok_or_else(|| format!("unknown machine preset `{machine_key}`"))?,
+        base_steps,
+        steps_per_ms,
+        step_floor: online_defaults.step_floor,
+        queue_capacity,
+        jobs,
+        ..OnlineOptions::default()
+    };
+
+    // Read the baseline *before* writing --out: CI points both at the
+    // committed BENCH_online.json.
+    let baseline: Option<Value> = match flag(args, "--baseline") {
+        Some(path) => {
+            let data =
+                std::fs::read_to_string(path).map_err(|e| format!("--baseline {path}: {e}"))?;
+            Some(serde_json::from_str(&data).map_err(|e| format!("--baseline {path}: {e}"))?)
+        }
+        None => None,
+    };
+
+    let mut profiles = Vec::new();
+    let mut summaries = Vec::new();
+    for profile in ArrivalProfile::all() {
+        let trace = synthesize_trace(&TraceOptions {
+            profile,
+            events,
+            seed,
+            horizon_ms,
+            mean_slack_ms,
+        });
+        let (summary, _) = run_trace(&trace, &options);
+        eprintln!(
+            "online_bench: {:<17} miss_rate={:.3} shed_rate={:.3} deadline_fired={} \
+             virt_p99={}ms ({:.1} blocks/sec)",
+            profile.name(),
+            summary.miss_rate,
+            summary.shed_rate,
+            summary.deadline_fired,
+            summary.virt_p99_ms,
+            summary.blocks_per_sec,
+        );
+        profiles.push((profile.name(), profile_report(&summary)));
+        summaries.push((profile, summary));
+    }
+
+    let total_blocks: u64 = summaries
+        .iter()
+        .map(|(_, s)| (s.served + s.shed) as u64)
+        .sum();
+    let total_wall: u64 = summaries.iter().map(|(_, s)| s.wall_ms).sum();
+    let blocks_per_sec = total_blocks as f64 / (total_wall.max(1) as f64 / 1_000.0);
+    let total_served: u64 = summaries.iter().map(|(_, s)| s.served as u64).sum();
+    let total_misses: u64 = summaries.iter().map(|(_, s)| s.misses as u64).sum();
+    let aggregate_miss_rate = total_misses as f64 / total_served.max(1) as f64;
+
+    let report = obj(vec![
+        ("schema", Value::String(SCHEMA.into())),
+        ("machine", Value::String(machine_key.to_owned())),
+        ("events_per_profile", Value::UInt(events as u64)),
+        ("seed", Value::UInt(seed)),
+        ("horizon_ms", Value::UInt(horizon_ms)),
+        ("mean_slack_ms", Value::UInt(mean_slack_ms)),
+        ("base_steps", Value::UInt(base_steps)),
+        ("steps_per_ms", Value::UInt(steps_per_ms)),
+        ("queue_capacity", Value::UInt(queue_capacity as u64)),
+        ("jobs", Value::UInt(jobs as u64)),
+        (
+            "profiles",
+            Value::Object(
+                profiles
+                    .iter()
+                    .map(|(k, v)| ((*k).to_owned(), v.clone()))
+                    .collect(),
+            ),
+        ),
+        (
+            "total",
+            obj(vec![
+                ("blocks", Value::UInt(total_blocks)),
+                ("miss_rate", Value::Float(aggregate_miss_rate)),
+                ("wall_ms", Value::UInt(total_wall)),
+                ("blocks_per_sec", Value::Float(blocks_per_sec)),
+            ]),
+        ),
+    ]);
+    let text = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())? + "\n";
+    std::fs::write(&out, &text).map_err(|e| format!("{}: {e}", out.display()))?;
+    println!("{text}");
+
+    // Miss-rate gate: compare each profile against the committed
+    // baseline. Collected (not short-circuited) so a regression in two
+    // profiles reports both.
+    let mut gate_failures = Vec::new();
+    if let Some(baseline) = &baseline {
+        let tol = miss_tolerance();
+        for (profile, summary) in &summaries {
+            match baseline_miss_rate(baseline, profile.name()) {
+                Some(reference) => {
+                    let ceiling = reference + tol;
+                    if summary.miss_rate > ceiling {
+                        gate_failures.push(format!(
+                            "{}: miss rate {:.3} above baseline {:.3} + {:.0}pp",
+                            profile.name(),
+                            summary.miss_rate,
+                            reference,
+                            tol * 100.0,
+                        ));
+                    } else {
+                        eprintln!(
+                            "online_bench: {} miss rate {:.3} within baseline {:.3} + {:.0}pp — ok",
+                            profile.name(),
+                            summary.miss_rate,
+                            reference,
+                            tol * 100.0,
+                        );
+                    }
+                }
+                None => eprintln!(
+                    "online_bench: baseline has no `{}` miss rate; skipping gate",
+                    profile.name()
+                ),
+            }
+        }
+    }
+
+    // Throughput gate + trajectory row, through the shared history
+    // machinery (gate reads before the append, so both flags may name
+    // the same rolling file).
+    let gate = match flag(args, "--baseline-history") {
+        Some(baseline) => {
+            vcsched_bench::history::check_regression(Path::new(baseline), "online", blocks_per_sec)
+        }
+        None => Ok(()),
+    };
+    if let Some(history) = flag(args, "--history") {
+        let row = vcsched_bench::history::row(
+            "online",
+            machine_key,
+            total_blocks,
+            1,
+            jobs as u64,
+            blocks_per_sec,
+            vec![
+                ("miss_rate", Value::Float(aggregate_miss_rate)),
+                (
+                    "deadline_fired",
+                    Value::UInt(summaries.iter().map(|(_, s)| s.deadline_fired as u64).sum()),
+                ),
+            ],
+        );
+        vcsched_bench::history::append(Path::new(history), &row)?;
+        eprintln!("online_bench: appended history row to {history}");
+    }
+    gate?;
+    if !gate_failures.is_empty() {
+        return Err(format!(
+            "deadline-miss regression: {}",
+            gate_failures.join("; ")
+        ));
+    }
+    eprintln!(
+        "online_bench: wrote {} ({} blocks over 3 profiles, {:.1} blocks/sec, \
+         aggregate miss rate {:.3})",
+        out.display(),
+        total_blocks,
+        blocks_per_sec,
+        aggregate_miss_rate,
+    );
+    Ok(())
+}

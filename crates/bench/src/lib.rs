@@ -132,12 +132,13 @@ pub fn run_block(
     let cars_awct = cars_out.schedule.awct(scored);
     let (vc_awct, vc_steps) = match vc_res {
         Ok(out) => (Some(out.schedule.awct(scored)), out.stats.dp_steps),
-        // No cutoff is configured, so `Beaten` cannot occur; lump it
-        // with the give-up arms rather than hiding a future bug behind
-        // an unreachable!.
-        Err(VcError::BudgetExhausted) | Err(VcError::BumpLimitReached) | Err(VcError::Beaten) => {
-            (None, max_steps + 1)
-        }
+        // No cutoff or deadline is configured, so `Beaten` and
+        // `Deadline` cannot occur; lump them with the give-up arms
+        // rather than hiding a future bug behind an unreachable!.
+        Err(VcError::BudgetExhausted)
+        | Err(VcError::BumpLimitReached)
+        | Err(VcError::Beaten)
+        | Err(VcError::Deadline) => (None, max_steps + 1),
     };
     BlockResult {
         name: sb.name().to_owned(),

@@ -91,6 +91,9 @@ pub struct Budget {
     deadline: Option<Instant>,
     check_counter: u32,
     bytes_cap: Option<u64>,
+    deadline_steps: Option<u64>,
+    preempt: Option<vcsched_policy::AwctBound>,
+    deadline_fired: bool,
 }
 
 impl Budget {
@@ -102,6 +105,9 @@ impl Budget {
             deadline,
             check_counter: 0,
             bytes_cap: None,
+            deadline_steps: None,
+            preempt: None,
+            deadline_fired: false,
         }
     }
 
@@ -111,6 +117,29 @@ impl Budget {
     pub fn with_byte_cap(mut self, cap: Option<u64>) -> Budget {
         self.bytes_cap = cap;
         self
+    }
+
+    /// Arms a *deterministic* step deadline: the attempt aborts (with
+    /// [`Budget::deadline_fired`] set) once `spent` reaches `steps`.
+    /// Unlike the wall-clock deadline this is reproducible at any thread
+    /// count — it is how the online executor prices remaining slack.
+    pub fn with_deadline_steps(mut self, steps: Option<u64>) -> Budget {
+        self.deadline_steps = steps;
+        self
+    }
+
+    /// Attaches a preemption handle: when `bound.preempt()` fires (e.g.
+    /// from a wall-clock deadline timer thread), the attempt aborts at
+    /// the next check cadence with [`Budget::deadline_fired`] set.
+    pub fn with_preempt(mut self, bound: Option<vcsched_policy::AwctBound>) -> Budget {
+        self.preempt = bound;
+        self
+    }
+
+    /// Whether the abort was a fired deadline (step threshold crossed or
+    /// external preemption) rather than an exhausted step/byte budget.
+    pub fn deadline_fired(&self) -> bool {
+        self.deadline_fired
     }
 
     /// Checks the lifetime trail-work meter against the byte cap.
@@ -141,6 +170,20 @@ impl Budget {
         self.spent += n;
         if self.steps_left < 0 {
             return Err(DpAbort::Budget);
+        }
+        if let Some(limit) = self.deadline_steps {
+            if self.spent >= limit {
+                self.deadline_fired = true;
+                return Err(DpAbort::Budget);
+            }
+        }
+        if let Some(bound) = &self.preempt {
+            // A relaxed load per spend: cheap, and prompt enough that a
+            // fired timer stops even tiny searches before they finish.
+            if bound.preempted() {
+                self.deadline_fired = true;
+                return Err(DpAbort::Budget);
+            }
         }
         self.check_counter = self.check_counter.wrapping_add(1);
         if self.check_counter.is_multiple_of(1024) {

@@ -49,10 +49,11 @@ impl SchedulePolicy for VcPolicy {
                 max_dp_steps: budget.max_dp_steps,
                 max_trail_bytes: budget.max_trail_bytes,
                 awct_cutoff: best.is_finite().then_some(best),
+                deadline_steps: budget.deadline_steps,
                 ..self.base.clone()
             },
         );
-        let attempt = vc.try_schedule_with_live_ins(block, homes);
+        let attempt = vc.try_schedule_preemptible(block, homes, Some(&budget.best));
         let spec = attempt.spec;
         match attempt.result {
             Ok(out) => {
@@ -62,12 +63,14 @@ impl SchedulePolicy for VcPolicy {
             Err(e) => {
                 // Legacy §6.1 convention: a burnt budget is reported as
                 // `max + 1` so drivers can distinguish "exhausted" from
-                // "spent exactly max"; an early-cancelled attempt reports
-                // the steps it actually consumed before abandoning.
+                // "spent exactly max"; an early-cancelled or deadline-
+                // preempted attempt reports the steps it actually
+                // consumed before abandoning.
                 let (fallback, steps) = match e {
                     VcError::BudgetExhausted => (PolicyFallback::Budget, budget.max_dp_steps + 1),
                     VcError::BumpLimitReached => (PolicyFallback::GaveUp, budget.max_dp_steps + 1),
                     VcError::Beaten => (PolicyFallback::Beaten, attempt.dp_steps),
+                    VcError::Deadline => (PolicyFallback::Deadline, attempt.dp_steps),
                 };
                 PolicyOutcome::abandoned(fallback, steps, attempt.wall).with_spec(spec)
             }
@@ -133,6 +136,7 @@ mod tests {
             max_dp_steps: 100_000,
             max_trail_bytes: None,
             best: bound,
+            deadline_steps: None,
         };
         let out = VcPolicy::new().schedule(&sb, &machine, &[], &budget);
         assert!(out.schedule.is_none());
@@ -157,9 +161,52 @@ mod tests {
             max_dp_steps: 100_000,
             max_trail_bytes: None,
             best: bound,
+            deadline_steps: None,
         };
         let out = VcPolicy::new().schedule(&sb, &machine, &[], &budget);
         assert_eq!(out.fallback, PolicyFallback::None);
         assert_eq!(out.awct, direct.awct);
+    }
+
+    #[test]
+    fn step_deadline_reports_deadline_fallback_with_actual_steps() {
+        let sb = tiny_block();
+        let machine = MachineConfig::paper_2c_8w();
+        let budget = PolicyBudget {
+            max_dp_steps: 100_000,
+            max_trail_bytes: None,
+            best: AwctBound::new(),
+            deadline_steps: Some(1),
+        };
+        let out = VcPolicy::new().schedule(&sb, &machine, &[], &budget);
+        assert!(out.schedule.is_none());
+        assert_eq!(out.fallback, PolicyFallback::Deadline);
+        assert!(
+            out.steps <= 2,
+            "a 1-step deadline must fire immediately (spent {})",
+            out.steps
+        );
+    }
+
+    #[test]
+    fn preempted_bound_aborts_with_deadline_fallback() {
+        let sb = tiny_block();
+        let machine = MachineConfig::paper_2c_8w();
+        let bound = AwctBound::new();
+        bound.preempt(); // fires before the search even starts
+        let budget = PolicyBudget {
+            max_dp_steps: 100_000,
+            max_trail_bytes: None,
+            best: bound,
+            deadline_steps: None,
+        };
+        let out = VcPolicy::new().schedule(&sb, &machine, &[], &budget);
+        assert!(out.schedule.is_none());
+        assert_eq!(out.fallback, PolicyFallback::Deadline);
+        assert!(
+            out.steps < 100_000,
+            "preemption must not burn the whole budget (spent {})",
+            out.steps
+        );
     }
 }

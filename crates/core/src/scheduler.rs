@@ -36,6 +36,11 @@ pub struct VcOptions {
     /// Strict comparison keeps ties alive, so cancellation never changes
     /// which schedule a deterministic portfolio picks.
     pub awct_cutoff: Option<f64>,
+    /// Deterministic deadline in deduction steps: abandon with
+    /// [`VcError::Deadline`] once this many steps are spent. Unlike
+    /// `time_limit` this reproduces bit-for-bit at any thread count —
+    /// it is how the online executor prices remaining slack.
+    pub deadline_steps: Option<u64>,
     /// Ablation switches (all off for the paper's configuration).
     pub tuning: Tuning,
 }
@@ -48,6 +53,7 @@ impl Default for VcOptions {
             max_awct_bumps: 128,
             time_limit: None,
             awct_cutoff: None,
+            deadline_steps: None,
             tuning: Tuning::default(),
         }
     }
@@ -94,6 +100,11 @@ pub enum VcError {
     /// certified lower bound strictly exceeds a schedule the driver
     /// already holds.
     Beaten,
+    /// A deadline fired mid-search — the deterministic
+    /// [`VcOptions::deadline_steps`] threshold was crossed or an external
+    /// preemption handle was raised. The racing driver returns its
+    /// best-so-far validated schedule instead of this attempt's.
+    Deadline,
 }
 
 impl std::fmt::Display for VcError {
@@ -102,6 +113,7 @@ impl std::fmt::Display for VcError {
             VcError::BudgetExhausted => write!(f, "scheduling budget exhausted"),
             VcError::BumpLimitReached => write!(f, "AWCT bump limit reached"),
             VcError::Beaten => write!(f, "abandoned: a better schedule is already in hand"),
+            VcError::Deadline => write!(f, "deadline fired mid-search"),
         }
     }
 }
@@ -196,12 +208,27 @@ impl VcScheduler {
         sb: &Superblock,
         live_in_homes: &[ClusterId],
     ) -> VcAttempt {
+        self.try_schedule_preemptible(sb, live_in_homes, None)
+    }
+
+    /// Like [`VcScheduler::try_schedule_with_live_ins`], with an optional
+    /// preemption handle: when `preempt.preempt()` fires (a wall-clock
+    /// deadline timer, say) the search aborts at its next budget check
+    /// with [`VcError::Deadline`].
+    pub fn try_schedule_preemptible(
+        &self,
+        sb: &Superblock,
+        live_in_homes: &[ClusterId],
+        preempt: Option<&vcsched_policy::AwctBound>,
+    ) -> VcAttempt {
         let start = Instant::now();
         let mut span = vcsched_obs::span!("vc_attempt", insts = sb.len());
         let ctx = StateCtx::with_tuning(sb, &self.machine, self.options.tuning);
         let deadline = self.options.time_limit.map(|d| start + d);
         let mut budget = Budget::new(self.options.max_dp_steps, deadline)
-            .with_byte_cap(self.options.max_trail_bytes);
+            .with_byte_cap(self.options.max_trail_bytes)
+            .with_deadline_steps(self.options.deadline_steps)
+            .with_preempt(preempt.cloned());
         let mut arena = StateArena::new();
         let searched = search(
             sb,
@@ -251,6 +278,10 @@ impl VcScheduler {
                     },
                     schedule: r.schedule,
                 })
+            }
+            Err(SearchFail::Budget) if budget.deadline_fired() => {
+                m.outcome_deadline.inc();
+                Err(VcError::Deadline)
             }
             Err(SearchFail::Budget) => {
                 m.outcome_budget.inc();

@@ -40,6 +40,8 @@ pub(crate) struct AttemptMetrics {
     pub outcome_bump_limit: Counter,
     /// See [`AttemptMetrics::outcome_ok`].
     pub outcome_beaten: Counter,
+    /// See [`AttemptMetrics::outcome_ok`].
+    pub outcome_deadline: Counter,
 }
 
 pub(crate) fn attempt_metrics() -> &'static AttemptMetrics {
@@ -60,6 +62,7 @@ pub(crate) fn attempt_metrics() -> &'static AttemptMetrics {
             outcome_budget: r.counter_with("vc_attempts_total", &[("outcome", "budget")]),
             outcome_bump_limit: r.counter_with("vc_attempts_total", &[("outcome", "bump_limit")]),
             outcome_beaten: r.counter_with("vc_attempts_total", &[("outcome", "beaten")]),
+            outcome_deadline: r.counter_with("vc_attempts_total", &[("outcome", "deadline")]),
         }
     })
 }

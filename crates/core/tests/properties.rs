@@ -70,9 +70,10 @@ proptest! {
                 prop_assert!(out.awct + 1e-9 >= out.stats.min_awct);
             }
             Err(VcError::BudgetExhausted) | Err(VcError::BumpLimitReached) => {}
-            // No cutoff is configured here, so the search can never be
-            // cancelled by a racing schedule.
+            // No cutoff or deadline bound is configured here, so the
+            // search can never be cancelled by a racing schedule.
             Err(VcError::Beaten) => prop_assert!(false, "beaten without a cutoff"),
+            Err(VcError::Deadline) => prop_assert!(false, "deadline without a bound"),
         }
     }
 

@@ -53,6 +53,7 @@
 pub mod adaptive;
 pub mod cache;
 pub mod corpus;
+pub mod online;
 pub mod pool;
 pub mod portfolio;
 pub mod registry;
@@ -68,8 +69,14 @@ use vcsched_workload::live_in_placement;
 pub use adaptive::{AdaptiveOptions, AdaptiveSummary, BlockClass, SelectorTable, SELECTOR_FILE};
 pub use cache::{CacheEntry, CacheStats, ScheduleCache, ShardStats};
 pub use corpus::CorpusSource;
+pub use online::{
+    run_trace, BlockResult, DeadlineTimer, OnlineOptions, OnlineSummary, PriorityLatency,
+};
 pub use pool::{default_jobs, scatter};
-pub use portfolio::{schedule_block, schedule_block_with, BlockOutcome, PolicyOptions, PolicyStat};
+pub use portfolio::{
+    schedule_block, schedule_block_bound, schedule_block_with, BlockOutcome, PolicyOptions,
+    PolicyStat,
+};
 pub use registry::{PolicyRegistry, PolicySet};
 pub use submit::{PolicyTotals, Problem, Solved, SubmitError, SubmitPool, Ticket};
 pub use vcsched_policy::{AwctBound, PolicyBudget, PolicyFallback, PolicyOutcome, SchedulePolicy};
@@ -292,13 +299,18 @@ fn problem_key(
 ) -> (u64, u64) {
     // The machine's Debug form covers every field; options and homes are
     // tiny, so a readable composite string is cheap and stable.
-    let composite = format!(
+    let mut composite = format!(
         "{sb_json}|{machine:?}|{homes:?}|steps={}|bytes={:?}|policies={}|early_cancel={}",
         options.max_dp_steps,
         options.max_trail_bytes,
         options.policies.versioned_key_with(registry),
         options.early_cancel
     );
+    // Appended only when armed, so every offline key is byte-identical
+    // to what it was before deadlines existed.
+    if let Some(deadline) = options.deadline_steps {
+        composite.push_str(&format!("|deadline_steps={deadline}"));
+    }
     (
         cache::fnv1a(composite.as_bytes()),
         cache::fnv1a_check(composite.as_bytes()),
@@ -379,6 +391,71 @@ pub fn solve_one_with(
     (outcome, false)
 }
 
+/// [`solve_one`] with a wall-clock backstop: on a cache miss the race
+/// runs against an externally sealed [`AwctBound`] watched by a
+/// [`DeadlineTimer`]; if the timer fires first, every racing search
+/// abandons to best-so-far and the outcome is tagged
+/// [`vcsched_policy::PolicyFallback::Deadline`].
+/// Cache reads are shared with the deterministic path, but a
+/// wall-preempted result is **never written back** — wall time is not
+/// part of the problem key, and a preempted race must not masquerade as
+/// the full race's answer for the next caller.
+pub fn solve_one_deadline(
+    sb: &vcsched_ir::Superblock,
+    machine: &MachineConfig,
+    homes: &[vcsched_arch::ClusterId],
+    options: &PolicyOptions,
+    cache: &ScheduleCache,
+    deadline: std::time::Duration,
+) -> (BlockOutcome, bool) {
+    let registry = PolicyRegistry::builtin();
+    let solve_start = std::time::Instant::now();
+    let mut span = vcsched_obs::span!("engine_solve", insts = sb.len());
+    let sb_json = serde_json::to_string(sb).expect("superblocks serialize");
+    let (key, check) = problem_key(registry, &sb_json, machine, homes, options);
+    if let Some(entry) = cache.get(key, check) {
+        telemetry::solve_latency().record_duration(solve_start.elapsed());
+        span.field("cached", true);
+        return (
+            BlockOutcome {
+                winner: entry.winner,
+                awct: entry.awct,
+                vc_steps: entry.vc_steps,
+                vc_timed_out: entry.vc_timed_out,
+                schedule: entry.schedule,
+                policy_stats: entry.stats,
+            },
+            true,
+        );
+    }
+    let bound = AwctBound::new();
+    let outcome = {
+        let _timer = DeadlineTimer::arm(&bound, deadline);
+        portfolio::schedule_block_bound(registry, sb, machine, homes, options, &bound)
+    };
+    telemetry::solve_latency().record_duration(solve_start.elapsed());
+    span.field("cached", false);
+    span.field("winner", outcome.winner.as_str());
+    if bound.preempted() {
+        span.field("preempted", true);
+    } else {
+        cache.put(
+            key,
+            CacheEntry {
+                key: format!("{key:016x}"),
+                check: format!("{check:016x}"),
+                winner: outcome.winner.clone(),
+                awct: outcome.awct,
+                vc_steps: outcome.vc_steps,
+                vc_timed_out: outcome.vc_timed_out,
+                schedule: outcome.schedule.clone(),
+                stats: outcome.policy_stats.clone(),
+            },
+        );
+    }
+    (outcome, false)
+}
+
 /// Builds the cache a [`BatchConfig`] asks for (persistent or in-memory,
 /// sharded as configured).
 pub fn open_cache(config: &BatchConfig) -> Result<ScheduleCache, String> {
@@ -447,6 +524,7 @@ pub fn run_batch_with_cache(
         max_trail_bytes: config.max_trail_bytes,
         policies: config.policies.clone(),
         early_cancel: config.early_cancel,
+        deadline_steps: None,
     };
     let machine = &config.machine;
     let per_block: Vec<(BlockOutcome, bool)> = scatter(blocks.len(), config.jobs, |i| {
@@ -492,6 +570,7 @@ pub fn run_batch_with_selector(
             max_trail_bytes: config.max_trail_bytes,
             policies: decisions[i].policies.clone(),
             early_cancel: config.early_cancel,
+            deadline_steps: None,
         };
         solve_one(sb, machine, &homes, &options, cache)
     });

@@ -51,6 +51,12 @@ pub struct PolicyOptions {
     /// is part of the cache key. Off by default to keep the §6.1
     /// telemetry byte-identical.
     pub early_cancel: bool,
+    /// Deterministic deadline in deduction steps for exhaustive policies:
+    /// the attempt aborts with [`PolicyFallback::Deadline`] once it has
+    /// spent this many steps, and the race returns its best-so-far
+    /// validated schedule. `None` (the default, and the whole offline
+    /// path) leaves behaviour and cache keys untouched.
+    pub deadline_steps: Option<u64>,
 }
 
 impl Default for PolicyOptions {
@@ -60,6 +66,7 @@ impl Default for PolicyOptions {
             max_trail_bytes: None,
             policies: PolicySet::single(),
             early_cancel: false,
+            deadline_steps: None,
         }
     }
 }
@@ -123,6 +130,19 @@ pub struct BlockOutcome {
     /// Per-policy telemetry, in set order (plus a trailing `cars` entry
     /// if the implicit fallback fired).
     pub policy_stats: Vec<PolicyStat>,
+}
+
+impl BlockOutcome {
+    /// Whether a deadline fired mid-race (a policy abandoned with
+    /// [`PolicyFallback::Deadline`]) and the outcome is therefore the
+    /// best-so-far validated schedule rather than a full race's. Derived
+    /// from the per-policy telemetry, so offline serialization is
+    /// untouched.
+    pub fn deadline_fired(&self) -> bool {
+        self.policy_stats
+            .iter()
+            .any(|s| s.fallback == PolicyFallback::Deadline)
+    }
 }
 
 /// One raced policy's full result: trait outcome plus validation.
@@ -193,6 +213,27 @@ pub fn schedule_block_with(
     homes: &[ClusterId],
     options: &PolicyOptions,
 ) -> BlockOutcome {
+    schedule_block_bound(registry, sb, machine, homes, options, &AwctBound::new())
+}
+
+/// [`schedule_block_with`] with a caller-supplied [`AwctBound`]: the
+/// preemptible entry point. A wall-clock deadline timer holding a clone
+/// of `bound` can call [`AwctBound::preempt`] mid-race; every policy
+/// sharing it aborts with [`PolicyFallback::Deadline`] and the race
+/// returns its best-so-far validated schedule (the implicit CARS
+/// fallback guarantees one exists).
+///
+/// # Panics
+///
+/// Panics if a set member is not registered (see [`schedule_block_with`]).
+pub fn schedule_block_bound(
+    registry: &PolicyRegistry,
+    sb: &Superblock,
+    machine: &MachineConfig,
+    homes: &[ClusterId],
+    options: &PolicyOptions,
+    bound: &AwctBound,
+) -> BlockOutcome {
     let policies: Vec<Box<dyn SchedulePolicy>> = options
         .policies
         .names()
@@ -204,11 +245,12 @@ pub fn schedule_block_with(
         })
         .collect();
 
-    let bound = AwctBound::new();
+    let bound = bound.clone();
     let budget = PolicyBudget {
         max_dp_steps: options.max_dp_steps,
         max_trail_bytes: options.max_trail_bytes,
         best: bound.clone(),
+        deadline_steps: options.deadline_steps,
     };
 
     // Stage 1: single-pass policies race concurrently on scoped threads.

@@ -48,6 +48,12 @@ pub struct Problem {
     pub homes: Vec<ClusterId>,
     /// Policy options (deduction-step budget, portfolio widening).
     pub options: PolicyOptions,
+    /// Optional wall-clock backstop: the worker arms a
+    /// [`DeadlineTimer`](crate::DeadlineTimer) that preempts the race's
+    /// sealed bound when it expires, returning best-so-far (see
+    /// [`solve_one_deadline`](crate::solve_one_deadline)). `None` keeps
+    /// the fully deterministic path.
+    pub deadline: Option<Duration>,
 }
 
 /// A solved problem: the policy outcome plus whether the cache answered.
@@ -238,13 +244,23 @@ impl SubmitPool {
                     m.busy.inc();
                     match task.kind {
                         TaskKind::Solve { problem, reply } => {
-                            let (outcome, cached) = crate::solve_one(
-                                &problem.block,
-                                &problem.machine,
-                                &problem.homes,
-                                &problem.options,
-                                &cache,
-                            );
+                            let (outcome, cached) = match problem.deadline {
+                                Some(wall) => crate::solve_one_deadline(
+                                    &problem.block,
+                                    &problem.machine,
+                                    &problem.homes,
+                                    &problem.options,
+                                    &cache,
+                                    wall,
+                                ),
+                                None => crate::solve_one(
+                                    &problem.block,
+                                    &problem.machine,
+                                    &problem.homes,
+                                    &problem.options,
+                                    &cache,
+                                ),
+                            };
                             record_policy_totals(&policy_totals, &outcome, cached);
                             reply.complete(Solved { outcome, cached });
                         }
@@ -502,6 +518,7 @@ mod tests {
                 max_dp_steps: crate::STEPS_1S,
                 ..PolicyOptions::default()
             },
+            deadline: None,
         }
     }
 

@@ -79,6 +79,33 @@ pub(crate) fn solve_latency() -> &'static Histogram {
     M.get_or_init(|| vcsched_obs::global().histogram("engine_solve_us"))
 }
 
+/// Online-path metrics: deadline misses, preemptions, shed admissions,
+/// observed deadline slack.
+pub(crate) struct OnlineMetrics {
+    /// `engine_deadline_misses_total` — served past the deadline.
+    pub deadline_misses: Counter,
+    /// `engine_preemptions_total` — races abandoned to best-so-far by a
+    /// fired deadline.
+    pub preemptions: Counter,
+    /// `engine_shed_total` — admissions shed by priority at saturation.
+    pub shed: Counter,
+    /// `engine_slack_ms` — deadline slack observed at admission.
+    pub slack_ms: Histogram,
+}
+
+pub(crate) fn online_metrics() -> &'static OnlineMetrics {
+    static M: OnceLock<OnlineMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let r = vcsched_obs::global();
+        OnlineMetrics {
+            deadline_misses: r.counter("engine_deadline_misses_total"),
+            preemptions: r.counter("engine_preemptions_total"),
+            shed: r.counter("engine_shed_total"),
+            slack_ms: r.histogram("engine_slack_ms"),
+        }
+    })
+}
+
 /// `engine_selector_decisions_total{kind=…}` — adaptive narrowing
 /// decisions by kind.
 pub(crate) fn decision_counter(kind: DecisionKind) -> &'static Counter {

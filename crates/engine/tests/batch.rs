@@ -144,6 +144,7 @@ fn cache_never_aliases_across_policy_sets() {
         policies: PolicySet::parse(spec).expect("valid set"),
         early_cancel,
         max_trail_bytes: None,
+        deadline_steps: None,
     };
     let vc_only = opts("vc", false);
     let full = opts("vc,cars,uas,two-phase", false);

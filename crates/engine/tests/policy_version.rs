@@ -70,6 +70,7 @@ fn opts(set: PolicySet) -> PolicyOptions {
         policies: set,
         early_cancel: false,
         max_trail_bytes: None,
+        deadline_steps: None,
     }
 }
 

@@ -30,7 +30,7 @@
 
 #![warn(missing_docs)]
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -44,26 +44,37 @@ use vcsched_ir::{Schedule, Superblock};
 /// Stores the bits of a non-negative `f64` (IEEE-754 orders non-negative
 /// floats like their bit patterns, so `fetch_min` on bits is `fetch_min`
 /// on values). Starts at `+∞`; [`AwctBound::record`] lowers it.
+///
+/// The bound also carries the *preemption flag* for deadline-aware races:
+/// an external timer (or the online executor's deadline accounting) calls
+/// [`AwctBound::preempt`] and every policy sharing the bound stops at its
+/// next budget check, returning whatever best-so-far the racer has sealed.
 #[derive(Debug, Clone, Default)]
-pub struct AwctBound(Arc<AtomicU64>);
+pub struct AwctBound {
+    best: Arc<AtomicU64>,
+    preempt: Arc<AtomicBool>,
+}
 
 impl AwctBound {
-    /// A fresh bound at `+∞` (nothing recorded yet).
+    /// A fresh bound at `+∞` (nothing recorded yet, not preempted).
     pub fn new() -> AwctBound {
-        AwctBound(Arc::new(AtomicU64::new(f64::INFINITY.to_bits())))
+        AwctBound {
+            best: Arc::new(AtomicU64::new(f64::INFINITY.to_bits())),
+            preempt: Arc::new(AtomicBool::new(false)),
+        }
     }
 
     /// Records a validated candidate AWCT, lowering the bound if it beats
     /// the current best. Negative or NaN values are ignored.
     pub fn record(&self, awct: f64) {
         if awct.is_finite() && awct >= 0.0 {
-            self.0.fetch_min(awct.to_bits(), Ordering::Relaxed);
+            self.best.fetch_min(awct.to_bits(), Ordering::Relaxed);
         }
     }
 
     /// The best AWCT recorded so far (`+∞` if none).
     pub fn best(&self) -> f64 {
-        f64::from_bits(self.0.load(Ordering::Relaxed))
+        f64::from_bits(self.best.load(Ordering::Relaxed))
     }
 
     /// Whether a policy whose certified lower bound is `lower_bound` has
@@ -72,6 +83,18 @@ impl AwctBound {
     /// on set order.
     pub fn beaten(&self, lower_bound: f64) -> bool {
         lower_bound > self.best()
+    }
+
+    /// Fires the deadline: every policy sharing this bound abandons at
+    /// its next budget check with [`PolicyFallback::Deadline`]. Sticky —
+    /// there is no un-preempt; create a fresh bound per race.
+    pub fn preempt(&self) {
+        self.preempt.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether [`AwctBound::preempt`] has fired.
+    pub fn preempted(&self) -> bool {
+        self.preempt.load(Ordering::Relaxed)
     }
 }
 
@@ -90,16 +113,23 @@ pub struct PolicyBudget {
     /// Shared best-AWCT bound for cooperative early-cancel. Pass a fresh
     /// [`AwctBound::new`] (forever `+∞`) to disable cancellation.
     pub best: AwctBound,
+    /// Deterministic deadline in deduction steps: the attempt aborts with
+    /// [`PolicyFallback::Deadline`] once it has spent this many steps —
+    /// distinct from `max_dp_steps` so a deadline-priced race reports
+    /// `deadline` rather than `budget`. `None` means no step deadline;
+    /// the bound's preemption flag is still honoured either way.
+    pub deadline_steps: Option<u64>,
 }
 
 impl PolicyBudget {
-    /// A budget with the given step cap, no byte cap, and cancellation
-    /// disabled.
+    /// A budget with the given step cap, no byte cap, no deadline, and
+    /// cancellation disabled.
     pub fn steps(max_dp_steps: u64) -> PolicyBudget {
         PolicyBudget {
             max_dp_steps,
             max_trail_bytes: None,
             best: AwctBound::new(),
+            deadline_steps: None,
         }
     }
 }
@@ -119,6 +149,11 @@ pub enum PolicyFallback {
     /// The policy gave up for an internal reason (e.g. the AWCT bump
     /// limit).
     GaveUp,
+    /// A deadline fired mid-attempt — either the deterministic
+    /// `deadline_steps` threshold was crossed or the shared bound's
+    /// preemption flag was raised. The racer returns its best-so-far
+    /// validated schedule (if any) tagged `deadline_fired`.
+    Deadline,
 }
 
 impl PolicyFallback {
@@ -129,6 +164,7 @@ impl PolicyFallback {
             PolicyFallback::Budget => "budget",
             PolicyFallback::Beaten => "beaten",
             PolicyFallback::GaveUp => "gave-up",
+            PolicyFallback::Deadline => "deadline",
         }
     }
 
@@ -139,6 +175,7 @@ impl PolicyFallback {
             PolicyFallback::Budget,
             PolicyFallback::Beaten,
             PolicyFallback::GaveUp,
+            PolicyFallback::Deadline,
         ]
         .into_iter()
         .find(|f| f.name() == s)
@@ -331,9 +368,21 @@ mod tests {
             PolicyFallback::Budget,
             PolicyFallback::Beaten,
             PolicyFallback::GaveUp,
+            PolicyFallback::Deadline,
         ] {
             assert_eq!(PolicyFallback::parse(f.name()), Some(f));
         }
         assert_eq!(PolicyFallback::parse("bogus"), None);
+    }
+
+    #[test]
+    fn preempt_flag_is_shared_and_sticky() {
+        let a = AwctBound::new();
+        let b = a.clone();
+        assert!(!a.preempted());
+        b.preempt();
+        assert!(a.preempted(), "preemption must be visible through clones");
+        // A fresh bound starts clean.
+        assert!(!AwctBound::new().preempted());
     }
 }

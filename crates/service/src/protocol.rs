@@ -121,6 +121,14 @@ pub enum Request {
         placement_seed: Option<u64>,
         /// Return the winning schedule itself, not just its metrics.
         return_schedule: bool,
+        /// Deadline slack in milliseconds: the server prices it into a
+        /// deterministic deduction-step budget (and a wall-clock
+        /// preemption backstop), so a tight deadline gets back the
+        /// best-so-far validated schedule tagged `deadline_fired`.
+        deadline_ms: Option<u64>,
+        /// Priority 0 (shed first) ..= 3 (shed last): decides who is
+        /// turned away when the admission queue saturates.
+        priority: Option<u8>,
     },
     /// Schedule a synthesized corpus through the pool and summarize.
     Batch {
@@ -150,6 +158,11 @@ pub enum Request {
         /// Stream one `block` frame per solved block before the summary.
         /// Requires a request id (frames are matched by id).
         stream: bool,
+        /// Per-block deadline slack in milliseconds, priced into each
+        /// block's deduction-step budget exactly like `schedule`.
+        deadline_ms: Option<u64>,
+        /// Priority of the whole batch (admission shedding).
+        priority: Option<u8>,
     },
     /// Service and cache counters.
     Stats,
@@ -168,7 +181,11 @@ pub enum Request {
 }
 
 /// A `schedule` response body.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Deserialization is backward-compatible: replies from servers
+/// predating the online path (no `deadline_fired`) parse with the field
+/// defaulted to `false`.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct ScheduleReply {
     /// Winning policy name.
     pub winner: String,
@@ -187,6 +204,27 @@ pub struct ScheduleReply {
     pub policies: Vec<PolicyStat>,
     /// The schedule itself, if `return_schedule` was set.
     pub schedule: Option<Schedule>,
+    /// Whether a deadline preempted the race and this is the best-so-far
+    /// validated schedule rather than a full race's answer.
+    pub deadline_fired: bool,
+}
+
+impl Deserialize for ScheduleReply {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        const TY: &str = "ScheduleReply";
+        Ok(ScheduleReply {
+            winner: Deserialize::from_value(serde::field(v, TY, "winner")?)?,
+            awct: Deserialize::from_value(serde::field(v, TY, "awct")?)?,
+            vc_steps: Deserialize::from_value(serde::field(v, TY, "vc_steps")?)?,
+            vc_timed_out: Deserialize::from_value(serde::field(v, TY, "vc_timed_out")?)?,
+            cached: Deserialize::from_value(serde::field(v, TY, "cached")?)?,
+            copies: Deserialize::from_value(serde::field(v, TY, "copies")?)?,
+            policies: Deserialize::from_value(serde::field(v, TY, "policies")?)?,
+            schedule: opt(v, "schedule")?,
+            // Pre-online servers do not send this: default, do not require.
+            deadline_fired: opt(v, "deadline_fired")?.unwrap_or(false),
+        })
+    }
 }
 
 /// One streamed per-block frame of a `batch` request with
@@ -263,10 +301,31 @@ pub struct SelectorStatsReply {
     pub full_explore: u64,
 }
 
+/// Per-priority latency quantiles nested in a [`LatencyReply`], read
+/// from the `service_request_us{type=…,priority=…}` histograms.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PriorityLatencyReply {
+    /// Priority band (0..=3).
+    pub priority: u8,
+    /// Requests dispatched at this priority since process start.
+    pub count: u64,
+    /// Median end-to-end latency, µs.
+    pub p50_us: u64,
+    /// 90th percentile, µs.
+    pub p90_us: u64,
+    /// 99th percentile, µs.
+    pub p99_us: u64,
+    /// 99.9th percentile, µs.
+    pub p999_us: u64,
+}
+
 /// Per-request-type latency quantiles in a `stats` response, read from
 /// the obs registry's `service_request_us` histograms. Quantile values
 /// are deterministic histogram-bucket lower bounds, in microseconds.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Deserialization is backward-compatible: replies predating the
+/// per-priority breakdown parse with `by_priority` empty.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct LatencyReply {
     /// Request type (`schedule`, `batch`, `stats`, `ping`, `metrics`).
     pub request: String,
@@ -280,6 +339,25 @@ pub struct LatencyReply {
     pub p99_us: u64,
     /// 99.9th percentile, µs.
     pub p999_us: u64,
+    /// Per-priority breakdown (only request types that carry a priority
+    /// populate it; empty from servers predating the online path).
+    pub by_priority: Vec<PriorityLatencyReply>,
+}
+
+impl Deserialize for LatencyReply {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        const TY: &str = "LatencyReply";
+        Ok(LatencyReply {
+            request: Deserialize::from_value(serde::field(v, TY, "request")?)?,
+            count: Deserialize::from_value(serde::field(v, TY, "count")?)?,
+            p50_us: Deserialize::from_value(serde::field(v, TY, "p50_us")?)?,
+            p90_us: Deserialize::from_value(serde::field(v, TY, "p90_us")?)?,
+            p99_us: Deserialize::from_value(serde::field(v, TY, "p99_us")?)?,
+            p999_us: Deserialize::from_value(serde::field(v, TY, "p999_us")?)?,
+            // Absent before the per-priority breakdown existed.
+            by_priority: opt(v, "by_priority")?.unwrap_or_default(),
+        })
+    }
 }
 
 /// A `stats` response body.
@@ -415,6 +493,8 @@ impl Serialize for Request {
                 adaptive,
                 placement_seed,
                 return_schedule,
+                deadline_ms,
+                priority,
             } => obj(vec![
                 ("type", Value::String("schedule".into())),
                 ("block", block.to_value()),
@@ -427,6 +507,8 @@ impl Serialize for Request {
                 ("adaptive", adaptive.to_value()),
                 ("placement_seed", placement_seed.to_value()),
                 ("return_schedule", Value::Bool(*return_schedule)),
+                ("deadline_ms", deadline_ms.to_value()),
+                ("priority", priority.to_value()),
             ]),
             Request::Batch {
                 bench,
@@ -440,6 +522,8 @@ impl Serialize for Request {
                 early_cancel,
                 adaptive,
                 stream,
+                deadline_ms,
+                priority,
             } => obj(vec![
                 ("type", Value::String("batch".into())),
                 ("bench", Value::String(bench.clone())),
@@ -453,6 +537,8 @@ impl Serialize for Request {
                 ("early_cancel", early_cancel.to_value()),
                 ("adaptive", adaptive.to_value()),
                 ("stream", Value::Bool(*stream)),
+                ("deadline_ms", deadline_ms.to_value()),
+                ("priority", priority.to_value()),
             ]),
             Request::Stats => obj(vec![("type", Value::String("stats".into()))]),
             Request::Metrics => obj(vec![("type", Value::String("metrics".into()))]),
@@ -508,6 +594,8 @@ impl Deserialize for Request {
                 adaptive: opt(v, "adaptive")?,
                 placement_seed: opt(v, "placement_seed")?,
                 return_schedule: opt(v, "return_schedule")?.unwrap_or(false),
+                deadline_ms: opt(v, "deadline_ms")?,
+                priority: opt(v, "priority")?,
             }),
             "batch" => Ok(Request::Batch {
                 bench: opt(v, "bench")?.unwrap_or_else(|| "099.go".to_owned()),
@@ -521,6 +609,8 @@ impl Deserialize for Request {
                 early_cancel: opt(v, "early_cancel")?,
                 adaptive: opt(v, "adaptive")?,
                 stream: opt(v, "stream")?.unwrap_or(false),
+                deadline_ms: opt(v, "deadline_ms")?,
+                priority: opt(v, "priority")?,
             }),
             "stats" => Ok(Request::Stats),
             "metrics" => Ok(Request::Metrics),
@@ -676,6 +766,8 @@ mod tests {
                 early_cancel: None,
                 adaptive: None,
                 stream: false,
+                deadline_ms: Some(250),
+                priority: Some(2),
             },
             Request::Batch {
                 bench: "099.go".into(),
@@ -689,6 +781,8 @@ mod tests {
                 early_cancel: Some(true),
                 adaptive: Some(true),
                 stream: true,
+                deadline_ms: None,
+                priority: None,
             },
         ];
         for req in reqs {
@@ -810,6 +904,14 @@ mod tests {
                     p90_us: 1_500,
                     p99_us: 4_000,
                     p999_us: 4_000,
+                    by_priority: vec![PriorityLatencyReply {
+                        priority: 2,
+                        count: 4,
+                        p50_us: 900,
+                        p90_us: 1_600,
+                        p99_us: 4_100,
+                        p999_us: 4_100,
+                    }],
                 }],
             }),
             Response::Metrics {
@@ -953,6 +1055,62 @@ mod tests {
         );
         let back: Response = serde_json::from_str(&line).unwrap();
         assert_eq!(frame, back);
+    }
+
+    #[test]
+    fn deadline_and_priority_parse_on_schedule_and_batch() {
+        let req: Request =
+            serde_json::from_str(r#"{"type":"batch","deadline_ms":120,"priority":3}"#).unwrap();
+        match req {
+            Request::Batch {
+                deadline_ms,
+                priority,
+                ..
+            } => {
+                assert_eq!(deadline_ms, Some(120));
+                assert_eq!(priority, Some(3));
+            }
+            other => panic!("parsed as {other:?}"),
+        }
+        // Absent fields stay None — the offline wire shape is untouched.
+        let req: Request = serde_json::from_str(r#"{"type":"batch"}"#).unwrap();
+        match req {
+            Request::Batch {
+                deadline_ms,
+                priority,
+                ..
+            } => assert_eq!((deadline_ms, priority), (None, None)),
+            other => panic!("parsed as {other:?}"),
+        }
+    }
+
+    #[test]
+    fn schedule_reply_without_deadline_fired_still_parses() {
+        // A reply shaped like the pre-online protocol: no deadline_fired.
+        let line = concat!(
+            r#"{"ok":true,"type":"schedule","winner":"vc","awct":10.5,"#,
+            r#""vc_steps":120,"vc_timed_out":false,"cached":false,"#,
+            r#""copies":1,"policies":[],"schedule":null}"#
+        );
+        let back: Response = serde_json::from_str(line).unwrap();
+        match back {
+            Response::Schedule(reply) => {
+                assert!(!reply.deadline_fired);
+                assert_eq!(reply.winner, "vc");
+            }
+            other => panic!("parsed as {other:?}"),
+        }
+    }
+
+    #[test]
+    fn latency_reply_without_priority_breakdown_still_parses() {
+        let line = concat!(
+            r#"{"request":"schedule","count":3,"p50_us":10,"#,
+            r#""p90_us":20,"p99_us":30,"p999_us":40}"#
+        );
+        let back: LatencyReply = serde_json::from_str(line).unwrap();
+        assert!(back.by_priority.is_empty());
+        assert_eq!((back.count, back.p999_us), (3, 40));
     }
 
     #[test]

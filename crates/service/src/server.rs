@@ -38,8 +38,8 @@ use serde_json::Value;
 use vcsched_engine::{
     adaptive::{explore_draw, summarize, DecisionKind},
     aggregate_batch, default_jobs, open_cache, selector_path, AdaptiveOptions, BatchConfig,
-    BlockClass, CorpusSource, PolicyOptions, PolicySet, Problem, SelectorTable, SubmitError,
-    SubmitPool, STEPS_1M,
+    BlockClass, CorpusSource, PolicyOptions, PolicySet, Problem, SelectorTable, Solved,
+    SubmitError, SubmitPool, STEPS_1M,
 };
 use vcsched_ir::Superblock;
 use vcsched_workload::live_in_placement;
@@ -106,6 +106,11 @@ pub struct ServiceConfig {
     pub adaptive: AdaptiveOptions,
     /// Default live-in placement seed for `schedule` requests.
     pub default_placement_seed: u64,
+    /// Deadline exchange rate: DP steps of budget bought per
+    /// millisecond of remaining slack when a request carries
+    /// `deadline_ms` (the paper's §6.1 ≈1 s compile-time anchor prices
+    /// 1 ms at 5 steps).
+    pub steps_per_ms: u64,
     /// Append span-trace events (JSONL) to this file. Enables the
     /// process-global tracer for the server's lifetime; a flusher thread
     /// drains the ring periodically and once more after the drain.
@@ -134,10 +139,28 @@ impl Default for ServiceConfig {
             default_adaptive: false,
             adaptive: AdaptiveOptions::default(),
             default_placement_seed: 0xC60_2007,
+            steps_per_ms: 5,
             trace_out: None,
             trace_sample: 1,
         }
     }
+}
+
+/// Never price a deadline below this many DP steps: a floor keeps an
+/// already-late request able to return *some* validated schedule
+/// (implicit CARS at worst) instead of aborting on its first deduction.
+const DEADLINE_FLOOR_STEPS: u64 = 1_000;
+
+/// Prices `deadline_ms` of wall slack into a DP-step budget, clamped to
+/// `[DEADLINE_FLOOR_STEPS, max_steps]`. `None` means the deadline is so
+/// far out that the plain step budget binds first — no deadline
+/// pressure on the search.
+fn price_deadline_steps(deadline_ms: u64, max_steps: u64, config: &ServiceConfig) -> Option<u64> {
+    vcsched_engine::online::note_slack_ms(deadline_ms);
+    let priced = deadline_ms
+        .saturating_mul(config.steps_per_ms)
+        .clamp(DEADLINE_FLOOR_STEPS.min(max_steps), max_steps);
+    (priced < max_steps).then_some(priced)
 }
 
 /// Resolves a request's effective policy set: explicit `policies` wins,
@@ -255,6 +278,9 @@ struct PendingReply {
     metrics: &'static RequestMetrics,
     start: Instant,
     span: Option<vcsched_obs::SpanGuard>,
+    /// Per-priority latency series recorded alongside the per-type one
+    /// (set when the request carried a wire `priority`).
+    priority_latency: Option<&'static vcsched_obs::Histogram>,
     done: bool,
 }
 
@@ -263,6 +289,9 @@ impl PendingReply {
         if done {
             self.done = true;
             self.metrics.latency.record_duration(self.start.elapsed());
+            if let Some(h) = self.priority_latency {
+                h.record_duration(self.start.elapsed());
+            }
             if let Some(mut span) = self.span.take() {
                 span.field("ok", response.is_ok());
             }
@@ -868,6 +897,7 @@ fn handle_line(shared: &Arc<Shared>, token: u64, conn: &mut Conn, line: &str) {
         metrics: rm,
         start,
         span: Some(span),
+        priority_latency: None,
         done: false,
     };
     match request {
@@ -914,8 +944,12 @@ fn handle_line(shared: &Arc<Shared>, token: u64, conn: &mut Conn, line: &str) {
             adaptive,
             placement_seed,
             return_schedule,
+            deadline_ms,
+            priority,
         } => {
             conn.open += 1;
+            let mut reply = pending(span);
+            reply.priority_latency = priority.map(|p| crate::telemetry::priority_latency(ty, p));
             schedule_request(
                 shared,
                 block,
@@ -928,7 +962,9 @@ fn handle_line(shared: &Arc<Shared>, token: u64, conn: &mut Conn, line: &str) {
                 adaptive,
                 placement_seed,
                 return_schedule,
-                pending(span),
+                deadline_ms,
+                priority,
+                reply,
             );
         }
         Request::Batch {
@@ -943,6 +979,8 @@ fn handle_line(shared: &Arc<Shared>, token: u64, conn: &mut Conn, line: &str) {
             early_cancel,
             adaptive,
             stream,
+            deadline_ms,
+            priority,
         } => {
             if stream && id.is_none() {
                 finish_inline(
@@ -961,6 +999,9 @@ fn handle_line(shared: &Arc<Shared>, token: u64, conn: &mut Conn, line: &str) {
                 );
             } else {
                 conn.open += 1;
+                let mut reply = pending(span);
+                reply.priority_latency =
+                    priority.map(|p| crate::telemetry::priority_latency(ty, p));
                 batch_request(
                     shared,
                     BatchArgs {
@@ -974,9 +1015,10 @@ fn handle_line(shared: &Arc<Shared>, token: u64, conn: &mut Conn, line: &str) {
                         budget_bytes,
                         early_cancel,
                         adaptive,
+                        deadline_ms,
                     },
                     stream,
-                    pending(span),
+                    reply,
                 );
             }
         }
@@ -1022,6 +1064,8 @@ fn schedule_request(
     adaptive: Option<bool>,
     placement_seed: Option<u64>,
     return_schedule: bool,
+    deadline_ms: Option<u64>,
+    priority: Option<u8>,
     mut pending: PendingReply,
 ) {
     let fail = |pending: &mut PendingReply, msg: String| {
@@ -1075,21 +1119,99 @@ fn schedule_request(
         machine.cluster_count(),
         placement_seed.unwrap_or(shared.config.default_placement_seed),
     );
+    let max_steps = steps.unwrap_or(shared.config.default_steps);
+    let deadline_steps =
+        deadline_ms.and_then(|ms| price_deadline_steps(ms, max_steps, &shared.config));
     let problem = Problem {
         block,
         machine,
         homes,
         options: PolicyOptions {
-            max_dp_steps: steps.unwrap_or(shared.config.default_steps),
+            max_dp_steps: max_steps,
             max_trail_bytes: budget_bytes.or(shared.config.default_budget_bytes),
             policies,
             early_cancel: early_cancel.unwrap_or(shared.config.default_early_cancel),
+            deadline_steps,
         },
+        deadline: deadline_ms.map(Duration::from_millis),
     };
     let cell = Arc::new(Mutex::new(Some(pending)));
-    let callback_cell = Arc::clone(&cell);
-    let result = shared.pool.try_submit_with(problem, move |solved| {
-        if let Some(mut p) = callback_cell.lock().unwrap().take() {
+    // High-priority (>= 2) requests ride out saturation with a blocking
+    // resubmit on a helper thread instead of shedding; the clone exists
+    // up front because `try_submit_with` consumes the original.
+    let retry_problem = (priority.unwrap_or(0) >= 2).then(|| problem.clone());
+    let result = shared.pool.try_submit_with(
+        problem,
+        schedule_completion(
+            Arc::clone(&cell),
+            decision,
+            class.clone(),
+            return_schedule,
+            deadline_ms,
+        ),
+    );
+    match result {
+        Ok(()) => {
+            if let Some(seq) = seq_used {
+                shared.explore_seq.store(seq + 1, Ordering::Relaxed);
+            }
+        }
+        Err(e @ SubmitError::Saturated { .. }) => {
+            if let Some(problem) = retry_problem {
+                // The retried request will consume the ε-draw, and the
+                // reactor thread is still the sequence's only writer, so
+                // advance it here — before the helper thread races on.
+                if let Some(seq) = seq_used {
+                    shared.explore_seq.store(seq + 1, Ordering::Relaxed);
+                }
+                let callback = schedule_completion(
+                    Arc::clone(&cell),
+                    decision,
+                    class,
+                    return_schedule,
+                    deadline_ms,
+                );
+                let shared = Arc::clone(shared);
+                std::thread::spawn(move || {
+                    if let Err(e) = shared.pool.submit_with(problem, callback) {
+                        if let Some(mut p) = cell.lock().unwrap().take() {
+                            p.send(&submit_error(e), true);
+                        }
+                    }
+                });
+            } else {
+                if priority.is_some() || deadline_ms.is_some() {
+                    // Online admission control: a low-priority request
+                    // is shed, not queued behind the saturation.
+                    vcsched_engine::online::note_shed();
+                }
+                if let Some(mut p) = cell.lock().unwrap().take() {
+                    p.send(&submit_error(e), true);
+                }
+            }
+        }
+        Err(e) => {
+            if let Some(mut p) = cell.lock().unwrap().take() {
+                p.send(&submit_error(e), true);
+            }
+        }
+    }
+}
+
+/// Builds the completion callback for a `schedule` request: selector
+/// bookkeeping, online deadline metrics, and the wire reply. Shared by
+/// the fast non-blocking admission and the high-priority blocking
+/// retry (the pool drops an unrun callback on rejection, so the retry
+/// needs a fresh one; the shared `cell` guarantees at most one reply).
+fn schedule_completion(
+    cell: Arc<Mutex<Option<PendingReply>>>,
+    decision: Option<DecisionKind>,
+    class: BlockClass,
+    return_schedule: bool,
+    deadline_ms: Option<u64>,
+) -> impl FnOnce(Solved) + Send + 'static {
+    move |solved| {
+        if let Some(mut p) = cell.lock().unwrap().take() {
             // Count the decision only for work that completed — a
             // rejected or lost job never reached the race, so it must
             // not skew the selector counters.
@@ -1102,6 +1224,15 @@ fn schedule_request(
                 .unwrap()
                 .observe(&class, &solved.outcome);
             let copies = solved.outcome.schedule.copy_count();
+            let deadline_fired = solved.outcome.deadline_fired();
+            if deadline_fired {
+                vcsched_engine::online::note_preemption();
+            }
+            if let Some(ms) = deadline_ms {
+                if p.start.elapsed().as_millis() as u64 > ms {
+                    vcsched_engine::online::note_deadline_miss();
+                }
+            }
             p.send(
                 &Response::Schedule(ScheduleReply {
                     winner: solved.outcome.winner,
@@ -1112,21 +1243,10 @@ fn schedule_request(
                     copies,
                     policies: solved.outcome.policy_stats,
                     schedule: return_schedule.then_some(solved.outcome.schedule),
+                    deadline_fired,
                 }),
                 true,
             );
-        }
-    });
-    match result {
-        Ok(()) => {
-            if let Some(seq) = seq_used {
-                shared.explore_seq.store(seq + 1, Ordering::Relaxed);
-            }
-        }
-        Err(e) => {
-            if let Some(mut p) = cell.lock().unwrap().take() {
-                p.send(&submit_error(e), true);
-            }
         }
     }
 }
@@ -1143,6 +1263,7 @@ struct BatchArgs {
     budget_bytes: Option<u64>,
     early_cancel: Option<bool>,
     adaptive: Option<bool>,
+    deadline_ms: Option<u64>,
 }
 
 /// Runs a `batch` request on a helper thread (admission blocks for
@@ -1210,6 +1331,7 @@ fn run_service_batch(
         budget_bytes,
         early_cancel,
         adaptive,
+        deadline_ms,
     } = args;
     let machine_name = machine;
     let machine = match crate::machine_by_name(&machine_name) {
@@ -1224,6 +1346,12 @@ fn run_service_batch(
         Err(e) => return error(e),
     };
     let adaptive_on = adaptive.unwrap_or(shared.config.default_adaptive);
+    let max_dp_steps = steps.unwrap_or(shared.config.default_steps);
+    // A batch deadline prices every block's budget identically (one
+    // shared slack), so a seeded batch stays bit-deterministic; no
+    // wall-clock timer is armed for batches.
+    let deadline_steps =
+        deadline_ms.and_then(|ms| price_deadline_steps(ms, max_dp_steps, &shared.config));
     let config = BatchConfig {
         source: CorpusSource::Synth { bench, count, seed },
         machine,
@@ -1231,7 +1359,7 @@ fn run_service_batch(
         policies,
         early_cancel: early_cancel.unwrap_or(shared.config.default_early_cancel),
         adaptive: adaptive_on.then(|| shared.config.adaptive.clone()),
-        max_dp_steps: steps.unwrap_or(shared.config.default_steps),
+        max_dp_steps,
         max_trail_bytes: budget_bytes.or(shared.config.default_budget_bytes),
         ..BatchConfig::default()
     };
@@ -1268,7 +1396,9 @@ fn run_service_batch(
                     .map(|(plan, _)| plan[i].policies.clone())
                     .unwrap_or_else(|| config.policies.clone()),
                 early_cancel: config.early_cancel,
+                deadline_steps,
             },
+            deadline: None,
         };
         match shared.pool.submit(problem) {
             Ok(t) => tickets.push(t),
@@ -1434,6 +1564,7 @@ mod tests {
             metrics: crate::telemetry::request_metrics("schedule"),
             start: Instant::now(),
             span: None,
+            priority_latency: None,
             done: false,
         }
     }
@@ -1466,6 +1597,8 @@ mod tests {
             Some(true),
             None,
             false,
+            None,
+            None,
             test_pending(shared, 7),
         );
     }
@@ -1557,6 +1690,7 @@ mod tests {
                 budget_bytes: None,
                 early_cancel: None,
                 adaptive: None,
+                deadline_ms: None,
             },
             &mut |_| frames += 1,
         );

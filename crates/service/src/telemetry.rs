@@ -6,11 +6,12 @@
 //! `stats` verb; the registry aggregates for the `metrics` verb and the
 //! Prometheus exposition.
 
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::OnceLock;
 
 use vcsched_obs::{Counter, Gauge, Histogram};
 
-use crate::protocol::LatencyReply;
+use crate::protocol::{LatencyReply, PriorityLatencyReply};
 
 /// Request types with per-type dispatch metrics, in wire order.
 pub(crate) const REQUEST_TYPES: &[&str] =
@@ -42,6 +43,77 @@ pub(crate) fn request_metrics(ty: &str) -> &'static RequestMetrics {
         .position(|&t| t == ty)
         .expect("known request type");
     &all[idx]
+}
+
+/// Request types that can carry a wire `priority` (per-priority latency
+/// histograms exist only for these).
+pub(crate) const PRIORITY_TYPES: &[&str] = &["schedule", "batch"];
+
+/// Per-priority latency histograms for one priority-carrying request
+/// type, plus a bitmask of the bands actually used (so `stats` reports
+/// only live series).
+struct PriorityCell {
+    latency: [Histogram; 4],
+    used: AtomicU8,
+}
+
+static PRIORITY_CELLS: OnceLock<Vec<PriorityCell>> = OnceLock::new();
+
+fn priority_cells() -> &'static [PriorityCell] {
+    PRIORITY_CELLS.get_or_init(|| {
+        let reg = vcsched_obs::global();
+        PRIORITY_TYPES
+            .iter()
+            .map(|&t| PriorityCell {
+                latency: ["0", "1", "2", "3"].map(|p| {
+                    reg.histogram_with("service_request_us", &[("type", t), ("priority", p)])
+                }),
+                used: AtomicU8::new(0),
+            })
+            .collect()
+    })
+}
+
+/// The `service_request_us{type=…,priority=…}` histogram for a
+/// priority-carrying request. Marks the band live for
+/// [`latency_replies`].
+pub(crate) fn priority_latency(ty: &str, priority: u8) -> &'static Histogram {
+    let idx = PRIORITY_TYPES
+        .iter()
+        .position(|&t| t == ty)
+        .expect("priority-carrying request type");
+    let cell = &priority_cells()[idx];
+    let band = priority.min(3) as usize;
+    cell.used.fetch_or(1 << band, Ordering::Relaxed);
+    &cell.latency[band]
+}
+
+/// The per-priority latency rows for one request type: only bands that
+/// have actually recorded a request (empty until the online path is
+/// used, keeping the pre-online `stats` shape).
+fn priority_replies(ty: &str) -> Vec<PriorityLatencyReply> {
+    let Some(cells) = PRIORITY_CELLS.get() else {
+        return Vec::new();
+    };
+    let Some(idx) = PRIORITY_TYPES.iter().position(|&t| t == ty) else {
+        return Vec::new();
+    };
+    let cell = &cells[idx];
+    let used = cell.used.load(Ordering::Relaxed);
+    (0u8..4)
+        .filter(|&p| used & (1 << p) != 0)
+        .map(|p| {
+            let snap = cell.latency[p as usize].snapshot();
+            PriorityLatencyReply {
+                priority: p,
+                count: snap.count,
+                p50_us: snap.p50,
+                p90_us: snap.p90,
+                p99_us: snap.p99,
+                p999_us: snap.p999,
+            }
+        })
+        .collect()
 }
 
 /// `service_connections`: currently open client connections.
@@ -100,6 +172,7 @@ pub(crate) fn latency_replies() -> Vec<LatencyReply> {
                 p90_us: snap.p90,
                 p99_us: snap.p99,
                 p999_us: snap.p999,
+                by_priority: priority_replies(t),
             }
         })
         .collect()

@@ -38,6 +38,8 @@ fn block_request(index: u64) -> Request {
         adaptive: None,
         placement_seed: Some(index),
         return_schedule: false,
+        deadline_ms: None,
+        priority: None,
     }
 }
 
@@ -131,6 +133,8 @@ fn stats_reply_reports_uptime_and_latency_quantiles() {
         early_cancel: None,
         adaptive: None,
         stream: false,
+        deadline_ms: None,
+        priority: None,
     };
     assert!(client.request(&batch).expect("reply").is_ok());
 

@@ -36,6 +36,8 @@ fn block_request(index: u64) -> Request {
         adaptive: None,
         placement_seed: Some(index),
         return_schedule: false,
+        deadline_ms: None,
+        priority: None,
     }
 }
 
@@ -287,6 +289,8 @@ fn per_request_policy_sets_and_stats_telemetry() {
         adaptive: None,
         placement_seed: Some(1),
         return_schedule: false,
+        deadline_ms: None,
+        priority: None,
     };
     let reply = match client.request(&subset).expect("reply") {
         Response::Schedule(reply) => reply,
@@ -313,6 +317,8 @@ fn per_request_policy_sets_and_stats_telemetry() {
         adaptive: None,
         placement_seed: Some(1),
         return_schedule: false,
+        deadline_ms: None,
+        priority: None,
     };
     match client.request(&bogus).expect("reply") {
         Response::Error { error, .. } => {
@@ -386,6 +392,8 @@ fn per_machine_defaults_and_adaptive_narrowing() {
         adaptive,
         placement_seed: Some(4),
         return_schedule: false,
+        deadline_ms: None,
+        priority: None,
     };
     let schedule = |client: &mut Client, req: &Request| match client.request(req).expect("reply") {
         Response::Schedule(reply) => reply,

@@ -37,6 +37,8 @@ fn batch_request(stream: bool) -> Request {
         early_cancel: None,
         adaptive: None,
         stream,
+        deadline_ms: None,
+        priority: None,
     }
 }
 

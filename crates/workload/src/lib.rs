@@ -38,6 +38,13 @@ use rand::{Rng, SeedableRng};
 use vcsched_arch::{ClusterId, OpClass};
 use vcsched_ir::{Superblock, SuperblockBuilder};
 
+pub mod trace;
+
+pub use trace::{
+    synthesize_trace, trace_from_jsonl, trace_to_jsonl, ArrivalProfile, TraceEvent, TraceOptions,
+    MAX_PRIORITY, TRACE_SCHEMA,
+};
+
 /// Benchmark suite of an application.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Suite {

@@ -1,0 +1,389 @@
+//! Seeded arrival-trace synthesizer for the online scheduling path.
+//!
+//! An offline corpus answers "how well does the portfolio schedule these
+//! blocks"; a *trace* answers "how well does the service survive them
+//! arriving". Each [`TraceEvent`] is a timestamped request: which
+//! benchmark block arrives, when (virtual milliseconds), at what
+//! priority, and by when it must be solved. Three arrival processes
+//! cover the scenario family of the ROADMAP's online item:
+//!
+//! * [`ArrivalProfile::PoissonBurst`] — exponential inter-arrivals with
+//!   occasional bursts that multiply the rate, the classic open-system
+//!   stress shape;
+//! * [`ArrivalProfile::Diurnal`] — the rate follows a sinusoidal
+//!   day/night cycle over the horizon;
+//! * [`ArrivalProfile::AdversarialSpike`] — a quiet trickle, then half
+//!   the trace lands almost at once with tight deadlines.
+//!
+//! Every draw is seeded: a trace is a pure function of
+//! `(profile, events, seed, horizon_ms, mean_slack_ms)`, and each
+//! event's superblock regenerates deterministically from the event
+//! itself via [`TraceEvent::block`]. Traces serialize to JSONL (one
+//! event per line, schema-tagged) for replay against a live server.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use vcsched_ir::Superblock;
+
+use crate::{benchmark, benchmarks, generate_block, InputSet};
+
+/// Schema tag of the JSONL trace format.
+pub const TRACE_SCHEMA: &str = "vcsched-trace/v1";
+
+/// Priorities run 0 (shed first) through 3 (shed last).
+pub const MAX_PRIORITY: u8 = 3;
+
+/// A seeded arrival process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArrivalProfile {
+    /// Exponential inter-arrivals with burst episodes at several times
+    /// the base rate.
+    PoissonBurst,
+    /// Rate modulated by a sinusoidal day/night cycle over the horizon.
+    Diurnal,
+    /// A quiet trickle, then roughly half the events arrive in one
+    /// near-instant spike with tightened deadlines.
+    AdversarialSpike,
+}
+
+impl ArrivalProfile {
+    /// Stable lower-case name (CLI flags, JSONL, bench schema).
+    pub fn name(self) -> &'static str {
+        match self {
+            ArrivalProfile::PoissonBurst => "poisson-burst",
+            ArrivalProfile::Diurnal => "diurnal",
+            ArrivalProfile::AdversarialSpike => "adversarial-spike",
+        }
+    }
+
+    /// Parses a profile name.
+    pub fn parse(s: &str) -> Option<ArrivalProfile> {
+        ArrivalProfile::all().into_iter().find(|p| p.name() == s)
+    }
+
+    /// Every profile, in canonical order.
+    pub fn all() -> [ArrivalProfile; 3] {
+        [
+            ArrivalProfile::PoissonBurst,
+            ArrivalProfile::Diurnal,
+            ArrivalProfile::AdversarialSpike,
+        ]
+    }
+}
+
+impl std::fmt::Display for ArrivalProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One timestamped arrival: a block request with priority and deadline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Virtual arrival time, in milliseconds from trace start.
+    pub arrival_ms: u64,
+    /// Priority 0..=[`MAX_PRIORITY`]; higher sheds later.
+    pub priority: u8,
+    /// Absolute virtual deadline (≥ `arrival_ms`).
+    pub deadline_ms: u64,
+    /// Benchmark whose generator shapes this event's block.
+    pub bench: String,
+    /// Corpus seed the block regenerates from.
+    pub seed: u64,
+    /// Block index within the `(bench, seed)` corpus.
+    pub index: u64,
+}
+
+impl TraceEvent {
+    /// Slack between arrival and deadline, in virtual milliseconds.
+    pub fn slack_ms(&self) -> u64 {
+        self.deadline_ms.saturating_sub(self.arrival_ms)
+    }
+
+    /// Regenerates this event's superblock (pure function of the event).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bench` names no known benchmark — traces built by
+    /// [`synthesize_trace`] always carry valid names.
+    pub fn block(&self) -> Superblock {
+        let spec = benchmark(&self.bench)
+            .unwrap_or_else(|| panic!("trace event names unknown benchmark `{}`", self.bench));
+        generate_block(&spec, self.seed, self.index, InputSet::Ref)
+    }
+}
+
+/// Options of one synthesized trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceOptions {
+    /// Arrival process.
+    pub profile: ArrivalProfile,
+    /// Number of events.
+    pub events: usize,
+    /// Seed; the whole trace is a pure function of these options.
+    pub seed: u64,
+    /// Virtual horizon the arrivals spread over, in milliseconds.
+    pub horizon_ms: u64,
+    /// Mean deadline slack, in milliseconds (exponentially distributed;
+    /// the adversarial spike tightens it for spike events).
+    pub mean_slack_ms: u64,
+}
+
+impl Default for TraceOptions {
+    fn default() -> Self {
+        TraceOptions {
+            profile: ArrivalProfile::PoissonBurst,
+            events: 120,
+            seed: 0xC60_2007,
+            horizon_ms: 60_000,
+            mean_slack_ms: 400,
+        }
+    }
+}
+
+fn exp_draw(rng: &mut StdRng, mean: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    -u.ln() * mean
+}
+
+/// Draws a priority: most traffic is best-effort, a thin head is urgent.
+fn draw_priority(rng: &mut StdRng) -> u8 {
+    let r: f64 = rng.gen();
+    if r < 0.40 {
+        0
+    } else if r < 0.70 {
+        1
+    } else if r < 0.90 {
+        2
+    } else {
+        3
+    }
+}
+
+/// Synthesizes one seeded arrival trace. Events come out sorted by
+/// `arrival_ms` (ties keep generation order).
+pub fn synthesize_trace(opts: &TraceOptions) -> Vec<TraceEvent> {
+    let mut rng = StdRng::seed_from_u64(
+        opts.seed
+            ^ (opts.profile.name().len() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ opts.profile.all_index().wrapping_mul(0xD134_2543_DE82_EF95),
+    );
+    let specs = benchmarks();
+    let n = opts.events;
+    let horizon = opts.horizon_ms.max(1) as f64;
+    let base_gap = horizon / n.max(1) as f64;
+
+    let mut events = Vec::with_capacity(n);
+    let mut t = 0.0f64;
+    // Burst state for PoissonBurst: while positive, arrivals come 8×
+    // faster.
+    let mut burst_left = 0u32;
+    let spike_start = n / 2; // AdversarialSpike: the back half lands at once
+    for i in 0..n {
+        let gap = match opts.profile {
+            ArrivalProfile::PoissonBurst => {
+                if burst_left == 0 && rng.gen_bool(0.08) {
+                    burst_left = rng.gen_range(4..12);
+                }
+                let mean = if burst_left > 0 {
+                    burst_left -= 1;
+                    base_gap / 8.0
+                } else {
+                    base_gap
+                };
+                exp_draw(&mut rng, mean)
+            }
+            ArrivalProfile::Diurnal => {
+                // Two "days" across the horizon; rate swings ±80%.
+                let phase = 2.0 * std::f64::consts::PI * 2.0 * (t / horizon);
+                let rate_scale = 1.0 + 0.8 * phase.sin();
+                exp_draw(&mut rng, base_gap / rate_scale.max(0.2))
+            }
+            ArrivalProfile::AdversarialSpike => {
+                if i < spike_start {
+                    // Quiet trickle over the front 80% of the horizon.
+                    exp_draw(&mut rng, horizon * 0.8 / spike_start.max(1) as f64)
+                } else if i == spike_start {
+                    // Jump to the spike instant...
+                    (horizon * 0.85 - t).max(0.0)
+                } else {
+                    // ...then everything else lands within a millisecond
+                    // or two.
+                    rng.gen_range(0.0..2.0)
+                }
+            }
+        };
+        t += gap;
+        let arrival_ms = t as u64;
+        let priority = draw_priority(&mut rng);
+        let spike_event = opts.profile == ArrivalProfile::AdversarialSpike && i >= spike_start;
+        let mean_slack = if spike_event {
+            // The adversary promises deadlines it knows the queue
+            // cannot keep.
+            (opts.mean_slack_ms / 4).max(1) as f64
+        } else {
+            opts.mean_slack_ms.max(1) as f64
+        };
+        let slack_ms = (exp_draw(&mut rng, mean_slack) as u64).max(1);
+        let bench = specs[rng.gen_range(0..specs.len())].name.to_owned();
+        events.push(TraceEvent {
+            arrival_ms,
+            priority,
+            deadline_ms: arrival_ms + slack_ms,
+            bench,
+            seed: opts.seed,
+            index: i as u64,
+        });
+    }
+    events.sort_by_key(|e| e.arrival_ms);
+    events
+}
+
+impl ArrivalProfile {
+    /// Canonical index (salts the trace seed so profiles never alias).
+    fn all_index(self) -> u64 {
+        ArrivalProfile::all()
+            .iter()
+            .position(|p| *p == self)
+            .expect("profile is in all()") as u64
+    }
+}
+
+/// Serializes a trace to JSONL: one header line
+/// `{"schema":"vcsched-trace/v1"}` then one event per line.
+pub fn trace_to_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{{\"schema\":\"{TRACE_SCHEMA}\"}}\n"));
+    for e in events {
+        out.push_str(&serde_json::to_string(e).expect("trace events serialize"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a JSONL trace (header line optional, blank lines skipped).
+///
+/// # Errors
+///
+/// Returns a message naming the offending line on schema mismatch or
+/// malformed events.
+pub fn trace_from_jsonl(text: &str) -> Result<Vec<TraceEvent>, String> {
+    let mut events = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let value: serde_json::Value =
+            serde_json::from_str(line).map_err(|e| format!("trace line {}: {e}", lineno + 1))?;
+        if let Some(schema) = value.get("schema").and_then(|s| s.as_str()) {
+            if schema != TRACE_SCHEMA {
+                return Err(format!(
+                    "trace line {}: schema `{schema}` (expected `{TRACE_SCHEMA}`)",
+                    lineno + 1
+                ));
+            }
+            continue;
+        }
+        let event = TraceEvent::from_value(&value)
+            .map_err(|e| format!("trace line {}: {e}", lineno + 1))?;
+        events.push(event);
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_roundtrip_names() {
+        for p in ArrivalProfile::all() {
+            assert_eq!(ArrivalProfile::parse(p.name()), Some(p));
+        }
+        assert_eq!(ArrivalProfile::parse("bogus"), None);
+    }
+
+    #[test]
+    fn traces_are_deterministic_and_sorted() {
+        for profile in ArrivalProfile::all() {
+            let opts = TraceOptions {
+                profile,
+                events: 64,
+                seed: 42,
+                ..TraceOptions::default()
+            };
+            let a = synthesize_trace(&opts);
+            let b = synthesize_trace(&opts);
+            assert_eq!(a, b, "{profile}: same options, same trace");
+            assert_eq!(a.len(), 64);
+            assert!(a.windows(2).all(|w| w[0].arrival_ms <= w[1].arrival_ms));
+            assert!(a.iter().all(|e| e.priority <= MAX_PRIORITY));
+            assert!(a.iter().all(|e| e.deadline_ms > e.arrival_ms));
+            assert!(a.iter().all(|e| benchmark(&e.bench).is_some()));
+        }
+    }
+
+    #[test]
+    fn seeds_and_profiles_change_the_trace() {
+        let base = TraceOptions {
+            events: 48,
+            ..TraceOptions::default()
+        };
+        let a = synthesize_trace(&base);
+        let b = synthesize_trace(&TraceOptions {
+            seed: 43,
+            ..base.clone()
+        });
+        assert_ne!(a, b, "different seeds, different traces");
+        let c = synthesize_trace(&TraceOptions {
+            profile: ArrivalProfile::Diurnal,
+            ..base
+        });
+        assert_ne!(a, c, "different profiles, different traces");
+    }
+
+    #[test]
+    fn adversarial_spike_is_actually_a_spike() {
+        let opts = TraceOptions {
+            profile: ArrivalProfile::AdversarialSpike,
+            events: 80,
+            seed: 7,
+            horizon_ms: 60_000,
+            mean_slack_ms: 400,
+        };
+        let trace = synthesize_trace(&opts);
+        // The back half of the trace lands within a tiny window.
+        let spike: Vec<_> = trace.iter().skip(40).collect();
+        let span = spike.last().unwrap().arrival_ms - spike.first().unwrap().arrival_ms;
+        assert!(span < 1_000, "spike spread over {span}ms");
+    }
+
+    #[test]
+    fn jsonl_roundtrips() {
+        let trace = synthesize_trace(&TraceOptions {
+            events: 16,
+            ..TraceOptions::default()
+        });
+        let text = trace_to_jsonl(&trace);
+        assert!(text.starts_with("{\"schema\":\"vcsched-trace/v1\"}\n"));
+        let parsed = trace_from_jsonl(&text).expect("roundtrip parses");
+        assert_eq!(parsed, trace);
+        assert!(trace_from_jsonl("{\"schema\":\"bogus/v9\"}").is_err());
+    }
+
+    #[test]
+    fn events_regenerate_their_blocks() {
+        let trace = synthesize_trace(&TraceOptions {
+            events: 8,
+            ..TraceOptions::default()
+        });
+        for e in &trace {
+            let a = e.block();
+            let b = e.block();
+            assert_eq!(a, b);
+            assert!(a.op_count() >= 3);
+        }
+    }
+}

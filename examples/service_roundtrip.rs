@@ -59,6 +59,8 @@ fn main() {
                     adaptive: None,
                     placement_seed: Some(i),
                     return_schedule: false,
+                    deadline_ms: None,
+                    priority: None,
                 };
                 // Honor backpressure like a real client: back off
                 // retry_after_ms and resend.
@@ -102,6 +104,8 @@ fn main() {
         adaptive: None,
         placement_seed: Some(0),
         return_schedule: false,
+        deadline_ms: None,
+        priority: None,
     };
     match client.request(&repeat).expect("response") {
         Response::Schedule(reply) => {
@@ -144,6 +148,8 @@ fn main() {
             early_cancel: None,
             adaptive: None,
             stream: false,
+            deadline_ms: None,
+            priority: None,
         })
         .expect("response")
     {

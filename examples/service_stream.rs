@@ -73,6 +73,8 @@ fn main() {
                 early_cancel: None,
                 adaptive: None,
                 stream: true,
+                deadline_ms: None,
+                priority: None,
             },
             Some(4),
         )

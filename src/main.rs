@@ -54,11 +54,18 @@ USAGE:
                   | schedule --block FILE [--machine M] [--policies P,P,…]
                     [--mode single|portfolio] [--steps N] [--budget-bytes N]
                     [--early-cancel] [--adaptive] [--placement-seed N]
-                    [--return-schedule]
+                    [--deadline-ms N] [--priority 0..3] [--return-schedule]
                   | batch [--bench NAME] [--count N] [--seed N] [--machine M]
                     [--policies P,P,…] [--portfolio] [--steps N]
                     [--budget-bytes N] [--early-cancel] [--adaptive] [--stream]
+                    [--deadline-ms N] [--priority 0..3]
                   | --json LINE)
+    vcsched replay [--profile poisson-burst|diurnal|adversarial-spike]
+                  [--events N] [--seed N] [--horizon-ms N]
+                  [--mean-slack-ms N] [--trace FILE] [--emit-trace FILE]
+                  [--machine M] [--jobs N] [--steps N] [--step-floor N]
+                  [--steps-per-ms N] [--queue N] [--details]
+                  [--addr HOST:PORT [--time-scale N]]
     vcsched top [--addr HOST:PORT] [--interval SECS] [--count N]
     vcsched demo
     vcsched help
@@ -121,6 +128,33 @@ SERVE / REQUEST:
     a raw protocol line. A `shutdown` request drains in-flight work,
     then exits.
 
+ONLINE / REPLAY:
+    `replay` synthesizes a seeded arrival trace (--profile: bursty
+    Poisson, diurnal, or adversarial spike; --events/--seed/--horizon-ms
+    /--mean-slack-ms shape it) of timestamped superblocks with priority
+    and deadline fields, then replays it. Offline (default) the engine's
+    online executor runs the whole trace in *virtual* time: each event's
+    deadline slack is priced into a deduction-step budget
+    (slack × --steps-per-ms, clamped to [--step-floor, --steps]); a race
+    whose priced budget fires returns its best-so-far validated schedule
+    tagged deadline_fired; a bounded virtual server (--queue) sheds by
+    priority under saturation. Results are byte-identical at any --jobs.
+    Prints a summary JSON (p50/p99/p999 latency, miss/shed rates,
+    per-priority quantiles); --details adds per-block JSONL on stderr.
+    With --addr the trace instead drives a *live* server: each event is
+    sent as a `schedule` request carrying \"deadline_ms\" (remaining
+    slack) and \"priority\", paced by arrival time compressed
+    --time-scale× (default 50; 0 = no pacing). On the server a deadline
+    arms a wall-clock timer that preempts the sealed race at expiry —
+    best-so-far still validated, never partial. --trace FILE replays a
+    saved JSONL trace; --emit-trace FILE writes the trace and exits.
+    Server-side requests with \"deadline_ms\"/\"priority\" also work
+    standalone (see `request schedule`): high priorities (>=2) ride out
+    queue saturation, low priorities are shed; `stats` grows
+    per-priority latency quantiles and `metrics` the
+    engine_deadline_misses_total / engine_preemptions_total /
+    engine_shed_total counters and engine_slack_ms histogram.
+
 OBSERVABILITY:
     Every layer dual-writes into a process-global metrics registry
     (counters, gauges, log-scale latency histograms with deterministic
@@ -162,6 +196,7 @@ fn main() -> ExitCode {
         "batch" => cmd_batch(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
         "request" => cmd_request(&args[1..]),
+        "replay" => cmd_replay(&args[1..]),
         "top" => cmd_top(&args[1..]),
         "demo" => cmd_demo(),
         "help" | "--help" | "-h" => {
@@ -644,6 +679,14 @@ fn cmd_request(args: &[String]) -> Result<(), String> {
         flag_value(args, "--policies").map(vcsched::engine::PolicySet::split_spec);
     let early_cancel = has_flag(args, "--early-cancel").then_some(true);
     let adaptive = has_flag(args, "--adaptive").then_some(true);
+    let deadline_ms = match flag_value(args, "--deadline-ms") {
+        Some(n) => Some(n.parse().map_err(|e| format!("--deadline-ms: {e}"))?),
+        None => None,
+    };
+    let priority = match flag_value(args, "--priority") {
+        Some(n) => Some(n.parse().map_err(|e| format!("--priority: {e}"))?),
+        None => None,
+    };
     let request = match verb.as_str() {
         "stats" => Request::Stats,
         "metrics" => Request::Metrics,
@@ -676,6 +719,8 @@ fn cmd_request(args: &[String]) -> Result<(), String> {
                     None => None,
                 },
                 return_schedule: has_flag(args, "--return-schedule"),
+                deadline_ms,
+                priority,
             }
         }
         "batch" => Request::Batch {
@@ -696,6 +741,8 @@ fn cmd_request(args: &[String]) -> Result<(), String> {
             early_cancel,
             adaptive,
             stream: has_flag(args, "--stream"),
+            deadline_ms,
+            priority,
         },
         other => return Err(format!("unknown request verb `{other}`")),
     };
@@ -760,6 +807,179 @@ fn cmd_request(args: &[String]) -> Result<(), String> {
     } else {
         Err("request failed (see response above)".to_owned())
     }
+}
+
+/// `vcsched replay`: synthesize (or load) an arrival trace and replay
+/// it — offline through the engine's virtual-time online executor, or
+/// against a live server (`--addr`) with wall-clock deadline timers.
+fn cmd_replay(args: &[String]) -> Result<(), String> {
+    use vcsched::engine::{run_trace, OnlineOptions};
+    use vcsched::workload::{
+        synthesize_trace, trace_from_jsonl, trace_to_jsonl, ArrivalProfile, TraceOptions,
+    };
+
+    let parse = |name: &str, default: u64| -> Result<u64, String> {
+        match flag_value(args, name) {
+            Some(n) => n.parse().map_err(|e| format!("{name}: {e}")),
+            None => Ok(default),
+        }
+    };
+    let events = match flag_value(args, "--trace") {
+        Some(path) => {
+            let data = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            trace_from_jsonl(&data)?
+        }
+        None => {
+            let profile = match flag_value(args, "--profile") {
+                Some(name) => ArrivalProfile::parse(name)
+                    .ok_or_else(|| format!("--profile: unknown profile `{name}`"))?,
+                None => ArrivalProfile::PoissonBurst,
+            };
+            let defaults = TraceOptions::default();
+            synthesize_trace(&TraceOptions {
+                profile,
+                events: parse("--events", defaults.events as u64)? as usize,
+                seed: parse("--seed", defaults.seed)?,
+                horizon_ms: parse("--horizon-ms", defaults.horizon_ms)?,
+                mean_slack_ms: parse("--mean-slack-ms", defaults.mean_slack_ms)?,
+            })
+        }
+    };
+    if let Some(path) = flag_value(args, "--emit-trace") {
+        std::fs::write(path, trace_to_jsonl(&events)).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("wrote {} events to {path}", events.len());
+        return Ok(());
+    }
+    if let Some(addr) = flag_value(args, "--addr") {
+        return replay_live(args, addr, &events);
+    }
+
+    let defaults = OnlineOptions::default();
+    let options = OnlineOptions {
+        machine: machine_by_name(flag_value(args, "--machine").unwrap_or("2c"))?,
+        policies: match flag_value(args, "--policies") {
+            Some(spec) => vcsched::engine::PolicySet::parse(spec)?,
+            None => defaults.policies,
+        },
+        base_steps: parse("--steps", defaults.base_steps)?,
+        steps_per_ms: parse("--steps-per-ms", defaults.steps_per_ms)?,
+        step_floor: parse("--step-floor", defaults.step_floor)?,
+        queue_capacity: parse("--queue", defaults.queue_capacity as u64)? as usize,
+        jobs: match flag_value(args, "--jobs") {
+            Some(n) => n.parse().map_err(|e| format!("--jobs: {e}"))?,
+            None => vcsched::engine::default_jobs(),
+        },
+        placement_seed: parse("--placement-seed", defaults.placement_seed)?,
+        max_trail_bytes: match flag_value(args, "--budget-bytes") {
+            Some(n) => Some(n.parse().map_err(|e| format!("--budget-bytes: {e}"))?),
+            None => None,
+        },
+        early_cancel: has_flag(args, "--early-cancel"),
+    };
+    let (summary, results) = run_trace(&events, &options);
+    if has_flag(args, "--details") {
+        for r in &results {
+            eprintln!("{}", serde_json::to_string(r).map_err(|e| e.to_string())?);
+        }
+    }
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&summary).map_err(|e| e.to_string())?
+    );
+    Ok(())
+}
+
+/// Drives a trace against a live server: one `schedule` request per
+/// event carrying the event's remaining slack as `deadline_ms` and its
+/// `priority`, paced by arrival time compressed `--time-scale`×.
+fn replay_live(
+    args: &[String],
+    addr: &str,
+    events: &[vcsched::workload::TraceEvent],
+) -> Result<(), String> {
+    use vcsched::service::{Client, Request, Response};
+
+    let time_scale: u64 = match flag_value(args, "--time-scale") {
+        Some(n) => n.parse().map_err(|e| format!("--time-scale: {e}"))?,
+        None => 50,
+    };
+    let machine = flag_value(args, "--machine").unwrap_or("2c").to_owned();
+    let steps = match flag_value(args, "--steps") {
+        Some(n) => Some(n.parse().map_err(|e| format!("--steps: {e}"))?),
+        None => None,
+    };
+    let mut client = Client::connect(addr)?;
+    let start = std::time::Instant::now();
+    let (mut served, mut shed, mut fired, mut missed, mut cached) = (0u64, 0u64, 0u64, 0u64, 0u64);
+    let mut latencies_us: Vec<u64> = Vec::with_capacity(events.len());
+    for event in events {
+        if let Some(due_ms) = event.arrival_ms.checked_div(time_scale) {
+            let due = std::time::Duration::from_millis(due_ms);
+            if let Some(wait) = due.checked_sub(start.elapsed()) {
+                std::thread::sleep(wait);
+            }
+        }
+        // Remaining slack *now*: a late start (pacing debt, slow server)
+        // shrinks the wall budget the server prices and arms.
+        let virt_now = if time_scale > 0 {
+            start.elapsed().as_millis() as u64 * time_scale
+        } else {
+            event.arrival_ms
+        };
+        let slack = event.deadline_ms.saturating_sub(virt_now).max(1) / time_scale.max(1);
+        let request = Request::Schedule {
+            block: event.block(),
+            machine: machine.clone(),
+            policies: None,
+            mode: None,
+            steps,
+            budget_bytes: None,
+            early_cancel: None,
+            adaptive: None,
+            placement_seed: Some(event.seed ^ event.index),
+            return_schedule: false,
+            deadline_ms: Some(slack.max(1)),
+            priority: Some(event.priority),
+        };
+        let sent = std::time::Instant::now();
+        match client.request(&request)? {
+            Response::Schedule(reply) => {
+                served += 1;
+                fired += reply.deadline_fired as u64;
+                cached += reply.cached as u64;
+                let elapsed = sent.elapsed();
+                missed += (elapsed.as_millis() as u64 > slack.max(1)) as u64;
+                latencies_us.push(elapsed.as_micros() as u64);
+            }
+            Response::Error { .. } => shed += 1,
+            other => return Err(format!("unexpected reply: {other:?}")),
+        }
+    }
+    latencies_us.sort_unstable();
+    let q = |f: f64| -> u64 {
+        if latencies_us.is_empty() {
+            0
+        } else {
+            latencies_us[((latencies_us.len() - 1) as f64 * f).round() as usize]
+        }
+    };
+    let field = |k: &str, v: u64| (k.to_owned(), serde_json::Value::UInt(v));
+    let summary = serde_json::Value::Object(vec![
+        field("events", events.len() as u64),
+        field("served", served),
+        field("shed", shed),
+        field("deadline_fired", fired),
+        field("missed", missed),
+        field("cached", cached),
+        field("wall_ms", start.elapsed().as_millis() as u64),
+        field("latency_p50_us", q(0.50)),
+        field("latency_p99_us", q(0.99)),
+    ]);
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&summary).map_err(|e| e.to_string())?
+    );
+    Ok(())
 }
 
 /// `vcsched top`: renders a running server's metrics snapshot as a

@@ -87,8 +87,10 @@ fn vc_schedules_validate_everywhere() {
                     Err(VcError::BudgetExhausted) | Err(VcError::BumpLimitReached) => {
                         fallbacks += 1;
                     }
-                    // No cutoff configured: a cancellation here is a bug.
+                    // No cutoff or deadline configured: a cancellation
+                    // here is a bug.
                     Err(VcError::Beaten) => panic!("beaten without a cutoff"),
+                    Err(VcError::Deadline) => panic!("deadline without a timer"),
                 }
             }
         }

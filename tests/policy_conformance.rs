@@ -149,6 +149,7 @@ fn custom_policies_race_through_the_registry() {
         policies: PolicySet::parse_with("cars,echo-cars", &registry).expect("custom set"),
         early_cancel: false,
         max_trail_bytes: None,
+        deadline_steps: None,
     };
     let out = schedule_block_with(&registry, &sb, &machine, &homes, &options);
     // Identical algorithms: cars wins the tie by canonical set order.

@@ -91,6 +91,7 @@ proptest! {
                 },
                 early_cancel: false,
                 max_trail_bytes: None,
+                deadline_steps: None,
             },
         );
         assert_valid(
