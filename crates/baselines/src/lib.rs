@@ -38,9 +38,11 @@
 #![warn(missing_docs)]
 
 mod two_phase;
+mod two_phase_tuned;
 mod uas;
 
 pub use two_phase::TwoPhaseScheduler;
+pub use two_phase_tuned::{TwoPhaseBalancePolicy, BALANCE_WEIGHT};
 pub use uas::{ClusterOrder, UasScheduler};
 
 // `UasPolicy` / `TwoPhasePolicy` (defined below) adapt both baselines to

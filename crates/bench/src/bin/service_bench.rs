@@ -1,0 +1,325 @@
+//! `service_bench` — the service-throughput CI lane for the wire fast
+//! path.
+//!
+//! Starts an in-process `vcsched serve`, drives three request mixes
+//! over loopback in both framings — pipelined pings, pipelined
+//! (cache-hot) schedule requests, and one streamed batch — and writes
+//! one stable-schema JSON document (`BENCH_service.json` by default):
+//! per-mix requests/sec on the newline-JSON wire and the binary
+//! `vcsched-frame/v1` wire, plus the binary/JSON speedup ratios. The
+//! schedule corpus is solved once up front, so both measured passes hit
+//! the schedule cache and the numbers isolate the wire + dispatch path
+//! (parse, fair-queue admission, encode) rather than the solver.
+//!
+//! Gates (each exits non-zero on failure):
+//!
+//! * **speedup** — the combined ping+schedule mix must run at least
+//!   `--min-speedup`× (default 1.5) faster on the binary wire;
+//! * **throughput** — binary combined requests/sec is gated against the
+//!   most recent `service` row of `--baseline-history` through the
+//!   shared [`vcsched_bench::history`] gate (>10% drop fails;
+//!   `VCSCHED_BENCH_TOLERANCE` overrides).
+//!
+//! With `--history FILE` the run appends one `vcsched-bench-history/v1`
+//! row (bench `service`) to the rolling trajectory.
+//!
+//! ```console
+//! $ service_bench [--out FILE] [--pings N] [--schedules N]
+//!                 [--batch-blocks N] [--window N] [--jobs N]
+//!                 [--min-speedup X] [--history FILE]
+//!                 [--baseline-history FILE]
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Instant;
+
+use serde::Value;
+use vcsched_service::{serve, Client, Request, Response, ServiceConfig};
+use vcsched_workload::{benchmark, generate_block, InputSet};
+
+/// The report schema identifier.
+const SCHEMA: &str = "vcsched-bench-service/v1";
+
+/// Default floor for the binary/JSON combined-mix speedup gate.
+const DEFAULT_MIN_SPEEDUP: f64 = 1.5;
+
+fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("service_bench: error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The distinct schedule requests of the cache-hot mix: a small corpus
+/// of seeded synthetic blocks, cycled `--schedules` times.
+fn schedule_corpus(count: usize) -> Vec<Request> {
+    let spec = benchmark("130.li").expect("known benchmark");
+    (0..count)
+        .map(|i| Request::Schedule {
+            block: generate_block(&spec, 3, i as u64, InputSet::Ref),
+            machine: "2c".to_owned(),
+            policies: None,
+            mode: None,
+            steps: Some(20_000),
+            budget_bytes: None,
+            early_cancel: None,
+            adaptive: None,
+            placement_seed: Some(i as u64),
+            return_schedule: false,
+            deadline_ms: None,
+            priority: None,
+        })
+        .collect()
+}
+
+/// Drives `requests` through one connection with up to `window`
+/// outstanding at a time (the pipelining the id envelope exists for)
+/// and returns requests/sec.
+fn drive_pipelined(
+    client: &mut Client,
+    requests: &[Request],
+    window: usize,
+) -> Result<f64, String> {
+    let t0 = Instant::now();
+    let mut sent = 0usize;
+    let mut received = 0usize;
+    while received < requests.len() {
+        while sent < requests.len() && sent - received < window {
+            client.send(&requests[sent], Some(sent as u64))?;
+            sent += 1;
+        }
+        let (_, response) = client.recv()?;
+        if let Response::Error { error, .. } = response {
+            return Err(format!("request failed mid-mix: {error}"));
+        }
+        received += 1;
+    }
+    Ok(requests.len() as f64 / t0.elapsed().as_secs_f64().max(1e-9))
+}
+
+/// Runs one streamed batch and returns frames/sec over its block frames
+/// plus summary.
+fn drive_batch(client: &mut Client, blocks: usize) -> Result<f64, String> {
+    let t0 = Instant::now();
+    client.send(
+        &Request::Batch {
+            bench: "130.li".into(),
+            count: blocks,
+            seed: 5,
+            machine: "2c".into(),
+            policies: None,
+            portfolio: Some(false),
+            steps: Some(20_000),
+            budget_bytes: None,
+            early_cancel: None,
+            adaptive: None,
+            stream: true,
+            deadline_ms: None,
+            priority: None,
+        },
+        Some(1),
+    )?;
+    let mut frames = 0usize;
+    loop {
+        let (_, response) = client.recv()?;
+        match response {
+            Response::Block(_) => frames += 1,
+            Response::Batch { .. } => break,
+            Response::Error { error, .. } => return Err(format!("batch failed: {error}")),
+            other => return Err(format!("unexpected batch frame: {other:?}")),
+        }
+    }
+    Ok((frames + 1) as f64 / t0.elapsed().as_secs_f64().max(1e-9))
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let out = PathBuf::from(flag(args, "--out").unwrap_or("BENCH_service.json"));
+    let parse = |name: &str, default: u64| -> Result<u64, String> {
+        match flag(args, name) {
+            Some(n) => n.parse().map_err(|e| format!("{name}: {e}")),
+            None => Ok(default),
+        }
+    };
+    let pings = parse("--pings", 20_000)? as usize;
+    let schedules = parse("--schedules", 4_000)? as usize;
+    let batch_blocks = parse("--batch-blocks", 96)? as usize;
+    let window = parse("--window", 64)?.max(1) as usize;
+    let jobs: usize = match flag(args, "--jobs") {
+        Some(n) => n.parse().map_err(|e| format!("--jobs: {e}"))?,
+        None => vcsched_engine::default_jobs(),
+    };
+    let min_speedup: f64 = match flag(args, "--min-speedup") {
+        Some(x) => x.parse().map_err(|e| format!("--min-speedup: {e}"))?,
+        None => DEFAULT_MIN_SPEEDUP,
+    };
+
+    let server = serve(ServiceConfig {
+        addr: "127.0.0.1:0".into(),
+        jobs,
+        queue_capacity: 256,
+        ..ServiceConfig::default()
+    })?;
+    let addr = server.addr();
+
+    // The ping mix reuses one request; the schedule mix cycles a small
+    // distinct corpus so the cache key set is fixed.
+    let ping_mix: Vec<Request> = (0..pings)
+        .map(|_| Request::Ping {
+            delay_ms: 0,
+            priority: None,
+        })
+        .collect();
+    let corpus = schedule_corpus(16);
+    let schedule_mix: Vec<Request> = (0..schedules)
+        .map(|i| corpus[i % corpus.len()].clone())
+        .collect();
+
+    // Warm up: solve the schedule corpus and the batch corpus once, so
+    // both measured passes are cache-hot and wire-bound (the point of
+    // the lane), and the reactor's buffers reach their high-water mark.
+    {
+        let mut warm = Client::connect(addr)?;
+        drive_pipelined(&mut warm, &corpus, window)?;
+        drive_batch(&mut warm, batch_blocks)?;
+    }
+
+    // JSON first, then binary, same server — cache state is identical
+    // (everything is hot) so run order cannot favor either wire.
+    let mut results: Vec<(&str, f64, f64, f64)> = Vec::new(); // (mix, json, binary, ratio)
+    let mut measured: Vec<(&str, [f64; 2])> = vec![
+        ("ping", [0.0; 2]),
+        ("schedule", [0.0; 2]),
+        ("batch_stream", [0.0; 2]),
+    ];
+    for (w, binary) in [(0usize, false), (1usize, true)] {
+        let mut client = if binary {
+            Client::connect_binary(addr)?
+        } else {
+            Client::connect(addr)?
+        };
+        measured[0].1[w] = drive_pipelined(&mut client, &ping_mix, window)?;
+        measured[1].1[w] = drive_pipelined(&mut client, &schedule_mix, window)?;
+        measured[2].1[w] = drive_batch(&mut client, batch_blocks)?;
+    }
+    for (mix, [json, binary]) in &measured {
+        let ratio = binary / json.max(1e-9);
+        eprintln!(
+            "service_bench: {mix:<13} json {json:>10.0}/s   binary {binary:>10.0}/s   {ratio:.2}x"
+        );
+        results.push((mix, *json, *binary, ratio));
+    }
+
+    // The headline number: the ping+schedule request mix, combined by
+    // total requests over total time on each wire.
+    let combined = |w: usize| -> f64 {
+        let total = (pings + schedules) as f64;
+        total / (pings as f64 / measured[0].1[w] + schedules as f64 / measured[1].1[w])
+    };
+    let combined_json = combined(0);
+    let combined_binary = combined(1);
+    let speedup = combined_binary / combined_json.max(1e-9);
+
+    let report = obj(vec![
+        ("schema", Value::String(SCHEMA.into())),
+        ("machine", Value::String("2c".into())),
+        ("pings", Value::UInt(pings as u64)),
+        ("schedules", Value::UInt(schedules as u64)),
+        ("batch_blocks", Value::UInt(batch_blocks as u64)),
+        ("window", Value::UInt(window as u64)),
+        ("jobs", Value::UInt(jobs as u64)),
+        (
+            "mixes",
+            Value::Object(
+                results
+                    .iter()
+                    .map(|(mix, json, binary, ratio)| {
+                        (
+                            (*mix).to_owned(),
+                            obj(vec![
+                                ("json_per_sec", Value::Float(*json)),
+                                ("binary_per_sec", Value::Float(*binary)),
+                                ("speedup", Value::Float(*ratio)),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "combined",
+            obj(vec![
+                ("json_per_sec", Value::Float(combined_json)),
+                ("binary_per_sec", Value::Float(combined_binary)),
+                ("speedup", Value::Float(speedup)),
+            ]),
+        ),
+    ]);
+    let text = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())? + "\n";
+    std::fs::write(&out, &text).map_err(|e| format!("{}: {e}", out.display()))?;
+    println!("{text}");
+
+    {
+        let mut stop = Client::connect(addr)?;
+        let _ = stop.request(&Request::Shutdown);
+    }
+    server.join();
+
+    // Throughput gate + trajectory row, through the shared history
+    // machinery (gate reads before the append, so both flags may name
+    // the same rolling file).
+    let gate = match flag(args, "--baseline-history") {
+        Some(baseline) => vcsched_bench::history::check_regression(
+            Path::new(baseline),
+            "service",
+            combined_binary,
+        ),
+        None => Ok(()),
+    };
+    if let Some(history) = flag(args, "--history") {
+        let row = vcsched_bench::history::row(
+            "service",
+            "2c",
+            (pings + schedules) as u64,
+            1,
+            jobs as u64,
+            combined_binary,
+            vec![
+                ("speedup", Value::Float(speedup)),
+                ("json_per_sec", Value::Float(combined_json)),
+            ],
+        );
+        vcsched_bench::history::append(Path::new(history), &row)?;
+        eprintln!("service_bench: appended history row to {history}");
+    }
+    gate?;
+    if speedup < min_speedup {
+        return Err(format!(
+            "binary wire speedup {speedup:.2}x below the {min_speedup:.2}x floor \
+             on the combined ping+schedule mix"
+        ));
+    }
+    eprintln!(
+        "service_bench: wrote {} (combined {:.0} req/s JSON, {:.0} req/s binary, {:.2}x)",
+        out.display(),
+        combined_json,
+        combined_binary,
+        speedup,
+    );
+    Ok(())
+}

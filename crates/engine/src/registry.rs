@@ -81,6 +81,12 @@ impl PolicyRegistry {
             || Box::new(vcsched_baselines::UasPolicy::balance()),
         )
         .expect("fresh registry");
+        r.register(
+            "two-phase-balance",
+            "two-phase, balance-weighted partition (w=2)",
+            || Box::new(vcsched_baselines::TwoPhaseBalancePolicy),
+        )
+        .expect("fresh registry");
         r
     }
 
@@ -331,7 +337,8 @@ mod tests {
                 "two-phase",
                 "uas-mwp",
                 "uas-none",
-                "uas-balance"
+                "uas-balance",
+                "two-phase-balance"
             ]
         );
         for name in names {
@@ -368,7 +375,7 @@ mod tests {
         let all = PolicySet::all();
         assert_eq!(
             all.key(),
-            "vc,cars,uas,two-phase,uas-mwp,uas-none,uas-balance"
+            "vc,cars,uas,two-phase,uas-mwp,uas-none,uas-balance,two-phase-balance"
         );
         for name in PolicySet::full().names() {
             assert!(all.contains(name), "all() must cover full(): {name}");

@@ -18,6 +18,10 @@
 //! * [`SubmitPool::probe`] runs a no-op (optionally delayed) job through
 //!   the same queue and workers, measuring true end-to-end service time —
 //!   and giving tests a deterministic way to hold workers busy;
+//! * [`SubmitPool::set_completion_hook`] installs a pool-wide observer
+//!   invoked on the worker after *every* finished task (ticket or
+//!   callback form) — the service reactor uses it to re-drain its
+//!   per-connection fair queues the moment capacity frees up;
 //! * [`SubmitPool::shutdown`] closes admission, drains every already
 //!   accepted job, and joins the workers — in-flight work is never
 //!   dropped.
@@ -208,7 +212,12 @@ pub struct SubmitPool {
     rejected: AtomicU64,
     completed: Arc<AtomicU64>,
     policy_totals: Arc<Mutex<Vec<PolicyTotals>>>,
+    completion_hook: Arc<Mutex<Option<CompletionHook>>>,
 }
+
+/// Pool-wide completion observer (see
+/// [`SubmitPool::set_completion_hook`]).
+type CompletionHook = Arc<dyn Fn() + Send + Sync>;
 
 impl SubmitPool {
     /// Spawns `jobs` workers behind a queue admitting at most
@@ -221,6 +230,7 @@ impl SubmitPool {
         let depth = Arc::new(AtomicUsize::new(0));
         let completed = Arc::new(AtomicU64::new(0));
         let policy_totals: Arc<Mutex<Vec<PolicyTotals>>> = Arc::new(Mutex::new(Vec::new()));
+        let completion_hook: Arc<Mutex<Option<CompletionHook>>> = Arc::new(Mutex::new(None));
         let workers = (0..jobs)
             .map(|_| {
                 let rx = Arc::clone(&rx);
@@ -228,6 +238,7 @@ impl SubmitPool {
                 let depth = Arc::clone(&depth);
                 let completed = Arc::clone(&completed);
                 let policy_totals = Arc::clone(&policy_totals);
+                let completion_hook = Arc::clone(&completion_hook);
                 std::thread::spawn(move || loop {
                     // Holding the lock across the blocking recv is the
                     // standard std worker-pool pattern: pickup is quick
@@ -274,6 +285,12 @@ impl SubmitPool {
                     m.busy.dec();
                     m.completed.inc();
                     completed.fetch_add(1, Ordering::Relaxed);
+                    // Clone out of the lock so a slow hook never blocks
+                    // hook (re-)installation or other workers.
+                    let hook = completion_hook.lock().unwrap().clone();
+                    if let Some(hook) = hook {
+                        hook();
+                    }
                 })
             })
             .collect();
@@ -288,7 +305,20 @@ impl SubmitPool {
             rejected: AtomicU64::new(0),
             completed,
             policy_totals,
+            completion_hook,
         }
+    }
+
+    /// Installs a pool-wide observer called on the worker thread after
+    /// *every* finished task — solve or probe, ticket or callback form —
+    /// once its result has been delivered and the completion counters
+    /// bumped. The service reactor hangs its fair-queue re-drain here:
+    /// a completion is the signal that admission capacity is about to
+    /// free up, so ring-parked work gets another shot without polling.
+    /// The hook must hand off quickly; the worker is busy while it runs.
+    /// Installing replaces any previous hook.
+    pub fn set_completion_hook(&self, hook: impl Fn() + Send + Sync + 'static) {
+        *self.completion_hook.lock().unwrap() = Some(Arc::new(hook));
     }
 
     /// The shared schedule cache the workers solve through.
@@ -627,6 +657,29 @@ mod tests {
             pool.probe_with(0, |_| {}),
             Err(SubmitError::ShutDown)
         ));
+    }
+
+    #[test]
+    fn completion_hook_fires_after_every_task() {
+        let pool = SubmitPool::new(1, 4, Arc::new(ScheduleCache::in_memory(8)));
+        let fired = Arc::new(AtomicU64::new(0));
+        let seen = Arc::clone(&fired);
+        pool.set_completion_hook(move || {
+            seen.fetch_add(1, Ordering::SeqCst);
+        });
+        // One ticket probe, one callback probe, one ticket solve: the
+        // hook must fire for each delivery form.
+        pool.probe(0).expect("accepted").wait().expect("probe");
+        let (tx, rx) = mpsc::channel();
+        pool.probe_with(0, move |_| tx.send(()).unwrap())
+            .expect("accepted");
+        rx.recv().expect("callback completion");
+        pool.try_submit(problem(0))
+            .expect("accepted")
+            .wait()
+            .expect("solved");
+        pool.shutdown();
+        assert_eq!(fired.load(Ordering::SeqCst), 3);
     }
 
     #[test]

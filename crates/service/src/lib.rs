@@ -3,12 +3,15 @@
 //! The batch engine (`vcsched-engine`) schedules a corpus and exits; this
 //! crate keeps it resident. A TCP [`server`] speaks a newline-delimited
 //! JSON [`protocol`] (`schedule`, `batch`, `stats`, `metrics`, `ping`,
-//! `shutdown`) and feeds every piece of work through the engine's
-//! [`SubmitPool`](vcsched_engine::SubmitPool): a bounded admission queue
-//! in front of a fixed worker pool, backed by the sharded
-//! content-addressed schedule cache. When the queue is full the server
-//! answers `{"ok":false,…,"retry_after_ms":N}` instead of queueing
-//! unboundedly — load-shedding with an explicit client backoff hint.
+//! `shutdown`) — or, negotiated per connection by a magic preamble, the
+//! compact binary [`frame`] format — and feeds every piece of work
+//! through the engine's [`SubmitPool`](vcsched_engine::SubmitPool): a
+//! bounded admission queue in front of a fixed worker pool, backed by
+//! the sharded content-addressed schedule cache. When the queue is full
+//! the server answers `{"ok":false,…,"retry_after_ms":N}` instead of
+//! queueing unboundedly — load-shedding with an explicit client backoff
+//! hint — and per-connection weighted fair queuing keeps one chatty
+//! connection from starving the rest on the way into that queue.
 //!
 //! Surfaced on the command line as `vcsched serve` (the daemon) and
 //! `vcsched request` (a thin scripting client); see the [`client`]
@@ -26,7 +29,12 @@
 //! })
 //! .unwrap();
 //! let mut client = Client::connect(handle.addr()).unwrap();
-//! let pong = client.request(&Request::Ping { delay_ms: 0 }).unwrap();
+//! let pong = client
+//!     .request(&Request::Ping {
+//!         delay_ms: 0,
+//!         priority: None,
+//!     })
+//!     .unwrap();
 //! assert!(matches!(pong, Response::Pong { .. }));
 //! client.request(&Request::Shutdown).unwrap();
 //! handle.join();
@@ -35,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod frame;
 pub mod protocol;
 pub(crate) mod reactor;
 pub mod server;

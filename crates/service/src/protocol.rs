@@ -175,6 +175,11 @@ pub enum Request {
     Ping {
         /// Server-side delay in milliseconds.
         delay_ms: u64,
+        /// Priority 0 (shed first) ..= 3 (shed last): fair-queue weight
+        /// and saturation behavior, same bands as `schedule`. Omitted
+        /// from the wire when `None` so legacy ping lines stay
+        /// byte-identical.
+        priority: Option<u8>,
     },
     /// Stop accepting work, drain in-flight jobs, exit.
     Shutdown,
@@ -542,10 +547,20 @@ impl Serialize for Request {
             ]),
             Request::Stats => obj(vec![("type", Value::String("stats".into()))]),
             Request::Metrics => obj(vec![("type", Value::String("metrics".into()))]),
-            Request::Ping { delay_ms } => obj(vec![
-                ("type", Value::String("ping".into())),
-                ("delay_ms", Value::UInt(*delay_ms)),
-            ]),
+            Request::Ping { delay_ms, priority } => {
+                let mut fields = vec![
+                    ("type", Value::String("ping".into())),
+                    ("delay_ms", Value::UInt(*delay_ms)),
+                ];
+                // Unlike schedule/batch (which always emit their
+                // optional fields as null), ping pre-dates priorities:
+                // emitting the field only when set keeps legacy ping
+                // lines byte-identical.
+                if priority.is_some() {
+                    fields.push(("priority", priority.to_value()));
+                }
+                obj(fields)
+            }
             Request::Shutdown => obj(vec![("type", Value::String("shutdown".into()))]),
         }
     }
@@ -616,6 +631,7 @@ impl Deserialize for Request {
             "metrics" => Ok(Request::Metrics),
             "ping" => Ok(Request::Ping {
                 delay_ms: opt(v, "delay_ms")?.unwrap_or(0),
+                priority: opt(v, "priority")?,
             }),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(DeError(format!(
@@ -727,20 +743,32 @@ fn inject_id(value: &mut Value, id: Option<u64>) {
 /// Serializes one response line (no trailing newline), echoing the
 /// request's `id` when it had one.
 pub fn response_line(response: &Response, id: Option<u64>) -> String {
-    let mut value = response.to_value();
-    inject_id(&mut value, id);
-    serde_json::to_string(&value).unwrap_or_else(|_| {
+    serde_json::to_string(&response_value(response, id)).unwrap_or_else(|_| {
         r#"{"ok":false,"type":"error","error":"response serialization failed","retry_after_ms":null}"#
             .to_owned()
     })
 }
 
+/// The id-tagged wire value for a response — what [`response_line`]
+/// renders as JSON and the binary framing encodes directly.
+pub fn response_value(response: &Response, id: Option<u64>) -> Value {
+    let mut value = response.to_value();
+    inject_id(&mut value, id);
+    value
+}
+
 /// Serializes one request line (no trailing newline), tagging it with an
 /// `id` for pipelined out-of-order completion when one is given.
 pub fn request_line(request: &Request, id: Option<u64>) -> Result<String, String> {
+    serde_json::to_string(&request_value(request, id)).map_err(|e| e.to_string())
+}
+
+/// The id-tagged wire value for a request (the binary-framing twin of
+/// [`request_line`]).
+pub fn request_value(request: &Request, id: Option<u64>) -> Value {
     let mut value = request.to_value();
     inject_id(&mut value, id);
-    serde_json::to_string(&value).map_err(|e| e.to_string())
+    value
 }
 
 #[cfg(test)]
@@ -753,7 +781,14 @@ mod tests {
             Request::Stats,
             Request::Metrics,
             Request::Shutdown,
-            Request::Ping { delay_ms: 40 },
+            Request::Ping {
+                delay_ms: 40,
+                priority: None,
+            },
+            Request::Ping {
+                delay_ms: 0,
+                priority: Some(3),
+            },
             Request::Batch {
                 bench: "130.li".into(),
                 count: 9,
@@ -1020,7 +1055,14 @@ mod tests {
     fn envelope_id_lands_after_the_type_tag() {
         let line = response_line(&Response::Pong { delay_ms: 3 }, Some(42));
         assert_eq!(line, r#"{"ok":true,"type":"pong","id":42,"delay_ms":3}"#);
-        let line = request_line(&Request::Ping { delay_ms: 3 }, Some(7)).unwrap();
+        let line = request_line(
+            &Request::Ping {
+                delay_ms: 3,
+                priority: None,
+            },
+            Some(7),
+        )
+        .unwrap();
         assert_eq!(line, r#"{"type":"ping","id":7,"delay_ms":3}"#);
         let value: Value = serde_json::from_str(&line).unwrap();
         assert_eq!(envelope_id(&value).unwrap(), Some(7));
@@ -1111,6 +1153,35 @@ mod tests {
         let back: LatencyReply = serde_json::from_str(line).unwrap();
         assert!(back.by_priority.is_empty());
         assert_eq!((back.count, back.p999_us), (3, 40));
+    }
+
+    #[test]
+    fn ping_priority_is_optional_and_absent_stays_byte_identical() {
+        // No priority: the wire bytes are exactly the pre-priority form.
+        let req = Request::Ping {
+            delay_ms: 5,
+            priority: None,
+        };
+        assert_eq!(
+            serde_json::to_string(&req).unwrap(),
+            r#"{"type":"ping","delay_ms":5}"#
+        );
+        // With priority: round-trips, and legacy-shaped lines parse.
+        let req = Request::Ping {
+            delay_ms: 0,
+            priority: Some(2),
+        };
+        let line = serde_json::to_string(&req).unwrap();
+        assert_eq!(line, r#"{"type":"ping","delay_ms":0,"priority":2}"#);
+        assert_eq!(serde_json::from_str::<Request>(&line).unwrap(), req);
+        let legacy: Request = serde_json::from_str(r#"{"type":"ping","delay_ms":9}"#).unwrap();
+        assert_eq!(
+            legacy,
+            Request::Ping {
+                delay_ms: 9,
+                priority: None,
+            }
+        );
     }
 
     #[test]

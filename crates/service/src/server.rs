@@ -1,35 +1,52 @@
 //! The daemon: a TCP listener speaking the newline-delimited JSON
-//! protocol over a [`SubmitPool`].
+//! protocol — or, negotiated per connection, the compact binary
+//! `vcsched-frame/v1` framing — over a [`SubmitPool`].
 //!
 //! One reactor thread multiplexes the listener and every connection
 //! through a level-triggered readiness poller (the `reactor` module):
 //! sockets are nonblocking, each connection keeps its own read/write
-//! buffers, and scheduling work is handed to the pool with completion
-//! callbacks instead of a thread parked per request. Workers push
-//! finished replies onto a completion queue and ring the reactor's
-//! wakeup pipe; the reactor routes each line back to its connection.
+//! buffers plus a reusable encode scratch, and scheduling work is
+//! handed to the pool with completion callbacks instead of a thread
+//! parked per request. Workers push *typed* completions onto a queue
+//! and ring the reactor's wakeup pipe; the reactor routes each reply
+//! back to its connection and encodes it there, in the connection's
+//! negotiated wire format, batching everything queued since the last
+//! doorbell into one buffer flush.
+//!
+//! A connection's first bytes pick its framing: the exact
+//! [`frame::MAGIC`] preamble switches it to binary frames (the server
+//! echoes the preamble as an ack), anything else — including every
+//! byte a JSON value can start with — leaves it on newline JSON, so
+//! legacy clients are untouched and their replies stay byte-identical.
 //!
 //! Requests may carry an optional `id` (see the protocol module's
 //! pipelining notes): id-less requests are answered strictly in arrival
 //! order (a reply-slot per request holds later completions until
-//! earlier ones emit), id'd requests complete out of order. Scheduling
-//! work flows through the pool's bounded admission queue, so a
-//! saturated server answers `error` + `retry_after_ms` instead of
-//! building an unbounded backlog.
+//! earlier ones emit), id'd requests complete out of order.
+//!
+//! Admission is *fair-queued*: parsed pool work lands in a
+//! per-connection ring and a weighted round-robin drain (weight = the
+//! head request's priority class) admits it into the pool's bounded
+//! queue, so one chatty connection cannot starve the rest. On
+//! saturation, best-effort work (priority ≤ 1) is shed with
+//! `retry_after_ms`; high-priority work and batch blocks park in their
+//! ring and are re-driven by the pool's completion hook as capacity
+//! frees. A connection whose replies back up past the write-buffer cap
+//! is closed as a slow reader (counted) instead of buffering without
+//! bound.
 //!
 //! Shutdown (a `shutdown` request or [`ServerHandle::shutdown`]) is
 //! *draining*: the listener closes, every admitted job completes and
-//! its reply line is flushed, then workers are joined and the cache
-//! journal is flushed. The wakeup pipe replaces both the old 100 ms
-//! stop-flag poll on blocked reads and the throwaway self-connect that
-//! used to unblock the accept loop.
+//! its reply is flushed, then workers are joined and the cache
+//! journal is flushed.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::io::AsRawFd;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::SyncSender;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -39,14 +56,15 @@ use vcsched_engine::{
     adaptive::{explore_draw, summarize, DecisionKind},
     aggregate_batch, default_jobs, open_cache, selector_path, AdaptiveOptions, BatchConfig,
     BlockClass, CorpusSource, PolicyOptions, PolicySet, Problem, SelectorTable, Solved,
-    SubmitError, SubmitPool, STEPS_1M,
+    SubmitError, SubmitPool, Ticket, STEPS_1M,
 };
 use vcsched_ir::Superblock;
 use vcsched_workload::live_in_placement;
 
+use crate::frame;
 use crate::protocol::{
-    envelope_id, response_line, BlockReply, CacheReply, PolicyTotalsReply, Request, Response,
-    ScheduleMode, ScheduleReply, SelectorStatsReply, ShardReply, StatsReply,
+    envelope_id, response_line, response_value, BlockReply, CacheReply, PolicyTotalsReply, Request,
+    Response, ScheduleMode, ScheduleReply, SelectorStatsReply, ShardReply, StatsReply,
 };
 use crate::reactor::{Poller, WakePipe};
 use crate::telemetry::RequestMetrics;
@@ -77,12 +95,17 @@ pub struct ServiceConfig {
     pub cache_shards: usize,
     /// Persist the cache journal in this directory (`None` = in-memory).
     pub cache_dir: Option<PathBuf>,
-    /// Maximum request line length; longer lines terminate the
+    /// Maximum request line/frame length; longer requests terminate the
     /// connection with an error response.
     pub max_request_bytes: usize,
     /// Maximum simultaneously open connections; beyond it new sockets
     /// are answered with one `error` + `retry_after_ms` line and closed.
     pub max_connections: usize,
+    /// Per-connection write-buffer cap: a connection whose unsent reply
+    /// bytes exceed it is closed as a slow reader (counted in
+    /// `service_slow_reader_closed_total`) instead of buffering without
+    /// bound.
+    pub max_write_buffer: usize,
     /// Default VC deduction-step budget for requests that omit `steps`.
     pub default_steps: u64,
     /// Default VC trail-work byte budget for requests that omit
@@ -131,6 +154,7 @@ impl Default for ServiceConfig {
             cache_dir: None,
             max_request_bytes: 1 << 20,
             max_connections: 1024,
+            max_write_buffer: 4 << 20,
             default_steps: STEPS_1M,
             default_budget_bytes: None,
             default_policies: PolicySet::single(),
@@ -205,19 +229,96 @@ impl DecisionCounters {
     }
 }
 
-/// One finished reply line (or a streamed `block` frame, when `done` is
+/// One finished reply (or a streamed `block` frame, when `done` is
 /// false) headed from a worker/batch thread back to a connection.
+///
+/// Carries the *typed* response: the reactor encodes it on arrival in
+/// the owning connection's wire format, reusing that connection's
+/// scratch buffer — workers never render wire bytes.
 struct Completion {
     /// The connection the reply belongs to. If the connection died in
-    /// the meantime, the line is dropped — the token is never reused.
+    /// the meantime, the reply is dropped — the token is never reused.
     token: u64,
     /// Reply-order slot for id-less requests (`None` = id'd or partial;
     /// emit immediately).
     slot: Option<u64>,
-    line: String,
-    /// True when this line retires the request (the connection's
+    response: Response,
+    /// The request's envelope id, echoed into the encoded reply.
+    id: Option<u64>,
+    /// True when this reply retires the request (the connection's
     /// open-request count drops by one).
     done: bool,
+}
+
+/// A unit of pool work parked in a connection's fair-queue ring until
+/// the weighted round-robin drain admits it.
+enum Work {
+    Probe(ProbeWork),
+    Schedule(Box<ScheduleWork>),
+    BatchBlock(BatchBlockWork),
+}
+
+impl Work {
+    fn priority(&self) -> u8 {
+        match self {
+            Work::Probe(w) => w.priority,
+            Work::Schedule(w) => w.priority,
+            Work::BatchBlock(w) => w.priority,
+        }
+    }
+
+    /// WRR quantum: one admission per round for best-effort work, up to
+    /// four per round for the highest priority class.
+    fn weight(&self) -> u32 {
+        (u32::from(self.priority()) + 1).min(4)
+    }
+}
+
+/// A parked `ping`.
+struct ProbeWork {
+    delay_ms: u64,
+    priority: u8,
+    cell: ReplyCell,
+}
+
+/// A parked `schedule` request, fully resolved at parse time; the
+/// ε-draw and adaptive narrowing happen at *admission* time (see
+/// `admit_one`).
+struct ScheduleWork {
+    priority: u8,
+    /// Signal online admission control (`note_shed`) if this request is
+    /// shed — set when the request carried a priority or deadline.
+    shed_signal: bool,
+    adaptive: bool,
+    /// The request's configured (pre-narrowing) policy set.
+    configured: PolicySet,
+    class: BlockClass,
+    problem: Problem,
+    return_schedule: bool,
+    deadline_ms: Option<u64>,
+    cell: ReplyCell,
+}
+
+/// One batch block awaiting admission; the ticket (or the admission
+/// error) goes back to the batch helper thread over a rendezvous
+/// channel, which is the batch's backpressure.
+struct BatchBlockWork {
+    priority: u8,
+    problem: Box<Problem>,
+    ticket_tx: SyncSender<Result<Ticket<Solved>, SubmitError>>,
+}
+
+/// Per-connection admission rings drained weighted round-robin into
+/// the pool's bounded queue.
+#[derive(Default)]
+struct FairQueues {
+    rings: BTreeMap<u64, VecDeque<Work>>,
+    /// Token the last drain pass ended on; the next pass starts after
+    /// it, rotating which connection admits first.
+    cursor: u64,
+    /// Parked count last published to the `service_fair_queue_parked`
+    /// gauge (process-global; publish deltas).
+    published: i64,
 }
 
 struct Shared {
@@ -232,7 +333,7 @@ struct Shared {
     selector: Mutex<SelectorTable>,
     /// Position in the ε-exploration stream for one-off `schedule`
     /// requests (batches use their own corpus indices). Advanced only
-    /// after the pool admits the job — see `schedule_request`.
+    /// after the pool admits the job — see `admit_one`.
     explore_seq: AtomicU64,
     decisions: DecisionCounters,
     /// When the server started, for the stats reply's `uptime_ms`.
@@ -242,8 +343,11 @@ struct Shared {
     conns_open: AtomicU64,
     /// Lifetime accepted connections.
     conns_total: AtomicU64,
-    /// Reply lines from worker/batch threads awaiting reactor pickup.
+    /// Typed replies from worker/batch threads awaiting reactor pickup.
     completions: Mutex<Vec<Completion>>,
+    /// Per-connection fair-queue rings feeding pool admission. Lock
+    /// order: `queues` before `selector`/`completions`, never reverse.
+    queues: Mutex<FairQueues>,
     /// Doorbell into the reactor's blocked `wait`.
     waker: WakePipe,
 }
@@ -255,11 +359,25 @@ impl Shared {
         self.waker.wake();
     }
 
-    /// Queues a reply line for the reactor and wakes it.
+    /// Queues a reply for the reactor and wakes it.
     fn push(&self, completion: Completion) {
         self.completions.lock().unwrap().push(completion);
         self.waker.wake();
     }
+}
+
+/// Hooks the pool's per-completion callback up to the fair-queue drain:
+/// every finished job frees queue capacity, so parked work gets another
+/// admission attempt without polling. Held through a `Weak` so the hook
+/// (owned by the pool, owned by `Shared`) doesn't keep `Shared` alive.
+fn install_completion_hook(shared: &Arc<Shared>) {
+    let weak = Arc::downgrade(shared);
+    shared.pool.set_completion_hook(move || {
+        if let Some(shared) = weak.upgrade() {
+            drain_fair_queues(&shared);
+            shared.waker.wake();
+        }
+    });
 }
 
 /// An in-flight async request's reply duct: carries everything needed
@@ -284,8 +402,25 @@ struct PendingReply {
     done: bool,
 }
 
+/// A shared slot holding a request's reply duct: the admission path and
+/// the completion callback race to `take()` it, so at most one reply is
+/// ever sent.
+type ReplyCell = Arc<Mutex<Option<PendingReply>>>;
+
+fn reply_cell(pending: PendingReply) -> ReplyCell {
+    Arc::new(Mutex::new(Some(pending)))
+}
+
+/// Takes the cell's pending reply (if still unanswered) and sends the
+/// wire error for a failed admission.
+fn reply_submit_error(cell: &ReplyCell, e: SubmitError) {
+    if let Some(mut p) = cell.lock().unwrap().take() {
+        p.send(submit_error(e), true);
+    }
+}
+
 impl PendingReply {
-    fn send(&mut self, response: &Response, done: bool) {
+    fn send(&mut self, response: Response, done: bool) {
         if done {
             self.done = true;
             self.metrics.latency.record_duration(self.start.elapsed());
@@ -299,7 +434,8 @@ impl PendingReply {
         self.shared.push(Completion {
             token: self.token,
             slot: self.slot,
-            line: response_line(response, self.id),
+            response,
+            id: self.id,
             done,
         });
     }
@@ -309,7 +445,7 @@ impl Drop for PendingReply {
     fn drop(&mut self) {
         if !self.done {
             self.send(
-                &Response::Error {
+                Response::Error {
                     error: "job lost: pool shut down before the request ran".to_owned(),
                     retry_after_ms: None,
                 },
@@ -391,8 +527,10 @@ pub fn serve(config: ServiceConfig) -> Result<ServerHandle, String> {
         conns_open: AtomicU64::new(0),
         conns_total: AtomicU64::new(0),
         completions: Mutex::new(Vec::new()),
+        queues: Mutex::new(FairQueues::default()),
         waker,
     });
+    install_completion_hook(&shared);
 
     // Tracing: enable the global tracer and spawn a flusher that drains
     // the span ring to the JSONL file while the server runs. The reactor
@@ -412,7 +550,7 @@ pub fn serve(config: ServiceConfig) -> Result<ServerHandle, String> {
     let reactor = std::thread::spawn(move || {
         event_loop(&reactor_shared, listener, poller);
         // Drain: the loop only returns once every connection has closed
-        // with its reply lines flushed; the pool then completes
+        // with its reply bytes flushed; the pool then completes
         // everything it admitted.
         reactor_shared.pool.shutdown();
         if let Some(dir) = &reactor_shared.config.cache_dir {
@@ -469,20 +607,44 @@ enum Fill {
     Dead,
 }
 
+/// A connection's negotiated framing.
+#[derive(Clone, Copy, PartialEq)]
+enum Wire {
+    /// Newline-delimited JSON (the default; legacy clients land here).
+    Json,
+    /// `vcsched-frame/v1` length-prefixed binary frames, negotiated by
+    /// the [`frame::MAGIC`] preamble.
+    Binary,
+}
+
 /// One multiplexed connection's state, owned by the reactor thread.
 struct Conn {
     stream: TcpStream,
-    /// Bytes read but not yet consumed as request lines.
+    wire: Wire,
+    /// False until the connection's first bytes have decided JSON vs
+    /// binary framing (the decision point is connection start only).
+    sniffed: bool,
+    /// Bytes read but not yet consumed as requests. Consumption scans
+    /// in place and compacts once per readiness pass — no per-request
+    /// allocation.
     rbuf: Vec<u8>,
     /// Reply bytes not yet accepted by the socket (from `wpos` on).
     wbuf: Vec<u8>,
     wpos: usize,
+    /// Reusable staging buffer for binary frame encoding (the length
+    /// prefix needs the payload rendered first).
+    scratch: Vec<u8>,
+    /// Write-buffer cap (bytes); see [`ServiceConfig::max_write_buffer`].
+    max_write: usize,
+    /// Unsent replies exceeded `max_write`: close as a slow reader.
+    overflowed: bool,
     /// Next reply-order slot to assign to an id-less request.
     next_slot: u64,
     /// The slot whose reply may be emitted next.
     emit_slot: u64,
-    /// Completed id-less replies waiting for earlier slots to finish.
-    held: BTreeMap<u64, String>,
+    /// Completed id-less replies, already encoded for this connection's
+    /// wire format, waiting for earlier slots to finish.
+    held: BTreeMap<u64, Vec<u8>>,
     /// Async requests admitted but not yet retired by a done-reply.
     open: u64,
     /// No more reads; flush what remains, then close once `finished`.
@@ -492,12 +654,17 @@ struct Conn {
 }
 
 impl Conn {
-    fn new(stream: TcpStream) -> Conn {
+    fn new(stream: TcpStream, max_write: usize) -> Conn {
         Conn {
             stream,
+            wire: Wire::Json,
+            sniffed: false,
             rbuf: Vec::new(),
             wbuf: Vec::new(),
             wpos: 0,
+            scratch: Vec::new(),
+            max_write,
+            overflowed: false,
             next_slot: 0,
             emit_slot: 0,
             held: BTreeMap::new(),
@@ -513,27 +680,65 @@ impl Conn {
         slot
     }
 
-    /// Queues one reply line: id'd and partial lines (`slot` = `None`)
-    /// go straight to the write buffer; slotted lines wait in `held`
-    /// until every earlier slot has emitted, so id-less clients see
-    /// replies in strict request order no matter how the pool reorders
+    /// Queues one reply, encoding it in this connection's wire format:
+    /// id'd and partial replies (`slot` = `None`) go straight to the
+    /// write buffer; slotted replies wait (pre-encoded) in `held` until
+    /// every earlier slot has emitted, so id-less clients see replies
+    /// in strict request order no matter how the pool reorders
     /// completions.
-    fn emit(&mut self, slot: Option<u64>, line: String) {
+    fn emit(&mut self, slot: Option<u64>, response: &Response, id: Option<u64>) {
         match slot {
-            None => self.push_line(&line),
-            Some(s) => {
-                self.held.insert(s, line);
+            None => self.render_to_wbuf(response, id),
+            Some(s) if s == self.emit_slot => {
+                self.render_to_wbuf(response, id);
+                self.emit_slot += 1;
                 while let Some(next) = self.held.remove(&self.emit_slot) {
-                    self.push_line(&next);
+                    self.wbuf.extend_from_slice(&next);
                     self.emit_slot += 1;
                 }
+            }
+            Some(s) => {
+                let bytes = self.render(response, id);
+                self.held.insert(s, bytes);
+            }
+        }
+        if self.wbuf.len() - self.wpos > self.max_write {
+            self.overflowed = true;
+        }
+    }
+
+    /// Encodes one reply straight into the write buffer (the fast
+    /// path: no intermediate per-reply buffer).
+    fn render_to_wbuf(&mut self, response: &Response, id: Option<u64>) {
+        match self.wire {
+            Wire::Json => {
+                let line = response_line(response, id);
+                self.wbuf.extend_from_slice(line.as_bytes());
+                self.wbuf.push(b'\n');
+            }
+            Wire::Binary => {
+                let value = response_value(response, id);
+                frame::encode_frame_into(&value, &mut self.wbuf, &mut self.scratch);
             }
         }
     }
 
-    fn push_line(&mut self, line: &str) {
-        self.wbuf.extend_from_slice(line.as_bytes());
-        self.wbuf.push(b'\n');
+    /// Encodes one reply into an owned buffer (for out-of-order held
+    /// slots).
+    fn render(&mut self, response: &Response, id: Option<u64>) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        match self.wire {
+            Wire::Json => {
+                let line = response_line(response, id);
+                bytes.extend_from_slice(line.as_bytes());
+                bytes.push(b'\n');
+            }
+            Wire::Binary => {
+                let value = response_value(response, id);
+                frame::encode_frame_into(&value, &mut bytes, &mut self.scratch);
+            }
+        }
+        bytes
     }
 
     /// Writes buffered reply bytes until done or `WouldBlock`. Returns
@@ -590,16 +795,21 @@ fn event_loop(shared: &Arc<Shared>, listener: TcpListener, mut poller: Poller) {
     let mut last_wbuf: i64 = 0;
     fds_gauge.add(last_fds);
     loop {
-        // Route reply lines pushed by workers since the last pass.
+        // Route every reply pushed by workers since the last doorbell in
+        // one pass — streamed batch frames queued together coalesce into
+        // a single buffered write below.
         let ready = std::mem::take(&mut *shared.completions.lock().unwrap());
         for c in ready {
             if let Some(conn) = conns.get_mut(&c.token) {
                 if c.done {
                     conn.open -= 1;
                 }
-                conn.emit(c.slot, c.line);
+                conn.emit(c.slot, &c.response, c.id);
             }
         }
+        // Parked fair-queue work gets another admission shot (cheap
+        // no-op when the rings are empty).
+        drain_fair_queues(shared);
         // Begin draining: stop accepting, let every connection finish
         // its in-flight requests and flush.
         if shared.stop.load(Ordering::SeqCst) && !draining {
@@ -611,13 +821,18 @@ fn event_loop(shared: &Arc<Shared>, listener: TcpListener, mut poller: Poller) {
                 conn.closing = true;
             }
         }
-        // Flush, retire finished connections, and (re)declare interest:
-        // a closing connection stops reading (level-triggered EPOLLIN
-        // would spin on EOF otherwise), a backed-up one asks for
-        // writability.
+        // Flush, retire finished and overflowed connections, and
+        // (re)declare interest: a closing connection stops reading
+        // (level-triggered EPOLLIN would spin on EOF otherwise), a
+        // backed-up one asks for writability.
         let mut dead = Vec::new();
         let mut wbuf_total: i64 = 0;
         for (&token, conn) in conns.iter_mut() {
+            if conn.overflowed {
+                crate::telemetry::slow_reader_closed().inc();
+                dead.push(token);
+                continue;
+            }
             if !conn.flush() || conn.finished() {
                 dead.push(token);
                 continue;
@@ -735,41 +950,108 @@ fn accept_ready(
         {
             continue;
         }
-        conns.insert(token, Conn::new(stream));
+        conns.insert(token, Conn::new(stream, shared.config.max_write_buffer));
         shared.conns_open.fetch_add(1, Ordering::Relaxed);
         shared.conns_total.fetch_add(1, Ordering::Relaxed);
         crate::telemetry::connections().inc();
     }
 }
 
-/// Removes a connection from the reactor (poller, map, gauges).
+/// Removes a connection from the reactor (poller, map, gauges) and
+/// drops its fair-queue ring: parked work for a dead connection is
+/// abandoned (its reply ducts resolve to a token nobody routes).
 fn close_conn(shared: &Shared, poller: &mut Poller, conns: &mut BTreeMap<u64, Conn>, token: u64) {
     if let Some(conn) = conns.remove(&token) {
         let _ = poller.deregister(conn.stream.as_raw_fd());
+        let abandoned = shared.queues.lock().unwrap().rings.remove(&token);
+        drop(abandoned);
         shared.conns_open.fetch_sub(1, Ordering::Relaxed);
         crate::telemetry::connections().dec();
     }
 }
 
-/// Consumes every complete line buffered on the connection, then
-/// enforces the request size cap on whatever incomplete tail remains.
+/// Consumes every complete request buffered on the connection.
 ///
-/// All three rejection shapes — a line that is not UTF-8, an unbounded
-/// line past `max_request_bytes`, and a line that fails to parse (in
-/// `handle_line`) — count toward `service_invalid_requests_total`.
+/// The connection's very first bytes pick the framing: an exact
+/// [`frame::MAGIC`] preamble switches to binary frames (acked by
+/// echoing the preamble); anything else is newline JSON forever —
+/// the magic's first byte can never start a JSON value, so the sniff
+/// is unambiguous and mid-stream bytes are never re-inspected.
+///
+/// All rejection shapes — a line that is not UTF-8, a request past
+/// `max_request_bytes`, a corrupt binary frame, and a request that
+/// fails to parse — count toward `service_invalid_requests_total`.
 fn process_buffered(shared: &Arc<Shared>, token: u64, conn: &mut Conn) {
+    if !conn.sniffed {
+        if conn.rbuf.is_empty() {
+            return;
+        }
+        if conn.rbuf[0] == frame::MAGIC[0] {
+            if conn.rbuf.len() < frame::MAGIC.len() {
+                return; // a partial preamble: wait for the rest
+            }
+            if conn.rbuf[..frame::MAGIC.len()] == frame::MAGIC {
+                conn.rbuf.drain(..frame::MAGIC.len());
+                conn.wire = Wire::Binary;
+                // Ack by echoing the preamble, so the client knows the
+                // negotiation landed before its first reply frame.
+                conn.wbuf.extend_from_slice(&frame::MAGIC);
+                crate::telemetry::binary_connections().inc();
+            }
+            // A near-miss preamble falls through as JSON and fails
+            // parsing like any other bad line.
+        }
+        conn.sniffed = true;
+    }
+    match conn.wire {
+        Wire::Json => process_json(shared, token, conn),
+        Wire::Binary => process_frames(shared, token, conn),
+    }
+    if !conn.closing && conn.wire == Wire::Json && conn.rbuf.len() > shared.config.max_request_bytes
+    {
+        // A request this large is a protocol violation; the rest of the
+        // stream cannot be re-synchronized, so answer and hang up.
+        // (Binary frames announce their length up front; `decode_frame`
+        // enforces the same cap before buffering a payload.)
+        crate::telemetry::invalid_requests().inc();
+        let slot = Some(conn.take_slot());
+        conn.emit(
+            slot,
+            &Response::Error {
+                error: format!(
+                    "request exceeds {} bytes; closing connection",
+                    shared.config.max_request_bytes
+                ),
+                retry_after_ms: None,
+            },
+            None,
+        );
+        conn.rbuf.clear();
+        conn.closing = true;
+    }
+}
+
+/// Consumes buffered newline-JSON requests: an in-place scan over the
+/// read buffer with one tail compaction at the end, instead of a
+/// buffer split (allocation) per line.
+fn process_json(shared: &Arc<Shared>, token: u64, conn: &mut Conn) {
+    let mut buf = std::mem::take(&mut conn.rbuf);
+    let mut consumed = 0;
     while !conn.closing {
-        let Some(pos) = conn.rbuf.iter().position(|&b| b == b'\n') else {
+        let Some(nl) = buf[consumed..].iter().position(|&b| b == b'\n') else {
             break;
         };
-        let rest = conn.rbuf.split_off(pos + 1);
-        let mut raw = std::mem::replace(&mut conn.rbuf, rest);
-        raw.pop(); // the newline
-        if raw.last() == Some(&b'\r') {
-            raw.pop();
+        let end = consumed + nl;
+        let mut line_end = end;
+        if line_end > consumed && buf[line_end - 1] == b'\r' {
+            line_end -= 1;
         }
-        let line = match String::from_utf8(raw) {
-            Ok(s) => s,
+        match std::str::from_utf8(&buf[consumed..line_end]) {
+            Ok(line) => {
+                if !line.trim().is_empty() {
+                    handle_line(shared, token, conn, line);
+                }
+            }
             Err(_) => {
                 // The line was consumed up to its newline, so the
                 // stream stays in sync; answer in slot order and keep
@@ -778,43 +1060,59 @@ fn process_buffered(shared: &Arc<Shared>, token: u64, conn: &mut Conn) {
                 let slot = Some(conn.take_slot());
                 conn.emit(
                     slot,
-                    response_line(
-                        &Response::Error {
-                            error: "invalid request: line is not valid UTF-8".to_owned(),
-                            retry_after_ms: None,
-                        },
-                        None,
-                    ),
+                    &Response::Error {
+                        error: "invalid request: line is not valid UTF-8".to_owned(),
+                        retry_after_ms: None,
+                    },
+                    None,
                 );
-                continue;
             }
-        };
-        if line.trim().is_empty() {
-            continue;
         }
-        handle_line(shared, token, conn, &line);
+        consumed = end + 1;
     }
-    if !conn.closing && conn.rbuf.len() > shared.config.max_request_bytes {
-        // A request this large is a protocol violation; the rest of the
-        // stream cannot be re-synchronized, so answer and hang up.
-        crate::telemetry::invalid_requests().inc();
-        let slot = Some(conn.take_slot());
-        conn.emit(
-            slot,
-            response_line(
-                &Response::Error {
-                    error: format!(
-                        "request exceeds {} bytes; closing connection",
-                        shared.config.max_request_bytes
-                    ),
-                    retry_after_ms: None,
-                },
-                None,
-            ),
-        );
-        conn.rbuf.clear();
-        conn.closing = true;
+    // One compaction per pass: shift the incomplete tail down and hand
+    // the buffer (with its capacity) back to the connection.
+    if consumed > 0 {
+        buf.copy_within(consumed.., 0);
+        buf.truncate(buf.len() - consumed);
     }
+    conn.rbuf = buf;
+}
+
+/// Consumes buffered binary frames. A corrupt or oversized frame is
+/// unrecoverable (a length-prefixed stream has no resync point), so it
+/// answers with an error and closes.
+fn process_frames(shared: &Arc<Shared>, token: u64, conn: &mut Conn) {
+    let mut buf = std::mem::take(&mut conn.rbuf);
+    let mut consumed = 0;
+    while !conn.closing {
+        match frame::decode_frame(&buf[consumed..], shared.config.max_request_bytes) {
+            Ok(Some((value, used))) => {
+                consumed += used;
+                handle_value(shared, token, conn, &value);
+            }
+            Ok(None) => break,
+            Err(e) => {
+                crate::telemetry::invalid_requests().inc();
+                let slot = Some(conn.take_slot());
+                conn.emit(
+                    slot,
+                    &Response::Error {
+                        error: format!("invalid frame: {e}; closing connection"),
+                        retry_after_ms: None,
+                    },
+                    None,
+                );
+                consumed = buf.len();
+                conn.closing = true;
+            }
+        }
+    }
+    if consumed > 0 {
+        buf.copy_within(consumed.., 0);
+        buf.truncate(buf.len() - consumed);
+    }
+    conn.rbuf = buf;
 }
 
 /// Records an inline (reactor-thread) reply's metrics and queues it.
@@ -829,18 +1127,40 @@ fn finish_inline(
 ) {
     rm.latency.record_duration(start.elapsed());
     span.field("ok", response.is_ok());
-    conn.emit(slot, response_line(response, id));
+    conn.emit(slot, response, id);
 }
 
-/// Parses and executes one request line on the reactor thread. Cheap
+/// Parses and executes one JSON request line (the JSON-wire twin of the
+/// binary path's direct `handle_value`).
+fn handle_line(shared: &Arc<Shared>, token: u64, conn: &mut Conn, line: &str) {
+    let value: Value = match serde_json::from_str(line) {
+        Ok(v) => v,
+        Err(e) => {
+            crate::telemetry::invalid_requests().inc();
+            let slot = Some(conn.take_slot());
+            conn.emit(
+                slot,
+                &Response::Error {
+                    error: format!("invalid request: {e}"),
+                    retry_after_ms: None,
+                },
+                None,
+            );
+            return;
+        }
+    };
+    handle_value(shared, token, conn, &value);
+}
+
+/// Executes one decoded request value on the reactor thread. Cheap
 /// requests (`stats`, `metrics`, `shutdown`) answer inline; everything
-/// that touches the pool goes through a [`PendingReply`] and completes
-/// asynchronously.
+/// that touches the pool lands in the connection's fair-queue ring and
+/// completes asynchronously.
 ///
 /// Every parsed request is counted and timed end-to-end under its wire
 /// type (`service_requests_total{type=…}`, `service_request_us{type=…}`)
 /// and wrapped in a `service_request` span.
-fn handle_line(shared: &Arc<Shared>, token: u64, conn: &mut Conn, line: &str) {
+fn handle_value(shared: &Arc<Shared>, token: u64, conn: &mut Conn, value: &Value) {
     fn invalid(conn: &mut Conn, id: Option<u64>, msg: String) {
         crate::telemetry::invalid_requests().inc();
         let slot = if id.is_some() {
@@ -850,24 +1170,18 @@ fn handle_line(shared: &Arc<Shared>, token: u64, conn: &mut Conn, line: &str) {
         };
         conn.emit(
             slot,
-            response_line(
-                &Response::Error {
-                    error: msg,
-                    retry_after_ms: None,
-                },
-                id,
-            ),
+            &Response::Error {
+                error: msg,
+                retry_after_ms: None,
+            },
+            id,
         );
     }
-    let value: Value = match serde_json::from_str(line) {
-        Ok(v) => v,
-        Err(e) => return invalid(conn, None, format!("invalid request: {e}")),
-    };
-    let id = match envelope_id(&value) {
+    let id = match envelope_id(value) {
         Ok(id) => id,
         Err(e) => return invalid(conn, None, format!("invalid request: {e}")),
     };
-    let request = match Request::from_value(&value) {
+    let request = match Request::from_value(value) {
         Ok(r) => r,
         Err(e) => return invalid(conn, id, format!("invalid request: {e}")),
     };
@@ -926,12 +1240,20 @@ fn handle_line(shared: &Arc<Shared>, token: u64, conn: &mut Conn, line: &str) {
         Request::Shutdown => {
             shared.request_stop();
             finish_inline(conn, slot, id, rm, start, span, &Response::Bye);
-            // Terminal: drop any pipelined lines after the shutdown.
+            // Terminal: drop any pipelined requests after the shutdown.
             conn.closing = true;
         }
-        Request::Ping { delay_ms } => {
+        Request::Ping { delay_ms, priority } => {
             conn.open += 1;
-            ping_request(shared, delay_ms, pending(span));
+            enqueue_work(
+                shared,
+                token,
+                Work::Probe(ProbeWork {
+                    delay_ms,
+                    priority: priority.unwrap_or(0),
+                    cell: reply_cell(pending(span)),
+                }),
+            );
         }
         Request::Schedule {
             block,
@@ -1016,6 +1338,7 @@ fn handle_line(shared: &Arc<Shared>, token: u64, conn: &mut Conn, line: &str) {
                         early_cancel,
                         adaptive,
                         deadline_ms,
+                        priority,
                     },
                     stream,
                     reply,
@@ -1025,35 +1348,193 @@ fn handle_line(shared: &Arc<Shared>, token: u64, conn: &mut Conn, line: &str) {
     }
 }
 
-/// Runs a `ping` through the pool's probe path, replying from the
-/// worker's completion callback.
-fn ping_request(shared: &Arc<Shared>, delay_ms: u64, pending: PendingReply) {
-    let cell = Arc::new(Mutex::new(Some(pending)));
-    let callback_cell = Arc::clone(&cell);
-    let result = shared.pool.probe_with(delay_ms, move |delay| {
-        if let Some(mut p) = callback_cell.lock().unwrap().take() {
-            p.send(
-                &Response::Pong {
-                    delay_ms: delay.as_millis() as u64,
-                },
-                true,
+/// Appends one unit of work to a connection's fair-queue ring and runs
+/// an admission pass. Rings are created on demand and removed when the
+/// drain leaves them empty (or the connection closes).
+fn enqueue_work(shared: &Shared, token: u64, work: Work) {
+    shared
+        .queues
+        .lock()
+        .unwrap()
+        .rings
+        .entry(token)
+        .or_default()
+        .push_back(work);
+    drain_fair_queues(shared);
+}
+
+/// The weighted round-robin admission pass: visits every non-empty ring
+/// starting after the cursor, admitting up to the head request's weight
+/// per visit, and repeats until a full cycle makes no progress (all
+/// remaining heads are parked on saturation) or the rings are empty.
+///
+/// Serialized by the `queues` lock — which also makes it the only
+/// ε-draw consumer (see `admit_one`). Called on enqueue, from the
+/// reactor's completion pass, and from the pool's completion hook, so
+/// parked work is re-driven exactly when capacity can have freed.
+fn drain_fair_queues(shared: &Shared) {
+    let mut queues = shared.queues.lock().unwrap();
+    loop {
+        let tokens: Vec<u64> = queues
+            .rings
+            .iter()
+            .filter(|(_, ring)| !ring.is_empty())
+            .map(|(&t, _)| t)
+            .collect();
+        if tokens.is_empty() {
+            break;
+        }
+        let start = tokens.iter().position(|&t| t > queues.cursor).unwrap_or(0);
+        let mut progressed = false;
+        for off in 0..tokens.len() {
+            let token = tokens[(start + off) % tokens.len()];
+            let Some(ring) = queues.rings.get_mut(&token) else {
+                continue;
+            };
+            let quantum = ring.front().map_or(0, Work::weight);
+            for _ in 0..quantum {
+                let Some(work) = ring.pop_front() else {
+                    break;
+                };
+                match admit_one(shared, work) {
+                    Some(parked) => {
+                        // Saturation: back to the head (per-connection
+                        // FIFO holds) until capacity frees.
+                        ring.push_front(parked);
+                        break;
+                    }
+                    None => progressed = true,
+                }
+            }
+            queues.cursor = token;
+        }
+        if !progressed {
+            break;
+        }
+    }
+    queues.rings.retain(|_, ring| !ring.is_empty());
+    let parked: i64 = queues.rings.values().map(|r| r.len() as i64).sum();
+    crate::telemetry::fair_queue_parked().add(parked - queues.published);
+    queues.published = parked;
+}
+
+/// One admission attempt. Returns the work back when it parked (pool
+/// saturated and the work rides it out); `None` means it was admitted
+/// or definitively answered (shed or failed).
+///
+/// The caller holds the `queues` lock, making this the ε-exploration
+/// stream's only consumer: the draw happens here, at admission time,
+/// and the sequence advances only when the pool actually accepts the
+/// job — a shed or parked request never consumes a draw.
+fn admit_one(shared: &Shared, work: Work) -> Option<Work> {
+    match work {
+        Work::Probe(w) => {
+            let cell = Arc::clone(&w.cell);
+            let result = shared.pool.probe_with(w.delay_ms, move |delay| {
+                if let Some(mut p) = cell.lock().unwrap().take() {
+                    p.send(
+                        Response::Pong {
+                            delay_ms: delay.as_millis() as u64,
+                        },
+                        true,
+                    );
+                }
+            });
+            match result {
+                Ok(()) => None,
+                Err(SubmitError::Saturated { .. }) if w.priority >= 2 => Some(Work::Probe(w)),
+                Err(e) => {
+                    reply_submit_error(&w.cell, e);
+                    None
+                }
+            }
+        }
+        Work::Schedule(mut w) => {
+            let (decision, seq_used, policies) = if w.adaptive {
+                let seq = shared.explore_seq.load(Ordering::Relaxed);
+                let draw = explore_draw(shared.config.adaptive.seed, seq);
+                let (kind, narrowed) = shared.selector.lock().unwrap().select(
+                    &w.class,
+                    &w.configured,
+                    &shared.config.adaptive,
+                    draw,
+                );
+                (Some(kind), Some(seq), narrowed)
+            } else {
+                (None, None, w.configured.clone())
+            };
+            w.problem.options.policies = policies;
+            let callback = schedule_completion(
+                Arc::clone(&w.cell),
+                decision,
+                w.class.clone(),
+                w.return_schedule,
+                w.deadline_ms,
             );
+            let advance = |seq_used: Option<u64>| {
+                if let Some(seq) = seq_used {
+                    shared.explore_seq.store(seq + 1, Ordering::Relaxed);
+                }
+            };
+            if w.priority >= 2 {
+                // High priority rides out saturation parked at its
+                // ring's head; the attempt consumes a clone because a
+                // rejected `try_submit_with` drops the problem.
+                match shared.pool.try_submit_with(w.problem.clone(), callback) {
+                    Ok(()) => {
+                        advance(seq_used);
+                        None
+                    }
+                    Err(SubmitError::Saturated { .. }) => Some(Work::Schedule(w)),
+                    Err(e) => {
+                        reply_submit_error(&w.cell, e);
+                        None
+                    }
+                }
+            } else {
+                match shared.pool.try_submit_with(w.problem, callback) {
+                    Ok(()) => {
+                        advance(seq_used);
+                        None
+                    }
+                    Err(e @ SubmitError::Saturated { .. }) => {
+                        if w.shed_signal {
+                            // Online admission control: a low-priority
+                            // request is shed, not queued behind the
+                            // saturation.
+                            vcsched_engine::online::note_shed();
+                        }
+                        reply_submit_error(&w.cell, e);
+                        None
+                    }
+                    Err(e) => {
+                        reply_submit_error(&w.cell, e);
+                        None
+                    }
+                }
+            }
         }
-    });
-    if let Err(e) = result {
-        // The pool dropped the un-run callback; reclaim the reply and
-        // send the real rejection instead of the Drop fallback.
-        if let Some(mut p) = cell.lock().unwrap().take() {
-            p.send(&submit_error(e), true);
-        }
+        Work::BatchBlock(w) => match shared.pool.try_submit((*w.problem).clone()) {
+            Ok(ticket) => {
+                let _ = w.ticket_tx.send(Ok(ticket));
+                None
+            }
+            Err(SubmitError::Saturated { .. }) => Some(Work::BatchBlock(w)),
+            Err(e) => {
+                let _ = w.ticket_tx.send(Err(e));
+                None
+            }
+        },
     }
 }
 
-/// Runs a `schedule` request: resolve, (optionally) narrow adaptively,
-/// admit to the pool, and reply from the worker's callback.
+/// Resolves a `schedule` request on the reactor thread (machine,
+/// policies, placement, budgets) and parks it in the connection's
+/// fair-queue ring; adaptive narrowing and pool admission happen at
+/// drain time (`admit_one`).
 #[allow(clippy::too_many_arguments)] // mirrors the wire request's fields
 fn schedule_request(
-    shared: &Arc<Shared>,
+    shared: &Shared,
     block: Superblock,
     machine: String,
     policies: Option<Vec<String>>,
@@ -1070,7 +1551,7 @@ fn schedule_request(
 ) {
     let fail = |pending: &mut PendingReply, msg: String| {
         pending.send(
-            &Response::Error {
+            Response::Error {
                 error: msg,
                 retry_after_ms: None,
             },
@@ -1092,28 +1573,6 @@ fn schedule_request(
         Err(e) => return fail(&mut pending, e),
     };
     let class = BlockClass::of(&block, &machine);
-    let mut decision = None;
-    let mut seq_used = None;
-    let policies = if adaptive.unwrap_or(shared.config.default_adaptive) {
-        // The reactor thread is the only dispatcher of one-off schedule
-        // requests, so reading the sequence here and advancing it only
-        // after admission succeeds is race-free — and it keeps a
-        // queue-full rejection from consuming an ε-draw, which would
-        // permanently shift every later adaptive decision.
-        let seq = shared.explore_seq.load(Ordering::Relaxed);
-        let draw = explore_draw(shared.config.adaptive.seed, seq);
-        let (kind, narrowed) = shared.selector.lock().unwrap().select(
-            &class,
-            &configured,
-            &shared.config.adaptive,
-            draw,
-        );
-        decision = Some(kind);
-        seq_used = Some(seq);
-        narrowed
-    } else {
-        configured
-    };
     let homes = live_in_placement(
         &block,
         machine.cluster_count(),
@@ -1129,82 +1588,36 @@ fn schedule_request(
         options: PolicyOptions {
             max_dp_steps: max_steps,
             max_trail_bytes: budget_bytes.or(shared.config.default_budget_bytes),
-            policies,
+            policies: configured.clone(),
             early_cancel: early_cancel.unwrap_or(shared.config.default_early_cancel),
             deadline_steps,
         },
         deadline: deadline_ms.map(Duration::from_millis),
     };
-    let cell = Arc::new(Mutex::new(Some(pending)));
-    // High-priority (>= 2) requests ride out saturation with a blocking
-    // resubmit on a helper thread instead of shedding; the clone exists
-    // up front because `try_submit_with` consumes the original.
-    let retry_problem = (priority.unwrap_or(0) >= 2).then(|| problem.clone());
-    let result = shared.pool.try_submit_with(
-        problem,
-        schedule_completion(
-            Arc::clone(&cell),
-            decision,
-            class.clone(),
+    let token = pending.token;
+    enqueue_work(
+        shared,
+        token,
+        Work::Schedule(Box::new(ScheduleWork {
+            priority: priority.unwrap_or(0),
+            shed_signal: priority.is_some() || deadline_ms.is_some(),
+            adaptive: adaptive.unwrap_or(shared.config.default_adaptive),
+            configured,
+            class,
+            problem,
             return_schedule,
             deadline_ms,
-        ),
+            cell: reply_cell(pending),
+        })),
     );
-    match result {
-        Ok(()) => {
-            if let Some(seq) = seq_used {
-                shared.explore_seq.store(seq + 1, Ordering::Relaxed);
-            }
-        }
-        Err(e @ SubmitError::Saturated { .. }) => {
-            if let Some(problem) = retry_problem {
-                // The retried request will consume the ε-draw, and the
-                // reactor thread is still the sequence's only writer, so
-                // advance it here — before the helper thread races on.
-                if let Some(seq) = seq_used {
-                    shared.explore_seq.store(seq + 1, Ordering::Relaxed);
-                }
-                let callback = schedule_completion(
-                    Arc::clone(&cell),
-                    decision,
-                    class,
-                    return_schedule,
-                    deadline_ms,
-                );
-                let shared = Arc::clone(shared);
-                std::thread::spawn(move || {
-                    if let Err(e) = shared.pool.submit_with(problem, callback) {
-                        if let Some(mut p) = cell.lock().unwrap().take() {
-                            p.send(&submit_error(e), true);
-                        }
-                    }
-                });
-            } else {
-                if priority.is_some() || deadline_ms.is_some() {
-                    // Online admission control: a low-priority request
-                    // is shed, not queued behind the saturation.
-                    vcsched_engine::online::note_shed();
-                }
-                if let Some(mut p) = cell.lock().unwrap().take() {
-                    p.send(&submit_error(e), true);
-                }
-            }
-        }
-        Err(e) => {
-            if let Some(mut p) = cell.lock().unwrap().take() {
-                p.send(&submit_error(e), true);
-            }
-        }
-    }
 }
 
 /// Builds the completion callback for a `schedule` request: selector
-/// bookkeeping, online deadline metrics, and the wire reply. Shared by
-/// the fast non-blocking admission and the high-priority blocking
-/// retry (the pool drops an unrun callback on rejection, so the retry
-/// needs a fresh one; the shared `cell` guarantees at most one reply).
+/// bookkeeping, online deadline metrics, and the wire reply. Rebuilt
+/// per admission attempt (the pool drops an unrun callback on
+/// rejection); the shared `cell` guarantees at most one reply.
 fn schedule_completion(
-    cell: Arc<Mutex<Option<PendingReply>>>,
+    cell: ReplyCell,
     decision: Option<DecisionKind>,
     class: BlockClass,
     return_schedule: bool,
@@ -1234,7 +1647,7 @@ fn schedule_completion(
                 }
             }
             p.send(
-                &Response::Schedule(ScheduleReply {
+                Response::Schedule(ScheduleReply {
                     winner: solved.outcome.winner,
                     awct: solved.outcome.awct,
                     vc_steps: solved.outcome.vc_steps,
@@ -1264,22 +1677,25 @@ struct BatchArgs {
     early_cancel: Option<bool>,
     adaptive: Option<bool>,
     deadline_ms: Option<u64>,
+    priority: Option<u8>,
 }
 
-/// Runs a `batch` request on a helper thread (admission blocks for
-/// queue space — that thread is the backpressure, not the reactor).
-/// With `stream`, every solved block is sent as a `block` frame before
-/// the final summary.
+/// Runs a `batch` request on a helper thread. Each block's admission
+/// goes through the connection's fair-queue ring (the helper blocks on
+/// the admission rendezvous — that thread is the backpressure, not the
+/// reactor). With `stream`, every solved block is sent as a `block`
+/// frame before the final summary.
 fn batch_request(shared: &Arc<Shared>, args: BatchArgs, stream: bool, pending: PendingReply) {
     let shared = Arc::clone(shared);
     std::thread::spawn(move || {
         let mut pending = pending;
-        let response = run_service_batch(&shared, args, &mut |frame| {
+        let token = pending.token;
+        let response = run_service_batch(&shared, token, args, &mut |frame| {
             if stream {
-                pending.send(&Response::Block(frame), false);
+                pending.send(Response::Block(frame), false);
             }
         });
-        pending.send(&response, true);
+        pending.send(response, true);
     });
 }
 
@@ -1297,10 +1713,40 @@ fn submit_error(e: SubmitError) -> Response {
     }
 }
 
-/// Runs a `batch` request: every block is admitted to the shared pool
-/// (blocking for queue space), solved blocks are reported through
-/// `emit_block` in corpus order, and results are aggregated with the
-/// engine's summary code.
+/// Admits one batch block through the connection's fair-queue ring and
+/// waits for its ticket. The rendezvous channel (capacity 1, one block
+/// in flight per batch) is the batch's backpressure: the helper thread
+/// blocks here while higher-weighted work from other connections is
+/// admitted around it.
+fn submit_block(
+    shared: &Shared,
+    token: u64,
+    priority: u8,
+    problem: Problem,
+) -> Result<Ticket<Solved>, String> {
+    let (ticket_tx, ticket_rx) = std::sync::mpsc::sync_channel(1);
+    enqueue_work(
+        shared,
+        token,
+        Work::BatchBlock(BatchBlockWork {
+            priority,
+            problem: Box::new(problem),
+            ticket_tx,
+        }),
+    );
+    match ticket_rx.recv() {
+        Ok(Ok(ticket)) => Ok(ticket),
+        Ok(Err(e)) => Err(e.to_string()),
+        // The ring was dropped with the work unadmitted — the
+        // connection closed under the batch.
+        Err(_) => Err("admission abandoned (connection closed)".to_owned()),
+    }
+}
+
+/// Runs a `batch` request: every block is admitted through the
+/// fair-queue ring into the shared pool, solved blocks are reported
+/// through `emit_block` in corpus order, and results are aggregated
+/// with the engine's summary code.
 ///
 /// An adaptive batch plans every block's set against a snapshot of the
 /// server's selector taken up front (the same snapshot-then-fold
@@ -1313,6 +1759,7 @@ fn submit_error(e: SubmitError) -> Response {
 /// tickets) leak "job lost" replies at pool teardown.
 fn run_service_batch(
     shared: &Shared,
+    token: u64,
     args: BatchArgs,
     emit_block: &mut dyn FnMut(BlockReply),
 ) -> Response {
@@ -1332,6 +1779,7 @@ fn run_service_batch(
         early_cancel,
         adaptive,
         deadline_ms,
+        priority,
     } = args;
     let machine_name = machine;
     let machine = match crate::machine_by_name(&machine_name) {
@@ -1373,7 +1821,7 @@ fn run_service_batch(
         let plan = snapshot.plan(&blocks, &config.machine, &config.policies, options);
         (plan, snapshot.classes.len())
     });
-    // Admit every block through the bounded queue, then collect in
+    // Admit every block through the fair-queue ring, then collect in
     // corpus order — the same order-preserving contract as the batch
     // engine's scatter, so summaries match `vcsched batch` exactly.
     let mut tickets = Vec::with_capacity(blocks.len());
@@ -1400,7 +1848,7 @@ fn run_service_batch(
             },
             deadline: None,
         };
-        match shared.pool.submit(problem) {
+        match submit_block(shared, token, priority.unwrap_or(0), problem) {
             Ok(t) => tickets.push(t),
             Err(e) => {
                 // Earlier blocks are already in flight; fall through to
@@ -1531,7 +1979,7 @@ mod tests {
 
     fn test_shared(jobs: usize, queue: usize) -> Arc<Shared> {
         let cache = Arc::new(open_cache(&BatchConfig::default()).unwrap());
-        Arc::new(Shared {
+        let shared = Arc::new(Shared {
             pool: SubmitPool::new(jobs, queue, cache),
             config: ServiceConfig::default(),
             addr: "127.0.0.1:0".parse().unwrap(),
@@ -1543,8 +1991,11 @@ mod tests {
             conns_open: AtomicU64::new(0),
             conns_total: AtomicU64::new(0),
             completions: Mutex::new(Vec::new()),
+            queues: Mutex::new(FairQueues::default()),
             waker: WakePipe::new().unwrap(),
-        })
+        });
+        install_completion_hook(&shared);
+        shared
     }
 
     fn test_block() -> Superblock {
@@ -1584,6 +2035,37 @@ mod tests {
         }
     }
 
+    /// Saturates a 1-worker/1-slot pool: one probe occupies the worker,
+    /// a second occupies the queue slot. Returns the receiver both
+    /// probes signal on completion.
+    fn saturate_pool(shared: &Arc<Shared>) -> std::sync::mpsc::Receiver<()> {
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        let tx = done_tx.clone();
+        shared
+            .pool
+            .probe_with(300, move |_| {
+                let _ = tx.send(());
+            })
+            .unwrap();
+        // Retry until the worker has dequeued the first probe and the
+        // slot frees up for the second.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let tx = done_tx.clone();
+            match shared.pool.probe_with(300, move |_| {
+                let _ = tx.send(());
+            }) {
+                Ok(()) => break,
+                Err(SubmitError::Saturated { .. }) => {
+                    assert!(Instant::now() < deadline, "queue never freed");
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) => panic!("probe failed: {e}"),
+            }
+        }
+        done_rx
+    }
+
     fn schedule_adaptive(shared: &Arc<Shared>) {
         schedule_request(
             shared,
@@ -1609,40 +2091,22 @@ mod tests {
     #[test]
     fn rejected_adaptive_schedule_does_not_consume_an_explore_draw() {
         let shared = test_shared(1, 1);
-        let (done_tx, done_rx) = std::sync::mpsc::channel();
-        // Occupy the single worker for a long moment...
-        let tx = done_tx.clone();
-        shared
-            .pool
-            .probe_with(300, move |_| {
-                let _ = tx.send(());
-            })
-            .unwrap();
-        // ...and then the single queue slot (retrying until the worker
-        // has dequeued the first probe and the slot frees up).
-        let deadline = Instant::now() + Duration::from_secs(30);
-        loop {
-            let tx = done_tx.clone();
-            match shared.pool.probe_with(300, move |_| {
-                let _ = tx.send(());
-            }) {
-                Ok(()) => break,
-                Err(SubmitError::Saturated { .. }) => {
-                    assert!(Instant::now() < deadline, "queue never freed");
-                    std::thread::sleep(Duration::from_millis(1));
-                }
-                Err(e) => panic!("probe failed: {e}"),
-            }
-        }
-        // Saturated pool: the adaptive schedule is rejected and must
-        // leave the exploration sequence untouched.
+        let done_rx = saturate_pool(&shared);
+        // Saturated pool: the adaptive schedule (best-effort priority)
+        // is shed and must leave the exploration sequence untouched.
         schedule_adaptive(&shared);
         let rejected = wait_completion(&shared);
         assert!(rejected.done);
         assert!(
-            rejected.line.contains("retry_after_ms"),
-            "expected a saturation rejection, got {}",
-            rejected.line
+            matches!(
+                rejected.response,
+                Response::Error {
+                    retry_after_ms: Some(_),
+                    ..
+                }
+            ),
+            "expected a saturation rejection, got {:?}",
+            rejected.response
         );
         assert_eq!(shared.explore_seq.load(Ordering::Relaxed), 0);
         // Let both probes finish, then the same request is admitted and
@@ -1653,11 +2117,47 @@ mod tests {
         let solved = wait_completion(&shared);
         assert!(solved.done);
         assert!(
-            solved.line.contains("\"type\":\"schedule\""),
-            "expected a schedule reply, got {}",
-            solved.line
+            matches!(solved.response, Response::Schedule(_)),
+            "expected a schedule reply, got {:?}",
+            solved.response
         );
         assert_eq!(shared.explore_seq.load(Ordering::Relaxed), 1);
+    }
+
+    /// A priority ≥ 2 ping parks in its fair-queue ring through
+    /// saturation (instead of shedding) and is admitted by the pool's
+    /// completion hook once capacity frees.
+    #[test]
+    fn high_priority_ping_parks_through_saturation() {
+        let shared = test_shared(1, 1);
+        let done_rx = saturate_pool(&shared);
+        enqueue_work(
+            &shared,
+            9,
+            Work::Probe(ProbeWork {
+                delay_ms: 0,
+                priority: 2,
+                cell: reply_cell(test_pending(&shared, 9)),
+            }),
+        );
+        // Parked, not shed: no completion, the work waits in its ring.
+        assert!(shared.completions.lock().unwrap().is_empty());
+        assert_eq!(
+            shared.queues.lock().unwrap().rings.get(&9).map(|r| r.len()),
+            Some(1)
+        );
+        // The saturating probes finish; their completion hooks re-drain
+        // the rings and admit the parked ping — no new enqueue needed.
+        done_rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        done_rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        let pong = wait_completion(&shared);
+        assert!(pong.done);
+        assert!(
+            matches!(pong.response, Response::Pong { .. }),
+            "expected a pong, got {:?}",
+            pong.response
+        );
+        assert!(shared.queues.lock().unwrap().rings.is_empty());
     }
 
     /// Satellite fix: when admission fails mid-batch, the already
@@ -1667,8 +2167,7 @@ mod tests {
     fn batch_admission_failure_drains_admitted_tickets() {
         let shared = test_shared(1, 1);
         // Sabotage admission partway through: once two blocks have been
-        // accepted, shut the pool down so the next blocking submit
-        // fails.
+        // accepted, shut the pool down so the next submit fails.
         let saboteur_shared = Arc::clone(&shared);
         let saboteur = std::thread::spawn(move || {
             while saboteur_shared.pool.counters().0 < 2 {
@@ -1679,6 +2178,7 @@ mod tests {
         let mut frames = 0usize;
         let response = run_service_batch(
             &shared,
+            7,
             BatchArgs {
                 bench: "099.go".to_owned(),
                 count: 48,
@@ -1691,6 +2191,7 @@ mod tests {
                 early_cancel: None,
                 adaptive: None,
                 deadline_ms: None,
+                priority: None,
             },
             &mut |_| frames += 1,
         );

@@ -158,6 +158,28 @@ pub(crate) fn reactor_write_buffer() -> &'static Gauge {
     CELL.get_or_init(|| vcsched_obs::global().gauge("service_reactor_write_buffer_bytes"))
 }
 
+/// `service_slow_reader_closed_total`: connections closed because their
+/// buffered replies exceeded the per-connection write-buffer cap
+/// (`--max-write-buffer`) — a reader too slow for what it requested.
+pub(crate) fn slow_reader_closed() -> &'static Counter {
+    static CELL: OnceLock<Counter> = OnceLock::new();
+    CELL.get_or_init(|| vcsched_obs::global().counter("service_slow_reader_closed_total"))
+}
+
+/// `service_binary_connections_total`: connections that negotiated the
+/// `vcsched-frame/v1` binary framing via the magic preamble.
+pub(crate) fn binary_connections() -> &'static Counter {
+    static CELL: OnceLock<Counter> = OnceLock::new();
+    CELL.get_or_init(|| vcsched_obs::global().counter("service_binary_connections_total"))
+}
+
+/// `service_fair_queue_parked`: requests currently parked in
+/// per-connection fair-queue rings waiting for admission capacity.
+pub(crate) fn fair_queue_parked() -> &'static Gauge {
+    static CELL: OnceLock<Gauge> = OnceLock::new();
+    CELL.get_or_init(|| vcsched_obs::global().gauge("service_fair_queue_parked"))
+}
+
 /// The `stats` reply's latency section: one row per request type, read
 /// from the registry's `service_request_us` histograms.
 pub(crate) fn latency_replies() -> Vec<LatencyReply> {

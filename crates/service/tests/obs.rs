@@ -174,18 +174,29 @@ fn queue_full_rejection_counts_in_the_global_registry() {
     let addr = server.addr();
     let busy = std::thread::spawn(move || {
         let mut c = Client::connect(addr).expect("connect");
-        c.request(&Request::Ping { delay_ms: 1_500 }).expect("pong")
+        c.request(&Request::Ping {
+            delay_ms: 1_500,
+            priority: None,
+        })
+        .expect("pong")
     });
     std::thread::sleep(Duration::from_millis(300));
     let queued = std::thread::spawn(move || {
         let mut c = Client::connect(addr).expect("connect");
-        c.request(&Request::Ping { delay_ms: 0 }).expect("pong")
+        c.request(&Request::Ping {
+            delay_ms: 0,
+            priority: None,
+        })
+        .expect("pong")
     });
     std::thread::sleep(Duration::from_millis(300));
 
     let mut client = Client::connect(server.addr()).expect("connect");
     match client
-        .request(&Request::Ping { delay_ms: 0 })
+        .request(&Request::Ping {
+            delay_ms: 0,
+            priority: None,
+        })
         .expect("reply")
     {
         Response::Error {

@@ -137,14 +137,22 @@ fn saturated_queue_answers_backpressure_with_retry_after() {
     let addr = server.addr();
     let busy = std::thread::spawn(move || {
         let mut c = Client::connect(addr).expect("connect");
-        c.request(&Request::Ping { delay_ms: 1_500 }).expect("pong")
+        c.request(&Request::Ping {
+            delay_ms: 1_500,
+            priority: None,
+        })
+        .expect("pong")
     });
     std::thread::sleep(Duration::from_millis(300));
 
     // Fill the single queue slot with a second slow ping.
     let queued = std::thread::spawn(move || {
         let mut c = Client::connect(addr).expect("connect");
-        c.request(&Request::Ping { delay_ms: 0 }).expect("pong")
+        c.request(&Request::Ping {
+            delay_ms: 0,
+            priority: None,
+        })
+        .expect("pong")
     });
     std::thread::sleep(Duration::from_millis(300));
 
@@ -152,7 +160,10 @@ fn saturated_queue_answers_backpressure_with_retry_after() {
     // retry hint, not queued.
     let mut client = Client::connect(server.addr()).expect("connect");
     match client
-        .request(&Request::Ping { delay_ms: 0 })
+        .request(&Request::Ping {
+            delay_ms: 0,
+            priority: None,
+        })
         .expect("reply")
     {
         Response::Error {
@@ -201,7 +212,11 @@ fn shutdown_drains_in_flight_work() {
     // A slow job is in flight on its own connection.
     let in_flight = std::thread::spawn(move || {
         let mut c = Client::connect(addr).expect("connect");
-        c.request(&Request::Ping { delay_ms: 1_000 }).expect("pong")
+        c.request(&Request::Ping {
+            delay_ms: 1_000,
+            priority: None,
+        })
+        .expect("pong")
     });
     std::thread::sleep(Duration::from_millis(200));
 

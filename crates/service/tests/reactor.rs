@@ -70,10 +70,22 @@ fn pipelined_ids_complete_out_of_order() {
     // One slow ping, one instant ping, one inline stats — sent
     // back-to-back without reading. The slow ping must come back last.
     client
-        .send(&Request::Ping { delay_ms: 600 }, Some(1))
+        .send(
+            &Request::Ping {
+                delay_ms: 600,
+                priority: None,
+            },
+            Some(1),
+        )
         .expect("send slow ping");
     client
-        .send(&Request::Ping { delay_ms: 0 }, Some(2))
+        .send(
+            &Request::Ping {
+                delay_ms: 0,
+                priority: None,
+            },
+            Some(2),
+        )
         .expect("send fast ping");
     client.send(&Request::Stats, Some(3)).expect("send stats");
 
@@ -100,7 +112,13 @@ fn idless_pipelining_preserves_request_order() {
     let mut client = Client::connect(server.addr()).expect("connect");
 
     client
-        .send(&Request::Ping { delay_ms: 500 }, None)
+        .send(
+            &Request::Ping {
+                delay_ms: 500,
+                priority: None,
+            },
+            None,
+        )
         .expect("send slow ping");
     client.send(&Request::Stats, None).expect("send stats");
 
@@ -280,7 +298,12 @@ fn soak_64_connections_with_exact_accounting() {
             std::thread::spawn(move || {
                 let mut c = Client::connect(addr).expect("connect");
                 for _ in 0..PINGS {
-                    let pong = c.request(&Request::Ping { delay_ms: 0 }).expect("pong");
+                    let pong = c
+                        .request(&Request::Ping {
+                            delay_ms: 0,
+                            priority: None,
+                        })
+                        .expect("pong");
                     assert!(matches!(pong, Response::Pong { delay_ms: 0 }));
                 }
                 pinged.wait();

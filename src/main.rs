@@ -48,9 +48,11 @@ USAGE:
                   [--adaptive] [--adaptive-seed N] [--adaptive-epsilon F]
                   [--adaptive-top-k N] [--adaptive-min-obs N]
                   [--max-request BYTES] [--max-conns N]
+                  [--max-write-buffer BYTES]
                   [--trace-out FILE [--obs-sample N]]
-    vcsched request [--addr HOST:PORT] [--id N] (stats | metrics [--metrics-text]
-                  | shutdown | ping [--delay-ms N]
+    vcsched request [--addr HOST:PORT] [--id N] [--binary]
+                  (stats | metrics [--metrics-text]
+                  | shutdown | ping [--delay-ms N] [--priority 0..3]
                   | schedule --block FILE [--machine M] [--policies P,P,…]
                     [--mode single|portfolio] [--steps N] [--budget-bytes N]
                     [--early-cancel] [--adaptive] [--placement-seed N]
@@ -65,7 +67,7 @@ USAGE:
                   [--mean-slack-ms N] [--trace FILE] [--emit-trace FILE]
                   [--machine M] [--jobs N] [--steps N] [--step-floor N]
                   [--steps-per-ms N] [--queue N] [--details]
-                  [--addr HOST:PORT [--time-scale N]]
+                  [--addr HOST:PORT [--time-scale N] [--binary]]
     vcsched top [--addr HOST:PORT] [--interval SECS] [--count N]
     vcsched demo
     vcsched help
@@ -127,6 +129,15 @@ SERVE / REQUEST:
     --stream prints batch frames as they arrive); `--json LINE` sends
     a raw protocol line. A `shutdown` request drains in-flight work,
     then exits.
+    The wire defaults to newline JSON; a client opening with the
+    vcsched-frame/v1 magic preamble (`request --binary`, `replay
+    --addr --binary`, or Client::connect_binary) switches its
+    connection to compact binary frames — same requests and replies,
+    ~1.5-2x the request throughput. Admission into the worker queue is
+    fair-queued per connection (weighted round-robin by priority
+    class), so a connection streaming a large batch cannot starve
+    others; a connection that stops reading its replies is closed once
+    --max-write-buffer bytes (default 4 MiB) back up.
 
 ONLINE / REPLAY:
     `replay` synthesizes a seeded arrival trace (--profile: bursty
@@ -182,6 +193,7 @@ POLICIES (for --policies / --scheduler; see `vcsched policies`):
     uas-mwp     UAS, magnitude-weighted-predecessors order
     uas-none    UAS, fixed PC0..PCn cluster order
     uas-balance UAS, least-loaded-cluster-first order
+    two-phase-balance  two-phase, balance-weighted partition (w=2)
     (--portfolio spells the first four — the paper's Section 6.1 race)
 ";
 
@@ -587,6 +599,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         cache_dir: flag_value(args, "--cache").map(Into::into),
         max_request_bytes: parse("--max-request", "1048576")?,
         max_connections: parse("--max-conns", "1024")?,
+        max_write_buffer: parse("--max-write-buffer", "4194304")?,
         default_steps: flag_value(args, "--steps")
             .unwrap_or("300000")
             .parse()
@@ -621,7 +634,11 @@ fn cmd_request(args: &[String]) -> Result<(), String> {
     use vcsched::service::{Client, Request, ScheduleMode};
 
     let addr = flag_value(args, "--addr").unwrap_or("127.0.0.1:7411");
-    let mut client = Client::connect(addr)?;
+    let mut client = if has_flag(args, "--binary") {
+        Client::connect_binary(addr)?
+    } else {
+        Client::connect(addr)?
+    };
 
     // Raw escape hatch first: forward the line verbatim, print the reply.
     if let Some(line) = flag_value(args, "--json") {
@@ -644,6 +661,7 @@ fn cmd_request(args: &[String]) -> Result<(), String> {
         "--adaptive",
         "--metrics-text",
         "--stream",
+        "--binary",
     ];
     let mut verb = None;
     let mut i = 0;
@@ -696,6 +714,7 @@ fn cmd_request(args: &[String]) -> Result<(), String> {
                 .unwrap_or("0")
                 .parse()
                 .map_err(|e| format!("--delay-ms: {e}"))?,
+            priority,
         },
         "schedule" => {
             let path = flag_value(args, "--block").ok_or("--block FILE is required")?;
@@ -908,7 +927,11 @@ fn replay_live(
         Some(n) => Some(n.parse().map_err(|e| format!("--steps: {e}"))?),
         None => None,
     };
-    let mut client = Client::connect(addr)?;
+    let mut client = if has_flag(args, "--binary") {
+        Client::connect_binary(addr)?
+    } else {
+        Client::connect(addr)?
+    };
     let start = std::time::Instant::now();
     let (mut served, mut shed, mut fired, mut missed, mut cached) = (0u64, 0u64, 0u64, 0u64, 0u64);
     let mut latencies_us: Vec<u64> = Vec::with_capacity(events.len());
